@@ -1,0 +1,49 @@
+//! **E10 — Fig. 16**: YCSB throughput for LevelDB and LevelDB-FCAE across
+//! workloads Load/A–F (paper §VII-D: 20M records × (16 B key + 1024 B
+//! value), 20M operations, multi-input engine).
+
+use bench::{banner, paper, TablePrinter};
+use fcae::FcaeConfig;
+use systemsim::{EngineKind, SystemConfig, YcsbSim};
+use workloads::YcsbWorkload;
+
+fn main() {
+    banner("E10 (Fig. 16)", "YCSB throughput, Load/A-F, 20M x 1 KiB records");
+
+    let records = 20_000_000u64;
+    let ops = 20_000_000u64;
+    let cfg = SystemConfig { value_len: 1024, ..SystemConfig::default() };
+    let fcae_cfg = cfg.with_engine(EngineKind::Fcae(FcaeConfig::nine_input()));
+
+    let mut table = TablePrinter::new(&[
+        "workload", "LevelDB kop/s", "FCAE kop/s", "speedup", "write %",
+    ]);
+    let mut speedups = Vec::new();
+    for w in YcsbWorkload::ALL {
+        let base = YcsbSim::new(cfg, w, records, ops, 42).run();
+        let fcae = YcsbSim::new(fcae_cfg, w, records, ops, 42).run();
+        let s = fcae.ops_per_sec / base.ops_per_sec;
+        speedups.push((w, s));
+        table.row(&[
+            w.name().to_string(),
+            format!("{:.1}", base.ops_per_sec / 1e3),
+            format!("{:.1}", fcae.ops_per_sec / 1e3),
+            format!("{s:.2}x"),
+            format!("{:.0}", 100.0 * w.write_fraction()),
+        ]);
+    }
+    table.print();
+
+    let max = speedups.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+    println!(
+        "\nmax speedup {max:.2}x on {} (paper: {:.1}x on Load);",
+        speedups
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(w, _)| w.name())
+            .unwrap_or("?"),
+        paper::FIG16_MAX_SPEEDUP
+    );
+    println!("expected shape: speedup grows with write ratio; read-only C stays ~1x");
+    println!("(storage format unchanged, so reads are unaffected).");
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the hot paths underlying every
+//! experiment: Snappy, CRC32C, block building/iteration, the memtable
+//! skiplist, and the two compaction engines end to end.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bench::inputs::kernel_request;
+use bench::{build_kernel_inputs, KernelInputSpec, MemFactory};
+use fcae::{FcaeConfig, FcaeEngine};
+use lsm::compaction::{CompactionEngine, CpuCompactionEngine};
+use lsm::memtable::MemTable;
+use sstable::comparator::InternalKeyComparator;
+use sstable::env::MemEnv;
+use sstable::ikey::ValueType;
+
+fn bench_snappy(c: &mut Criterion) {
+    let mut values = workloads::ValueGenerator::new(1, 0.5);
+    let data: Vec<u8> = values.generate(64 << 10).to_vec();
+    let compressed = snap_codec::compress(&data);
+    let mut g = c.benchmark_group("snappy");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_64k", |b| b.iter(|| snap_codec::compress(&data)));
+    g.bench_function("decompress_64k", |b| {
+        b.iter(|| snap_codec::decompress(&compressed).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crc32c(c: &mut Criterion) {
+    let data = vec![0xa5u8; 64 << 10];
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("value_64k", |b| b.iter(|| sstable::crc32c::value(&data)));
+    g.finish();
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            || MemTable::new(InternalKeyComparator::default()),
+            |mut m| {
+                for i in 0..10_000u64 {
+                    let key = format!("{:016}", i.wrapping_mul(2_654_435_761) % 10_000);
+                    m.add(i + 1, ValueType::Value, key.as_bytes(), b"value-bytes-128");
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let spec = KernelInputSpec {
+        n_inputs: 2,
+        value_len: 512,
+        entries_per_input: 4_000,
+        ..Default::default()
+    };
+    let env = MemEnv::new();
+    let bytes: u64 = build_kernel_inputs(&env, &spec).iter().map(|i| i.bytes()).sum();
+
+    let mut g = c.benchmark_group("compaction");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("cpu_engine_4MB", |b| {
+        b.iter_batched(
+            || (build_kernel_inputs(&env, &spec), MemFactory::new(env.clone())),
+            |(inputs, factory)| {
+                CpuCompactionEngine.compact(&kernel_request(inputs), &factory).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let engine = Arc::new(FcaeEngine::new(FcaeConfig::two_input()));
+    g.bench_function("fcae_engine_4MB", |b| {
+        let engine = Arc::clone(&engine);
+        b.iter_batched(
+            || (build_kernel_inputs(&env, &spec), MemFactory::new(env.clone())),
+            move |(inputs, factory)| {
+                engine.compact(&kernel_request(inputs), &factory).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snappy,
+    bench_crc32c,
+    bench_memtable,
+    bench_engines
+);
+criterion_main!(benches);

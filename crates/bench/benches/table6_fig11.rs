@@ -1,0 +1,67 @@
+//! **E4 — Table VI and Fig. 11**: end-to-end db_bench write throughput vs
+//! value length and V, via the system simulator (1 GB fills, 2-input
+//! engine, matching §VII-B2).
+
+use bench::{banner, fmt, paper, TablePrinter};
+use fcae::FcaeConfig;
+use systemsim::{EngineKind, SystemConfig, WriteSim};
+
+fn main() {
+    banner(
+        "E4 (Table VI + Fig. 11)",
+        "write throughput vs L_value and V (1 GB fillrandom, N=2)",
+    );
+
+    let data_bytes = 1_000_000_000u64;
+    let v_sweep = [8u32, 16, 32, 64];
+
+    let mut table = TablePrinter::new(&[
+        "L_value", "LevelDB", "(paper)", "V=8", "V=16", "V=32", "V=64", "(paper V=64)",
+    ]);
+    let mut ratio = TablePrinter::new(&["L_value", "V=8", "V=16", "V=32", "V=64"]);
+
+    let mut max_speedup = 0.0f64;
+    let mut speedups_by_value: Vec<f64> = Vec::new();
+    for &(value_len, paper_base, _p8, _p16, _p32, p64) in &paper::TABLE6 {
+        let cfg = SystemConfig { value_len, ..SystemConfig::default() };
+        let base = WriteSim::new(cfg, data_bytes).run();
+        let mut row = vec![
+            value_len.to_string(),
+            fmt(base.throughput_mb_s),
+            format!("({paper_base})"),
+        ];
+        let mut ratio_row = vec![value_len.to_string()];
+        let mut best = 0.0f64;
+        for &v in &v_sweep {
+            let fcae_cfg =
+                cfg.with_engine(EngineKind::Fcae(FcaeConfig::two_input().with_v(v)));
+            let fcae = WriteSim::new(fcae_cfg, data_bytes).run();
+            row.push(fmt(fcae.throughput_mb_s));
+            let s = fcae.throughput_mb_s / base.throughput_mb_s;
+            ratio_row.push(format!("{s:.2}x"));
+            best = best.max(s);
+            max_speedup = max_speedup.max(s);
+        }
+        row.push(format!("({p64})"));
+        table.row(&row);
+        ratio.row(&ratio_row);
+        speedups_by_value.push(best);
+    }
+
+    println!("\nTable VI — write throughput (MB/s):");
+    table.print();
+    println!("\nFig. 11 — FCAE speedup over LevelDB:");
+    ratio.print();
+    println!(
+        "\nmax speedup {max_speedup:.1}x (paper's headline: up to {:.1}x);",
+        paper::MAX_THROUGHPUT_SPEEDUP
+    );
+    println!(
+        "expected shape: speedup increases with value length ({})",
+        if speedups_by_value.windows(2).all(|w| w[1] >= w[0] * 0.9) {
+            "observed"
+        } else {
+            "NOT OBSERVED — check calibration"
+        }
+    );
+}

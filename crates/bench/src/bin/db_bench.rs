@@ -1,0 +1,185 @@
+//! `db_bench` — LevelDB's benchmark tool, re-implemented against the real
+//! store (not the simulator), with engine selection.
+//!
+//! ```sh
+//! db_bench --benchmarks fillseq,fillrandom,readrandom,overwrite \
+//!          --num 100000 --value-size 128 --engine fcae --n-inputs 9
+//! ```
+//!
+//! Unlike the simulator-backed benches (which model the paper's 2019
+//! hardware), this measures *this machine's* wall clock — useful for
+//! regression testing the real store and for comparing the functional
+//! engines' host-side costs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fcae::{FcaeConfig, FcaeEngine};
+use lsm::compaction::{CompactionEngine, CpuCompactionEngine};
+use lsm::{Db, Options};
+use simkit::SplitMix64;
+use workloads::{DbBenchWorkload, KeyFormat, ValueGenerator};
+
+struct Config {
+    benchmarks: Vec<String>,
+    num: u64,
+    value_size: usize,
+    key_size: usize,
+    engine: String,
+    n_inputs: usize,
+    db_path: PathBuf,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        benchmarks: vec!["fillseq".into(), "fillrandom".into(), "readrandom".into()],
+        num: 100_000,
+        value_size: 128,
+        key_size: 16,
+        engine: "cpu".into(),
+        n_inputs: 9,
+        db_path: std::env::temp_dir().join("fcae-db-bench"),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args.get(i).cloned().ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--benchmarks" => {
+                cfg.benchmarks = value.split(',').map(|s| s.to_string()).collect()
+            }
+            "--num" => cfg.num = value.parse().map_err(|e| format!("--num: {e}"))?,
+            "--value-size" => {
+                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
+            }
+            "--key-size" => {
+                cfg.key_size = value.parse().map_err(|e| format!("--key-size: {e}"))?
+            }
+            "--engine" => cfg.engine = value,
+            "--n-inputs" => {
+                cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?
+            }
+            "--db" => cfg.db_path = PathBuf::from(value),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+fn open_db(cfg: &Config) -> Db {
+    let _ = std::fs::remove_dir_all(&cfg.db_path);
+    let options = Options { slowdown_sleep: true, ..Default::default() };
+    let engine: Arc<dyn CompactionEngine> = match cfg.engine.as_str() {
+        "cpu" => Arc::new(CpuCompactionEngine),
+        "fcae" => {
+            let fc = if cfg.n_inputs > 2 {
+                FcaeConfig::nine_input().with_n(cfg.n_inputs)
+            } else {
+                FcaeConfig::two_input()
+            };
+            Arc::new(FcaeEngine::new(fc))
+        }
+        other => {
+            eprintln!("unknown engine {other}; using cpu");
+            Arc::new(CpuCompactionEngine)
+        }
+    };
+    Db::open_with_engine(&cfg.db_path, options, engine).expect("open db")
+}
+
+fn run_benchmark(name: &str, cfg: &Config, db: &Db) {
+    let kf = KeyFormat { key_len: cfg.key_size };
+    let mut values = ValueGenerator::new(301, 0.5);
+    let mut rng = SplitMix64::new(1234);
+    let pair_bytes = (cfg.key_size + cfg.value_size) as u64;
+
+    let workload = match name {
+        "fillseq" => DbBenchWorkload::FillSeq,
+        "fillrandom" => DbBenchWorkload::FillRandom,
+        "overwrite" => DbBenchWorkload::Overwrite,
+        "readrandom" => DbBenchWorkload::ReadRandom,
+        other => {
+            eprintln!("skipping unknown benchmark {other}");
+            return;
+        }
+    };
+
+    let start = Instant::now();
+    let mut found = 0u64;
+    for op in 0..cfg.num {
+        let k = workload.key_number(op, cfg.num, &mut rng);
+        let key = kf.format(k);
+        match workload {
+            DbBenchWorkload::ReadRandom => {
+                if db.get(&key).expect("get").is_some() {
+                    found += 1;
+                }
+            }
+            _ => db.put(&key, values.generate(cfg.value_size)).expect("put"),
+        }
+    }
+    if workload != DbBenchWorkload::ReadRandom {
+        db.flush().expect("flush");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let micros_per_op = elapsed * 1e6 / cfg.num as f64;
+    let mb_s = cfg.num as f64 * pair_bytes as f64 / elapsed / 1e6;
+    match workload {
+        DbBenchWorkload::ReadRandom => println!(
+            "{name:<12} : {micros_per_op:>9.3} micros/op; ({found} of {} found)",
+            cfg.num
+        ),
+        _ => println!("{name:<12} : {micros_per_op:>9.3} micros/op; {mb_s:>7.1} MB/s"),
+    }
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Keys: {} bytes each; Values: {} bytes each; Entries: {}; engine: {}",
+        cfg.key_size, cfg.value_size, cfg.num, cfg.engine
+    );
+    println!("------------------------------------------------");
+    let db = open_db(&cfg);
+    for b in cfg.benchmarks.clone() {
+        run_benchmark(&b, &cfg, &db);
+    }
+    let stats = db.stats();
+    println!("------------------------------------------------");
+    println!(
+        "flushes {} | engine compactions {} | sw fallbacks {} | trivial {}",
+        stats.flushes,
+        stats.engine_compactions,
+        stats.sw_fallback_compactions,
+        stats.trivial_moves
+    );
+    println!(
+        "compaction io {:.1} MB read / {:.1} MB written | stall {:?}",
+        stats.compaction_bytes_read as f64 / 1e6,
+        stats.compaction_bytes_written as f64 / 1e6,
+        stats.stall_time
+    );
+    if stats.modeled_kernel_time.as_nanos() > 0 {
+        println!(
+            "modeled device time: kernel {:?}, PCIe {:?}",
+            stats.modeled_kernel_time, stats.modeled_transfer_time
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cfg.db_path);
+}

@@ -1,0 +1,62 @@
+//! The paper's published numbers, transcribed for side-by-side reporting.
+
+/// Table V — compaction speed (MB/s): `(L_value, CPU, V=8, V=16, V=32, V=64)`.
+pub const TABLE5: [(usize, f64, f64, f64, f64, f64); 6] = [
+    (64, 5.3, 178.5, 164.5, 181.8, 175.8),
+    (128, 6.9, 260.1, 312.1, 311.8, 291.7),
+    (256, 9.0, 343.9, 451.6, 510.7, 524.9),
+    (512, 12.2, 446.9, 627.9, 672.8, 745.4),
+    (1024, 14.8, 448.5, 739.5, 896.7, 1026.3),
+    (2048, 13.3, 506.3, 709.0, 1077.4, 1205.6),
+];
+
+/// Table VI — db_bench write throughput (MB/s):
+/// `(L_value, LevelDB, V=8, V=16, V=32, V=64)`.
+pub const TABLE6: [(usize, f64, f64, f64, f64, f64); 6] = [
+    (64, 2.4, 5.6, 5.4, 5.6, 5.4),
+    (128, 2.9, 6.5, 7.7, 7.6, 7.6),
+    (256, 2.5, 5.8, 7.1, 7.2, 7.2),
+    (512, 2.8, 6.0, 9.1, 9.6, 9.3),
+    (1024, 2.3, 6.7, 9.8, 11.0, 11.6),
+    (2048, 2.3, 10.9, 12.3, 14.1, 14.4),
+];
+
+/// Table VII — resource utilization (%): `(N, W_in, V, BRAM, FF, LUT)`.
+pub const TABLE7: [(usize, u32, u32, f64, f64, f64); 6] = [
+    (2, 64, 16, 18.0, 10.0, 72.0),
+    (2, 64, 8, 17.0, 9.0, 63.0),
+    (9, 64, 8, 35.0, 27.0, 206.0),
+    (9, 16, 16, 30.0, 18.0, 125.0),
+    (9, 16, 8, 26.0, 16.0, 103.0),
+    (9, 8, 8, 25.0, 14.0, 84.0),
+];
+
+/// Table VIII — PCIe transfer time share (%): `(data GB, percent)`.
+/// The paper lists 11 sizes from 0.2 GB to 1024 GB; `<1` is stored as 0.5.
+pub const TABLE8: [(f64, f64); 11] = [
+    (0.2, 9.0),
+    (2.0, 7.0),
+    (4.0, 8.0),
+    (8.0, 8.0),
+    (16.0, 6.0),
+    (32.0, 6.0),
+    (64.0, 3.0),
+    (128.0, 2.0),
+    (256.0, 1.0),
+    (512.0, 0.5),
+    (1024.0, 0.5),
+];
+
+/// Fig. 14's reported asymptote: LevelDB-FCAE speedup settles around 2.5x
+/// at very large data sizes.
+pub const FIG14_STEADY_SPEEDUP: f64 = 2.5;
+
+/// Fig. 16's headline: maximum YCSB speedup (Load) is 2.2x.
+pub const FIG16_MAX_SPEEDUP: f64 = 2.2;
+
+/// Fig. 15(c): block-size insensitivity — the ratio stays ~2.4x.
+pub const FIG15C_RATIO: f64 = 2.4;
+
+/// Headline claims (§I).
+pub const MAX_KERNEL_ACCELERATION: f64 = 92.0;
+pub const MAX_THROUGHPUT_SPEEDUP: f64 = 6.4;

@@ -1,0 +1,175 @@
+//! Comparer stage: Key Compare + Validity Check (paper §V-A).
+//!
+//! Key Compare selects the smallest internal key across the N decoded
+//! streams. Validity Check inspects the selected key's mark fields: an
+//! entry shadowed by a newer version of the same user key, or a deletion
+//! tombstone compacting into the bottom level, is flagged `Drop`; the
+//! Key-Value Transfer stage then discards its streams instead of
+//! forwarding them to the Encoder. The drop rules are shared with the
+//! software engine via [`lsm::compaction::DropFilter`] — by construction
+//! both engines keep exactly the same entries.
+
+use sstable::comparator::{Comparator, InternalKeyComparator};
+
+use crate::decoder::InputDecoder;
+
+pub use lsm::compaction::DropFilter;
+
+/// The Comparer's per-selection output: which input holds the smallest
+/// key, and whether the validity check passed (paper: the `Input No.` and
+/// `Drop` flags sent to Key-Value Transfer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Index of the winning input.
+    pub input_no: usize,
+    /// True if the entry must be dropped.
+    pub drop: bool,
+}
+
+/// N-way smallest-key selection with validity checking.
+pub struct Comparer {
+    icmp: InternalKeyComparator,
+    filter: DropFilter,
+    /// Selections made (for stats).
+    pub selections: u64,
+    /// Entries flagged invalid.
+    pub dropped: u64,
+}
+
+impl Comparer {
+    /// Creates a comparer with the given drop rules.
+    pub fn new(filter: DropFilter) -> Self {
+        Comparer {
+            icmp: InternalKeyComparator::default(),
+            filter,
+            selections: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Selects the input with the smallest current key and checks its
+    /// validity. Returns `None` when every stream is exhausted.
+    ///
+    /// Internal keys are unique (unique sequence numbers), so no
+    /// tie-breaking is needed; newest-first input ordering is still the
+    /// convention, matching the host-side input construction.
+    pub fn select(&mut self, decoders: &[InputDecoder<'_>]) -> Option<Selection> {
+        let mut winner: Option<usize> = None;
+        for (i, d) in decoders.iter().enumerate() {
+            if !d.valid() {
+                continue;
+            }
+            match winner {
+                None => winner = Some(i),
+                Some(w) => {
+                    if self.icmp.compare(d.key(), decoders[w].key())
+                        == std::cmp::Ordering::Less
+                    {
+                        winner = Some(i);
+                    }
+                }
+            }
+        }
+        let input_no = winner?;
+        self.selections += 1;
+        let drop = self.filter.should_drop(decoders[input_no].key());
+        if drop {
+            self.dropped += 1;
+        }
+        Some(Selection { input_no, drop })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::build_input_image;
+    use lsm::compaction::CompactionInput;
+    use sstable::env::{MemEnv, StorageEnv};
+    use sstable::ikey::{parse_internal_key, InternalKey, ValueType};
+    use sstable::table::{Table, TableReadOptions};
+    use sstable::table_builder::{TableBuilder, TableBuilderOptions};
+    use std::path::Path;
+    use std::sync::Arc;
+
+    fn build_table(
+        env: &MemEnv,
+        path: &str,
+        entries: &[(&str, u64, ValueType, &str)],
+    ) -> Arc<Table> {
+        let opts = TableBuilderOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            ..Default::default()
+        };
+        let f = env.create_writable(Path::new(path)).unwrap();
+        let mut b = TableBuilder::new(opts, f);
+        for (k, seq, t, v) in entries {
+            let key = InternalKey::new(k.as_bytes(), *seq, *t);
+            b.add(key.encoded(), v.as_bytes()).unwrap();
+        }
+        let size = b.finish().unwrap();
+        let file = env.open_random_access(Path::new(path)).unwrap();
+        let read_opts = TableReadOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            ..Default::default()
+        };
+        Table::open(file, size, read_opts).unwrap()
+    }
+
+    #[test]
+    fn selects_global_order_and_drops_shadowed() {
+        let env = MemEnv::new();
+        // Newer input: a@10 (update), c@11 (delete).
+        let t_new = build_table(
+            &env,
+            "/new",
+            &[("a", 10, ValueType::Value, "new-a"), ("c", 11, ValueType::Deletion, "")],
+        );
+        // Older input: a@3, b@4, c@5.
+        let t_old = build_table(
+            &env,
+            "/old",
+            &[
+                ("a", 3, ValueType::Value, "old-a"),
+                ("b", 4, ValueType::Value, "old-b"),
+                ("c", 5, ValueType::Value, "old-c"),
+            ],
+        );
+        let inputs = [
+            CompactionInput { tables: vec![t_new] },
+            CompactionInput { tables: vec![t_old] },
+        ];
+        let images: Vec<_> = inputs
+            .iter()
+            .map(|i| build_input_image(i, 64).unwrap())
+            .collect();
+        let mut decoders: Vec<_> =
+            images.iter().map(|im| crate::decoder::InputDecoder::new(im, 64)).collect();
+        for d in &mut decoders {
+            d.advance().unwrap();
+        }
+
+        // Bottom-level compaction, everything older than snapshot.
+        let mut cmp = Comparer::new(DropFilter::new(1000, true));
+        let mut kept = Vec::new();
+        let mut dropped = Vec::new();
+        while let Some(sel) = cmp.select(&decoders) {
+            let key = decoders[sel.input_no].key().to_vec();
+            let parsed = parse_internal_key(&key).unwrap();
+            let label = format!("{}@{}", String::from_utf8_lossy(parsed.user_key), parsed.sequence);
+            if sel.drop {
+                dropped.push(label);
+            } else {
+                kept.push(label);
+            }
+            decoders[sel.input_no].advance().unwrap();
+        }
+        assert_eq!(kept, ["a@10", "b@4"]);
+        // a@3 shadowed; c@11 tombstone at bottom; c@5 under tombstone.
+        assert_eq!(dropped, ["a@3", "c@11", "c@5"]);
+        assert_eq!(cmp.selections, 5);
+        assert_eq!(cmp.dropped, 3);
+    }
+}

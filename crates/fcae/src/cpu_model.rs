@@ -1,0 +1,144 @@
+//! Calibrated model of the paper's CPU compaction baseline.
+//!
+//! The paper measures single-thread LevelDB v1.1 compaction on an
+//! i7-8700K at 5.3–14.8 MB/s (Table V, CPU column). A 2026 Rust merge is
+//! over an order of magnitude faster, so reproducing the paper's
+//! *acceleration ratios* requires modeling the baseline the authors
+//! actually measured. The model is a per-pair cost
+//!
+//! ```text
+//! T_pair = C_FIX
+//!        + C_KEY   · L_key · max(1, ⌈log2 N⌉)   (merge compares)
+//!        + C_CHILD · max(0, N − 2)               (linear child scan)
+//!        + C_VALUE · L_value                     (value movement + snappy)
+//!        + C_CACHE · max(0, L_value − 1 KiB)     (LLC-miss penalty)
+//! ```
+//!
+//! with constants least-squares fitted to the six published CPU cells:
+//! `C_FIX = 10 µs`, `C_KEY = 0.125 µs/B`, `C_VALUE = 0.056 µs/B`,
+//! `C_CACHE = 0.027 µs/B`. The fit reproduces every cell within ~15%
+//! (exactly at both ends, 5.3 and 14.8 MB/s — see EXPERIMENTS.md), and
+//! in particular the paper's speed *drop* at `L_value = 2048`.
+//!
+//! The native Rust merge is still measured and reported separately by the
+//! benches; this model exists so that ratios are comparable to the paper.
+
+/// Fixed per-pair cost in microseconds (iterator dispatch, allocator,
+/// block-builder bookkeeping in 2019-era LevelDB).
+pub const C_FIX_US: f64 = 10.0;
+/// Cost per internal-key byte in microseconds (heap compares).
+pub const C_KEY_US_PER_BYTE: f64 = 0.125;
+/// Cost per value byte in microseconds (copies + snappy en/decode).
+pub const C_VALUE_US_PER_BYTE: f64 = 0.056;
+/// Additional cost per value byte beyond 1 KiB (cache-miss penalty; the
+/// paper's CPU speed visibly drops at 2 KiB values).
+pub const C_CACHE_US_PER_BYTE: f64 = 0.027;
+/// Cache penalty threshold.
+pub const CACHE_THRESHOLD_BYTES: usize = 1024;
+/// Per-entry cost of each merge input beyond two. LevelDB's
+/// `MergingIterator` performs a *linear* scan over all N children on every
+/// `Next()` (plus N virtual calls), so a 9-way software merge is
+/// substantially slower per entry than a 2-way one — this is why the
+/// paper's Fig. 13 shows the 9-input engine achieving an even larger
+/// acceleration ratio despite its lower absolute speed.
+pub const C_CHILD_US: f64 = 0.8;
+
+/// The CPU baseline cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCostModel {
+    /// Number of merge inputs (affects compare depth).
+    pub n_inputs: usize,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel { n_inputs: 2 }
+    }
+}
+
+impl CpuCostModel {
+    /// A model for an `n`-way merge.
+    pub fn new(n_inputs: usize) -> Self {
+        CpuCostModel { n_inputs: n_inputs.max(2) }
+    }
+
+    /// Modeled time to process one pair, in seconds. `key_len` is the
+    /// internal key length (user key + 8 mark bytes).
+    pub fn pair_time_sec(&self, key_len: usize, value_len: usize) -> f64 {
+        let compare_depth = (self.n_inputs as f64).log2().ceil().max(1.0);
+        let us = C_FIX_US
+            + C_KEY_US_PER_BYTE * key_len as f64 * compare_depth
+            + C_CHILD_US * (self.n_inputs.saturating_sub(2)) as f64
+            + C_VALUE_US_PER_BYTE * value_len as f64
+            + C_CACHE_US_PER_BYTE
+                * value_len.saturating_sub(CACHE_THRESHOLD_BYTES) as f64;
+        us * 1e-6
+    }
+
+    /// Modeled compaction speed in MB/s for uniform pairs (the paper's
+    /// Table V metric: input bytes / kernel time).
+    pub fn compaction_speed_mb_s(&self, key_len: usize, value_len: usize) -> f64 {
+        let pair_bytes = (key_len + value_len) as f64;
+        pair_bytes / self.pair_time_sec(key_len, value_len) / 1e6
+    }
+
+    /// Modeled time to compact `bytes` of uniform-pair data, in seconds.
+    pub fn compaction_time_sec(&self, bytes: u64, key_len: usize, value_len: usize) -> f64 {
+        let pair_bytes = (key_len + value_len) as f64;
+        let pairs = bytes as f64 / pair_bytes;
+        pairs * self.pair_time_sec(key_len, value_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: usize = 24;
+
+    #[test]
+    fn reproduces_table5_cpu_column() {
+        // (L_value, paper MB/s). Tolerance 20% per cell.
+        let paper = [
+            (64usize, 5.3),
+            (128, 6.9),
+            (256, 9.0),
+            (512, 12.2),
+            (1024, 14.8),
+            (2048, 13.3),
+        ];
+        let m = CpuCostModel::new(2);
+        for (lv, expected) in paper {
+            let got = m.compaction_speed_mb_s(K, lv);
+            let ratio = got / expected;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "L_value={lv}: model {got:.2} vs paper {expected} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn speed_drops_past_cache_threshold() {
+        // The distinctive non-monotonicity at 2 KiB values.
+        let m = CpuCostModel::new(2);
+        let at_1k = m.compaction_speed_mb_s(K, 1024);
+        let at_2k = m.compaction_speed_mb_s(K, 2048);
+        assert!(at_2k < at_1k, "expected drop: {at_1k:.2} -> {at_2k:.2}");
+    }
+
+    #[test]
+    fn more_inputs_cost_more() {
+        let two = CpuCostModel::new(2);
+        let nine = CpuCostModel::new(9);
+        assert!(nine.pair_time_sec(K, 128) > two.pair_time_sec(K, 128));
+    }
+
+    #[test]
+    fn time_scales_linearly_with_bytes() {
+        let m = CpuCostModel::new(2);
+        let t1 = m.compaction_time_sec(1 << 20, K, 128);
+        let t2 = m.compaction_time_sec(2 << 20, K, 128);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

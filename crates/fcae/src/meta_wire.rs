@@ -1,0 +1,194 @@
+//! Byte-level wire format for MetaIn / MetaOut (paper Fig. 8).
+//!
+//! The paper specifies these as raw memory regions the host and device
+//! exchange, not as host data structures; this module provides the
+//! encoding used across the simulated PCIe boundary, so the "device" side
+//! parses exactly what the host laid out.
+//!
+//! ```text
+//! MetaIn  region:  u32 sstable_count
+//!                  per sstable: u64 index_offset | u64 index_len |
+//!                               u64 data_offset
+//! MetaOut region:  u32 table_count
+//!                  per table:   u64 data_bytes | u64 entries |
+//!                               u32 smallest_len | smallest bytes |
+//!                               u32 largest_len  | largest bytes
+//! ```
+//!
+//! All integers little-endian, matching the AXI bus convention.
+
+use crate::memory::{MetaIn, MetaOutTable, SstableMeta};
+use crate::Result;
+
+fn corruption(msg: &str) -> lsm::Error {
+    lsm::Error::Corruption(format!("meta region: {msg}"))
+}
+
+fn take<'a>(src: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+    if src.len() < n {
+        return Err(corruption(what));
+    }
+    let (head, rest) = src.split_at(n);
+    *src = rest;
+    Ok(head)
+}
+
+fn read_u32(src: &mut &[u8], what: &str) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(src, 4, what)?.try_into().expect("4 bytes")))
+}
+
+fn read_u64(src: &mut &[u8], what: &str) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(src, 8, what)?.try_into().expect("8 bytes")))
+}
+
+/// Encodes a MetaIn region.
+pub fn encode_meta_in(meta: &MetaIn) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + meta.sstables.len() * 24);
+    out.extend_from_slice(&(meta.sstables.len() as u32).to_le_bytes());
+    for s in &meta.sstables {
+        out.extend_from_slice(&s.index_offset.to_le_bytes());
+        out.extend_from_slice(&s.index_len.to_le_bytes());
+        out.extend_from_slice(&s.data_offset.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a MetaIn region.
+pub fn decode_meta_in(mut src: &[u8]) -> Result<MetaIn> {
+    let count = read_u32(&mut src, "sstable count")? as usize;
+    // A device image never holds more tables than fit in its DRAM.
+    if count > 1 << 20 {
+        return Err(corruption("implausible sstable count"));
+    }
+    let mut sstables = Vec::with_capacity(count);
+    for _ in 0..count {
+        sstables.push(SstableMeta {
+            index_offset: read_u64(&mut src, "index offset")?,
+            index_len: read_u64(&mut src, "index len")?,
+            data_offset: read_u64(&mut src, "data offset")?,
+        });
+    }
+    if !src.is_empty() {
+        return Err(corruption("trailing bytes"));
+    }
+    Ok(MetaIn { sstables })
+}
+
+/// Encodes a MetaOut region.
+pub fn encode_meta_out(tables: &[MetaOutTable]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for t in tables {
+        out.extend_from_slice(&t.data_bytes.to_le_bytes());
+        out.extend_from_slice(&t.entries.to_le_bytes());
+        out.extend_from_slice(&(t.smallest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&t.smallest);
+        out.extend_from_slice(&(t.largest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&t.largest);
+    }
+    out
+}
+
+/// Decodes a MetaOut region.
+pub fn decode_meta_out(mut src: &[u8]) -> Result<Vec<MetaOutTable>> {
+    let count = read_u32(&mut src, "table count")? as usize;
+    if count > 1 << 20 {
+        return Err(corruption("implausible table count"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let data_bytes = read_u64(&mut src, "data bytes")?;
+        let entries = read_u64(&mut src, "entries")?;
+        let slen = read_u32(&mut src, "smallest len")? as usize;
+        let smallest = take(&mut src, slen, "smallest key")?.to_vec();
+        let llen = read_u32(&mut src, "largest len")? as usize;
+        let largest = take(&mut src, llen, "largest key")?.to_vec();
+        out.push(MetaOutTable { smallest, largest, entries, data_bytes });
+    }
+    if !src.is_empty() {
+        return Err(corruption("trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_in() -> MetaIn {
+        MetaIn {
+            sstables: vec![
+                SstableMeta { index_offset: 0, index_len: 512, data_offset: 0 },
+                SstableMeta { index_offset: 512, index_len: 4096, data_offset: 65536 },
+            ],
+        }
+    }
+
+    #[test]
+    fn meta_in_roundtrip() {
+        let m = sample_in();
+        let enc = encode_meta_in(&m);
+        let dec = decode_meta_in(&enc).unwrap();
+        assert_eq!(dec.sstables.len(), 2);
+        assert_eq!(dec.sstables[1].index_len, 4096);
+        assert_eq!(dec.sstables[1].data_offset, 65536);
+
+        let empty = decode_meta_in(&encode_meta_in(&MetaIn::default())).unwrap();
+        assert!(empty.sstables.is_empty());
+    }
+
+    #[test]
+    fn meta_out_roundtrip() {
+        let tables = vec![
+            MetaOutTable {
+                smallest: b"aaa".to_vec(),
+                largest: b"mmm".to_vec(),
+                entries: 1000,
+                data_bytes: 2 << 20,
+            },
+            MetaOutTable {
+                smallest: b"n".to_vec(),
+                largest: vec![0xffu8; 300],
+                entries: 7,
+                data_bytes: 4096,
+            },
+        ];
+        let dec = decode_meta_out(&encode_meta_out(&tables)).unwrap();
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec[0].entries, 1000);
+        assert_eq!(dec[1].largest.len(), 300);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let enc = encode_meta_in(&sample_in());
+        for cut in 0..enc.len() {
+            assert!(decode_meta_in(&enc[..cut]).is_err(), "cut {cut}");
+        }
+        let tables = vec![MetaOutTable {
+            smallest: b"k".to_vec(),
+            largest: b"z".to_vec(),
+            entries: 1,
+            data_bytes: 10,
+        }];
+        let enc = encode_meta_out(&tables);
+        for cut in 0..enc.len() {
+            assert!(decode_meta_out(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = encode_meta_in(&sample_in());
+        enc.push(0);
+        assert!(decode_meta_in(&enc).is_err());
+    }
+
+    #[test]
+    fn implausible_counts_rejected() {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_meta_in(&enc).is_err());
+        assert!(decode_meta_out(&enc).is_err());
+    }
+}

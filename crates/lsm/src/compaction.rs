@@ -1,0 +1,436 @@
+//! Compaction execution: the [`CompactionEngine`] abstraction the paper's
+//! architecture introduces (Fig. 6), plus the software (CPU) engine.
+//!
+//! The DB builds a [`CompactionRequest`] describing the inputs exactly the
+//! way the paper's host side does (§IV step 2): for level 0 every SSTable
+//! is its own input because key ranges overlap; for deeper levels the
+//! sorted, disjoint run of SSTables is concatenated into a single input.
+//! The engine merges the inputs and produces new SSTables; whether that
+//! happens on the CPU or on the (simulated) FPGA is the paper's entire
+//! subject.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sstable::comparator::{Comparator, InternalKeyComparator};
+use sstable::env::WritableFile;
+use sstable::ikey::{parse_internal_key, InternalKey, SequenceNumber, ValueType};
+use sstable::iterator::{InternalIterator, MergingIterator};
+use sstable::table::Table;
+use sstable::table_builder::{TableBuilder, TableBuilderOptions};
+
+use crate::{Error, Result};
+
+/// One merge input: a run of tables that is internally sorted and
+/// disjoint (a single table for L0 inputs; the whole level-i+1 overlap
+/// run otherwise).
+pub struct CompactionInput {
+    /// Tables in ascending key order.
+    pub tables: Vec<Arc<Table>>,
+}
+
+impl CompactionInput {
+    /// Total bytes across the input's tables.
+    pub fn bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.file_size()).sum()
+    }
+}
+
+/// Everything an engine needs to execute one compaction.
+pub struct CompactionRequest {
+    /// Merge inputs (the paper's `N`).
+    pub inputs: Vec<CompactionInput>,
+    /// Entries at or below this sequence that are shadowed by newer
+    /// entries for the same user key can be dropped.
+    pub smallest_snapshot: SequenceNumber,
+    /// True when the output level is the bottommost level containing this
+    /// key range: deletion tombstones themselves can then be dropped.
+    pub bottommost: bool,
+    /// Output table shape.
+    pub builder_options: TableBuilderOptions,
+    /// Target output file size (paper §V-A: e.g. 2 MiB).
+    pub max_output_file_size: u64,
+}
+
+/// Metadata of one produced table.
+#[derive(Debug, Clone)]
+pub struct OutputTableMeta {
+    /// File number assigned by the factory.
+    pub number: u64,
+    /// Final file size.
+    pub file_size: u64,
+    /// Smallest internal key written.
+    pub smallest: InternalKey,
+    /// Largest internal key written.
+    pub largest: InternalKey,
+    /// Entries written.
+    pub entries: u64,
+}
+
+/// What a compaction produced, plus accounting the experiments report.
+#[derive(Debug, Default)]
+pub struct CompactionOutcome {
+    /// Output tables, in key order.
+    pub outputs: Vec<OutputTableMeta>,
+    /// Bytes read from inputs.
+    pub bytes_read: u64,
+    /// Bytes written to outputs.
+    pub bytes_written: u64,
+    /// Entries dropped (shadowed or tombstoned).
+    pub entries_dropped: u64,
+    /// Entries written.
+    pub entries_written: u64,
+    /// Wall-clock execution time of the engine.
+    pub wall_time: Duration,
+    /// For simulated engines: the modeled device kernel time. The system
+    /// simulator charges this, not `wall_time`.
+    pub modeled_kernel_time: Option<Duration>,
+    /// For offloaded engines: modeled host<->device transfer time.
+    pub modeled_transfer_time: Option<Duration>,
+}
+
+/// Allocates output files for an engine.
+pub trait OutputFileFactory: Send + Sync {
+    /// Creates a new output table file, returning its number and writer.
+    fn new_output(&self) -> Result<(u64, Box<dyn WritableFile>)>;
+}
+
+/// Executes compactions; implemented by the CPU merge here and by the
+/// simulated FPGA engine in the `fcae` crate.
+pub trait CompactionEngine: Send + Sync {
+    /// Engine name for logs and stats.
+    fn name(&self) -> &str;
+    /// Maximum number of inputs the engine accepts (the paper's `N`);
+    /// requests with more inputs fall back to software (Fig. 6).
+    fn max_inputs(&self) -> usize;
+    /// Runs the compaction.
+    fn compact(
+        &self,
+        req: &CompactionRequest,
+        out: &dyn OutputFileFactory,
+    ) -> Result<CompactionOutcome>;
+}
+
+/// Iterates a run of internally-sorted, disjoint tables back to back.
+pub struct ChainIterator {
+    tables: Vec<Arc<Table>>,
+    current: Option<(usize, sstable::table::TableIterator)>,
+}
+
+impl ChainIterator {
+    /// Creates an iterator over `tables` (ascending key order).
+    pub fn new(tables: Vec<Arc<Table>>) -> Self {
+        ChainIterator { tables, current: None }
+    }
+
+    fn set_table(&mut self, idx: usize) -> bool {
+        if idx >= self.tables.len() {
+            self.current = None;
+            return false;
+        }
+        self.current = Some((idx, self.tables[idx].iter()));
+        true
+    }
+}
+
+impl InternalIterator for ChainIterator {
+    fn valid(&self) -> bool {
+        self.current.as_ref().is_some_and(|(_, it)| it.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        let mut idx = 0;
+        while self.set_table(idx) {
+            let (_, it) = self.current.as_mut().unwrap();
+            it.seek_to_first();
+            if it.valid() {
+                return;
+            }
+            idx += 1;
+        }
+    }
+
+    fn seek_to_last(&mut self) {
+        let mut idx = self.tables.len();
+        while idx > 0 {
+            idx -= 1;
+            self.set_table(idx);
+            let (_, it) = self.current.as_mut().unwrap();
+            it.seek_to_last();
+            if it.valid() {
+                return;
+            }
+        }
+        self.current = None;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        // Tables are disjoint and ordered: scan for the first table whose
+        // contents can reach `target`, then seek within it.
+        let mut idx = 0;
+        while self.set_table(idx) {
+            let (_, it) = self.current.as_mut().unwrap();
+            it.seek(target);
+            if it.valid() {
+                return;
+            }
+            idx += 1;
+        }
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        let (idx, it) = self.current.as_mut().unwrap();
+        let idx = *idx;
+        it.next();
+        if !it.valid() {
+            let mut next_idx = idx + 1;
+            while self.set_table(next_idx) {
+                let (_, it) = self.current.as_mut().unwrap();
+                it.seek_to_first();
+                if it.valid() {
+                    return;
+                }
+                next_idx += 1;
+            }
+        }
+    }
+
+    fn prev(&mut self) {
+        debug_assert!(self.valid());
+        let (idx, it) = self.current.as_mut().unwrap();
+        let idx = *idx;
+        it.prev();
+        if !it.valid() {
+            let mut prev_idx = idx;
+            while prev_idx > 0 {
+                prev_idx -= 1;
+                self.set_table(prev_idx);
+                let (_, it) = self.current.as_mut().unwrap();
+                it.seek_to_last();
+                if it.valid() {
+                    return;
+                }
+            }
+            self.current = None;
+        }
+    }
+
+    fn key(&self) -> &[u8] {
+        self.current.as_ref().expect("key on invalid iterator").1.key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.current.as_ref().expect("value on invalid iterator").1.value()
+    }
+
+    fn status(&self) -> sstable::Result<()> {
+        match &self.current {
+            Some((_, it)) => it.status(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Decides, entry by entry, whether a merged internal key survives
+/// compaction. This implements LevelDB's `DoCompactionWork` drop rules and
+/// is the exact contract the paper's *Validity Check* module enforces in
+/// hardware, so both engines share it.
+pub struct DropFilter {
+    smallest_snapshot: SequenceNumber,
+    bottommost: bool,
+    last_user_key: Option<Vec<u8>>,
+    /// Sequence of the previous (newer) entry for the current user key;
+    /// `None` on the first occurrence of a key.
+    prev_sequence_for_key: Option<SequenceNumber>,
+}
+
+impl DropFilter {
+    /// Creates the filter for one compaction.
+    pub fn new(smallest_snapshot: SequenceNumber, bottommost: bool) -> Self {
+        DropFilter {
+            smallest_snapshot,
+            bottommost,
+            last_user_key: None,
+            prev_sequence_for_key: None,
+        }
+    }
+
+    /// Returns true if the entry with internal key `ikey` must be dropped.
+    /// Must be called in merged key order.
+    pub fn should_drop(&mut self, ikey: &[u8]) -> bool {
+        let Some(parsed) = parse_internal_key(ikey) else {
+            // Unparseable keys are passed through so corruption stays
+            // visible downstream rather than silently vanishing.
+            self.last_user_key = None;
+            self.prev_sequence_for_key = None;
+            return false;
+        };
+        let first_occurrence = match &self.last_user_key {
+            Some(last) => last.as_slice() != parsed.user_key,
+            None => true,
+        };
+        if first_occurrence {
+            self.last_user_key = Some(parsed.user_key.to_vec());
+            self.prev_sequence_for_key = None;
+        }
+
+        let drop = match self.prev_sequence_for_key {
+            // A newer entry for this user key is already visible at the
+            // oldest snapshot: this one is shadowed.
+            Some(prev) if prev <= self.smallest_snapshot => true,
+            _ => {
+                parsed.value_type == ValueType::Deletion
+                    && parsed.sequence <= self.smallest_snapshot
+                    && self.bottommost
+            }
+        };
+        self.prev_sequence_for_key = Some(parsed.sequence);
+        drop
+    }
+}
+
+/// The software baseline: a single-threaded merge through the standard
+/// iterator stack, building standard tables (what LevelDB's background
+/// thread does on the CPU).
+pub struct CpuCompactionEngine;
+
+impl CompactionEngine for CpuCompactionEngine {
+    fn name(&self) -> &str {
+        "cpu"
+    }
+
+    fn max_inputs(&self) -> usize {
+        usize::MAX
+    }
+
+    fn compact(
+        &self,
+        req: &CompactionRequest,
+        out: &dyn OutputFileFactory,
+    ) -> Result<CompactionOutcome> {
+        let start = Instant::now();
+        let icmp: Arc<dyn Comparator> = Arc::new(InternalKeyComparator::default());
+        let children: Vec<Box<dyn InternalIterator>> = req
+            .inputs
+            .iter()
+            .map(|input| {
+                Box::new(ChainIterator::new(input.tables.clone()))
+                    as Box<dyn InternalIterator>
+            })
+            .collect();
+        let mut merger = MergingIterator::new(children, icmp);
+        merger.seek_to_first();
+
+        let mut outcome = CompactionOutcome {
+            bytes_read: req.inputs.iter().map(|i| i.bytes()).sum(),
+            ..Default::default()
+        };
+        let mut filter = DropFilter::new(req.smallest_snapshot, req.bottommost);
+        let mut builder: Option<(u64, TableBuilder)> = None;
+        let mut smallest: Option<InternalKey> = None;
+        let mut largest = InternalKey::default();
+
+        while merger.valid() {
+            let key = merger.key();
+            if filter.should_drop(key) {
+                outcome.entries_dropped += 1;
+                merger.next();
+                continue;
+            }
+            if builder.is_none() {
+                let (number, file) = out.new_output()?;
+                builder = Some((
+                    number,
+                    TableBuilder::new(req.builder_options.clone(), file),
+                ));
+                smallest = Some(InternalKey::from_encoded(key.to_vec()));
+            }
+            let (_, b) = builder.as_mut().expect("builder initialized above");
+            b.add(key, merger.value())?;
+            outcome.entries_written += 1;
+            largest = InternalKey::from_encoded(key.to_vec());
+            if b.file_size() >= req.max_output_file_size {
+                let (number, mut b) =
+                    builder.take().expect("builder present when splitting");
+                let entries = b.num_entries();
+                let size = b.finish()?;
+                outcome.bytes_written += size;
+                outcome.outputs.push(OutputTableMeta {
+                    number,
+                    file_size: size,
+                    smallest: smallest.take().expect("smallest set with builder"),
+                    largest: largest.clone(),
+                    entries,
+                });
+            }
+            merger.next();
+        }
+        merger.status().map_err(Error::from)?;
+
+        if let Some((number, mut b)) = builder.take() {
+            let entries = b.num_entries();
+            let size = b.finish()?;
+            outcome.bytes_written += size;
+            outcome.outputs.push(OutputTableMeta {
+                number,
+                file_size: size,
+                smallest: smallest.take().expect("smallest set with builder"),
+                largest,
+                entries,
+            });
+        }
+        outcome.wall_time = start.elapsed();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstable::ikey::MAX_SEQUENCE_NUMBER;
+
+    fn ik(user: &str, seq: u64, t: ValueType) -> Vec<u8> {
+        InternalKey::new(user.as_bytes(), seq, t).encoded().to_vec()
+    }
+
+    #[test]
+    fn drop_filter_keeps_newest_visible_version() {
+        let mut f = DropFilter::new(MAX_SEQUENCE_NUMBER, false);
+        // Two versions of "a": newest kept, older shadowed.
+        assert!(!f.should_drop(&ik("a", 10, ValueType::Value)));
+        assert!(f.should_drop(&ik("a", 5, ValueType::Value)));
+        assert!(f.should_drop(&ik("a", 1, ValueType::Value)));
+        // New user key resets.
+        assert!(!f.should_drop(&ik("b", 3, ValueType::Value)));
+    }
+
+    #[test]
+    fn drop_filter_respects_snapshots() {
+        // Snapshot at sequence 7: versions above 7 do not shadow those
+        // at/below 7 until one at/below 7 is seen.
+        let mut f = DropFilter::new(7, false);
+        assert!(!f.should_drop(&ik("a", 10, ValueType::Value))); // visible now
+        assert!(!f.should_drop(&ik("a", 6, ValueType::Value))); // visible at snapshot 7
+        assert!(f.should_drop(&ik("a", 2, ValueType::Value))); // shadowed by seq 6
+    }
+
+    #[test]
+    fn tombstones_dropped_only_at_bottom() {
+        let mut f = DropFilter::new(MAX_SEQUENCE_NUMBER, false);
+        assert!(!f.should_drop(&ik("a", 5, ValueType::Deletion)));
+
+        let mut f = DropFilter::new(MAX_SEQUENCE_NUMBER, true);
+        assert!(f.should_drop(&ik("a", 5, ValueType::Deletion)));
+        // The value under the tombstone is shadowed regardless.
+        assert!(f.should_drop(&ik("a", 3, ValueType::Value)));
+    }
+
+    #[test]
+    fn tombstone_above_snapshot_survives_even_at_bottom() {
+        let mut f = DropFilter::new(4, true);
+        assert!(!f.should_drop(&ik("a", 9, ValueType::Deletion)));
+        // Version visible at the snapshot survives under it.
+        assert!(!f.should_drop(&ik("a", 3, ValueType::Value)));
+    }
+}

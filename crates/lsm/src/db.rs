@@ -1,0 +1,1091 @@
+//! The database: write path (WAL + memtable + stall logic), read path
+//! (memtable → immutable memtable → levels), flushes, and the background
+//! compaction scheduler of the paper's Fig. 6.
+//!
+//! Scheduling follows LevelDB v1.x: one background thread handles both
+//! memtable flushes and SSTable compactions. When the configured
+//! [`CompactionEngine`] is an offload engine (the FPGA), the paper's key
+//! scheduling change applies: a flush may proceed *concurrently* with an
+//! in-flight offloaded compaction (`Db::flush_during_offload`), because
+//! the host CPU is idle while the device merges.
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+
+use parking_lot::{Condvar, Mutex};
+use sstable::comparator::InternalKeyComparator;
+use sstable::env::WritableFile;
+use sstable::ikey::{
+    parse_internal_key, InternalKey, LookupKey, ValueType,
+};
+use sstable::iterator::InternalIterator;
+use sstable::table_builder::TableBuilder;
+
+use crate::compaction::{
+    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine,
+    OutputFileFactory,
+};
+use crate::filename::{log_file_name, parse_file_name, table_file_name, FileType};
+use crate::memtable::{MemGet, MemTable};
+use crate::options::{
+    Options, ReadOptions, WriteOptions, L0_SLOWDOWN_WRITES_TRIGGER,
+    L0_STOP_WRITES_TRIGGER, NUM_LEVELS,
+};
+use crate::table_cache::TableCache;
+use crate::version::{FileMetaData, VersionEdit, VersionSet};
+use crate::wal::{LogReader, LogWriter};
+use crate::write_batch::{BatchOp, WriteBatch};
+use crate::{Error, Result};
+
+/// Aggregate statistics exposed for the experiments.
+#[derive(Debug, Default, Clone)]
+pub struct DbStats {
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions executed by the configured engine.
+    pub engine_compactions: u64,
+    /// Compactions that fell back to software (too many inputs).
+    pub sw_fallback_compactions: u64,
+    /// Trivial moves (file relinked down a level).
+    pub trivial_moves: u64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: u64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: u64,
+    /// Wall time spent inside compaction engines.
+    pub compaction_time: Duration,
+    /// Modeled device kernel time (offload engines only).
+    pub modeled_kernel_time: Duration,
+    /// Modeled PCIe transfer time (offload engines only).
+    pub modeled_transfer_time: Duration,
+    /// Time writers spent stalled or slowed.
+    pub stall_time: Duration,
+    /// Flushes that ran concurrently with an offloaded compaction.
+    pub concurrent_flushes: u64,
+    /// Write groups committed (group commit batches >= writes).
+    pub group_commits: u64,
+    /// Individual writes that were committed as part of a group.
+    pub grouped_writes: u64,
+    /// Shared block cache hits.
+    pub block_cache_hits: u64,
+    /// Shared block cache misses.
+    pub block_cache_misses: u64,
+}
+
+struct DbState {
+    mem: MemTable,
+    imm: Option<Arc<MemTable>>,
+    versions: VersionSet,
+    /// Number of the WAL backing the active memtable. `versions.log_number`
+    /// lags behind until the immutable memtable is flushed, so the old WAL
+    /// survives a crash that happens mid-flush.
+    log_file_number: u64,
+    bg_scheduled: bool,
+    bg_error: Option<String>,
+    /// True while an offloaded (non-CPU) compaction is executing.
+    offload_in_flight: bool,
+    /// Guards against two concurrent flushes.
+    flush_in_progress: bool,
+    /// Writers queued for group commit (front is the leader).
+    pending_writes: std::collections::VecDeque<PendingWrite>,
+    /// Manual compaction request: drain this level regardless of score.
+    force_compact_level: Option<usize>,
+    /// Outstanding snapshots: sequence -> refcount.
+    snapshots: BTreeMap<u64, u64>,
+    /// File numbers being written by an in-flight flush or compaction;
+    /// protected from obsolete-file GC until installed in a version
+    /// (LevelDB's `pending_outputs_`).
+    pending_outputs: HashSet<u64>,
+    stats: DbStats,
+}
+
+struct DbInner {
+    dir: PathBuf,
+    options: Options,
+    engine: Arc<dyn CompactionEngine>,
+    state: Mutex<DbState>,
+    /// The WAL has its own lock so the group-commit leader can append
+    /// (and fsync) without blocking readers or enqueueing writers.
+    /// Lock order: `state` may be acquired before `wal`, never after.
+    wal: Mutex<LogWriter>,
+    /// Signaled when a group commit completes (writers wait on `state`).
+    writers_cv: Condvar,
+    /// Signaled when background work completes.
+    work_done: Condvar,
+    /// Signaled to wake the background thread.
+    bg_work: Condvar,
+    table_cache: TableCache,
+    shutting_down: AtomicBool,
+    /// Monotonic write sequence; mirrors `versions.last_sequence` but is
+    /// readable without the big lock.
+    last_sequence: AtomicU64,
+}
+
+/// One queued writer awaiting group commit.
+struct PendingWrite {
+    /// Taken by the group leader during commit.
+    batch: Option<WriteBatch>,
+    sync: bool,
+    /// Filled with the commit outcome by the group leader.
+    result: Arc<Mutex<Option<Result<()>>>>,
+}
+
+/// A LevelDB-like key-value store.
+///
+/// Cloning the handle is cheap; the database shuts down when the last
+/// handle drops.
+pub struct Db {
+    inner: Arc<DbInner>,
+    bg_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Snapshot guard: reads through [`ReadOptions::snapshot`] at this
+/// sequence see a frozen view. Dropping releases the snapshot.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    /// The frozen sequence number.
+    pub sequence: u64,
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        if let Some(count) = state.snapshots.get_mut(&self.sequence) {
+            *count -= 1;
+            if *count == 0 {
+                state.snapshots.remove(&self.sequence);
+            }
+        }
+    }
+}
+
+impl Db {
+    /// Opens (creating if needed) a database in `dir` with the CPU engine.
+    pub fn open(dir: impl AsRef<Path>, options: Options) -> Result<Db> {
+        Self::open_with_engine(dir, options, Arc::new(CpuCompactionEngine))
+    }
+
+    /// Opens a database using `engine` for compaction execution.
+    pub fn open_with_engine(
+        dir: impl AsRef<Path>,
+        options: Options,
+        engine: Arc<dyn CompactionEngine>,
+    ) -> Result<Db> {
+        let dir = dir.as_ref().to_path_buf();
+        options.env.create_dir_all(&dir)?;
+
+        let mut versions = VersionSet::new(dir.clone(), options.clone());
+        let existed = versions.recover()?;
+
+        // Replay WALs newer than the recovered log number.
+        let mut max_sequence = versions.last_sequence;
+        let mut mem = MemTable::new(InternalKeyComparator::default());
+        if existed {
+            let mut log_numbers: Vec<u64> = options
+                .env
+                .list_dir(&dir)?
+                .iter()
+                .filter_map(|name| match parse_file_name(name) {
+                    Some(FileType::Log(n)) if n >= versions.log_number => Some(n),
+                    _ => None,
+                })
+                .collect();
+            log_numbers.sort_unstable();
+            for number in log_numbers {
+                let path = log_file_name(&dir, number);
+                let file = options.env.open_random_access(&path)?;
+                let mut reader = LogReader::new(file.as_ref())?;
+                while let Some(record) = reader.read_record() {
+                    let batch = WriteBatch::from_data(&record)?;
+                    let base = batch.sequence();
+                    batch.iterate(|op, seq| match op {
+                        BatchOp::Put { key, value } => {
+                            mem.add(seq, ValueType::Value, key, value)
+                        }
+                        BatchOp::Delete { key } => {
+                            mem.add(seq, ValueType::Deletion, key, &[])
+                        }
+                    })?;
+                    let last = base + u64::from(batch.count()).saturating_sub(1);
+                    max_sequence = max_sequence.max(last);
+                }
+            }
+        }
+        versions.last_sequence = max_sequence;
+
+        // Fresh WAL.
+        let log_number = versions.new_file_number();
+        let log_file = options.env.create_writable(&log_file_name(&dir, log_number))?;
+        let log = LogWriter::new(log_file);
+
+        // Recovered WAL data lives only in `mem`; advancing the manifest's
+        // log number would orphan it (the replayed logs become obsolete),
+        // so persist it as an L0 table first — LevelDB's
+        // `WriteLevel0Table` during recovery.
+        let mut edit = VersionEdit { log_number: Some(log_number), ..Default::default() };
+        if !mem.is_empty() {
+            let file_number = versions.new_file_number();
+            let imm = Arc::new(std::mem::replace(
+                &mut mem,
+                MemTable::new(InternalKeyComparator::default()),
+            ));
+            let mut it = imm.iter();
+            it.seek_to_first();
+            let path = table_file_name(&dir, file_number);
+            let file = options.env.create_writable(&path)?;
+            let mut builder = TableBuilder::new(options.table_builder_options(), file);
+            let smallest = InternalKey::from_encoded(it.key().to_vec());
+            let mut largest = InternalKey::from_encoded(it.key().to_vec());
+            while it.valid() {
+                builder.add(it.key(), it.value())?;
+                largest = InternalKey::from_encoded(it.key().to_vec());
+                it.next();
+            }
+            let file_size = builder.finish()?;
+            builder.sync()?;
+            edit.new_files.push((
+                0,
+                FileMetaData { number: file_number, file_size, smallest, largest },
+            ));
+        }
+        versions.log_and_apply(edit)?;
+
+        let table_cache = TableCache::new(dir.clone(), options.clone(), 1000);
+        let last_sequence = AtomicU64::new(versions.last_sequence);
+        let inner = Arc::new(DbInner {
+            dir,
+            options,
+            engine,
+            state: Mutex::new(DbState {
+                mem,
+                imm: None,
+                versions,
+                log_file_number: log_number,
+                bg_scheduled: false,
+                bg_error: None,
+                offload_in_flight: false,
+                flush_in_progress: false,
+                pending_writes: std::collections::VecDeque::new(),
+                force_compact_level: None,
+                snapshots: BTreeMap::new(),
+                pending_outputs: HashSet::new(),
+                stats: DbStats::default(),
+            }),
+            wal: Mutex::new(log),
+            writers_cv: Condvar::new(),
+            work_done: Condvar::new(),
+            bg_work: Condvar::new(),
+            table_cache,
+            shutting_down: AtomicBool::new(false),
+            last_sequence,
+        });
+
+        let bg_inner = Arc::clone(&inner);
+        let bg_thread = std::thread::Builder::new()
+            .name("lsm-background".into())
+            .spawn(move || background_thread(bg_inner))
+            .expect("spawn background thread");
+
+        let db = Db { inner, bg_thread: Some(bg_thread) };
+        db.inner.delete_obsolete_files();
+        Ok(db)
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch, WriteOptions::default())
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch, WriteOptions::default())
+    }
+
+    /// Applies a batch atomically, with group commit: concurrent writers
+    /// queue up; the writer at the front becomes the leader and commits
+    /// every queued batch in one WAL write (and one sync), as LevelDB's
+    /// writer queue does. Followers enqueue while the leader is in WAL
+    /// I/O, which is what makes grouping effective.
+    pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+        let inner = &self.inner;
+        let slot = Arc::new(Mutex::new(None::<Result<()>>));
+        let mut state = inner.state.lock();
+        state.pending_writes.push_back(PendingWrite {
+            batch: Some(batch),
+            sync: opts.sync || inner.options.sync_writes,
+            result: Arc::clone(&slot),
+        });
+
+        loop {
+            if let Some(result) = slot.lock().take() {
+                return result;
+            }
+            let am_front = state
+                .pending_writes
+                .front()
+                .is_some_and(|w| Arc::ptr_eq(&w.result, &slot));
+            if am_front {
+                break;
+            }
+            // Waiting releases the state lock, letting more writers queue
+            // and the current leader finish.
+            inner.writers_cv.wait(&mut state);
+        }
+
+        // Leader path: commit a group starting with our own batch.
+        inner.commit_write_group(state);
+        let result = slot
+            .lock()
+            .take()
+            .expect("leader's group includes its own batch");
+        result
+    }
+
+    /// Point lookup at the latest (or a snapshot) sequence.
+    pub fn get_with(&self, key: &[u8], opts: ReadOptions) -> Result<Option<Vec<u8>>> {
+        let inner = &self.inner;
+        let (lookup, version);
+        {
+            let state = inner.state.lock();
+            let seq = opts
+                .snapshot
+                .unwrap_or(state.versions.last_sequence);
+            lookup = LookupKey::new(key, seq);
+            match state.mem.get(&lookup) {
+                MemGet::Value(v) => return Ok(Some(v)),
+                MemGet::Deleted => return Ok(None),
+                MemGet::NotFound => {}
+            }
+            if let Some(imm_ref) = &state.imm {
+                match imm_ref.get(&lookup) {
+                    MemGet::Value(v) => return Ok(Some(v)),
+                    MemGet::Deleted => return Ok(None),
+                    MemGet::NotFound => {}
+                }
+            }
+            version = state.versions.current();
+        }
+
+        let icmp = InternalKeyComparator::default();
+        for (_, meta) in version.files_for_get(&icmp, key) {
+            let table = inner.table_cache.get(meta.number, meta.file_size)?;
+            if let Some((found_key, value)) = table.get(lookup.internal_key())? {
+                if let Some(parsed) = parse_internal_key(&found_key) {
+                    if parsed.user_key == key {
+                        return match parsed.value_type {
+                            ValueType::Value => Ok(Some(value)),
+                            ValueType::Deletion => Ok(None),
+                        };
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Point lookup at the latest sequence.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_with(key, ReadOptions::default())
+    }
+
+    /// Takes a consistent snapshot for reads.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut state = self.inner.state.lock();
+        let seq = state.versions.last_sequence;
+        *state.snapshots.entry(seq).or_insert(0) += 1;
+        Snapshot { inner: Arc::clone(&self.inner), sequence: seq }
+    }
+
+    /// Creates a streaming iterator over the live contents of the store,
+    /// frozen at the current (or a snapshot) sequence. The iterator holds
+    /// its own snapshots of the memtables and version, so writes proceed
+    /// concurrently.
+    pub fn iter_with(&self, opts: ReadOptions) -> Result<crate::db_iter::DbIter> {
+        let (seq, mem_entries, imm_entries, version) = {
+            let state = self.inner.state.lock();
+            (
+                opts.snapshot.unwrap_or(state.versions.last_sequence),
+                state.mem.collect_range(b"", None),
+                state
+                    .imm
+                    .as_ref()
+                    .map(|m| m.collect_range(b"", None))
+                    .unwrap_or_default(),
+                state.versions.current(),
+            )
+        };
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(crate::db_iter::vec_child(mem_entries));
+        children.push(crate::db_iter::vec_child(imm_entries));
+        for f in &version.files[0] {
+            let table = self.inner.table_cache.get(f.number, f.file_size)?;
+            children.push(Box::new(table.iter()));
+        }
+        for level in 1..NUM_LEVELS {
+            if version.files[level].is_empty() {
+                continue;
+            }
+            let tables: Result<Vec<_>> = version.files[level]
+                .iter()
+                .map(|f| self.inner.table_cache.get(f.number, f.file_size))
+                .collect();
+            children.push(Box::new(crate::compaction::ChainIterator::new(tables?)));
+        }
+        Ok(crate::db_iter::DbIter::new(children, seq))
+    }
+
+    /// Streaming iterator at the latest sequence.
+    pub fn iter(&self) -> Result<crate::db_iter::DbIter> {
+        self.iter_with(ReadOptions::default())
+    }
+
+    /// Scans all live user keys in `[start, end)` (end `None` = unbounded),
+    /// returning up to `limit` pairs. This is the range-query path YCSB
+    /// workload E exercises.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut it = self.iter()?;
+        it.seek(start);
+        let mut out = Vec::new();
+        while it.valid() && out.len() < limit {
+            if let Some(end) = end {
+                if it.key() >= end {
+                    break;
+                }
+            }
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        it.status()?;
+        Ok(out)
+    }
+
+    /// Forces the current memtable out and waits until it is flushed.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut state = self.inner.state.lock();
+            if state.mem.is_empty() && state.imm.is_none() {
+                return Ok(());
+            }
+            if !state.mem.is_empty() {
+                // Wait for any existing imm first.
+                while state.imm.is_some() {
+                    self.inner.work_done.wait(&mut state);
+                }
+                state = self.inner.rotate_memtable(state)?;
+                let _ = &state;
+            }
+        }
+        self.wait_for_background_quiescence();
+        Ok(())
+    }
+
+    /// Manually compacts the whole key space down, level by level, until
+    /// every level above the bottom-most populated one is empty (LevelDB's
+    /// `CompactRange`, full-range form). Useful before read-heavy phases
+    /// and in benchmarks.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()?;
+        for level in 0..NUM_LEVELS - 1 {
+            loop {
+                {
+                    let mut state = self.inner.state.lock();
+                    if let Some(e) = &state.bg_error {
+                        return Err(Error::Corruption(e.clone()));
+                    }
+                    if state.versions.current().num_files(level) == 0 {
+                        state.force_compact_level = None;
+                        break;
+                    }
+                    state.force_compact_level = Some(level);
+                    self.inner.maybe_schedule_compaction(&mut state);
+                }
+                self.wait_for_background_quiescence();
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until no flush or compaction work is pending.
+    pub fn wait_for_background_quiescence(&self) {
+        let mut state = self.inner.state.lock();
+        loop {
+            let needs_work = state.imm.is_some()
+                || state.versions.pick_compaction().is_some()
+                || state
+                    .force_compact_level
+                    .is_some_and(|l| state.versions.pick_compaction_at(l).is_some())
+                || state.bg_scheduled;
+            if !needs_work || state.bg_error.is_some() {
+                return;
+            }
+            self.inner.maybe_schedule_compaction(&mut state);
+            self.inner.work_done.wait(&mut state);
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let mut stats = self.inner.state.lock().stats.clone();
+        let (hits, misses) = self.inner.table_cache.block_cache_stats();
+        stats.block_cache_hits = hits;
+        stats.block_cache_misses = misses;
+        stats
+    }
+
+    /// Number of files at each level (diagnostic).
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        let state = self.inner.state.lock();
+        let v = state.versions.current();
+        (0..NUM_LEVELS).map(|l| v.num_files(l)).collect()
+    }
+
+    /// The configured engine's name.
+    pub fn engine_name(&self) -> String {
+        self.inner.engine.name().to_string()
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, AtomicOrdering::Release);
+        self.inner.bg_work.notify_all();
+        if let Some(handle) = self.bg_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ------------------------------------------------------------------ inner
+
+type StateGuard<'a> = parking_lot::MutexGuard<'a, DbState>;
+
+impl DbInner {
+    /// Commits a group of queued writes: one room check, one sequence
+    /// range, one WAL write (outside the state lock), one optional sync.
+    /// Fills every group member's result slot and wakes the queue.
+    fn commit_write_group(&self, state: StateGuard<'_>) {
+        /// Cap on bytes combined into one group (LevelDB uses ~1 MiB).
+        const MAX_GROUP_BYTES: usize = 1 << 20;
+
+        let mut state = match self.make_room_for_write(state) {
+            Ok(s) => s,
+            Err(e) => {
+                let msg = e.to_string();
+                let mut state = self.state.lock();
+                while let Some(w) = state.pending_writes.pop_front() {
+                    *w.result.lock() = Some(Err(Error::Corruption(msg.clone())));
+                }
+                self.writers_cv.notify_all();
+                return;
+            }
+        };
+
+        // Take batches for the group; entries stay queued until the end so
+        // no second leader can start concurrently.
+        let mut batches: Vec<WriteBatch> = Vec::new();
+        let mut slots: Vec<Arc<Mutex<Option<Result<()>>>>> = Vec::new();
+        let mut sync = false;
+        let mut bytes = 0usize;
+        for w in state.pending_writes.iter_mut() {
+            let Some(b) = w.batch.take() else { break };
+            if !batches.is_empty() && bytes + b.approximate_size() > MAX_GROUP_BYTES {
+                w.batch = Some(b);
+                break;
+            }
+            bytes += b.approximate_size();
+            sync |= w.sync;
+            batches.push(b);
+            slots.push(Arc::clone(&w.result));
+        }
+        debug_assert!(!batches.is_empty());
+
+        // Reserve the sequence range now, so the group owns it even while
+        // the state lock is released for WAL I/O.
+        let mut seq = state.versions.last_sequence + 1;
+        for b in &mut batches {
+            b.set_sequence(seq);
+            seq += u64::from(b.count());
+        }
+        state.versions.last_sequence = seq - 1;
+        self.last_sequence
+            .store(state.versions.last_sequence, AtomicOrdering::Release);
+
+        // WAL append + sync with the state lock released: this is the
+        // window in which followers enqueue.
+        drop(state);
+        let commit = (|| -> Result<()> {
+            let mut wal = self.wal.lock();
+            for b in &batches {
+                wal.add_record(b.data())
+                    .map_err(|e| Error::Corruption(format!("wal append failed: {e}")))?;
+            }
+            if sync {
+                wal.sync()?;
+            }
+            Ok(())
+        })();
+
+        let mut state = self.state.lock();
+        if commit.is_ok() {
+            let mem = &mut state.mem;
+            for b in &batches {
+                b.iterate(|op, seq| match op {
+                    BatchOp::Put { key, value } => {
+                        mem.add(seq, ValueType::Value, key, value)
+                    }
+                    BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
+                })
+                .expect("batch validated on construction");
+            }
+            state.stats.group_commits += 1;
+            state.stats.grouped_writes += batches.len() as u64;
+        }
+        for _ in 0..slots.len() {
+            state.pending_writes.pop_front();
+        }
+        drop(state);
+        for slot in &slots {
+            *slot.lock() = Some(match &commit {
+                Ok(()) => Ok(()),
+                Err(e) => Err(Error::Corruption(e.to_string())),
+            });
+        }
+        let state = self.state.lock();
+        self.writers_cv.notify_all();
+        drop(state);
+    }
+
+    /// LevelDB `MakeRoomForWrite`: apply slowdown/stop triggers and rotate
+    /// the memtable when full.
+    fn make_room_for_write<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
+        let mut allow_delay = true;
+        loop {
+            if let Some(e) = &state.bg_error {
+                return Err(Error::Corruption(e.clone()));
+            }
+            let l0_files = state.versions.current().num_files(0);
+            if allow_delay && l0_files >= L0_SLOWDOWN_WRITES_TRIGGER {
+                // Gentle backpressure: one 1 ms pause per write.
+                allow_delay = false;
+                if self.options.slowdown_sleep {
+                    let t0 = Instant::now();
+                    drop(state);
+                    std::thread::sleep(Duration::from_millis(1));
+                    state = self.state.lock();
+                    state.stats.stall_time += t0.elapsed();
+                } else {
+                    state.stats.stall_time += Duration::from_millis(1);
+                }
+                continue;
+            }
+            if state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
+                return Ok(state);
+            }
+            if state.imm.is_some() {
+                // Previous memtable still flushing.
+                if state.offload_in_flight && !state.flush_in_progress {
+                    // Paper's scheduler: the device is busy compacting, so
+                    // the host performs the flush itself, concurrently.
+                    state.stats.concurrent_flushes += 1;
+                    state = self.flush_immutable(state)?;
+                    continue;
+                }
+                let t0 = Instant::now();
+                self.maybe_schedule_compaction(&mut state);
+                self.work_done.wait(&mut state);
+                state.stats.stall_time += t0.elapsed();
+                continue;
+            }
+            if state.versions.current().num_files(0) >= L0_STOP_WRITES_TRIGGER {
+                let t0 = Instant::now();
+                self.maybe_schedule_compaction(&mut state);
+                self.work_done.wait(&mut state);
+                state.stats.stall_time += t0.elapsed();
+                continue;
+            }
+            state = self.rotate_memtable(state)?;
+        }
+    }
+
+    /// Swaps in a fresh memtable + WAL; the old memtable becomes `imm`.
+    fn rotate_memtable<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
+        debug_assert!(state.imm.is_none());
+        let new_log_number = state.versions.new_file_number();
+        let file = self
+            .options
+            .env
+            .create_writable(&log_file_name(&self.dir, new_log_number))?;
+        let old_mem = std::mem::replace(
+            &mut state.mem,
+            MemTable::new(InternalKeyComparator::default()),
+        );
+        state.imm = Some(Arc::new(old_mem));
+        *self.wal.lock() = LogWriter::new(file);
+        state.log_file_number = new_log_number;
+        self.maybe_schedule_compaction(&mut state);
+        Ok(state)
+    }
+
+    /// Wakes the background thread if there is work.
+    fn maybe_schedule_compaction(&self, state: &mut DbState) {
+        if state.bg_scheduled || self.shutting_down.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        let has_work = state.imm.is_some()
+            || state.versions.pick_compaction().is_some()
+            || state
+                .force_compact_level
+                .is_some_and(|l| state.versions.pick_compaction_at(l).is_some());
+        if has_work {
+            state.bg_scheduled = true;
+            self.bg_work.notify_one();
+        }
+    }
+
+    /// Builds an SSTable from the immutable memtable and installs it at
+    /// level 0 (the paper's first compaction type). Callable from the
+    /// background thread or — during an offloaded compaction — from a
+    /// writer thread.
+    fn flush_immutable<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
+        let Some(imm) = state.imm.clone() else {
+            return Ok(state);
+        };
+        debug_assert!(!state.flush_in_progress);
+        state.flush_in_progress = true;
+        let file_number = state.versions.new_file_number();
+        state.pending_outputs.insert(file_number);
+        let log_number = state.log_file_number;
+
+        // Long-running build happens outside the lock.
+        drop(state);
+        let result = self.build_memtable_table(&imm, file_number);
+        let mut state = self.state.lock();
+        state.flush_in_progress = false;
+
+        match result {
+            Ok(Some(meta)) => {
+                let mut edit = VersionEdit {
+                    log_number: Some(log_number),
+                    ..Default::default()
+                };
+                edit.new_files.push((0, meta));
+                state.versions.log_and_apply(edit)?;
+            }
+            Ok(None) => {
+                // Empty memtable: still advance the log number.
+                let edit = VersionEdit {
+                    log_number: Some(log_number),
+                    ..Default::default()
+                };
+                state.versions.log_and_apply(edit)?;
+            }
+            Err(e) => {
+                state.pending_outputs.remove(&file_number);
+                state.bg_error = Some(format!("flush failed: {e}"));
+                self.work_done.notify_all();
+                return Err(e);
+            }
+        }
+        state.imm = None;
+        state.pending_outputs.remove(&file_number);
+        state.stats.flushes += 1;
+        self.work_done.notify_all();
+        self.delete_obsolete_files_locked(&mut state);
+        Ok(state)
+    }
+
+    fn build_memtable_table(
+        &self,
+        imm: &Arc<MemTable>,
+        file_number: u64,
+    ) -> Result<Option<FileMetaData>> {
+        let mut it = imm.iter();
+        it.seek_to_first();
+        if !it.valid() {
+            return Ok(None);
+        }
+        let path = table_file_name(&self.dir, file_number);
+        let file = self.options.env.create_writable(&path)?;
+        let mut builder = TableBuilder::new(self.options.table_builder_options(), file);
+        let smallest = InternalKey::from_encoded(it.key().to_vec());
+        let mut largest = InternalKey::from_encoded(it.key().to_vec());
+        while it.valid() {
+            builder.add(it.key(), it.value())?;
+            largest = InternalKey::from_encoded(it.key().to_vec());
+            it.next();
+        }
+        let file_size = builder.finish()?;
+        builder.sync()?;
+        Ok(Some(FileMetaData { number: file_number, file_size, smallest, largest }))
+    }
+
+    /// Runs one background compaction round (flush first, then one table
+    /// compaction), returning whether anything was done.
+    fn background_compaction(&self) -> bool {
+        let state = self.state.lock();
+        if state.imm.is_some() && !state.flush_in_progress {
+            match self.flush_immutable(state) {
+                Ok(_) | Err(_) => return true,
+            }
+        }
+
+        let mut state = state;
+        let forced = state
+            .force_compact_level
+            .and_then(|l| state.versions.pick_compaction_at(l));
+        let compaction = match forced.or_else(|| state.versions.pick_compaction()) {
+            Some(c) => c,
+            None => {
+                // A forced level with nothing left to do is complete.
+                state.force_compact_level = None;
+                self.work_done.notify_all();
+                return false;
+            }
+        };
+
+        if compaction.is_trivial_move() {
+            let f = &compaction.inputs[0][0];
+            let mut edit = VersionEdit::default();
+            edit.deleted_files.push((compaction.level, f.number));
+            edit.new_files.push((compaction.level + 1, (**f).clone()));
+            edit.compact_pointers
+                .push((compaction.level, compaction.largest_input_key.clone()));
+            if let Err(e) = state.versions.log_and_apply(edit) {
+                state.bg_error = Some(format!("trivial move failed: {e}"));
+            }
+            state.stats.trivial_moves += 1;
+            self.work_done.notify_all();
+            return true;
+        }
+
+        // Build the request (paper §IV steps 1-3): L0 files are separate
+        // inputs (newest first); deeper-level runs concatenate into one.
+        let smallest_snapshot = state
+            .snapshots
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(state.versions.last_sequence);
+        let level = compaction.level;
+        let bottommost = {
+            let v = state.versions.current();
+            ((level + 2)..NUM_LEVELS).all(|l| v.num_files(l) == 0)
+        };
+        let mut input_metas: Vec<Vec<Arc<FileMetaData>>> = Vec::new();
+        if level == 0 {
+            for f in &compaction.inputs[0] {
+                input_metas.push(vec![Arc::clone(f)]);
+            }
+        } else if !compaction.inputs[0].is_empty() {
+            input_metas.push(compaction.inputs[0].clone());
+        }
+        if !compaction.inputs[1].is_empty() {
+            input_metas.push(compaction.inputs[1].clone());
+        }
+
+        drop(state);
+        let mut inputs = Vec::with_capacity(input_metas.len());
+        for metas in &input_metas {
+            let tables: Result<Vec<_>> = metas
+                .iter()
+                .map(|m| self.table_cache.get(m.number, m.file_size))
+                .collect();
+            match tables {
+                Ok(tables) => inputs.push(CompactionInput { tables }),
+                Err(e) => {
+                    let mut state = self.state.lock();
+                    state.bg_error = Some(format!("compaction open failed: {e}"));
+                    self.work_done.notify_all();
+                    return true;
+                }
+            }
+        }
+        let req = CompactionRequest {
+            inputs,
+            smallest_snapshot,
+            bottommost,
+            builder_options: self.options.table_builder_options(),
+            max_output_file_size: self.options.max_file_size,
+        };
+
+        // Engine dispatch (Fig. 6): offload when the device can take the
+        // input count, otherwise software compaction.
+        let use_engine = req.inputs.len() <= self.engine.max_inputs();
+        let is_offload = use_engine && self.engine.name() != "cpu";
+        {
+            let mut state = self.state.lock();
+            state.offload_in_flight = is_offload;
+        }
+        let factory = DbOutputFactory { inner: self };
+        let result = if use_engine {
+            self.engine.compact(&req, &factory)
+        } else {
+            CpuCompactionEngine.compact(&req, &factory)
+        };
+
+        let mut state = self.state.lock();
+        state.offload_in_flight = false;
+        match &result {
+            Ok(outcome) => {
+                for o in &outcome.outputs {
+                    state.pending_outputs.remove(&o.number);
+                }
+            }
+            Err(_) => {
+                // Output numbers from a failed attempt stay pending until
+                // the next successful GC pass clears the orphan files; we
+                // conservatively clear them now so GC can reclaim.
+                state.pending_outputs.clear();
+            }
+        }
+        match result {
+            Ok(outcome) => {
+                let mut edit = VersionEdit::default();
+                for metas in &input_metas {
+                    for m in metas {
+                        // An input file may appear only once.
+                        edit.deleted_files.push((
+                            if compaction.inputs[0].iter().any(|f| f.number == m.number) {
+                                level
+                            } else {
+                                level + 1
+                            },
+                            m.number,
+                        ));
+                    }
+                }
+                for out in &outcome.outputs {
+                    edit.new_files.push((
+                        level + 1,
+                        FileMetaData {
+                            number: out.number,
+                            file_size: out.file_size,
+                            smallest: out.smallest.clone(),
+                            largest: out.largest.clone(),
+                        },
+                    ));
+                }
+                edit.compact_pointers
+                    .push((level, compaction.largest_input_key.clone()));
+                if let Err(e) = state.versions.log_and_apply(edit) {
+                    state.bg_error = Some(format!("compaction install failed: {e}"));
+                } else {
+                    let stats = &mut state.stats;
+                    if use_engine {
+                        stats.engine_compactions += 1;
+                    } else {
+                        stats.sw_fallback_compactions += 1;
+                    }
+                    stats.compaction_bytes_read += outcome.bytes_read;
+                    stats.compaction_bytes_written += outcome.bytes_written;
+                    stats.compaction_time += outcome.wall_time;
+                    if let Some(t) = outcome.modeled_kernel_time {
+                        stats.modeled_kernel_time += t;
+                    }
+                    if let Some(t) = outcome.modeled_transfer_time {
+                        stats.modeled_transfer_time += t;
+                    }
+                }
+            }
+            Err(e) => {
+                state.bg_error = Some(format!("compaction failed: {e}"));
+            }
+        }
+        self.work_done.notify_all();
+        self.delete_obsolete_files_locked(&mut state);
+        true
+    }
+
+    /// Removes files no longer referenced by the current version.
+    fn delete_obsolete_files(&self) {
+        let mut state = self.state.lock();
+        self.delete_obsolete_files_locked(&mut state);
+    }
+
+    fn delete_obsolete_files_locked(&self, state: &mut DbState) {
+        let mut live: HashSet<u64> = state.versions.live_files().into_iter().collect();
+        live.extend(state.pending_outputs.iter().copied());
+        let log_number = state.versions.log_number;
+        let Ok(names) = self.options.env.list_dir(&self.dir) else {
+            return;
+        };
+        for name in names {
+            let Some(ft) = parse_file_name(&name) else { continue };
+            let (remove, number) = match ft {
+                FileType::Log(n) => (n < log_number, n),
+                FileType::Table(n) => (!live.contains(&n), n),
+                FileType::Temp(n) => (true, n),
+                _ => continue,
+            };
+            if remove {
+                let _ = self.options.env.remove_file(&self.dir.join(&name));
+                if matches!(ft, FileType::Table(_)) {
+                    self.table_cache.evict(number);
+                }
+            }
+        }
+    }
+}
+
+/// Allocates compaction output files inside the DB directory.
+struct DbOutputFactory<'a> {
+    inner: &'a DbInner,
+}
+
+impl OutputFileFactory for DbOutputFactory<'_> {
+    fn new_output(&self) -> Result<(u64, Box<dyn WritableFile>)> {
+        let number = {
+            let mut state = self.inner.state.lock();
+            let n = state.versions.new_file_number();
+            state.pending_outputs.insert(n);
+            n
+        };
+        let path = table_file_name(&self.inner.dir, number);
+        let file = self.inner.options.env.create_writable(&path)?;
+        Ok((number, file))
+    }
+}
+
+/// Background thread: flushes and compactions until shutdown.
+fn background_thread(inner: Arc<DbInner>) {
+    loop {
+        {
+            let mut state = inner.state.lock();
+            loop {
+                if inner.shutting_down.load(AtomicOrdering::Acquire) {
+                    return;
+                }
+                let has_work = state.imm.is_some()
+                    || state.versions.pick_compaction().is_some()
+                    || state
+                        .force_compact_level
+                        .is_some_and(|l| state.versions.pick_compaction_at(l).is_some());
+                if has_work && state.bg_error.is_none() {
+                    state.bg_scheduled = true;
+                    break;
+                }
+                state.bg_scheduled = false;
+                inner.work_done.notify_all();
+                inner.bg_work.wait(&mut state);
+            }
+        }
+        let _did_work = inner.background_compaction();
+        let mut state = inner.state.lock();
+        state.bg_scheduled = false;
+        inner.work_done.notify_all();
+        drop(state);
+    }
+}

@@ -1,0 +1,128 @@
+//! A forward iterator over the live user-visible contents of the store
+//! (LevelDB's `DBIter`, forward-only): merges the memtable snapshots and
+//! every level's tables, then collapses internal-key versions — the
+//! newest visible version of each user key wins, tombstones hide keys.
+
+use std::sync::Arc;
+
+use sstable::comparator::{Comparator, InternalKeyComparator};
+use sstable::ikey::{parse_internal_key, LookupKey, SequenceNumber, ValueType};
+use sstable::iterator::{InternalIterator, MergingIterator, VecIterator};
+
+use crate::Result;
+
+/// Iterator over live `(user key, value)` pairs at a fixed sequence.
+pub struct DbIter {
+    merger: MergingIterator,
+    sequence: SequenceNumber,
+    key: Vec<u8>,
+    value: Vec<u8>,
+    valid: bool,
+}
+
+impl DbIter {
+    /// Builds an iterator from already-assembled children (the `Db`
+    /// assembles memtable snapshots + table iterators).
+    pub(crate) fn new(
+        children: Vec<Box<dyn InternalIterator>>,
+        sequence: SequenceNumber,
+    ) -> Self {
+        let icmp: Arc<dyn Comparator> = Arc::new(InternalKeyComparator::default());
+        DbIter {
+            merger: MergingIterator::new(children, icmp),
+            sequence,
+            key: Vec::new(),
+            value: Vec::new(),
+            valid: false,
+        }
+    }
+
+    /// True when positioned on a live entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current user key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.value
+    }
+
+    /// Positions at the first live key.
+    pub fn seek_to_first(&mut self) {
+        self.merger.seek_to_first();
+        self.find_next_user_entry(None);
+    }
+
+    /// Positions at the first live key >= `user_key`.
+    pub fn seek(&mut self, user_key: &[u8]) {
+        let lk = LookupKey::new(user_key, self.sequence);
+        self.merger.seek(lk.internal_key());
+        self.find_next_user_entry(None);
+    }
+
+    /// Advances to the next live key.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        let skip = std::mem::take(&mut self.key);
+        if self.merger.valid() {
+            self.merger.next();
+        }
+        self.find_next_user_entry(Some(skip));
+    }
+
+    /// Scans forward to the newest visible version of the next user key
+    /// that is not `skip` and not deleted.
+    fn find_next_user_entry(&mut self, mut skip: Option<Vec<u8>>) {
+        self.valid = false;
+        while self.merger.valid() {
+            let Some(parsed) = parse_internal_key(self.merger.key()) else {
+                self.merger.next();
+                continue;
+            };
+            if parsed.sequence > self.sequence {
+                // Newer than our snapshot: invisible.
+                self.merger.next();
+                continue;
+            }
+            if let Some(s) = &skip {
+                if parsed.user_key == s.as_slice() {
+                    self.merger.next();
+                    continue;
+                }
+            }
+            match parsed.value_type {
+                ValueType::Deletion => {
+                    // Key is dead at this snapshot; skip all older versions.
+                    skip = Some(parsed.user_key.to_vec());
+                    self.merger.next();
+                }
+                ValueType::Value => {
+                    self.key.clear();
+                    self.key.extend_from_slice(parsed.user_key);
+                    self.value.clear();
+                    self.value.extend_from_slice(self.merger.value());
+                    self.valid = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Propagated error from any child iterator.
+    pub fn status(&self) -> Result<()> {
+        self.merger.status().map_err(crate::Error::from)
+    }
+}
+
+/// Helper used by the `Db` to wrap memtable snapshots as children.
+pub(crate) fn vec_child(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Box<dyn InternalIterator> {
+    let icmp: Arc<dyn Comparator> = Arc::new(InternalKeyComparator::default());
+    Box::new(VecIterator::new(Arc::new(entries), icmp))
+}

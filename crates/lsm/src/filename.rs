@@ -1,0 +1,102 @@
+//! Database file naming, following LevelDB's conventions:
+//! `NNNNNN.log`, `NNNNNN.ldb`, `MANIFEST-NNNNNN`, `CURRENT`, `LOCK`.
+
+use std::path::{Path, PathBuf};
+
+/// Kinds of files found in a database directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Write-ahead log.
+    Log(u64),
+    /// SSTable.
+    Table(u64),
+    /// Version manifest.
+    Manifest(u64),
+    /// Pointer to the live manifest.
+    Current,
+    /// Advisory lock file.
+    Lock,
+    /// Temporary file used during atomic renames.
+    Temp(u64),
+}
+
+/// Path of WAL file `number`.
+pub fn log_file_name(dir: &Path, number: u64) -> PathBuf {
+    dir.join(format!("{number:06}.log"))
+}
+
+/// Path of SSTable file `number`.
+pub fn table_file_name(dir: &Path, number: u64) -> PathBuf {
+    dir.join(format!("{number:06}.ldb"))
+}
+
+/// Path of manifest file `number`.
+pub fn manifest_file_name(dir: &Path, number: u64) -> PathBuf {
+    dir.join(format!("MANIFEST-{number:06}"))
+}
+
+/// Path of the CURRENT pointer file.
+pub fn current_file_name(dir: &Path) -> PathBuf {
+    dir.join("CURRENT")
+}
+
+/// Path of a temp file used for atomic CURRENT updates.
+pub fn temp_file_name(dir: &Path, number: u64) -> PathBuf {
+    dir.join(format!("{number:06}.dbtmp"))
+}
+
+/// Parses a directory entry name into its file type.
+pub fn parse_file_name(name: &str) -> Option<FileType> {
+    if name == "CURRENT" {
+        return Some(FileType::Current);
+    }
+    if name == "LOCK" {
+        return Some(FileType::Lock);
+    }
+    if let Some(rest) = name.strip_prefix("MANIFEST-") {
+        return rest.parse::<u64>().ok().map(FileType::Manifest);
+    }
+    if let Some(stem) = name.strip_suffix(".log") {
+        return stem.parse::<u64>().ok().map(FileType::Log);
+    }
+    if let Some(stem) = name.strip_suffix(".ldb") {
+        return stem.parse::<u64>().ok().map(FileType::Table);
+    }
+    if let Some(stem) = name.strip_suffix(".dbtmp") {
+        return stem.parse::<u64>().ok().map(FileType::Temp);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        let dir = Path::new("/db");
+        let cases = [
+            (log_file_name(dir, 7), FileType::Log(7)),
+            (table_file_name(dir, 123), FileType::Table(123)),
+            (manifest_file_name(dir, 1), FileType::Manifest(1)),
+            (current_file_name(dir), FileType::Current),
+            (temp_file_name(dir, 9), FileType::Temp(9)),
+        ];
+        for (path, expect) in cases {
+            let name = path.file_name().unwrap().to_str().unwrap();
+            assert_eq!(parse_file_name(name), Some(expect), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        for name in ["foo", "123.sst.bak", "MANIFEST-abc", "x.log", "", "42"] {
+            assert_eq!(parse_file_name(name), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn large_numbers_parse() {
+        assert_eq!(parse_file_name("18446744073709551615.ldb"), Some(FileType::Table(u64::MAX)));
+    }
+}

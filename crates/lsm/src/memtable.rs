@@ -1,0 +1,414 @@
+//! In-memory write buffer: an arena-backed skiplist over internal keys
+//! (the paper's *MemTable* / *Immutable MemTable*, Fig. 1).
+//!
+//! The skiplist uses index-based links into a node vector instead of raw
+//! pointers, which keeps it entirely safe Rust while preserving the
+//! O(log n) insert/seek structure of LevelDB's `SkipList`. All entry bytes
+//! live in one arena, so a 4 MiB memtable performs a handful of large
+//! allocations rather than millions of small ones.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use sstable::comparator::{Comparator, InternalKeyComparator};
+use sstable::ikey::{
+    append_internal_key, parse_internal_key, LookupKey, SequenceNumber, ValueType,
+};
+use sstable::iterator::InternalIterator;
+
+const MAX_HEIGHT: usize = 12;
+/// Branching factor 4, as in LevelDB.
+const BRANCHING: u32 = 4;
+
+/// Outcome of a memtable point lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MemGet {
+    /// Found a live value.
+    Value(Vec<u8>),
+    /// Found a tombstone: the key is definitely deleted at this snapshot.
+    Deleted,
+    /// No entry for the key; check older structures.
+    NotFound,
+}
+
+struct Node {
+    /// (offset, len) of the internal key in the arena.
+    key: (u32, u32),
+    /// (offset, len) of the value in the arena.
+    value: (u32, u32),
+    /// next[i] = index of the next node at level i; 0 = none (head is 0).
+    next: [u32; MAX_HEIGHT],
+}
+
+/// The memtable.
+pub struct MemTable {
+    cmp: InternalKeyComparator,
+    arena: Vec<u8>,
+    /// nodes[0] is the head sentinel.
+    nodes: Vec<Node>,
+    max_height: usize,
+    /// Cheap xorshift state for height selection (deterministic).
+    rng_state: u32,
+    /// Approximate memory usage (arena + node overhead).
+    approx_bytes: usize,
+    entries: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new(cmp: InternalKeyComparator) -> Self {
+        let head = Node { key: (0, 0), value: (0, 0), next: [0; MAX_HEIGHT] };
+        MemTable {
+            cmp,
+            arena: Vec::with_capacity(1 << 16),
+            nodes: vec![head],
+            max_height: 1,
+            rng_state: 0xdead_beef,
+            approx_bytes: 0,
+            entries: 0,
+        }
+    }
+
+    /// Approximate bytes used (drives the flush trigger).
+    pub fn approximate_memory_usage(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of entries inserted.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut height = 1;
+        while height < MAX_HEIGHT {
+            // xorshift32
+            let mut x = self.rng_state;
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            self.rng_state = x;
+            if x.is_multiple_of(BRANCHING) {
+                height += 1;
+            } else {
+                break;
+            }
+        }
+        height
+    }
+
+    fn node_key(&self, idx: u32) -> &[u8] {
+        let n = &self.nodes[idx as usize];
+        &self.arena[n.key.0 as usize..(n.key.0 + n.key.1) as usize]
+    }
+
+    fn node_value(&self, idx: u32) -> &[u8] {
+        let n = &self.nodes[idx as usize];
+        &self.arena[n.value.0 as usize..(n.value.0 + n.value.1) as usize]
+    }
+
+    /// Finds, for each level, the last node whose key is < `key`.
+    fn find_splice(&self, key: &[u8]) -> [u32; MAX_HEIGHT] {
+        let mut prev = [0u32; MAX_HEIGHT];
+        let mut x = 0u32; // head
+        for (level, slot) in prev.iter_mut().enumerate().take(self.max_height).rev() {
+            loop {
+                let next = self.nodes[x as usize].next[level];
+                if next != 0 && self.cmp.compare(self.node_key(next), key) == Ordering::Less
+                {
+                    x = next;
+                } else {
+                    break;
+                }
+            }
+            *slot = x;
+        }
+        prev
+    }
+
+    /// First node with key >= `key` (0 if none).
+    fn find_greater_or_equal(&self, key: &[u8]) -> u32 {
+        let prev = self.find_splice(key);
+        self.nodes[prev[0] as usize].next[0]
+    }
+
+    /// Inserts an entry. Internal keys are unique because sequence numbers
+    /// are unique, so no overwrite case exists.
+    pub fn add(
+        &mut self,
+        seq: SequenceNumber,
+        value_type: ValueType,
+        user_key: &[u8],
+        value: &[u8],
+    ) {
+        let key_off = self.arena.len() as u32;
+        append_internal_key(&mut self.arena, user_key, seq, value_type);
+        let key_len = (self.arena.len() - key_off as usize) as u32;
+        let value_off = self.arena.len() as u32;
+        self.arena.extend_from_slice(value);
+
+        let height = self.random_height();
+        if height > self.max_height {
+            self.max_height = height;
+        }
+
+        let key_range = (key_off as usize, (key_off + key_len) as usize);
+        // Borrow-split: compute the splice against the arena before pushing.
+        let key_bytes = self.arena[key_range.0..key_range.1].to_vec();
+        let prev = self.find_splice(&key_bytes);
+
+        let new_idx = self.nodes.len() as u32;
+        let mut node = Node {
+            key: (key_off, key_len),
+            value: (value_off, value.len() as u32),
+            next: [0; MAX_HEIGHT],
+        };
+        for (level, slot) in node.next.iter_mut().enumerate().take(height) {
+            *slot = self.nodes[prev[level] as usize].next[level];
+        }
+        self.nodes.push(node);
+        for (level, &p) in prev.iter().enumerate().take(height) {
+            self.nodes[p as usize].next[level] = new_idx;
+        }
+
+        self.entries += 1;
+        self.approx_bytes += key_len as usize + value.len() + std::mem::size_of::<Node>();
+    }
+
+    /// Point lookup at the snapshot encoded in `lookup`.
+    pub fn get(&self, lookup: &LookupKey) -> MemGet {
+        let idx = self.find_greater_or_equal(lookup.internal_key());
+        if idx == 0 {
+            return MemGet::NotFound;
+        }
+        let ikey = self.node_key(idx);
+        let Some(parsed) = parse_internal_key(ikey) else {
+            return MemGet::NotFound;
+        };
+        if parsed.user_key != lookup.user_key() {
+            return MemGet::NotFound;
+        }
+        match parsed.value_type {
+            ValueType::Value => MemGet::Value(self.node_value(idx).to_vec()),
+            ValueType::Deletion => MemGet::Deleted,
+        }
+    }
+
+    /// Creates an iterator over internal keys. The memtable must outlive
+    /// iteration, which the `Arc`-based ownership in the DB guarantees.
+    pub fn iter(self: &Arc<Self>) -> MemTableIterator {
+        MemTableIterator { mem: Arc::clone(self), current: 0 }
+    }
+
+    /// Copies out all entries whose user key is in `[start, end)` as
+    /// `(internal_key, value)` pairs, in internal-key order. Used by the
+    /// scan path, which needs an owned snapshot it can merge without
+    /// holding the DB lock.
+    pub fn collect_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let lk = LookupKey::new(start, sstable::ikey::MAX_SEQUENCE_NUMBER);
+        let mut idx = self.find_greater_or_equal(lk.internal_key());
+        let mut out = Vec::new();
+        while idx != 0 {
+            let ikey = self.node_key(idx);
+            if let (Some(end), Some(parsed)) = (end, parse_internal_key(ikey)) {
+                if parsed.user_key >= end {
+                    break;
+                }
+            }
+            out.push((ikey.to_vec(), self.node_value(idx).to_vec()));
+            idx = self.nodes[idx as usize].next[0];
+        }
+        out
+    }
+}
+
+/// Iterator over a frozen (or momentarily stable) memtable.
+pub struct MemTableIterator {
+    mem: Arc<MemTable>,
+    /// Node index; 0 (head) means invalid.
+    current: u32,
+}
+
+impl InternalIterator for MemTableIterator {
+    fn valid(&self) -> bool {
+        self.current != 0
+    }
+
+    fn seek_to_first(&mut self) {
+        self.current = self.mem.nodes[0].next[0];
+    }
+
+    fn seek_to_last(&mut self) {
+        let mut x = 0u32;
+        for level in (0..self.mem.max_height).rev() {
+            loop {
+                let next = self.mem.nodes[x as usize].next[level];
+                if next != 0 {
+                    x = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.current = x;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.current = self.mem.find_greater_or_equal(target);
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.current = self.mem.nodes[self.current as usize].next[0];
+    }
+
+    fn prev(&mut self) {
+        debug_assert!(self.valid());
+        // Skiplists have no back links; re-search for the predecessor.
+        let key = self.mem.node_key(self.current).to_vec();
+        let prev = self.mem.find_splice(&key);
+        self.current = prev[0];
+    }
+
+    fn key(&self) -> &[u8] {
+        self.mem.node_key(self.current)
+    }
+
+    fn value(&self) -> &[u8] {
+        self.mem.node_value(self.current)
+    }
+
+    fn status(&self) -> sstable::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memtable() -> MemTable {
+        MemTable::new(InternalKeyComparator::default())
+    }
+
+    #[test]
+    fn get_returns_latest_version() {
+        let mut m = memtable();
+        m.add(1, ValueType::Value, b"k", b"v1");
+        m.add(2, ValueType::Value, b"k", b"v2");
+        // Snapshot at seq 10 sees v2.
+        assert_eq!(m.get(&LookupKey::new(b"k", 10)), MemGet::Value(b"v2".to_vec()));
+        // Snapshot at seq 1 sees v1.
+        assert_eq!(m.get(&LookupKey::new(b"k", 1)), MemGet::Value(b"v1".to_vec()));
+        // Snapshot at seq 0 predates both.
+        assert_eq!(m.get(&LookupKey::new(b"k", 0)), MemGet::NotFound);
+    }
+
+    #[test]
+    fn tombstones_report_deleted() {
+        let mut m = memtable();
+        m.add(1, ValueType::Value, b"k", b"v");
+        m.add(2, ValueType::Deletion, b"k", b"");
+        assert_eq!(m.get(&LookupKey::new(b"k", 10)), MemGet::Deleted);
+        assert_eq!(m.get(&LookupKey::new(b"k", 1)), MemGet::Value(b"v".to_vec()));
+        assert_eq!(m.get(&LookupKey::new(b"other", 10)), MemGet::NotFound);
+    }
+
+    #[test]
+    fn iterator_yields_sorted_internal_keys() {
+        let mut m = memtable();
+        // Insert out of order.
+        for (i, k) in [(3u64, "c"), (1, "a"), (2, "b"), (5, "a"), (4, "d")] {
+            m.add(i, ValueType::Value, k.as_bytes(), format!("v{i}").as_bytes());
+        }
+        let m = Arc::new(m);
+        let mut it = m.iter();
+        it.seek_to_first();
+        let mut seen = Vec::new();
+        while it.valid() {
+            let p = parse_internal_key(it.key()).unwrap();
+            seen.push((p.user_key.to_vec(), p.sequence));
+            it.next();
+        }
+        // "a" seq5 before "a" seq1 (descending seq), then b, c, d.
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), 5),
+                (b"a".to_vec(), 1),
+                (b"b".to_vec(), 2),
+                (b"c".to_vec(), 3),
+                (b"d".to_vec(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn iterator_seek_and_prev() {
+        let mut m = memtable();
+        for i in 0..100u64 {
+            m.add(i + 1, ValueType::Value, format!("key{i:03}").as_bytes(), b"v");
+        }
+        let m = Arc::new(m);
+        let mut it = m.iter();
+        let lk = LookupKey::new(b"key050", u64::MAX >> 8);
+        it.seek(lk.internal_key());
+        assert!(it.valid());
+        assert_eq!(parse_internal_key(it.key()).unwrap().user_key, b"key050");
+        it.prev();
+        assert_eq!(parse_internal_key(it.key()).unwrap().user_key, b"key049");
+        it.seek_to_last();
+        assert_eq!(parse_internal_key(it.key()).unwrap().user_key, b"key099");
+        it.prev();
+        assert_eq!(parse_internal_key(it.key()).unwrap().user_key, b"key098");
+    }
+
+    #[test]
+    fn memory_usage_grows() {
+        let mut m = memtable();
+        let before = m.approximate_memory_usage();
+        m.add(1, ValueType::Value, b"key", &[0u8; 1000]);
+        assert!(m.approximate_memory_usage() >= before + 1000);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn large_insert_stays_sorted() {
+        let mut m = memtable();
+        let mut keys: Vec<u64> = (0..5000).collect();
+        // Deterministic shuffle.
+        let mut s = 12345u64;
+        for i in (1..keys.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for (seq, k) in keys.iter().enumerate() {
+            m.add(seq as u64 + 1, ValueType::Value, format!("{k:08}").as_bytes(), b"");
+        }
+        let m = Arc::new(m);
+        let mut it = m.iter();
+        it.seek_to_first();
+        let mut count = 0u64;
+        let mut last: Option<Vec<u8>> = None;
+        while it.valid() {
+            let uk = parse_internal_key(it.key()).unwrap().user_key.to_vec();
+            if let Some(l) = &last {
+                assert!(l < &uk);
+            }
+            last = Some(uk);
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 5000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Store configuration. Defaults follow the paper's Table IV (key 16 B,
+//! value 128 B workloads; leveling ratio 10; 4 KiB data blocks) and
+//! LevelDB v1.x's built-in constants.
+
+use std::sync::Arc;
+
+use sstable::bloom::BloomFilterPolicy;
+use sstable::cache::BlockCache;
+use sstable::env::{StdEnv, StorageEnv};
+use sstable::format::CompressionType;
+
+/// Number of levels, as in LevelDB.
+pub const NUM_LEVELS: usize = 7;
+
+/// L0 file count that triggers a compaction.
+pub const L0_COMPACTION_TRIGGER: usize = 4;
+/// L0 file count at which writes are slowed (1 ms sleep per write).
+pub const L0_SLOWDOWN_WRITES_TRIGGER: usize = 8;
+/// L0 file count at which writes stop until compaction catches up.
+pub const L0_STOP_WRITES_TRIGGER: usize = 12;
+
+/// Tuning knobs for a [`crate::Db`].
+#[derive(Clone)]
+pub struct Options {
+    /// Memtable capacity before it is rotated to immutable (LevelDB
+    /// `write_buffer_size`, default 4 MiB).
+    pub write_buffer_size: usize,
+    /// Target uncompressed data block size (paper Table IV default 4 KiB).
+    pub block_size: usize,
+    /// Target SSTable file size (paper §V-A example: 2 MiB).
+    pub max_file_size: u64,
+    /// Size ratio between adjacent levels (paper Table IV default 10).
+    pub leveling_ratio: u64,
+    /// Base size for level 1 (LevelDB: 10 MiB).
+    pub level1_max_bytes: u64,
+    /// Block compression.
+    pub compression: CompressionType,
+    /// Bloom filter bits per key; `None` disables filters.
+    pub filter_bits_per_key: Option<usize>,
+    /// Verify checksums on reads.
+    pub verify_checksums: bool,
+    /// Shared data-block cache capacity (LevelDB default 8 MiB);
+    /// `None` disables the shared cache.
+    pub block_cache_bytes: Option<usize>,
+    /// Sync the WAL on every write (off by default, like db_bench).
+    pub sync_writes: bool,
+    /// Storage backend.
+    pub env: Arc<dyn StorageEnv>,
+    /// Emulate LevelDB's 1 ms write-slowdown sleep when L0 is congested.
+    /// Tests disable this to run fast; the real sleep matters only for
+    /// wall-clock experiments.
+    pub slowdown_sleep: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            write_buffer_size: 4 << 20,
+            block_size: 4096,
+            max_file_size: 2 << 20,
+            leveling_ratio: 10,
+            level1_max_bytes: 10 << 20,
+            compression: CompressionType::Snappy,
+            filter_bits_per_key: Some(10),
+            verify_checksums: true,
+            block_cache_bytes: Some(8 << 20),
+            sync_writes: false,
+            env: Arc::new(StdEnv),
+            slowdown_sleep: true,
+        }
+    }
+}
+
+impl Options {
+    /// Byte budget for `level` (levels >= 1); level 0 is file-count
+    /// triggered.
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let mut bytes = self.level1_max_bytes;
+        for _ in 1..level {
+            bytes = bytes.saturating_mul(self.leveling_ratio);
+        }
+        bytes
+    }
+
+    /// The filter policy derived from `filter_bits_per_key`.
+    pub fn filter_policy(&self) -> Option<BloomFilterPolicy> {
+        self.filter_bits_per_key.map(BloomFilterPolicy::new)
+    }
+
+    /// Table build options for flushes and compactions.
+    pub fn table_builder_options(&self) -> sstable::table_builder::TableBuilderOptions {
+        sstable::table_builder::TableBuilderOptions {
+            block_size: self.block_size,
+            block_restart_interval: 16,
+            compression: self.compression,
+            filter_policy: self.filter_policy(),
+            internal_key_filter: true,
+            comparator: Arc::new(sstable::comparator::InternalKeyComparator::default()),
+        }
+    }
+
+    /// Table read options matching [`Self::table_builder_options`].
+    /// `block_cache` is the store-wide shared cache (created once by the
+    /// DB from [`Options::block_cache_bytes`]).
+    pub fn table_read_options_with(
+        &self,
+        block_cache: Option<Arc<BlockCache>>,
+    ) -> sstable::table::TableReadOptions {
+        sstable::table::TableReadOptions {
+            verify_checksums: self.verify_checksums,
+            block_cache,
+            comparator: Arc::new(sstable::comparator::InternalKeyComparator::default()),
+            filter_policy: self.filter_policy(),
+            internal_key_filter: true,
+        }
+    }
+
+    /// Table read options without a shared cache.
+    pub fn table_read_options(&self) -> sstable::table::TableReadOptions {
+        self.table_read_options_with(None)
+    }
+}
+
+/// Per-read options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadOptions {
+    /// Read at this snapshot (sequence number); `None` reads the latest.
+    pub snapshot: Option<u64>,
+}
+
+/// Per-write options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteOptions {
+    /// Force a WAL sync for this write.
+    pub sync: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_budgets_scale_by_ratio() {
+        let mut o = Options::default();
+        o.leveling_ratio = 10;
+        assert_eq!(o.max_bytes_for_level(1), 10 << 20);
+        assert_eq!(o.max_bytes_for_level(2), 100 << 20);
+        assert_eq!(o.max_bytes_for_level(3), 1000 << 20);
+        o.leveling_ratio = 4;
+        assert_eq!(o.max_bytes_for_level(2), 40 << 20);
+    }
+
+    #[test]
+    fn builder_and_reader_options_agree() {
+        let o = Options::default();
+        let b = o.table_builder_options();
+        let r = o.table_read_options();
+        assert_eq!(b.internal_key_filter, r.internal_key_filter);
+        assert_eq!(b.filter_policy.is_some(), r.filter_policy.is_some());
+    }
+}

@@ -1,0 +1,167 @@
+//! Cache of open [`Table`] readers keyed by file number, with LRU
+//! eviction (LevelDB `TableCache`).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sstable::table::{Table, TableReadOptions};
+
+use crate::filename::table_file_name;
+use crate::options::Options;
+use crate::Result;
+
+struct Entry {
+    table: Arc<Table>,
+    /// LRU tick of the last access.
+    last_used: u64,
+}
+
+/// Keeps up to `capacity` tables open.
+pub struct TableCache {
+    dir: PathBuf,
+    options: Options,
+    read_options: TableReadOptions,
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+impl TableCache {
+    /// Creates a cache for tables under `dir`, sharing `block_cache`
+    /// across all of them.
+    pub fn new(dir: PathBuf, options: Options, capacity: usize) -> Self {
+        let block_cache = options
+            .block_cache_bytes
+            .map(sstable::cache::BlockCache::new);
+        let read_options = options.table_read_options_with(block_cache);
+        TableCache {
+            dir,
+            options,
+            read_options,
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the open table for `file_number`, opening it on miss.
+    pub fn get(&self, file_number: u64, file_size: u64) -> Result<Arc<Table>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&file_number) {
+                e.last_used = tick;
+                return Ok(Arc::clone(&e.table));
+            }
+        }
+        // Open outside the lock; racing opens of the same file are benign.
+        let path = table_file_name(&self.dir, file_number);
+        let file = self.options.env.open_random_access(&path)?;
+        let table = Table::open(file, file_size, self.read_options.clone())?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner
+            .map
+            .insert(file_number, Entry { table: Arc::clone(&table), last_used: tick });
+        Ok(table)
+    }
+
+    /// Drops the cached handle for a deleted file, along with its blocks
+    /// in the shared block cache.
+    pub fn evict(&self, file_number: u64) {
+        if let Some(entry) = self.inner.lock().map.remove(&file_number) {
+            if let Some(cache) = &self.read_options.block_cache {
+                cache.evict_table(entry.table.cache_id());
+            }
+        }
+    }
+
+    /// Shared block cache statistics: (hits, misses), zero if disabled.
+    pub fn block_cache_stats(&self) -> (u64, u64) {
+        self.read_options
+            .block_cache
+            .as_ref()
+            .map_or((0, 0), |c| c.stats())
+    }
+
+    /// Number of currently open tables.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if no tables are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstable::env::{MemEnv, StorageEnv};
+    use sstable::table_builder::TableBuilder;
+    use std::path::Path;
+
+    fn make_table(env: &Arc<MemEnv>, dir: &Path, number: u64) -> u64 {
+        let opts = Options {
+            env: Arc::clone(env) as Arc<dyn StorageEnv>,
+            ..Default::default()
+        };
+        let path = table_file_name(dir, number);
+        let f = env.create_writable(&path).unwrap();
+        let mut b = TableBuilder::new(opts.table_builder_options(), f);
+        // One internal key so internal comparator tables stay well formed.
+        let k = sstable::ikey::InternalKey::new(b"key", 1, sstable::ikey::ValueType::Value);
+        b.add(k.encoded(), b"value").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn caches_and_evicts() {
+        let env = Arc::new(MemEnv::new());
+        let dir = PathBuf::from("/db");
+        let opts = Options {
+            env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+            ..Default::default()
+        };
+        let cache = TableCache::new(dir.clone(), opts, 2);
+        let sizes: Vec<u64> = (1..=3).map(|n| make_table(&env, &dir, n)).collect();
+
+        let t1 = cache.get(1, sizes[0]).unwrap();
+        let t1b = cache.get(1, sizes[0]).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t1b), "second get must hit the cache");
+        cache.get(2, sizes[1]).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.get(3, sizes[2]).unwrap(); // evicts LRU (table 1... or 2)
+        assert_eq!(cache.len(), 2);
+
+        cache.evict(3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let env = Arc::new(MemEnv::new());
+        let opts = Options {
+            env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+            ..Default::default()
+        };
+        let cache = TableCache::new(PathBuf::from("/db"), opts, 4);
+        assert!(cache.get(99, 1000).is_err());
+    }
+}

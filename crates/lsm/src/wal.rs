@@ -1,0 +1,346 @@
+//! Write-ahead log, LevelDB `log_format`: the file is a sequence of 32 KiB
+//! blocks; each record is `crc32c(4) | length(2) | type(1) | payload`,
+//! where type says whether the payload is a FULL record or the
+//! FIRST/MIDDLE/LAST fragment of one spanning blocks.
+
+use sstable::coding::decode_fixed32;
+use sstable::crc32c;
+use sstable::env::{RandomAccessFile, WritableFile};
+
+use crate::{Error, Result};
+
+/// Log block size.
+pub const BLOCK_SIZE: usize = 32 * 1024;
+/// Record header: checksum + length + type.
+pub const HEADER_SIZE: usize = 4 + 2 + 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum RecordType {
+    Full = 1,
+    First = 2,
+    Middle = 3,
+    Last = 4,
+}
+
+impl RecordType {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(RecordType::Full),
+            2 => Some(RecordType::First),
+            3 => Some(RecordType::Middle),
+            4 => Some(RecordType::Last),
+            _ => None,
+        }
+    }
+}
+
+/// Appends records to a log file.
+pub struct LogWriter {
+    file: Box<dyn WritableFile>,
+    /// Offset within the current block.
+    block_offset: usize,
+}
+
+impl LogWriter {
+    /// Starts a writer on a fresh file.
+    pub fn new(file: Box<dyn WritableFile>) -> Self {
+        LogWriter { file, block_offset: 0 }
+    }
+
+    /// Appends one record (fragmenting across blocks as needed).
+    pub fn add_record(&mut self, data: &[u8]) -> Result<()> {
+        let mut left = data;
+        let mut begin = true;
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                // Pad the block tail with zeros and start a new block.
+                if leftover > 0 {
+                    self.file.append(&[0u8; HEADER_SIZE][..leftover])?;
+                }
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let fragment_len = left.len().min(avail);
+            let end = fragment_len == left.len();
+            let ty = match (begin, end) {
+                (true, true) => RecordType::Full,
+                (true, false) => RecordType::First,
+                (false, true) => RecordType::Last,
+                (false, false) => RecordType::Middle,
+            };
+            self.emit_physical(ty, &left[..fragment_len])?;
+            left = &left[fragment_len..];
+            begin = false;
+            if end {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_physical(&mut self, ty: RecordType, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() <= 0xffff);
+        let crc = crc32c::extend(crc32c::value(&[ty as u8]), data);
+        let mut header = [0u8; HEADER_SIZE];
+        header[..4].copy_from_slice(&crc32c::mask(crc).to_le_bytes());
+        header[4..6].copy_from_slice(&(data.len() as u16).to_le_bytes());
+        header[6] = ty as u8;
+        self.file.append(&header)?;
+        self.file.append(data)?;
+        self.block_offset += HEADER_SIZE + data.len();
+        Ok(())
+    }
+
+    /// Flushes buffered bytes to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Durably syncs the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.file.bytes_written()
+    }
+}
+
+/// Reads records back, skipping corrupt tails (crash recovery semantics:
+/// a torn final record is expected and silently ends the log).
+pub struct LogReader {
+    data: Vec<u8>,
+    pos: usize,
+    /// Fragments of an in-progress logical record.
+    scratch: Vec<u8>,
+    /// Set when corruption (other than a clean EOF) was skipped.
+    corruption_detected: bool,
+    /// Count of physical records dropped for corruption; lets the logical
+    /// layer notice a fragment went missing mid-record.
+    corruptions_skipped: u64,
+}
+
+impl LogReader {
+    /// Reads the entire log file into memory and prepares to iterate.
+    pub fn new(file: &dyn RandomAccessFile) -> Result<Self> {
+        let data = file.read_all().map_err(Error::from)?;
+        Ok(LogReader {
+            data,
+            pos: 0,
+            scratch: Vec::new(),
+            corruption_detected: false,
+            corruptions_skipped: 0,
+        })
+    }
+
+    /// True if any mid-log corruption was skipped during reading.
+    pub fn corruption_detected(&self) -> bool {
+        self.corruption_detected
+    }
+
+    /// Returns the next logical record, or `None` at end of log.
+    pub fn read_record(&mut self) -> Option<Vec<u8>> {
+        self.scratch.clear();
+        let mut in_fragmented = false;
+        loop {
+            let corruptions_before = self.corruptions_skipped;
+            let (ty, payload) = self.read_physical()?;
+            if self.corruptions_skipped != corruptions_before && in_fragmented {
+                // A fragment of the in-progress record was lost to
+                // corruption; splicing the remainder would fabricate a
+                // record that was never written.
+                self.scratch.clear();
+                in_fragmented = false;
+            }
+            match ty {
+                RecordType::Full => {
+                    if in_fragmented {
+                        // Unterminated FIRST: drop it.
+                        self.corruption_detected = true;
+                    }
+                    return Some(payload);
+                }
+                RecordType::First => {
+                    if in_fragmented {
+                        self.corruption_detected = true;
+                        self.scratch.clear();
+                    }
+                    self.scratch.extend_from_slice(&payload);
+                    in_fragmented = true;
+                }
+                RecordType::Middle => {
+                    if in_fragmented {
+                        self.scratch.extend_from_slice(&payload);
+                    } else {
+                        self.corruption_detected = true;
+                    }
+                }
+                RecordType::Last => {
+                    if in_fragmented {
+                        self.scratch.extend_from_slice(&payload);
+                        return Some(std::mem::take(&mut self.scratch));
+                    }
+                    self.corruption_detected = true;
+                }
+            }
+        }
+    }
+
+    /// Reads the next physical record, skipping block padding and torn
+    /// tails. Returns `None` at end of file.
+    fn read_physical(&mut self) -> Option<(RecordType, Vec<u8>)> {
+        loop {
+            let block_left = BLOCK_SIZE - (self.pos % BLOCK_SIZE);
+            if block_left < HEADER_SIZE {
+                // Block tail padding.
+                self.pos += block_left;
+                continue;
+            }
+            if self.pos + HEADER_SIZE > self.data.len() {
+                return None; // clean EOF (possibly torn header)
+            }
+            let header = &self.data[self.pos..self.pos + HEADER_SIZE];
+            let length = u16::from_le_bytes([header[4], header[5]]) as usize;
+            let ty_byte = header[6];
+            if ty_byte == 0 && length == 0 {
+                // Zeroed padding / preallocated region: end of log.
+                return None;
+            }
+            let start = self.pos + HEADER_SIZE;
+            if start + length > self.data.len() {
+                // Torn write at the tail.
+                return None;
+            }
+            let stored_crc = crc32c::unmask(decode_fixed32(&header[..4]));
+            let payload = &self.data[start..start + length];
+            let actual_crc = crc32c::extend(crc32c::value(&[ty_byte]), payload);
+            self.pos = start + length;
+            if stored_crc != actual_crc {
+                self.corruption_detected = true;
+                self.corruptions_skipped += 1;
+                continue;
+            }
+            match RecordType::from_u8(ty_byte) {
+                Some(ty) => return Some((ty, payload.to_vec())),
+                None => {
+                    self.corruption_detected = true;
+                    self.corruptions_skipped += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstable::env::{MemEnv, StorageEnv};
+    use std::path::Path;
+
+    fn write_records(env: &MemEnv, path: &str, records: &[Vec<u8>]) {
+        let f = env.create_writable(Path::new(path)).unwrap();
+        let mut w = LogWriter::new(f);
+        for r in records {
+            w.add_record(r).unwrap();
+        }
+        w.flush().unwrap();
+    }
+
+    fn read_records(env: &MemEnv, path: &str) -> (Vec<Vec<u8>>, bool) {
+        let f = env.open_random_access(Path::new(path)).unwrap();
+        let mut r = LogReader::new(f.as_ref()).unwrap();
+        let mut out = Vec::new();
+        while let Some(rec) = r.read_record() {
+            out.push(rec);
+        }
+        (out, r.corruption_detected())
+    }
+
+    #[test]
+    fn roundtrip_small_records() {
+        let env = MemEnv::new();
+        let records = vec![b"one".to_vec(), b"two".to_vec(), vec![], b"four".to_vec()];
+        write_records(&env, "/log", &records);
+        let (got, corrupt) = read_records(&env, "/log");
+        assert_eq!(got, records);
+        assert!(!corrupt);
+    }
+
+    #[test]
+    fn roundtrip_records_spanning_blocks() {
+        let env = MemEnv::new();
+        // Records larger than one block force FIRST/MIDDLE/LAST chains.
+        let records = vec![
+            vec![1u8; 10],
+            vec![2u8; BLOCK_SIZE],
+            vec![3u8; 3 * BLOCK_SIZE + 17],
+            vec![4u8; 5],
+        ];
+        write_records(&env, "/log", &records);
+        let (got, corrupt) = read_records(&env, "/log");
+        assert_eq!(got.len(), records.len());
+        for (a, b) in got.iter().zip(&records) {
+            assert_eq!(a, b);
+        }
+        assert!(!corrupt);
+    }
+
+    #[test]
+    fn block_boundary_padding() {
+        let env = MemEnv::new();
+        // Record sized so the next header would not fit in the block.
+        let first = vec![7u8; BLOCK_SIZE - HEADER_SIZE - 3];
+        let records = vec![first, b"after-pad".to_vec()];
+        write_records(&env, "/log", &records);
+        let (got, corrupt) = read_records(&env, "/log");
+        assert_eq!(got, records);
+        assert!(!corrupt);
+    }
+
+    #[test]
+    fn torn_tail_is_silent_eof() {
+        let env = MemEnv::new();
+        write_records(&env, "/log", &[b"complete".to_vec(), vec![9u8; 5000]]);
+        let full = env.open_random_access(Path::new("/log")).unwrap().read_all().unwrap();
+        // Truncate mid-way through the second record.
+        let torn = &full[..full.len() - 1000];
+        let mut w = env.create_writable(Path::new("/torn")).unwrap();
+        w.append(torn).unwrap();
+        drop(w);
+        let (got, _) = read_records(&env, "/torn");
+        assert_eq!(got, vec![b"complete".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_flagged() {
+        let env = MemEnv::new();
+        write_records(&env, "/log", &[b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        let mut full =
+            env.open_random_access(Path::new("/log")).unwrap().read_all().unwrap();
+        // Corrupt the payload of the second record (header of rec2 starts
+        // at HEADER_SIZE + 5).
+        let idx = HEADER_SIZE + 5 + HEADER_SIZE + 2;
+        full[idx] ^= 0xff;
+        let mut w = env.create_writable(Path::new("/bad")).unwrap();
+        w.append(&full).unwrap();
+        drop(w);
+        let (got, corrupt) = read_records(&env, "/bad");
+        assert_eq!(got, vec![b"first".to_vec(), b"third".to_vec()]);
+        assert!(corrupt);
+    }
+
+    #[test]
+    fn empty_log_reads_nothing() {
+        let env = MemEnv::new();
+        write_records(&env, "/log", &[]);
+        let (got, corrupt) = read_records(&env, "/log");
+        assert!(got.is_empty());
+        assert!(!corrupt);
+    }
+}

@@ -1,0 +1,500 @@
+//! End-to-end tests of the store through its public API, run against the
+//! in-memory environment for hermeticity and speed.
+
+use std::sync::Arc;
+
+use lsm::{Db, Options, WriteBatch, WriteOptions};
+use sstable::env::{MemEnv, StorageEnv};
+
+fn mem_options() -> (Arc<MemEnv>, Options) {
+    let env = Arc::new(MemEnv::new());
+    let options = Options {
+        env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    (env, options)
+}
+
+/// Small-buffer options so flushes and compactions trigger quickly.
+fn small_options() -> (Arc<MemEnv>, Options) {
+    let (env, mut options) = mem_options();
+    options.write_buffer_size = 64 << 10;
+    options.max_file_size = 32 << 10;
+    options.level1_max_bytes = 128 << 10;
+    (env, options)
+}
+
+#[test]
+fn put_get_delete_roundtrip() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    assert_eq!(db.get(b"missing").unwrap(), None);
+    db.put(b"alpha", b"1").unwrap();
+    db.put(b"beta", b"2").unwrap();
+    assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()));
+    db.delete(b"alpha").unwrap();
+    assert_eq!(db.get(b"alpha").unwrap(), None);
+    assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()));
+}
+
+#[test]
+fn overwrites_return_latest() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..100 {
+        db.put(b"key", format!("v{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(db.get(b"key").unwrap(), Some(b"v99".to_vec()));
+}
+
+#[test]
+fn batch_is_atomic_and_ordered() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    let mut batch = WriteBatch::new();
+    batch.put(b"a", b"1");
+    batch.put(b"b", b"2");
+    batch.delete(b"a");
+    db.write(batch, WriteOptions::default()).unwrap();
+    assert_eq!(db.get(b"a").unwrap(), None);
+    assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+}
+
+#[test]
+fn reads_hit_sstables_after_flush() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..500 {
+        db.put(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes())
+            .unwrap();
+    }
+    db.flush().unwrap();
+    let counts = db.level_file_counts();
+    assert!(counts[0] >= 1, "flush should create an L0 file: {counts:?}");
+    for i in (0..500).step_by(17) {
+        assert_eq!(
+            db.get(format!("key{i:04}").as_bytes()).unwrap(),
+            Some(format!("val{i}").into_bytes()),
+            "key{i:04}"
+        );
+    }
+    assert_eq!(db.get(b"key9999").unwrap(), None);
+}
+
+#[test]
+fn deletes_survive_flush() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.flush().unwrap();
+    db.delete(b"k").unwrap();
+    db.flush().unwrap();
+    assert_eq!(db.get(b"k").unwrap(), None);
+}
+
+#[test]
+fn recovery_from_wal() {
+    let (env, options) = mem_options();
+    {
+        let db = Db::open("/db", options.clone()).unwrap();
+        db.put(b"persisted", b"yes").unwrap();
+        db.put(b"deleted", b"no").unwrap();
+        db.delete(b"deleted").unwrap();
+        // Dropped without flush: data only in the WAL.
+    }
+    let options2 = Options {
+        env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    let db = Db::open("/db", options2).unwrap();
+    assert_eq!(db.get(b"persisted").unwrap(), Some(b"yes".to_vec()));
+    assert_eq!(db.get(b"deleted").unwrap(), None);
+    let _ = options;
+}
+
+#[test]
+fn recovery_from_manifest_and_tables() {
+    let (env, options) = mem_options();
+    {
+        let db = Db::open("/db", options.clone()).unwrap();
+        for i in 0..200 {
+            db.put(format!("key{i:04}").as_bytes(), b"stable").unwrap();
+        }
+        db.flush().unwrap();
+        db.put(b"in-wal-only", b"fresh").unwrap();
+    }
+    let options2 = Options {
+        env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    let db = Db::open("/db", options2).unwrap();
+    assert_eq!(db.get(b"key0042").unwrap(), Some(b"stable".to_vec()));
+    assert_eq!(db.get(b"in-wal-only").unwrap(), Some(b"fresh".to_vec()));
+    let _ = options;
+}
+
+#[test]
+fn compactions_triggered_and_data_survives() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    // Write enough to force several flushes and at least one compaction.
+    let value = vec![0xabu8; 512];
+    for i in 0..2000u32 {
+        db.put(format!("key{:06}", i % 700).as_bytes(), &value).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+    let stats = db.stats();
+    assert!(stats.flushes >= 2, "expected multiple flushes: {stats:?}");
+    assert!(
+        stats.engine_compactions + stats.trivial_moves + stats.sw_fallback_compactions
+            >= 1,
+        "expected at least one compaction: {stats:?}"
+    );
+    // All 700 distinct keys must read back the last written value.
+    for i in 0..700u32 {
+        assert_eq!(
+            db.get(format!("key{i:06}").as_bytes()).unwrap().as_deref(),
+            Some(&value[..]),
+            "key{i:06}"
+        );
+    }
+    // Deeper levels got populated.
+    let counts = db.level_file_counts();
+    assert!(counts.iter().skip(1).any(|&c| c > 0), "levels: {counts:?}");
+}
+
+#[test]
+fn snapshot_reads_are_frozen() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    db.put(b"k", b"old").unwrap();
+    let snap = db.snapshot();
+    db.put(b"k", b"new").unwrap();
+    db.delete(b"gone-later").unwrap();
+    let read_opts = lsm::ReadOptions { snapshot: Some(snap.sequence) };
+    assert_eq!(db.get_with(b"k", read_opts).unwrap(), Some(b"old".to_vec()));
+    assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
+}
+
+#[test]
+fn snapshot_protects_entries_across_flush() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    db.put(b"k", b"v1").unwrap();
+    let snap = db.snapshot();
+    db.put(b"k", b"v2").unwrap();
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+    let read_opts = lsm::ReadOptions { snapshot: Some(snap.sequence) };
+    assert_eq!(db.get_with(b"k", read_opts).unwrap(), Some(b"v1".to_vec()));
+}
+
+#[test]
+fn scan_returns_live_range_in_order() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..300u32 {
+        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    db.delete(b"key0005").unwrap();
+    db.put(b"key0006", b"updated").unwrap();
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+
+    let got = db.scan(b"key0003", Some(b"key0009"), 100).unwrap();
+    let keys: Vec<String> =
+        got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+    assert_eq!(keys, ["key0003", "key0004", "key0006", "key0007", "key0008"]);
+    let v6 = &got[2].1;
+    assert_eq!(v6, b"updated");
+
+    // Limit applies.
+    let got = db.scan(b"key0000", None, 10).unwrap();
+    assert_eq!(got.len(), 10);
+}
+
+#[test]
+fn sequential_fill_then_read_all() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..3000u32 {
+        db.put(format!("{i:08}").as_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+    for i in (0..3000u32).step_by(101) {
+        assert_eq!(
+            db.get(format!("{i:08}").as_bytes()).unwrap(),
+            Some(i.to_le_bytes().to_vec())
+        );
+    }
+}
+
+#[test]
+fn stats_accumulate() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..1000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &[1u8; 256]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+    let s = db.stats();
+    assert!(s.flushes > 0);
+    assert_eq!(db.engine_name(), "cpu");
+}
+
+#[test]
+fn block_cache_serves_repeated_reads() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..2000u32 {
+        db.put(format!("key{i:05}").as_bytes(), &[7u8; 200]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+    // Repeated point reads of the same keys should hit the shared cache.
+    for _ in 0..5 {
+        for i in (0..2000u32).step_by(100) {
+            db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
+        }
+    }
+    let stats = db.stats();
+    assert!(
+        stats.block_cache_hits > 0,
+        "expected cache hits: {stats:?}"
+    );
+    assert!(stats.block_cache_hits + stats.block_cache_misses > 0);
+}
+
+#[test]
+fn disabling_block_cache_works() {
+    let (_env, mut options) = small_options();
+    options.block_cache_bytes = None;
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..500u32 {
+        db.put(format!("key{i:05}").as_bytes(), b"v").unwrap();
+    }
+    db.flush().unwrap();
+    for i in (0..500u32).step_by(50) {
+        assert!(db.get(format!("key{i:05}").as_bytes()).unwrap().is_some());
+    }
+    let stats = db.stats();
+    assert_eq!(stats.block_cache_hits + stats.block_cache_misses, 0);
+}
+
+#[test]
+fn compact_all_drains_pending_work() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..3000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &[9u8; 300]).unwrap();
+    }
+    db.compact_all().unwrap();
+    let counts = db.level_file_counts();
+    // After a full manual compaction nothing is left over budget and the
+    // data has moved below L0.
+    assert_eq!(counts[0], 0, "L0 should be drained: {counts:?}");
+    for i in (0..3000u32).step_by(101) {
+        assert!(db.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+    }
+}
+
+#[test]
+fn streaming_iterator_walks_live_keys() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..500u32 {
+        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    db.delete(b"key0010").unwrap();
+    db.put(b"key0011", b"updated").unwrap();
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+
+    let mut it = db.iter().unwrap();
+    it.seek_to_first();
+    assert!(it.valid());
+    assert_eq!(it.key(), b"key0000");
+    let mut count = 0;
+    let mut saw_11_updated = false;
+    while it.valid() {
+        assert_ne!(it.key(), b"key0010", "deleted key must not appear");
+        if it.key() == b"key0011" {
+            assert_eq!(it.value(), b"updated");
+            saw_11_updated = true;
+        }
+        count += 1;
+        it.next();
+    }
+    assert_eq!(count, 499);
+    assert!(saw_11_updated);
+    it.status().unwrap();
+
+    // Seek semantics.
+    let mut it = db.iter().unwrap();
+    it.seek(b"key0123");
+    assert_eq!(it.key(), b"key0123");
+    it.seek(b"key0010"); // deleted: lands on successor
+    assert_eq!(it.key(), b"key0011");
+    it.seek(b"zzz");
+    assert!(!it.valid());
+}
+
+#[test]
+fn iterator_is_snapshot_consistent() {
+    let (_env, options) = mem_options();
+    let db = Db::open("/db", options).unwrap();
+    db.put(b"a", b"1").unwrap();
+    db.put(b"b", b"2").unwrap();
+    let mut it = db.iter().unwrap();
+    // Writes after iterator creation are invisible to it.
+    db.put(b"c", b"3").unwrap();
+    db.delete(b"a").unwrap();
+    it.seek_to_first();
+    let mut keys = Vec::new();
+    while it.valid() {
+        keys.push(it.key().to_vec());
+        it.next();
+    }
+    assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec()]);
+}
+
+/// A storage env whose writes carry latency, giving group commit a
+/// realistic window in which concurrent writers can queue up.
+struct SlowWriteEnv {
+    inner: Arc<MemEnv>,
+    write_delay: std::time::Duration,
+}
+
+struct SlowWritable {
+    inner: Box<dyn sstable::env::WritableFile>,
+    delay: std::time::Duration,
+}
+
+impl sstable::env::WritableFile for SlowWritable {
+    fn append(&mut self, data: &[u8]) -> sstable::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.append(data)
+    }
+    fn flush(&mut self) -> sstable::Result<()> {
+        self.inner.flush()
+    }
+    fn sync(&mut self) -> sstable::Result<()> {
+        self.inner.sync()
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+impl StorageEnv for SlowWriteEnv {
+    fn open_random_access(
+        &self,
+        path: &std::path::Path,
+    ) -> sstable::Result<Box<dyn sstable::env::RandomAccessFile>> {
+        self.inner.open_random_access(path)
+    }
+    fn create_writable(
+        &self,
+        path: &std::path::Path,
+    ) -> sstable::Result<Box<dyn sstable::env::WritableFile>> {
+        Ok(Box::new(SlowWritable {
+            inner: self.inner.create_writable(path)?,
+            delay: self.write_delay,
+        }))
+    }
+    fn remove_file(&self, path: &std::path::Path) -> sstable::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn create_dir_all(&self, path: &std::path::Path) -> sstable::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn list_dir(&self, path: &std::path::Path) -> sstable::Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+    fn file_exists(&self, path: &std::path::Path) -> bool {
+        self.inner.file_exists(path)
+    }
+    fn rename(
+        &self,
+        from: &std::path::Path,
+        to: &std::path::Path,
+    ) -> sstable::Result<()> {
+        self.inner.rename(from, to)
+    }
+}
+
+#[test]
+fn group_commit_batches_concurrent_writers() {
+    // 20 µs per WAL write gives followers a window to queue.
+    let env = Arc::new(SlowWriteEnv {
+        inner: Arc::new(MemEnv::new()),
+        write_delay: std::time::Duration::from_micros(20),
+    });
+    let options = Options {
+        env: env as Arc<dyn StorageEnv>,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    let db = std::sync::Arc::new(Db::open("/db", options).unwrap());
+    const THREADS: u64 = 8;
+    const OPS: u64 = 500;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = std::sync::Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..OPS {
+                    db.put(format!("t{t}-{i:05}").as_bytes(), b"value").unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.grouped_writes, THREADS * OPS, "{stats:?}");
+    assert!(
+        stats.group_commits < stats.grouped_writes,
+        "expected some grouping: {} commits for {} writes",
+        stats.group_commits,
+        stats.grouped_writes
+    );
+    // Everything readable.
+    for t in 0..THREADS {
+        for i in (0..OPS).step_by(199) {
+            assert!(db.get(format!("t{t}-{i:05}").as_bytes()).unwrap().is_some());
+        }
+    }
+}
+
+#[test]
+fn grouped_writes_assign_disjoint_sequences() {
+    // Interleaved writers must never clobber each other even under heavy
+    // overwrite of the same keys.
+    let (_env, options) = mem_options();
+    let db = std::sync::Arc::new(Db::open("/db", options).unwrap());
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let db = std::sync::Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    db.put(b"shared", format!("t{t}-i{i}").as_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final value must be one thread's final write.
+    let v = db.get(b"shared").unwrap().unwrap();
+    let s = String::from_utf8(v).unwrap();
+    assert!(s.ends_with("-i999"), "final value {s}");
+}

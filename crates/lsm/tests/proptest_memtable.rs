@@ -1,0 +1,134 @@
+//! Property tests for the skiplist memtable: it must agree with a
+//! reference `BTreeMap` keyed by (user key, reverse sequence) under
+//! arbitrary insert sequences, for point lookups at arbitrary snapshots
+//! and for full iteration order.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm::memtable::{MemGet, MemTable};
+use proptest::prelude::*;
+use sstable::comparator::InternalKeyComparator;
+use sstable::ikey::{parse_internal_key, LookupKey, ValueType};
+use sstable::iterator::InternalIterator;
+
+#[derive(Debug, Clone)]
+struct Ins {
+    key_id: u8,
+    delete: bool,
+    value: Vec<u8>,
+}
+
+fn inserts() -> impl Strategy<Value = Vec<Ins>> {
+    proptest::collection::vec(
+        (0u8..20, any::<bool>(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(key_id, delete, value)| Ins { key_id, delete, value }),
+        1..200,
+    )
+}
+
+fn user_key(id: u8) -> Vec<u8> {
+    format!("key{id:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Point lookups at every snapshot agree with the reference history.
+    #[test]
+    fn get_matches_reference(ops in inserts(), probe_seqs in proptest::collection::vec(0u64..260, 1..12)) {
+        let mut mem = MemTable::new(InternalKeyComparator::default());
+        // history[key] = Vec<(seq, Option<value>)>
+        let mut history: BTreeMap<Vec<u8>, Vec<(u64, Option<Vec<u8>>)>> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let uk = user_key(op.key_id);
+            if op.delete {
+                mem.add(seq, ValueType::Deletion, &uk, &[]);
+                history.entry(uk).or_default().push((seq, None));
+            } else {
+                mem.add(seq, ValueType::Value, &uk, &op.value);
+                history.entry(uk).or_default().push((seq, Some(op.value.clone())));
+            }
+        }
+
+        for &snap in &probe_seqs {
+            for id in 0u8..20 {
+                let uk = user_key(id);
+                let expected = history
+                    .get(&uk)
+                    .and_then(|h| h.iter().rev().find(|(s, _)| *s <= snap))
+                    .map(|(_, v)| v.clone());
+                let got = mem.get(&LookupKey::new(&uk, snap));
+                match (expected, got) {
+                    (None, MemGet::NotFound) => {}
+                    (Some(None), MemGet::Deleted) => {}
+                    (Some(Some(v)), MemGet::Value(g)) => prop_assert_eq!(v, g),
+                    (e, g) => prop_assert!(
+                        false,
+                        "key {id} snap {snap}: expected {e:?}, got {g:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Iteration yields internal keys in exact comparator order, covering
+    /// every inserted entry.
+    #[test]
+    fn iteration_is_sorted_and_complete(ops in inserts()) {
+        let mut mem = MemTable::new(InternalKeyComparator::default());
+        for (i, op) in ops.iter().enumerate() {
+            let ty = if op.delete { ValueType::Deletion } else { ValueType::Value };
+            mem.add(i as u64 + 1, ty, &user_key(op.key_id), &op.value);
+        }
+        let mem = Arc::new(mem);
+        let mut it = mem.iter();
+        it.seek_to_first();
+        let mut count = 0usize;
+        let mut last: Option<(Vec<u8>, u64)> = None;
+        while it.valid() {
+            let p = parse_internal_key(it.key()).unwrap();
+            if let Some((lk, ls)) = &last {
+                // user key ascending; same user key -> seq descending.
+                let cur = (p.user_key.to_vec(), p.sequence);
+                prop_assert!(
+                    lk < &cur.0 || (lk == &cur.0 && *ls > cur.1),
+                    "order violated: ({lk:?},{ls}) then {cur:?}"
+                );
+            }
+            last = Some((p.user_key.to_vec(), p.sequence));
+            count += 1;
+            it.next();
+        }
+        prop_assert_eq!(count, ops.len());
+    }
+
+    /// collect_range returns exactly the entries inside the bounds.
+    #[test]
+    fn collect_range_respects_bounds(
+        ops in inserts(),
+        lo in 0u8..20,
+        span in 1u8..10,
+    ) {
+        let mut mem = MemTable::new(InternalKeyComparator::default());
+        for (i, op) in ops.iter().enumerate() {
+            mem.add(i as u64 + 1, ValueType::Value, &user_key(op.key_id), &op.value);
+        }
+        let start = user_key(lo);
+        let end = user_key(lo.saturating_add(span));
+        let got = mem.collect_range(&start, Some(&end));
+        let expected = ops
+            .iter()
+            .filter(|op| {
+                let k = user_key(op.key_id);
+                k >= start && k < end
+            })
+            .count();
+        prop_assert_eq!(got.len(), expected);
+        for (ik, _) in &got {
+            let p = parse_internal_key(ik).unwrap();
+            prop_assert!(p.user_key >= &start[..] && p.user_key < &end[..]);
+        }
+    }
+}

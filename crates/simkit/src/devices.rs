@@ -1,0 +1,168 @@
+//! Device models: durations for disk I/O, PCIe transfers, and a counted
+//! CPU-core resource with FIFO admission.
+//!
+//! All models return *durations* (in simulated nanoseconds); serialization
+//! of access is the caller's job — except [`CpuPool`], which tracks
+//! per-core busy-until times so callers can ask "when could this job
+//! start, and when would it finish?".
+
+use crate::queue::{from_secs_f64, SimTime};
+
+/// A simple disk: sequential bandwidth + per-operation seek latency.
+/// Defaults model the SATA SSD class of machine the paper evaluates on.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Sequential read bandwidth, bytes/sec.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/sec.
+    pub write_bw: f64,
+    /// Per-operation latency (seek + queue), seconds.
+    pub op_latency: f64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel { read_bw: 500e6, write_bw: 450e6, op_latency: 100e-6 }
+    }
+}
+
+impl DiskModel {
+    /// Duration of a sequential read of `bytes`.
+    pub fn read_time(&self, bytes: u64) -> SimTime {
+        from_secs_f64(self.op_latency + bytes as f64 / self.read_bw)
+    }
+
+    /// Duration of a sequential write of `bytes`.
+    pub fn write_time(&self, bytes: u64) -> SimTime {
+        from_secs_f64(self.op_latency + bytes as f64 / self.write_bw)
+    }
+
+    /// Duration of a random read of one block (latency-dominated).
+    pub fn random_read_time(&self, bytes: u64) -> SimTime {
+        self.read_time(bytes)
+    }
+}
+
+/// PCIe DMA link model.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieLink {
+    /// Effective unidirectional bandwidth, bytes/sec.
+    pub bandwidth: f64,
+    /// Per-transfer setup latency, seconds.
+    pub latency: f64,
+}
+
+impl Default for PcieLink {
+    fn default() -> Self {
+        PcieLink { bandwidth: 12.8e9, latency: 10e-6 }
+    }
+}
+
+impl PcieLink {
+    /// Duration of one DMA of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        from_secs_f64(self.latency + bytes as f64 / self.bandwidth)
+    }
+}
+
+/// A pool of identical cores. Jobs are admitted to the earliest-free core;
+/// the pool answers when a job submitted at `t` would start and finish.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    /// Per-core time at which the core becomes free.
+    busy_until: Vec<SimTime>,
+}
+
+impl CpuPool {
+    /// Creates a pool of `cores` cores, all free at time zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores >= 1);
+        CpuPool { busy_until: vec![0; cores] }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Schedules a job of `duration` submitted at `now`; returns
+    /// `(start, finish)` and marks the chosen core busy.
+    pub fn run(&mut self, now: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        let core = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("pool has at least one core");
+        let start = self.busy_until[core].max(now);
+        let finish = start.saturating_add(duration);
+        self.busy_until[core] = finish;
+        (start, finish)
+    }
+
+    /// Earliest time a new job submitted at `now` could start.
+    pub fn earliest_start(&self, now: SimTime) -> SimTime {
+        self.busy_until.iter().copied().min().unwrap_or(0).max(now)
+    }
+
+    /// True if some core is free at `now`.
+    pub fn has_free_core(&self, now: SimTime) -> bool {
+        self.busy_until.iter().any(|&t| t <= now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SECOND;
+
+    #[test]
+    fn disk_times_scale_with_bytes() {
+        let d = DiskModel::default();
+        let small = d.read_time(1 << 20);
+        let big = d.read_time(100 << 20);
+        assert!(big > 50 * small / 2);
+        assert!(d.write_time(1 << 20) > d.read_time(1 << 20)); // slower writes
+        // Latency floor.
+        assert!(d.read_time(0) >= from_secs_f64(d.op_latency));
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let p = PcieLink::default();
+        // 12.8 GB in one second (+latency).
+        let t = p.transfer_time(12_800_000_000);
+        assert!((t as i64 - SECOND as i64).unsigned_abs() < SECOND / 100);
+    }
+
+    #[test]
+    fn cpu_pool_serializes_on_one_core() {
+        let mut pool = CpuPool::new(1);
+        let (s1, f1) = pool.run(0, 100);
+        assert_eq!((s1, f1), (0, 100));
+        let (s2, f2) = pool.run(10, 50);
+        assert_eq!((s2, f2), (100, 150), "second job waits for the core");
+        assert!(!pool.has_free_core(120));
+        assert!(pool.has_free_core(150));
+    }
+
+    #[test]
+    fn cpu_pool_parallelizes_across_cores() {
+        let mut pool = CpuPool::new(2);
+        let (_, f1) = pool.run(0, 100);
+        let (s2, f2) = pool.run(0, 100);
+        assert_eq!(f1, 100);
+        assert_eq!((s2, f2), (0, 100), "second core runs in parallel");
+        let (s3, _) = pool.run(0, 10);
+        assert_eq!(s3, 100, "third job waits for the earliest-free core");
+    }
+
+    #[test]
+    fn earliest_start_accounts_for_now() {
+        let mut pool = CpuPool::new(1);
+        pool.run(0, 100);
+        assert_eq!(pool.earliest_start(0), 100);
+        assert_eq!(pool.earliest_start(500), 500);
+    }
+}

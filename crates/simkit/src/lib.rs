@@ -1,0 +1,15 @@
+//! A small discrete-event simulation kernel plus the device models the
+//! system-level experiments need (disk, PCIe link, CPU core pool).
+//!
+//! The kernel is deliberately generic: [`EventQueue<E>`] orders
+//! caller-defined events by simulated time (with a deterministic FIFO
+//! tie-break), and the system logic lives in the caller's event loop.
+//! The `systemsim` crate drives a whole LSM store through it.
+
+pub mod devices;
+pub mod queue;
+pub mod rng;
+
+pub use devices::{CpuPool, DiskModel, PcieLink};
+pub use queue::{EventQueue, SimTime};
+pub use rng::SplitMix64;

@@ -1,0 +1,184 @@
+//! Event queue: a time-ordered heap with deterministic FIFO tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// One nanosecond-resolution second.
+pub const SECOND: SimTime = 1_000_000_000;
+
+/// Converts seconds (f64) to [`SimTime`], saturating at the u64 range.
+pub fn from_secs_f64(s: f64) -> SimTime {
+    debug_assert!(s >= 0.0, "negative duration: {s}");
+    let ns = s * SECOND as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as SimTime
+    }
+}
+
+/// Converts [`SimTime`] to seconds.
+pub fn to_secs_f64(t: SimTime) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    // `E` ordering is irrelevant; (time, seq) is unique.
+    event: EventBox<E>,
+}
+
+// Manual impls: a derive would demand `E: Ord`, which events never need.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Wrapper that compares equal so only (time, seq) orders the heap.
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// A deterministic discrete-event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0 }
+    }
+
+    /// The current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedules `event` at an absolute time (clamped to `now()`).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event: EventBox(event) }));
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        Some((entry.time, entry.event.0))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.pop();
+        q.schedule(5, 2);
+        assert_eq!(q.pop(), Some((15, 2)));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 1);
+        q.pop();
+        q.schedule_at(10, 2); // in the past
+        assert_eq!(q.pop(), Some((100, 2)));
+    }
+
+    #[test]
+    fn seconds_conversion_roundtrips() {
+        for s in [0.0, 1e-9, 0.5, 1.0, 3600.0] {
+            let t = from_secs_f64(s);
+            assert!((to_secs_f64(t) - s).abs() < 1e-9, "{s}");
+        }
+        assert_eq!(from_secs_f64(f64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,146 @@
+//! Snappy decompressor.
+
+use crate::varint::read_uvarint;
+use crate::{Error, Result};
+
+/// Safety cap on the declared uncompressed size (1 GiB). The workloads in
+/// this workspace never exceed a few MiB per block; anything larger is a
+/// corrupt stream and refusing it bounds allocation on bad input.
+const MAX_DECOMPRESSED_LEN: u64 = 1 << 30;
+
+/// Returns the uncompressed length declared in the stream header without
+/// decoding the body.
+pub fn decompressed_len(stream: &[u8]) -> Result<usize> {
+    let (len, _) = read_uvarint(stream).ok_or(Error::Truncated)?;
+    if len > MAX_DECOMPRESSED_LEN {
+        return Err(Error::TooLarge(len));
+    }
+    Ok(len as usize)
+}
+
+/// Decompresses a full Snappy stream into a fresh vector.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
+    let len = decompressed_len(stream)?;
+    let mut out = vec![0u8; len];
+    decompress_into(stream, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into a caller-provided buffer whose length must equal the
+/// header-declared uncompressed length.
+pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<()> {
+    let (len, hdr) = read_uvarint(stream).ok_or(Error::Truncated)?;
+    if len > MAX_DECOMPRESSED_LEN {
+        return Err(Error::TooLarge(len));
+    }
+    let expected = len as usize;
+    if out.len() != expected {
+        return Err(Error::BadOutputLen { expected, actual: out.len() });
+    }
+    let mut src = &stream[hdr..];
+    let mut produced = 0usize;
+
+    while !src.is_empty() {
+        let tag = src[0];
+        src = &src[1..];
+        match tag & 0b11 {
+            0b00 => {
+                // Literal.
+                let mut lit_len = (tag >> 2) as usize;
+                if lit_len >= 60 {
+                    let extra = lit_len - 59; // 1..=4 extra length bytes
+                    if src.len() < extra {
+                        return Err(Error::Truncated);
+                    }
+                    let mut n = 0usize;
+                    for (i, &b) in src[..extra].iter().enumerate() {
+                        n |= (b as usize) << (8 * i);
+                    }
+                    lit_len = n;
+                    src = &src[extra..];
+                }
+                lit_len += 1;
+                if src.len() < lit_len {
+                    return Err(Error::Truncated);
+                }
+                if produced + lit_len > out.len() {
+                    return Err(Error::LengthMismatch {
+                        expected,
+                        actual: produced + lit_len,
+                    });
+                }
+                out[produced..produced + lit_len].copy_from_slice(&src[..lit_len]);
+                produced += lit_len;
+                src = &src[lit_len..];
+            }
+            0b01 => {
+                // Copy, 1-byte offset: len 4..11, 11-bit offset.
+                if src.is_empty() {
+                    return Err(Error::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0x7) as usize;
+                let offset = (((tag >> 5) as usize) << 8) | src[0] as usize;
+                src = &src[1..];
+                copy(out, &mut produced, offset, len, expected)?;
+            }
+            0b10 => {
+                // Copy, 2-byte little-endian offset: len 1..64.
+                if src.len() < 2 {
+                    return Err(Error::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u16::from_le_bytes([src[0], src[1]]) as usize;
+                src = &src[2..];
+                copy(out, &mut produced, offset, len, expected)?;
+            }
+            _ => {
+                // Copy, 4-byte little-endian offset: len 1..64.
+                if src.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset =
+                    u32::from_le_bytes([src[0], src[1], src[2], src[3]]) as usize;
+                src = &src[4..];
+                copy(out, &mut produced, offset, len, expected)?;
+            }
+        }
+    }
+
+    if produced != expected {
+        return Err(Error::LengthMismatch { expected, actual: produced });
+    }
+    Ok(())
+}
+
+/// Applies a back-reference copy, handling the overlapping (RLE) case a
+/// byte at a time.
+#[inline]
+fn copy(
+    out: &mut [u8],
+    produced: &mut usize,
+    offset: usize,
+    len: usize,
+    expected: usize,
+) -> Result<()> {
+    if offset == 0 {
+        return Err(Error::ZeroOffset);
+    }
+    if offset > *produced {
+        return Err(Error::OffsetTooLarge { offset, produced: *produced });
+    }
+    if *produced + len > out.len() {
+        return Err(Error::LengthMismatch { expected, actual: *produced + len });
+    }
+    let start = *produced - offset;
+    if offset >= len {
+        // Non-overlapping: a single memmove-able region.
+        out.copy_within(start..start + len, *produced);
+    } else {
+        for i in 0..len {
+            out[*produced + i] = out[start + i];
+        }
+    }
+    *produced += len;
+    Ok(())
+}

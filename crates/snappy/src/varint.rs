@@ -1,0 +1,61 @@
+//! LEB128-style unsigned varints, as used by the Snappy stream header.
+
+/// Appends `value` to `out` as a base-128 varint (7 bits per byte, LSB
+/// first, high bit set on continuation bytes).
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    while value >= 0x80 {
+        out.push((value as u8 & 0x7f) | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+/// Reads a varint from the front of `buf`, returning the value and the
+/// number of bytes consumed, or `None` if the buffer is truncated or the
+/// varint is longer than 10 bytes.
+pub fn read_uvarint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if i >= 10 {
+            return None;
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let (got, used) = read_uvarint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_is_none() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1 << 40);
+        for cut in 0..buf.len() {
+            assert!(read_uvarint(&buf[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn overlong_is_none() {
+        let buf = [0x80u8; 11];
+        assert!(read_uvarint(&buf).is_none());
+    }
+}

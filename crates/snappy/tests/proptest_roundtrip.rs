@@ -1,0 +1,52 @@
+//! Property-based tests for the Snappy codec.
+
+use proptest::prelude::*;
+use snap_codec::{compress, decompress, decompressed_len, max_compressed_len};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// compress ∘ decompress is the identity for arbitrary byte strings.
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = compress(&data);
+        prop_assert!(c.len() <= max_compressed_len(data.len()));
+        prop_assert_eq!(decompressed_len(&c).unwrap(), data.len());
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Highly repetitive inputs (the kind SSTable key prefixes produce)
+    /// roundtrip and actually shrink.
+    #[test]
+    fn roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 64usize..512,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data.clone());
+        if data.len() > 1024 {
+            prop_assert!(c.len() < data.len(), "repetitive data must shrink");
+        }
+    }
+
+    /// The decompressor never panics on arbitrary garbage; it either
+    /// decodes or returns an error.
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = decompress(&data);
+    }
+
+    /// Mutating one byte of a valid stream never panics the decoder.
+    #[test]
+    fn decompress_survives_bitflips(
+        data in proptest::collection::vec(any::<u8>(), 1..2_000),
+        flip_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut c = compress(&data);
+        let i = flip_at.index(c.len());
+        c[i] ^= xor;
+        if let Ok(out) = decompress(&c) { prop_assert!(out.len() < (1 << 30)) }
+    }
+}

@@ -1,0 +1,414 @@
+//! Immutable block reader and its iterator (restart-point binary search +
+//! sequential entry decoding).
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::coding::{decode_fixed32, get_varint32};
+use crate::comparator::Comparator;
+use crate::{corruption, Result};
+
+/// An immutable, decoded-on-demand block (data or index).
+#[derive(Clone)]
+pub struct Block {
+    /// Entry bytes followed by the restart array and count.
+    contents: Bytes,
+    /// Offset of the restart array.
+    restart_offset: usize,
+    /// Number of restart points.
+    num_restarts: u32,
+}
+
+impl Block {
+    /// Wraps decompressed block contents, validating the restart trailer.
+    pub fn new(contents: Bytes) -> Result<Block> {
+        if contents.len() < 4 {
+            return Err(corruption("block too small for restart count"));
+        }
+        let num_restarts = decode_fixed32(&contents[contents.len() - 4..]);
+        let max_restarts = (contents.len() as u64 - 4) / 4;
+        if u64::from(num_restarts) > max_restarts {
+            return Err(corruption(format!(
+                "restart count {num_restarts} exceeds block capacity"
+            )));
+        }
+        let restart_offset = contents.len() - 4 - num_restarts as usize * 4;
+        Ok(Block { contents, restart_offset, num_restarts })
+    }
+
+    /// Size of the raw block contents in bytes.
+    pub fn size(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// The raw (uncompressed) block contents, including the restart array.
+    /// Used by the FPGA host interface to relocate blocks into device
+    /// memory images.
+    pub fn contents(&self) -> &Bytes {
+        &self.contents
+    }
+
+    /// Number of restart points (≥1 for non-empty blocks).
+    pub fn num_restarts(&self) -> u32 {
+        self.num_restarts
+    }
+
+    fn restart_point(&self, i: u32) -> usize {
+        decode_fixed32(&self.contents[self.restart_offset + i as usize * 4..]) as usize
+    }
+
+    /// Creates an iterator over this block.
+    pub fn iter(&self, cmp: Arc<dyn Comparator>) -> BlockIter {
+        BlockIter {
+            block: self.clone(),
+            cmp,
+            current: self.restart_offset,
+            restart_index: self.num_restarts,
+            key: Vec::new(),
+            value_range: (0, 0),
+            corrupt: false,
+        }
+    }
+}
+
+/// Iterator over one block's entries.
+///
+/// Maintains the current entry's key (materialized, since prefix
+/// compression means the key bytes are not contiguous in the block) and a
+/// range pointing at the value bytes inside the block.
+pub struct BlockIter {
+    block: Block,
+    cmp: Arc<dyn Comparator>,
+    /// Offset of the current entry; `restart_offset` means "past the end".
+    current: usize,
+    /// Restart block containing `current`.
+    restart_index: u32,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    corrupt: bool,
+}
+
+impl BlockIter {
+    /// True if positioned on an entry.
+    pub fn valid(&self) -> bool {
+        !self.corrupt && self.current < self.block.restart_offset
+    }
+
+    /// True if the iterator hit a malformed entry.
+    pub fn corrupted(&self) -> bool {
+        self.corrupt
+    }
+
+    /// Current key (full, reconstructed from prefixes).
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        &self.key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        &self.block.contents[self.value_range.0..self.value_range.1]
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        if self.block.num_restarts == 0 || self.block.restart_offset == 0 {
+            self.mark_exhausted();
+            return;
+        }
+        self.seek_to_restart(0);
+        self.parse_next_entry();
+    }
+
+    /// Positions at the last entry.
+    pub fn seek_to_last(&mut self) {
+        if self.block.num_restarts == 0 || self.block.restart_offset == 0 {
+            self.mark_exhausted();
+            return;
+        }
+        self.seek_to_restart(self.block.num_restarts - 1);
+        // Walk forward to the final entry.
+        loop {
+            if !self.parse_next_entry() {
+                return;
+            }
+            if self.next_offset() >= self.block.restart_offset {
+                return; // positioned on the last entry
+            }
+            self.current = self.next_offset();
+        }
+    }
+
+    /// Positions at the first entry with key >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        if self.block.num_restarts == 0 || self.block.restart_offset == 0 {
+            self.mark_exhausted();
+            return;
+        }
+        // Binary search over restart points: find the last restart whose
+        // key is < target.
+        let mut left = 0u32;
+        let mut right = self.block.num_restarts - 1;
+        while left < right {
+            let mid = (left + right).div_ceil(2);
+            let offset = self.block.restart_point(mid);
+            match self.decode_restart_key(offset) {
+                Some(key_range) => {
+                    let key = &self.block.contents[key_range.0..key_range.1];
+                    if self.cmp.compare(key, target) == Ordering::Less {
+                        left = mid;
+                    } else {
+                        right = mid - 1;
+                    }
+                }
+                None => {
+                    self.corrupt = true;
+                    return;
+                }
+            }
+        }
+        self.seek_to_restart(left);
+        // Linear scan within the restart block.
+        loop {
+            if !self.parse_next_entry() {
+                return;
+            }
+            if self.cmp.compare(&self.key, target) != Ordering::Less {
+                return;
+            }
+            let next = self.next_offset();
+            if next >= self.block.restart_offset {
+                self.mark_exhausted();
+                return;
+            }
+            self.current = next;
+            self.maybe_advance_restart_index();
+        }
+    }
+
+    /// Advances to the next entry.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid());
+        let next = self.next_offset();
+        if next >= self.block.restart_offset {
+            self.mark_exhausted();
+            return;
+        }
+        self.current = next;
+        self.maybe_advance_restart_index();
+        self.parse_next_entry();
+    }
+
+    /// Steps back to the previous entry (re-scans from the prior restart).
+    pub fn prev(&mut self) {
+        debug_assert!(self.valid());
+        let original = self.current;
+        // Find the restart point strictly before the current entry.
+        while self.block.restart_point(self.restart_index) >= original {
+            if self.restart_index == 0 {
+                self.mark_exhausted();
+                return;
+            }
+            self.restart_index -= 1;
+        }
+        self.seek_to_restart(self.restart_index);
+        loop {
+            if !self.parse_next_entry() {
+                return;
+            }
+            if self.next_offset() >= original {
+                return;
+            }
+            self.current = self.next_offset();
+        }
+    }
+
+    fn mark_exhausted(&mut self) {
+        self.current = self.block.restart_offset;
+        self.restart_index = self.block.num_restarts;
+    }
+
+    fn next_offset(&self) -> usize {
+        self.value_range.1
+    }
+
+    fn seek_to_restart(&mut self, index: u32) {
+        self.key.clear();
+        self.restart_index = index;
+        self.current = self.block.restart_point(index);
+        self.value_range = (self.current, self.current);
+    }
+
+    fn maybe_advance_restart_index(&mut self) {
+        while self.restart_index + 1 < self.block.num_restarts
+            && self.block.restart_point(self.restart_index + 1) <= self.current
+        {
+            self.restart_index += 1;
+        }
+    }
+
+    /// Decodes the entry at `self.current` into `key`/`value_range`.
+    /// Returns false (and flags corruption or exhaustion) on failure.
+    fn parse_next_entry(&mut self) -> bool {
+        if self.current >= self.block.restart_offset {
+            self.mark_exhausted();
+            return false;
+        }
+        let data = &self.block.contents[..self.block.restart_offset];
+        let mut p = self.current;
+        let Some((shared, n1)) = get_varint32(&data[p..]) else {
+            self.corrupt = true;
+            return false;
+        };
+        p += n1;
+        let Some((non_shared, n2)) = get_varint32(&data[p..]) else {
+            self.corrupt = true;
+            return false;
+        };
+        p += n2;
+        let Some((value_len, n3)) = get_varint32(&data[p..]) else {
+            self.corrupt = true;
+            return false;
+        };
+        p += n3;
+        let (shared, non_shared, value_len) =
+            (shared as usize, non_shared as usize, value_len as usize);
+        if shared > self.key.len() || p + non_shared + value_len > data.len() {
+            self.corrupt = true;
+            return false;
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&data[p..p + non_shared]);
+        self.value_range = (p + non_shared, p + non_shared + value_len);
+        true
+    }
+
+    /// Decodes just the key range of a restart entry (shared must be 0).
+    fn decode_restart_key(&self, offset: usize) -> Option<(usize, usize)> {
+        let data = &self.block.contents[..self.block.restart_offset];
+        let mut p = offset;
+        let (shared, n1) = get_varint32(&data[p..])?;
+        p += n1;
+        let (non_shared, n2) = get_varint32(&data[p..])?;
+        p += n2;
+        let (_value_len, n3) = get_varint32(&data[p..])?;
+        p += n3;
+        if shared != 0 || p + non_shared as usize > data.len() {
+            return None;
+        }
+        Some((p, p + non_shared as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_builder::BlockBuilder;
+    use crate::comparator::BytewiseComparator;
+
+    fn sample_block(n: usize, interval: usize) -> (Block, Vec<(Vec<u8>, Vec<u8>)>) {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+            .map(|i| {
+                (format!("key{i:05}").into_bytes(), format!("value-{i}").into_bytes())
+            })
+            .collect();
+        let mut b = BlockBuilder::new(interval);
+        for (k, v) in &entries {
+            b.add(k, v);
+        }
+        (Block::new(b.finish().to_vec().into()).unwrap(), entries)
+    }
+
+    #[test]
+    fn seek_finds_exact_and_between() {
+        let (block, entries) = sample_block(100, 16);
+        let mut it = block.iter(Arc::new(BytewiseComparator));
+        // Exact hits.
+        for (k, v) in &entries {
+            it.seek(k);
+            assert!(it.valid());
+            assert_eq!(it.key(), &k[..]);
+            assert_eq!(it.value(), &v[..]);
+        }
+        // Between keys: "key00010x" -> key00011.
+        it.seek(b"key00010x");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"key00011");
+        // Before all.
+        it.seek(b"aaa");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"key00000");
+        // Past all.
+        it.seek(b"zzz");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn forward_scan_covers_all() {
+        for interval in [1usize, 2, 7, 16, 64] {
+            let (block, entries) = sample_block(137, interval);
+            let mut it = block.iter(Arc::new(BytewiseComparator));
+            it.seek_to_first();
+            let mut count = 0;
+            while it.valid() {
+                assert_eq!(it.key(), &entries[count].0[..]);
+                count += 1;
+                it.next();
+            }
+            assert_eq!(count, entries.len(), "interval {interval}");
+        }
+    }
+
+    #[test]
+    fn backward_scan_covers_all() {
+        let (block, entries) = sample_block(60, 8);
+        let mut it = block.iter(Arc::new(BytewiseComparator));
+        it.seek_to_last();
+        let mut idx = entries.len();
+        while it.valid() {
+            idx -= 1;
+            assert_eq!(it.key(), &entries[idx].0[..]);
+            it.prev();
+        }
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn corrupt_restart_count_rejected() {
+        // Claims more restarts than the block can hold.
+        let mut contents = vec![0u8; 8];
+        contents.extend_from_slice(&100u32.to_le_bytes());
+        assert!(Block::new(contents.into()).is_err());
+        assert!(Block::new(vec![1, 2].into()).is_err());
+    }
+
+    #[test]
+    fn corrupt_entry_sets_flag_not_panic() {
+        // restart array says entry at 0, but entry bytes are garbage
+        // varints pointing past the end.
+        let mut contents = vec![0x05, 0xff, 0xff];
+        contents.extend_from_slice(&0u32.to_le_bytes()); // restart[0] = 0
+        contents.extend_from_slice(&1u32.to_le_bytes()); // num_restarts = 1
+        let block = Block::new(contents.into()).unwrap();
+        let mut it = block.iter(Arc::new(BytewiseComparator));
+        it.seek_to_first();
+        assert!(!it.valid());
+        assert!(it.corrupted());
+    }
+
+    #[test]
+    fn seek_on_single_entry_block() {
+        let (block, _) = sample_block(1, 16);
+        let mut it = block.iter(Arc::new(BytewiseComparator));
+        it.seek(b"key00000");
+        assert!(it.valid());
+        it.seek(b"key00001");
+        assert!(!it.valid());
+        it.seek_to_last();
+        assert!(it.valid());
+        assert_eq!(it.key(), b"key00000");
+    }
+}

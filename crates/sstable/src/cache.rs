@@ -1,0 +1,233 @@
+//! A sharded LRU block cache (LevelDB's `Cache`), shared across all open
+//! tables: keyed by (table id, block offset), charged by block size.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::Block;
+
+/// Number of shards (reduces lock contention, as in LevelDB's
+/// `ShardedLRUCache`).
+const SHARDS: usize = 16;
+
+/// Globally unique id given to each opened table, used as the cache key
+/// prefix (LevelDB's `NewId`).
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a table cache id.
+pub fn new_cache_id() -> u64 {
+    NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    table: u64,
+    offset: u64,
+}
+
+struct Entry {
+    block: Block,
+    charge: usize,
+    /// LRU tick.
+    used: u64,
+}
+
+struct Shard {
+    map: HashMap<Key, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn evict_to(&mut self, capacity: usize) {
+        while self.bytes > capacity && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.charge;
+            }
+        }
+    }
+}
+
+/// The shared block cache.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Creates a cache of roughly `capacity_bytes` total.
+    pub fn new(capacity_bytes: usize) -> Arc<Self> {
+        Arc::new(BlockCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), bytes: 0, tick: 0 }))
+                .collect(),
+            capacity_per_shard: (capacity_bytes / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        // Mix so sequential offsets spread across shards.
+        let h = key
+            .table
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.offset.wrapping_mul(0xff51_afd7_ed55_8ccd));
+        &self.shards[(h >> 56) as usize % SHARDS]
+    }
+
+    /// Looks up the block for `(table_id, offset)`.
+    pub fn get(&self, table_id: u64, offset: u64) -> Option<Block> {
+        let key = Key { table: table_id, offset };
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(e) => {
+                e.used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.block.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a block, evicting LRU entries past capacity.
+    pub fn insert(&self, table_id: u64, offset: u64, block: Block) {
+        let key = Key { table: table_id, offset };
+        let charge = block.size().max(1);
+        let capacity = self.capacity_per_shard;
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.insert(key, Entry { block, charge, used: tick }) {
+            shard.bytes -= old.charge;
+        }
+        shard.bytes += charge;
+        shard.evict_to(capacity);
+    }
+
+    /// Drops every block belonging to `table_id` (file deleted).
+    pub fn evict_table(&self, table_id: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let removed: Vec<Key> = shard
+                .map
+                .keys()
+                .filter(|k| k.table == table_id)
+                .copied()
+                .collect();
+            for k in removed {
+                if let Some(e) = shard.map.remove(&k) {
+                    shard.bytes -= e.charge;
+                }
+            }
+        }
+    }
+
+    /// Total cached bytes.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Block {
+        // Minimal valid block: n filler bytes worth of one entry + trailer.
+        let mut b = crate::block_builder::BlockBuilder::new(16);
+        b.add(b"k", &vec![0u8; n]);
+        Block::new(b.finish().to_vec().into()).unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = BlockCache::new(1 << 20);
+        assert!(c.get(1, 0).is_none());
+        c.insert(1, 0, block(100));
+        assert!(c.get(1, 0).is_some());
+        assert!(c.get(1, 4096).is_none());
+        assert!(c.get(2, 0).is_none());
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (1, 3));
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        // Per-shard capacity 32 KiB ≈ 7 four-KiB blocks.
+        let c = BlockCache::new((SHARDS * 32) << 10);
+        for i in 0..1000u64 {
+            c.insert(1, i * 4096, block(4096));
+        }
+        assert!(
+            c.bytes() <= (SHARDS * 40) << 10,
+            "bytes {} over capacity",
+            c.bytes()
+        );
+        // Some recent inserts survive in their shards.
+        assert!((990..1000u64).any(|i| c.get(1, i * 4096).is_some()));
+    }
+
+    #[test]
+    fn lru_prefers_recent() {
+        let c = BlockCache::new(SHARDS * 3000);
+        // Per-shard capacity 3000 bytes ≈ 2 blocks of ~1100.
+        for i in 0..6u64 {
+            c.insert(1, i, block(1000));
+        }
+        // Touch the oldest surviving entries to refresh them, then insert
+        // more and verify refresh helped at least once.
+        let mut survivors: Vec<u64> = (0..6).filter(|&i| c.get(1, i).is_some()).collect();
+        assert!(!survivors.is_empty());
+        let refreshed = survivors.pop().unwrap();
+        for i in 6..12u64 {
+            c.insert(1, i, block(1000));
+        }
+        // The refreshed key is at least as likely to be present as any
+        // unrefreshed one; just assert no panic and bounded memory.
+        let _ = c.get(1, refreshed);
+        assert!(c.bytes() <= SHARDS * 4500);
+    }
+
+    #[test]
+    fn evict_table_removes_all() {
+        let c = BlockCache::new(1 << 20);
+        for i in 0..20u64 {
+            c.insert(7, i * 4096, block(500));
+            c.insert(8, i * 4096, block(500));
+        }
+        c.evict_table(7);
+        for i in 0..20u64 {
+            assert!(c.get(7, i * 4096).is_none());
+        }
+        assert!((0..20u64).any(|i| c.get(8, i * 4096).is_some()));
+    }
+
+    #[test]
+    fn cache_ids_are_unique() {
+        let a = new_cache_id();
+        let b = new_cache_id();
+        assert_ne!(a, b);
+    }
+}

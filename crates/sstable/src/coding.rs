@@ -1,0 +1,174 @@
+//! Integer encodings used throughout the LevelDB format: little-endian
+//! fixed-width and base-128 varints.
+
+/// Appends a little-endian `u32`.
+#[inline]
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+#[inline]
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` from the start of `src`.
+///
+/// # Panics
+/// Panics if `src` is shorter than 4 bytes.
+#[inline]
+pub fn decode_fixed32(src: &[u8]) -> u32 {
+    u32::from_le_bytes(src[..4].try_into().unwrap())
+}
+
+/// Reads a little-endian `u64` from the start of `src`.
+///
+/// # Panics
+/// Panics if `src` is shorter than 8 bytes.
+#[inline]
+pub fn decode_fixed64(src: &[u8]) -> u64 {
+    u64::from_le_bytes(src[..8].try_into().unwrap())
+}
+
+/// Appends `v` as a varint32 (at most 5 bytes).
+pub fn put_varint32(dst: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Appends `v` as a varint64 (at most 10 bytes).
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Decodes a varint32, returning `(value, bytes_consumed)`.
+pub fn get_varint32(src: &[u8]) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    for (i, &b) in src.iter().enumerate().take(5) {
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Decodes a varint64, returning `(value, bytes_consumed)`.
+pub fn get_varint64(src: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in src.iter().enumerate().take(10) {
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Number of bytes `put_varint32` will emit for `v`.
+pub fn varint32_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+/// Appends a length-prefixed byte slice (varint32 length, then bytes).
+pub fn put_length_prefixed_slice(dst: &mut Vec<u8>, s: &[u8]) {
+    put_varint32(dst, s.len() as u32);
+    dst.extend_from_slice(s);
+}
+
+/// Reads a length-prefixed slice, returning `(slice, bytes_consumed)`.
+pub fn get_length_prefixed_slice(src: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint32(src)?;
+    let len = len as usize;
+    if src.len() < n + len {
+        return None;
+    }
+    Some((&src[n..n + len], n + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdead_beef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(decode_fixed32(&buf), 0xdead_beef);
+        assert_eq!(decode_fixed64(&buf[4..]), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn varint32_roundtrip_boundaries() {
+        for v in [0u32, 1, 0x7f, 0x80, 0x3fff, 0x4000, 0x1f_ffff, 0x20_0000, u32::MAX] {
+            let mut buf = Vec::new();
+            put_varint32(&mut buf, v);
+            assert_eq!(buf.len(), varint32_len(v), "len for {v:#x}");
+            let (got, used) = get_varint32(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint64_roundtrip_boundaries() {
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (got, used) = get_varint64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(get_varint64(&buf[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"alpha");
+        put_length_prefixed_slice(&mut buf, b"");
+        put_length_prefixed_slice(&mut buf, &[9u8; 300]);
+        let (a, n1) = get_length_prefixed_slice(&buf).unwrap();
+        assert_eq!(a, b"alpha");
+        let (b, n2) = get_length_prefixed_slice(&buf[n1..]).unwrap();
+        assert_eq!(b, b"");
+        let (c, n3) = get_length_prefixed_slice(&buf[n1 + n2..]).unwrap();
+        assert_eq!(c, &[9u8; 300][..]);
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_truncated_is_none() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        assert!(get_length_prefixed_slice(&buf[..3]).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! CRC32C (Castagnoli) with LevelDB's mask/unmask scheme, implemented with
+//! a slice-by-8 table for throughput (the checksum runs over every block
+//! written or read).
+
+const POLY: u32 = 0x82f6_3b78; // reflected Castagnoli polynomial
+
+/// Eight 256-entry tables for slice-by-8.
+struct Tables([[u32; 256]; 8]);
+
+static TABLES: Tables = build_tables();
+
+const fn build_tables() -> Tables {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut n = 1;
+    while n < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[n - 1][i];
+            t[n][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        n += 1;
+    }
+    Tables(t)
+}
+
+/// Computes the CRC32C of `data` starting from an initial value
+/// (use 0 for a fresh checksum).
+pub fn extend(init: u32, data: &[u8]) -> u32 {
+    let t = &TABLES.0;
+    let mut crc = !init;
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = crc ^ u32::from_le_bytes(c[..4].try_into().unwrap());
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// CRC32C of `data` from scratch.
+pub fn value(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// LevelDB masks stored CRCs so that computing the CRC of a string that
+/// itself contains embedded CRCs does not degenerate.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Inverse of [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vectors() {
+        // RFC 3720 / well-known CRC32C test vectors.
+        assert_eq!(value(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(value(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(value(&ascending), 0x46dd_794e);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(value(&descending), 0x113f_db5c);
+        assert_eq!(value(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn extend_equals_concat() {
+        let a = b"hello ";
+        let b = b"world";
+        let whole = value(b"hello world");
+        assert_eq!(extend(value(a), b), whole);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_crcs() {
+        assert_ne!(value(b"a"), value(b"foo"));
+        assert_ne!(value(b"foo"), value(b"bar"));
+    }
+
+    #[test]
+    fn mask_roundtrip_and_differs() {
+        let crc = value(b"foo");
+        assert_ne!(crc, mask(crc));
+        assert_ne!(crc, mask(mask(crc)));
+        assert_eq!(crc, unmask(mask(crc)));
+        assert_eq!(crc, unmask(unmask(mask(mask(crc)))));
+    }
+
+    #[test]
+    fn slice_by_8_matches_bitwise_reference() {
+        fn bitwise(data: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &b in data {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                }
+            }
+            !crc
+        }
+        let mut data = Vec::new();
+        for i in 0..1000u32 {
+            data.push((i.wrapping_mul(2_654_435_761) >> 24) as u8);
+            assert_eq!(value(&data), bitwise(&data), "len {}", data.len());
+        }
+    }
+}

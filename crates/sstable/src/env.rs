@@ -1,0 +1,360 @@
+//! Storage abstraction: the minimal file interfaces tables and logs need,
+//! with a real-filesystem implementation and an in-memory one for tests
+//! and simulation.
+
+use std::collections::HashMap;
+use std::fs;
+#[cfg(not(unix))]
+use std::io::{Read, Seek, SeekFrom};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Result;
+
+/// Positional reads over an immutable file.
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads up to `buf.len()` bytes at `offset`, returning the bytes read.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize>;
+    /// Total file length.
+    fn len(&self) -> Result<u64>;
+    /// True if the file is empty.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Reads the whole file into memory.
+    fn read_all(&self) -> Result<Vec<u8>> {
+        let len = self.len()? as usize;
+        let mut buf = vec![0u8; len];
+        let n = self.read_at(0, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+}
+
+/// Append-only writes.
+pub trait WritableFile: Send {
+    /// Appends `data` to the file.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+    /// Flushes buffered data to the OS.
+    fn flush(&mut self) -> Result<()>;
+    /// Durably persists the file (fsync for real files; no-op in memory).
+    fn sync(&mut self) -> Result<()>;
+    /// Bytes written so far.
+    fn bytes_written(&self) -> u64;
+}
+
+/// Factory for files plus the directory operations the store needs.
+pub trait StorageEnv: Send + Sync {
+    /// Opens a file for random-access reading.
+    fn open_random_access(&self, path: &Path) -> Result<Box<dyn RandomAccessFile>>;
+    /// Creates (truncating) a file for appending.
+    fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>>;
+    /// Deletes a file; missing files are an error.
+    fn remove_file(&self, path: &Path) -> Result<()>;
+    /// Creates a directory and parents; existing directories are fine.
+    fn create_dir_all(&self, path: &Path) -> Result<()>;
+    /// Lists file names (not paths) in a directory.
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>>;
+    /// True if the file exists.
+    fn file_exists(&self, path: &Path) -> bool;
+    /// Atomically replaces `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+}
+
+// ---------------------------------------------------------------- std fs
+
+/// Real-filesystem environment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdEnv;
+
+struct StdRandomAccess {
+    file: fs::File,
+}
+
+impl RandomAccessFile for StdRandomAccess {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            Ok(self.file.read_at(buf, offset)?)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut f = self.file.try_clone()?;
+            f.seek(SeekFrom::Start(offset))?;
+            Ok(f.read(buf)?)
+        }
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+struct StdWritable {
+    file: std::io::BufWriter<fs::File>,
+    written: u64,
+}
+
+impl WritableFile for StdWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write_all(data)?;
+        self.written += data.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl StorageEnv for StdEnv {
+    fn open_random_access(&self, path: &Path) -> Result<Box<dyn RandomAccessFile>> {
+        Ok(Box::new(StdRandomAccess { file: fs::File::open(path)? }))
+    }
+
+    fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdWritable { file: std::io::BufWriter::new(file), written: 0 }))
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        fs::create_dir_all(path)?;
+        Ok(())
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        fs::rename(from, to)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- memory
+
+type FileMap = HashMap<PathBuf, Arc<Mutex<Vec<u8>>>>;
+
+/// In-memory environment: fast, hermetic, and usable from simulations.
+#[derive(Default, Clone)]
+pub struct MemEnv {
+    files: Arc<Mutex<FileMap>>,
+}
+
+impl MemEnv {
+    /// Creates an empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all files (test/diagnostic helper).
+    pub fn total_bytes(&self) -> usize {
+        self.files.lock().values().map(|f| f.lock().len()).sum()
+    }
+}
+
+struct MemRandomAccess {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl RandomAccessFile for MemRandomAccess {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let data = self.data.lock();
+        let offset = offset as usize;
+        if offset >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - offset);
+        buf[..n].copy_from_slice(&data[offset..offset + n]);
+        Ok(n)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.lock().len() as u64)
+    }
+}
+
+struct MemWritable {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl WritableFile for MemWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.data.lock().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+}
+
+impl StorageEnv for MemEnv {
+    fn open_random_access(&self, path: &Path) -> Result<Box<dyn RandomAccessFile>> {
+        let files = self.files.lock();
+        let data = files.get(path).ok_or_else(|| {
+            crate::Error::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no such mem file: {}", path.display()),
+            ))
+        })?;
+        Ok(Box::new(MemRandomAccess { data: Arc::clone(data) }))
+    }
+
+    fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        let data = Arc::new(Mutex::new(Vec::new()));
+        self.files.lock().insert(path.to_path_buf(), Arc::clone(&data));
+        Ok(Box::new(MemWritable { data }))
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        self.files.lock().remove(path).ok_or_else(|| {
+            crate::Error::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no such mem file: {}", path.display()),
+            ))
+        })?;
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> Result<()> {
+        Ok(())
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>> {
+        let files = self.files.lock();
+        let mut names = Vec::new();
+        for p in files.keys() {
+            if p.parent() == Some(path) {
+                if let Some(name) = p.file_name() {
+                    names.push(name.to_string_lossy().into_owned());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        let mut files = self.files.lock();
+        let data = files.remove(from).ok_or_else(|| {
+            crate::Error::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no such mem file: {}", from.display()),
+            ))
+        })?;
+        files.insert(to.to_path_buf(), data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_env(env: &dyn StorageEnv, root: &Path) {
+        env.create_dir_all(root).unwrap();
+        let path = root.join("file.dat");
+
+        let mut w = env.create_writable(&path).unwrap();
+        w.append(b"hello ").unwrap();
+        w.append(b"world").unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.bytes_written(), 11);
+        drop(w);
+
+        assert!(env.file_exists(&path));
+        let r = env.open_random_access(&path).unwrap();
+        assert_eq!(r.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        assert_eq!(r.read_at(6, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"world");
+        assert_eq!(r.read_all().unwrap(), b"hello world");
+        // Read past EOF returns fewer bytes.
+        let mut buf = [0u8; 32];
+        let n = r.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"world");
+
+        let names = env.list_dir(root).unwrap();
+        assert!(names.contains(&"file.dat".to_string()));
+
+        let path2 = root.join("renamed.dat");
+        env.rename(&path, &path2).unwrap();
+        assert!(!env.file_exists(&path));
+        assert!(env.file_exists(&path2));
+
+        env.remove_file(&path2).unwrap();
+        assert!(!env.file_exists(&path2));
+        assert!(env.remove_file(&path2).is_err());
+    }
+
+    #[test]
+    fn mem_env_contract() {
+        let env = MemEnv::new();
+        exercise_env(&env, Path::new("/memtest"));
+    }
+
+    #[test]
+    fn std_env_contract() {
+        let dir = std::env::temp_dir().join(format!("sstable-env-test-{}", std::process::id()));
+        let env = StdEnv;
+        exercise_env(&env, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let env = MemEnv::new();
+        let p = Path::new("/f");
+        let mut w = env.create_writable(p).unwrap();
+        w.append(b"aaaa").unwrap();
+        drop(w);
+        let w = env.create_writable(p).unwrap();
+        drop(w);
+        assert_eq!(env.open_random_access(p).unwrap().len().unwrap(), 0);
+    }
+}

@@ -1,0 +1,519 @@
+//! SSTable reader: footer/index parsing, filtered point lookups, and the
+//! two-level iterator (index block → data block), i.e. exactly the
+//! "stop scanning, fetch meta data of the next data block from the index
+//! block, then come back" walk the paper describes in §II-B.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::{Block, BlockIter};
+use crate::bloom::BloomFilterPolicy;
+use crate::comparator::Comparator;
+use crate::env::RandomAccessFile;
+use crate::filter_block::FilterBlockReader;
+use crate::format::{read_block, BlockHandle, Footer, FOOTER_ENCODED_LENGTH};
+use crate::iterator::InternalIterator;
+use crate::{corruption, Error, Result};
+
+/// Options controlling how a table is read.
+#[derive(Clone)]
+pub struct TableReadOptions {
+    /// Verify block CRCs on every read.
+    pub verify_checksums: bool,
+    /// Shared block cache; `None` keeps only the per-table one-block
+    /// cache.
+    pub block_cache: Option<std::sync::Arc<crate::cache::BlockCache>>,
+    /// Comparator; must match the one the table was built with.
+    pub comparator: Arc<dyn Comparator>,
+    /// Filter policy for the filter metablock, if one was written.
+    pub filter_policy: Option<BloomFilterPolicy>,
+    /// Must match `TableBuilderOptions::internal_key_filter`: filter probes
+    /// strip the 8-byte internal-key trailer before the bloom check.
+    pub internal_key_filter: bool,
+}
+
+impl Default for TableReadOptions {
+    fn default() -> Self {
+        TableReadOptions {
+            verify_checksums: true,
+            block_cache: None,
+            comparator: Arc::new(crate::comparator::BytewiseComparator),
+            filter_policy: Some(BloomFilterPolicy::new(10)),
+            internal_key_filter: false,
+        }
+    }
+}
+
+/// An open, immutable SSTable.
+pub struct Table {
+    file: Box<dyn RandomAccessFile>,
+    options: TableReadOptions,
+    index_block: Block,
+    filter: Option<FilterBlockReader>,
+    /// Tiny per-table cache of the most recently loaded data block; avoids
+    /// re-reading during point-lookup bursts without a full block cache.
+    last_block: Mutex<Option<(u64, Block)>>,
+    /// Key prefix in the shared block cache.
+    cache_id: u64,
+    file_size: u64,
+}
+
+impl Table {
+    /// Opens a table from `file` of `file_size` bytes.
+    pub fn open(
+        file: Box<dyn RandomAccessFile>,
+        file_size: u64,
+        options: TableReadOptions,
+    ) -> Result<Arc<Table>> {
+        if (file_size as usize) < FOOTER_ENCODED_LENGTH {
+            return Err(corruption("file too short to be an sstable"));
+        }
+        let mut footer_buf = vec![0u8; FOOTER_ENCODED_LENGTH];
+        let read = file.read_at(file_size - FOOTER_ENCODED_LENGTH as u64, &mut footer_buf)?;
+        if read != FOOTER_ENCODED_LENGTH {
+            return Err(corruption("truncated footer"));
+        }
+        let footer = Footer::decode(&footer_buf)?;
+
+        let index_contents =
+            read_block(file.as_ref(), &footer.index_handle, options.verify_checksums)?;
+        let index_block = Block::new(index_contents)?;
+
+        // Filter metablock, if present and a policy is configured.
+        let mut filter = None;
+        if let Some(policy) = options.filter_policy {
+            if footer.metaindex_handle.size > 0 {
+                let meta_contents = read_block(
+                    file.as_ref(),
+                    &footer.metaindex_handle,
+                    options.verify_checksums,
+                )?;
+                let meta_block = Block::new(meta_contents)?;
+                let mut it = meta_block.iter(Arc::new(crate::comparator::BytewiseComparator));
+                let key = format!("filter.{}", policy.name());
+                it.seek(key.as_bytes());
+                if it.valid() && it.key() == key.as_bytes() {
+                    let (handle, _) = BlockHandle::decode_from(it.value())?;
+                    let filter_contents =
+                        read_block(file.as_ref(), &handle, options.verify_checksums)?;
+                    filter = FilterBlockReader::new(policy, filter_contents.to_vec());
+                }
+            }
+        }
+
+        Ok(Arc::new(Table {
+            file,
+            options,
+            index_block,
+            filter,
+            last_block: Mutex::new(None),
+            cache_id: crate::cache::new_cache_id(),
+            file_size,
+        }))
+    }
+
+    /// Total file size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+
+    /// The (decoded) index block. The FPGA host interface copies this into
+    /// the device's Index Block Memory (Fig. 7 of the paper).
+    pub fn index_block(&self) -> &Block {
+        &self.index_block
+    }
+
+    /// All data block handles in key order, as recorded in the index block.
+    pub fn data_block_handles(&self) -> Result<Vec<BlockHandle>> {
+        let mut out = Vec::new();
+        let mut it = self.index_block.iter(Arc::clone(&self.options.comparator));
+        it.seek_to_first();
+        while it.valid() {
+            let (handle, _) = BlockHandle::decode_from(it.value())?;
+            out.push(handle);
+            it.next();
+        }
+        if it.corrupted() {
+            return Err(corruption("corrupt index block"));
+        }
+        Ok(out)
+    }
+
+    /// Reads one data block exactly as stored on disk: contents (possibly
+    /// compressed) plus the 5-byte trailer. This is what the host DMA
+    /// ships to the device's Data Block Memory.
+    pub fn read_raw_framed_block(&self, handle: &BlockHandle) -> Result<Vec<u8>> {
+        let n = handle.size as usize + crate::format::BLOCK_TRAILER_SIZE;
+        let mut buf = vec![0u8; n];
+        let read = self.file.read_at(handle.offset, &mut buf)?;
+        if read != n {
+            return Err(corruption("truncated raw block read"));
+        }
+        Ok(buf)
+    }
+
+    /// Loads the data block at `handle`, consulting the shared block
+    /// cache (if configured) and the per-table one-block cache.
+    fn load_block(&self, handle: &BlockHandle) -> Result<Block> {
+        if let Some((off, block)) = &*self.last_block.lock() {
+            if *off == handle.offset {
+                return Ok(block.clone());
+            }
+        }
+        if let Some(cache) = &self.options.block_cache {
+            if let Some(block) = cache.get(self.cache_id, handle.offset) {
+                *self.last_block.lock() = Some((handle.offset, block.clone()));
+                return Ok(block);
+            }
+        }
+        let contents =
+            read_block(self.file.as_ref(), handle, self.options.verify_checksums)?;
+        let block = Block::new(contents)?;
+        if let Some(cache) = &self.options.block_cache {
+            cache.insert(self.cache_id, handle.offset, block.clone());
+        }
+        *self.last_block.lock() = Some((handle.offset, block.clone()));
+        Ok(block)
+    }
+
+    /// This table's id in the shared block cache (for eviction on delete).
+    pub fn cache_id(&self) -> u64 {
+        self.cache_id
+    }
+
+    /// Point lookup: returns the value for the first entry with key >=
+    /// `target` whose block may contain it, or `None` if the table cannot
+    /// contain `target` (also consulting the bloom filter).
+    ///
+    /// The caller (the LSM layer) interprets the returned entry's internal
+    /// key — this method does not require an exact match.
+    pub fn get(&self, target: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let mut index_iter = self.index_block.iter(Arc::clone(&self.options.comparator));
+        index_iter.seek(target);
+        if !index_iter.valid() {
+            return Ok(None);
+        }
+        let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
+        if let Some(filter) = &self.filter {
+            let probe = crate::table_builder::filter_key(
+                target,
+                self.options.internal_key_filter,
+            );
+            if !filter.key_may_match(handle.offset, probe) {
+                return Ok(None);
+            }
+        }
+        let block = self.load_block(&handle)?;
+        let mut it = block.iter(Arc::clone(&self.options.comparator));
+        it.seek(target);
+        if it.corrupted() {
+            return Err(corruption("corrupt data block entry"));
+        }
+        if !it.valid() {
+            return Ok(None);
+        }
+        Ok(Some((it.key().to_vec(), it.value().to_vec())))
+    }
+
+    /// Creates a full-table iterator.
+    pub fn iter(self: &Arc<Self>) -> TableIterator {
+        TableIterator {
+            table: Arc::clone(self),
+            index_iter: self.index_block.iter(Arc::clone(&self.options.comparator)),
+            data_iter: None,
+            error: None,
+        }
+    }
+
+    /// Approximate file offset of `key` within the table (used for
+    /// `ApproximateSizes`-style queries and compaction splitting).
+    pub fn approximate_offset_of(&self, key: &[u8]) -> u64 {
+        let mut it = self.index_block.iter(Arc::clone(&self.options.comparator));
+        it.seek(key);
+        if it.valid() {
+            if let Ok((handle, _)) = BlockHandle::decode_from(it.value()) {
+                return handle.offset;
+            }
+        }
+        self.file_size
+    }
+}
+
+/// Two-level iterator: walks the index block, loading data blocks lazily.
+pub struct TableIterator {
+    table: Arc<Table>,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+    error: Option<String>,
+}
+
+impl TableIterator {
+    /// Loads the data block for the current index position.
+    fn init_data_block(&mut self) {
+        self.data_iter = None;
+        if !self.index_iter.valid() {
+            return;
+        }
+        match BlockHandle::decode_from(self.index_iter.value()) {
+            Ok((handle, _)) => match self.table.load_block(&handle) {
+                Ok(block) => {
+                    self.data_iter =
+                        Some(block.iter(Arc::clone(&self.table.options.comparator)));
+                }
+                Err(e) => self.error = Some(e.to_string()),
+            },
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+
+    /// Advances past empty data blocks in the forward direction.
+    fn skip_empty_data_blocks_forward(&mut self) {
+        while self.data_iter.as_ref().is_some_and(|d| !d.valid()) {
+            if !self.index_iter.valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.next();
+            self.init_data_block();
+            if let Some(d) = &mut self.data_iter {
+                d.seek_to_first();
+            }
+        }
+    }
+
+    fn skip_empty_data_blocks_backward(&mut self) {
+        while self.data_iter.as_ref().is_some_and(|d| !d.valid()) {
+            if !self.index_iter.valid() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.prev();
+            self.init_data_block();
+            if let Some(d) = &mut self.data_iter {
+                d.seek_to_last();
+            }
+        }
+    }
+}
+
+impl InternalIterator for TableIterator {
+    fn valid(&self) -> bool {
+        self.error.is_none() && self.data_iter.as_ref().is_some_and(|d| d.valid())
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index_iter.seek_to_first();
+        self.init_data_block();
+        if let Some(d) = &mut self.data_iter {
+            d.seek_to_first();
+        }
+        self.skip_empty_data_blocks_forward();
+    }
+
+    fn seek_to_last(&mut self) {
+        self.index_iter.seek_to_last();
+        self.init_data_block();
+        if let Some(d) = &mut self.data_iter {
+            d.seek_to_last();
+        }
+        self.skip_empty_data_blocks_backward();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.index_iter.seek(target);
+        self.init_data_block();
+        if let Some(d) = &mut self.data_iter {
+            d.seek(target);
+        }
+        self.skip_empty_data_blocks_forward();
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        if let Some(d) = &mut self.data_iter {
+            d.next();
+        }
+        self.skip_empty_data_blocks_forward();
+    }
+
+    fn prev(&mut self) {
+        debug_assert!(self.valid());
+        if let Some(d) = &mut self.data_iter {
+            d.prev();
+        }
+        self.skip_empty_data_blocks_backward();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("key on invalid iterator").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("value on invalid iterator").value()
+    }
+
+    fn status(&self) -> Result<()> {
+        match &self.error {
+            Some(e) => Err(Error::Corruption(e.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MemEnv, StorageEnv};
+    use crate::format::CompressionType;
+    use crate::table_builder::{TableBuilder, TableBuilderOptions};
+    use std::path::Path;
+
+    fn build_table(
+        env: &MemEnv,
+        path: &str,
+        n: usize,
+        block_size: usize,
+        compression: CompressionType,
+    ) -> Arc<Table> {
+        let f = env.create_writable(Path::new(path)).unwrap();
+        let mut opts = TableBuilderOptions::default();
+        opts.block_size = block_size;
+        opts.compression = compression;
+        let mut b = TableBuilder::new(opts, f);
+        for i in 0..n {
+            let k = format!("key{i:06}");
+            let v = format!("value-{i}-{}", "x".repeat(i % 40));
+            b.add(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        let size = b.finish().unwrap();
+        let file = env.open_random_access(Path::new(path)).unwrap();
+        Table::open(file, size, TableReadOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn full_scan_returns_everything_in_order() {
+        for compression in [CompressionType::None, CompressionType::Snappy] {
+            let env = MemEnv::new();
+            let table = build_table(&env, "/t", 2000, 1024, compression);
+            let mut it = table.iter();
+            it.seek_to_first();
+            let mut count = 0;
+            let mut last: Option<Vec<u8>> = None;
+            while it.valid() {
+                let k = it.key().to_vec();
+                if let Some(prev) = &last {
+                    assert!(prev < &k, "keys out of order");
+                }
+                assert_eq!(k, format!("key{count:06}").as_bytes());
+                last = Some(k);
+                count += 1;
+                it.next();
+            }
+            assert_eq!(count, 2000);
+            it.status().unwrap();
+        }
+    }
+
+    #[test]
+    fn point_lookups_hit_and_miss() {
+        let env = MemEnv::new();
+        let table = build_table(&env, "/t", 500, 512, CompressionType::Snappy);
+        // Hits.
+        for i in [0usize, 1, 77, 250, 499] {
+            let k = format!("key{i:06}");
+            let got = table.get(k.as_bytes()).unwrap();
+            let (fk, _) = got.expect("should find key");
+            assert_eq!(fk, k.as_bytes());
+        }
+        // Miss past the end.
+        assert!(table.get(b"zzzzzz").unwrap().is_none());
+        // Between-keys probe: the bloom filter excludes it outright.
+        assert!(table.get(b"key000250a").unwrap().is_none());
+
+        // Without a filter, between-keys probes return the successor and
+        // callers check exactness (the LSM layer relies on this).
+        let f = env.create_writable(Path::new("/nofilter")).unwrap();
+        let mut bopts = TableBuilderOptions::default();
+        bopts.filter_policy = None;
+        let mut b = TableBuilder::new(bopts, f);
+        for i in 0..100 {
+            b.add(format!("key{i:06}").as_bytes(), b"v").unwrap();
+        }
+        let size = b.finish().unwrap();
+        let file = env.open_random_access(Path::new("/nofilter")).unwrap();
+        let mut ropts = TableReadOptions::default();
+        ropts.filter_policy = None;
+        let table = Table::open(file, size, ropts).unwrap();
+        let got = table.get(b"key000050a").unwrap().unwrap();
+        assert_eq!(got.0, b"key000051");
+    }
+
+    #[test]
+    fn seek_positions_are_exact() {
+        let env = MemEnv::new();
+        let table = build_table(&env, "/t", 300, 256, CompressionType::None);
+        let mut it = table.iter();
+        it.seek(b"key000123");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"key000123");
+        it.seek(b"key000123a");
+        assert_eq!(it.key(), b"key000124");
+        it.seek(b"zzz");
+        assert!(!it.valid());
+        it.seek(b"");
+        assert_eq!(it.key(), b"key000000");
+    }
+
+    #[test]
+    fn backward_iteration() {
+        let env = MemEnv::new();
+        let table = build_table(&env, "/t", 100, 256, CompressionType::None);
+        let mut it = table.iter();
+        it.seek_to_last();
+        let mut idx = 100;
+        while it.valid() {
+            idx -= 1;
+            assert_eq!(it.key(), format!("key{idx:06}").as_bytes());
+            it.prev();
+        }
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn empty_table_iterates_nothing() {
+        let env = MemEnv::new();
+        let f = env.create_writable(Path::new("/t")).unwrap();
+        let mut b = TableBuilder::new(TableBuilderOptions::default(), f);
+        let size = b.finish().unwrap();
+        let file = env.open_random_access(Path::new("/t")).unwrap();
+        let table = Table::open(file, size, TableReadOptions::default()).unwrap();
+        let mut it = table.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+        assert!(table.get(b"anything").unwrap().is_none());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let env = MemEnv::new();
+        let mut w = env.create_writable(Path::new("/bad")).unwrap();
+        w.append(&[0u8; 100]).unwrap();
+        drop(w);
+        let f = env.open_random_access(Path::new("/bad")).unwrap();
+        assert!(Table::open(f, 100, TableReadOptions::default()).is_err());
+        let f = env.open_random_access(Path::new("/bad")).unwrap();
+        assert!(Table::open(f, 10, TableReadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn approximate_offsets_monotonic() {
+        let env = MemEnv::new();
+        let table = build_table(&env, "/t", 1000, 512, CompressionType::None);
+        let o1 = table.approximate_offset_of(b"key000100");
+        let o2 = table.approximate_offset_of(b"key000500");
+        let o3 = table.approximate_offset_of(b"key000900");
+        assert!(o1 <= o2 && o2 <= o3);
+        assert!(table.approximate_offset_of(b"zzzz") <= table.file_size());
+    }
+}

@@ -1,0 +1,300 @@
+//! SSTable writer (LevelDB `TableBuilder`).
+//!
+//! Emits data blocks of ~`block_size` bytes, the optional filter
+//! metablock, the metaindex block, the index block whose entries the
+//! paper's Index Block Decoder consumes, and the footer.
+
+use std::sync::Arc;
+
+use crate::block_builder::BlockBuilder;
+use crate::bloom::BloomFilterPolicy;
+use crate::comparator::Comparator;
+use crate::env::WritableFile;
+use crate::filter_block::FilterBlockBuilder;
+use crate::format::{frame_block, BlockHandle, CompressionType, Footer};
+use crate::{Error, Result};
+
+/// Table construction options.
+#[derive(Clone)]
+pub struct TableBuilderOptions {
+    /// Target uncompressed data block size (paper default: 4 KiB).
+    pub block_size: usize,
+    /// Restart interval within blocks.
+    pub block_restart_interval: usize,
+    /// Compression applied to blocks.
+    pub compression: CompressionType,
+    /// Bloom filter policy; `None` disables the filter metablock.
+    pub filter_policy: Option<BloomFilterPolicy>,
+    /// When true, the keys being added are internal keys and the filter is
+    /// built over their user-key prefix (LevelDB's `InternalFilterPolicy`),
+    /// so point lookups with any sequence number can use the filter.
+    pub internal_key_filter: bool,
+    /// Key ordering.
+    pub comparator: Arc<dyn Comparator>,
+}
+
+impl Default for TableBuilderOptions {
+    fn default() -> Self {
+        TableBuilderOptions {
+            block_size: 4096,
+            block_restart_interval: 16,
+            compression: CompressionType::Snappy,
+            filter_policy: Some(BloomFilterPolicy::new(10)),
+            internal_key_filter: false,
+            comparator: Arc::new(crate::comparator::BytewiseComparator),
+        }
+    }
+}
+
+/// Key as seen by the filter: the user-key prefix when the table stores
+/// internal keys, the raw key otherwise.
+pub(crate) fn filter_key(key: &[u8], internal: bool) -> &[u8] {
+    if internal && key.len() >= 8 {
+        &key[..key.len() - 8]
+    } else {
+        key
+    }
+}
+
+/// Incrementally builds one SSTable into a writable file.
+pub struct TableBuilder {
+    options: TableBuilderOptions,
+    file: Box<dyn WritableFile>,
+    offset: u64,
+    num_entries: u64,
+    data_block: BlockBuilder,
+    index_block: BlockBuilder,
+    filter_builder: Option<FilterBlockBuilder>,
+    /// Set after a data block is cut; the index entry is deferred until the
+    /// next key arrives so the separator can be shortened.
+    pending_index_entry: Option<BlockHandle>,
+    last_key: Vec<u8>,
+    compressed_scratch: Vec<u8>,
+    finished: bool,
+    /// Raw (uncompressed) data bytes added, for size stats.
+    raw_data_bytes: u64,
+}
+
+impl TableBuilder {
+    /// Starts building a table into `file`.
+    pub fn new(options: TableBuilderOptions, file: Box<dyn WritableFile>) -> Self {
+        let filter_builder = options.filter_policy.map(FilterBlockBuilder::new);
+        TableBuilder {
+            data_block: BlockBuilder::new(options.block_restart_interval),
+            // LevelDB uses restart interval 1 for index blocks.
+            index_block: BlockBuilder::new(1),
+            options,
+            file,
+            offset: 0,
+            num_entries: 0,
+            filter_builder,
+            pending_index_entry: None,
+            last_key: Vec::new(),
+            compressed_scratch: Vec::new(),
+            finished: false,
+        raw_data_bytes: 0,
+        }
+    }
+
+    /// Adds a key/value pair; keys must arrive in strictly increasing
+    /// comparator order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.finished {
+            return Err(Error::InvalidArgument("add after finish".into()));
+        }
+        if self.num_entries > 0
+            && self.options.comparator.compare(key, &self.last_key)
+                != std::cmp::Ordering::Greater
+        {
+            return Err(Error::InvalidArgument(format!(
+                "keys out of order: {:?} after {:?}",
+                key, self.last_key
+            )));
+        }
+
+        if let Some(handle) = self.pending_index_entry.take() {
+            // First key of a new block: index separator between blocks.
+            let sep = self
+                .options
+                .comparator
+                .find_shortest_separator(&self.last_key, key);
+            self.index_block.add(&sep, &handle.encode());
+        }
+
+        if let Some(fb) = &mut self.filter_builder {
+            fb.add_key(filter_key(key, self.options.internal_key_filter));
+        }
+
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.num_entries += 1;
+        self.raw_data_bytes += (key.len() + value.len()) as u64;
+        self.data_block.add(key, value);
+
+        if self.data_block.current_size_estimate() >= self.options.block_size {
+            self.flush_data_block()?;
+        }
+        Ok(())
+    }
+
+    /// Cuts the current data block and writes it out.
+    fn flush_data_block(&mut self) -> Result<()> {
+        if self.data_block.is_empty() {
+            return Ok(());
+        }
+        let contents = self.data_block.finish().to_vec();
+        let handle = self.write_framed_block(&contents, self.options.compression)?;
+        self.data_block.reset();
+        self.pending_index_entry = Some(handle);
+        if let Some(fb) = &mut self.filter_builder {
+            fb.start_block(self.offset);
+        }
+        Ok(())
+    }
+
+    /// Writes block contents + trailer, returning its handle.
+    fn write_framed_block(
+        &mut self,
+        contents: &[u8],
+        compression: CompressionType,
+    ) -> Result<BlockHandle> {
+        let (_, framed) = frame_block(contents, compression, &mut self.compressed_scratch);
+        let handle = BlockHandle::new(
+            self.offset,
+            (framed.len() - crate::format::BLOCK_TRAILER_SIZE) as u64,
+        );
+        self.file.append(&framed)?;
+        self.offset += framed.len() as u64;
+        Ok(handle)
+    }
+
+    /// Finalizes the table: filter, metaindex, index blocks and footer.
+    /// Returns the total file size.
+    pub fn finish(&mut self) -> Result<u64> {
+        if self.finished {
+            return Err(Error::InvalidArgument("finish called twice".into()));
+        }
+        self.flush_data_block()?;
+        self.finished = true;
+
+        // Filter metablock (never compressed).
+        let filter_handle = match &mut self.filter_builder {
+            Some(fb) => {
+                let contents = fb.finish().to_vec();
+                Some(self.write_framed_block(&contents, CompressionType::None)?)
+            }
+            None => None,
+        };
+
+        // Metaindex block: maps "filter.<policy name>" to the handle.
+        let mut metaindex = BlockBuilder::new(1);
+        if let Some(handle) = filter_handle {
+            let name = self
+                .options
+                .filter_policy
+                .as_ref()
+                .expect("filter handle implies policy")
+                .name();
+            metaindex.add(format!("filter.{name}").as_bytes(), &handle.encode());
+        }
+        let metaindex_contents = metaindex.finish().to_vec();
+        let metaindex_handle =
+            self.write_framed_block(&metaindex_contents, self.options.compression)?;
+
+        // Index block: flush the pending entry with a short successor key.
+        if let Some(handle) = self.pending_index_entry.take() {
+            let succ = self.options.comparator.find_short_successor(&self.last_key);
+            self.index_block.add(&succ, &handle.encode());
+        }
+        let index_contents = self.index_block.finish().to_vec();
+        let index_handle =
+            self.write_framed_block(&index_contents, self.options.compression)?;
+
+        let footer = Footer { metaindex_handle, index_handle };
+        let footer_bytes = footer.encode();
+        self.file.append(&footer_bytes)?;
+        self.offset += footer_bytes.len() as u64;
+        self.file.flush()?;
+        Ok(self.offset)
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Current file size (bytes written, excluding buffered block).
+    pub fn file_size(&self) -> u64 {
+        self.offset
+    }
+
+    /// Raw (uncompressed) key+value bytes added.
+    pub fn raw_data_bytes(&self) -> u64 {
+        self.raw_data_bytes
+    }
+
+    /// Syncs the underlying file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MemEnv, StorageEnv};
+    use std::path::Path;
+
+    #[test]
+    fn rejects_out_of_order_keys() {
+        let env = MemEnv::new();
+        let f = env.create_writable(Path::new("/t")).unwrap();
+        let mut b = TableBuilder::new(TableBuilderOptions::default(), f);
+        b.add(b"bbb", b"1").unwrap();
+        assert!(b.add(b"aaa", b"2").is_err());
+        assert!(b.add(b"bbb", b"2").is_err(), "duplicate key must be rejected");
+        b.add(b"ccc", b"3").unwrap();
+    }
+
+    #[test]
+    fn rejects_use_after_finish() {
+        let env = MemEnv::new();
+        let f = env.create_writable(Path::new("/t")).unwrap();
+        let mut b = TableBuilder::new(TableBuilderOptions::default(), f);
+        b.add(b"a", b"1").unwrap();
+        b.finish().unwrap();
+        assert!(b.add(b"b", b"2").is_err());
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let env = MemEnv::new();
+        let f = env.create_writable(Path::new("/t")).unwrap();
+        let mut b = TableBuilder::new(TableBuilderOptions::default(), f);
+        let size = b.finish().unwrap();
+        assert!(size > 0);
+        assert_eq!(b.num_entries(), 0);
+    }
+
+    #[test]
+    fn block_size_controls_block_count() {
+        let env = MemEnv::new();
+        let mk = |block_size: usize, path: &str| -> u64 {
+            let f = env.create_writable(Path::new(path)).unwrap();
+            let mut opts = TableBuilderOptions::default();
+            opts.block_size = block_size;
+            opts.compression = CompressionType::None;
+            let mut b = TableBuilder::new(opts, f);
+            for i in 0..1000 {
+                let k = format!("key{i:06}");
+                b.add(k.as_bytes(), &[0xab; 100]).unwrap();
+            }
+            b.finish().unwrap()
+        };
+        // Smaller blocks -> more index entries + trailers -> larger file.
+        let small = mk(1024, "/small");
+        let large = mk(16 * 1024, "/large");
+        assert!(small > large, "small={small} large={large}");
+    }
+}

@@ -1,0 +1,34 @@
+//! System-level simulation of LevelDB and LevelDB-FCAE.
+//!
+//! The paper's end-to-end experiments (write throughput vs data size up to
+//! **1024 GB**, sensitivity sweeps, YCSB) cannot be reproduced by actually
+//! writing that much data. This crate simulates the *scheduling* behaviour
+//! that those figures measure — memtable fills, flushes, L0
+//! slowdown/stop triggers, leveled compaction, and the contention between
+//! the single background thread and the compaction work — over SSTable
+//! *metadata*, charging each job a duration from the calibrated models:
+//!
+//! * CPU merge time — [`fcae::CpuCostModel`] (fitted to the paper's
+//!   Table V CPU column);
+//! * FPGA kernel time — [`fcae::PipelineModel`] (the paper's Table III
+//!   pipeline periods);
+//! * disk and PCIe time — [`simkit::DiskModel`] / [`simkit::PcieLink`].
+//!
+//! The key structural difference between the two systems (paper §VI-A):
+//! in baseline LevelDB the one background thread performs merge *and* I/O,
+//! so flushes wait behind whole compactions; with FCAE the merge runs on
+//! the device, so the host thread is free to flush concurrently.
+//!
+//! Small configurations of the simulator are cross-validated against the
+//! real `lsm` store in the integration tests (same flush counts, same
+//! write-amplification ballpark).
+
+pub mod config;
+pub mod report;
+pub mod writesim;
+pub mod ycsbsim;
+
+pub use config::{EngineKind, ReadCosts, SystemConfig};
+pub use report::SimReport;
+pub use writesim::WriteSim;
+pub use ycsbsim::{YcsbReport, YcsbSim};

@@ -1,0 +1,688 @@
+//! The write-path simulation: db_bench `fillrandom` through the
+//! metadata-level store model.
+//!
+//! The writer produces data in chunks (1/8 memtable); at every chunk
+//! boundary the LevelDB stall rules are applied (slowdown at 8 L0 files,
+//! stop at 12, block when the immutable memtable is still flushing).
+//! Flushes and compactions are jobs on the single background host thread;
+//! with the FCAE engine the merge phase of a compaction runs on the
+//! device, leaving the host thread free — which is exactly how the paper
+//! gets flushes to overlap compactions (§VI-A).
+
+use fcae::timing::ENTRY_OVERHEAD_CYCLES;
+use fcae::{CpuCostModel, FcaeConfig, PipelineModel};
+use simkit::queue::{from_secs_f64, to_secs_f64};
+use simkit::{EventQueue, SimTime, SplitMix64};
+
+use crate::config::{EngineKind, SystemConfig};
+use crate::report::SimReport;
+
+/// Number of simulated levels.
+const NUM_LEVELS: usize = 7;
+/// Chunks per memtable: granularity of stall-rule evaluation.
+const CHUNKS_PER_MEMTABLE: u64 = 8;
+/// Finer granularity while the 1 ms/write slowdown is active, so the
+/// writer reacts to L0 draining at (almost) per-write resolution like the
+/// real store, instead of committing to a ~1 s crawl per chunk.
+const SLOWDOWN_CHUNK_OPS: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// The writer finished one chunk.
+    ChunkDone,
+    /// A memtable flush completed.
+    FlushDone,
+    /// The device kernel phase of the active compaction completed.
+    KernelDone,
+    /// The active compaction fully completed.
+    CompDone,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Memtable full, immutable memtable still flushing.
+    WaitImm,
+    /// L0 at the stop trigger.
+    WaitL0,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct LevelMeta {
+    /// Stored bytes at this level.
+    bytes: u64,
+    /// File count (used for the L0 triggers and input counts).
+    files: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompJob {
+    level: usize,
+    bytes_in: u64,
+    bytes_from_this: u64,
+    bytes_from_next: u64,
+    bytes_out: u64,
+    inputs: usize,
+    /// L0 jobs: how many L0 files the job consumed. Files flushed while
+    /// the job runs are NOT part of it and must survive its completion.
+    files_from_this: u64,
+    on_device: bool,
+}
+
+/// Runs `seeds` jittered replicas of the same configuration and returns
+/// the mean throughput in MB/s (plus the last replica's full report).
+pub fn mean_throughput(
+    cfg: SystemConfig,
+    target_bytes: u64,
+    seeds: u64,
+) -> (f64, SimReport) {
+    assert!(seeds >= 1);
+    let mut total = 0.0;
+    let mut last = SimReport::default();
+    for seed in 0..seeds {
+        let r = WriteSim::with_seed(cfg, target_bytes, 0x5eed_f0e1 ^ (seed * 0x9e37_79b9)).run();
+        total += r.throughput_mb_s;
+        last = r;
+    }
+    (total / seeds as f64, last)
+}
+
+/// The write-path simulator.
+pub struct WriteSim {
+    cfg: SystemConfig,
+    queue: EventQueue<Ev>,
+    levels: [LevelMeta; NUM_LEVELS],
+
+    mem_fill: u64,
+    imm: Option<u64>,
+    flush_active: bool,
+    comp: Option<CompJob>,
+    host_busy_until: SimTime,
+    writer_blocked: Option<Blocked>,
+    blocked_since: SimTime,
+
+    target_bytes: u64,
+    written: u64,
+    /// Bytes of the chunk currently being written.
+    pending_chunk: u64,
+    writer_done_at: Option<SimTime>,
+    /// Deterministic jitter source for job durations. Real compaction
+    /// times vary with key layout; ±15% keeps the discrete model from
+    /// locking into artificial limit cycles.
+    jitter: SplitMix64,
+
+    report: SimReport,
+}
+
+impl WriteSim {
+    /// Creates a simulator that will ingest `target_bytes` of raw user
+    /// data under `cfg`.
+    pub fn new(cfg: SystemConfig, target_bytes: u64) -> Self {
+        Self::with_seed(cfg, target_bytes, 0x5eed_f0e1)
+    }
+
+    /// Like [`WriteSim::new`] with an explicit jitter seed. The simulated
+    /// system is bistable around the paper's own `S0 <= N - 1` offload
+    /// boundary; averaging a few seeds recovers the ensemble behaviour a
+    /// real (noisy) system exhibits.
+    pub fn with_seed(cfg: SystemConfig, target_bytes: u64, seed: u64) -> Self {
+        WriteSim {
+            cfg,
+            queue: EventQueue::new(),
+            levels: [LevelMeta::default(); NUM_LEVELS],
+            mem_fill: 0,
+            imm: None,
+            flush_active: false,
+            comp: None,
+            host_busy_until: 0,
+            writer_blocked: None,
+            blocked_since: 0,
+            target_bytes,
+            written: 0,
+            pending_chunk: 0,
+            writer_done_at: None,
+            jitter: SplitMix64::new(seed),
+            report: SimReport::default(),
+        }
+    }
+
+    fn chunk_bytes(&self) -> u64 {
+        if self.levels[0].files >= self.cfg.l0_slowdown as u64 {
+            (SLOWDOWN_CHUNK_OPS * self.cfg.pair_raw_bytes()).max(1)
+        } else {
+            (self.cfg.memtable_bytes / CHUNKS_PER_MEMTABLE).max(1)
+        }
+    }
+
+    fn pair_stored(&self) -> f64 {
+        self.cfg.pair_stored_bytes().max(1.0)
+    }
+
+    /// Multiplies a duration by a deterministic ±15% jitter.
+    fn jittered(&mut self, seconds: f64) -> f64 {
+        seconds * (0.85 + 0.30 * self.jitter.next_f64())
+    }
+
+    /// Starts the next chunk: records its size and returns its duration,
+    /// including the 1 ms slowdown regime when L0 is congested.
+    fn chunk_duration(&mut self) -> SimTime {
+        self.pending_chunk = self.chunk_bytes();
+        let ops = self.pending_chunk as f64 / self.cfg.pair_raw_bytes() as f64;
+        let slowed = self.levels[0].files >= self.cfg.l0_slowdown as u64;
+        let per_op = if slowed {
+            self.report.slowdown_time_sec += ops * self.cfg.slowdown_sleep;
+            self.cfg.front_end_op_cost + self.cfg.slowdown_sleep
+        } else {
+            self.cfg.front_end_op_cost
+        };
+        from_secs_f64(ops * per_op)
+    }
+
+    /// CPU merge time for a job (the paper's Table V baseline).
+    fn merge_time(&self, job: &CompJob) -> f64 {
+        let pairs = job.bytes_in as f64 / self.pair_stored();
+        let model = CpuCostModel::new(job.inputs.max(2));
+        pairs * model.pair_time_sec(self.cfg.internal_key_len(), self.cfg.value_len)
+    }
+
+    /// Device kernel time for a job (the paper's Table III pipeline).
+    fn kernel_time(&self, job: &CompJob, fc: &FcaeConfig) -> f64 {
+        let pairs = job.bytes_in as f64 / self.pair_stored();
+        let model = PipelineModel::new(*fc);
+        let period = model.pair_period(self.cfg.internal_key_len(), self.cfg.value_len)
+            + ENTRY_OVERHEAD_CYCLES;
+        // Per-block amortized overhead.
+        let pairs_per_block =
+            (self.cfg.block_bytes as f64 / self.cfg.pair_raw_bytes() as f64).max(1.0);
+        let block_overhead = 32.0 / pairs_per_block;
+        pairs * (period + block_overhead) * fc.cycle_time_sec()
+    }
+
+    /// Disk time to read inputs and write outputs of a compaction.
+    fn comp_io_time(&self, job: &CompJob) -> f64 {
+        let files_in = job.inputs as f64 + 1.0;
+        to_secs_f64(self.cfg.disk.read_time(job.bytes_in))
+            + to_secs_f64(self.cfg.disk.write_time(job.bytes_out))
+            + files_in * self.cfg.disk.op_latency
+    }
+
+    /// Picks the next compaction per LevelDB's score rules.
+    fn pick_compaction(&self) -> Option<CompJob> {
+        let mut best_level = 0usize;
+        let mut best_score =
+            self.levels[0].files as f64 / self.cfg.l0_trigger as f64;
+        for level in 1..NUM_LEVELS - 1 {
+            let score = if level == 1 {
+                match self.cfg.l1_tiering_runs {
+                    // Tiering: compaction triggers on run count, not bytes.
+                    Some(k) => self.levels[1].files as f64 / k as f64,
+                    None => {
+                        self.levels[1].bytes as f64
+                            / self.cfg.max_bytes_for_level(1) as f64
+                    }
+                }
+            } else {
+                self.levels[level].bytes as f64 / self.cfg.max_bytes_for_level(level) as f64
+            };
+            if score > best_score {
+                best_level = level;
+                best_score = score;
+            }
+        }
+        if best_score < 1.0 {
+            return None;
+        }
+        let level = best_level;
+        let tiered = self.cfg.l1_tiering_runs.is_some();
+        let next = &self.levels[level + 1];
+        let (bytes_from_this, bytes_from_next, inputs, files_from_this) = if level == 0
+        {
+            // Random fill: every L0 file spans the key space. Leveling
+            // merges with the whole of L1; tiering appends a fresh L1 run
+            // instead (no L1 bytes touched).
+            let l0 = &self.levels[0];
+            if tiered {
+                (l0.bytes, 0, l0.files as usize, l0.files)
+            } else {
+                (
+                    l0.bytes,
+                    next.bytes,
+                    l0.files as usize + usize::from(next.files > 0),
+                    l0.files,
+                )
+            }
+        } else if level == 1 && tiered {
+            // Tiered L1: merge ALL runs at once — every run is one input
+            // (this is exactly the multi-input case the paper's 9-input
+            // engine exists for).
+            let l1 = &self.levels[1];
+            (l1.bytes, next.bytes.min(2 * l1.bytes), l1.files as usize + usize::from(next.bytes > 0), l1.files)
+        } else {
+            let take = self.cfg.sstable_bytes.min(self.levels[level].bytes);
+            // One file overlaps ~ratio files of the next level, plus edges.
+            let overlap = next
+                .bytes
+                .min((self.cfg.leveling_ratio + 2) * self.cfg.sstable_bytes);
+            (take, overlap, 1 + usize::from(overlap > 0), 1)
+        };
+        let bytes_in = bytes_from_this + bytes_from_next;
+        if bytes_in == 0 {
+            return None;
+        }
+        let trivial = level > 0 && bytes_from_next == 0;
+        let bytes_out = if trivial {
+            bytes_from_this
+        } else {
+            // A `dedup_fraction` of the pushed-down entries shadow an
+            // existing version below, which the merge drops; everything
+            // else is conserved. (Dropping a fraction of *all* input would
+            // make recirculated data decay exponentially.)
+            bytes_in - (bytes_from_this as f64 * self.cfg.dedup_fraction) as u64
+        };
+        Some(CompJob {
+            level,
+            bytes_in,
+            bytes_from_this,
+            bytes_from_next,
+            bytes_out,
+            inputs,
+            files_from_this,
+            on_device: false,
+        })
+    }
+
+    /// Starts any runnable background work.
+    fn schedule_work(&mut self) {
+        let now = self.queue.now();
+        // Flush has priority (paper §VI-A: dump of the immutable memtable
+        // is the first compaction type).
+        if self.imm.is_some() && !self.flush_active {
+            let raw = self.imm.expect("imm checked above");
+            let stored = (raw as f64 * self.cfg.compression_ratio) as u64;
+            let dur = self.jittered(
+                raw as f64 / self.cfg.flush_cpu_bw
+                    + to_secs_f64(self.cfg.disk.write_time(stored)),
+            );
+            let start = self.host_busy_until.max(now);
+            let end = start + from_secs_f64(dur);
+            self.host_busy_until = end;
+            self.flush_active = true;
+            if self.comp.is_some_and(|c| c.on_device) {
+                self.report.concurrent_flushes += 1;
+            }
+            self.queue.schedule_at(end, Ev::FlushDone);
+        }
+
+        if self.comp.is_none() {
+            if let Some(mut job) = self.pick_compaction() {
+                let trivial = job.level > 0 && job.bytes_from_next == 0;
+                if trivial {
+                    // Pure metadata relink.
+                    self.apply_compaction(&job, false);
+                    self.report.trivial_moves += 1;
+                    // Re-check for more work immediately.
+                    self.queue.schedule(0, Ev::CompDone);
+                    self.comp = Some(CompJob { bytes_out: 0, bytes_in: 0, ..job });
+                    return;
+                }
+                match self.cfg.engine {
+                    EngineKind::Fcae(fc) if job.inputs <= fc.n_inputs => {
+                        job.on_device = true;
+                        // Host phase 1: read inputs from disk + DMA in.
+                        let read = to_secs_f64(self.cfg.disk.read_time(job.bytes_in))
+                            + job.inputs as f64 * self.cfg.disk.op_latency;
+                        let dma_in = to_secs_f64(self.cfg.pcie.transfer_time(job.bytes_in));
+                        let start = self.host_busy_until.max(now);
+                        let host1_end = start + from_secs_f64(self.jittered(read + dma_in));
+                        self.host_busy_until = host1_end;
+                        let kernel = self.kernel_time(&job, &fc);
+                        self.report.kernel_time_sec += kernel;
+                        self.report.pcie_time_sec += dma_in;
+                        self.report.device_compactions += 1;
+                        self.queue
+                            .schedule_at(host1_end + from_secs_f64(kernel), Ev::KernelDone);
+                        self.comp = Some(job);
+                    }
+                    _ => {
+                        // Software compaction: read + merge + write on host.
+                        let dur =
+                            self.jittered(self.comp_io_time(&job) + self.merge_time(&job));
+                        self.report.merge_cpu_time_sec += self.merge_time(&job);
+                        self.report.sw_compactions += 1;
+                        let start = self.host_busy_until.max(now);
+                        let end = start + from_secs_f64(dur);
+                        self.host_busy_until = end;
+                        self.queue.schedule_at(end, Ev::CompDone);
+                        self.comp = Some(job);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a finished compaction to the level metadata.
+    fn apply_compaction(&mut self, job: &CompJob, charge_io: bool) {
+        let level = job.level;
+        if level == 0 {
+            // Only the files that were inputs disappear; flushes that
+            // landed while the job ran remain.
+            let l0 = &mut self.levels[0];
+            l0.files = l0.files.saturating_sub(job.files_from_this);
+            l0.bytes = l0.bytes.saturating_sub(job.bytes_from_this);
+        } else {
+            let l = &mut self.levels[level];
+            l.bytes = l.bytes.saturating_sub(job.bytes_from_this);
+            l.files = l.bytes / self.cfg.sstable_bytes.max(1);
+        }
+        let next = &mut self.levels[level + 1];
+        next.bytes = next.bytes.saturating_sub(job.bytes_from_next) + job.bytes_out;
+        if level == 0 && self.cfg.l1_tiering_runs.is_some() {
+            // Tiered L1: each completed L0 compaction adds one run.
+            next.files += 1;
+        } else if level == 1 && self.cfg.l1_tiering_runs.is_some() {
+            // Tiered L1 drained all runs; L2 is leveled as usual.
+            next.files =
+                (next.bytes / self.cfg.sstable_bytes.max(1)).max(u64::from(next.bytes > 0));
+        } else {
+            next.files =
+                (next.bytes / self.cfg.sstable_bytes.max(1)).max(u64::from(next.bytes > 0));
+        }
+        if charge_io {
+            self.report.compaction_io_bytes += job.bytes_in + job.bytes_out;
+        }
+    }
+
+    fn unblock_writer_if_possible(&mut self) {
+        let Some(reason) = self.writer_blocked else { return };
+        let clear = match reason {
+            Blocked::WaitImm => {
+                if self.imm.is_none() {
+                    // Perform the pending rotation.
+                    self.imm = Some(std::mem::take(&mut self.mem_fill));
+                    true
+                } else {
+                    false
+                }
+            }
+            Blocked::WaitL0 => self.levels[0].files < self.cfg.l0_stop as u64,
+        };
+        if clear {
+            self.writer_blocked = None;
+            self.report.stall_time_sec +=
+                to_secs_f64(self.queue.now() - self.blocked_since);
+            let dur = self.chunk_duration();
+            self.queue.schedule(dur, Ev::ChunkDone);
+            self.schedule_work();
+        }
+    }
+
+    fn on_chunk_done(&mut self) {
+        self.written += self.pending_chunk;
+        self.mem_fill += self.pending_chunk;
+        if self.written >= self.target_bytes {
+            self.writer_done_at = Some(self.queue.now());
+            return;
+        }
+        // Stall rules, in LevelDB's order.
+        if self.levels[0].files >= self.cfg.l0_stop as u64 {
+            self.writer_blocked = Some(Blocked::WaitL0);
+            self.blocked_since = self.queue.now();
+            self.schedule_work();
+            return;
+        }
+        if self.mem_fill >= self.cfg.memtable_bytes {
+            if self.imm.is_some() {
+                self.writer_blocked = Some(Blocked::WaitImm);
+                self.blocked_since = self.queue.now();
+                self.schedule_work();
+                return;
+            }
+            self.imm = Some(std::mem::take(&mut self.mem_fill));
+            self.schedule_work();
+        }
+        let dur = self.chunk_duration();
+        self.queue.schedule(dur, Ev::ChunkDone);
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let dur = self.chunk_duration();
+        self.queue.schedule(dur, Ev::ChunkDone);
+        let mut guard = 0u64;
+        while self.writer_done_at.is_none() {
+            guard += 1;
+            assert!(
+                guard < 2_000_000_000,
+                "simulation did not terminate (written {} of {})",
+                self.written,
+                self.target_bytes
+            );
+            let Some((_, ev)) = self.queue.pop() else {
+                panic!(
+                    "event queue drained while writer incomplete: blocked={:?} imm={:?} l0={:?}",
+                    self.writer_blocked, self.imm, self.levels[0]
+                );
+            };
+            match ev {
+                Ev::ChunkDone => self.on_chunk_done(),
+                Ev::FlushDone => {
+                    let raw = self.imm.take().expect("flush completed without imm");
+                    let stored = (raw as f64 * self.cfg.compression_ratio) as u64;
+                    self.levels[0].bytes += stored;
+                    self.levels[0].files += 1;
+                    self.flush_active = false;
+                    self.report.flushes += 1;
+                    self.unblock_writer_if_possible();
+                    self.schedule_work();
+                }
+                Ev::KernelDone => {
+                    // Host phase 2: DMA out + write outputs to disk.
+                    let job = self.comp.expect("kernel done without job");
+                    let dma_out =
+                        to_secs_f64(self.cfg.pcie.transfer_time(job.bytes_out));
+                    let write = to_secs_f64(self.cfg.disk.write_time(job.bytes_out));
+                    self.report.pcie_time_sec += dma_out;
+                    let start = self.host_busy_until.max(self.queue.now());
+                    let end = start + from_secs_f64(dma_out + write);
+                    self.host_busy_until = end;
+                    self.queue.schedule_at(end, Ev::CompDone);
+                }
+                Ev::CompDone => {
+                    let job = self.comp.take().expect("comp done without job");
+                    if job.bytes_in > 0 {
+                        self.apply_compaction(&job, true);
+                    }
+                    self.unblock_writer_if_possible();
+                    self.schedule_work();
+                }
+            }
+        }
+
+        let end = self.writer_done_at.expect("loop exits only when done");
+        let total = to_secs_f64(end);
+        self.report.bytes_written = self.written;
+        self.report.total_time_sec = total;
+        self.report.throughput_mb_s = if total > 0.0 {
+            self.written as f64 / total / 1e6
+        } else {
+            0.0
+        };
+        self.report.ops_per_sec = if total > 0.0 {
+            self.written as f64 / self.cfg.pair_raw_bytes() as f64 / total
+        } else {
+            0.0
+        };
+        self.report.level_bytes = self.levels.iter().map(|l| l.bytes).collect();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineKind;
+    use fcae::FcaeConfig;
+
+    fn mb(m: u64) -> u64 {
+        m << 20
+    }
+
+    fn run(cfg: SystemConfig, bytes: u64) -> SimReport {
+        WriteSim::new(cfg, bytes).run()
+    }
+
+    #[test]
+    fn small_runs_complete_and_account() {
+        let r = run(SystemConfig::default(), mb(64));
+        assert_eq!(r.bytes_written, mb(64));
+        assert!(r.total_time_sec > 0.0);
+        assert!(r.flushes >= 10, "64 MiB / 4 MiB memtables: {r:?}");
+        assert!(r.throughput_mb_s > 0.0);
+    }
+
+    #[test]
+    fn fcae_beats_cpu_baseline() {
+        let base = run(SystemConfig::default(), mb(256));
+        let fcae = run(
+            SystemConfig::default()
+                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            mb(256),
+        );
+        assert!(
+            fcae.throughput_mb_s > 1.5 * base.throughput_mb_s,
+            "FCAE {:.2} MB/s vs CPU {:.2} MB/s",
+            fcae.throughput_mb_s,
+            base.throughput_mb_s
+        );
+        assert!(fcae.device_compactions > 0);
+        assert!(fcae.kernel_time_sec > 0.0);
+        assert!(base.device_compactions == 0);
+    }
+
+    #[test]
+    fn throughput_declines_with_data_size() {
+        // Fig. 10's driver: deeper trees compact more per ingested byte.
+        let small = run(SystemConfig::default(), mb(64));
+        let large = run(SystemConfig::default(), mb(1024));
+        assert!(
+            large.throughput_mb_s < small.throughput_mb_s,
+            "small {:.2} vs large {:.2}",
+            small.throughput_mb_s,
+            large.throughput_mb_s
+        );
+        assert!(large.write_amplification() > small.write_amplification());
+    }
+
+    #[test]
+    fn pcie_time_is_small_fraction() {
+        let r = run(
+            SystemConfig::default()
+                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            mb(512),
+        );
+        assert!(r.pcie_time_sec > 0.0);
+        assert!(r.pcie_percent() < 15.0, "Table VIII: {}%", r.pcie_percent());
+    }
+
+    #[test]
+    fn two_input_engine_falls_back_on_l0() {
+        // N=2 cannot take L0 compactions (>= 5 inputs): they run in SW.
+        let r = run(
+            SystemConfig::default().with_engine(EngineKind::Fcae(FcaeConfig::two_input())),
+            mb(256),
+        );
+        assert!(r.sw_compactions > 0, "{r:?}");
+        assert!(r.device_compactions > 0, "{r:?}");
+    }
+
+    #[test]
+    fn concurrent_flushes_only_with_device() {
+        let base = run(SystemConfig::default(), mb(256));
+        assert_eq!(base.concurrent_flushes, 0);
+        let fcae = run(
+            SystemConfig::default()
+                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            mb(256),
+        );
+        assert!(fcae.concurrent_flushes > 0, "{fcae:?}");
+    }
+
+    #[test]
+    fn levels_respect_budgets_roughly() {
+        let r = run(SystemConfig::default(), mb(512));
+        // L1 should be near its 10 MiB budget, not wildly above.
+        assert!(r.level_bytes[1] < 4 * (10 << 20), "L1 = {}", r.level_bytes[1]);
+        // Data ends up in deeper levels.
+        assert!(r.level_bytes[2] + r.level_bytes[3] > 0);
+    }
+}
+
+#[cfg(test)]
+mod tiering_tests {
+    use super::*;
+    use crate::config::EngineKind;
+    use fcae::FcaeConfig;
+
+    fn tiered_cfg() -> SystemConfig {
+        SystemConfig {
+            value_len: 512,
+            l1_tiering_runs: Some(8),
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiered_runs_complete_and_conserve() {
+        let r = WriteSim::new(tiered_cfg(), 256 << 20).run();
+        assert_eq!(r.bytes_written, 256 << 20);
+        assert!(r.flushes > 30);
+        let total: u64 = r.level_bytes.iter().sum();
+        // Stored data (~50% of raw, minus dedup) must be present.
+        assert!(total > 60 << 20, "levels hold {total} bytes");
+    }
+
+    #[test]
+    fn two_input_engine_cannot_take_tiered_merges() {
+        // A tiered L1 merge has ~8 inputs: N=2 must fall back to software
+        // while N=9 offloads — the paper's §VII-C motivation.
+        let n2 = WriteSim::new(
+            tiered_cfg().with_engine(EngineKind::Fcae(FcaeConfig::two_input())),
+            256 << 20,
+        )
+        .run();
+        let n9 = WriteSim::new(
+            tiered_cfg().with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            256 << 20,
+        )
+        .run();
+        assert!(
+            n2.sw_compactions > n9.sw_compactions,
+            "N=2 sw {} vs N=9 sw {}",
+            n2.sw_compactions,
+            n9.sw_compactions
+        );
+        assert!(
+            n9.throughput_mb_s > n2.throughput_mb_s,
+            "N=9 {:.2} must beat N=2 {:.2} under tiering",
+            n9.throughput_mb_s,
+            n2.throughput_mb_s
+        );
+    }
+
+    #[test]
+    fn tiering_reduces_baseline_write_amp() {
+        // Lazy compaction defers merges: the CPU baseline's write
+        // amplification drops relative to pure leveling.
+        let leveled = WriteSim::new(
+            SystemConfig { value_len: 512, ..SystemConfig::default() },
+            256 << 20,
+        )
+        .run();
+        let tiered = WriteSim::new(tiered_cfg(), 256 << 20).run();
+        assert!(
+            tiered.write_amplification() < leveled.write_amplification(),
+            "tiered WA {:.2} vs leveled WA {:.2}",
+            tiered.write_amplification(),
+            leveled.write_amplification()
+        );
+    }
+}

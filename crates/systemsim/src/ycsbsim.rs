@@ -1,0 +1,240 @@
+//! YCSB simulation (the paper's §VII-D / Fig. 16): one client thread
+//! issues the Table IX operation mixes against the simulated store.
+//!
+//! Writes feed the same memtable/flush/compaction machinery as the write
+//! simulation. Reads are charged an analytic cost: lookup CPU, a block
+//! cache whose hit rate follows the zipfian mass of the hottest cached
+//! blocks, and a disk block fetch + decompression on a miss. Scans pay a
+//! seek plus a per-entry sequential cost.
+
+use simkit::queue::to_secs_f64;
+use workloads::{OpKind, YcsbRunner, YcsbWorkload};
+
+use crate::config::SystemConfig;
+use crate::report::SimReport;
+use crate::writesim::WriteSim;
+
+/// Results of one YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbReport {
+    /// Workload executed.
+    pub workload: YcsbWorkload,
+    /// Operations executed.
+    pub ops: u64,
+    /// Total simulated time, seconds.
+    pub total_time_sec: f64,
+    /// Operations per second (the paper's Fig. 16 metric).
+    pub ops_per_sec: f64,
+    /// Block cache hit rate applied to reads.
+    pub cache_hit_rate: f64,
+    /// The embedded write-path report (stalls, compactions...).
+    pub write_report: SimReport,
+}
+
+/// YCSB driver over the metadata store simulation.
+pub struct YcsbSim {
+    cfg: SystemConfig,
+    workload: YcsbWorkload,
+    /// Records loaded before the run.
+    record_count: u64,
+    ops: u64,
+    seed: u64,
+}
+
+impl YcsbSim {
+    /// Creates a simulation of `ops` operations of `workload` over a
+    /// database preloaded with `record_count` records.
+    pub fn new(
+        cfg: SystemConfig,
+        workload: YcsbWorkload,
+        record_count: u64,
+        ops: u64,
+        seed: u64,
+    ) -> Self {
+        YcsbSim { cfg, workload, record_count, ops, seed }
+    }
+
+    /// Zipfian mass of the hottest `k` of `n` items (θ = 0.99): the block
+    /// cache hit rate when the cache holds `k` hot blocks.
+    fn zipf_top_k_mass(k: u64, n: u64) -> f64 {
+        if n == 0 || k >= n {
+            return 1.0;
+        }
+        // H(k)/H(n) with H(x) ≈ x^(1-θ)/(1-θ) + ζ-offset; θ=0.99 makes
+        // the generalized harmonic ≈ 100·x^0.01 - const.
+        let theta = workloads::Zipfian::DEFAULT_THETA;
+        let h = |x: f64| (x.powf(1.0 - theta) - 1.0) / (1.0 - theta) + 1.0;
+        (h(k.max(1) as f64) / h(n as f64)).clamp(0.0, 1.0)
+    }
+
+    /// Average time of one read at the current database size.
+    fn read_time(&self, records: u64, hit_rate: f64) -> f64 {
+        let rc = &self.cfg.read;
+        let miss_cost = to_secs_f64(self.cfg.disk.random_read_time(self.cfg.block_bytes))
+            + self.cfg.block_bytes as f64 / rc.decompress_bw;
+        let _ = records;
+        rc.lookup_cpu + (1.0 - hit_rate) * miss_cost
+    }
+
+    /// Runs the workload and returns the report.
+    pub fn run(self) -> YcsbReport {
+        // The write side reuses WriteSim's machinery in "op-driven" mode:
+        // we account read time on the client clock and push write bytes
+        // through a WriteSim whose front end cost is zero (the client
+        // clock carries it instead).
+        let mut write_cfg = self.cfg;
+        write_cfg.front_end_op_cost = 0.0;
+        // Zipfian update workloads overwrite a small hot set, so most
+        // merged entries are shadowed duplicates: write amplification
+        // collapses relative to unique-key fills. Loads insert unique
+        // keys; D/E insert fresh keys with few updates.
+        write_cfg.dedup_fraction = match self.workload {
+            YcsbWorkload::Load => 0.05,
+            YcsbWorkload::A | YcsbWorkload::B | YcsbWorkload::F => 0.70,
+            YcsbWorkload::D | YcsbWorkload::E => 0.25,
+            YcsbWorkload::C => self.cfg.dedup_fraction,
+        };
+
+        let mut runner = YcsbRunner::new(self.workload, self.record_count, self.seed);
+
+        // Cache hit rate: block cache + OS page cache hold the hottest
+        // blocks; zipfian mass of that prefix is the hit probability.
+        let cache_bytes = self.cfg.read.block_cache_bytes + self.cfg.read.os_cache_bytes;
+        let cache_blocks = cache_bytes / self.cfg.block_bytes.max(1);
+        let db_bytes = self.record_count * self.cfg.pair_raw_bytes();
+        let db_blocks = (db_bytes / self.cfg.block_bytes.max(1)).max(1);
+        let hit_rate = Self::zipf_top_k_mass(cache_blocks, db_blocks);
+
+        // Client-side time accumulators.
+        let mut client_time = 0.0f64;
+        let mut write_bytes = 0u64;
+        let mut write_ops = 0u64;
+        let pair = self.cfg.pair_raw_bytes();
+
+        for _ in 0..self.ops {
+            let op = runner.next_op();
+            match op.kind {
+                OpKind::Insert | OpKind::Update => {
+                    client_time += self.cfg.front_end_op_cost;
+                    write_bytes += pair;
+                    write_ops += 1;
+                }
+                OpKind::Read => {
+                    client_time += self.read_time(runner.record_count, hit_rate);
+                }
+                OpKind::Scan => {
+                    client_time += self.read_time(runner.record_count, hit_rate)
+                        + op.scan_len as f64 * self.cfg.read.scan_entry_cpu;
+                }
+                OpKind::ReadModifyWrite => {
+                    client_time += self.read_time(runner.record_count, hit_rate)
+                        + self.cfg.front_end_op_cost;
+                    write_bytes += pair;
+                    write_ops += 1;
+                }
+            }
+        }
+
+        // Drive the produced write volume through the store simulation to
+        // capture stalls and compaction interference. The write side and
+        // the client serialize (one client thread), so total time is the
+        // max of the client's own time and the store's pace for the write
+        // stream, plus whichever read time the client accrued.
+        let write_report = if write_bytes > 0 {
+            WriteSim::new(write_cfg, write_bytes).run()
+        } else {
+            SimReport::default()
+        };
+
+        // One client thread: its own CPU/read time interleaves with the
+        // store's admission pace for the write stream. The run cannot end
+        // before either finishes, so total time is the larger of the two
+        // (reads overlap store-side background work, not vice versa).
+        let store_time = write_report.total_time_sec;
+        let total_time = client_time.max(store_time);
+        let _ = write_ops;
+
+        let ops_per_sec = if total_time > 0.0 { self.ops as f64 / total_time } else { 0.0 };
+        YcsbReport {
+            workload: self.workload,
+            ops: self.ops,
+            total_time_sec: total_time,
+            ops_per_sec,
+            cache_hit_rate: hit_rate,
+            write_report,
+        }
+    }
+}
+
+/// Convenience: run every workload of Fig. 16 for one engine.
+pub fn run_all(
+    cfg: SystemConfig,
+    record_count: u64,
+    ops: u64,
+    seed: u64,
+) -> Vec<YcsbReport> {
+    YcsbWorkload::ALL
+        .iter()
+        .map(|w| YcsbSim::new(cfg, *w, record_count, ops, seed).run())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineKind;
+    use fcae::FcaeConfig;
+
+    fn small_cfg() -> SystemConfig {
+        // Paper §VII-D: 16-byte keys, 1024-byte values.
+        SystemConfig { value_len: 1024, ..SystemConfig::default() }
+    }
+
+    const RECORDS: u64 = 1_000_000; // ~1 GB at 16+1024 B
+    const OPS: u64 = 300_000;
+
+    #[test]
+    fn all_workloads_run() {
+        for w in YcsbWorkload::ALL {
+            let r = YcsbSim::new(small_cfg(), w, RECORDS, OPS, 42).run();
+            assert!(r.ops_per_sec > 0.0, "{w:?}: {r:?}");
+            assert_eq!(r.ops, OPS);
+        }
+    }
+
+    #[test]
+    fn fcae_helps_write_heavy_workloads_most() {
+        let speedup = |w: YcsbWorkload| {
+            let base = YcsbSim::new(small_cfg(), w, RECORDS, OPS, 42).run();
+            let fcae = YcsbSim::new(
+                small_cfg().with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+                w,
+                RECORDS,
+                OPS,
+                42,
+            )
+            .run();
+            fcae.ops_per_sec / base.ops_per_sec
+        };
+        let load = speedup(YcsbWorkload::Load);
+        let a = speedup(YcsbWorkload::A);
+        let c = speedup(YcsbWorkload::C);
+        // Fig. 16: write-heavy workloads benefit; read-only unchanged.
+        // (Which of Load/A peaks depends on scale; at the paper's 20 GB
+        // scale Load dominates — asserted in the fig16 bench output.)
+        assert!(a >= c * 0.99, "A {a:.2} vs C {c:.2}");
+        assert!((c - 1.0).abs() < 0.05, "read-only unaffected: {c:.2}");
+        assert!(load > 1.3, "load speedup {load:.2}");
+        assert!(a > 1.1, "A speedup {a:.2}");
+    }
+
+    #[test]
+    fn cache_mass_is_monotone() {
+        let m1 = YcsbSim::zipf_top_k_mass(10, 1000);
+        let m2 = YcsbSim::zipf_top_k_mass(100, 1000);
+        let m3 = YcsbSim::zipf_top_k_mass(1000, 1000);
+        assert!(m1 < m2 && m2 < m3);
+        assert_eq!(m3, 1.0);
+        assert!(m1 > 0.3, "zipfian concentrates mass: {m1}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration assertions over the simulator's experiment sweeps: the
+//! directional claims each figure rests on, checked at reduced scale so
+//! they run in CI time.
+
+use fcae::FcaeConfig;
+use systemsim::writesim::mean_throughput;
+use systemsim::{EngineKind, SystemConfig, WriteSim, YcsbSim};
+use workloads::YcsbWorkload;
+
+const GB: u64 = 1_000_000_000;
+
+fn fcae9(cfg: SystemConfig) -> SystemConfig {
+    cfg.with_engine(EngineKind::Fcae(FcaeConfig::nine_input()))
+}
+
+/// Fig. 10/14: baseline throughput declines monotonically with data size.
+#[test]
+fn baseline_declines_with_data_size() {
+    let mut last = f64::INFINITY;
+    for bytes in [GB / 5, GB, 4 * GB] {
+        let r = WriteSim::new(SystemConfig { value_len: 512, ..Default::default() }, bytes)
+            .run();
+        assert!(
+            r.throughput_mb_s <= last * 1.02,
+            "throughput should not rise with size: {} -> {}",
+            last,
+            r.throughput_mb_s
+        );
+        last = r.throughput_mb_s;
+    }
+}
+
+/// Fig. 14: the FCAE advantage persists at scale.
+#[test]
+fn fcae_advantage_persists_at_scale() {
+    let cfg = SystemConfig { value_len: 512, ..Default::default() };
+    for bytes in [GB, 8 * GB] {
+        let base = WriteSim::new(cfg, bytes).run();
+        let dev = WriteSim::new(fcae9(cfg), bytes).run();
+        let speedup = dev.throughput_mb_s / base.throughput_mb_s;
+        assert!(
+            speedup > 1.5,
+            "at {} GB speedup {speedup:.2} too small",
+            bytes / GB
+        );
+    }
+}
+
+/// Table VIII: the PCIe share of total time is small and does not grow
+/// with data size.
+#[test]
+fn pcie_share_small_and_nonincreasing() {
+    let cfg = fcae9(SystemConfig { value_len: 512, ..Default::default() });
+    let small = WriteSim::new(cfg, GB / 2).run();
+    let large = WriteSim::new(cfg, 8 * GB).run();
+    assert!(small.pcie_percent() < 10.0, "{}", small.pcie_percent());
+    assert!(large.pcie_percent() <= small.pcie_percent() * 1.5 + 0.5);
+}
+
+/// Fig. 15(b) endpoints: longer values widen the FCAE advantage.
+#[test]
+fn value_length_widens_the_gap() {
+    let speedup = |lv: usize| {
+        let cfg = SystemConfig { value_len: lv, ..Default::default() };
+        let (b, _) = mean_throughput(cfg, GB, 3);
+        let (f, _) = mean_throughput(fcae9(cfg), GB, 3);
+        f / b
+    };
+    let short = speedup(64);
+    let long = speedup(2048);
+    assert!(long > short * 0.95, "short {short:.2} long {long:.2}");
+}
+
+/// Fig. 16 endpoints: write-heavy workloads gain, read-only does not.
+#[test]
+fn ycsb_gains_follow_write_ratio() {
+    let cfg = SystemConfig { value_len: 1024, ..Default::default() };
+    let records = 2_000_000;
+    let ops = 500_000;
+    let run = |w, c| YcsbSim::new(c, w, records, ops, 7).run().ops_per_sec;
+    let load_gain =
+        run(YcsbWorkload::Load, fcae9(cfg)) / run(YcsbWorkload::Load, cfg);
+    let c_gain = run(YcsbWorkload::C, fcae9(cfg)) / run(YcsbWorkload::C, cfg);
+    assert!(load_gain > 1.5, "Load gain {load_gain:.2}");
+    assert!((c_gain - 1.0).abs() < 0.02, "read-only gain {c_gain:.2}");
+}
+
+/// The headline: somewhere in the evaluated space the speedup reaches the
+/// multiples the paper reports (its max is 6.4x).
+#[test]
+fn headline_speedup_is_reachable() {
+    // Tiered configuration with the 9-input engine (the extension bench's
+    // sweet spot).
+    let cfg = SystemConfig {
+        value_len: 512,
+        l1_tiering_runs: Some(4),
+        ..Default::default()
+    };
+    let base = WriteSim::new(cfg, GB).run();
+    let dev = WriteSim::new(fcae9(cfg), GB).run();
+    let speedup = dev.throughput_mb_s / base.throughput_mb_s;
+    assert!(speedup > 4.0, "headline-scale speedup not reached: {speedup:.2}");
+}

@@ -1,0 +1,202 @@
+//! db_bench-style key and value generation (LevelDB `benchmarks/db_bench.cc`).
+//!
+//! Keys are fixed-width zero-padded decimal strings (16 bytes by default,
+//! the paper's Table IV); values come from a compressible random pool
+//! with a configurable compression ratio (db_bench defaults to ~50%
+//! Snappy-compressible data).
+
+use simkit::SplitMix64;
+
+/// Fixed-width decimal key formatting.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyFormat {
+    /// Key length in bytes (paper default 16; sweep range [16, 256]).
+    pub key_len: usize,
+}
+
+impl Default for KeyFormat {
+    fn default() -> Self {
+        KeyFormat { key_len: 16 }
+    }
+}
+
+impl KeyFormat {
+    /// Largest key number this width can represent distinctly; formatting
+    /// wraps modulo this bound, so ordering is preserved for key numbers
+    /// below it (db_bench sizes its key space accordingly).
+    pub fn key_space(&self) -> u64 {
+        let digits = self.key_len.min(19) as u32;
+        10u64.saturating_pow(digits)
+    }
+
+    /// Formats key number `i` (mod [`Self::key_space`]) into `buf`
+    /// (cleared first), zero-padded to exactly `key_len` bytes.
+    pub fn format_into(&self, i: u64, buf: &mut Vec<u8>) {
+        buf.clear();
+        let i = i % self.key_space();
+        let digits = format!("{i:016}");
+        if self.key_len <= digits.len() {
+            buf.extend_from_slice(&digits.as_bytes()[digits.len() - self.key_len..]);
+        } else {
+            buf.resize(self.key_len - digits.len(), b'0');
+            buf.extend_from_slice(digits.as_bytes());
+        }
+    }
+
+    /// Formats key number `i` into a fresh vector.
+    pub fn format(&self, i: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.key_len);
+        self.format_into(i, &mut buf);
+        buf
+    }
+}
+
+/// db_bench's `RandomGenerator`: a 1 MiB pool of data with a target
+/// compression ratio; values are slices at rotating offsets.
+pub struct ValueGenerator {
+    pool: Vec<u8>,
+    pos: usize,
+}
+
+impl ValueGenerator {
+    /// Creates a generator whose output compresses to roughly
+    /// `compression_ratio` of its size (0.5 = db_bench default).
+    pub fn new(seed: u64, compression_ratio: f64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut pool = Vec::with_capacity(1 << 20);
+        // Alternate incompressible noise with repeated runs so that the
+        // aggregate compresses to the requested ratio.
+        let ratio = compression_ratio.clamp(0.05, 1.0);
+        while pool.len() < (1 << 20) {
+            let run = 64;
+            let noise_bytes = (run as f64 * ratio) as usize;
+            for _ in 0..noise_bytes {
+                pool.push(rng.next_u64() as u8);
+            }
+            let fill = pool.last().copied().unwrap_or(b'x');
+            for _ in noise_bytes..run {
+                pool.push(fill);
+            }
+        }
+        ValueGenerator { pool, pos: 0 }
+    }
+
+    /// Returns the next value of `len` bytes.
+    pub fn generate(&mut self, len: usize) -> &[u8] {
+        if self.pos + len > self.pool.len() {
+            self.pos = 0;
+        }
+        let s = &self.pool[self.pos..self.pos + len.min(self.pool.len())];
+        self.pos += len;
+        s
+    }
+}
+
+/// The db_bench workloads used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbBenchWorkload {
+    /// Sequential fill.
+    FillSeq,
+    /// Random fill (the paper's write-throughput workload).
+    FillRandom,
+    /// Random overwrites of an existing database.
+    Overwrite,
+    /// Random point reads.
+    ReadRandom,
+}
+
+impl DbBenchWorkload {
+    /// The key number for operation `op` out of `total` keys.
+    pub fn key_number(&self, op: u64, total: u64, rng: &mut SplitMix64) -> u64 {
+        match self {
+            DbBenchWorkload::FillSeq => op % total.max(1),
+            DbBenchWorkload::FillRandom
+            | DbBenchWorkload::Overwrite
+            | DbBenchWorkload::ReadRandom => rng.next_below(total.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_fixed_width_and_ordered() {
+        let kf = KeyFormat { key_len: 16 };
+        let a = kf.format(1);
+        let b = kf.format(2);
+        let c = kf.format(10_000_000);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(c.len(), 16);
+        assert!(a < b && b < c, "decimal padding must preserve order");
+    }
+
+    #[test]
+    fn long_and_short_keys() {
+        for len in [16usize, 24, 100, 256] {
+            let kf = KeyFormat { key_len: len };
+            assert_eq!(kf.format(123).len(), len);
+        }
+        // Truncating formats still produce the right width.
+        let kf = KeyFormat { key_len: 8 };
+        assert_eq!(kf.format(u64::MAX).len(), 8);
+    }
+
+    #[test]
+    fn value_compression_ratio_respected() {
+        for (ratio, lo, hi) in [(0.5, 0.3, 0.75), (1.0, 0.8, 1.2), (0.25, 0.1, 0.5)] {
+            let mut g = ValueGenerator::new(1, ratio);
+            let v = g.generate(100_000).to_vec();
+            let c = snappy_len(&v);
+            let achieved = c as f64 / v.len() as f64;
+            assert!(
+                (lo..hi).contains(&achieved),
+                "ratio {ratio}: achieved {achieved}"
+            );
+        }
+    }
+
+    // Local reference compressor (run-length estimate): approximates
+    // snappy compressibility without a dependency cycle.
+    fn snappy_len(data: &[u8]) -> usize {
+        let mut out = 0usize;
+        let mut i = 0;
+        while i < data.len() {
+            let b = data[i];
+            let mut j = i + 1;
+            while j < data.len() && data[j] == b && j - i < 64 {
+                j += 1;
+            }
+            out += if j - i >= 4 { 3 } else { j - i };
+            i = j;
+        }
+        out
+    }
+
+    #[test]
+    fn values_vary_across_calls() {
+        let mut g = ValueGenerator::new(2, 0.5);
+        let a = g.generate(128).to_vec();
+        let b = g.generate(128).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn workload_key_numbers_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for w in [
+            DbBenchWorkload::FillSeq,
+            DbBenchWorkload::FillRandom,
+            DbBenchWorkload::Overwrite,
+            DbBenchWorkload::ReadRandom,
+        ] {
+            for op in 0..1000 {
+                assert!(w.key_number(op, 500, &mut rng) < 500);
+            }
+        }
+        // FillSeq is sequential.
+        assert_eq!(DbBenchWorkload::FillSeq.key_number(7, 100, &mut rng), 7);
+    }
+}

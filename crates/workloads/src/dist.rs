@@ -1,0 +1,251 @@
+//! Request distributions, matching the YCSB reference generators:
+//! uniform, zipfian (Gray et al.'s incremental algorithm), scrambled
+//! zipfian, and "latest".
+
+use simkit::SplitMix64;
+
+/// A generator of item indices in `[0, n)`.
+pub trait Distribution {
+    /// Draws the next index given the current item count `n`.
+    fn next(&mut self, n: u64) -> u64;
+}
+
+/// Uniform over `[0, n)`.
+pub struct Uniform {
+    rng: SplitMix64,
+}
+
+impl Uniform {
+    /// Creates a uniform generator.
+    pub fn new(seed: u64) -> Self {
+        Uniform { rng: SplitMix64::new(seed) }
+    }
+}
+
+impl Distribution for Uniform {
+    fn next(&mut self, n: u64) -> u64 {
+        self.rng.next_below(n.max(1))
+    }
+}
+
+/// Zipfian over `[0, n)` with the YCSB default constant θ = 0.99,
+/// favouring small indices. Uses the standard rejection-free inverse
+/// method with cached ζ values (recomputed only when `n` grows).
+pub struct Zipfian {
+    rng: SplitMix64,
+    theta: f64,
+    /// Item count the cached constants were computed for.
+    cached_n: u64,
+    zeta_n: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew constant.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Creates a zipfian generator.
+    pub fn new(seed: u64, theta: f64) -> Self {
+        Zipfian {
+            rng: SplitMix64::new(seed),
+            theta,
+            cached_n: 0,
+            zeta_n: 0.0,
+            zeta2: 0.0,
+            alpha: 0.0,
+            eta: 0.0,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; for the item counts used in experiments (<= ~100M)
+        // an Euler-Maclaurin approximation keeps this O(1) beyond 10^6.
+        if n <= 1_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{10^6}^{n} x^-θ dx
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 1_000_000f64.powf(a)) / a
+        }
+    }
+
+    fn refresh(&mut self, n: u64) {
+        // Item counts typically grow one insert at a time (YCSB Load/D);
+        // extend the cached ζ incrementally instead of recomputing the
+        // whole O(n) sum per call.
+        self.zeta_n = if n > self.cached_n && self.cached_n > 0 && n - self.cached_n <= 1024
+        {
+            let mut z = self.zeta_n;
+            for i in self.cached_n + 1..=n {
+                z += 1.0 / (i as f64).powf(self.theta);
+            }
+            z
+        } else {
+            Self::zeta(n, self.theta)
+        };
+        self.cached_n = n;
+        self.zeta2 = Self::zeta(2, self.theta);
+        self.alpha = 1.0 / (1.0 - self.theta);
+        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zeta_n);
+    }
+}
+
+impl Distribution for Zipfian {
+    fn next(&mut self, n: u64) -> u64 {
+        let n = n.max(2);
+        if n != self.cached_n {
+            self.refresh(n);
+        }
+        let u = self.rng.next_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(n - 1)
+    }
+}
+
+/// Zipfian popularity spread over the whole key space by hashing
+/// (YCSB `ScrambledZipfianGenerator`): hot items are scattered rather
+/// than clustered at low indices.
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled zipfian generator with the default θ.
+    pub fn new(seed: u64) -> Self {
+        ScrambledZipfian { inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA) }
+    }
+}
+
+/// FNV-1a 64-bit, as YCSB uses for scrambling.
+pub fn fnv1a(mut x: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..8 {
+        h ^= x & 0xff;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        x >>= 8;
+    }
+    h
+}
+
+impl Distribution for ScrambledZipfian {
+    fn next(&mut self, n: u64) -> u64 {
+        let z = self.inner.next(n);
+        fnv1a(z) % n.max(1)
+    }
+}
+
+/// YCSB's "latest" distribution: like zipfian, but anchored to the most
+/// recently inserted item (used by workload D).
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// Creates a latest-skewed generator.
+    pub fn new(seed: u64) -> Self {
+        Latest { inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA) }
+    }
+}
+
+impl Distribution for Latest {
+    fn next(&mut self, n: u64) -> u64 {
+        let n = n.max(1);
+        let off = self.inner.next(n);
+        n - 1 - off.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(d: &mut dyn Distribution, n: u64, draws: usize) -> Vec<u64> {
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..draws {
+            let x = d.next(n);
+            assert!(x < n);
+            h[x as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut d = Uniform::new(1);
+        let h = histogram(&mut d, 10, 100_000);
+        let expect = 10_000.0;
+        for &c in &h {
+            assert!((c as f64 - expect).abs() / expect < 0.1, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_monotone() {
+        let mut d = Zipfian::new(2, Zipfian::DEFAULT_THETA);
+        let h = histogram(&mut d, 100, 200_000);
+        // Item 0 dominates; top-10 items take a large share.
+        assert!(h[0] > h[10] && h[0] > h[50]);
+        let top10: u64 = h[..10].iter().sum();
+        let total: u64 = h.iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.5,
+            "zipf(0.99): top-10 share {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hotspots() {
+        let mut d = ScrambledZipfian::new(3);
+        let h = histogram(&mut d, 100, 200_000);
+        // Still very skewed overall...
+        let max = *h.iter().max().unwrap();
+        let total: u64 = h.iter().sum();
+        assert!(max as f64 / total as f64 > 0.12, "max share {}", max as f64 / total as f64);
+        // ...but the hottest item need not be index 0.
+        let argmax = h.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        let _ = argmax; // position is hash-determined; just ensure spread:
+        let nonzero = h.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero > 50, "hashing should scatter mass: {nonzero}");
+    }
+
+    #[test]
+    fn latest_prefers_recent_items() {
+        let mut d = Latest::new(4);
+        let h = histogram(&mut d, 100, 100_000);
+        assert!(h[99] > h[0], "most recent item should dominate: {h:?}");
+        let top: u64 = h[90..].iter().sum();
+        let total: u64 = h.iter().sum();
+        assert!(top as f64 / total as f64 > 0.5);
+    }
+
+    #[test]
+    fn zipfian_handles_growing_n() {
+        let mut d = Zipfian::new(5, Zipfian::DEFAULT_THETA);
+        for n in [2u64, 10, 100, 1000, 10, 5000] {
+            for _ in 0..100 {
+                assert!(d.next(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_approximation_continuous() {
+        // The large-n approximation should continue the exact sum smoothly.
+        let exact = Zipfian::zeta(1_000_000, 0.99);
+        let approx = Zipfian::zeta(1_000_001, 0.99);
+        assert!(approx > exact);
+        assert!(approx - exact < 1e-3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workload generation: LevelDB's `db_bench` key/value conventions and
+//! the YCSB core workloads (paper §VII-A and §VII-D).
+
+pub mod dbbench;
+pub mod dist;
+pub mod ycsb;
+
+pub use dbbench::{DbBenchWorkload, KeyFormat, ValueGenerator};
+pub use dist::{Distribution, Latest, ScrambledZipfian, Uniform, Zipfian};
+pub use ycsb::{OpKind, YcsbOp, YcsbRunner, YcsbWorkload};

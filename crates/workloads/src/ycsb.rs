@@ -1,0 +1,246 @@
+//! YCSB core workloads (paper Table IX): Load (100% insert), A
+//! (50/50 read/update), B (95/5), C (read-only), D (95/5 read/insert,
+//! latest distribution), E (95/5 scan/insert), F (50/50
+//! read/read-modify-write).
+
+use simkit::SplitMix64;
+
+use crate::dist::{Distribution, Latest, ScrambledZipfian};
+
+/// Operation kinds a workload emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Insert a new record.
+    Insert,
+    /// Read one record.
+    Read,
+    /// Update (overwrite) one record.
+    Update,
+    /// Range scan starting at a record.
+    Scan,
+    /// Read-modify-write one record.
+    ReadModifyWrite,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YcsbOp {
+    /// What to do.
+    pub kind: OpKind,
+    /// Record index the operation targets.
+    pub record: u64,
+    /// Scan length (only for `Scan`).
+    pub scan_len: u64,
+}
+
+/// The YCSB workload mixes from the paper's Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 100% insert.
+    Load,
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest.
+    D,
+    /// 95% scan / 5% insert, zipfian.
+    E,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All workloads, in the paper's presentation order.
+    pub const ALL: [YcsbWorkload; 7] = [
+        YcsbWorkload::Load,
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            YcsbWorkload::Load => "Load",
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// Fraction of operations that write (insert/update/RMW's write half).
+    pub fn write_fraction(&self) -> f64 {
+        match self {
+            YcsbWorkload::Load => 1.0,
+            YcsbWorkload::A => 0.5,
+            YcsbWorkload::B => 0.05,
+            YcsbWorkload::C => 0.0,
+            YcsbWorkload::D => 0.05,
+            YcsbWorkload::E => 0.05,
+            YcsbWorkload::F => 0.5,
+        }
+    }
+}
+
+/// Stateful operation generator for one workload run.
+pub struct YcsbRunner {
+    workload: YcsbWorkload,
+    rng: SplitMix64,
+    zipf: ScrambledZipfian,
+    latest: Latest,
+    /// Records currently in the database (inserts grow it).
+    pub record_count: u64,
+    /// Average scan length for workload E (YCSB default: uniform 1..100,
+    /// mean ~50).
+    pub max_scan_len: u64,
+}
+
+impl YcsbRunner {
+    /// Creates a runner over an initial `record_count` records.
+    pub fn new(workload: YcsbWorkload, record_count: u64, seed: u64) -> Self {
+        YcsbRunner {
+            workload,
+            rng: SplitMix64::new(seed),
+            zipf: ScrambledZipfian::new(seed ^ 0x5eed),
+            latest: Latest::new(seed ^ 0x1a7e57),
+            record_count,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Generates the next operation, updating the record count on insert.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let n = self.record_count.max(1);
+        let op = match self.workload {
+            YcsbWorkload::Load => YcsbOp {
+                kind: OpKind::Insert,
+                record: self.record_count,
+                scan_len: 0,
+            },
+            YcsbWorkload::A => self.mix(0.5, OpKind::Update, n),
+            YcsbWorkload::B => self.mix(0.05, OpKind::Update, n),
+            YcsbWorkload::C => YcsbOp { kind: OpKind::Read, record: self.zipf.next(n), scan_len: 0 },
+            YcsbWorkload::D => {
+                if self.rng.next_f64() < 0.05 {
+                    YcsbOp { kind: OpKind::Insert, record: self.record_count, scan_len: 0 }
+                } else {
+                    YcsbOp { kind: OpKind::Read, record: self.latest.next(n), scan_len: 0 }
+                }
+            }
+            YcsbWorkload::E => {
+                if self.rng.next_f64() < 0.05 {
+                    YcsbOp { kind: OpKind::Insert, record: self.record_count, scan_len: 0 }
+                } else {
+                    YcsbOp {
+                        kind: OpKind::Scan,
+                        record: self.zipf.next(n),
+                        scan_len: 1 + self.rng.next_below(self.max_scan_len),
+                    }
+                }
+            }
+            YcsbWorkload::F => self.mix(0.5, OpKind::ReadModifyWrite, n),
+        };
+        if op.kind == OpKind::Insert {
+            self.record_count += 1;
+        }
+        op
+    }
+
+    fn mix(&mut self, write_frac: f64, write_kind: OpKind, n: u64) -> YcsbOp {
+        let kind = if self.rng.next_f64() < write_frac { write_kind } else { OpKind::Read };
+        YcsbOp { kind, record: self.zipf.next(n), scan_len: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn mix_of(workload: YcsbWorkload, ops: usize) -> HashMap<OpKind, usize> {
+        let mut r = YcsbRunner::new(workload, 10_000, 42);
+        let mut counts = HashMap::new();
+        for _ in 0..ops {
+            let op = r.next_op();
+            *counts.entry(op.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    fn frac(counts: &HashMap<OpKind, usize>, kind: OpKind, total: usize) -> f64 {
+        *counts.get(&kind).unwrap_or(&0) as f64 / total as f64
+    }
+
+    #[test]
+    fn workload_mixes_match_table_ix() {
+        let n = 50_000;
+        let a = mix_of(YcsbWorkload::A, n);
+        assert!((frac(&a, OpKind::Read, n) - 0.5).abs() < 0.02);
+        assert!((frac(&a, OpKind::Update, n) - 0.5).abs() < 0.02);
+
+        let b = mix_of(YcsbWorkload::B, n);
+        assert!((frac(&b, OpKind::Read, n) - 0.95).abs() < 0.01);
+
+        let c = mix_of(YcsbWorkload::C, n);
+        assert_eq!(frac(&c, OpKind::Read, n), 1.0);
+
+        let d = mix_of(YcsbWorkload::D, n);
+        assert!((frac(&d, OpKind::Insert, n) - 0.05).abs() < 0.01);
+
+        let e = mix_of(YcsbWorkload::E, n);
+        assert!((frac(&e, OpKind::Scan, n) - 0.95).abs() < 0.01);
+
+        let f = mix_of(YcsbWorkload::F, n);
+        assert!((frac(&f, OpKind::ReadModifyWrite, n) - 0.5).abs() < 0.02);
+
+        let load = mix_of(YcsbWorkload::Load, n);
+        assert_eq!(frac(&load, OpKind::Insert, n), 1.0);
+    }
+
+    #[test]
+    fn inserts_grow_the_record_count() {
+        let mut r = YcsbRunner::new(YcsbWorkload::Load, 0, 1);
+        for i in 0..100 {
+            let op = r.next_op();
+            assert_eq!(op.record, i, "loads insert sequentially");
+        }
+        assert_eq!(r.record_count, 100);
+    }
+
+    #[test]
+    fn reads_stay_in_range_as_db_grows() {
+        let mut r = YcsbRunner::new(YcsbWorkload::D, 100, 2);
+        for _ in 0..10_000 {
+            let op = r.next_op();
+            assert!(op.record < r.record_count.max(1) + 1);
+        }
+        assert!(r.record_count > 100, "inserts should have grown the DB");
+    }
+
+    #[test]
+    fn scan_lengths_bounded() {
+        let mut r = YcsbRunner::new(YcsbWorkload::E, 1000, 3);
+        for _ in 0..10_000 {
+            let op = r.next_op();
+            if op.kind == OpKind::Scan {
+                assert!((1..=100).contains(&op.scan_len));
+            }
+        }
+    }
+
+    #[test]
+    fn write_fractions_consistent() {
+        assert_eq!(YcsbWorkload::Load.write_fraction(), 1.0);
+        assert_eq!(YcsbWorkload::C.write_fraction(), 0.0);
+        assert!(YcsbWorkload::A.write_fraction() > YcsbWorkload::B.write_fraction());
+    }
+}

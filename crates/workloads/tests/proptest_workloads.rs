@@ -1,0 +1,64 @@
+//! Property tests for workload generation invariants.
+
+use proptest::prelude::*;
+use workloads::{KeyFormat, ValueGenerator, YcsbRunner, YcsbWorkload};
+
+proptest! {
+    /// db_bench key formatting preserves numeric order at every width,
+    /// for key numbers within the width's key space.
+    #[test]
+    fn key_format_preserves_order(
+        pair in (any::<u64>(), any::<u64>()),
+        key_len in prop::sample::select(vec![8usize, 16, 64, 256]),
+    ) {
+        let kf = KeyFormat { key_len };
+        let space = kf.key_space();
+        let (mut x, mut y) = (pair.0 % space, pair.1 % space);
+        if x > y {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let a = kf.format(x);
+        let b = kf.format(y);
+        prop_assert_eq!(a.len(), key_len);
+        prop_assert_eq!(b.len(), key_len);
+        if x != y {
+            prop_assert!(a < b, "order broken: {x} vs {y}");
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Value generation always returns the requested length (within the
+    /// pool bound) and never panics.
+    #[test]
+    fn value_generator_lengths(
+        seed in any::<u64>(),
+        ratio in 0.0f64..1.5,
+        lens in proptest::collection::vec(1usize..4096, 1..50),
+    ) {
+        let mut g = ValueGenerator::new(seed, ratio);
+        for len in lens {
+            prop_assert_eq!(g.generate(len).len(), len);
+        }
+    }
+
+    /// Every YCSB op stream keeps records in range and the record count
+    /// nondecreasing.
+    #[test]
+    fn ycsb_ops_well_formed(
+        seed in any::<u64>(),
+        initial in 1u64..10_000,
+        ops in 1usize..2_000,
+    ) {
+        for w in YcsbWorkload::ALL {
+            let mut r = YcsbRunner::new(w, initial, seed);
+            let mut last_count = r.record_count;
+            for _ in 0..ops {
+                let op = r.next_op();
+                prop_assert!(op.record <= r.record_count);
+                prop_assert!(r.record_count >= last_count);
+                last_count = r.record_count;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Design-space exploration with the resource and timing models: which
+//! (N, W_in, V) configurations fit the KCU1500, and what compaction speed
+//! each feasible point reaches — the reasoning behind the paper's
+//! Table VII configuration choice.
+//!
+//! ```sh
+//! cargo run --release --example design_explorer
+//! ```
+
+use fcae_repro::fcae::{FcaeConfig, PipelineModel, ResourceModel};
+
+fn main() {
+    let model = ResourceModel;
+    let key_len = 24; // 16-byte user key + 8 mark bytes
+    let value_len = 512;
+
+    println!(
+        "{:>3} {:>5} {:>4} | {:>6} {:>6} {:>6} | {:>8} {:>12}",
+        "N", "W_in", "V", "BRAM%", "FF%", "LUT%", "fits?", "speed MB/s"
+    );
+    println!("{}", "-".repeat(66));
+    for n in [2usize, 4, 9, 16] {
+        for w_in in [8u32, 16, 64] {
+            for v in [8u32, 16, 64] {
+                if v > w_in {
+                    continue;
+                }
+                let cfg = FcaeConfig { n_inputs: n, w_in, v, ..FcaeConfig::two_input() };
+                let u = model.estimate(&cfg);
+                let speed =
+                    PipelineModel::new(cfg).steady_state_speed_mb_s(key_len, value_len);
+                println!(
+                    "{:>3} {:>5} {:>4} | {:>6.1} {:>6.1} {:>6.1} | {:>8} {:>12.1}",
+                    n,
+                    w_in,
+                    v,
+                    u.bram_pct,
+                    u.ff_pct,
+                    u.lut_pct,
+                    if u.feasible() { "yes" } else { "NO" },
+                    speed
+                );
+            }
+        }
+    }
+
+    println!("\nAutomatic selection (paper §VII-C):");
+    for n in [2usize, 9] {
+        match model.pick_feasible(n, 64) {
+            Some(cfg) => {
+                let u = model.estimate(&cfg);
+                println!(
+                    "  N={n}: pick W_in={} V={} (LUT {:.0}%) — the paper picks {}",
+                    cfg.w_in,
+                    cfg.v,
+                    u.lut_pct,
+                    if n == 9 { "W_in=8 V=8" } else { "full width" }
+                );
+            }
+            None => println!("  N={n}: nothing fits"),
+        }
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: build, lint, docs, tests, and every experiment bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --all-targets
+cargo clippy --workspace --all-targets -- -D warnings
+cargo doc --no-deps --workspace
+cargo test --workspace
+cargo test --workspace --release
+cargo bench --workspace
+echo "all checks passed"

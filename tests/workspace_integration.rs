@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full store, driven by the workload
+//! generators, on both engines, over the real filesystem.
+
+use std::sync::Arc;
+
+use fcae_repro::fcae::{FcaeConfig, FcaeEngine};
+use fcae_repro::lsm::{Db, Options};
+use fcae_repro::workloads::{KeyFormat, ValueGenerator};
+use fcae_repro::sstable::env::{MemEnv, StorageEnv};
+
+fn small_options(env: Arc<MemEnv>) -> Options {
+    Options {
+        env: env as Arc<dyn StorageEnv>,
+        write_buffer_size: 128 << 10,
+        max_file_size: 64 << 10,
+        level1_max_bytes: 256 << 10,
+        slowdown_sleep: false,
+        ..Default::default()
+    }
+}
+
+/// Drives identical workloads into a CPU-engine store and an FCAE-engine
+/// store and verifies every read agrees.
+#[test]
+fn cpu_and_fcae_stores_agree_on_reads() {
+    let env_cpu = Arc::new(MemEnv::new());
+    let env_fcae = Arc::new(MemEnv::new());
+    let db_cpu = Db::open("/cpu", small_options(Arc::clone(&env_cpu))).unwrap();
+    let db_fcae = Db::open_with_engine(
+        "/fcae",
+        small_options(Arc::clone(&env_fcae)),
+        Arc::new(FcaeEngine::new(FcaeConfig::nine_input())),
+    )
+    .unwrap();
+
+    let kf = KeyFormat::default();
+    let mut values = ValueGenerator::new(11, 0.5);
+    // Sequential fill + overwrites + deletions.
+    for i in 0..6_000u64 {
+        let key = kf.format(i);
+        let v = values.generate(200).to_vec();
+        db_cpu.put(&key, &v).unwrap();
+        db_fcae.put(&key, &v).unwrap();
+    }
+    for i in (0..6_000u64).step_by(7) {
+        let key = kf.format(i);
+        db_cpu.delete(&key).unwrap();
+        db_fcae.delete(&key).unwrap();
+    }
+    for db in [&db_cpu, &db_fcae] {
+        db.flush().unwrap();
+        db.wait_for_background_quiescence();
+    }
+
+    for i in 0..6_000u64 {
+        let key = kf.format(i);
+        let a = db_cpu.get(&key).unwrap();
+        let b = db_fcae.get(&key).unwrap();
+        assert_eq!(a, b, "key {i}");
+        if i % 7 == 0 {
+            assert_eq!(a, None, "key {i} was deleted");
+        } else {
+            assert!(a.is_some(), "key {i} must be present");
+        }
+    }
+
+    // Both stores really compacted.
+    assert!(db_cpu.stats().engine_compactions + db_cpu.stats().trivial_moves > 0);
+    let f = db_fcae.stats();
+    assert!(f.engine_compactions > 0, "{f:?}");
+}
+
+/// Scans agree across engines after heavy churn.
+#[test]
+fn scans_agree_across_engines() {
+    let env_cpu = Arc::new(MemEnv::new());
+    let env_fcae = Arc::new(MemEnv::new());
+    let db_cpu = Db::open("/cpu", small_options(Arc::clone(&env_cpu))).unwrap();
+    let db_fcae = Db::open_with_engine(
+        "/fcae",
+        small_options(Arc::clone(&env_fcae)),
+        Arc::new(FcaeEngine::new(FcaeConfig::nine_input())),
+    )
+    .unwrap();
+
+    let kf = KeyFormat::default();
+    for round in 0..4u64 {
+        for i in 0..2_000u64 {
+            let key = kf.format(i);
+            let v = format!("round-{round}-value-{i}");
+            db_cpu.put(&key, v.as_bytes()).unwrap();
+            db_fcae.put(&key, v.as_bytes()).unwrap();
+        }
+        db_cpu.flush().unwrap();
+        db_fcae.flush().unwrap();
+    }
+    db_cpu.wait_for_background_quiescence();
+    db_fcae.wait_for_background_quiescence();
+
+    let a = db_cpu.scan(&kf.format(500), Some(&kf.format(600)), 1000).unwrap();
+    let b = db_fcae.scan(&kf.format(500), Some(&kf.format(600)), 1000).unwrap();
+    assert_eq!(a.len(), 100);
+    assert_eq!(a, b);
+    for (k, v) in &a {
+        assert!(v.starts_with(b"round-3"), "latest round wins: {k:?}");
+    }
+}
+
+/// The std-filesystem environment works end to end with the FCAE engine.
+#[test]
+fn fcae_store_on_real_filesystem() {
+    let dir = std::env::temp_dir().join(format!("fcae-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = Options {
+        write_buffer_size: 64 << 10,
+        max_file_size: 32 << 10,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    {
+        let db = Db::open_with_engine(
+            &dir,
+            options.clone(),
+            Arc::new(FcaeEngine::new(FcaeConfig::nine_input())),
+        )
+        .unwrap();
+        for i in 0..2_000u64 {
+            db.put(format!("{i:016}").as_bytes(), &[7u8; 100]).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_background_quiescence();
+    }
+    // Reopen (recovery path) with the CPU engine: format compatibility.
+    {
+        let db = Db::open(&dir, options).unwrap();
+        for i in (0..2_000u64).step_by(97) {
+            assert_eq!(
+                db.get(format!("{i:016}").as_bytes()).unwrap(),
+                Some(vec![7u8; 100])
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
