@@ -10,7 +10,10 @@ use lsm::compaction::CompactionEngine;
 use sstable::env::MemEnv;
 
 fn speed(flags: AblationFlags, value_len: usize) -> f64 {
-    let cfg = FcaeConfig { ablation: flags, ..FcaeConfig::two_input() };
+    let cfg = FcaeConfig {
+        ablation: flags,
+        ..FcaeConfig::two_input()
+    };
     let env = MemEnv::new();
     let spec = KernelInputSpec {
         n_inputs: 2,
@@ -27,13 +30,19 @@ fn speed(flags: AblationFlags, value_len: usize) -> f64 {
 }
 
 fn main() {
-    banner("Ablation", "contribution of each design optimization (N=2, V=16)");
+    banner(
+        "Ablation",
+        "contribution of each design optimization (N=2, V=16)",
+    );
 
     let variants: [(&str, AblationFlags); 5] = [
         ("basic (Fig. 2)", AblationFlags::all_off()),
         (
             "+ index/data sep (Fig. 3)",
-            AblationFlags { index_data_separation: true, ..AblationFlags::all_off() },
+            AblationFlags {
+                index_data_separation: true,
+                ..AblationFlags::all_off()
+            },
         ),
         (
             "+ key/value sep (Fig. 4)",
@@ -54,9 +63,7 @@ fn main() {
         ),
     ];
 
-    let mut table = TablePrinter::new(&[
-        "design", "Lv=64", "Lv=512", "Lv=2048",
-    ]);
+    let mut table = TablePrinter::new(&["design", "Lv=64", "Lv=512", "Lv=2048"]);
     let mut full_speed = [0.0f64; 3];
     let mut basic_speed = [0.0f64; 3];
     for (name, flags) in variants {

@@ -12,11 +12,19 @@ fn main() {
         "write throughput vs data size (0.2–2 GB), L_value=512, V=16, N=2",
     );
 
-    let cfg = SystemConfig { value_len: 512, ..SystemConfig::default() };
+    let cfg = SystemConfig {
+        value_len: 512,
+        ..SystemConfig::default()
+    };
     let fcae_cfg = cfg.with_engine(EngineKind::Fcae(FcaeConfig::two_input().with_v(16)));
 
     let mut table = TablePrinter::new(&[
-        "data (GB)", "LevelDB MB/s", "FCAE MB/s", "speedup", "LevelDB stall%", "FCAE stall%",
+        "data (GB)",
+        "LevelDB MB/s",
+        "FCAE MB/s",
+        "speedup",
+        "LevelDB stall%",
+        "FCAE stall%",
     ]);
     let sizes_gb = [0.2f64, 0.5, 1.0, 1.5, 2.0];
     let mut first_ratio = 0.0;

@@ -34,12 +34,8 @@ fn main() {
     let two = FcaeConfig::two_input(); // W=64, V=16
     let nine = FcaeConfig::nine_input(); // W_in=8, V=8
 
-    let mut speed = TablePrinter::new(&[
-        "L_value", "2-input MB/s", "9-input MB/s", "9/2 ratio",
-    ]);
-    let mut ratio = TablePrinter::new(&[
-        "L_value", "accel 2-input", "accel 9-input",
-    ]);
+    let mut speed = TablePrinter::new(&["L_value", "2-input MB/s", "9-input MB/s", "9/2 ratio"]);
+    let mut ratio = TablePrinter::new(&["L_value", "accel 2-input", "accel 9-input"]);
 
     let mut gaps: Vec<f64> = Vec::new();
     for value_len in [64usize, 128, 256, 512, 1024, 2048] {

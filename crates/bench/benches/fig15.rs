@@ -41,50 +41,81 @@ fn sweep<T: std::fmt::Display + Copy>(
 }
 
 fn main() {
-    banner("E9 (Fig. 15)", "sensitivity to LevelDB settings (1 GB, N=9)");
+    banner(
+        "E9 (Fig. 15)",
+        "sensitivity to LevelDB settings (1 GB, N=9)",
+    );
 
     // (a) Key length 16..256 (paper: speedup decreases ~linearly).
-    let a = sweep("a: key length", &[16usize, 32, 64, 128, 256], |k| SystemConfig {
-        key_len: k,
-        ..SystemConfig::default()
+    let a = sweep("a: key length", &[16usize, 32, 64, 128, 256], |k| {
+        SystemConfig {
+            key_len: k,
+            ..SystemConfig::default()
+        }
     });
     // End-to-end trend: individual points can flip between the simulator's
     // offload regimes (EXPERIMENTS.md), so compare the sweep's endpoints.
     println!(
         "expected: decreasing speedup with key length — {}",
-        if a.last().unwrap() < a.first().unwrap() { "observed (endpoints)" } else { "NOT OBSERVED" }
+        if a.last().unwrap() < a.first().unwrap() {
+            "observed (endpoints)"
+        } else {
+            "NOT OBSERVED"
+        }
     );
 
     // (b) Value length 64..2048 (paper: speedup increases).
-    let b = sweep("b: value length", &[64usize, 128, 256, 512, 1024, 2048], |v| {
-        SystemConfig { value_len: v, ..SystemConfig::default() }
-    });
+    let b = sweep(
+        "b: value length",
+        &[64usize, 128, 256, 512, 1024, 2048],
+        |v| SystemConfig {
+            value_len: v,
+            ..SystemConfig::default()
+        },
+    );
     println!(
         "expected: increasing speedup with value length — {}",
-        if b.last().unwrap() > b.first().unwrap() { "observed" } else { "NOT OBSERVED" }
+        if b.last().unwrap() > b.first().unwrap() {
+            "observed"
+        } else {
+            "NOT OBSERVED"
+        }
     );
 
     // (c) Block size 2 KiB..1 MiB (paper: flat, ~2.4x).
     let c = sweep(
         "c: data block size (KiB)",
         &[2u64, 4, 16, 64, 256, 1024],
-        |kb| SystemConfig { block_bytes: kb << 10, ..SystemConfig::default() },
+        |kb| SystemConfig {
+            block_bytes: kb << 10,
+            ..SystemConfig::default()
+        },
     );
-    let spread = c.iter().cloned().fold(f64::MIN, f64::max)
-        / c.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        c.iter().cloned().fold(f64::MIN, f64::max) / c.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "expected: insensitive to block size (paper holds ~2.4x) — spread {spread:.2} ({})",
-        if spread < 1.25 { "observed" } else { "NOT OBSERVED" }
+        if spread < 1.25 {
+            "observed"
+        } else {
+            "NOT OBSERVED"
+        }
     );
 
     // (d) Leveling ratio 4..16 (paper: speedup decreases as ratio grows).
-    let d = sweep("d: leveling ratio", &[4u64, 6, 8, 10, 12, 16], |r| SystemConfig {
-        leveling_ratio: r,
-        ..SystemConfig::default()
+    let d = sweep("d: leveling ratio", &[4u64, 6, 8, 10, 12, 16], |r| {
+        SystemConfig {
+            leveling_ratio: r,
+            ..SystemConfig::default()
+        }
     });
     println!(
         "expected: decreasing speedup with leveling ratio — {}",
-        if d.last().unwrap() < d.first().unwrap() { "observed" } else { "NOT OBSERVED" }
+        if d.last().unwrap() < d.first().unwrap() {
+            "observed"
+        } else {
+            "NOT OBSERVED"
+        }
     );
 
     println!("\nconclusion (paper §VII-C3): FCAE helps most with short keys, long");

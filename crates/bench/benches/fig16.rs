@@ -8,15 +8,25 @@ use systemsim::{EngineKind, SystemConfig, YcsbSim};
 use workloads::YcsbWorkload;
 
 fn main() {
-    banner("E10 (Fig. 16)", "YCSB throughput, Load/A-F, 20M x 1 KiB records");
+    banner(
+        "E10 (Fig. 16)",
+        "YCSB throughput, Load/A-F, 20M x 1 KiB records",
+    );
 
     let records = 20_000_000u64;
     let ops = 20_000_000u64;
-    let cfg = SystemConfig { value_len: 1024, ..SystemConfig::default() };
+    let cfg = SystemConfig {
+        value_len: 1024,
+        ..SystemConfig::default()
+    };
     let fcae_cfg = cfg.with_engine(EngineKind::Fcae(FcaeConfig::nine_input()));
 
     let mut table = TablePrinter::new(&[
-        "workload", "LevelDB kop/s", "FCAE kop/s", "speedup", "write %",
+        "workload",
+        "LevelDB kop/s",
+        "FCAE kop/s",
+        "speedup",
+        "write %",
     ]);
     let mut speedups = Vec::new();
     for w in YcsbWorkload::ALL {

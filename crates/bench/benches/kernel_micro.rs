@@ -62,15 +62,25 @@ fn bench_engines(c: &mut Criterion) {
         ..Default::default()
     };
     let env = MemEnv::new();
-    let bytes: u64 = build_kernel_inputs(&env, &spec).iter().map(|i| i.bytes()).sum();
+    let bytes: u64 = build_kernel_inputs(&env, &spec)
+        .iter()
+        .map(|i| i.bytes())
+        .sum();
 
     let mut g = c.benchmark_group("compaction");
     g.throughput(Throughput::Bytes(bytes));
     g.bench_function("cpu_engine_4MB", |b| {
         b.iter_batched(
-            || (build_kernel_inputs(&env, &spec), MemFactory::new(env.clone())),
+            || {
+                (
+                    build_kernel_inputs(&env, &spec),
+                    MemFactory::new(env.clone()),
+                )
+            },
             |(inputs, factory)| {
-                CpuCompactionEngine.compact(&kernel_request(inputs), &factory).unwrap()
+                CpuCompactionEngine
+                    .compact(&kernel_request(inputs), &factory)
+                    .unwrap()
             },
             BatchSize::SmallInput,
         )
@@ -79,10 +89,13 @@ fn bench_engines(c: &mut Criterion) {
     g.bench_function("fcae_engine_4MB", |b| {
         let engine = Arc::clone(&engine);
         b.iter_batched(
-            || (build_kernel_inputs(&env, &spec), MemFactory::new(env.clone())),
-            move |(inputs, factory)| {
-                engine.compact(&kernel_request(inputs), &factory).unwrap()
+            || {
+                (
+                    build_kernel_inputs(&env, &spec),
+                    MemFactory::new(env.clone()),
+                )
             },
+            move |(inputs, factory)| engine.compact(&kernel_request(inputs), &factory).unwrap(),
             BatchSize::SmallInput,
         )
     });

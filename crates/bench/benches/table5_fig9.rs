@@ -12,20 +12,33 @@
 
 use std::time::Instant;
 
-use bench::{banner, build_kernel_inputs, fmt, KernelInputSpec, MemFactory, TablePrinter};
 use bench::inputs::kernel_request;
 use bench::paper;
+use bench::{banner, build_kernel_inputs, fmt, KernelInputSpec, MemFactory, TablePrinter};
 use fcae::{CpuCostModel, FcaeConfig, FcaeEngine};
 use lsm::compaction::{CompactionEngine, CpuCompactionEngine};
 use sstable::env::MemEnv;
 
 fn main() {
-    banner("E1 (Table V)", "2-input compaction speed: CPU baseline vs FCAE, V ∈ {8,16,32,64}");
+    banner(
+        "E1 (Table V)",
+        "2-input compaction speed: CPU baseline vs FCAE, V ∈ {8,16,32,64}",
+    );
 
     let v_sweep = [8u32, 16, 32, 64];
     let mut speed_table = TablePrinter::new(&[
-        "L_value", "CPU model", "CPU paper", "CPU native", "V=8", "(paper)", "V=16",
-        "(paper)", "V=32", "(paper)", "V=64", "(paper)",
+        "L_value",
+        "CPU model",
+        "CPU paper",
+        "CPU native",
+        "V=8",
+        "(paper)",
+        "V=16",
+        "(paper)",
+        "V=32",
+        "(paper)",
+        "V=64",
+        "(paper)",
     ]);
     let mut ratio_rows: Vec<(usize, Vec<f64>)> = Vec::new();
 
@@ -49,7 +62,9 @@ fn main() {
         let input_bytes: u64 = inputs.iter().map(|i| i.bytes()).sum();
         let factory = MemFactory::new(env.clone());
         let t0 = Instant::now();
-        CpuCompactionEngine.compact(&kernel_request(inputs), &factory).unwrap();
+        CpuCompactionEngine
+            .compact(&kernel_request(inputs), &factory)
+            .unwrap();
         let native = input_bytes as f64 / t0.elapsed().as_secs_f64() / 1e6;
 
         let mut row = vec![
@@ -75,9 +90,11 @@ fn main() {
     println!("\ncompaction speed (MB/s); `paper` columns are Table V's published values:");
     speed_table.print();
 
-    banner("E2 (Fig. 9)", "acceleration ratio of FCAE over the calibrated CPU baseline");
-    let mut ratio_table =
-        TablePrinter::new(&["L_value", "V=8", "V=16", "V=32", "V=64"]);
+    banner(
+        "E2 (Fig. 9)",
+        "acceleration ratio of FCAE over the calibrated CPU baseline",
+    );
+    let mut ratio_table = TablePrinter::new(&["L_value", "V=8", "V=16", "V=32", "V=64"]);
     let mut max_ratio = 0.0f64;
     for (value_len, ratios) in &ratio_rows {
         let mut row = vec![value_len.to_string()];

@@ -16,14 +16,24 @@ fn main() {
     let v_sweep = [8u32, 16, 32, 64];
 
     let mut table = TablePrinter::new(&[
-        "L_value", "LevelDB", "(paper)", "V=8", "V=16", "V=32", "V=64", "(paper V=64)",
+        "L_value",
+        "LevelDB",
+        "(paper)",
+        "V=8",
+        "V=16",
+        "V=32",
+        "V=64",
+        "(paper V=64)",
     ]);
     let mut ratio = TablePrinter::new(&["L_value", "V=8", "V=16", "V=32", "V=64"]);
 
     let mut max_speedup = 0.0f64;
     let mut speedups_by_value: Vec<f64> = Vec::new();
     for &(value_len, paper_base, _p8, _p16, _p32, p64) in &paper::TABLE6 {
-        let cfg = SystemConfig { value_len, ..SystemConfig::default() };
+        let cfg = SystemConfig {
+            value_len,
+            ..SystemConfig::default()
+        };
         let base = WriteSim::new(cfg, data_bytes).run();
         let mut row = vec![
             value_len.to_string(),
@@ -33,8 +43,7 @@ fn main() {
         let mut ratio_row = vec![value_len.to_string()];
         let mut best = 0.0f64;
         for &v in &v_sweep {
-            let fcae_cfg =
-                cfg.with_engine(EngineKind::Fcae(FcaeConfig::two_input().with_v(v)));
+            let fcae_cfg = cfg.with_engine(EngineKind::Fcae(FcaeConfig::two_input().with_v(v)));
             let fcae = WriteSim::new(fcae_cfg, data_bytes).run();
             row.push(fmt(fcae.throughput_mb_s));
             let s = fcae.throughput_mb_s / base.throughput_mb_s;

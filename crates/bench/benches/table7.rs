@@ -6,14 +6,22 @@ use bench::{banner, paper, TablePrinter};
 use fcae::{FcaeConfig, ResourceModel};
 
 fn main() {
-    banner("E5 (Table VII)", "resource utilization for different FPGA configurations");
+    banner(
+        "E5 (Table VII)",
+        "resource utilization for different FPGA configurations",
+    );
 
     let model = ResourceModel;
     let mut table = TablePrinter::new(&[
         "N", "W_in", "V", "BRAM%", "(paper)", "FF%", "(paper)", "LUT%", "(paper)", "fits",
     ]);
     for &(n, w_in, v, bram, ff, lut) in &paper::TABLE7 {
-        let cfg = FcaeConfig { n_inputs: n, w_in, v, ..FcaeConfig::two_input() };
+        let cfg = FcaeConfig {
+            n_inputs: n,
+            w_in,
+            v,
+            ..FcaeConfig::two_input()
+        };
         let u = model.estimate(&cfg);
         table.row(&[
             n.to_string(),
@@ -35,8 +43,7 @@ fn main() {
         match model.pick_feasible(n, 64) {
             Some(cfg) => println!(
                 "  N={n}: W_in={}, V={}  (paper picks W_in=8, V=8 for N=9)",
-                cfg.w_in,
-                cfg.v
+                cfg.w_in, cfg.v
             ),
             None => println!("  N={n}: no feasible configuration"),
         }

@@ -14,11 +14,19 @@ fn main() {
         "write throughput 0.2–1024 GB (N=9) and PCIe transfer share",
     );
 
-    let cfg = SystemConfig { value_len: 512, ..SystemConfig::default() };
+    let cfg = SystemConfig {
+        value_len: 512,
+        ..SystemConfig::default()
+    };
     let fcae_cfg = cfg.with_engine(EngineKind::Fcae(FcaeConfig::nine_input()));
 
     let mut table = TablePrinter::new(&[
-        "data (GB)", "LevelDB MB/s", "FCAE MB/s", "speedup", "PCIe %", "(paper %)",
+        "data (GB)",
+        "LevelDB MB/s",
+        "FCAE MB/s",
+        "speedup",
+        "PCIe %",
+        "(paper %)",
     ]);
 
     let mut speedups = Vec::new();

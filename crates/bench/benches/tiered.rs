@@ -19,7 +19,12 @@ fn main() {
 
     let data = 1_000_000_000u64;
     let mut table = TablePrinter::new(&[
-        "k runs", "CPU MB/s", "N=2 MB/s", "N=9 MB/s", "N=9 sw-fallbacks", "N=9 speedup",
+        "k runs",
+        "CPU MB/s",
+        "N=2 MB/s",
+        "N=9 MB/s",
+        "N=9 sw-fallbacks",
+        "N=9 speedup",
     ]);
     for k in [2u64, 4, 8, 12] {
         let cfg = SystemConfig {

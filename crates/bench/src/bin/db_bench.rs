@@ -49,25 +49,22 @@ fn parse_args() -> Result<Config, String> {
             None => {
                 let f = args[i].clone();
                 i += 1;
-                let v = args.get(i).cloned().ok_or(format!("missing value for {f}"))?;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
                 (f, v)
             }
         };
         match flag.as_str() {
-            "--benchmarks" => {
-                cfg.benchmarks = value.split(',').map(|s| s.to_string()).collect()
-            }
+            "--benchmarks" => cfg.benchmarks = value.split(',').map(|s| s.to_string()).collect(),
             "--num" => cfg.num = value.parse().map_err(|e| format!("--num: {e}"))?,
             "--value-size" => {
                 cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
             }
-            "--key-size" => {
-                cfg.key_size = value.parse().map_err(|e| format!("--key-size: {e}"))?
-            }
+            "--key-size" => cfg.key_size = value.parse().map_err(|e| format!("--key-size: {e}"))?,
             "--engine" => cfg.engine = value,
-            "--n-inputs" => {
-                cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?
-            }
+            "--n-inputs" => cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?,
             "--db" => cfg.db_path = PathBuf::from(value),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -78,7 +75,10 @@ fn parse_args() -> Result<Config, String> {
 
 fn open_db(cfg: &Config) -> Db {
     let _ = std::fs::remove_dir_all(&cfg.db_path);
-    let options = Options { slowdown_sleep: true, ..Default::default() };
+    let options = Options {
+        slowdown_sleep: true,
+        ..Default::default()
+    };
     let engine: Arc<dyn CompactionEngine> = match cfg.engine.as_str() {
         "cpu" => Arc::new(CpuCompactionEngine),
         "fcae" => {
@@ -98,7 +98,9 @@ fn open_db(cfg: &Config) -> Db {
 }
 
 fn run_benchmark(name: &str, cfg: &Config, db: &Db) {
-    let kf = KeyFormat { key_len: cfg.key_size };
+    let kf = KeyFormat {
+        key_len: cfg.key_size,
+    };
     let mut values = ValueGenerator::new(301, 0.5);
     let mut rng = SplitMix64::new(1234);
     let pair_bytes = (cfg.key_size + cfg.value_size) as u64;
@@ -164,10 +166,7 @@ fn main() {
     println!("------------------------------------------------");
     println!(
         "flushes {} | engine compactions {} | sw fallbacks {} | trivial {}",
-        stats.flushes,
-        stats.engine_compactions,
-        stats.sw_fallback_compactions,
-        stats.trivial_moves
+        stats.flushes, stats.engine_compactions, stats.sw_fallback_compactions, stats.trivial_moves
     );
     println!(
         "compaction io {:.1} MB read / {:.1} MB written | stall {:?}",

@@ -73,7 +73,8 @@ pub fn build_kernel_inputs(env: &MemEnv, spec: &KernelInputSpec) -> Vec<Compacti
                     1 + e + input as u64 * spec.entries_per_input,
                     ValueType::Value,
                 );
-                b.add(ik.encoded(), values.generate(spec.value_len)).unwrap();
+                b.add(ik.encoded(), values.generate(spec.value_len))
+                    .unwrap();
             }
             let size = b.finish().unwrap();
             let file = env.open_random_access(Path::new(&name)).unwrap();
@@ -87,6 +88,7 @@ pub fn build_kernel_inputs(env: &MemEnv, spec: &KernelInputSpec) -> Vec<Compacti
 /// A standard compaction request over the given inputs.
 pub fn kernel_request(inputs: Vec<CompactionInput>) -> CompactionRequest {
     CompactionRequest {
+        level: 0,
         inputs,
         smallest_snapshot: 1 << 40,
         bottommost: true,
@@ -108,16 +110,17 @@ pub struct MemFactory {
 impl MemFactory {
     /// Creates a factory writing into `env`.
     pub fn new(env: MemEnv) -> Self {
-        MemFactory { env, counter: AtomicU64::new(0) }
+        MemFactory {
+            env,
+            counter: AtomicU64::new(0),
+        }
     }
 }
 
 impl OutputFileFactory for MemFactory {
     fn new_output(&self) -> lsm::Result<(u64, Box<dyn WritableFile>)> {
         let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
-        let file = self
-            .env
-            .create_writable(Path::new(&format!("/kout-{n}")))?;
+        let file = self.env.create_writable(Path::new(&format!("/kout-{n}")))?;
         Ok((n, file))
     }
 }

@@ -40,7 +40,11 @@ impl TablePrinter {
         line(&self.headers);
         println!(
             "  {}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             line(row);

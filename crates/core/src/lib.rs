@@ -12,6 +12,10 @@
 //! * [`fcae`] — the simulated FPGA engine: [`fcae::FcaeEngine`],
 //!   configuration ([`fcae::FcaeConfig`]), the pipeline timing model,
 //!   the Table VII resource model and the calibrated CPU cost model;
+//! * [`offload`] — the multi-engine offload scheduler:
+//!   [`offload::OffloadService`] packs as many engine instances as fit
+//!   the card and dispatches compactions across them with priority
+//!   queueing, CPU fallback and fault retry;
 //! * [`sstable`] — the LevelDB table format;
 //! * [`snap_codec`] — the Snappy codec;
 //! * [`workloads`] — db_bench / YCSB generators;
@@ -36,6 +40,7 @@
 
 pub use fcae;
 pub use lsm;
+pub use offload;
 pub use simkit;
 pub use snap_codec;
 pub use sstable;

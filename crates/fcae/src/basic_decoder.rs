@@ -80,12 +80,18 @@ impl<'a> BasicInputDecoder<'a> {
 
     /// Current internal key.
     pub fn key(&self) -> &[u8] {
-        self.block_iter.as_ref().expect("key on invalid decoder").key()
+        self.block_iter
+            .as_ref()
+            .expect("key on invalid decoder")
+            .key()
     }
 
     /// Current value.
     pub fn value(&self) -> &[u8] {
-        self.block_iter.as_ref().expect("value on invalid decoder").value()
+        self.block_iter
+            .as_ref()
+            .expect("value on invalid decoder")
+            .value()
     }
 
     fn switch(&mut self, to: Pointer) {
@@ -212,7 +218,9 @@ mod tests {
             ..Default::default()
         };
         let file = env.open_random_access(Path::new("/t")).unwrap();
-        CompactionInput { tables: vec![Table::open(file, size, ropts).unwrap()] }
+        CompactionInput {
+            tables: vec![Table::open(file, size, ropts).unwrap()],
+        }
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl Comparer {
             match winner {
                 None => winner = Some(i),
                 Some(w) => {
-                    if self.icmp.compare(d.key(), decoders[w].key())
-                        == std::cmp::Ordering::Less
-                    {
+                    if self.icmp.compare(d.key(), decoders[w].key()) == std::cmp::Ordering::Less {
                         winner = Some(i);
                     }
                 }
@@ -125,7 +123,10 @@ mod tests {
         let t_new = build_table(
             &env,
             "/new",
-            &[("a", 10, ValueType::Value, "new-a"), ("c", 11, ValueType::Deletion, "")],
+            &[
+                ("a", 10, ValueType::Value, "new-a"),
+                ("c", 11, ValueType::Deletion, ""),
+            ],
         );
         // Older input: a@3, b@4, c@5.
         let t_old = build_table(
@@ -138,15 +139,21 @@ mod tests {
             ],
         );
         let inputs = [
-            CompactionInput { tables: vec![t_new] },
-            CompactionInput { tables: vec![t_old] },
+            CompactionInput {
+                tables: vec![t_new],
+            },
+            CompactionInput {
+                tables: vec![t_old],
+            },
         ];
         let images: Vec<_> = inputs
             .iter()
             .map(|i| build_input_image(i, 64).unwrap())
             .collect();
-        let mut decoders: Vec<_> =
-            images.iter().map(|im| crate::decoder::InputDecoder::new(im, 64)).collect();
+        let mut decoders: Vec<_> = images
+            .iter()
+            .map(|im| crate::decoder::InputDecoder::new(im, 64))
+            .collect();
         for d in &mut decoders {
             d.advance().unwrap();
         }
@@ -158,7 +165,11 @@ mod tests {
         while let Some(sel) = cmp.select(&decoders) {
             let key = decoders[sel.input_no].key().to_vec();
             let parsed = parse_internal_key(&key).unwrap();
-            let label = format!("{}@{}", String::from_utf8_lossy(parsed.user_key), parsed.sequence);
+            let label = format!(
+                "{}@{}",
+                String::from_utf8_lossy(parsed.user_key),
+                parsed.sequence
+            );
             if sel.drop {
                 dropped.push(label);
             } else {

@@ -147,7 +147,10 @@ impl FcaeConfig {
         if self.n_inputs < 2 {
             return Err(format!("N must be >= 2, got {}", self.n_inputs));
         }
-        if !self.v.is_power_of_two() || !self.w_in.is_power_of_two() || !self.w_out.is_power_of_two() {
+        if !self.v.is_power_of_two()
+            || !self.w_in.is_power_of_two()
+            || !self.w_out.is_power_of_two()
+        {
             return Err("V, W_in, W_out must be powers of two".into());
         }
         if self.v > self.w_in && self.ablation.wide_transmission {
@@ -187,7 +190,11 @@ mod tests {
         assert!(FcaeConfig::two_input().with_n(1).validate().is_err());
         assert!(FcaeConfig::two_input().with_v(24).validate().is_err());
         // V wider than the AXI ingress makes no sense with downsizers.
-        assert!(FcaeConfig::two_input().with_w_in(8).with_v(64).validate().is_err());
+        assert!(FcaeConfig::two_input()
+            .with_w_in(8)
+            .with_v(64)
+            .validate()
+            .is_err());
     }
 
     #[test]

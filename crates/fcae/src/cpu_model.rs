@@ -59,7 +59,9 @@ impl Default for CpuCostModel {
 impl CpuCostModel {
     /// A model for an `n`-way merge.
     pub fn new(n_inputs: usize) -> Self {
-        CpuCostModel { n_inputs: n_inputs.max(2) }
+        CpuCostModel {
+            n_inputs: n_inputs.max(2),
+        }
     }
 
     /// Modeled time to process one pair, in seconds. `key_len` is the
@@ -70,8 +72,7 @@ impl CpuCostModel {
             + C_KEY_US_PER_BYTE * key_len as f64 * compare_depth
             + C_CHILD_US * (self.n_inputs.saturating_sub(2)) as f64
             + C_VALUE_US_PER_BYTE * value_len as f64
-            + C_CACHE_US_PER_BYTE
-                * value_len.saturating_sub(CACHE_THRESHOLD_BYTES) as f64;
+            + C_CACHE_US_PER_BYTE * value_len.saturating_sub(CACHE_THRESHOLD_BYTES) as f64;
         us * 1e-6
     }
 

@@ -71,12 +71,18 @@ impl<'a> InputDecoder<'a> {
 
     /// Current internal key.
     pub fn key(&self) -> &[u8] {
-        self.block_iter.as_ref().expect("key on invalid decoder").key()
+        self.block_iter
+            .as_ref()
+            .expect("key on invalid decoder")
+            .key()
     }
 
     /// Current value.
     pub fn value(&self) -> &[u8] {
-        self.block_iter.as_ref().expect("value on invalid decoder").value()
+        self.block_iter
+            .as_ref()
+            .expect("value on invalid decoder")
+            .value()
     }
 
     /// Moves to the next pair, crossing block and SSTable boundaries.
@@ -104,8 +110,8 @@ impl<'a> InputDecoder<'a> {
                 self.index_iter = None;
                 continue;
             }
-            let (handle, _) = BlockHandle::decode_from(index_iter.value())
-                .map_err(lsm::Error::from)?;
+            let (handle, _) =
+                BlockHandle::decode_from(index_iter.value()).map_err(lsm::Error::from)?;
             index_iter.next();
             let block = self.fetch_and_decode_block(&handle)?;
             let mut it = block.iter(index_walk_comparator());
@@ -201,7 +207,8 @@ mod tests {
                 u64::from(i) + 1,
                 ValueType::Value,
             );
-            b.add(key.encoded(), format!("value-{i}").as_bytes()).unwrap();
+            b.add(key.encoded(), format!("value-{i}").as_bytes())
+                .unwrap();
         }
         let size = b.finish().unwrap();
         let file = env.open_random_access(Path::new(path)).unwrap();
@@ -218,7 +225,9 @@ mod tests {
         let env = MemEnv::new();
         let t1 = build_table(&env, "/t1", 0..300);
         let t2 = build_table(&env, "/t2", 300..500);
-        let input = CompactionInput { tables: vec![t1, t2] };
+        let input = CompactionInput {
+            tables: vec![t1, t2],
+        };
         let image = build_input_image(&input, 64).unwrap();
         let mut dec = InputDecoder::new(&image, 64);
 
@@ -252,7 +261,9 @@ mod tests {
         let env = MemEnv::new();
         let t1 = build_table(&env, "/t1", 0..200);
         for w in [8u32, 16, 32, 64] {
-            let input = CompactionInput { tables: vec![Arc::clone(&t1)] };
+            let input = CompactionInput {
+                tables: vec![Arc::clone(&t1)],
+            };
             let image = build_input_image(&input, w).unwrap();
             let mut dec = InputDecoder::new(&image, w);
             let mut count = 0;

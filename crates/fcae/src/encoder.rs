@@ -105,10 +105,7 @@ impl OutputEncoder {
         }
         let contents = self.block.finish().to_vec();
         let (_, framed) = frame_block(&contents, self.compression, &mut self.scratch);
-        let handle = BlockHandle::new(
-            self.file_offset,
-            (framed.len() - BLOCK_TRAILER_SIZE) as u64,
-        );
+        let handle = BlockHandle::new(self.file_offset, (framed.len() - BLOCK_TRAILER_SIZE) as u64);
         // Index Block Encoder: entry goes out immediately (§V-B), keyed by
         // the raw last key of the block.
         self.index_entries.push((self.largest.clone(), handle));
@@ -165,9 +162,13 @@ mod tests {
     use sstable::ikey::{InternalKey, ValueType};
 
     fn ikey(i: u32) -> Vec<u8> {
-        InternalKey::new(format!("key{i:06}").as_bytes(), u64::from(i) + 1, ValueType::Value)
-            .encoded()
-            .to_vec()
+        InternalKey::new(
+            format!("key{i:06}").as_bytes(),
+            u64::from(i) + 1,
+            ValueType::Value,
+        )
+        .encoded()
+        .to_vec()
     }
 
     #[test]
@@ -220,13 +221,19 @@ mod tests {
         let t = &tables[0];
         let mut expected = 0u64;
         for (_, h) in &t.index_entries {
-            assert_eq!(h.offset, expected, "handles must be contiguous file offsets");
+            assert_eq!(
+                h.offset, expected,
+                "handles must be contiguous file offsets"
+            );
             expected += h.size + BLOCK_TRAILER_SIZE as u64;
         }
         // framed_block() must round-trip each block despite padding.
         for i in 0..t.index_entries.len() {
             let framed = t.framed_block(i, 64);
-            assert_eq!(framed.len(), t.index_entries[i].1.size as usize + BLOCK_TRAILER_SIZE);
+            assert_eq!(
+                framed.len(),
+                t.index_entries[i].1.size as usize + BLOCK_TRAILER_SIZE
+            );
         }
     }
 

@@ -6,8 +6,8 @@
 use std::time::{Duration, Instant};
 
 use lsm::compaction::{
-    CompactionEngine, CompactionOutcome, CompactionRequest, DropFilter,
-    OutputFileFactory, OutputTableMeta,
+    CompactionEngine, CompactionOutcome, CompactionRequest, DropFilter, OutputFileFactory,
+    OutputTableMeta,
 };
 use sstable::block_builder::BlockBuilder;
 use sstable::format::{frame_block, CompressionType, Footer};
@@ -49,13 +49,7 @@ pub struct KernelReport {
 pub struct FcaeEngine {
     config: FcaeConfig,
     /// Last kernel report, for benches that want the detail.
-    last_report: parking_lot_like::Mutex<KernelReport>,
-}
-
-/// Minimal internal mutex shim so this crate does not need parking_lot
-/// just for one cell.
-mod parking_lot_like {
-    pub type Mutex<T> = std::sync::Mutex<T>;
+    last_report: std::sync::Mutex<KernelReport>,
 }
 
 impl FcaeEngine {
@@ -65,7 +59,10 @@ impl FcaeEngine {
         if let Err(e) = config.validate() {
             panic!("invalid FCAE configuration: {e}");
         }
-        FcaeEngine { config, last_report: parking_lot_like::Mutex::new(KernelReport::default()) }
+        FcaeEngine {
+            config,
+            last_report: std::sync::Mutex::new(KernelReport::default()),
+        }
     }
 
     /// The engine configuration.
@@ -73,9 +70,14 @@ impl FcaeEngine {
         &self.config
     }
 
-    /// Kernel accounting of the most recent compaction.
+    /// Kernel accounting of the most recent compaction. Never panics: a
+    /// poisoned lock (a panicking compaction elsewhere) still yields the
+    /// last stored report.
     pub fn last_report(&self) -> KernelReport {
-        self.last_report.lock().expect("report lock").clone()
+        self.last_report
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Runs the device pipeline over prepared images, returning the output
@@ -102,12 +104,8 @@ impl FcaeEngine {
         }
 
         let mut comparer = Comparer::new(DropFilter::new(smallest_snapshot, bottommost));
-        let mut encoder = OutputEncoder::new(
-            block_size,
-            table_size,
-            self.config.w_out,
-            compression,
-        );
+        let mut encoder =
+            OutputEncoder::new(block_size, table_size, self.config.w_out, compression);
 
         while let Some(sel) = comparer.select(&decoders) {
             let d = &decoders[sel.input_no];
@@ -200,7 +198,10 @@ impl FcaeEngine {
         file.append(&framed).map_err(lsm::Error::from)?;
         offset += framed.len() as u64;
 
-        let footer = Footer { metaindex_handle, index_handle };
+        let footer = Footer {
+            metaindex_handle,
+            index_handle,
+        };
         let bytes = footer.encode();
         file.append(&bytes).map_err(lsm::Error::from)?;
         offset += bytes.len() as u64;
@@ -304,7 +305,7 @@ impl CompactionEngine for FcaeEngine {
         outcome.wall_time = start.elapsed();
         outcome.modeled_kernel_time = Some(Duration::from_secs_f64(report.kernel_time_sec));
         outcome.modeled_transfer_time = Some(Duration::from_secs_f64(report.pcie_time_sec));
-        *self.last_report.lock().expect("report lock") = report;
+        *self.last_report.lock().unwrap_or_else(|e| e.into_inner()) = report;
         Ok(outcome)
     }
 }

@@ -69,8 +69,7 @@ impl InputImage {
     pub fn transfer_bytes(&self) -> u64 {
         (self.index_memory.len()
             + self.data_memory.len()
-            + self.meta.sstables.len() * std::mem::size_of::<SstableMeta>())
-            as u64
+            + self.meta.sstables.len() * std::mem::size_of::<SstableMeta>()) as u64
     }
 }
 
@@ -111,10 +110,7 @@ fn append_table(image: &mut InputImage, table: &Arc<Table>, w_in: u32) -> Result
 }
 
 /// Builds images for all inputs.
-pub fn build_input_images(
-    inputs: &[CompactionInput],
-    w_in: u32,
-) -> Result<Vec<InputImage>> {
+pub fn build_input_images(inputs: &[CompactionInput], w_in: u32) -> Result<Vec<InputImage>> {
     inputs.iter().map(|i| build_input_image(i, w_in)).collect()
 }
 

@@ -34,11 +34,15 @@ fn take<'a>(src: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
 }
 
 fn read_u32(src: &mut &[u8], what: &str) -> Result<u32> {
-    Ok(u32::from_le_bytes(take(src, 4, what)?.try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(
+        take(src, 4, what)?.try_into().expect("4 bytes"),
+    ))
 }
 
 fn read_u64(src: &mut &[u8], what: &str) -> Result<u64> {
-    Ok(u64::from_le_bytes(take(src, 8, what)?.try_into().expect("8 bytes")))
+    Ok(u64::from_le_bytes(
+        take(src, 8, what)?.try_into().expect("8 bytes"),
+    ))
 }
 
 /// Encodes a MetaIn region.
@@ -103,7 +107,12 @@ pub fn decode_meta_out(mut src: &[u8]) -> Result<Vec<MetaOutTable>> {
         let smallest = take(&mut src, slen, "smallest key")?.to_vec();
         let llen = read_u32(&mut src, "largest len")? as usize;
         let largest = take(&mut src, llen, "largest key")?.to_vec();
-        out.push(MetaOutTable { smallest, largest, entries, data_bytes });
+        out.push(MetaOutTable {
+            smallest,
+            largest,
+            entries,
+            data_bytes,
+        });
     }
     if !src.is_empty() {
         return Err(corruption("trailing bytes"));
@@ -118,8 +127,16 @@ mod tests {
     fn sample_in() -> MetaIn {
         MetaIn {
             sstables: vec![
-                SstableMeta { index_offset: 0, index_len: 512, data_offset: 0 },
-                SstableMeta { index_offset: 512, index_len: 4096, data_offset: 65536 },
+                SstableMeta {
+                    index_offset: 0,
+                    index_len: 512,
+                    data_offset: 0,
+                },
+                SstableMeta {
+                    index_offset: 512,
+                    index_len: 4096,
+                    data_offset: 65536,
+                },
             ],
         }
     }

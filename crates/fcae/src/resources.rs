@@ -84,7 +84,37 @@ impl ResourceModel {
                 + n * (c.per_input + c.per_v_byte * v + c.per_downsize_ratio * ratio)
                 + c.per_compare_leaf * (n - 1.0)
         };
-        Utilization { bram_pct: eval(&BRAM), ff_pct: eval(&FF), lut_pct: eval(&LUT) }
+        Utilization {
+            bram_pct: eval(&BRAM),
+            ff_pct: eval(&FF),
+            lut_pct: eval(&LUT),
+        }
+    }
+
+    /// Estimates utilization of `instances` identical engine instances on
+    /// one card. The shell (PCIe/DMA endpoint, DRAM controllers —
+    /// the `base` coefficient) is shared; each additional instance pays
+    /// only the per-instance marginal cost (datapath, decoders, comparer
+    /// tree).
+    pub fn estimate_instances(&self, config: &FcaeConfig, instances: usize) -> Utilization {
+        let one = self.estimate(config);
+        let k = instances as f64;
+        Utilization {
+            bram_pct: BRAM.base + (one.bram_pct - BRAM.base) * k,
+            ff_pct: FF.base + (one.ff_pct - FF.base) * k,
+            lut_pct: LUT.base + (one.lut_pct - LUT.base) * k,
+        }
+    }
+
+    /// The largest number of engine instances of `config` that fit one
+    /// card (at least 1 so a host always has its single engine, even if
+    /// only by falling back to software for oversized requests).
+    pub fn max_instances(&self, config: &FcaeConfig) -> usize {
+        let mut k = 1;
+        while k < 64 && self.estimate_instances(config, k + 1).feasible() {
+            k += 1;
+        }
+        k
     }
 
     /// Searches the largest feasible `(W_in, V)` (powers of two, `V <=
@@ -132,7 +162,12 @@ mod tests {
     ];
 
     fn config(n: usize, w_in: u32, v: u32) -> FcaeConfig {
-        FcaeConfig { n_inputs: n, v, w_in, ..FcaeConfig::two_input() }
+        FcaeConfig {
+            n_inputs: n,
+            v,
+            w_in,
+            ..FcaeConfig::two_input()
+        }
     }
 
     #[test]
@@ -140,9 +175,11 @@ mod tests {
         let m = ResourceModel;
         for (n, w_in, v, bram, ff, lut) in TABLE7 {
             let u = m.estimate(&config(n, w_in, v));
-            for (got, want, name) in
-                [(u.bram_pct, bram, "BRAM"), (u.ff_pct, ff, "FF"), (u.lut_pct, lut, "LUT")]
-            {
+            for (got, want, name) in [
+                (u.bram_pct, bram, "BRAM"),
+                (u.ff_pct, ff, "FF"),
+                (u.lut_pct, lut, "LUT"),
+            ] {
                 let err = (got - want).abs() / want;
                 assert!(
                     err < 0.15,
@@ -174,6 +211,23 @@ mod tests {
         // For N=2 a full-width configuration is feasible.
         let cfg = m.pick_feasible(2, 64).expect("2-input config fits");
         assert!(cfg.v >= 16);
+    }
+
+    #[test]
+    fn multi_instance_fit_matches_marginal_cost() {
+        let m = ResourceModel;
+        // One instance is the plain estimate.
+        let cfg = config(2, 64, 16);
+        assert_eq!(m.estimate_instances(&cfg, 1), m.estimate(&cfg));
+        // Utilization grows strictly with the instance count.
+        let u2 = m.estimate_instances(&cfg, 2);
+        assert!(u2.lut_pct > m.estimate(&cfg).lut_pct);
+        // With the shared shell factored out, a second full-width 2-input
+        // instance fits; the narrow 9-input design fits only once; the
+        // small 2-input W=8/V=8 point packs several.
+        assert_eq!(m.max_instances(&config(2, 64, 16)), 2);
+        assert_eq!(m.max_instances(&config(9, 8, 8)), 1);
+        assert!(m.max_instances(&config(2, 8, 8)) >= 4);
     }
 
     #[test]

@@ -221,9 +221,9 @@ impl PipelineModel {
         // Per-block overhead amortized over the pairs in one block.
         let pair_bytes = (key_len + value_len) as f64;
         let pairs_per_block = (self.config.data_block_size as f64 / pair_bytes).max(1.0);
-        let block_overhead = (DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
-            + DRAM_READ_LATENCY_CYCLES)
-            / pairs_per_block;
+        let block_overhead =
+            (DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES + DRAM_READ_LATENCY_CYCLES)
+                / pairs_per_block;
         let cycles_per_pair = period + block_overhead;
         let pairs_per_sec = 1.0 / (cycles_per_pair * self.config.cycle_time_sec());
         pairs_per_sec * pair_bytes / 1e6
@@ -330,7 +330,14 @@ mod tests {
     fn model_reproduces_table5_shape() {
         // The paper's Table V, V=64 column, in MB/s. Our model should land
         // within 35% of each cell and preserve monotonic growth.
-        let paper = [(64usize, 175.8), (128, 291.7), (256, 524.9), (512, 745.4), (1024, 1026.3), (2048, 1205.6)];
+        let paper = [
+            (64usize, 175.8),
+            (128, 291.7),
+            (256, 524.9),
+            (512, 745.4),
+            (1024, 1026.3),
+            (2048, 1205.6),
+        ];
         let mut last = 0.0;
         for (lv, expected) in paper {
             let m = PipelineModel::new(FcaeConfig::two_input().with_v(64));

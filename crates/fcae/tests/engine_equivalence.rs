@@ -8,8 +8,7 @@ use std::sync::Arc;
 
 use fcae::{FcaeConfig, FcaeEngine};
 use lsm::compaction::{
-    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine,
-    OutputFileFactory,
+    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine, OutputFileFactory,
 };
 use lsm::{Db, Options};
 use sstable::comparator::InternalKeyComparator;
@@ -36,7 +35,11 @@ fn read_options() -> TableReadOptions {
     }
 }
 
-fn build_table(env: &MemEnv, path: &str, entries: &[(String, u64, ValueType, Vec<u8>)]) -> Arc<Table> {
+fn build_table(
+    env: &MemEnv,
+    path: &str,
+    entries: &[(String, u64, ValueType, Vec<u8>)],
+) -> Arc<Table> {
     let f = env.create_writable(Path::new(path)).unwrap();
     let mut b = TableBuilder::new(builder_options(), f);
     for (k, seq, t, v) in entries {
@@ -57,7 +60,10 @@ struct MemFactory {
 
 impl OutputFileFactory for MemFactory {
     fn new_output(&self) -> lsm::Result<(u64, Box<dyn WritableFile>)> {
-        let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        let n = self
+            .counter
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1;
         let path = format!("/{}-{n}.ldb", self.prefix);
         let file = self.env.create_writable(Path::new(&path))?;
         Ok((n, file))
@@ -81,7 +87,12 @@ fn read_all_outputs(
         let mut count = 0;
         while it.valid() {
             let p = parse_internal_key(it.key()).unwrap();
-            all.push((p.user_key.to_vec(), p.sequence, p.value_type, it.value().to_vec()));
+            all.push((
+                p.user_key.to_vec(),
+                p.sequence,
+                p.value_type,
+                it.value().to_vec(),
+            ));
             count += 1;
             it.next();
         }
@@ -97,19 +108,38 @@ fn overlapping_inputs(env: &MemEnv) -> Vec<CompactionInput> {
     // 10th, sequences 3000+.
     let mut newest = Vec::new();
     for i in (0..900u32).step_by(3) {
-        let t = if i % 10 == 0 { ValueType::Deletion } else { ValueType::Value };
-        newest.push((format!("key{i:05}"), 3000 + u64::from(i), t, format!("new-{i}").into_bytes()));
+        let t = if i % 10 == 0 {
+            ValueType::Deletion
+        } else {
+            ValueType::Value
+        };
+        newest.push((
+            format!("key{i:05}"),
+            3000 + u64::from(i),
+            t,
+            format!("new-{i}").into_bytes(),
+        ));
     }
     // Input 1 (middle): even keys, sequences 2000+.
     let mut middle = Vec::new();
     for i in (0..900u32).step_by(2) {
-        middle.push((format!("key{i:05}"), 2000 + u64::from(i), ValueType::Value, format!("mid-{i}").into_bytes()));
+        middle.push((
+            format!("key{i:05}"),
+            2000 + u64::from(i),
+            ValueType::Value,
+            format!("mid-{i}").into_bytes(),
+        ));
     }
     // Input 2 (oldest): all keys, two tables, sequences 1000+.
     let mut oldest_a = Vec::new();
     let mut oldest_b = Vec::new();
     for i in 0..900u32 {
-        let e = (format!("key{i:05}"), 1000 + u64::from(i), ValueType::Value, vec![b'o'; 64]);
+        let e = (
+            format!("key{i:05}"),
+            1000 + u64::from(i),
+            ValueType::Value,
+            vec![b'o'; 64],
+        );
         if i < 450 {
             oldest_a.push(e);
         } else {
@@ -117,8 +147,12 @@ fn overlapping_inputs(env: &MemEnv) -> Vec<CompactionInput> {
         }
     }
     vec![
-        CompactionInput { tables: vec![build_table(env, "/in0", &newest)] },
-        CompactionInput { tables: vec![build_table(env, "/in1", &middle)] },
+        CompactionInput {
+            tables: vec![build_table(env, "/in0", &newest)],
+        },
+        CompactionInput {
+            tables: vec![build_table(env, "/in1", &middle)],
+        },
         CompactionInput {
             tables: vec![
                 build_table(env, "/in2a", &oldest_a),
@@ -130,6 +164,7 @@ fn overlapping_inputs(env: &MemEnv) -> Vec<CompactionInput> {
 
 fn request(inputs: Vec<CompactionInput>, bottommost: bool) -> CompactionRequest {
     CompactionRequest {
+        level: 0,
         inputs,
         smallest_snapshot: 1 << 40,
         bottommost,
@@ -145,18 +180,32 @@ fn fcae_and_cpu_produce_identical_entry_streams() {
         let inputs_cpu = overlapping_inputs(&env);
         let inputs_fcae = overlapping_inputs(&env);
 
-        let cpu_factory =
-            MemFactory { env: env.clone(), prefix: "cpu", counter: Default::default() };
-        let cpu_out = CpuCompactionEngine.compact(&request(inputs_cpu, bottommost), &cpu_factory).unwrap();
+        let cpu_factory = MemFactory {
+            env: env.clone(),
+            prefix: "cpu",
+            counter: Default::default(),
+        };
+        let cpu_out = CpuCompactionEngine
+            .compact(&request(inputs_cpu, bottommost), &cpu_factory)
+            .unwrap();
 
         let engine = FcaeEngine::new(FcaeConfig::nine_input());
-        let fcae_factory =
-            MemFactory { env: env.clone(), prefix: "fcae", counter: Default::default() };
-        let fcae_out = engine.compact(&request(inputs_fcae, bottommost), &fcae_factory).unwrap();
+        let fcae_factory = MemFactory {
+            env: env.clone(),
+            prefix: "fcae",
+            counter: Default::default(),
+        };
+        let fcae_out = engine
+            .compact(&request(inputs_fcae, bottommost), &fcae_factory)
+            .unwrap();
 
         let cpu_entries = read_all_outputs(&env, "cpu", &cpu_out.outputs);
         let fcae_entries = read_all_outputs(&env, "fcae", &fcae_out.outputs);
-        assert_eq!(cpu_entries.len(), fcae_entries.len(), "bottommost={bottommost}");
+        assert_eq!(
+            cpu_entries.len(),
+            fcae_entries.len(),
+            "bottommost={bottommost}"
+        );
         assert_eq!(cpu_entries, fcae_entries, "bottommost={bottommost}");
         assert_eq!(cpu_out.entries_dropped, fcae_out.entries_dropped);
         assert_eq!(cpu_out.entries_written, fcae_out.entries_written);
@@ -174,7 +223,11 @@ fn fcae_outputs_are_seekable_standard_tables() {
     let env = MemEnv::new();
     let inputs = overlapping_inputs(&env);
     let engine = FcaeEngine::new(FcaeConfig::nine_input());
-    let factory = MemFactory { env: env.clone(), prefix: "out", counter: Default::default() };
+    let factory = MemFactory {
+        env: env.clone(),
+        prefix: "out",
+        counter: Default::default(),
+    };
     let outcome = engine.compact(&request(inputs, true), &factory).unwrap();
     assert!(!outcome.outputs.is_empty());
 
@@ -234,11 +287,19 @@ fn kernel_report_speed_behaviour_matches_paper_trends() {
             build_table(&env, path, &entries)
         };
         let inputs = vec![
-            CompactionInput { tables: vec![mk(&format!("/v{tag}0"), 2000)] },
-            CompactionInput { tables: vec![mk(&format!("/v{tag}1"), 1000)] },
+            CompactionInput {
+                tables: vec![mk(&format!("/v{tag}0"), 2000)],
+            },
+            CompactionInput {
+                tables: vec![mk(&format!("/v{tag}1"), 1000)],
+            },
         ];
         let engine = FcaeEngine::new(FcaeConfig::two_input().with_v(16));
-        let factory = MemFactory { env: env.clone(), prefix: "spd", counter: Default::default() };
+        let factory = MemFactory {
+            env: env.clone(),
+            prefix: "spd",
+            counter: Default::default(),
+        };
         engine.compact(&request(inputs, true), &factory).unwrap();
         let report = engine.last_report();
         assert!(report.compaction_speed_mb_s > 0.0);
@@ -316,7 +377,11 @@ fn l0_overload_falls_back_to_software() {
     // Same key range in every flush → wide L0 overlap → >2 inputs.
     for round in 0..8 {
         for i in 0..200u32 {
-            db.put(format!("key{i:04}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            db.put(
+                format!("key{i:04}").as_bytes(),
+                format!("r{round}").as_bytes(),
+            )
+            .unwrap();
         }
         db.flush().unwrap();
     }
@@ -328,7 +393,10 @@ fn l0_overload_falls_back_to_software() {
     );
     // Data still correct.
     for i in (0..200u32).step_by(11) {
-        assert_eq!(db.get(format!("key{i:04}").as_bytes()).unwrap(), Some(b"r7".to_vec()));
+        assert_eq!(
+            db.get(format!("key{i:04}").as_bytes()).unwrap(),
+            Some(b"r7".to_vec())
+        );
     }
 }
 
@@ -370,12 +438,19 @@ fn analytic_and_functional_speeds_agree() {
             build_table(&env, path, &entries)
         };
         let inputs = vec![
-            CompactionInput { tables: vec![mk(&format!("/ca{v}{value_len}"), 10_000)] },
-            CompactionInput { tables: vec![mk(&format!("/cb{v}{value_len}"), 1)] },
+            CompactionInput {
+                tables: vec![mk(&format!("/ca{v}{value_len}"), 10_000)],
+            },
+            CompactionInput {
+                tables: vec![mk(&format!("/cb{v}{value_len}"), 1)],
+            },
         ];
         let engine = FcaeEngine::new(cfg);
-        let factory =
-            MemFactory { env: env.clone(), prefix: "cons", counter: Default::default() };
+        let factory = MemFactory {
+            env: env.clone(),
+            prefix: "cons",
+            counter: Default::default(),
+        };
         engine.compact(&request(inputs, true), &factory).unwrap();
         let functional = engine.last_report().compaction_speed_mb_s;
 

@@ -9,9 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fcae::{FcaeConfig, FcaeEngine};
-use lsm::compaction::{
-    CompactionEngine, CompactionInput, CompactionRequest, OutputFileFactory,
-};
+use lsm::compaction::{CompactionEngine, CompactionInput, CompactionRequest, OutputFileFactory};
 use proptest::prelude::*;
 use sstable::comparator::InternalKeyComparator;
 use sstable::env::{MemEnv, StorageEnv, WritableFile};
@@ -32,8 +30,16 @@ fn entries_strategy() -> impl Strategy<Value = Vec<Vec<GenEntry>>> {
     // cross-input duplicates are common.
     proptest::collection::vec(
         proptest::collection::vec(
-            (0u8..30, any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64))
-                .prop_map(|(key_id, is_delete, value)| GenEntry { key_id, is_delete, value }),
+            (
+                0u8..30,
+                any::<bool>(),
+                proptest::collection::vec(any::<u8>(), 0..64),
+            )
+                .prop_map(|(key_id, is_delete, value)| GenEntry {
+                    key_id,
+                    is_delete,
+                    value,
+                }),
             1..60,
         ),
         2..5,
@@ -64,7 +70,14 @@ fn builder_options() -> TableBuilderOptions {
 /// Builds inputs; sequence numbers are globally unique, with input 0
 /// holding the NEWEST sequences (as the host-side input ordering
 /// guarantees).
-fn build(env: &MemEnv, gen: &[Vec<GenEntry>]) -> (Vec<CompactionInput>, BTreeMap<Vec<u8>, (u64, Option<Vec<u8>>)>) {
+#[allow(clippy::type_complexity)]
+fn build(
+    env: &MemEnv,
+    gen: &[Vec<GenEntry>],
+) -> (
+    Vec<CompactionInput>,
+    BTreeMap<Vec<u8>, (u64, Option<Vec<u8>>)>,
+) {
     let mut model: BTreeMap<Vec<u8>, (u64, Option<Vec<u8>>)> = BTreeMap::new();
     let mut inputs = Vec::new();
     let total: u64 = gen.iter().map(|v| v.len() as u64).sum();
@@ -76,13 +89,21 @@ fn build(env: &MemEnv, gen: &[Vec<GenEntry>]) -> (Vec<CompactionInput>, BTreeMap
         for e in input_entries {
             next_seq -= 1;
             let user = format!("key{:03}", e.key_id).into_bytes();
-            let ty = if e.is_delete { ValueType::Deletion } else { ValueType::Value };
+            let ty = if e.is_delete {
+                ValueType::Deletion
+            } else {
+                ValueType::Value
+            };
             rows.push((user.clone(), next_seq, ty, e.value.clone()));
             let slot = model.entry(user).or_insert((0, None));
             if next_seq > slot.0 {
                 *slot = (
                     next_seq,
-                    if e.is_delete { None } else { Some(e.value.clone()) },
+                    if e.is_delete {
+                        None
+                    } else {
+                        Some(e.value.clone())
+                    },
                 );
             }
         }
@@ -99,8 +120,12 @@ fn build(env: &MemEnv, gen: &[Vec<GenEntry>]) -> (Vec<CompactionInput>, BTreeMap
             internal_key_filter: true,
             ..Default::default()
         };
-        let file = env.open_random_access(Path::new(&format!("/in{i}"))).unwrap();
-        inputs.push(CompactionInput { tables: vec![Table::open(file, size, ropts).unwrap()] });
+        let file = env
+            .open_random_access(Path::new(&format!("/in{i}")))
+            .unwrap();
+        inputs.push(CompactionInput {
+            tables: vec![Table::open(file, size, ropts).unwrap()],
+        });
     }
     (inputs, model)
 }
@@ -117,6 +142,7 @@ proptest! {
         let engine = FcaeEngine::new(FcaeConfig::nine_input());
         let factory = Factory { env: env.clone(), n: AtomicU64::new(0) };
         let req = CompactionRequest {
+            level: 0,
             inputs,
             smallest_snapshot: 1 << 40,
             bottommost: true,

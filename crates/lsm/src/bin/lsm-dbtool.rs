@@ -45,7 +45,13 @@ fn main() -> ExitCode {
 }
 
 fn open_db(dir: &Path) -> lsm::Result<Db> {
-    Db::open(dir, Options { slowdown_sleep: false, ..Default::default() })
+    Db::open(
+        dir,
+        Options {
+            slowdown_sleep: false,
+            ..Default::default()
+        },
+    )
 }
 
 fn stats(dir: &Path) -> lsm::Result<()> {
@@ -71,7 +77,11 @@ fn stats(dir: &Path) -> lsm::Result<()> {
     println!("database: {}", dir.display());
     println!("  WAL files:      {logs}");
     println!("  MANIFEST files: {manifests}");
-    println!("  SSTables:       {} ({} bytes total)", tables.len(), tables.iter().map(|(_, s)| s).sum::<u64>());
+    println!(
+        "  SSTables:       {} ({} bytes total)",
+        tables.len(),
+        tables.iter().map(|(_, s)| s).sum::<u64>()
+    );
 
     let db = open_db(dir)?;
     let counts = db.level_file_counts();
@@ -98,7 +108,10 @@ fn verify(dir: &Path) -> lsm::Result<()> {
         }
         last = Some(k.clone());
     }
-    println!("ok: {} live keys, scan ordered, checksums verified", rows.len());
+    println!(
+        "ok: {} live keys, scan ordered, checksums verified",
+        rows.len()
+    );
     Ok(())
 }
 
@@ -149,7 +162,10 @@ fn get(dir: &Path, key: &[u8]) -> lsm::Result<()> {
 }
 
 fn repair(dir: &Path) -> lsm::Result<()> {
-    let options = Options { slowdown_sleep: false, ..Default::default() };
+    let options = Options {
+        slowdown_sleep: false,
+        ..Default::default()
+    };
     let report = lsm::repair_db(dir, &options)?;
     println!(
         "repaired: {} tables recovered, {} quarantined, {} WALs salvaged ({} entries), last seq {}",

@@ -38,6 +38,9 @@ impl CompactionInput {
 
 /// Everything an engine needs to execute one compaction.
 pub struct CompactionRequest {
+    /// Source level of the compaction (`0` for L0 -> L1). Schedulers use
+    /// it to prioritize shallow compactions, which unblock writers.
+    pub level: usize,
     /// Merge inputs (the paper's `N`).
     pub inputs: Vec<CompactionInput>,
     /// Entries at or below this sequence that are shadowed by newer
@@ -95,6 +98,21 @@ pub trait OutputFileFactory: Send + Sync {
     fn new_output(&self) -> Result<(u64, Box<dyn WritableFile>)>;
 }
 
+/// Backpressure advice an engine (or a scheduling service wrapping one)
+/// gives the write path. The DB translates this into the same slowdown /
+/// stall mechanics as its L0 triggers, so a saturated offload queue slows
+/// writers *before* L0 piles up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePressure {
+    /// Keep writing at full speed.
+    #[default]
+    None,
+    /// Inject the 1 ms write delay (queue is filling).
+    Slowdown,
+    /// Stall writes until background work completes (queue is full).
+    Stop,
+}
+
 /// Executes compactions; implemented by the CPU merge here and by the
 /// simulated FPGA engine in the `fcae` crate.
 pub trait CompactionEngine: Send + Sync {
@@ -109,6 +127,12 @@ pub trait CompactionEngine: Send + Sync {
         req: &CompactionRequest,
         out: &dyn OutputFileFactory,
     ) -> Result<CompactionOutcome>;
+    /// Current backpressure toward writers. Plain engines never push back
+    /// (the DB's own L0 triggers still apply); scheduling services
+    /// override this to surface queue saturation.
+    fn write_pressure(&self) -> WritePressure {
+        WritePressure::None
+    }
 }
 
 /// Iterates a run of internally-sorted, disjoint tables back to back.
@@ -120,7 +144,10 @@ pub struct ChainIterator {
 impl ChainIterator {
     /// Creates an iterator over `tables` (ascending key order).
     pub fn new(tables: Vec<Arc<Table>>) -> Self {
-        ChainIterator { tables, current: None }
+        ChainIterator {
+            tables,
+            current: None,
+        }
     }
 
     fn set_table(&mut self, idx: usize) -> bool {
@@ -217,11 +244,19 @@ impl InternalIterator for ChainIterator {
     }
 
     fn key(&self) -> &[u8] {
-        self.current.as_ref().expect("key on invalid iterator").1.key()
+        self.current
+            .as_ref()
+            .expect("key on invalid iterator")
+            .1
+            .key()
     }
 
     fn value(&self) -> &[u8] {
-        self.current.as_ref().expect("value on invalid iterator").1.value()
+        self.current
+            .as_ref()
+            .expect("value on invalid iterator")
+            .1
+            .value()
     }
 
     fn status(&self) -> sstable::Result<()> {
@@ -315,8 +350,7 @@ impl CompactionEngine for CpuCompactionEngine {
             .inputs
             .iter()
             .map(|input| {
-                Box::new(ChainIterator::new(input.tables.clone()))
-                    as Box<dyn InternalIterator>
+                Box::new(ChainIterator::new(input.tables.clone())) as Box<dyn InternalIterator>
             })
             .collect();
         let mut merger = MergingIterator::new(children, icmp);
@@ -340,10 +374,7 @@ impl CompactionEngine for CpuCompactionEngine {
             }
             if builder.is_none() {
                 let (number, file) = out.new_output()?;
-                builder = Some((
-                    number,
-                    TableBuilder::new(req.builder_options.clone(), file),
-                ));
+                builder = Some((number, TableBuilder::new(req.builder_options.clone(), file)));
                 smallest = Some(InternalKey::from_encoded(key.to_vec()));
             }
             let (_, b) = builder.as_mut().expect("builder initialized above");
@@ -351,8 +382,7 @@ impl CompactionEngine for CpuCompactionEngine {
             outcome.entries_written += 1;
             largest = InternalKey::from_encoded(key.to_vec());
             if b.file_size() >= req.max_output_file_size {
-                let (number, mut b) =
-                    builder.take().expect("builder present when splitting");
+                let (number, mut b) = builder.take().expect("builder present when splitting");
                 let entries = b.num_entries();
                 let size = b.finish()?;
                 outcome.bytes_written += size;

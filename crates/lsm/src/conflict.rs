@@ -1,0 +1,162 @@
+//! Admission control for concurrent compactions.
+//!
+//! With more than one background worker (and an offload service that can
+//! run several device engines at once), two compactions may execute
+//! concurrently only when they cannot observe or produce the same files.
+//! A compaction from level `L` reads files at `L` and `L + 1` and writes
+//! files at `L + 1`, so two jobs are independent exactly when
+//!
+//! * their input file sets are disjoint, and
+//! * they either touch disjoint level pairs (`|L_a - L_b| > 1`) or their
+//!   user-key ranges do not overlap.
+//!
+//! The checker is deliberately conservative: rejecting an admissible job
+//! only delays it, while admitting a conflicting pair could interleave
+//! installs that delete each other's inputs or produce overlapping files
+//! inside a sorted level.
+
+use std::collections::HashSet;
+
+/// The footprint of one compaction job for conflict purposes.
+#[derive(Debug, Clone)]
+pub struct JobShape {
+    /// Source level; the job also touches `level + 1`.
+    pub level: usize,
+    /// Smallest user key across every input file (inclusive).
+    pub smallest_user: Vec<u8>,
+    /// Largest user key across every input file (inclusive).
+    pub largest_user: Vec<u8>,
+    /// All input file numbers (both levels).
+    pub files: HashSet<u64>,
+}
+
+impl JobShape {
+    /// True when `self` and `other` must not run concurrently.
+    pub fn conflicts_with(&self, other: &JobShape) -> bool {
+        if !self.files.is_disjoint(&other.files) {
+            return true;
+        }
+        // Jobs share a level iff the source levels are within one of each
+        // other; sharing a level is only a problem if the key ranges meet.
+        self.level.abs_diff(other.level) <= 1 && self.overlaps(other)
+    }
+
+    fn overlaps(&self, other: &JobShape) -> bool {
+        self.largest_user >= other.smallest_user && other.largest_user >= self.smallest_user
+    }
+}
+
+/// Ticket handed out on admission; releasing it retires the job.
+pub type JobTicket = u64;
+
+/// Tracks in-flight compactions and admits only non-conflicting jobs.
+#[derive(Debug, Default)]
+pub struct ConflictChecker {
+    next_ticket: JobTicket,
+    in_flight: Vec<(JobTicket, JobShape)>,
+}
+
+impl ConflictChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        ConflictChecker::default()
+    }
+
+    /// Number of admitted, not-yet-released jobs.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True if `job` conflicts with any in-flight job.
+    pub fn conflicts(&self, job: &JobShape) -> bool {
+        self.in_flight
+            .iter()
+            .any(|(_, other)| job.conflicts_with(other))
+    }
+
+    /// Admits `job` unless it conflicts; the returned ticket must be
+    /// passed to [`ConflictChecker::release`] when the job finishes
+    /// (successfully or not).
+    pub fn try_admit(&mut self, job: JobShape) -> Option<JobTicket> {
+        if self.conflicts(&job) {
+            return None;
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.in_flight.push((ticket, job));
+        Some(ticket)
+    }
+
+    /// Retires the job behind `ticket`. Unknown tickets are ignored (a
+    /// double release is harmless).
+    pub fn release(&mut self, ticket: JobTicket) {
+        self.in_flight.retain(|(t, _)| *t != ticket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(level: usize, lo: &str, hi: &str, files: &[u64]) -> JobShape {
+        JobShape {
+            level,
+            smallest_user: lo.as_bytes().to_vec(),
+            largest_user: hi.as_bytes().to_vec(),
+            files: files.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn same_level_overlap_conflicts() {
+        let mut c = ConflictChecker::new();
+        let t = c.try_admit(shape(1, "a", "m", &[1, 2])).unwrap();
+        assert!(c.try_admit(shape(1, "k", "z", &[3])).is_none());
+        assert!(
+            c.try_admit(shape(2, "k", "z", &[3])).is_none(),
+            "adjacent level"
+        );
+        assert!(
+            c.try_admit(shape(0, "k", "z", &[3])).is_none(),
+            "adjacent level"
+        );
+        c.release(t);
+        assert!(c.try_admit(shape(1, "k", "z", &[3])).is_some());
+    }
+
+    #[test]
+    fn disjoint_ranges_or_far_levels_admit() {
+        let mut c = ConflictChecker::new();
+        c.try_admit(shape(1, "a", "f", &[1])).unwrap();
+        // Same level, disjoint range.
+        assert!(c.try_admit(shape(1, "g", "z", &[2])).is_some());
+        // Two levels away, overlapping range.
+        assert!(c.try_admit(shape(3, "a", "z", &[9])).is_some());
+        assert_eq!(c.in_flight(), 3);
+    }
+
+    #[test]
+    fn shared_files_conflict_even_across_levels() {
+        let mut c = ConflictChecker::new();
+        c.try_admit(shape(1, "a", "f", &[7])).unwrap();
+        // Far level but the same file number must still be rejected.
+        assert!(c.try_admit(shape(4, "q", "z", &[7])).is_none());
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut c = ConflictChecker::new();
+        let t = c.try_admit(shape(0, "a", "z", &[1])).unwrap();
+        c.release(t);
+        c.release(t);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn touching_ranges_conflict() {
+        let mut c = ConflictChecker::new();
+        c.try_admit(shape(2, "a", "m", &[1])).unwrap();
+        // Inclusive bounds: sharing the boundary key "m" is an overlap.
+        assert!(c.try_admit(shape(2, "m", "z", &[2])).is_none());
+    }
+}

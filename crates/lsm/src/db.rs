@@ -2,12 +2,19 @@
 //! (memtable → immutable memtable → levels), flushes, and the background
 //! compaction scheduler of the paper's Fig. 6.
 //!
-//! Scheduling follows LevelDB v1.x: one background thread handles both
-//! memtable flushes and SSTable compactions. When the configured
+//! Scheduling generalizes LevelDB v1.x: a pool of
+//! [`Options::background_threads`] workers handles memtable flushes and
+//! SSTable compactions. Each worker picks work under the big lock and
+//! admits it through a [`ConflictChecker`], so compactions at different
+//! levels with disjoint key ranges run concurrently (feeding a
+//! multi-engine offload service) while conflicting picks serialize
+//! exactly as the single-threaded scheduler would. When the configured
 //! [`CompactionEngine`] is an offload engine (the FPGA), the paper's key
 //! scheduling change applies: a flush may proceed *concurrently* with an
 //! in-flight offloaded compaction (`Db::flush_during_offload`), because
-//! the host CPU is idle while the device merges.
+//! the host CPU is idle while the device merges. Engines may also push
+//! back on writers via [`crate::compaction::WritePressure`]; the DB
+//! translates that into its L0-style slowdown/stall mechanics.
 
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -15,25 +22,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-
 use parking_lot::{Condvar, Mutex};
 use sstable::comparator::InternalKeyComparator;
 use sstable::env::WritableFile;
-use sstable::ikey::{
-    parse_internal_key, InternalKey, LookupKey, ValueType,
-};
+use sstable::ikey::{parse_internal_key, InternalKey, LookupKey, ValueType};
 use sstable::iterator::InternalIterator;
 use sstable::table_builder::TableBuilder;
 
 use crate::compaction::{
-    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine,
-    OutputFileFactory,
+    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine, OutputFileFactory,
+    WritePressure,
 };
+use crate::conflict::{ConflictChecker, JobShape, JobTicket};
 use crate::filename::{log_file_name, parse_file_name, table_file_name, FileType};
 use crate::memtable::{MemGet, MemTable};
 use crate::options::{
-    Options, ReadOptions, WriteOptions, L0_SLOWDOWN_WRITES_TRIGGER,
-    L0_STOP_WRITES_TRIGGER, NUM_LEVELS,
+    Options, ReadOptions, WriteOptions, L0_SLOWDOWN_WRITES_TRIGGER, L0_STOP_WRITES_TRIGGER,
+    NUM_LEVELS,
 };
 use crate::table_cache::TableCache;
 use crate::version::{FileMetaData, VersionEdit, VersionSet};
@@ -74,6 +79,12 @@ pub struct DbStats {
     pub block_cache_hits: u64,
     /// Shared block cache misses.
     pub block_cache_misses: u64,
+    /// Peak number of (non-trivial) compactions in flight at once.
+    pub max_concurrent_compactions: u64,
+    /// Writes delayed because the engine reported `WritePressure::Slowdown`.
+    pub backpressure_slowdowns: u64,
+    /// Writes stalled because the engine reported `WritePressure::Stop`.
+    pub backpressure_stalls: u64,
 }
 
 struct DbState {
@@ -84,10 +95,11 @@ struct DbState {
     /// lags behind until the immutable memtable is flushed, so the old WAL
     /// survives a crash that happens mid-flush.
     log_file_number: u64,
-    bg_scheduled: bool,
     bg_error: Option<String>,
-    /// True while an offloaded (non-CPU) compaction is executing.
-    offload_in_flight: bool,
+    /// Offloaded (non-CPU) compactions currently executing.
+    offloads_in_flight: usize,
+    /// Admission control for concurrent compactions.
+    conflicts: ConflictChecker,
     /// Guards against two concurrent flushes.
     flush_in_progress: bool,
     /// Writers queued for group commit (front is the leader).
@@ -140,7 +152,7 @@ struct PendingWrite {
 /// handle drops.
 pub struct Db {
     inner: Arc<DbInner>,
-    bg_thread: Option<std::thread::JoinHandle<()>>,
+    bg_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Snapshot guard: reads through [`ReadOptions::snapshot`] at this
@@ -203,12 +215,8 @@ impl Db {
                     let batch = WriteBatch::from_data(&record)?;
                     let base = batch.sequence();
                     batch.iterate(|op, seq| match op {
-                        BatchOp::Put { key, value } => {
-                            mem.add(seq, ValueType::Value, key, value)
-                        }
-                        BatchOp::Delete { key } => {
-                            mem.add(seq, ValueType::Deletion, key, &[])
-                        }
+                        BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
+                        BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                     })?;
                     let last = base + u64::from(batch.count()).saturating_sub(1);
                     max_sequence = max_sequence.max(last);
@@ -219,14 +227,19 @@ impl Db {
 
         // Fresh WAL.
         let log_number = versions.new_file_number();
-        let log_file = options.env.create_writable(&log_file_name(&dir, log_number))?;
+        let log_file = options
+            .env
+            .create_writable(&log_file_name(&dir, log_number))?;
         let log = LogWriter::new(log_file);
 
         // Recovered WAL data lives only in `mem`; advancing the manifest's
         // log number would orphan it (the replayed logs become obsolete),
         // so persist it as an L0 table first — LevelDB's
         // `WriteLevel0Table` during recovery.
-        let mut edit = VersionEdit { log_number: Some(log_number), ..Default::default() };
+        let mut edit = VersionEdit {
+            log_number: Some(log_number),
+            ..Default::default()
+        };
         if !mem.is_empty() {
             let file_number = versions.new_file_number();
             let imm = Arc::new(std::mem::replace(
@@ -249,7 +262,12 @@ impl Db {
             builder.sync()?;
             edit.new_files.push((
                 0,
-                FileMetaData { number: file_number, file_size, smallest, largest },
+                FileMetaData {
+                    number: file_number,
+                    file_size,
+                    smallest,
+                    largest,
+                },
             ));
         }
         versions.log_and_apply(edit)?;
@@ -265,9 +283,9 @@ impl Db {
                 imm: None,
                 versions,
                 log_file_number: log_number,
-                bg_scheduled: false,
                 bg_error: None,
-                offload_in_flight: false,
+                offloads_in_flight: 0,
+                conflicts: ConflictChecker::new(),
                 flush_in_progress: false,
                 pending_writes: std::collections::VecDeque::new(),
                 force_compact_level: None,
@@ -284,13 +302,18 @@ impl Db {
             last_sequence,
         });
 
-        let bg_inner = Arc::clone(&inner);
-        let bg_thread = std::thread::Builder::new()
-            .name("lsm-background".into())
-            .spawn(move || background_thread(bg_inner))
-            .expect("spawn background thread");
+        let workers = inner.options.background_threads.max(1);
+        let bg_threads = (0..workers)
+            .map(|i| {
+                let bg_inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lsm-background-{i}"))
+                    .spawn(move || background_thread(bg_inner))
+                    .expect("spawn background thread")
+            })
+            .collect();
 
-        let db = Db { inner, bg_thread: Some(bg_thread) };
+        let db = Db { inner, bg_threads };
         db.inner.delete_obsolete_files();
         Ok(db)
     }
@@ -355,9 +378,7 @@ impl Db {
         let (lookup, version);
         {
             let state = inner.state.lock();
-            let seq = opts
-                .snapshot
-                .unwrap_or(state.versions.last_sequence);
+            let seq = opts.snapshot.unwrap_or(state.versions.last_sequence);
             lookup = LookupKey::new(key, seq);
             match state.mem.get(&lookup) {
                 MemGet::Value(v) => return Ok(Some(v)),
@@ -401,7 +422,10 @@ impl Db {
         let mut state = self.inner.state.lock();
         let seq = state.versions.last_sequence;
         *state.snapshots.entry(seq).or_insert(0) += 1;
-        Snapshot { inner: Arc::clone(&self.inner), sequence: seq }
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            sequence: seq,
+        }
     }
 
     /// Creates a streaming iterator over the live contents of the store,
@@ -510,7 +534,7 @@ impl Db {
                         break;
                     }
                     state.force_compact_level = Some(level);
-                    self.inner.maybe_schedule_compaction(&mut state);
+                    self.inner.wake_workers(&state);
                 }
                 self.wait_for_background_quiescence();
             }
@@ -518,20 +542,21 @@ impl Db {
         Ok(())
     }
 
-    /// Blocks until no flush or compaction work is pending.
+    /// Blocks until no flush or compaction work is pending or in flight.
     pub fn wait_for_background_quiescence(&self) {
         let mut state = self.inner.state.lock();
+        self.inner.wake_workers(&state);
         loop {
             let needs_work = state.imm.is_some()
+                || state.flush_in_progress
+                || state.conflicts.in_flight() > 0
                 || state.versions.pick_compaction().is_some()
                 || state
                     .force_compact_level
-                    .is_some_and(|l| state.versions.pick_compaction_at(l).is_some())
-                || state.bg_scheduled;
+                    .is_some_and(|l| state.versions.pick_compaction_at(l).is_some());
             if !needs_work || state.bg_error.is_some() {
                 return;
             }
-            self.inner.maybe_schedule_compaction(&mut state);
             self.inner.work_done.wait(&mut state);
         }
     }
@@ -560,9 +585,11 @@ impl Db {
 
 impl Drop for Db {
     fn drop(&mut self) {
-        self.inner.shutting_down.store(true, AtomicOrdering::Release);
+        self.inner
+            .shutting_down
+            .store(true, AtomicOrdering::Release);
         self.inner.bg_work.notify_all();
-        if let Some(handle) = self.bg_thread.take() {
+        for handle in self.bg_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -643,9 +670,7 @@ impl DbInner {
             let mem = &mut state.mem;
             for b in &batches {
                 b.iterate(|op, seq| match op {
-                    BatchOp::Put { key, value } => {
-                        mem.add(seq, ValueType::Value, key, value)
-                    }
+                    BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
                     BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                 })
                 .expect("batch validated on construction");
@@ -668,27 +693,40 @@ impl DbInner {
         drop(state);
     }
 
-    /// LevelDB `MakeRoomForWrite`: apply slowdown/stop triggers and rotate
-    /// the memtable when full.
+    /// LevelDB `MakeRoomForWrite`: apply slowdown/stop triggers (the DB's
+    /// own L0 triggers plus the engine's [`WritePressure`] signal) and
+    /// rotate the memtable when full.
     fn make_room_for_write<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
         let mut allow_delay = true;
+        let mut allow_pressure_delay = true;
         loop {
             if let Some(e) = &state.bg_error {
                 return Err(Error::Corruption(e.clone()));
+            }
+            let pressure = self.engine.write_pressure();
+            let background_busy =
+                state.conflicts.in_flight() > 0 || state.imm.is_some() || state.flush_in_progress;
+            if pressure == WritePressure::Stop && background_busy {
+                // The offload queue is full: stall this writer until some
+                // background work completes, like the L0 stop trigger.
+                let t0 = Instant::now();
+                self.wake_workers(&state);
+                self.work_done.wait(&mut state);
+                state.stats.backpressure_stalls += 1;
+                state.stats.stall_time += t0.elapsed();
+                continue;
+            }
+            if pressure != WritePressure::None && allow_pressure_delay {
+                allow_pressure_delay = false;
+                state.stats.backpressure_slowdowns += 1;
+                state = self.slowdown_write(state);
+                continue;
             }
             let l0_files = state.versions.current().num_files(0);
             if allow_delay && l0_files >= L0_SLOWDOWN_WRITES_TRIGGER {
                 // Gentle backpressure: one 1 ms pause per write.
                 allow_delay = false;
-                if self.options.slowdown_sleep {
-                    let t0 = Instant::now();
-                    drop(state);
-                    std::thread::sleep(Duration::from_millis(1));
-                    state = self.state.lock();
-                    state.stats.stall_time += t0.elapsed();
-                } else {
-                    state.stats.stall_time += Duration::from_millis(1);
-                }
+                state = self.slowdown_write(state);
                 continue;
             }
             if state.mem.approximate_memory_usage() <= self.options.write_buffer_size {
@@ -696,7 +734,7 @@ impl DbInner {
             }
             if state.imm.is_some() {
                 // Previous memtable still flushing.
-                if state.offload_in_flight && !state.flush_in_progress {
+                if state.offloads_in_flight > 0 && !state.flush_in_progress {
                     // Paper's scheduler: the device is busy compacting, so
                     // the host performs the flush itself, concurrently.
                     state.stats.concurrent_flushes += 1;
@@ -704,20 +742,34 @@ impl DbInner {
                     continue;
                 }
                 let t0 = Instant::now();
-                self.maybe_schedule_compaction(&mut state);
+                self.wake_workers(&state);
                 self.work_done.wait(&mut state);
                 state.stats.stall_time += t0.elapsed();
                 continue;
             }
             if state.versions.current().num_files(0) >= L0_STOP_WRITES_TRIGGER {
                 let t0 = Instant::now();
-                self.maybe_schedule_compaction(&mut state);
+                self.wake_workers(&state);
                 self.work_done.wait(&mut state);
                 state.stats.stall_time += t0.elapsed();
                 continue;
             }
             state = self.rotate_memtable(state)?;
         }
+    }
+
+    /// One 1 ms write delay (simulated when `slowdown_sleep` is off).
+    fn slowdown_write<'a>(&'a self, mut state: StateGuard<'a>) -> StateGuard<'a> {
+        if self.options.slowdown_sleep {
+            let t0 = Instant::now();
+            drop(state);
+            std::thread::sleep(Duration::from_millis(1));
+            state = self.state.lock();
+            state.stats.stall_time += t0.elapsed();
+        } else {
+            state.stats.stall_time += Duration::from_millis(1);
+        }
+        state
     }
 
     /// Swaps in a fresh memtable + WAL; the old memtable becomes `imm`.
@@ -735,23 +787,15 @@ impl DbInner {
         state.imm = Some(Arc::new(old_mem));
         *self.wal.lock() = LogWriter::new(file);
         state.log_file_number = new_log_number;
-        self.maybe_schedule_compaction(&mut state);
+        self.wake_workers(&state);
         Ok(state)
     }
 
-    /// Wakes the background thread if there is work.
-    fn maybe_schedule_compaction(&self, state: &mut DbState) {
-        if state.bg_scheduled || self.shutting_down.load(AtomicOrdering::Acquire) {
-            return;
-        }
-        let has_work = state.imm.is_some()
-            || state.versions.pick_compaction().is_some()
-            || state
-                .force_compact_level
-                .is_some_and(|l| state.versions.pick_compaction_at(l).is_some());
-        if has_work {
-            state.bg_scheduled = true;
-            self.bg_work.notify_one();
+    /// Wakes every idle background worker to re-scan for work. Cheap:
+    /// workers that find nothing go back to sleep.
+    fn wake_workers(&self, _state: &DbState) {
+        if !self.shutting_down.load(AtomicOrdering::Acquire) {
+            self.bg_work.notify_all();
         }
     }
 
@@ -829,74 +873,122 @@ impl DbInner {
         }
         let file_size = builder.finish()?;
         builder.sync()?;
-        Ok(Some(FileMetaData { number: file_number, file_size, smallest, largest }))
+        Ok(Some(FileMetaData {
+            number: file_number,
+            file_size,
+            smallest,
+            largest,
+        }))
     }
 
-    /// Runs one background compaction round (flush first, then one table
-    /// compaction), returning whether anything was done.
-    fn background_compaction(&self) -> bool {
-        let state = self.state.lock();
-        if state.imm.is_some() && !state.flush_in_progress {
-            match self.flush_immutable(state) {
-                Ok(_) | Err(_) => return true,
+    /// Finds the next piece of admissible background work while holding
+    /// the state lock. Trivial moves are applied inline (they only touch
+    /// metadata); the scan then restarts because the version changed.
+    /// Returns `None` when nothing can start right now — either there is
+    /// no work, or every candidate conflicts with an in-flight job.
+    fn find_work(&self, state: &mut DbState) -> Option<CompactionJob> {
+        'rescan: loop {
+            if state.imm.is_some() && !state.flush_in_progress {
+                return Some(CompactionJob::Flush);
             }
+
+            // Candidate levels: the forced level (manual compaction)
+            // first, then every level over its score threshold, most
+            // urgent first. The first candidate that passes admission
+            // wins; conflicting candidates stay for a later scan.
+            let mut levels: Vec<usize> = Vec::new();
+            if let Some(l) = state.force_compact_level {
+                levels.push(l);
+            }
+            for l in state.versions.candidate_levels() {
+                if !levels.contains(&l) {
+                    levels.push(l);
+                }
+            }
+            for level in levels {
+                let Some(compaction) = state.versions.pick_compaction_at(level) else {
+                    if state.force_compact_level == Some(level) {
+                        // A forced level with nothing left to do is done.
+                        state.force_compact_level = None;
+                        self.work_done.notify_all();
+                    }
+                    continue;
+                };
+                let Some(ticket) = state.conflicts.try_admit(job_shape(&compaction)) else {
+                    continue;
+                };
+
+                if compaction.is_trivial_move() {
+                    let f = &compaction.inputs[0][0];
+                    let mut edit = VersionEdit::default();
+                    edit.deleted_files.push((compaction.level, f.number));
+                    edit.new_files.push((compaction.level + 1, (**f).clone()));
+                    edit.compact_pointers
+                        .push((compaction.level, compaction.largest_input_key.clone()));
+                    let result = state.versions.log_and_apply(edit);
+                    state.conflicts.release(ticket);
+                    if let Err(e) = result {
+                        state.bg_error = Some(format!("trivial move failed: {e}"));
+                        self.work_done.notify_all();
+                        return None;
+                    }
+                    state.stats.trivial_moves += 1;
+                    self.work_done.notify_all();
+                    continue 'rescan;
+                }
+
+                let concurrent = state.conflicts.in_flight() as u64;
+                state.stats.max_concurrent_compactions =
+                    state.stats.max_concurrent_compactions.max(concurrent);
+
+                // Capture the request context under the lock (paper §IV
+                // steps 1-3): L0 files are separate inputs (newest
+                // first); deeper-level runs concatenate into one.
+                let smallest_snapshot = state
+                    .snapshots
+                    .keys()
+                    .next()
+                    .copied()
+                    .unwrap_or(state.versions.last_sequence);
+                let bottommost = {
+                    let v = state.versions.current();
+                    ((level + 2)..NUM_LEVELS).all(|l| v.num_files(l) == 0)
+                };
+                let mut input_metas: Vec<Vec<Arc<FileMetaData>>> = Vec::new();
+                if level == 0 {
+                    for f in &compaction.inputs[0] {
+                        input_metas.push(vec![Arc::clone(f)]);
+                    }
+                } else if !compaction.inputs[0].is_empty() {
+                    input_metas.push(compaction.inputs[0].clone());
+                }
+                if !compaction.inputs[1].is_empty() {
+                    input_metas.push(compaction.inputs[1].clone());
+                }
+                return Some(CompactionJob::Compact(Box::new(AdmittedCompaction {
+                    compaction,
+                    ticket,
+                    smallest_snapshot,
+                    bottommost,
+                    input_metas,
+                })));
+            }
+            return None;
         }
+    }
 
-        let mut state = state;
-        let forced = state
-            .force_compact_level
-            .and_then(|l| state.versions.pick_compaction_at(l));
-        let compaction = match forced.or_else(|| state.versions.pick_compaction()) {
-            Some(c) => c,
-            None => {
-                // A forced level with nothing left to do is complete.
-                state.force_compact_level = None;
-                self.work_done.notify_all();
-                return false;
-            }
-        };
-
-        if compaction.is_trivial_move() {
-            let f = &compaction.inputs[0][0];
-            let mut edit = VersionEdit::default();
-            edit.deleted_files.push((compaction.level, f.number));
-            edit.new_files.push((compaction.level + 1, (**f).clone()));
-            edit.compact_pointers
-                .push((compaction.level, compaction.largest_input_key.clone()));
-            if let Err(e) = state.versions.log_and_apply(edit) {
-                state.bg_error = Some(format!("trivial move failed: {e}"));
-            }
-            state.stats.trivial_moves += 1;
-            self.work_done.notify_all();
-            return true;
-        }
-
-        // Build the request (paper §IV steps 1-3): L0 files are separate
-        // inputs (newest first); deeper-level runs concatenate into one.
-        let smallest_snapshot = state
-            .snapshots
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or(state.versions.last_sequence);
+    /// Executes one admitted compaction outside the state lock and
+    /// installs the result. The admission ticket is always released.
+    fn execute_compaction(&self, job: AdmittedCompaction) {
+        let AdmittedCompaction {
+            compaction,
+            ticket,
+            smallest_snapshot,
+            bottommost,
+            input_metas,
+        } = job;
         let level = compaction.level;
-        let bottommost = {
-            let v = state.versions.current();
-            ((level + 2)..NUM_LEVELS).all(|l| v.num_files(l) == 0)
-        };
-        let mut input_metas: Vec<Vec<Arc<FileMetaData>>> = Vec::new();
-        if level == 0 {
-            for f in &compaction.inputs[0] {
-                input_metas.push(vec![Arc::clone(f)]);
-            }
-        } else if !compaction.inputs[0].is_empty() {
-            input_metas.push(compaction.inputs[0].clone());
-        }
-        if !compaction.inputs[1].is_empty() {
-            input_metas.push(compaction.inputs[1].clone());
-        }
 
-        drop(state);
         let mut inputs = Vec::with_capacity(input_metas.len());
         for metas in &input_metas {
             let tables: Result<Vec<_>> = metas
@@ -907,13 +999,15 @@ impl DbInner {
                 Ok(tables) => inputs.push(CompactionInput { tables }),
                 Err(e) => {
                     let mut state = self.state.lock();
+                    state.conflicts.release(ticket);
                     state.bg_error = Some(format!("compaction open failed: {e}"));
                     self.work_done.notify_all();
-                    return true;
+                    return;
                 }
             }
         }
         let req = CompactionRequest {
+            level,
             inputs,
             smallest_snapshot,
             bottommost,
@@ -925,11 +1019,13 @@ impl DbInner {
         // input count, otherwise software compaction.
         let use_engine = req.inputs.len() <= self.engine.max_inputs();
         let is_offload = use_engine && self.engine.name() != "cpu";
-        {
-            let mut state = self.state.lock();
-            state.offload_in_flight = is_offload;
+        if is_offload {
+            self.state.lock().offloads_in_flight += 1;
         }
-        let factory = DbOutputFactory { inner: self };
+        let factory = DbOutputFactory {
+            inner: self,
+            allocated: std::sync::Mutex::new(Vec::new()),
+        };
         let result = if use_engine {
             self.engine.compact(&req, &factory)
         } else {
@@ -937,20 +1033,18 @@ impl DbInner {
         };
 
         let mut state = self.state.lock();
-        state.offload_in_flight = false;
-        match &result {
-            Ok(outcome) => {
-                for o in &outcome.outputs {
-                    state.pending_outputs.remove(&o.number);
-                }
-            }
-            Err(_) => {
-                // Output numbers from a failed attempt stay pending until
-                // the next successful GC pass clears the orphan files; we
-                // conservatively clear them now so GC can reclaim.
-                state.pending_outputs.clear();
-            }
+        if is_offload {
+            state.offloads_in_flight -= 1;
         }
+        state.conflicts.release(ticket);
+        // Un-protect exactly this job's outputs: on success they enter
+        // the version below (same lock hold, so GC cannot run between);
+        // on failure the orphaned files become collectable.
+        let allocated = factory.allocated.lock().unwrap_or_else(|e| e.into_inner());
+        for number in allocated.iter() {
+            state.pending_outputs.remove(number);
+        }
+        drop(allocated);
         match result {
             Ok(outcome) => {
                 let mut edit = VersionEdit::default();
@@ -1004,9 +1098,10 @@ impl DbInner {
                 state.bg_error = Some(format!("compaction failed: {e}"));
             }
         }
+        // Completion may unblock both waiters and conflicting candidates.
         self.work_done.notify_all();
+        self.wake_workers(&state);
         self.delete_obsolete_files_locked(&mut state);
-        true
     }
 
     /// Removes files no longer referenced by the current version.
@@ -1023,7 +1118,9 @@ impl DbInner {
             return;
         };
         for name in names {
-            let Some(ft) = parse_file_name(&name) else { continue };
+            let Some(ft) = parse_file_name(&name) else {
+                continue;
+            };
             let (remove, number) = match ft {
                 FileType::Log(n) => (n < log_number, n),
                 FileType::Table(n) => (!live.contains(&n), n),
@@ -1040,9 +1137,57 @@ impl DbInner {
     }
 }
 
-/// Allocates compaction output files inside the DB directory.
+/// One unit of admitted background work.
+enum CompactionJob {
+    /// Flush the immutable memtable (always runs under the same lock hold
+    /// that discovered it, so two workers cannot both take it).
+    Flush,
+    /// An admitted table compaction, executed outside the lock.
+    Compact(Box<AdmittedCompaction>),
+}
+
+/// A compaction that passed conflict admission, with its request context
+/// captured under the lock that admitted it.
+struct AdmittedCompaction {
+    compaction: crate::version::Compaction,
+    ticket: JobTicket,
+    smallest_snapshot: u64,
+    bottommost: bool,
+    input_metas: Vec<Vec<Arc<FileMetaData>>>,
+}
+
+/// The conflict footprint of a picked compaction: both input levels'
+/// file numbers and the union of their user-key ranges (outputs land
+/// anywhere inside it).
+fn job_shape(compaction: &crate::version::Compaction) -> JobShape {
+    let mut files = HashSet::new();
+    let mut smallest: Option<&[u8]> = None;
+    let mut largest: Option<&[u8]> = None;
+    for f in compaction.inputs.iter().flatten() {
+        files.insert(f.number);
+        let lo = f.smallest.user_key();
+        let hi = f.largest.user_key();
+        if smallest.is_none_or(|s| lo < s) {
+            smallest = Some(lo);
+        }
+        if largest.is_none_or(|l| hi > l) {
+            largest = Some(hi);
+        }
+    }
+    JobShape {
+        level: compaction.level,
+        smallest_user: smallest.unwrap_or_default().to_vec(),
+        largest_user: largest.unwrap_or_default().to_vec(),
+        files,
+    }
+}
+
+/// Allocates compaction output files inside the DB directory, remembering
+/// the numbers it handed out so a failed job releases exactly its own
+/// `pending_outputs` entries.
 struct DbOutputFactory<'a> {
     inner: &'a DbInner,
+    allocated: std::sync::Mutex<Vec<u64>>,
 }
 
 impl OutputFileFactory for DbOutputFactory<'_> {
@@ -1053,39 +1198,46 @@ impl OutputFileFactory for DbOutputFactory<'_> {
             state.pending_outputs.insert(n);
             n
         };
+        self.allocated
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(number);
         let path = table_file_name(&self.inner.dir, number);
         let file = self.inner.options.env.create_writable(&path)?;
         Ok((number, file))
     }
 }
 
-/// Background thread: flushes and compactions until shutdown.
+/// Background worker: flushes and compactions until shutdown. All workers
+/// run this loop; the conflict checker keeps their picks disjoint.
 fn background_thread(inner: Arc<DbInner>) {
     loop {
-        {
+        let job = {
             let mut state = inner.state.lock();
             loop {
                 if inner.shutting_down.load(AtomicOrdering::Acquire) {
                     return;
                 }
-                let has_work = state.imm.is_some()
-                    || state.versions.pick_compaction().is_some()
-                    || state
-                        .force_compact_level
-                        .is_some_and(|l| state.versions.pick_compaction_at(l).is_some());
-                if has_work && state.bg_error.is_none() {
-                    state.bg_scheduled = true;
-                    break;
+                if state.bg_error.is_none() {
+                    match inner.find_work(&mut state) {
+                        Some(CompactionJob::Flush) => {
+                            // Consumes the guard; `flush_in_progress` is
+                            // set before the lock drops for table I/O.
+                            match inner.flush_immutable(state) {
+                                Ok(s) => state = s,
+                                Err(_) => state = inner.state.lock(),
+                            }
+                            // L0 grew (or an error idled us): re-scan.
+                            inner.wake_workers(&state);
+                            continue;
+                        }
+                        Some(CompactionJob::Compact(job)) => break job,
+                        None => {}
+                    }
                 }
-                state.bg_scheduled = false;
-                inner.work_done.notify_all();
                 inner.bg_work.wait(&mut state);
             }
-        }
-        let _did_work = inner.background_compaction();
-        let mut state = inner.state.lock();
-        state.bg_scheduled = false;
-        inner.work_done.notify_all();
-        drop(state);
+        };
+        inner.execute_compaction(*job);
     }
 }

@@ -23,10 +23,7 @@ pub struct DbIter {
 impl DbIter {
     /// Builds an iterator from already-assembled children (the `Db`
     /// assembles memtable snapshots + table iterators).
-    pub(crate) fn new(
-        children: Vec<Box<dyn InternalIterator>>,
-        sequence: SequenceNumber,
-    ) -> Self {
+    pub(crate) fn new(children: Vec<Box<dyn InternalIterator>>, sequence: SequenceNumber) -> Self {
         let icmp: Arc<dyn Comparator> = Arc::new(InternalKeyComparator::default());
         DbIter {
             merger: MergingIterator::new(children, icmp),

@@ -97,6 +97,9 @@ mod tests {
 
     #[test]
     fn large_numbers_parse() {
-        assert_eq!(parse_file_name("18446744073709551615.ldb"), Some(FileType::Table(u64::MAX)));
+        assert_eq!(
+            parse_file_name("18446744073709551615.ldb"),
+            Some(FileType::Table(u64::MAX))
+        );
     }
 }

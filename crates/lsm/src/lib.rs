@@ -23,6 +23,7 @@
 //! ```
 
 pub mod compaction;
+pub mod conflict;
 pub mod db;
 pub mod db_iter;
 pub mod filename;
@@ -35,9 +36,10 @@ pub mod wal;
 pub mod write_batch;
 
 pub use compaction::{
-    CompactionEngine, CompactionInput, CompactionOutcome, CompactionRequest,
-    CpuCompactionEngine, OutputTableMeta,
+    CompactionEngine, CompactionInput, CompactionOutcome, CompactionRequest, CpuCompactionEngine,
+    OutputTableMeta, WritePressure,
 };
+pub use conflict::{ConflictChecker, JobShape, JobTicket};
 pub use db::{Db, DbStats};
 pub use db_iter::DbIter;
 pub use options::{Options, ReadOptions, WriteOptions};

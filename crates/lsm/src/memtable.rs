@@ -57,7 +57,11 @@ pub struct MemTable {
 impl MemTable {
     /// Creates an empty memtable.
     pub fn new(cmp: InternalKeyComparator) -> Self {
-        let head = Node { key: (0, 0), value: (0, 0), next: [0; MAX_HEIGHT] };
+        let head = Node {
+            key: (0, 0),
+            value: (0, 0),
+            next: [0; MAX_HEIGHT],
+        };
         MemTable {
             cmp,
             arena: Vec::with_capacity(1 << 16),
@@ -119,8 +123,7 @@ impl MemTable {
         for (level, slot) in prev.iter_mut().enumerate().take(self.max_height).rev() {
             loop {
                 let next = self.nodes[x as usize].next[level];
-                if next != 0 && self.cmp.compare(self.node_key(next), key) == Ordering::Less
-                {
+                if next != 0 && self.cmp.compare(self.node_key(next), key) == Ordering::Less {
                     x = next;
                 } else {
                     break;
@@ -202,18 +205,17 @@ impl MemTable {
     /// Creates an iterator over internal keys. The memtable must outlive
     /// iteration, which the `Arc`-based ownership in the DB guarantees.
     pub fn iter(self: &Arc<Self>) -> MemTableIterator {
-        MemTableIterator { mem: Arc::clone(self), current: 0 }
+        MemTableIterator {
+            mem: Arc::clone(self),
+            current: 0,
+        }
     }
 
     /// Copies out all entries whose user key is in `[start, end)` as
     /// `(internal_key, value)` pairs, in internal-key order. Used by the
     /// scan path, which needs an owned snapshot it can merge without
     /// holding the DB lock.
-    pub fn collect_range(
-        &self,
-        start: &[u8],
-        end: Option<&[u8]>,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub fn collect_range(&self, start: &[u8], end: Option<&[u8]>) -> Vec<(Vec<u8>, Vec<u8>)> {
         let lk = LookupKey::new(start, sstable::ikey::MAX_SEQUENCE_NUMBER);
         let mut idx = self.find_greater_or_equal(lk.internal_key());
         let mut out = Vec::new();
@@ -306,9 +308,15 @@ mod tests {
         m.add(1, ValueType::Value, b"k", b"v1");
         m.add(2, ValueType::Value, b"k", b"v2");
         // Snapshot at seq 10 sees v2.
-        assert_eq!(m.get(&LookupKey::new(b"k", 10)), MemGet::Value(b"v2".to_vec()));
+        assert_eq!(
+            m.get(&LookupKey::new(b"k", 10)),
+            MemGet::Value(b"v2".to_vec())
+        );
         // Snapshot at seq 1 sees v1.
-        assert_eq!(m.get(&LookupKey::new(b"k", 1)), MemGet::Value(b"v1".to_vec()));
+        assert_eq!(
+            m.get(&LookupKey::new(b"k", 1)),
+            MemGet::Value(b"v1".to_vec())
+        );
         // Snapshot at seq 0 predates both.
         assert_eq!(m.get(&LookupKey::new(b"k", 0)), MemGet::NotFound);
     }
@@ -319,7 +327,10 @@ mod tests {
         m.add(1, ValueType::Value, b"k", b"v");
         m.add(2, ValueType::Deletion, b"k", b"");
         assert_eq!(m.get(&LookupKey::new(b"k", 10)), MemGet::Deleted);
-        assert_eq!(m.get(&LookupKey::new(b"k", 1)), MemGet::Value(b"v".to_vec()));
+        assert_eq!(
+            m.get(&LookupKey::new(b"k", 1)),
+            MemGet::Value(b"v".to_vec())
+        );
         assert_eq!(m.get(&LookupKey::new(b"other", 10)), MemGet::NotFound);
     }
 
@@ -328,7 +339,12 @@ mod tests {
         let mut m = memtable();
         // Insert out of order.
         for (i, k) in [(3u64, "c"), (1, "a"), (2, "b"), (5, "a"), (4, "d")] {
-            m.add(i, ValueType::Value, k.as_bytes(), format!("v{i}").as_bytes());
+            m.add(
+                i,
+                ValueType::Value,
+                k.as_bytes(),
+                format!("v{i}").as_bytes(),
+            );
         }
         let m = Arc::new(m);
         let mut it = m.iter();
@@ -356,7 +372,12 @@ mod tests {
     fn iterator_seek_and_prev() {
         let mut m = memtable();
         for i in 0..100u64 {
-            m.add(i + 1, ValueType::Value, format!("key{i:03}").as_bytes(), b"v");
+            m.add(
+                i + 1,
+                ValueType::Value,
+                format!("key{i:03}").as_bytes(),
+                b"v",
+            );
         }
         let m = Arc::new(m);
         let mut it = m.iter();
@@ -389,11 +410,18 @@ mod tests {
         // Deterministic shuffle.
         let mut s = 12345u64;
         for i in (1..keys.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             keys.swap(i, (s % (i as u64 + 1)) as usize);
         }
         for (seq, k) in keys.iter().enumerate() {
-            m.add(seq as u64 + 1, ValueType::Value, format!("{k:08}").as_bytes(), b"");
+            m.add(
+                seq as u64 + 1,
+                ValueType::Value,
+                format!("{k:08}").as_bytes(),
+                b"",
+            );
         }
         let m = Arc::new(m);
         let mut it = m.iter();

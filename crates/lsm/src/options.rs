@@ -50,6 +50,11 @@ pub struct Options {
     /// Tests disable this to run fast; the real sleep matters only for
     /// wall-clock experiments.
     pub slowdown_sleep: bool,
+    /// Background worker threads servicing flushes and compactions.
+    /// LevelDB uses 1; raise it (typically to the offload service's
+    /// engine-slot count) so disjoint-range compactions at different
+    /// levels run concurrently. Values are clamped to at least 1.
+    pub background_threads: usize,
 }
 
 impl Default for Options {
@@ -67,6 +72,7 @@ impl Default for Options {
             sync_writes: false,
             env: Arc::new(StdEnv),
             slowdown_sleep: true,
+            background_threads: 1,
         }
     }
 }
@@ -142,8 +148,10 @@ mod tests {
 
     #[test]
     fn level_budgets_scale_by_ratio() {
-        let mut o = Options::default();
-        o.leveling_ratio = 10;
+        let mut o = Options {
+            leveling_ratio: 10,
+            ..Default::default()
+        };
         assert_eq!(o.max_bytes_for_level(1), 10 << 20);
         assert_eq!(o.max_bytes_for_level(2), 100 << 20);
         assert_eq!(o.max_bytes_for_level(3), 1000 << 20);

@@ -81,17 +81,21 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
     let icmp = InternalKeyComparator::default();
     for log in &log_numbers {
         let path = crate::filename::log_file_name(dir, *log);
-        let Ok(file) = env.open_random_access(&path) else { continue };
-        let Ok(mut reader) = LogReader::new(file.as_ref()) else { continue };
+        let Ok(file) = env.open_random_access(&path) else {
+            continue;
+        };
+        let Ok(mut reader) = LogReader::new(file.as_ref()) else {
+            continue;
+        };
         let mut mem = MemTable::new(icmp.clone());
         while let Some(record) = reader.read_record() {
-            let Ok(batch) = WriteBatch::from_data(&record) else { continue };
+            let Ok(batch) = WriteBatch::from_data(&record) else {
+                continue;
+            };
             let _ = batch.iterate(|op, seq| {
                 report.max_sequence = report.max_sequence.max(seq);
                 match op {
-                    BatchOp::Put { key, value } => {
-                        mem.add(seq, ValueType::Value, key, value)
-                    }
+                    BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
                     BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                 }
             });
@@ -152,7 +156,10 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
             &table_file_name(dir, old_number),
             &table_file_name(dir, new_number),
         )?;
-        metas.push(FileMetaData { number: new_number, ..meta });
+        metas.push(FileMetaData {
+            number: new_number,
+            ..meta
+        });
     }
 
     // 3. Fresh MANIFEST with everything at L0 (ordered newest-first by
@@ -224,7 +231,12 @@ fn scan_table(
     }
     it.status().map_err(Error::from)?;
     Ok(Some((
-        FileMetaData { number: 0, file_size: size, smallest, largest },
+        FileMetaData {
+            number: 0,
+            file_size: size,
+            smallest,
+            largest,
+        },
         max_seq,
     )))
 }
@@ -273,7 +285,8 @@ mod tests {
         {
             let db = Db::open(dir, mem_options(&env)).unwrap();
             for i in 0..2_000u64 {
-                db.put(format!("{i:08}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                db.put(format!("{i:08}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             db.delete(b"00000007").unwrap();
             db.flush().unwrap();
@@ -290,7 +303,11 @@ mod tests {
 
         let db = Db::open(dir, mem_options(&env)).unwrap();
         assert_eq!(db.get(b"00000042").unwrap(), Some(b"v42".to_vec()));
-        assert_eq!(db.get(b"00000007").unwrap(), None, "tombstone survives repair");
+        assert_eq!(
+            db.get(b"00000007").unwrap(),
+            None,
+            "tombstone survives repair"
+        );
         assert_eq!(db.get(b"wal-only").unwrap(), Some(b"tail".to_vec()));
         // Every key present.
         for i in (0..2_000u64).step_by(97) {

@@ -44,7 +44,10 @@ impl TableCache {
             dir,
             options,
             read_options,
-            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
             capacity: capacity.max(1),
         }
     }
@@ -69,15 +72,17 @@ impl TableCache {
         let tick = inner.tick;
         if inner.map.len() >= self.capacity {
             // Evict the least recently used entry.
-            if let Some((&victim, _)) =
-                inner.map.iter().min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) {
                 inner.map.remove(&victim);
             }
         }
-        inner
-            .map
-            .insert(file_number, Entry { table: Arc::clone(&table), last_used: tick });
+        inner.map.insert(
+            file_number,
+            Entry {
+                table: Arc::clone(&table),
+                last_used: tick,
+            },
+        );
         Ok(table)
     }
 

@@ -7,8 +7,8 @@ use std::path::PathBuf;
 use std::sync::{Arc, Weak};
 
 use sstable::coding::{
-    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use sstable::comparator::{Comparator, InternalKeyComparator};
 use sstable::ikey::InternalKey;
@@ -119,8 +119,7 @@ impl VersionEdit {
                 TAG_COMPACT_POINTER => {
                     let (level, n) = get_varint32(src).ok_or_else(|| bad("cp level"))?;
                     src = &src[n..];
-                    let (key, n) =
-                        get_length_prefixed_slice(src).ok_or_else(|| bad("cp key"))?;
+                    let (key, n) = get_length_prefixed_slice(src).ok_or_else(|| bad("cp key"))?;
                     src = &src[n..];
                     edit.compact_pointers
                         .push((level as usize, InternalKey::from_encoded(key.to_vec())));
@@ -172,7 +171,9 @@ pub struct Version {
 impl Version {
     /// An empty version.
     pub fn empty() -> Self {
-        Version { files: vec![Vec::new(); NUM_LEVELS] }
+        Version {
+            files: vec![Vec::new(); NUM_LEVELS],
+        }
     }
 
     /// Total bytes at `level`.
@@ -258,8 +259,7 @@ impl Version {
                 ucmp.compare(f.largest.user_key(), user_key) == Ordering::Less
             });
             if idx < files.len()
-                && ucmp.compare(user_key, files[idx].smallest.user_key())
-                    != Ordering::Less
+                && ucmp.compare(user_key, files[idx].smallest.user_key()) != Ordering::Less
             {
                 out.push((level, Arc::clone(&files[idx])));
             }
@@ -405,7 +405,8 @@ impl VersionSet {
         files[0].sort_by_key(|f| std::cmp::Reverse(f.number));
         for level_files in files.iter_mut().skip(1) {
             level_files.sort_by(|a, b| {
-                self.icmp.compare(a.smallest.encoded(), b.smallest.encoded())
+                self.icmp
+                    .compare(a.smallest.encoded(), b.smallest.encoded())
             });
         }
         // Invariant: no overlap within levels >= 1.
@@ -456,7 +457,9 @@ impl VersionSet {
         f.append(format!("MANIFEST-{number:06}\n").as_bytes())?;
         f.sync()?;
         drop(f);
-        self.options.env.rename(&tmp, &current_file_name(&self.dir))?;
+        self.options
+            .env
+            .rename(&tmp, &current_file_name(&self.dir))?;
         Ok(())
     }
 
@@ -525,6 +528,28 @@ impl VersionSet {
         (best_level, best_score)
     }
 
+    /// Every level whose score reaches 1.0, most urgent first. A
+    /// multi-worker scheduler walks this list and starts the first
+    /// candidate that does not conflict with in-flight work;
+    /// [`VersionSet::pick_compaction`] is the single-worker special case
+    /// (first candidate only).
+    pub fn candidate_levels(&self) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        let l0 = self.current.num_files(0) as f64 / L0_COMPACTION_TRIGGER as f64;
+        if l0 >= 1.0 {
+            scored.push((0, l0));
+        }
+        for level in 1..NUM_LEVELS - 1 {
+            let score = self.current.level_bytes(level) as f64
+                / self.options.max_bytes_for_level(level) as f64;
+            if score >= 1.0 {
+                scored.push((level, score));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        scored.into_iter().map(|(level, _)| level).collect()
+    }
+
     /// Picks the next compaction, or `None` if nothing is needed.
     pub fn pick_compaction(&self) -> Option<Compaction> {
         let (level, score) = self.compaction_score();
@@ -583,7 +608,11 @@ impl VersionSet {
         );
 
         let largest_input_key = InternalKey::from_encoded(largest.encoded().to_vec());
-        Some(Compaction { level, inputs: [inputs0, inputs1], largest_input_key })
+        Some(Compaction {
+            level,
+            inputs: [inputs0, inputs1],
+            largest_input_key,
+        })
     }
 
     /// Smallest/largest internal keys across `files`.
@@ -591,14 +620,10 @@ impl VersionSet {
         let mut smallest = files[0].smallest.clone();
         let mut largest = files[0].largest.clone();
         for f in &files[1..] {
-            if self.icmp.compare(f.smallest.encoded(), smallest.encoded())
-                == Ordering::Less
-            {
+            if self.icmp.compare(f.smallest.encoded(), smallest.encoded()) == Ordering::Less {
                 smallest = f.smallest.clone();
             }
-            if self.icmp.compare(f.largest.encoded(), largest.encoded())
-                == Ordering::Greater
-            {
+            if self.icmp.compare(f.largest.encoded(), largest.encoded()) == Ordering::Greater {
                 largest = f.largest.clone();
             }
         }
@@ -646,15 +671,20 @@ mod tests {
     }
 
     fn mem_options() -> Options {
-        Options { env: Arc::new(MemEnv::new()), ..Default::default() }
+        Options {
+            env: Arc::new(MemEnv::new()),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn version_edit_roundtrip() {
-        let mut e = VersionEdit::default();
-        e.log_number = Some(9);
-        e.next_file_number = Some(42);
-        e.last_sequence = Some(12345);
+        let mut e = VersionEdit {
+            log_number: Some(9),
+            next_file_number: Some(42),
+            last_sequence: Some(12345),
+            ..Default::default()
+        };
         e.compact_pointers.push((2, ikey("cp", 7)));
         e.deleted_files.push((1, 8));
         e.new_files.push((3, meta(10, "aaa", "zzz")));
@@ -698,7 +728,10 @@ mod tests {
     #[test]
     fn recovery_restores_state() {
         let env = Arc::new(MemEnv::new());
-        let opts = Options { env: Arc::clone(&env) as Arc<dyn sstable::env::StorageEnv>, ..Default::default() };
+        let opts = Options {
+            env: Arc::clone(&env) as Arc<dyn sstable::env::StorageEnv>,
+            ..Default::default()
+        };
         let dir = PathBuf::from("/db");
         {
             let mut vs = VersionSet::new(dir.clone(), opts.clone());
@@ -783,7 +816,9 @@ mod tests {
         big.file_size = 100 << 20;
         edit.new_files.push((1, big));
         vs.log_and_apply(edit).unwrap();
-        let c = vs.pick_compaction().expect("oversized level should compact");
+        let c = vs
+            .pick_compaction()
+            .expect("oversized level should compact");
         assert_eq!(c.level, 1);
         assert!(c.is_trivial_move());
     }

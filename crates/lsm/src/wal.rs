@@ -45,7 +45,10 @@ pub struct LogWriter {
 impl LogWriter {
     /// Starts a writer on a fresh file.
     pub fn new(file: Box<dyn WritableFile>) -> Self {
-        LogWriter { file, block_offset: 0 }
+        LogWriter {
+            file,
+            block_offset: 0,
+        }
     }
 
     /// Appends one record (fragmenting across blocks as needed).
@@ -307,7 +310,11 @@ mod tests {
     fn torn_tail_is_silent_eof() {
         let env = MemEnv::new();
         write_records(&env, "/log", &[b"complete".to_vec(), vec![9u8; 5000]]);
-        let full = env.open_random_access(Path::new("/log")).unwrap().read_all().unwrap();
+        let full = env
+            .open_random_access(Path::new("/log"))
+            .unwrap()
+            .read_all()
+            .unwrap();
         // Truncate mid-way through the second record.
         let torn = &full[..full.len() - 1000];
         let mut w = env.create_writable(Path::new("/torn")).unwrap();
@@ -320,9 +327,16 @@ mod tests {
     #[test]
     fn corrupt_record_is_skipped_and_flagged() {
         let env = MemEnv::new();
-        write_records(&env, "/log", &[b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
-        let mut full =
-            env.open_random_access(Path::new("/log")).unwrap().read_all().unwrap();
+        write_records(
+            &env,
+            "/log",
+            &[b"first".to_vec(), b"second".to_vec(), b"third".to_vec()],
+        );
+        let mut full = env
+            .open_random_access(Path::new("/log"))
+            .unwrap()
+            .read_all()
+            .unwrap();
         // Corrupt the payload of the second record (header of rec2 starts
         // at HEADER_SIZE + 5).
         let idx = HEADER_SIZE + 5 + HEADER_SIZE + 2;

@@ -29,7 +29,9 @@ impl Default for WriteBatch {
 impl WriteBatch {
     /// Creates an empty batch.
     pub fn new() -> Self {
-        WriteBatch { rep: vec![0u8; HEADER_SIZE] }
+        WriteBatch {
+            rep: vec![0u8; HEADER_SIZE],
+        }
     }
 
     /// Queues a `put`.
@@ -104,9 +106,8 @@ impl WriteBatch {
         while pos < self.rep.len() {
             let tag = self.rep[pos];
             pos += 1;
-            let ty = ValueType::from_u8(tag).ok_or_else(|| {
-                Error::Corruption(format!("unknown write batch tag {tag}"))
-            })?;
+            let ty = ValueType::from_u8(tag)
+                .ok_or_else(|| Error::Corruption(format!("unknown write batch tag {tag}")))?;
             let (key, used) = get_length_prefixed_slice(&self.rep[pos..])
                 .ok_or_else(|| Error::Corruption("bad batch key".into()))?;
             pos += used;

@@ -67,8 +67,11 @@ fn reads_hit_sstables_after_flush() {
     let (_env, options) = mem_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..500 {
-        db.put(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes())
-            .unwrap();
+        db.put(
+            format!("key{i:04}").as_bytes(),
+            format!("val{i}").as_bytes(),
+        )
+        .unwrap();
     }
     db.flush().unwrap();
     let counts = db.level_file_counts();
@@ -144,15 +147,15 @@ fn compactions_triggered_and_data_survives() {
     // Write enough to force several flushes and at least one compaction.
     let value = vec![0xabu8; 512];
     for i in 0..2000u32 {
-        db.put(format!("key{:06}", i % 700).as_bytes(), &value).unwrap();
+        db.put(format!("key{:06}", i % 700).as_bytes(), &value)
+            .unwrap();
     }
     db.flush().unwrap();
     db.wait_for_background_quiescence();
     let stats = db.stats();
     assert!(stats.flushes >= 2, "expected multiple flushes: {stats:?}");
     assert!(
-        stats.engine_compactions + stats.trivial_moves + stats.sw_fallback_compactions
-            >= 1,
+        stats.engine_compactions + stats.trivial_moves + stats.sw_fallback_compactions >= 1,
         "expected at least one compaction: {stats:?}"
     );
     // All 700 distinct keys must read back the last written value.
@@ -176,7 +179,9 @@ fn snapshot_reads_are_frozen() {
     let snap = db.snapshot();
     db.put(b"k", b"new").unwrap();
     db.delete(b"gone-later").unwrap();
-    let read_opts = lsm::ReadOptions { snapshot: Some(snap.sequence) };
+    let read_opts = lsm::ReadOptions {
+        snapshot: Some(snap.sequence),
+    };
     assert_eq!(db.get_with(b"k", read_opts).unwrap(), Some(b"old".to_vec()));
     assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
 }
@@ -190,7 +195,9 @@ fn snapshot_protects_entries_across_flush() {
     db.put(b"k", b"v2").unwrap();
     db.flush().unwrap();
     db.wait_for_background_quiescence();
-    let read_opts = lsm::ReadOptions { snapshot: Some(snap.sequence) };
+    let read_opts = lsm::ReadOptions {
+        snapshot: Some(snap.sequence),
+    };
     assert_eq!(db.get_with(b"k", read_opts).unwrap(), Some(b"v1".to_vec()));
 }
 
@@ -199,7 +206,8 @@ fn scan_returns_live_range_in_order() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..300u32 {
-        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
     }
     db.delete(b"key0005").unwrap();
     db.put(b"key0006", b"updated").unwrap();
@@ -207,9 +215,14 @@ fn scan_returns_live_range_in_order() {
     db.wait_for_background_quiescence();
 
     let got = db.scan(b"key0003", Some(b"key0009"), 100).unwrap();
-    let keys: Vec<String> =
-        got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
-    assert_eq!(keys, ["key0003", "key0004", "key0006", "key0007", "key0008"]);
+    let keys: Vec<String> = got
+        .iter()
+        .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+        .collect();
+    assert_eq!(
+        keys,
+        ["key0003", "key0004", "key0006", "key0007", "key0008"]
+    );
     let v6 = &got[2].1;
     assert_eq!(v6, b"updated");
 
@@ -223,7 +236,8 @@ fn sequential_fill_then_read_all() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..3000u32 {
-        db.put(format!("{i:08}").as_bytes(), &i.to_le_bytes()).unwrap();
+        db.put(format!("{i:08}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     db.flush().unwrap();
     db.wait_for_background_quiescence();
@@ -240,7 +254,8 @@ fn stats_accumulate() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..1000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[1u8; 256]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[1u8; 256])
+            .unwrap();
     }
     db.flush().unwrap();
     db.wait_for_background_quiescence();
@@ -254,7 +269,8 @@ fn block_cache_serves_repeated_reads() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..2000u32 {
-        db.put(format!("key{i:05}").as_bytes(), &[7u8; 200]).unwrap();
+        db.put(format!("key{i:05}").as_bytes(), &[7u8; 200])
+            .unwrap();
     }
     db.flush().unwrap();
     db.wait_for_background_quiescence();
@@ -265,10 +281,7 @@ fn block_cache_serves_repeated_reads() {
         }
     }
     let stats = db.stats();
-    assert!(
-        stats.block_cache_hits > 0,
-        "expected cache hits: {stats:?}"
-    );
+    assert!(stats.block_cache_hits > 0, "expected cache hits: {stats:?}");
     assert!(stats.block_cache_hits + stats.block_cache_misses > 0);
 }
 
@@ -293,7 +306,8 @@ fn compact_all_drains_pending_work() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..3000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[9u8; 300]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[9u8; 300])
+            .unwrap();
     }
     db.compact_all().unwrap();
     let counts = db.level_file_counts();
@@ -310,7 +324,8 @@ fn streaming_iterator_walks_live_keys() {
     let (_env, options) = small_options();
     let db = Db::open("/db", options).unwrap();
     for i in 0..500u32 {
-        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
     }
     db.delete(b"key0010").unwrap();
     db.put(b"key0011", b"updated").unwrap();
@@ -421,11 +436,7 @@ impl StorageEnv for SlowWriteEnv {
     fn file_exists(&self, path: &std::path::Path) -> bool {
         self.inner.file_exists(path)
     }
-    fn rename(
-        &self,
-        from: &std::path::Path,
-        to: &std::path::Path,
-    ) -> sstable::Result<()> {
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> sstable::Result<()> {
         self.inner.rename(from, to)
     }
 }

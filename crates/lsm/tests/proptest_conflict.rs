@@ -1,0 +1,98 @@
+//! Property tests for the compaction conflict checker: whatever sequence
+//! of jobs is thrown at it, two jobs admitted at the same time must never
+//! overlap in a way that could corrupt the tree.
+
+use std::collections::HashSet;
+
+use lsm::{ConflictChecker, JobShape};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GenJob {
+    level: usize,
+    lo: u8,
+    hi: u8,
+    files: Vec<u64>,
+}
+
+fn job_strategy() -> impl Strategy<Value = GenJob> {
+    (
+        0usize..5,
+        0u8..40,
+        0u8..40,
+        proptest::collection::vec(0u64..30, 1..4),
+    )
+        .prop_map(|(level, a, b, files)| GenJob {
+            level,
+            lo: a.min(b),
+            hi: a.max(b),
+            files,
+        })
+}
+
+fn shape(j: &GenJob) -> JobShape {
+    JobShape {
+        level: j.level,
+        smallest_user: vec![j.lo],
+        largest_user: vec![j.hi],
+        files: j.files.iter().copied().collect::<HashSet<u64>>(),
+    }
+}
+
+fn ranges_overlap(a: &GenJob, b: &GenJob) -> bool {
+    a.hi >= b.lo && b.hi >= a.lo
+}
+
+proptest! {
+    /// Any two simultaneously admitted jobs are file-disjoint, and jobs at
+    /// the same or adjacent levels have disjoint user-key ranges.
+    #[test]
+    fn admitted_jobs_never_conflict(jobs in proptest::collection::vec(job_strategy(), 1..24)) {
+        let mut checker = ConflictChecker::new();
+        let mut admitted: Vec<GenJob> = Vec::new();
+        for job in &jobs {
+            if checker.try_admit(shape(job)).is_some() {
+                admitted.push(job.clone());
+            }
+        }
+        for (i, a) in admitted.iter().enumerate() {
+            for b in &admitted[i + 1..] {
+                let shared_file = a.files.iter().any(|f| b.files.contains(f));
+                prop_assert!(!shared_file, "admitted jobs share a file: {a:?} vs {b:?}");
+                if a.level.abs_diff(b.level) <= 1 {
+                    prop_assert!(
+                        !ranges_overlap(a, b),
+                        "same/adjacent-level jobs overlap: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Releasing an admitted job always unblocks an identical successor.
+    #[test]
+    fn release_unblocks_identical_job(job in job_strategy()) {
+        let mut checker = ConflictChecker::new();
+        let ticket = checker.try_admit(shape(&job)).expect("empty checker admits anything");
+        // The same shape conflicts with itself while in flight (same files).
+        prop_assert!(checker.try_admit(shape(&job)).is_none());
+        checker.release(ticket);
+        prop_assert!(checker.try_admit(shape(&job)).is_some());
+        prop_assert_eq!(checker.in_flight(), 1);
+    }
+
+    /// Far-apart levels with overlapping ranges are always admissible as
+    /// long as their file sets are disjoint.
+    #[test]
+    fn distant_levels_coexist(lo in 0u8..40, hi in 0u8..40) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut checker = ConflictChecker::new();
+        let a = GenJob { level: 0, lo, hi, files: vec![1] };
+        let b = GenJob { level: 3, lo, hi, files: vec![2] };
+        prop_assert!(checker.try_admit(shape(&a)).is_some());
+        prop_assert!(
+            checker.try_admit(shape(&b)).is_some(),
+            "levels 0 and 3 touch disjoint level pairs"
+        );
+    }
+}

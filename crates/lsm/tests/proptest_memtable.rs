@@ -21,8 +21,16 @@ struct Ins {
 
 fn inserts() -> impl Strategy<Value = Vec<Ins>> {
     proptest::collection::vec(
-        (0u8..20, any::<bool>(), proptest::collection::vec(any::<u8>(), 0..40))
-            .prop_map(|(key_id, delete, value)| Ins { key_id, delete, value }),
+        (
+            0u8..20,
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..40),
+        )
+            .prop_map(|(key_id, delete, value)| Ins {
+                key_id,
+                delete,
+                value,
+            }),
         1..200,
     )
 }
@@ -31,6 +39,9 @@ fn user_key(id: u8) -> Vec<u8> {
     format!("key{id:03}").into_bytes()
 }
 
+/// history[key] = Vec<(seq, Option<value>)>, newest last.
+type History = BTreeMap<Vec<u8>, Vec<(u64, Option<Vec<u8>>)>>;
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -38,8 +49,7 @@ proptest! {
     #[test]
     fn get_matches_reference(ops in inserts(), probe_seqs in proptest::collection::vec(0u64..260, 1..12)) {
         let mut mem = MemTable::new(InternalKeyComparator::default());
-        // history[key] = Vec<(seq, Option<value>)>
-        let mut history: BTreeMap<Vec<u8>, Vec<(u64, Option<Vec<u8>>)>> = BTreeMap::new();
+        let mut history: History = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
             let seq = i as u64 + 1;
             let uk = user_key(op.key_id);

@@ -15,7 +15,10 @@ fn write_log(env: &MemEnv, records: &[Vec<u8>]) -> Vec<u8> {
         w.add_record(r).unwrap();
     }
     w.flush().unwrap();
-    env.open_random_access(Path::new("/log")).unwrap().read_all().unwrap()
+    env.open_random_access(Path::new("/log"))
+        .unwrap()
+        .read_all()
+        .unwrap()
 }
 
 fn read_log(env: &MemEnv, bytes: &[u8]) -> Vec<Vec<u8>> {

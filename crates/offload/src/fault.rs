@@ -1,0 +1,79 @@
+//! Injectable device faults, for exercising the CPU-retry path without a
+//! real flaky card. Faults fire at dispatch time, *before* the engine
+//! touches the output-file factory, so a faulted job has no on-disk
+//! side effects to clean up — the retry is exactly-once by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decides whether the next device dispatch fails.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    /// Explicit budget: the next `n` dispatches fault.
+    fail_next: AtomicU64,
+    /// Periodic faults: every `n`-th dispatch faults (0 = off).
+    fail_every: AtomicU64,
+    /// Device dispatches observed so far.
+    dispatches: AtomicU64,
+}
+
+impl FaultInjector {
+    /// A quiet injector.
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Makes the next `n` device dispatches fail.
+    pub fn inject(&self, n: u64) {
+        self.fail_next.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Makes every `n`-th dispatch fail (0 disables periodic faults).
+    pub fn fail_every(&self, n: u64) {
+        self.fail_every.store(n, Ordering::SeqCst);
+    }
+
+    /// Called once per device dispatch; true means "the device faulted".
+    pub fn should_fault(&self) -> bool {
+        let dispatch = self.dispatches.fetch_add(1, Ordering::SeqCst) + 1;
+        // Consume one unit of the explicit budget if available.
+        let mut budget = self.fail_next.load(Ordering::SeqCst);
+        while budget > 0 {
+            match self.fail_next.compare_exchange(
+                budget,
+                budget - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => budget = actual,
+            }
+        }
+        let every = self.fail_every.load(Ordering::SeqCst);
+        every != 0 && dispatch % every == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_budget_is_consumed() {
+        let f = FaultInjector::new();
+        assert!(!f.should_fault());
+        f.inject(2);
+        assert!(f.should_fault());
+        assert!(f.should_fault());
+        assert!(!f.should_fault());
+    }
+
+    #[test]
+    fn periodic_faults_hit_every_nth() {
+        let f = FaultInjector::new();
+        f.fail_every(3);
+        let hits: Vec<bool> = (0..6).map(|_| f.should_fault()).collect();
+        assert_eq!(hits, vec![false, false, true, false, false, true]);
+        f.fail_every(0);
+        assert!(!f.should_fault());
+    }
+}

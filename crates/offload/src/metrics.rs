@@ -1,0 +1,45 @@
+//! Counters the scheduler keeps about its own dispatch decisions — the
+//! observability half of the acceptance criteria ("the service sustains
+//! more than one compaction in flight").
+
+use std::time::Duration;
+
+/// Cumulative scheduler metrics; cheap to clone out under the lock.
+#[derive(Debug, Default, Clone)]
+pub struct OffloadMetrics {
+    /// Compactions submitted to the service.
+    pub jobs_submitted: u64,
+    /// Jobs completed on an FPGA engine slot.
+    pub fpga_jobs: u64,
+    /// Jobs sent to the CPU because they exceed the device's `N`.
+    pub cpu_fallback_oversized: u64,
+    /// Jobs sent to the CPU because the device-time estimate exceeded the
+    /// per-job timeout.
+    pub cpu_fallback_timeout: u64,
+    /// Jobs sent to the CPU because no slot freed within the wait budget.
+    pub cpu_fallback_budget: u64,
+    /// Device faults observed (injected or real engine errors).
+    pub device_faults: u64,
+    /// Jobs retried on the CPU after a device fault.
+    pub cpu_retries_after_fault: u64,
+    /// Peak engine slots busy at once.
+    pub max_fpga_in_flight: u64,
+    /// Peak jobs inside the service at once (FPGA + CPU fallback).
+    pub max_jobs_in_flight: u64,
+    /// Total time jobs spent queued for a slot.
+    pub total_queue_wait: Duration,
+    /// Total wall time inside device engines.
+    pub fpga_busy_time: Duration,
+    /// Total wall time inside the CPU fallback engine.
+    pub cpu_busy_time: Duration,
+}
+
+impl OffloadMetrics {
+    /// Jobs that ended up on the CPU for any reason.
+    pub fn cpu_jobs(&self) -> u64 {
+        self.cpu_fallback_oversized
+            + self.cpu_fallback_timeout
+            + self.cpu_fallback_budget
+            + self.cpu_retries_after_fault
+    }
+}

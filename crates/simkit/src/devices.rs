@@ -22,7 +22,11 @@ pub struct DiskModel {
 
 impl Default for DiskModel {
     fn default() -> Self {
-        DiskModel { read_bw: 500e6, write_bw: 450e6, op_latency: 100e-6 }
+        DiskModel {
+            read_bw: 500e6,
+            write_bw: 450e6,
+            op_latency: 100e-6,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ pub struct PcieLink {
 
 impl Default for PcieLink {
     fn default() -> Self {
-        PcieLink { bandwidth: 12.8e9, latency: 10e-6 }
+        PcieLink {
+            bandwidth: 12.8e9,
+            latency: 10e-6,
+        }
     }
 }
 
@@ -62,6 +69,58 @@ impl PcieLink {
     /// Duration of one DMA of `bytes`.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
         from_secs_f64(self.latency + bytes as f64 / self.bandwidth)
+    }
+}
+
+/// A shared PCIe link with serialized DMA transfers.
+///
+/// Multiple engine instances on one card share the single ×16 link; DMA
+/// for different instances cannot overlap. The arbiter keeps a
+/// busy-until timeline (FIFO order of requests) so multi-engine
+/// simulations charge contention honestly instead of letting K engines
+/// each enjoy the full link bandwidth.
+#[derive(Debug, Clone)]
+pub struct PcieArbiter {
+    link: PcieLink,
+    busy_until: SimTime,
+    /// Total link-busy time accumulated (for utilization reports).
+    busy_time: SimTime,
+}
+
+impl PcieArbiter {
+    /// An arbiter for `link`, idle at time zero.
+    pub fn new(link: PcieLink) -> Self {
+        PcieArbiter {
+            link,
+            busy_until: 0,
+            busy_time: 0,
+        }
+    }
+
+    /// The underlying link model.
+    pub fn link(&self) -> &PcieLink {
+        &self.link
+    }
+
+    /// Schedules a DMA of `bytes` requested at `now`; returns
+    /// `(start, finish)` and marks the link busy for that window.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let duration = self.link.transfer_time(bytes);
+        let start = self.busy_until.max(now);
+        let finish = start.saturating_add(duration);
+        self.busy_until = finish;
+        self.busy_time = self.busy_time.saturating_add(duration);
+        (start, finish)
+    }
+
+    /// Earliest time a transfer requested at `now` could start.
+    pub fn earliest_start(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Total time the link has spent transferring.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
     }
 }
 
@@ -77,7 +136,9 @@ impl CpuPool {
     /// Creates a pool of `cores` cores, all free at time zero.
     pub fn new(cores: usize) -> Self {
         assert!(cores >= 1);
-        CpuPool { busy_until: vec![0; cores] }
+        CpuPool {
+            busy_until: vec![0; cores],
+        }
     }
 
     /// Number of cores.
@@ -124,7 +185,7 @@ mod tests {
         let big = d.read_time(100 << 20);
         assert!(big > 50 * small / 2);
         assert!(d.write_time(1 << 20) > d.read_time(1 << 20)); // slower writes
-        // Latency floor.
+                                                               // Latency floor.
         assert!(d.read_time(0) >= from_secs_f64(d.op_latency));
     }
 
@@ -134,6 +195,21 @@ mod tests {
         // 12.8 GB in one second (+latency).
         let t = p.transfer_time(12_800_000_000);
         assert!((t as i64 - SECOND as i64).unsigned_abs() < SECOND / 100);
+    }
+
+    #[test]
+    fn pcie_arbiter_serializes_concurrent_dma() {
+        let mut bus = PcieArbiter::new(PcieLink::default());
+        // Two "simultaneous" transfers of 1.28 GB: each is ~0.1 s on the
+        // link, so the second starts when the first ends.
+        let (s1, f1) = bus.transfer(0, 1_280_000_000);
+        let (s2, f2) = bus.transfer(0, 1_280_000_000);
+        assert_eq!(s1, 0);
+        assert_eq!(s2, f1, "shared link: second DMA waits");
+        assert!(f2 >= 2 * f1 - 1);
+        assert_eq!(bus.busy_time(), f2 - s1);
+        // After the link drains, a later request starts immediately.
+        assert_eq!(bus.earliest_start(10 * f2), 10 * f2);
     }
 
     #[test]

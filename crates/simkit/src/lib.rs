@@ -10,6 +10,6 @@ pub mod devices;
 pub mod queue;
 pub mod rng;
 
-pub use devices::{CpuPool, DiskModel, PcieLink};
+pub use devices::{CpuPool, DiskModel, PcieArbiter, PcieLink};
 pub use queue::{EventQueue, SimTime};
 pub use rng::SplitMix64;

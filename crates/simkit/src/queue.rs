@@ -86,7 +86,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
     }
 
     /// The current simulated time (time of the last popped event).
@@ -104,7 +108,11 @@ impl<E> EventQueue<E> {
         let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event: EventBox(event) }));
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            event: EventBox(event),
+        }));
     }
 
     /// Pops the next event, advancing the clock to its time.

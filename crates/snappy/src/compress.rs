@@ -50,7 +50,9 @@ impl Default for Encoder {
 impl Encoder {
     /// Creates an encoder with a fresh hash table.
     pub fn new() -> Self {
-        Encoder { table: vec![0u16; HASH_TABLE_SIZE] }
+        Encoder {
+            table: vec![0u16; HASH_TABLE_SIZE],
+        }
     }
 
     /// Compresses `input`, appending the Snappy stream to `out`.

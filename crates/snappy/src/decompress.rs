@@ -35,7 +35,10 @@ pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<()> {
     }
     let expected = len as usize;
     if out.len() != expected {
-        return Err(Error::BadOutputLen { expected, actual: out.len() });
+        return Err(Error::BadOutputLen {
+            expected,
+            actual: out.len(),
+        });
     }
     let mut src = &stream[hdr..];
     let mut produced = 0usize;
@@ -99,8 +102,7 @@ pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<()> {
                     return Err(Error::Truncated);
                 }
                 let len = 1 + (tag >> 2) as usize;
-                let offset =
-                    u32::from_le_bytes([src[0], src[1], src[2], src[3]]) as usize;
+                let offset = u32::from_le_bytes([src[0], src[1], src[2], src[3]]) as usize;
                 src = &src[4..];
                 copy(out, &mut produced, offset, len, expected)?;
             }
@@ -108,7 +110,10 @@ pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<()> {
     }
 
     if produced != expected {
-        return Err(Error::LengthMismatch { expected, actual: produced });
+        return Err(Error::LengthMismatch {
+            expected,
+            actual: produced,
+        });
     }
     Ok(())
 }
@@ -127,10 +132,16 @@ fn copy(
         return Err(Error::ZeroOffset);
     }
     if offset > *produced {
-        return Err(Error::OffsetTooLarge { offset, produced: *produced });
+        return Err(Error::OffsetTooLarge {
+            offset,
+            produced: *produced,
+        });
     }
     if *produced + len > out.len() {
-        return Err(Error::LengthMismatch { expected, actual: *produced + len });
+        return Err(Error::LengthMismatch {
+            expected,
+            actual: *produced + len,
+        });
     }
     let start = *produced - offset;
     if offset >= len {

@@ -198,7 +198,10 @@ mod tests {
         // Header says 10 bytes, stream only encodes 1 literal byte.
         let stream = [10u8, 0b0000_0000, b'a'];
         match decompress(&stream) {
-            Err(Error::LengthMismatch { expected: 10, actual: 1 }) => {}
+            Err(Error::LengthMismatch {
+                expected: 10,
+                actual: 1,
+            }) => {}
             other => panic!("expected LengthMismatch, got {other:?}"),
         }
     }
@@ -229,7 +232,10 @@ mod tests {
         let c = compress(b"hello");
         let mut out = vec![0u8; 4];
         match decompress_into(&c, &mut out) {
-            Err(Error::BadOutputLen { expected: 5, actual: 4 }) => {}
+            Err(Error::BadOutputLen {
+                expected: 5,
+                actual: 4,
+            }) => {}
             other => panic!("expected BadOutputLen, got {other:?}"),
         }
         let mut out = vec![0u8; 5];

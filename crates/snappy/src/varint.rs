@@ -35,7 +35,17 @@ mod tests {
 
     #[test]
     fn roundtrip_boundaries() {
-        for v in [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_uvarint(&mut buf, v);
             let (got, used) = read_uvarint(&buf).unwrap();

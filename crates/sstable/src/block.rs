@@ -35,7 +35,11 @@ impl Block {
             )));
         }
         let restart_offset = contents.len() - 4 - num_restarts as usize * 4;
-        Ok(Block { contents, restart_offset, num_restarts })
+        Ok(Block {
+            contents,
+            restart_offset,
+            num_restarts,
+        })
     }
 
     /// Size of the raw block contents in bytes.
@@ -309,10 +313,14 @@ mod tests {
     use crate::block_builder::BlockBuilder;
     use crate::comparator::BytewiseComparator;
 
+    #[allow(clippy::type_complexity)]
     fn sample_block(n: usize, interval: usize) -> (Block, Vec<(Vec<u8>, Vec<u8>)>) {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
             .map(|i| {
-                (format!("key{i:05}").into_bytes(), format!("value-{i}").into_bytes())
+                (
+                    format!("key{i:05}").into_bytes(),
+                    format!("value-{i}").into_bytes(),
+                )
             })
             .collect();
         let mut b = BlockBuilder::new(interval);

@@ -148,10 +148,17 @@ mod tests {
     #[test]
     fn restart_interval_one_disables_sharing() {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
-            .map(|i| (format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("key{i:04}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
             .collect();
-        let refs: Vec<(&[u8], &[u8])> =
-            entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
         build_and_read(&refs, 1);
         build_and_read(&refs, 3);
         build_and_read(&refs, 16);

@@ -14,7 +14,10 @@ impl BloomFilterPolicy {
     /// (~1% false positive rate).
     pub fn new(bits_per_key: usize) -> Self {
         let k = ((bits_per_key as f64) * 0.69) as usize; // 0.69 ≈ ln 2
-        BloomFilterPolicy { bits_per_key, k: k.clamp(1, 30) }
+        BloomFilterPolicy {
+            bits_per_key,
+            k: k.clamp(1, 30),
+        }
     }
 
     /// Name recorded in the filter metablock key.
@@ -141,7 +144,9 @@ mod tests {
 
     #[test]
     fn false_positive_rate_is_low() {
-        let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("in-{i}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..10_000)
+            .map(|i| format!("in-{i}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let f = filter_for(&refs);
         let p = BloomFilterPolicy::new(10);

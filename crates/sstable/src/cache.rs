@@ -70,7 +70,13 @@ impl BlockCache {
     pub fn new(capacity_bytes: usize) -> Arc<Self> {
         Arc::new(BlockCache {
             shards: (0..SHARDS)
-                .map(|_| Mutex::new(Shard { map: HashMap::new(), bytes: 0, tick: 0 }))
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        tick: 0,
+                    })
+                })
                 .collect(),
             capacity_per_shard: (capacity_bytes / SHARDS).max(1),
             hits: AtomicU64::new(0),
@@ -89,7 +95,10 @@ impl BlockCache {
 
     /// Looks up the block for `(table_id, offset)`.
     pub fn get(&self, table_id: u64, offset: u64) -> Option<Block> {
-        let key = Key { table: table_id, offset };
+        let key = Key {
+            table: table_id,
+            offset,
+        };
         let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let tick = shard.tick;
@@ -108,13 +117,23 @@ impl BlockCache {
 
     /// Inserts a block, evicting LRU entries past capacity.
     pub fn insert(&self, table_id: u64, offset: u64, block: Block) {
-        let key = Key { table: table_id, offset };
+        let key = Key {
+            table: table_id,
+            offset,
+        };
         let charge = block.size().max(1);
         let capacity = self.capacity_per_shard;
         let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let tick = shard.tick;
-        if let Some(old) = shard.map.insert(key, Entry { block, charge, used: tick }) {
+        if let Some(old) = shard.map.insert(
+            key,
+            Entry {
+                block,
+                charge,
+                used: tick,
+            },
+        ) {
             shard.bytes -= old.charge;
         }
         shard.bytes += charge;
@@ -146,7 +165,10 @@ impl BlockCache {
 
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 

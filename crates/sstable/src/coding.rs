@@ -119,7 +119,17 @@ mod tests {
 
     #[test]
     fn varint32_roundtrip_boundaries() {
-        for v in [0u32, 1, 0x7f, 0x80, 0x3fff, 0x4000, 0x1f_ffff, 0x20_0000, u32::MAX] {
+        for v in [
+            0u32,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            u32::MAX,
+        ] {
             let mut buf = Vec::new();
             put_varint32(&mut buf, v);
             assert_eq!(buf.len(), varint32_len(v), "len for {v:#x}");

@@ -125,9 +125,7 @@ impl Comparator for InternalKeyComparator {
         let user_start = &start[..start.len() - 8];
         let user_limit = &limit[..limit.len() - 8];
         let tmp = self.user.find_shortest_separator(user_start, user_limit);
-        if tmp.len() < user_start.len()
-            && self.user.compare(user_start, &tmp) == Ordering::Less
-        {
+        if tmp.len() < user_start.len() && self.user.compare(user_start, &tmp) == Ordering::Less {
             // Shortened physically; tag it with the maximal trailer so it
             // still sorts before all real entries for that user key.
             let mut out = tmp;
@@ -142,8 +140,7 @@ impl Comparator for InternalKeyComparator {
     fn find_short_successor(&self, key: &[u8]) -> Vec<u8> {
         let user_key = &key[..key.len() - 8];
         let tmp = self.user.find_short_successor(user_key);
-        if tmp.len() < user_key.len() && self.user.compare(user_key, &tmp) == Ordering::Less
-        {
+        if tmp.len() < user_key.len() && self.user.compare(user_key, &tmp) == Ordering::Less {
             let mut out = tmp;
             out.extend_from_slice(&crate::ikey::pack_tag_max().to_le_bytes());
             debug_assert!(self.compare(key, &out) == Ordering::Less);
@@ -194,7 +191,10 @@ mod tests {
     fn short_successor() {
         let c = BytewiseComparator;
         assert_eq!(c.find_short_successor(b"abc"), b"b");
-        assert_eq!(c.find_short_successor(&[0xff, 0xff, 0x01]), &[0xff, 0xff, 0x02]);
+        assert_eq!(
+            c.find_short_successor(&[0xff, 0xff, 0x01]),
+            &[0xff, 0xff, 0x02]
+        );
         assert_eq!(c.find_short_successor(&[0xff, 0xff]), &[0xff, 0xff]);
     }
 

@@ -16,7 +16,11 @@ const fn build_tables() -> Tables {
         let mut crc = i as u32;
         let mut k = 0;
         while k < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             k += 1;
         }
         t[0][i] = crc;
@@ -123,7 +127,11 @@ mod tests {
             for &b in data {
                 crc ^= u32::from(b);
                 for _ in 0..8 {
-                    crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ POLY
+                    } else {
+                        crc >> 1
+                    };
                 }
             }
             !crc

@@ -4,9 +4,9 @@
 
 use std::collections::HashMap;
 use std::fs;
+use std::io::Write;
 #[cfg(not(unix))]
 use std::io::{Read, Seek, SeekFrom};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -124,7 +124,9 @@ impl WritableFile for StdWritable {
 
 impl StorageEnv for StdEnv {
     fn open_random_access(&self, path: &Path) -> Result<Box<dyn RandomAccessFile>> {
-        Ok(Box::new(StdRandomAccess { file: fs::File::open(path)? }))
+        Ok(Box::new(StdRandomAccess {
+            file: fs::File::open(path)?,
+        }))
     }
 
     fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
@@ -133,7 +135,10 @@ impl StorageEnv for StdEnv {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Box::new(StdWritable { file: std::io::BufWriter::new(file), written: 0 }))
+        Ok(Box::new(StdWritable {
+            file: std::io::BufWriter::new(file),
+            written: 0,
+        }))
     }
 
     fn remove_file(&self, path: &Path) -> Result<()> {
@@ -239,12 +244,16 @@ impl StorageEnv for MemEnv {
                 format!("no such mem file: {}", path.display()),
             ))
         })?;
-        Ok(Box::new(MemRandomAccess { data: Arc::clone(data) }))
+        Ok(Box::new(MemRandomAccess {
+            data: Arc::clone(data),
+        }))
     }
 
     fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
         let data = Arc::new(Mutex::new(Vec::new()));
-        self.files.lock().insert(path.to_path_buf(), Arc::clone(&data));
+        self.files
+            .lock()
+            .insert(path.to_path_buf(), Arc::clone(&data));
         Ok(Box::new(MemWritable { data }))
     }
 

@@ -107,7 +107,13 @@ impl FilterBlockReader {
             return None;
         }
         let num_filters = (data.len() - 5 - array_offset) / 4;
-        Some(FilterBlockReader { policy, data, array_offset, num_filters, base_lg })
+        Some(FilterBlockReader {
+            policy,
+            data,
+            array_offset,
+            num_filters,
+            base_lg,
+        })
     }
 
     /// True if `key` may be present in the data block at `block_offset`.
@@ -117,8 +123,7 @@ impl FilterBlockReader {
             // No filter recorded: do not exclude.
             return true;
         }
-        let start =
-            decode_fixed32(&self.data[self.array_offset + index * 4..]) as usize;
+        let start = decode_fixed32(&self.data[self.array_offset + index * 4..]) as usize;
         let limit = if index + 1 < self.num_filters {
             decode_fixed32(&self.data[self.array_offset + (index + 1) * 4..]) as usize
         } else {

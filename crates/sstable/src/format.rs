@@ -76,8 +76,8 @@ impl BlockHandle {
     pub fn decode_from(src: &[u8]) -> Result<(BlockHandle, usize)> {
         let (offset, n1) =
             get_varint64(src).ok_or_else(|| corruption("bad block handle offset"))?;
-        let (size, n2) = get_varint64(&src[n1..])
-            .ok_or_else(|| corruption("bad block handle size"))?;
+        let (size, n2) =
+            get_varint64(&src[n1..]).ok_or_else(|| corruption("bad block handle size"))?;
         Ok((BlockHandle { offset, size }, n1 + n2))
     }
 }
@@ -117,7 +117,10 @@ impl Footer {
         }
         let (metaindex_handle, n) = BlockHandle::decode_from(src)?;
         let (index_handle, _) = BlockHandle::decode_from(&src[n..])?;
-        Ok(Footer { metaindex_handle, index_handle })
+        Ok(Footer {
+            metaindex_handle,
+            index_handle,
+        })
     }
 }
 
@@ -195,7 +198,12 @@ mod tests {
 
     #[test]
     fn block_handle_roundtrip() {
-        for (off, size) in [(0u64, 0u64), (1, 2), (u32::MAX as u64, 4096), (u64::MAX, u64::MAX)] {
+        for (off, size) in [
+            (0u64, 0u64),
+            (1, 2),
+            (u32::MAX as u64, 4096),
+            (u64::MAX, u64::MAX),
+        ] {
             let h = BlockHandle::new(off, size);
             let enc = h.encode();
             let (dec, n) = BlockHandle::decode_from(&enc).unwrap();

@@ -53,12 +53,7 @@ pub fn pack_tag_max() -> u64 {
 }
 
 /// Appends `user_key ++ trailer` to `dst`.
-pub fn append_internal_key(
-    dst: &mut Vec<u8>,
-    user_key: &[u8],
-    seq: SequenceNumber,
-    t: ValueType,
-) {
+pub fn append_internal_key(dst: &mut Vec<u8>, user_key: &[u8], seq: SequenceNumber, t: ValueType) {
     dst.extend_from_slice(user_key);
     put_fixed64(dst, pack_sequence_and_type(seq, t));
 }

@@ -148,7 +148,12 @@ pub struct MergingIterator {
 impl MergingIterator {
     /// Creates a merging iterator over `children`.
     pub fn new(children: Vec<Box<dyn InternalIterator>>, cmp: Arc<dyn Comparator>) -> Self {
-        MergingIterator { children, cmp, current: None, forward: true }
+        MergingIterator {
+            children,
+            cmp,
+            current: None,
+            forward: true,
+        }
     }
 
     fn find_smallest(&mut self) {
@@ -160,9 +165,7 @@ impl MergingIterator {
             match smallest {
                 None => smallest = Some(i),
                 Some(s) => {
-                    if self.cmp.compare(child.key(), self.children[s].key())
-                        == Ordering::Less
-                    {
+                    if self.cmp.compare(child.key(), self.children[s].key()) == Ordering::Less {
                         smallest = Some(i);
                     }
                 }
@@ -180,9 +183,7 @@ impl MergingIterator {
             match largest {
                 None => largest = Some(i),
                 Some(l) => {
-                    if self.cmp.compare(child.key(), self.children[l].key())
-                        != Ordering::Less
-                    {
+                    if self.cmp.compare(child.key(), self.children[l].key()) != Ordering::Less {
                         largest = Some(i);
                     }
                 }
@@ -232,8 +233,7 @@ impl InternalIterator for MergingIterator {
                     continue;
                 }
                 child.seek(&key);
-                if child.valid() && self.cmp.compare(child.key(), &key) == Ordering::Equal
-                {
+                if child.valid() && self.cmp.compare(child.key(), &key) == Ordering::Equal {
                     child.next();
                 }
             }
@@ -290,7 +290,10 @@ mod tests {
             .iter()
             .map(|(k, v)| (k.as_bytes().to_vec(), v.as_bytes().to_vec()))
             .collect();
-        Box::new(VecIterator::new(Arc::new(entries), Arc::new(BytewiseComparator)))
+        Box::new(VecIterator::new(
+            Arc::new(entries),
+            Arc::new(BytewiseComparator),
+        ))
     }
 
     fn collect_forward(it: &mut dyn InternalIterator) -> Vec<(String, String)> {
@@ -357,8 +360,7 @@ mod tests {
         );
         let got = collect_forward(&mut m);
         assert_eq!(got, [("x".to_string(), "1".to_string())]);
-        let mut all_empty =
-            MergingIterator::new(vec![vec_iter(&[])], Arc::new(BytewiseComparator));
+        let mut all_empty = MergingIterator::new(vec![vec_iter(&[])], Arc::new(BytewiseComparator));
         all_empty.seek_to_first();
         assert!(!all_empty.valid());
     }

@@ -25,9 +25,9 @@
 //! them, and [`iterator`] provides the
 //! iterator trait plus the k-way merging iterator compaction is built on.
 
-pub mod bloom;
 pub mod block;
 pub mod block_builder;
+pub mod bloom;
 pub mod cache;
 pub mod coding;
 pub mod comparator;

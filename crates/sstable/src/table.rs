@@ -76,8 +76,11 @@ impl Table {
         }
         let footer = Footer::decode(&footer_buf)?;
 
-        let index_contents =
-            read_block(file.as_ref(), &footer.index_handle, options.verify_checksums)?;
+        let index_contents = read_block(
+            file.as_ref(),
+            &footer.index_handle,
+            options.verify_checksums,
+        )?;
         let index_block = Block::new(index_contents)?;
 
         // Filter metablock, if present and a policy is configured.
@@ -167,8 +170,7 @@ impl Table {
                 return Ok(block);
             }
         }
-        let contents =
-            read_block(self.file.as_ref(), handle, self.options.verify_checksums)?;
+        let contents = read_block(self.file.as_ref(), handle, self.options.verify_checksums)?;
         let block = Block::new(contents)?;
         if let Some(cache) = &self.options.block_cache {
             cache.insert(self.cache_id, handle.offset, block.clone());
@@ -196,10 +198,7 @@ impl Table {
         }
         let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
         if let Some(filter) = &self.filter {
-            let probe = crate::table_builder::filter_key(
-                target,
-                self.options.internal_key_filter,
-            );
+            let probe = crate::table_builder::filter_key(target, self.options.internal_key_filter);
             if !filter.key_may_match(handle.offset, probe) {
                 return Ok(None);
             }
@@ -258,8 +257,7 @@ impl TableIterator {
         match BlockHandle::decode_from(self.index_iter.value()) {
             Ok((handle, _)) => match self.table.load_block(&handle) {
                 Ok(block) => {
-                    self.data_iter =
-                        Some(block.iter(Arc::clone(&self.table.options.comparator)));
+                    self.data_iter = Some(block.iter(Arc::clone(&self.table.options.comparator)));
                 }
                 Err(e) => self.error = Some(e.to_string()),
             },
@@ -346,11 +344,17 @@ impl InternalIterator for TableIterator {
     }
 
     fn key(&self) -> &[u8] {
-        self.data_iter.as_ref().expect("key on invalid iterator").key()
+        self.data_iter
+            .as_ref()
+            .expect("key on invalid iterator")
+            .key()
     }
 
     fn value(&self) -> &[u8] {
-        self.data_iter.as_ref().expect("value on invalid iterator").value()
+        self.data_iter
+            .as_ref()
+            .expect("value on invalid iterator")
+            .value()
     }
 
     fn status(&self) -> Result<()> {
@@ -377,9 +381,11 @@ mod tests {
         compression: CompressionType,
     ) -> Arc<Table> {
         let f = env.create_writable(Path::new(path)).unwrap();
-        let mut opts = TableBuilderOptions::default();
-        opts.block_size = block_size;
-        opts.compression = compression;
+        let opts = TableBuilderOptions {
+            block_size,
+            compression,
+            ..Default::default()
+        };
         let mut b = TableBuilder::new(opts, f);
         for i in 0..n {
             let k = format!("key{i:06}");
@@ -434,16 +440,20 @@ mod tests {
         // Without a filter, between-keys probes return the successor and
         // callers check exactness (the LSM layer relies on this).
         let f = env.create_writable(Path::new("/nofilter")).unwrap();
-        let mut bopts = TableBuilderOptions::default();
-        bopts.filter_policy = None;
+        let bopts = TableBuilderOptions {
+            filter_policy: None,
+            ..Default::default()
+        };
         let mut b = TableBuilder::new(bopts, f);
         for i in 0..100 {
             b.add(format!("key{i:06}").as_bytes(), b"v").unwrap();
         }
         let size = b.finish().unwrap();
         let file = env.open_random_access(Path::new("/nofilter")).unwrap();
-        let mut ropts = TableReadOptions::default();
-        ropts.filter_policy = None;
+        let ropts = TableReadOptions {
+            filter_policy: None,
+            ..Default::default()
+        };
         let table = Table::open(file, size, ropts).unwrap();
         let got = table.get(b"key000050a").unwrap().unwrap();
         assert_eq!(got.0, b"key000051");

@@ -92,7 +92,7 @@ impl TableBuilder {
             last_key: Vec::new(),
             compressed_scratch: Vec::new(),
             finished: false,
-        raw_data_bytes: 0,
+            raw_data_bytes: 0,
         }
     }
 
@@ -103,8 +103,7 @@ impl TableBuilder {
             return Err(Error::InvalidArgument("add after finish".into()));
         }
         if self.num_entries > 0
-            && self.options.comparator.compare(key, &self.last_key)
-                != std::cmp::Ordering::Greater
+            && self.options.comparator.compare(key, &self.last_key) != std::cmp::Ordering::Greater
         {
             return Err(Error::InvalidArgument(format!(
                 "keys out of order: {:?} after {:?}",
@@ -207,10 +206,12 @@ impl TableBuilder {
             self.index_block.add(&succ, &handle.encode());
         }
         let index_contents = self.index_block.finish().to_vec();
-        let index_handle =
-            self.write_framed_block(&index_contents, self.options.compression)?;
+        let index_handle = self.write_framed_block(&index_contents, self.options.compression)?;
 
-        let footer = Footer { metaindex_handle, index_handle };
+        let footer = Footer {
+            metaindex_handle,
+            index_handle,
+        };
         let footer_bytes = footer.encode();
         self.file.append(&footer_bytes)?;
         self.offset += footer_bytes.len() as u64;
@@ -252,7 +253,10 @@ mod tests {
         let mut b = TableBuilder::new(TableBuilderOptions::default(), f);
         b.add(b"bbb", b"1").unwrap();
         assert!(b.add(b"aaa", b"2").is_err());
-        assert!(b.add(b"bbb", b"2").is_err(), "duplicate key must be rejected");
+        assert!(
+            b.add(b"bbb", b"2").is_err(),
+            "duplicate key must be rejected"
+        );
         b.add(b"ccc", b"3").unwrap();
     }
 
@@ -282,9 +286,11 @@ mod tests {
         let env = MemEnv::new();
         let mk = |block_size: usize, path: &str| -> u64 {
             let f = env.create_writable(Path::new(path)).unwrap();
-            let mut opts = TableBuilderOptions::default();
-            opts.block_size = block_size;
-            opts.compression = CompressionType::None;
+            let opts = TableBuilderOptions {
+                block_size,
+                compression: CompressionType::None,
+                ..Default::default()
+            };
             let mut b = TableBuilder::new(opts, f);
             for i in 0..1000 {
                 let k = format!("key{i:06}");

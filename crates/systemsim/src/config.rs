@@ -69,6 +69,11 @@ pub struct SystemConfig {
     pub l0_stop: usize,
     /// Compaction engine.
     pub engine: EngineKind,
+    /// Engine instances on the card (FCAE only). Multiple instances run
+    /// their kernel phases in parallel but share the PCIe link and the
+    /// host I/O path; `offload::OffloadService` derives a real value from
+    /// the resource model, the simulation takes it as a parameter.
+    pub engine_slots: usize,
     /// Storage device. Defaults model HDD-class storage (~80 MB/s
     /// sequential, 2 ms seeks): the paper's end-to-end numbers — baseline
     /// fillrandom at 2-3 MB/s and FCAE at 5-14 MB/s — are only consistent
@@ -114,7 +119,12 @@ impl Default for SystemConfig {
             l0_slowdown: 8,
             l0_stop: 12,
             engine: EngineKind::Cpu,
-            disk: DiskModel { read_bw: 80e6, write_bw: 72e6, op_latency: 2e-3 },
+            engine_slots: 1,
+            disk: DiskModel {
+                read_bw: 80e6,
+                write_bw: 72e6,
+                op_latency: 2e-3,
+            },
             pcie: PcieLink::default(),
             front_end_op_cost: 5e-6,
             slowdown_sleep: 1e-3,
@@ -155,6 +165,12 @@ impl SystemConfig {
     /// Baseline/offload variants of this config.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the number of engine instances (clamped to at least 1).
+    pub fn with_engine_slots(mut self, slots: usize) -> Self {
+        self.engine_slots = slots.max(1);
         self
     }
 }

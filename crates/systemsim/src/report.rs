@@ -33,6 +33,8 @@ pub struct SimReport {
     pub merge_cpu_time_sec: f64,
     /// Flushes that overlapped an in-flight device compaction.
     pub concurrent_flushes: u64,
+    /// Peak device compactions in flight at once (multi-engine runs).
+    pub max_device_in_flight: u64,
     /// Final per-level stored bytes.
     pub level_bytes: Vec<u64>,
 }

@@ -9,10 +9,12 @@
 //! device, leaving the host thread free — which is exactly how the paper
 //! gets flushes to overlap compactions (§VI-A).
 
+use std::collections::HashMap;
+
 use fcae::timing::ENTRY_OVERHEAD_CYCLES;
 use fcae::{CpuCostModel, FcaeConfig, PipelineModel};
 use simkit::queue::{from_secs_f64, to_secs_f64};
-use simkit::{EventQueue, SimTime, SplitMix64};
+use simkit::{EventQueue, PcieArbiter, SimTime, SplitMix64};
 
 use crate::config::{EngineKind, SystemConfig};
 use crate::report::SimReport;
@@ -27,15 +29,16 @@ const CHUNKS_PER_MEMTABLE: u64 = 8;
 const SLOWDOWN_CHUNK_OPS: u64 = 64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // they are all completion events; the postfix is the point
 enum Ev {
     /// The writer finished one chunk.
     ChunkDone,
     /// A memtable flush completed.
     FlushDone,
-    /// The device kernel phase of the active compaction completed.
-    KernelDone,
-    /// The active compaction fully completed.
-    CompDone,
+    /// The device kernel phase of compaction job `id` completed.
+    KernelDone(u64),
+    /// Compaction job `id` fully completed.
+    CompDone(u64),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,11 +73,7 @@ struct CompJob {
 
 /// Runs `seeds` jittered replicas of the same configuration and returns
 /// the mean throughput in MB/s (plus the last replica's full report).
-pub fn mean_throughput(
-    cfg: SystemConfig,
-    target_bytes: u64,
-    seeds: u64,
-) -> (f64, SimReport) {
+pub fn mean_throughput(cfg: SystemConfig, target_bytes: u64, seeds: u64) -> (f64, SimReport) {
     assert!(seeds >= 1);
     let mut total = 0.0;
     let mut last = SimReport::default();
@@ -95,7 +94,13 @@ pub struct WriteSim {
     mem_fill: u64,
     imm: Option<u64>,
     flush_active: bool,
-    comp: Option<CompJob>,
+    /// In-flight compaction jobs, keyed by id. Several device jobs (up to
+    /// `cfg.engine_slots`) plus at most one software job may coexist, as
+    /// long as their level pairs are disjoint.
+    jobs: HashMap<u64, CompJob>,
+    next_job_id: u64,
+    /// The shared PCIe link all engine instances DMA through.
+    pcie_bus: PcieArbiter,
     host_busy_until: SimTime,
     writer_blocked: Option<Blocked>,
     blocked_since: SimTime,
@@ -132,7 +137,9 @@ impl WriteSim {
             mem_fill: 0,
             imm: None,
             flush_active: false,
-            comp: None,
+            jobs: HashMap::new(),
+            next_job_id: 0,
+            pcie_bus: PcieArbiter::new(cfg.pcie),
             host_busy_until: 0,
             writer_blocked: None,
             blocked_since: 0,
@@ -205,37 +212,45 @@ impl WriteSim {
             + files_in * self.cfg.disk.op_latency
     }
 
-    /// Picks the next compaction per LevelDB's score rules.
-    fn pick_compaction(&self) -> Option<CompJob> {
-        let mut best_level = 0usize;
-        let mut best_score =
-            self.levels[0].files as f64 / self.cfg.l0_trigger as f64;
-        for level in 1..NUM_LEVELS - 1 {
-            let score = if level == 1 {
-                match self.cfg.l1_tiering_runs {
-                    // Tiering: compaction triggers on run count, not bytes.
-                    Some(k) => self.levels[1].files as f64 / k as f64,
-                    None => {
-                        self.levels[1].bytes as f64
-                            / self.cfg.max_bytes_for_level(1) as f64
-                    }
-                }
-            } else {
-                self.levels[level].bytes as f64 / self.cfg.max_bytes_for_level(level) as f64
-            };
-            if score > best_score {
-                best_level = level;
-                best_score = score;
+    /// Score of `level` per LevelDB's rules.
+    fn level_score(&self, level: usize) -> f64 {
+        if level == 0 {
+            return self.levels[0].files as f64 / self.cfg.l0_trigger as f64;
+        }
+        if level == 1 {
+            if let Some(k) = self.cfg.l1_tiering_runs {
+                // Tiering: compaction triggers on run count, not bytes.
+                return self.levels[1].files as f64 / k as f64;
             }
         }
-        if best_score < 1.0 {
-            return None;
+        self.levels[level].bytes as f64 / self.cfg.max_bytes_for_level(level) as f64
+    }
+
+    /// Levels an in-flight job makes off-limits (its own and the one it
+    /// writes into) — the simulation's miniature of `lsm::ConflictChecker`.
+    fn busy_levels(&self) -> [bool; NUM_LEVELS] {
+        let mut busy = [false; NUM_LEVELS];
+        for job in self.jobs.values() {
+            busy[job.level] = true;
+            busy[job.level + 1] = true;
         }
-        let level = best_level;
+        busy
+    }
+
+    /// Picks the best-scoring compaction whose levels no in-flight job is
+    /// touching (LevelDB's score rules, conflict-filtered).
+    fn pick_compaction(&self) -> Option<CompJob> {
+        let busy = self.busy_levels();
+        let mut scored: Vec<(usize, f64)> = (0..NUM_LEVELS - 1)
+            .filter(|&l| !busy[l] && !busy[l + 1])
+            .map(|l| (l, self.level_score(l)))
+            .filter(|&(_, s)| s >= 1.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (level, _) = *scored.first()?;
         let tiered = self.cfg.l1_tiering_runs.is_some();
         let next = &self.levels[level + 1];
-        let (bytes_from_this, bytes_from_next, inputs, files_from_this) = if level == 0
-        {
+        let (bytes_from_this, bytes_from_next, inputs, files_from_this) = if level == 0 {
             // Random fill: every L0 file spans the key space. Leveling
             // merges with the whole of L1; tiering appends a fresh L1 run
             // instead (no L1 bytes touched).
@@ -255,7 +270,12 @@ impl WriteSim {
             // (this is exactly the multi-input case the paper's 9-input
             // engine exists for).
             let l1 = &self.levels[1];
-            (l1.bytes, next.bytes.min(2 * l1.bytes), l1.files as usize + usize::from(next.bytes > 0), l1.files)
+            (
+                l1.bytes,
+                next.bytes.min(2 * l1.bytes),
+                l1.files as usize + usize::from(next.bytes > 0),
+                l1.files,
+            )
         } else {
             let take = self.cfg.sstable_bytes.min(self.levels[level].bytes);
             // One file overlaps ~ratio files of the next level, plus edges.
@@ -299,61 +319,89 @@ impl WriteSim {
             let raw = self.imm.expect("imm checked above");
             let stored = (raw as f64 * self.cfg.compression_ratio) as u64;
             let dur = self.jittered(
-                raw as f64 / self.cfg.flush_cpu_bw
-                    + to_secs_f64(self.cfg.disk.write_time(stored)),
+                raw as f64 / self.cfg.flush_cpu_bw + to_secs_f64(self.cfg.disk.write_time(stored)),
             );
             let start = self.host_busy_until.max(now);
             let end = start + from_secs_f64(dur);
             self.host_busy_until = end;
             self.flush_active = true;
-            if self.comp.is_some_and(|c| c.on_device) {
+            if self.jobs.values().any(|j| j.on_device) {
                 self.report.concurrent_flushes += 1;
             }
             self.queue.schedule_at(end, Ev::FlushDone);
         }
 
-        if self.comp.is_none() {
-            if let Some(mut job) = self.pick_compaction() {
-                let trivial = job.level > 0 && job.bytes_from_next == 0;
-                if trivial {
-                    // Pure metadata relink.
-                    self.apply_compaction(&job, false);
-                    self.report.trivial_moves += 1;
-                    // Re-check for more work immediately.
-                    self.queue.schedule(0, Ev::CompDone);
-                    self.comp = Some(CompJob { bytes_out: 0, bytes_in: 0, ..job });
-                    return;
+        // Dispatch compactions until slots or admissible work run out.
+        // Device-eligible jobs go to engine slots (and *wait* for one when
+        // all are busy — merging them on the CPU would hold the host
+        // thread hostage, the very cost the device exists to avoid); jobs
+        // the device cannot take run as the single software compaction.
+        loop {
+            // A single-slot system is the paper's: one background
+            // compaction at a time, device or software. Multi-slot runs
+            // use the offload scheduler's concurrent dispatch.
+            if self.cfg.engine_slots.max(1) == 1 && !self.jobs.is_empty() {
+                break;
+            }
+            let device_in_flight = self.jobs.values().filter(|j| j.on_device).count();
+            let slots_free = match self.cfg.engine {
+                EngineKind::Fcae(_) => device_in_flight < self.cfg.engine_slots.max(1),
+                EngineKind::Cpu => false,
+            };
+            let sw_free = !self.jobs.values().any(|j| !j.on_device);
+            if !slots_free && !sw_free {
+                break;
+            }
+            let Some(mut job) = self.pick_compaction() else {
+                break;
+            };
+            let trivial = job.level > 0 && job.bytes_from_next == 0;
+            if trivial {
+                // Pure metadata relink; re-scan for more work.
+                self.apply_compaction(&job, false);
+                self.report.trivial_moves += 1;
+                continue;
+            }
+            let id = self.next_job_id;
+            self.next_job_id += 1;
+            match self.cfg.engine {
+                EngineKind::Fcae(fc) if job.inputs <= fc.n_inputs => {
+                    if !slots_free {
+                        break; // wait for an engine slot to free up
+                    }
+                    job.on_device = true;
+                    // Host phase 1: read inputs from disk, then DMA in
+                    // over the shared (possibly contended) link.
+                    let read = to_secs_f64(self.cfg.disk.read_time(job.bytes_in))
+                        + job.inputs as f64 * self.cfg.disk.op_latency;
+                    let start = self.host_busy_until.max(now);
+                    let read_end = start + from_secs_f64(self.jittered(read));
+                    let (dma_start, dma_end) = self.pcie_bus.transfer(read_end, job.bytes_in);
+                    self.host_busy_until = dma_end;
+                    let kernel = self.kernel_time(&job, &fc);
+                    self.report.kernel_time_sec += kernel;
+                    self.report.pcie_time_sec += to_secs_f64(dma_end - dma_start);
+                    self.report.device_compactions += 1;
+                    self.queue
+                        .schedule_at(dma_end + from_secs_f64(kernel), Ev::KernelDone(id));
+                    self.jobs.insert(id, job);
+                    let in_flight = self.jobs.values().filter(|j| j.on_device).count();
+                    self.report.max_device_in_flight =
+                        self.report.max_device_in_flight.max(in_flight as u64);
                 }
-                match self.cfg.engine {
-                    EngineKind::Fcae(fc) if job.inputs <= fc.n_inputs => {
-                        job.on_device = true;
-                        // Host phase 1: read inputs from disk + DMA in.
-                        let read = to_secs_f64(self.cfg.disk.read_time(job.bytes_in))
-                            + job.inputs as f64 * self.cfg.disk.op_latency;
-                        let dma_in = to_secs_f64(self.cfg.pcie.transfer_time(job.bytes_in));
-                        let start = self.host_busy_until.max(now);
-                        let host1_end = start + from_secs_f64(self.jittered(read + dma_in));
-                        self.host_busy_until = host1_end;
-                        let kernel = self.kernel_time(&job, &fc);
-                        self.report.kernel_time_sec += kernel;
-                        self.report.pcie_time_sec += dma_in;
-                        self.report.device_compactions += 1;
-                        self.queue
-                            .schedule_at(host1_end + from_secs_f64(kernel), Ev::KernelDone);
-                        self.comp = Some(job);
+                _ => {
+                    if !sw_free {
+                        break; // the one software compaction slot is taken
                     }
-                    _ => {
-                        // Software compaction: read + merge + write on host.
-                        let dur =
-                            self.jittered(self.comp_io_time(&job) + self.merge_time(&job));
-                        self.report.merge_cpu_time_sec += self.merge_time(&job);
-                        self.report.sw_compactions += 1;
-                        let start = self.host_busy_until.max(now);
-                        let end = start + from_secs_f64(dur);
-                        self.host_busy_until = end;
-                        self.queue.schedule_at(end, Ev::CompDone);
-                        self.comp = Some(job);
-                    }
+                    // Software compaction: read + merge + write on host.
+                    let dur = self.jittered(self.comp_io_time(&job) + self.merge_time(&job));
+                    self.report.merge_cpu_time_sec += self.merge_time(&job);
+                    self.report.sw_compactions += 1;
+                    let start = self.host_busy_until.max(now);
+                    let end = start + from_secs_f64(dur);
+                    self.host_busy_until = end;
+                    self.queue.schedule_at(end, Ev::CompDone(id));
+                    self.jobs.insert(id, job);
                 }
             }
         }
@@ -392,7 +440,9 @@ impl WriteSim {
     }
 
     fn unblock_writer_if_possible(&mut self) {
-        let Some(reason) = self.writer_blocked else { return };
+        let Some(reason) = self.writer_blocked else {
+            return;
+        };
         let clear = match reason {
             Blocked::WaitImm => {
                 if self.imm.is_none() {
@@ -407,8 +457,7 @@ impl WriteSim {
         };
         if clear {
             self.writer_blocked = None;
-            self.report.stall_time_sec +=
-                to_secs_f64(self.queue.now() - self.blocked_since);
+            self.report.stall_time_sec += to_secs_f64(self.queue.now() - self.blocked_since);
             let dur = self.chunk_duration();
             self.queue.schedule(dur, Ev::ChunkDone);
             self.schedule_work();
@@ -474,20 +523,20 @@ impl WriteSim {
                     self.unblock_writer_if_possible();
                     self.schedule_work();
                 }
-                Ev::KernelDone => {
-                    // Host phase 2: DMA out + write outputs to disk.
-                    let job = self.comp.expect("kernel done without job");
-                    let dma_out =
-                        to_secs_f64(self.cfg.pcie.transfer_time(job.bytes_out));
-                    let write = to_secs_f64(self.cfg.disk.write_time(job.bytes_out));
-                    self.report.pcie_time_sec += dma_out;
+                Ev::KernelDone(id) => {
+                    // Host phase 2: DMA out over the shared link + write
+                    // outputs to disk.
+                    let job = *self.jobs.get(&id).expect("kernel done without job");
                     let start = self.host_busy_until.max(self.queue.now());
-                    let end = start + from_secs_f64(dma_out + write);
+                    let (dma_start, dma_end) = self.pcie_bus.transfer(start, job.bytes_out);
+                    let write = to_secs_f64(self.cfg.disk.write_time(job.bytes_out));
+                    self.report.pcie_time_sec += to_secs_f64(dma_end - dma_start);
+                    let end = dma_end + from_secs_f64(write);
                     self.host_busy_until = end;
-                    self.queue.schedule_at(end, Ev::CompDone);
+                    self.queue.schedule_at(end, Ev::CompDone(id));
                 }
-                Ev::CompDone => {
-                    let job = self.comp.take().expect("comp done without job");
+                Ev::CompDone(id) => {
+                    let job = self.jobs.remove(&id).expect("comp done without job");
                     if job.bytes_in > 0 {
                         self.apply_compaction(&job, true);
                     }
@@ -543,8 +592,7 @@ mod tests {
     fn fcae_beats_cpu_baseline() {
         let base = run(SystemConfig::default(), mb(256));
         let fcae = run(
-            SystemConfig::default()
-                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            SystemConfig::default().with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
             mb(256),
         );
         assert!(
@@ -575,8 +623,7 @@ mod tests {
     #[test]
     fn pcie_time_is_small_fraction() {
         let r = run(
-            SystemConfig::default()
-                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            SystemConfig::default().with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
             mb(512),
         );
         assert!(r.pcie_time_sec > 0.0);
@@ -595,12 +642,31 @@ mod tests {
     }
 
     #[test]
+    fn multi_slot_runs_device_compactions_concurrently() {
+        let cfg = SystemConfig::default().with_engine(EngineKind::Fcae(FcaeConfig::nine_input()));
+        let one = run(cfg.with_engine_slots(1), mb(512));
+        let four = run(cfg.with_engine_slots(4), mb(512));
+        assert!(one.max_device_in_flight <= 1, "{one:?}");
+        assert!(
+            four.max_device_in_flight > 1,
+            "4 slots never overlapped: {four:?}"
+        );
+        // The shared link and disk bound the gain, but extra slots must
+        // not make things worse.
+        assert!(
+            four.throughput_mb_s > 0.9 * one.throughput_mb_s,
+            "1 slot {:.2} MB/s, 4 slots {:.2} MB/s",
+            one.throughput_mb_s,
+            four.throughput_mb_s
+        );
+    }
+
+    #[test]
     fn concurrent_flushes_only_with_device() {
         let base = run(SystemConfig::default(), mb(256));
         assert_eq!(base.concurrent_flushes, 0);
         let fcae = run(
-            SystemConfig::default()
-                .with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
+            SystemConfig::default().with_engine(EngineKind::Fcae(FcaeConfig::nine_input())),
             mb(256),
         );
         assert!(fcae.concurrent_flushes > 0, "{fcae:?}");
@@ -610,7 +676,11 @@ mod tests {
     fn levels_respect_budgets_roughly() {
         let r = run(SystemConfig::default(), mb(512));
         // L1 should be near its 10 MiB budget, not wildly above.
-        assert!(r.level_bytes[1] < 4 * (10 << 20), "L1 = {}", r.level_bytes[1]);
+        assert!(
+            r.level_bytes[1] < 4 * (10 << 20),
+            "L1 = {}",
+            r.level_bytes[1]
+        );
         // Data ends up in deeper levels.
         assert!(r.level_bytes[2] + r.level_bytes[3] > 0);
     }
@@ -673,7 +743,10 @@ mod tiering_tests {
         // Lazy compaction defers merges: the CPU baseline's write
         // amplification drops relative to pure leveling.
         let leveled = WriteSim::new(
-            SystemConfig { value_len: 512, ..SystemConfig::default() },
+            SystemConfig {
+                value_len: 512,
+                ..SystemConfig::default()
+            },
             256 << 20,
         )
         .run();

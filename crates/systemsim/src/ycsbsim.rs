@@ -51,7 +51,13 @@ impl YcsbSim {
         ops: u64,
         seed: u64,
     ) -> Self {
-        YcsbSim { cfg, workload, record_count, ops, seed }
+        YcsbSim {
+            cfg,
+            workload,
+            record_count,
+            ops,
+            seed,
+        }
     }
 
     /// Zipfian mass of the hottest `k` of `n` items (θ = 0.99): the block
@@ -127,8 +133,8 @@ impl YcsbSim {
                         + op.scan_len as f64 * self.cfg.read.scan_entry_cpu;
                 }
                 OpKind::ReadModifyWrite => {
-                    client_time += self.read_time(runner.record_count, hit_rate)
-                        + self.cfg.front_end_op_cost;
+                    client_time +=
+                        self.read_time(runner.record_count, hit_rate) + self.cfg.front_end_op_cost;
                     write_bytes += pair;
                     write_ops += 1;
                 }
@@ -154,7 +160,11 @@ impl YcsbSim {
         let total_time = client_time.max(store_time);
         let _ = write_ops;
 
-        let ops_per_sec = if total_time > 0.0 { self.ops as f64 / total_time } else { 0.0 };
+        let ops_per_sec = if total_time > 0.0 {
+            self.ops as f64 / total_time
+        } else {
+            0.0
+        };
         YcsbReport {
             workload: self.workload,
             ops: self.ops,
@@ -167,12 +177,7 @@ impl YcsbSim {
 }
 
 /// Convenience: run every workload of Fig. 16 for one engine.
-pub fn run_all(
-    cfg: SystemConfig,
-    record_count: u64,
-    ops: u64,
-    seed: u64,
-) -> Vec<YcsbReport> {
+pub fn run_all(cfg: SystemConfig, record_count: u64, ops: u64, seed: u64) -> Vec<YcsbReport> {
     YcsbWorkload::ALL
         .iter()
         .map(|w| YcsbSim::new(cfg, *w, record_count, ops, seed).run())
@@ -187,7 +192,10 @@ mod tests {
 
     fn small_cfg() -> SystemConfig {
         // Paper §VII-D: 16-byte keys, 1024-byte values.
-        SystemConfig { value_len: 1024, ..SystemConfig::default() }
+        SystemConfig {
+            value_len: 1024,
+            ..SystemConfig::default()
+        }
     }
 
     const RECORDS: u64 = 1_000_000; // ~1 GB at 16+1024 B

@@ -18,8 +18,14 @@ fn fcae9(cfg: SystemConfig) -> SystemConfig {
 fn baseline_declines_with_data_size() {
     let mut last = f64::INFINITY;
     for bytes in [GB / 5, GB, 4 * GB] {
-        let r = WriteSim::new(SystemConfig { value_len: 512, ..Default::default() }, bytes)
-            .run();
+        let r = WriteSim::new(
+            SystemConfig {
+                value_len: 512,
+                ..Default::default()
+            },
+            bytes,
+        )
+        .run();
         assert!(
             r.throughput_mb_s <= last * 1.02,
             "throughput should not rise with size: {} -> {}",
@@ -33,7 +39,10 @@ fn baseline_declines_with_data_size() {
 /// Fig. 14: the FCAE advantage persists at scale.
 #[test]
 fn fcae_advantage_persists_at_scale() {
-    let cfg = SystemConfig { value_len: 512, ..Default::default() };
+    let cfg = SystemConfig {
+        value_len: 512,
+        ..Default::default()
+    };
     for bytes in [GB, 8 * GB] {
         let base = WriteSim::new(cfg, bytes).run();
         let dev = WriteSim::new(fcae9(cfg), bytes).run();
@@ -50,7 +59,10 @@ fn fcae_advantage_persists_at_scale() {
 /// with data size.
 #[test]
 fn pcie_share_small_and_nonincreasing() {
-    let cfg = fcae9(SystemConfig { value_len: 512, ..Default::default() });
+    let cfg = fcae9(SystemConfig {
+        value_len: 512,
+        ..Default::default()
+    });
     let small = WriteSim::new(cfg, GB / 2).run();
     let large = WriteSim::new(cfg, 8 * GB).run();
     assert!(small.pcie_percent() < 10.0, "{}", small.pcie_percent());
@@ -61,7 +73,10 @@ fn pcie_share_small_and_nonincreasing() {
 #[test]
 fn value_length_widens_the_gap() {
     let speedup = |lv: usize| {
-        let cfg = SystemConfig { value_len: lv, ..Default::default() };
+        let cfg = SystemConfig {
+            value_len: lv,
+            ..Default::default()
+        };
         let (b, _) = mean_throughput(cfg, GB, 3);
         let (f, _) = mean_throughput(fcae9(cfg), GB, 3);
         f / b
@@ -74,12 +89,14 @@ fn value_length_widens_the_gap() {
 /// Fig. 16 endpoints: write-heavy workloads gain, read-only does not.
 #[test]
 fn ycsb_gains_follow_write_ratio() {
-    let cfg = SystemConfig { value_len: 1024, ..Default::default() };
+    let cfg = SystemConfig {
+        value_len: 1024,
+        ..Default::default()
+    };
     let records = 2_000_000;
     let ops = 500_000;
     let run = |w, c| YcsbSim::new(c, w, records, ops, 7).run().ops_per_sec;
-    let load_gain =
-        run(YcsbWorkload::Load, fcae9(cfg)) / run(YcsbWorkload::Load, cfg);
+    let load_gain = run(YcsbWorkload::Load, fcae9(cfg)) / run(YcsbWorkload::Load, cfg);
     let c_gain = run(YcsbWorkload::C, fcae9(cfg)) / run(YcsbWorkload::C, cfg);
     assert!(load_gain > 1.5, "Load gain {load_gain:.2}");
     assert!((c_gain - 1.0).abs() < 0.02, "read-only gain {c_gain:.2}");
@@ -99,5 +116,8 @@ fn headline_speedup_is_reachable() {
     let base = WriteSim::new(cfg, GB).run();
     let dev = WriteSim::new(fcae9(cfg), GB).run();
     let speedup = dev.throughput_mb_s / base.throughput_mb_s;
-    assert!(speedup > 4.0, "headline-scale speedup not reached: {speedup:.2}");
+    assert!(
+        speedup > 4.0,
+        "headline-scale speedup not reached: {speedup:.2}"
+    );
 }

@@ -18,7 +18,9 @@ pub struct Uniform {
 impl Uniform {
     /// Creates a uniform generator.
     pub fn new(seed: u64) -> Self {
-        Uniform { rng: SplitMix64::new(seed) }
+        Uniform {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -65,7 +67,9 @@ impl Zipfian {
         if n <= 1_000_000 {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
-            let head: f64 = (1..=1_000_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let head: f64 = (1..=1_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
             // ∫_{10^6}^{n} x^-θ dx
             let a = 1.0 - theta;
             head + ((n as f64).powf(a) - 1_000_000f64.powf(a)) / a
@@ -76,8 +80,7 @@ impl Zipfian {
         // Item counts typically grow one insert at a time (YCSB Load/D);
         // extend the cached ζ incrementally instead of recomputing the
         // whole O(n) sum per call.
-        self.zeta_n = if n > self.cached_n && self.cached_n > 0 && n - self.cached_n <= 1024
-        {
+        self.zeta_n = if n > self.cached_n && self.cached_n > 0 && n - self.cached_n <= 1024 {
             let mut z = self.zeta_n;
             for i in self.cached_n + 1..=n {
                 z += 1.0 / (i as f64).powf(self.theta);
@@ -89,8 +92,8 @@ impl Zipfian {
         self.cached_n = n;
         self.zeta2 = Self::zeta(2, self.theta);
         self.alpha = 1.0 / (1.0 - self.theta);
-        self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
-            / (1.0 - self.zeta2 / self.zeta_n);
+        self.eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zeta_n);
     }
 }
 
@@ -123,7 +126,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Creates a scrambled zipfian generator with the default θ.
     pub fn new(seed: u64) -> Self {
-        ScrambledZipfian { inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA) }
+        ScrambledZipfian {
+            inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA),
+        }
     }
 }
 
@@ -154,7 +159,9 @@ pub struct Latest {
 impl Latest {
     /// Creates a latest-skewed generator.
     pub fn new(seed: u64) -> Self {
-        Latest { inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA) }
+        Latest {
+            inner: Zipfian::new(seed, Zipfian::DEFAULT_THETA),
+        }
     }
 }
 
@@ -212,7 +219,11 @@ mod tests {
         // Still very skewed overall...
         let max = *h.iter().max().unwrap();
         let total: u64 = h.iter().sum();
-        assert!(max as f64 / total as f64 > 0.12, "max share {}", max as f64 / total as f64);
+        assert!(
+            max as f64 / total as f64 > 0.12,
+            "max share {}",
+            max as f64 / total as f64
+        );
         // ...but the hottest item need not be index 0.
         let argmax = h.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
         let _ = argmax; // position is hash-determined; just ensure spread:

@@ -128,17 +128,33 @@ impl YcsbRunner {
             },
             YcsbWorkload::A => self.mix(0.5, OpKind::Update, n),
             YcsbWorkload::B => self.mix(0.05, OpKind::Update, n),
-            YcsbWorkload::C => YcsbOp { kind: OpKind::Read, record: self.zipf.next(n), scan_len: 0 },
+            YcsbWorkload::C => YcsbOp {
+                kind: OpKind::Read,
+                record: self.zipf.next(n),
+                scan_len: 0,
+            },
             YcsbWorkload::D => {
                 if self.rng.next_f64() < 0.05 {
-                    YcsbOp { kind: OpKind::Insert, record: self.record_count, scan_len: 0 }
+                    YcsbOp {
+                        kind: OpKind::Insert,
+                        record: self.record_count,
+                        scan_len: 0,
+                    }
                 } else {
-                    YcsbOp { kind: OpKind::Read, record: self.latest.next(n), scan_len: 0 }
+                    YcsbOp {
+                        kind: OpKind::Read,
+                        record: self.latest.next(n),
+                        scan_len: 0,
+                    }
                 }
             }
             YcsbWorkload::E => {
                 if self.rng.next_f64() < 0.05 {
-                    YcsbOp { kind: OpKind::Insert, record: self.record_count, scan_len: 0 }
+                    YcsbOp {
+                        kind: OpKind::Insert,
+                        record: self.record_count,
+                        scan_len: 0,
+                    }
                 } else {
                     YcsbOp {
                         kind: OpKind::Scan,
@@ -156,8 +172,16 @@ impl YcsbRunner {
     }
 
     fn mix(&mut self, write_frac: f64, write_kind: OpKind, n: u64) -> YcsbOp {
-        let kind = if self.rng.next_f64() < write_frac { write_kind } else { OpKind::Read };
-        YcsbOp { kind, record: self.zipf.next(n), scan_len: 0 }
+        let kind = if self.rng.next_f64() < write_frac {
+            write_kind
+        } else {
+            OpKind::Read
+        };
+        YcsbOp {
+            kind,
+            record: self.zipf.next(n),
+            scan_len: 0,
+        }
     }
 }
 

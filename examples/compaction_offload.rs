@@ -7,13 +7,12 @@
 //! ```
 
 use std::path::Path;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fcae_repro::fcae::{CpuCostModel, FcaeConfig, FcaeEngine};
 use fcae_repro::lsm::compaction::{
-    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine,
-    OutputFileFactory,
+    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine, OutputFileFactory,
 };
 use fcae_repro::sstable::comparator::InternalKeyComparator;
 use fcae_repro::sstable::env::{MemEnv, StorageEnv, WritableFile};
@@ -35,7 +34,13 @@ impl OutputFileFactory for Factory {
     }
 }
 
-fn build_input(env: &MemEnv, name: &str, keys: impl Iterator<Item = u64>, seq0: u64, value_len: usize) -> CompactionInput {
+fn build_input(
+    env: &MemEnv,
+    name: &str,
+    keys: impl Iterator<Item = u64>,
+    seq0: u64,
+    value_len: usize,
+) -> CompactionInput {
     let opts = TableBuilderOptions {
         comparator: Arc::new(InternalKeyComparator::default()),
         internal_key_filter: true,
@@ -45,7 +50,11 @@ fn build_input(env: &MemEnv, name: &str, keys: impl Iterator<Item = u64>, seq0: 
     let mut b = TableBuilder::new(opts, file);
     let mut values = ValueGenerator::new(7, 0.5);
     for (i, k) in keys.enumerate() {
-        let ik = InternalKey::new(format!("{k:016}").as_bytes(), seq0 + i as u64, ValueType::Value);
+        let ik = InternalKey::new(
+            format!("{k:016}").as_bytes(),
+            seq0 + i as u64,
+            ValueType::Value,
+        );
         b.add(ik.encoded(), values.generate(value_len)).unwrap();
     }
     let size = b.finish().unwrap();
@@ -55,7 +64,9 @@ fn build_input(env: &MemEnv, name: &str, keys: impl Iterator<Item = u64>, seq0: 
         ..Default::default()
     };
     let file = env.open_random_access(Path::new(name)).unwrap();
-    CompactionInput { tables: vec![Table::open(file, size, ropts).unwrap()] }
+    CompactionInput {
+        tables: vec![Table::open(file, size, ropts).unwrap()],
+    }
 }
 
 fn main() {
@@ -67,11 +78,24 @@ fn main() {
     let env = MemEnv::new();
     let inputs = || {
         vec![
-            build_input(&env, "/a", (0..entries_per_input).map(|i| i * 2), 100_000, value_len),
-            build_input(&env, "/b", (0..entries_per_input).map(|i| i * 2 + 1), 1, value_len),
+            build_input(
+                &env,
+                "/a",
+                (0..entries_per_input).map(|i| i * 2),
+                100_000,
+                value_len,
+            ),
+            build_input(
+                &env,
+                "/b",
+                (0..entries_per_input).map(|i| i * 2 + 1),
+                1,
+                value_len,
+            ),
         ]
     };
     let request = |inputs| CompactionRequest {
+        level: 0,
         inputs,
         smallest_snapshot: 1 << 40,
         bottommost: true,
@@ -84,7 +108,10 @@ fn main() {
     };
 
     // Native CPU merge (wall-clocked, this machine).
-    let factory = Factory { env: env.clone(), n: AtomicU64::new(0) };
+    let factory = Factory {
+        env: env.clone(),
+        n: AtomicU64::new(0),
+    };
     let req = request(inputs());
     let input_bytes: u64 = req.inputs.iter().map(|i| i.bytes()).sum();
     let cpu_out = CpuCompactionEngine.compact(&req, &factory).unwrap();
@@ -99,7 +126,10 @@ fn main() {
     println!("{:<26}{:>14.1}", "CPU (paper-calibrated)", modeled_cpu);
     for v in [8u32, 16, 32, 64] {
         let engine = FcaeEngine::new(FcaeConfig::two_input().with_v(v));
-        let factory = Factory { env: env.clone(), n: AtomicU64::new(1000 * u64::from(v)) };
+        let factory = Factory {
+            env: env.clone(),
+            n: AtomicU64::new(1000 * u64::from(v)),
+        };
         let out = engine.compact(&request(inputs()), &factory).unwrap();
         let r = engine.last_report();
         println!(

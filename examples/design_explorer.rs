@@ -25,10 +25,14 @@ fn main() {
                 if v > w_in {
                     continue;
                 }
-                let cfg = FcaeConfig { n_inputs: n, w_in, v, ..FcaeConfig::two_input() };
+                let cfg = FcaeConfig {
+                    n_inputs: n,
+                    w_in,
+                    v,
+                    ..FcaeConfig::two_input()
+                };
                 let u = model.estimate(&cfg);
-                let speed =
-                    PipelineModel::new(cfg).steady_state_speed_mb_s(key_len, value_len);
+                let speed = PipelineModel::new(cfg).steady_state_speed_mb_s(key_len, value_len);
                 println!(
                     "{:>3} {:>5} {:>4} | {:>6.1} {:>6.1} {:>6.1} | {:>8} {:>12.1}",
                     n,

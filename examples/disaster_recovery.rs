@@ -31,8 +31,11 @@ fn main() {
         )
         .expect("open");
         for i in 0..10_000u64 {
-            db.put(format!("{i:08}").as_bytes(), format!("value-{i}").as_bytes())
-                .expect("put");
+            db.put(
+                format!("{i:08}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .expect("put");
         }
         db.delete(b"00000123").expect("delete");
         db.flush().expect("flush");
@@ -87,7 +90,10 @@ fn main() {
         }
         checked += 1;
     }
-    assert_eq!(db.get(b"wal-tail").expect("get"), Some(b"unflushed".to_vec()));
+    assert_eq!(
+        db.get(b"wal-tail").expect("get"),
+        Some(b"unflushed".to_vec())
+    );
     println!("   all {checked} keys verified, WAL tail intact, tombstone intact.");
 
     let _ = std::fs::remove_dir_all(&dir);

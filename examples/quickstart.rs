@@ -45,11 +45,19 @@ fn main() {
     // Read back.
     let present = db.get(format!("{:016}", 1).as_bytes()).expect("get");
     let deleted = db.get(format!("{:016}", 0).as_bytes()).expect("get");
-    println!("key 1 -> {} bytes, key 0 (deleted) -> {:?}", present.map_or(0, |v| v.len()), deleted);
+    println!(
+        "key 1 -> {} bytes, key 0 (deleted) -> {:?}",
+        present.map_or(0, |v| v.len()),
+        deleted
+    );
 
     // Range scan.
     let rows = db
-        .scan(format!("{:016}", 100).as_bytes(), Some(format!("{:016}", 120).as_bytes()), 100)
+        .scan(
+            format!("{:016}", 100).as_bytes(),
+            Some(format!("{:016}", 120).as_bytes()),
+            100,
+        )
         .expect("scan");
     println!("scan [100, 120): {} live keys", rows.len());
 
@@ -70,7 +78,10 @@ fn main() {
     println!("\n-- last FCAE kernel --");
     println!("input bytes:       {}", report.input_bytes);
     println!("kernel cycles:     {:.0}", report.cycles);
-    println!("compaction speed:  {:.1} MB/s", report.compaction_speed_mb_s);
+    println!(
+        "compaction speed:  {:.1} MB/s",
+        report.compaction_speed_mb_s
+    );
     println!("pairs compared:    {}", report.pairs_compared);
     println!("pairs dropped:     {}", report.pairs_dropped);
 

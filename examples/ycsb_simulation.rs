@@ -14,7 +14,10 @@ fn main() {
     // run, not the behaviour).
     let records = 2_000_000u64;
     let ops = 1_000_000u64;
-    let cfg = SystemConfig { value_len: 1024, ..SystemConfig::default() };
+    let cfg = SystemConfig {
+        value_len: 1024,
+        ..SystemConfig::default()
+    };
 
     println!("YCSB, {records} records x 1 KiB, {ops} ops per workload\n");
     println!(

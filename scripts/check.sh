@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Full verification: build, lint, docs, tests, and every experiment bench.
+# Full verification, mirroring .github/workflows/ci.yml (fmt, clippy,
+# tier-1 build+test) and then going further: docs, release tests, and
+# every experiment bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --workspace --all-targets
+# CI jobs.
+cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q
+
+# Extended checks.
+cargo build --workspace --all-targets
 cargo doc --no-deps --workspace
-cargo test --workspace
 cargo test --workspace --release
 cargo bench --workspace
 echo "all checks passed"

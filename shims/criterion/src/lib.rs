@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's microbenchmarks use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! throughput annotations, and `Bencher::iter` / `iter_batched` — on a
+//! simple wall-clock harness: each benchmark is warmed up, run until a
+//! time budget is met, and reported as mean time per iteration plus
+//! derived throughput. There are no statistics, baselines, or plots.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured time per benchmark before reporting.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+/// Hard cap on iterations (keeps tiny routines bounded).
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored: every batch is one
+/// iteration with setup excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration inputs built by `setup`
+    /// outside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The harness entry point (one per `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let id = format!("{}/{id}", self.name);
+        run_benchmark(&id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    // Warm up and calibrate: grow the iteration count until the routine
+    // fills the time budget.
+    let mut iters = 1u64;
+    let (iters, elapsed) = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_TIME || iters >= MAX_ITERS {
+            break (iters, b.elapsed);
+        }
+        let per_iter = b.elapsed.as_nanos().max(1) / u128::from(iters);
+        let needed = (TARGET_TIME.as_nanos() / per_iter).clamp(1, u128::from(MAX_ITERS));
+        iters = (needed as u64).max(iters * 2);
+    };
+
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => {
+            let mb_s = bytes as f64 / (per_iter_ns / 1e9) / 1e6;
+            format!("  {mb_s:10.1} MB/s")
+        }
+        Throughput::Elements(n) => {
+            let ops = n as f64 / (per_iter_ns / 1e9);
+            format!("  {ops:10.0} elem/s")
+        }
+    });
+    println!(
+        "{id:<40} {:>12} /iter ({iters} iters){}",
+        format_ns(per_iter_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

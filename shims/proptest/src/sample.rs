@@ -1,0 +1,74 @@
+//! Sampling helpers: `Index` (a collection-size-agnostic index) and
+//! `select` (uniform choice from a fixed set).
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a collection of not-yet-known size: resolve it with
+/// [`Index::index`] once the length is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Resolves the index against a collection of `len` elements.
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}
+
+/// Strategy choosing uniformly from `options`.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from a non-empty set of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty set");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.usize_in(0, self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = TestRng::new(9);
+        let s = any::<Index>();
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(s.generate(&mut rng).index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn select_covers_options() {
+        let mut rng = TestRng::new(10);
+        let s = select(vec![1, 2, 3]);
+        let seen: std::collections::HashSet<i32> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+}

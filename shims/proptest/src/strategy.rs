@@ -1,0 +1,217 @@
+//! The [`Strategy`] trait and the combinators the workspace uses:
+//! integer ranges, tuples, `Just`, `prop_map`, and weighted unions.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Self::Value` from the deterministic RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((*self.start() as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Strategy behind `prop_oneof!`: picks an entry with probability
+/// proportional to its weight.
+pub struct WeightedUnion<T> {
+    entries: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+/// Builds a [`WeightedUnion`] (used by the `prop_oneof!` macro).
+pub fn weighted_union<T>(entries: Vec<(u32, BoxedStrategy<T>)>) -> WeightedUnion<T> {
+    assert!(!entries.is_empty(), "prop_oneof! needs at least one entry");
+    let total = entries.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    WeightedUnion { entries, total }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.entries {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1u64..=5).generate(&mut rng);
+            assert!((1..=5).contains(&w));
+            let s = (-4i32..5).generate(&mut rng);
+            assert!((-4..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (0u8..10).prop_map(|v| v as u32 * 2);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) % 2 == 0);
+        }
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut rng = TestRng::new(3);
+        let u = weighted_union(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let hits = (0..1000).filter(|_| u.generate(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true picks, got {hits}");
+    }
+}

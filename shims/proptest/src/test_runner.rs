@@ -1,0 +1,133 @@
+//! Case driver: deterministic RNG, configuration, and the loop behind
+//! the `proptest!` macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic generator feeding every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi` must exceed `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Run configuration (`cases` is the only knob this shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; unused (there is no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.trim().trim_start_matches("0x").parse::<u64>() {
+            return seed;
+        }
+        if let Ok(seed) = u64::from_str_radix(s.trim().trim_start_matches("0x"), 16) {
+            return seed;
+        }
+    }
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish() | 1
+}
+
+/// Runs `config.cases` cases; `make_case` generates the inputs (returned
+/// as a debug string for failure reports) and the case body.
+pub fn run_cases<G, F>(config: &ProptestConfig, name: &str, mut make_case: F)
+where
+    G: FnOnce(),
+    F: FnMut(&mut TestRng) -> (String, G),
+{
+    let seed = seed_for(name);
+    let mut rng = TestRng::new(seed);
+    for case in 0..config.cases {
+        let (inputs, run) = make_case(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest {name}: case {case} of {} failed (seed {seed:#018x}; \
+                 rerun with PROPTEST_SEED={seed:#x})",
+                config.cases
+            );
+            const LIMIT: usize = 4096;
+            if inputs.len() > LIMIT {
+                let cut = (0..=LIMIT).rev().find(|&i| inputs.is_char_boundary(i));
+                eprintln!("inputs (truncated):\n{}…", &inputs[..cut.unwrap_or(0)]);
+            } else {
+                eprintln!("inputs:\n{inputs}");
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn usize_in_respects_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.usize_in(3, 10);
+            assert!((3..10).contains(&v));
+        }
+    }
+}

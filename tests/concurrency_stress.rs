@@ -122,7 +122,10 @@ fn stress(engine_is_fcae: bool) {
         }
         for (k, expect) in last {
             let key = format!("w{w}-{k:05}");
-            let got = db.get(key.as_bytes()).unwrap().map(|v| String::from_utf8(v).unwrap());
+            let got = db
+                .get(key.as_bytes())
+                .unwrap()
+                .map(|v| String::from_utf8(v).unwrap());
             assert_eq!(got, expect, "stripe w{w} key {k}");
         }
     }

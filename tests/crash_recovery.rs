@@ -90,7 +90,10 @@ fn recovery_after_fcae_compactions() {
             db.flush().unwrap();
             db.wait_for_background_quiescence();
         }
-        assert!(db.stats().engine_compactions > 0, "compactions must have run");
+        assert!(
+            db.stats().engine_compactions > 0,
+            "compactions must have run"
+        );
     }
     // Recover with the default engine: FCAE-written tables are standard.
     let db = Db::open("/db", options(&env)).unwrap();
@@ -109,14 +112,18 @@ fn unflushed_tail_survives_via_wal() {
         db.wait_for_background_quiescence();
         // Tail writes stay only in the WAL (no flush before drop).
         for i in 0..100u64 {
-            db.put(format!("tail{i:04}").as_bytes(), b"wal-only").unwrap();
+            db.put(format!("tail{i:04}").as_bytes(), b"wal-only")
+                .unwrap();
         }
         db.delete(b"0000000000000000").unwrap();
     }
     let db = Db::open("/db", options(&env)).unwrap();
     assert_eq!(db.get(b"tail0099").unwrap(), Some(b"wal-only".to_vec()));
     assert_eq!(db.get(b"0000000000000000").unwrap(), None);
-    assert_eq!(db.get(b"0000000000000001").unwrap(), Some(b"flushed".to_vec()));
+    assert_eq!(
+        db.get(b"0000000000000001").unwrap(),
+        Some(b"flushed".to_vec())
+    );
 }
 
 #[test]

@@ -7,11 +7,11 @@
 use std::sync::Arc;
 
 use fcae_repro::lsm::{Db, Options};
+use fcae_repro::simkit::DiskModel;
 use fcae_repro::sstable::env::{MemEnv, StorageEnv};
 use fcae_repro::sstable::format::CompressionType;
 use fcae_repro::systemsim::{SystemConfig, WriteSim};
 use fcae_repro::workloads::{KeyFormat, ValueGenerator};
-use fcae_repro::simkit::DiskModel;
 
 /// Shared scale: 32 MiB of raw data, 1 MiB memtables, 512 KiB tables.
 const TARGET_BYTES: u64 = 32 << 20;
@@ -47,8 +47,8 @@ fn real_run() -> (u64, f64, u64) {
     let stats = db.stats();
     let compactions =
         stats.engine_compactions + stats.sw_fallback_compactions + stats.trivial_moves;
-    let wa = (stats.compaction_bytes_read + stats.compaction_bytes_written) as f64
-        / TARGET_BYTES as f64;
+    let wa =
+        (stats.compaction_bytes_read + stats.compaction_bytes_written) as f64 / TARGET_BYTES as f64;
     (stats.flushes, wa, compactions)
 }
 
@@ -60,12 +60,15 @@ fn sim_run() -> (u64, f64, u64) {
         sstable_bytes: SSTABLE,
         level1_bytes: 5 * SSTABLE,
         // Fast virtual hardware: we compare structure, not wall time.
-        disk: DiskModel { read_bw: 5e9, write_bw: 5e9, op_latency: 1e-6 },
+        disk: DiskModel {
+            read_bw: 5e9,
+            write_bw: 5e9,
+            op_latency: 1e-6,
+        },
         ..SystemConfig::default()
     };
     let report = WriteSim::new(cfg, TARGET_BYTES).run();
-    let compactions =
-        report.sw_compactions + report.device_compactions + report.trivial_moves;
+    let compactions = report.sw_compactions + report.device_compactions + report.trivial_moves;
     (report.flushes, report.write_amplification(), compactions)
 }
 

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use fcae_repro::fcae::{FcaeConfig, FcaeEngine};
 use fcae_repro::lsm::{Db, Options};
-use fcae_repro::workloads::{KeyFormat, ValueGenerator};
 use fcae_repro::sstable::env::{MemEnv, StorageEnv};
+use fcae_repro::workloads::{KeyFormat, ValueGenerator};
 
 fn small_options(env: Arc<MemEnv>) -> Options {
     Options {
@@ -97,8 +97,12 @@ fn scans_agree_across_engines() {
     db_cpu.wait_for_background_quiescence();
     db_fcae.wait_for_background_quiescence();
 
-    let a = db_cpu.scan(&kf.format(500), Some(&kf.format(600)), 1000).unwrap();
-    let b = db_fcae.scan(&kf.format(500), Some(&kf.format(600)), 1000).unwrap();
+    let a = db_cpu
+        .scan(&kf.format(500), Some(&kf.format(600)), 1000)
+        .unwrap();
+    let b = db_fcae
+        .scan(&kf.format(500), Some(&kf.format(600)), 1000)
+        .unwrap();
     assert_eq!(a.len(), 100);
     assert_eq!(a, b);
     for (k, v) in &a {
