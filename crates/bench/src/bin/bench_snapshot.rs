@@ -1,0 +1,381 @@
+//! `bench_snapshot` — the perf-trajectory harness.
+//!
+//! Runs the functional merge microbenchmark (N-way, db_bench-style
+//! values) on both engines plus a `db_bench`-style fillrandom pass, and
+//! appends one labelled JSON snapshot to a trajectory file (default
+//! `BENCH_PR2.json`). Each PR that touches a hot path appends its own
+//! before/after snapshots, so the wall-clock history of the functional
+//! data path is versioned alongside the code:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_snapshot -- \
+//!     --label pr2-after --out BENCH_PR2.json
+//! ```
+//!
+//! Alongside ops/s and MB/s, the harness counts heap allocations during
+//! the merge (via a counting global allocator) and reports allocations
+//! and allocated bytes *per key-value pair* — the zero-allocation claim
+//! of the optimized merge path, as a number.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::inputs::kernel_request;
+use bench::{build_kernel_inputs, KernelInputSpec, MemFactory};
+use fcae::{FcaeConfig, FcaeEngine};
+use lsm::compaction::{CompactionEngine, CompactionInput, CpuCompactionEngine};
+use lsm::{Db, Options};
+use sstable::env::MemEnv;
+use workloads::{KeyFormat, ValueGenerator};
+
+/// Counts every heap allocation (and its bytes) made through the global
+/// allocator, so merge-loop allocation behavior is measurable end to end.
+struct CountingAllocator;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+struct Config {
+    label: String,
+    out: String,
+    entries_per_input: u64,
+    db_num: u64,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        label: "snapshot".into(),
+        out: "BENCH_PR2.json".into(),
+        entries_per_input: 5_000,
+        db_num: 30_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--label" => cfg.label = value,
+            "--out" => cfg.out = value,
+            "--entries" => {
+                cfg.entries_per_input = value.parse().map_err(|e| format!("--entries: {e}"))?
+            }
+            "--db-num" => cfg.db_num = value.parse().map_err(|e| format!("--db-num: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+/// One engine's merge-microbench result.
+struct MergeResult {
+    wall_sec: f64,
+    pairs: u64,
+    input_bytes: u64,
+    allocs_per_kv: f64,
+    alloc_bytes_per_kv: f64,
+}
+
+impl MergeResult {
+    fn ops_per_s(&self) -> f64 {
+        self.pairs as f64 / self.wall_sec
+    }
+
+    fn mb_per_s(&self) -> f64 {
+        self.input_bytes as f64 / self.wall_sec / 1e6
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ops_per_s\": {:.0}, \"mb_per_s\": {:.2}, \"wall_ms\": {:.3}, \
+             \"allocs_per_kv\": {:.4}, \"alloc_bytes_per_kv\": {:.1}}}",
+            self.ops_per_s(),
+            self.mb_per_s(),
+            self.wall_sec * 1e3,
+            self.allocs_per_kv,
+            self.alloc_bytes_per_kv
+        )
+    }
+}
+
+fn clone_inputs(inputs: &[CompactionInput]) -> Vec<CompactionInput> {
+    inputs
+        .iter()
+        .map(|i| CompactionInput {
+            tables: i.tables.clone(),
+        })
+        .collect()
+}
+
+const MERGE_REPEATS: usize = 5;
+
+/// The ISSUE-2 acceptance microbench: a 4-input merge of 1 KiB values
+/// through the FCAE functional kernel (decode → compare → encode over
+/// prepared device images, host I/O excluded). `compression` applies to
+/// both the prepared input tables and the kernel's output blocks, so the
+/// `None` variant isolates the merge data path from the Snappy codec.
+fn merge_micro_fcae(
+    spec: &KernelInputSpec,
+    inputs: &[CompactionInput],
+    compression: sstable::format::CompressionType,
+) -> MergeResult {
+    let config = FcaeConfig::nine_input().with_n(spec.n_inputs);
+    let engine = FcaeEngine::new(config);
+    let images = fcae::memory::build_input_images(inputs, config.w_in).expect("images");
+    let input_bytes: u64 = inputs.iter().map(|i| i.bytes()).sum();
+
+    let run = || -> (f64, u64, u64, u64) {
+        let (c0, b0) = alloc_snapshot();
+        let t0 = Instant::now();
+        let (tables, _model, report) = engine
+            .run_kernel(&images, 1 << 40, true, compression, 4096, 2 << 20)
+            .expect("kernel");
+        let wall = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&tables);
+        let (c1, b1) = alloc_snapshot();
+        (wall, report.pairs_compared, c1 - c0, b1 - b0)
+    };
+
+    // Warm-up + best-of-N, then one counted pass.
+    let mut best = f64::MAX;
+    let mut pairs = 0;
+    for _ in 0..MERGE_REPEATS {
+        let (wall, p, _, _) = run();
+        best = best.min(wall);
+        pairs = p;
+    }
+    let (_, _, allocs, bytes) = run();
+    MergeResult {
+        wall_sec: best,
+        pairs,
+        input_bytes,
+        allocs_per_kv: allocs as f64 / pairs as f64,
+        alloc_bytes_per_kv: bytes as f64 / pairs as f64,
+    }
+}
+
+/// The same merge through the native CPU engine (real table building into
+/// a `MemEnv`).
+fn merge_micro_cpu(inputs: &[CompactionInput], env: &MemEnv) -> MergeResult {
+    let input_bytes: u64 = inputs.iter().map(|i| i.bytes()).sum();
+    let run = || -> (f64, u64, u64, u64) {
+        let req = kernel_request(clone_inputs(inputs));
+        let factory = MemFactory::new(env.clone());
+        let (c0, b0) = alloc_snapshot();
+        let t0 = Instant::now();
+        let outcome = CpuCompactionEngine.compact(&req, &factory).expect("cpu");
+        let wall = t0.elapsed().as_secs_f64();
+        let (c1, b1) = alloc_snapshot();
+        (
+            wall,
+            outcome.entries_written + outcome.entries_dropped,
+            c1 - c0,
+            b1 - b0,
+        )
+    };
+    let mut best = f64::MAX;
+    let mut pairs = 0;
+    for _ in 0..MERGE_REPEATS {
+        let (wall, p, _, _) = run();
+        best = best.min(wall);
+        pairs = p;
+    }
+    let (_, _, allocs, bytes) = run();
+    MergeResult {
+        wall_sec: best,
+        pairs,
+        input_bytes,
+        allocs_per_kv: allocs as f64 / pairs as f64,
+        alloc_bytes_per_kv: bytes as f64 / pairs as f64,
+    }
+}
+
+/// db_bench-style fillrandom against the real store on the local
+/// filesystem, plus the time to drain the resulting compaction backlog.
+fn db_fillrandom(num: u64) -> String {
+    let dir = std::env::temp_dir().join(format!("bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Small enough write buffer / files that the fill actually flushes
+    // and compacts — otherwise the merge path never runs.
+    let options = Options {
+        slowdown_sleep: false,
+        write_buffer_size: 512 << 10,
+        max_file_size: 256 << 10,
+        ..Default::default()
+    };
+    let db = Db::open_with_engine(&dir, options, Arc::new(CpuCompactionEngine)).expect("open db");
+
+    let kf = KeyFormat { key_len: 16 };
+    let mut values = ValueGenerator::new(301, 0.5);
+    let mut rng = simkit::SplitMix64::new(1234);
+    let workload = workloads::DbBenchWorkload::FillRandom;
+
+    let t0 = Instant::now();
+    for op in 0..num {
+        let k = workload.key_number(op, num, &mut rng);
+        db.put(&kf.format(k), values.generate(128)).expect("put");
+    }
+    db.flush().expect("flush");
+    let fill = t0.elapsed().as_secs_f64();
+    let tq = Instant::now();
+    db.wait_for_background_quiescence();
+    let quiesce = tq.elapsed().as_secs_f64();
+    let stats = db.stats();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let micros_per_op = fill * 1e6 / num as f64;
+    let mb_s = num as f64 * (16.0 + 128.0) / fill / 1e6;
+    format!(
+        "{{\"num\": {num}, \"micros_per_op\": {micros_per_op:.3}, \"mb_per_s\": {mb_s:.2}, \
+         \"quiesce_ms\": {:.1}, \"engine_compactions\": {}}}",
+        quiesce * 1e3,
+        stats.engine_compactions
+    )
+}
+
+/// Appends `snapshot` to the JSON array in `path` (creating it if absent).
+fn append_snapshot(path: &str, snapshot: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .ok_or_else(|| std::io::Error::other(format!("{path} is not a JSON array")))?
+                .trim_end();
+            let sep = if without_close.ends_with('[') {
+                ""
+            } else {
+                ","
+            };
+            format!("{without_close}{sep}\n{snapshot}\n]\n")
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("[\n{snapshot}\n]\n")
+        }
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let spec = KernelInputSpec {
+        n_inputs: 4,
+        value_len: 1024,
+        entries_per_input: cfg.entries_per_input,
+        ..Default::default()
+    };
+    eprintln!(
+        "merge micro: {} inputs x {} entries x {} B values",
+        spec.n_inputs, spec.entries_per_input, spec.value_len
+    );
+    let env = MemEnv::new();
+    let inputs = build_kernel_inputs(&env, &spec);
+    let raw_spec = KernelInputSpec {
+        table_compression: sstable::format::CompressionType::None,
+        ..spec
+    };
+    let raw_inputs = build_kernel_inputs(&env, &raw_spec);
+
+    let fcae = merge_micro_fcae(&spec, &inputs, sstable::format::CompressionType::Snappy);
+    eprintln!(
+        "  fcae kernel (snappy): {:>10.0} ops/s {:>8.2} MB/s {:>8.4} allocs/kv",
+        fcae.ops_per_s(),
+        fcae.mb_per_s(),
+        fcae.allocs_per_kv
+    );
+    let fcae_raw = merge_micro_fcae(
+        &raw_spec,
+        &raw_inputs,
+        sstable::format::CompressionType::None,
+    );
+    eprintln!(
+        "  fcae kernel (raw)   : {:>10.0} ops/s {:>8.2} MB/s {:>8.4} allocs/kv",
+        fcae_raw.ops_per_s(),
+        fcae_raw.mb_per_s(),
+        fcae_raw.allocs_per_kv
+    );
+    let cpu = merge_micro_cpu(&inputs, &env);
+    eprintln!(
+        "  cpu engine  (snappy): {:>10.0} ops/s {:>8.2} MB/s {:>8.4} allocs/kv",
+        cpu.ops_per_s(),
+        cpu.mb_per_s(),
+        cpu.allocs_per_kv
+    );
+
+    eprintln!("db_bench fillrandom: {} ops", cfg.db_num);
+    let db = db_fillrandom(cfg.db_num);
+    eprintln!("  {db}");
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let snapshot = format!(
+        "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"merge_micro\": {{\"spec\": \
+         {{\"n_inputs\": {}, \"value_len\": {}, \"entries_per_input\": {}}}, \"fcae_kernel\": {}, \
+         \"fcae_kernel_raw\": {}, \"cpu_engine\": {}}}, \"db_bench_fillrandom\": {}}}",
+        cfg.label,
+        spec.n_inputs,
+        spec.value_len,
+        spec.entries_per_input,
+        fcae.json(),
+        fcae_raw.json(),
+        cpu.json(),
+        db
+    );
+    if let Err(e) = append_snapshot(&cfg.out, &snapshot) {
+        eprintln!("error writing {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    println!("appended snapshot '{}' to {}", cfg.label, cfg.out);
+}

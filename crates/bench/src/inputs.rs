@@ -27,6 +27,8 @@ pub struct KernelInputSpec {
     pub entries_per_input: u64,
     /// Value compressibility (stored/raw).
     pub compression_ratio: f64,
+    /// Block compression of the input tables.
+    pub table_compression: sstable::format::CompressionType,
 }
 
 impl Default for KernelInputSpec {
@@ -37,15 +39,16 @@ impl Default for KernelInputSpec {
             value_len: 128,
             entries_per_input: 10_000,
             compression_ratio: 0.5,
+            table_compression: sstable::format::CompressionType::Snappy,
         }
     }
 }
 
-fn builder_options(key_len: usize) -> TableBuilderOptions {
-    let _ = key_len;
+fn builder_options(spec: &KernelInputSpec) -> TableBuilderOptions {
     TableBuilderOptions {
         comparator: Arc::new(InternalKeyComparator::default()),
         internal_key_filter: true,
+        compression: spec.table_compression,
         ..Default::default()
     }
 }
@@ -61,9 +64,12 @@ pub fn build_kernel_inputs(env: &MemEnv, spec: &KernelInputSpec) -> Vec<Compacti
     };
     (0..spec.n_inputs)
         .map(|input| {
-            let name = format!("/kin-{input}-{}-{}", spec.value_len, spec.key_len);
+            let name = format!(
+                "/kin-{input}-{}-{}-{}",
+                spec.value_len, spec.key_len, spec.table_compression as u8
+            );
             let file = env.create_writable(Path::new(&name)).unwrap();
-            let mut b = TableBuilder::new(builder_options(spec.key_len), file);
+            let mut b = TableBuilder::new(builder_options(spec), file);
             let mut values = ValueGenerator::new(input as u64 + 1, spec.compression_ratio);
             for e in 0..spec.entries_per_input {
                 let k = e * spec.n_inputs as u64 + input as u64;

@@ -180,6 +180,28 @@ impl<'a> BasicInputDecoder<'a> {
     }
 }
 
+impl crate::decoder::MergeSource for BasicInputDecoder<'_> {
+    fn advance(&mut self) -> Result<bool> {
+        BasicInputDecoder::advance(self)
+    }
+
+    fn valid(&self) -> bool {
+        BasicInputDecoder::valid(self)
+    }
+
+    fn key(&self) -> &[u8] {
+        BasicInputDecoder::key(self)
+    }
+
+    fn value(&self) -> &[u8] {
+        BasicInputDecoder::value(self)
+    }
+
+    fn blocks_fetched(&self) -> u64 {
+        self.stats.blocks_fetched
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

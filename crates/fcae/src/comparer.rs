@@ -8,10 +8,18 @@
 //! forwarding them to the Encoder. The drop rules are shared with the
 //! software engine via [`lsm::compaction::DropFilter`] — by construction
 //! both engines keep exactly the same entries.
+//!
+//! The default [`Comparer`] runs Key Compare as a loser tree — the
+//! software analogue of the hardware comparison network — so each
+//! selection after the first costs O(log N) comparisons instead of the
+//! O(N) rescan of [`LinearComparer`]. Both produce identical selection
+//! sequences (property-tested); the cycle model is charged per *pair*,
+//! so swapping the software algorithm leaves timing results bit-identical.
 
 use sstable::comparator::{Comparator, InternalKeyComparator};
+use sstable::losertree::LoserTree;
 
-use crate::decoder::InputDecoder;
+use crate::decoder::MergeSource;
 
 pub use lsm::compaction::DropFilter;
 
@@ -26,10 +34,34 @@ pub struct Selection {
     pub drop: bool,
 }
 
-/// N-way smallest-key selection with validity checking.
+/// `a` beats `b`: valid before exhausted, then smaller internal key,
+/// then lower input index (keys are unique in practice, but the
+/// tie-break keeps the ordering strict on arbitrary inputs).
+fn beats<S: MergeSource>(icmp: &InternalKeyComparator, sources: &[S], a: usize, b: usize) -> bool {
+    match (sources[a].valid(), sources[b].valid()) {
+        (true, false) => true,
+        (false, _) => false,
+        (true, true) => match icmp.compare(sources[a].key(), sources[b].key()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        },
+    }
+}
+
+/// N-way smallest-key selection (loser tree) with validity checking.
+///
+/// Contract: between two `select` calls, only the stream returned by the
+/// previous selection may have advanced — exactly how Key-Value Transfer
+/// drains the winner. The tree replays just that leaf's path; violating
+/// the contract yields stale selections (use a fresh comparer instead).
 pub struct Comparer {
     icmp: InternalKeyComparator,
     filter: DropFilter,
+    tree: LoserTree,
+    /// Winner of the previous selection, whose leaf must be replayed.
+    last_winner: Option<usize>,
+    built: bool,
     /// Selections made (for stats).
     pub selections: u64,
     /// Entries flagged invalid.
@@ -42,6 +74,9 @@ impl Comparer {
         Comparer {
             icmp: InternalKeyComparator::default(),
             filter,
+            tree: LoserTree::new(0),
+            last_winner: None,
+            built: false,
             selections: 0,
             dropped: 0,
         }
@@ -49,20 +84,69 @@ impl Comparer {
 
     /// Selects the input with the smallest current key and checks its
     /// validity. Returns `None` when every stream is exhausted.
-    ///
-    /// Internal keys are unique (unique sequence numbers), so no
-    /// tie-breaking is needed; newest-first input ordering is still the
-    /// convention, matching the host-side input construction.
-    pub fn select(&mut self, decoders: &[InputDecoder<'_>]) -> Option<Selection> {
+    pub fn select<S: MergeSource>(&mut self, sources: &[S]) -> Option<Selection> {
+        let icmp = &self.icmp;
+        if !self.built || self.tree.len() != sources.len() {
+            self.tree = LoserTree::new(sources.len());
+            self.tree.rebuild(|a, b| beats(icmp, sources, a, b));
+            self.built = true;
+        } else if let Some(w) = self.last_winner {
+            self.tree.update(w, |a, b| beats(icmp, sources, a, b));
+        }
+        if sources.is_empty() {
+            return None;
+        }
+        let input_no = self.tree.winner();
+        if !sources[input_no].valid() {
+            // The best stream is exhausted, so all are.
+            self.last_winner = None;
+            return None;
+        }
+        self.last_winner = Some(input_no);
+        self.selections += 1;
+        let drop = self.filter.should_drop(sources[input_no].key());
+        if drop {
+            self.dropped += 1;
+        }
+        Some(Selection { input_no, drop })
+    }
+}
+
+/// The original O(N)-per-selection Comparer: rescans every stream. Kept
+/// as the differential-testing baseline for [`Comparer`]; unlike the
+/// tree it tolerates arbitrary stream movement between calls.
+pub struct LinearComparer {
+    icmp: InternalKeyComparator,
+    filter: DropFilter,
+    /// Selections made (for stats).
+    pub selections: u64,
+    /// Entries flagged invalid.
+    pub dropped: u64,
+}
+
+impl LinearComparer {
+    /// Creates a comparer with the given drop rules.
+    pub fn new(filter: DropFilter) -> Self {
+        LinearComparer {
+            icmp: InternalKeyComparator::default(),
+            filter,
+            selections: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Selects the input with the smallest current key and checks its
+    /// validity. Returns `None` when every stream is exhausted.
+    pub fn select<S: MergeSource>(&mut self, sources: &[S]) -> Option<Selection> {
         let mut winner: Option<usize> = None;
-        for (i, d) in decoders.iter().enumerate() {
-            if !d.valid() {
+        for (i, s) in sources.iter().enumerate() {
+            if !s.valid() {
                 continue;
             }
             match winner {
                 None => winner = Some(i),
                 Some(w) => {
-                    if self.icmp.compare(d.key(), decoders[w].key()) == std::cmp::Ordering::Less {
+                    if self.icmp.compare(s.key(), sources[w].key()) == std::cmp::Ordering::Less {
                         winner = Some(i);
                     }
                 }
@@ -70,7 +154,7 @@ impl Comparer {
         }
         let input_no = winner?;
         self.selections += 1;
-        let drop = self.filter.should_drop(decoders[input_no].key());
+        let drop = self.filter.should_drop(sources[input_no].key());
         if drop {
             self.dropped += 1;
         }
@@ -116,6 +200,41 @@ mod tests {
         Table::open(file, size, read_opts).unwrap()
     }
 
+    fn run_selection(
+        cmp_kind: &str,
+        decoders: &mut [crate::decoder::InputDecoder<'_>],
+    ) -> (Vec<String>, Vec<String>, u64, u64) {
+        let filter = DropFilter::new(1000, true);
+        let mut tree = Comparer::new(filter.clone());
+        let mut linear = LinearComparer::new(filter);
+        let mut kept = Vec::new();
+        let mut dropped = Vec::new();
+        loop {
+            let sel = match cmp_kind {
+                "tree" => tree.select(&*decoders),
+                _ => linear.select(&*decoders),
+            };
+            let Some(sel) = sel else { break };
+            let key = decoders[sel.input_no].key().to_vec();
+            let parsed = parse_internal_key(&key).unwrap();
+            let label = format!(
+                "{}@{}",
+                String::from_utf8_lossy(parsed.user_key),
+                parsed.sequence
+            );
+            if sel.drop {
+                dropped.push(label);
+            } else {
+                kept.push(label);
+            }
+            decoders[sel.input_no].advance().unwrap();
+        }
+        match cmp_kind {
+            "tree" => (kept, dropped, tree.selections, tree.dropped),
+            _ => (kept, dropped, linear.selections, linear.dropped),
+        }
+    }
+
     #[test]
     fn selects_global_order_and_drops_shadowed() {
         let env = MemEnv::new();
@@ -150,37 +269,22 @@ mod tests {
             .iter()
             .map(|i| build_input_image(i, 64).unwrap())
             .collect();
-        let mut decoders: Vec<_> = images
-            .iter()
-            .map(|im| crate::decoder::InputDecoder::new(im, 64))
-            .collect();
-        for d in &mut decoders {
-            d.advance().unwrap();
-        }
 
-        // Bottom-level compaction, everything older than snapshot.
-        let mut cmp = Comparer::new(DropFilter::new(1000, true));
-        let mut kept = Vec::new();
-        let mut dropped = Vec::new();
-        while let Some(sel) = cmp.select(&decoders) {
-            let key = decoders[sel.input_no].key().to_vec();
-            let parsed = parse_internal_key(&key).unwrap();
-            let label = format!(
-                "{}@{}",
-                String::from_utf8_lossy(parsed.user_key),
-                parsed.sequence
-            );
-            if sel.drop {
-                dropped.push(label);
-            } else {
-                kept.push(label);
+        for kind in ["tree", "linear"] {
+            let mut decoders: Vec<_> = images
+                .iter()
+                .map(|im| crate::decoder::InputDecoder::new(im, 64))
+                .collect();
+            for d in &mut decoders {
+                d.advance().unwrap();
             }
-            decoders[sel.input_no].advance().unwrap();
+            // Bottom-level compaction, everything older than snapshot.
+            let (kept, dropped, selections, dropped_n) = run_selection(kind, &mut decoders);
+            assert_eq!(kept, ["a@10", "b@4"], "{kind}");
+            // a@3 shadowed; c@11 tombstone at bottom; c@5 under tombstone.
+            assert_eq!(dropped, ["a@3", "c@11", "c@5"], "{kind}");
+            assert_eq!(selections, 5, "{kind}");
+            assert_eq!(dropped_n, 3, "{kind}");
         }
-        assert_eq!(kept, ["a@10", "b@4"]);
-        // a@3 shadowed; c@11 tombstone at bottom; c@5 under tombstone.
-        assert_eq!(dropped, ["a@3", "c@11", "c@5"]);
-        assert_eq!(cmp.selections, 5);
-        assert_eq!(cmp.dropped, 3);
     }
 }

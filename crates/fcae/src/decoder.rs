@@ -7,8 +7,15 @@
 //! iterates its prefix-compressed entries — producing the decoded
 //! key-value stream the Comparer consumes. Counters record how many
 //! blocks were fetched so the engine can charge the timing model.
+//!
+//! The data path is allocation-free in steady state: uncompressed blocks
+//! are borrowed in place from Data Block Memory, Snappy blocks are
+//! decompressed into one reusable buffer, and entries are parsed with a
+//! forward-only [`BlockCursor`] whose key buffer is reused across blocks.
+//! Only opening a new SSTable's index block allocates (once per table,
+//! not per pair).
 
-use sstable::block::{Block, BlockIter};
+use sstable::block::{BlockCursor, BlockIter};
 use sstable::coding::decode_fixed32;
 use sstable::crc32c;
 use sstable::format::{BlockHandle, CompressionType, BLOCK_TRAILER_SIZE};
@@ -18,6 +25,23 @@ use crate::Result;
 
 fn corruption(msg: impl Into<String>) -> lsm::Error {
     lsm::Error::Corruption(msg.into())
+}
+
+/// A positioned stream of decoded key-value pairs, as the Comparer sees
+/// it. Implemented by the optimized [`InputDecoder`] and the baseline
+/// [`crate::basic_decoder::BasicInputDecoder`] so the merge loop and the
+/// Comparer can run against either.
+pub trait MergeSource {
+    /// Moves to the next pair; `Ok(true)` while pairs remain.
+    fn advance(&mut self) -> Result<bool>;
+    /// True when positioned on a pair.
+    fn valid(&self) -> bool;
+    /// Current internal key. Panics when invalid.
+    fn key(&self) -> &[u8];
+    /// Current value. Panics when invalid.
+    fn value(&self) -> &[u8];
+    /// Data blocks fetched so far (for timing-model charging).
+    fn blocks_fetched(&self) -> u64;
 }
 
 /// Decoder counters, polled by the engine after each advance.
@@ -33,6 +57,16 @@ pub struct DecoderStats {
     pub bytes_consumed: u64,
 }
 
+/// Where the current block's contents live.
+enum BlockSrc {
+    /// No block open.
+    None,
+    /// Borrowed directly from Data Block Memory (uncompressed block).
+    Image { start: usize, end: usize },
+    /// In the reusable decompression buffer (Snappy block).
+    Buf,
+}
+
 /// One input's decoder (Index Block Decoder + Data Block Decoder pair).
 pub struct InputDecoder<'a> {
     image: &'a InputImage,
@@ -43,10 +77,26 @@ pub struct InputDecoder<'a> {
     index_iter: Option<BlockIter>,
     /// Cursor into Data Block Memory (aligned offset of the next block).
     data_cursor: u64,
-    /// Iterator over the current decompressed data block.
-    block_iter: Option<BlockIter>,
+    /// Source of the current data block's contents.
+    block_src: BlockSrc,
+    /// Entry cursor over the current block.
+    cursor: BlockCursor,
+    /// Reusable Snappy output buffer.
+    decomp_buf: Vec<u8>,
     /// Counters.
     pub stats: DecoderStats,
+}
+
+/// Expands to the current block's contents slice without borrowing all
+/// of `$d` — so `$d.cursor` stays independently borrowable.
+macro_rules! contents {
+    ($d:expr) => {
+        match $d.block_src {
+            BlockSrc::None => &[][..],
+            BlockSrc::Image { start, end } => &$d.image.data_memory[start..end],
+            BlockSrc::Buf => &$d.decomp_buf,
+        }
+    };
 }
 
 impl<'a> InputDecoder<'a> {
@@ -59,49 +109,45 @@ impl<'a> InputDecoder<'a> {
             sst_idx: 0,
             index_iter: None,
             data_cursor: 0,
-            block_iter: None,
+            block_src: BlockSrc::None,
+            cursor: BlockCursor::new(),
+            decomp_buf: Vec::new(),
             stats: DecoderStats::default(),
         }
     }
 
     /// True when positioned on a decoded pair.
     pub fn valid(&self) -> bool {
-        self.block_iter.as_ref().is_some_and(|b| b.valid())
+        self.cursor.valid()
     }
 
     /// Current internal key.
     pub fn key(&self) -> &[u8] {
-        self.block_iter
-            .as_ref()
-            .expect("key on invalid decoder")
-            .key()
+        assert!(self.cursor.valid(), "key on invalid decoder");
+        self.cursor.key()
     }
 
     /// Current value.
     pub fn value(&self) -> &[u8] {
-        self.block_iter
-            .as_ref()
-            .expect("value on invalid decoder")
-            .value()
+        assert!(self.cursor.valid(), "value on invalid decoder");
+        self.cursor.value(contents!(self))
     }
 
     /// Moves to the next pair, crossing block and SSTable boundaries.
     /// Returns `Ok(true)` while pairs remain.
     pub fn advance(&mut self) -> Result<bool> {
         // Within the current block?
-        if let Some(it) = &mut self.block_iter {
-            if it.valid() {
-                it.next();
-                if it.valid() {
-                    self.stats.pairs_decoded += 1;
-                    return Ok(true);
-                }
-            }
+        if self.cursor.advance(contents!(self)) {
+            self.stats.pairs_decoded += 1;
+            return Ok(true);
+        }
+        if self.cursor.corrupted() {
+            return Err(corruption("malformed entry in data block"));
         }
         // Need the next data block (possibly crossing to the next table).
         loop {
             if self.index_iter.is_none() && !self.open_next_index()? {
-                self.block_iter = None;
+                self.block_src = BlockSrc::None;
                 return Ok(false);
             }
             let index_iter = self.index_iter.as_mut().expect("opened above");
@@ -113,13 +159,13 @@ impl<'a> InputDecoder<'a> {
             let (handle, _) =
                 BlockHandle::decode_from(index_iter.value()).map_err(lsm::Error::from)?;
             index_iter.next();
-            let block = self.fetch_and_decode_block(&handle)?;
-            let mut it = block.iter(index_walk_comparator());
-            it.seek_to_first();
-            if it.valid() {
+            self.fetch_and_decode_block(&handle)?;
+            if self.cursor.advance(contents!(self)) {
                 self.stats.pairs_decoded += 1;
-                self.block_iter = Some(it);
                 return Ok(true);
+            }
+            if self.cursor.corrupted() {
+                return Err(corruption("malformed entry in data block"));
             }
             // Empty block: keep going.
         }
@@ -141,9 +187,9 @@ impl<'a> InputDecoder<'a> {
         Ok(true)
     }
 
-    /// Streams in the block at the data cursor, checks its trailer, and
-    /// decompresses it.
-    fn fetch_and_decode_block(&mut self, handle: &BlockHandle) -> Result<Block> {
+    /// Streams in the block at the data cursor, checks its trailer,
+    /// decompresses it if needed, and resets the entry cursor onto it.
+    fn fetch_and_decode_block(&mut self, handle: &BlockHandle) -> Result<()> {
         let framed_len = handle.size as usize + BLOCK_TRAILER_SIZE;
         let start = self.data_cursor as usize;
         let end = start + framed_len;
@@ -165,15 +211,43 @@ impl<'a> InputDecoder<'a> {
         if stored != actual {
             return Err(corruption("data block checksum mismatch in device memory"));
         }
-        let contents = match CompressionType::from_u8(ty_byte) {
-            Some(CompressionType::None) => bytes::Bytes::copy_from_slice(&framed[..n]),
-            Some(CompressionType::Snappy) => bytes::Bytes::from(
-                snap_codec::decompress(&framed[..n])
-                    .map_err(|e| corruption(format!("snappy: {e}")))?,
-            ),
+        match CompressionType::from_u8(ty_byte) {
+            Some(CompressionType::None) => {
+                self.block_src = BlockSrc::Image {
+                    start,
+                    end: start + n,
+                };
+            }
+            Some(CompressionType::Snappy) => {
+                snap_codec::decompress_to_vec(framed[..n].as_ref(), &mut self.decomp_buf)
+                    .map_err(|e| corruption(format!("snappy: {e}")))?;
+                self.block_src = BlockSrc::Buf;
+            }
             None => return Err(corruption(format!("unknown compression tag {ty_byte}"))),
-        };
-        Block::new(contents).map_err(lsm::Error::from)
+        }
+        self.cursor.reset(contents!(self)).map_err(lsm::Error::from)
+    }
+}
+
+impl MergeSource for InputDecoder<'_> {
+    fn advance(&mut self) -> Result<bool> {
+        InputDecoder::advance(self)
+    }
+
+    fn valid(&self) -> bool {
+        InputDecoder::valid(self)
+    }
+
+    fn key(&self) -> &[u8] {
+        InputDecoder::key(self)
+    }
+
+    fn value(&self) -> &[u8] {
+        InputDecoder::value(self)
+    }
+
+    fn blocks_fetched(&self) -> u64 {
+        self.stats.blocks_fetched
     }
 }
 

@@ -14,7 +14,7 @@
 //! the CPU is skipped, exactly as a hardware encoder would.
 
 use sstable::block_builder::BlockBuilder;
-use sstable::format::{frame_block, BlockHandle, CompressionType, BLOCK_TRAILER_SIZE};
+use sstable::format::{frame_block_into, BlockHandle, CompressionType, BLOCK_TRAILER_SIZE};
 
 use crate::memory::{align_up, MetaOutTable, OutputTableImage};
 
@@ -98,21 +98,26 @@ impl OutputEncoder {
     }
 
     /// Flushes the in-progress block (if non-empty) to data memory and
-    /// emits its index entry.
+    /// emits its index entry. Frames straight into the table's data
+    /// memory — the only allocation is the index entry's owned key.
     fn flush_block(&mut self) {
         if self.block.is_empty() {
             return;
         }
-        let contents = self.block.finish().to_vec();
-        let (_, framed) = frame_block(&contents, self.compression, &mut self.scratch);
-        let handle = BlockHandle::new(self.file_offset, (framed.len() - BLOCK_TRAILER_SIZE) as u64);
+        let contents = self.block.finish();
+        let (_, framed_len) = frame_block_into(
+            contents,
+            self.compression,
+            &mut self.scratch,
+            &mut self.data_memory,
+        );
+        let handle = BlockHandle::new(self.file_offset, (framed_len - BLOCK_TRAILER_SIZE) as u64);
         // Index Block Encoder: entry goes out immediately (§V-B), keyed by
         // the raw last key of the block.
         self.index_entries.push((self.largest.clone(), handle));
-        self.file_offset += framed.len() as u64;
+        self.file_offset += framed_len as u64;
 
         // Data memory is written in W_out-aligned beats.
-        self.data_memory.extend_from_slice(&framed);
         let padded = align_up(self.data_memory.len() as u64, u64::from(self.w_out));
         self.data_memory.resize(padded as usize, 0);
 

@@ -13,9 +13,10 @@ use sstable::block_builder::BlockBuilder;
 use sstable::format::{frame_block, CompressionType, Footer};
 use sstable::ikey::InternalKey;
 
+use crate::basic_decoder::BasicInputDecoder;
 use crate::comparer::Comparer;
 use crate::config::FcaeConfig;
-use crate::decoder::InputDecoder;
+use crate::decoder::{InputDecoder, MergeSource};
 use crate::encoder::OutputEncoder;
 use crate::memory::{build_input_images, OutputTableImage};
 use crate::timing::PipelineModel;
@@ -92,30 +93,77 @@ impl FcaeEngine {
         block_size: usize,
         table_size: u64,
     ) -> Result<(Vec<OutputTableImage>, PipelineModel, KernelReport)> {
-        let mut model = PipelineModel::new(self.config);
-        let mut decoders: Vec<InputDecoder<'_>> = images
+        let decoders: Vec<InputDecoder<'_>> = images
             .iter()
             .map(|im| InputDecoder::new(im, self.config.w_in))
             .collect();
-        let mut blocks_seen = vec![0u64; decoders.len()];
-        for (i, d) in decoders.iter_mut().enumerate() {
-            d.advance()?;
-            charge_new_blocks(&mut model, &mut blocks_seen[i], d);
+        self.run_kernel_with(
+            decoders,
+            images,
+            smallest_snapshot,
+            bottommost,
+            compression,
+            block_size,
+            table_size,
+        )
+    }
+
+    /// Same kernel, decoding with the **basic** (Algorithm 1) decoder
+    /// instead of the optimized one. The output images must be
+    /// byte-identical; only decoder-side counters differ.
+    pub fn run_kernel_basic(
+        &self,
+        images: &[crate::memory::InputImage],
+        smallest_snapshot: u64,
+        bottommost: bool,
+        compression: CompressionType,
+        block_size: usize,
+        table_size: u64,
+    ) -> Result<(Vec<OutputTableImage>, PipelineModel, KernelReport)> {
+        let decoders: Vec<BasicInputDecoder<'_>> = images
+            .iter()
+            .map(|im| BasicInputDecoder::new(im, self.config.w_in))
+            .collect();
+        self.run_kernel_with(
+            decoders,
+            images,
+            smallest_snapshot,
+            bottommost,
+            compression,
+            block_size,
+            table_size,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel_with<S: MergeSource>(
+        &self,
+        mut sources: Vec<S>,
+        images: &[crate::memory::InputImage],
+        smallest_snapshot: u64,
+        bottommost: bool,
+        compression: CompressionType,
+        block_size: usize,
+        table_size: u64,
+    ) -> Result<(Vec<OutputTableImage>, PipelineModel, KernelReport)> {
+        let mut model = PipelineModel::new(self.config);
+        let mut blocks_seen = vec![0u64; sources.len()];
+        for (i, s) in sources.iter_mut().enumerate() {
+            s.advance()?;
+            charge_new_blocks(&mut model, &mut blocks_seen[i], s);
         }
 
         let mut comparer = Comparer::new(DropFilter::new(smallest_snapshot, bottommost));
         let mut encoder =
             OutputEncoder::new(block_size, table_size, self.config.w_out, compression);
 
-        while let Some(sel) = comparer.select(&decoders) {
-            let d = &decoders[sel.input_no];
-            let (key_len, value_len) = (d.key().len(), d.value().len());
-            model.on_pair(key_len, value_len, !sel.drop);
+        while let Some(sel) = comparer.select(&sources) {
+            let s = &sources[sel.input_no];
+            model.on_pair(s.key().len(), s.value().len(), !sel.drop);
             if !sel.drop {
-                // Key-Value Transfer forwards both streams to the encoder.
-                let key = d.key().to_vec();
-                let value = d.value().to_vec();
-                let events = encoder.add(&key, &value);
+                // Key-Value Transfer forwards both streams to the encoder,
+                // borrowed straight out of the decoder's block buffer.
+                let events = encoder.add(s.key(), s.value());
                 if events.block_flushed {
                     model.on_block_flush();
                 }
@@ -123,9 +171,9 @@ impl FcaeEngine {
                     model.on_table_complete();
                 }
             }
-            let d = &mut decoders[sel.input_no];
-            d.advance()?;
-            charge_new_blocks(&mut model, &mut blocks_seen[sel.input_no], d);
+            let s = &mut sources[sel.input_no];
+            s.advance()?;
+            charge_new_blocks(&mut model, &mut blocks_seen[sel.input_no], s);
         }
         let (tables, tail) = encoder.finish();
         if tail.block_flushed {
@@ -211,8 +259,8 @@ impl FcaeEngine {
 }
 
 /// Charges DRAM block fetches the decoder performed since the last poll.
-fn charge_new_blocks(model: &mut PipelineModel, seen: &mut u64, d: &InputDecoder<'_>) {
-    while *seen < d.stats.blocks_fetched {
+fn charge_new_blocks<S: MergeSource>(model: &mut PipelineModel, seen: &mut u64, s: &S) {
+    while *seen < s.blocks_fetched() {
         model.on_block_fetch();
         *seen += 1;
     }
@@ -271,9 +319,7 @@ impl CompactionEngine for FcaeEngine {
         )?;
 
         // MetaOut returns over the same boundary (Fig. 8).
-        let meta_out_wire = crate::meta_wire::encode_meta_out(
-            &tables.iter().map(|t| t.meta.clone()).collect::<Vec<_>>(),
-        );
+        let meta_out_wire = crate::meta_wire::encode_meta_out(tables.iter().map(|t| &t.meta));
         let metas_from_device = crate::meta_wire::decode_meta_out(&meta_out_wire)?;
         debug_assert_eq!(metas_from_device.len(), tables.len());
 
@@ -284,7 +330,7 @@ impl CompactionEngine for FcaeEngine {
             entries_written: report.pairs_compared - report.pairs_dropped,
             ..Default::default()
         };
-        for (image, meta) in tables.iter().zip(&metas_from_device) {
+        for (image, meta) in tables.iter().zip(metas_from_device) {
             let (number, mut file) = out.new_output()?;
             let file_size = Self::assemble_table(
                 image,
@@ -297,8 +343,8 @@ impl CompactionEngine for FcaeEngine {
             outcome.outputs.push(OutputTableMeta {
                 number,
                 file_size,
-                smallest: InternalKey::from_encoded(meta.smallest.clone()),
-                largest: InternalKey::from_encoded(meta.largest.clone()),
+                smallest: InternalKey::from_encoded(meta.smallest),
+                largest: InternalKey::from_encoded(meta.largest),
                 entries: meta.entries,
             });
         }

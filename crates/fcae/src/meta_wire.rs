@@ -78,8 +78,15 @@ pub fn decode_meta_in(mut src: &[u8]) -> Result<MetaIn> {
     Ok(MetaIn { sstables })
 }
 
-/// Encodes a MetaOut region.
-pub fn encode_meta_out(tables: &[MetaOutTable]) -> Vec<u8> {
+/// Encodes a MetaOut region. Accepts any borrowing iterator (e.g.
+/// `tables.iter().map(|t| &t.meta)`) so callers need not clone metas
+/// into a temporary slice.
+pub fn encode_meta_out<'a, I>(tables: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a MetaOutTable>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let tables = tables.into_iter();
     let mut out = Vec::new();
     out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
     for t in tables {

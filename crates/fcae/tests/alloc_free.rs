@@ -1,0 +1,164 @@
+//! Counting-allocator proof that the steady-state merge loop —
+//! decode → compare → validity-check → advance — performs **zero** heap
+//! allocations per key-value pair, for both raw and Snappy-compressed
+//! inputs. Block-boundary work (index entries, per-table setup) is
+//! deliberately amortized outside this loop and is covered by the
+//! allocs/kv figure in `BENCH_PR2.json`.
+//!
+//! Single `#[test]` in this binary: the global counter sees every thread,
+//! so parallel tests would pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fcae::comparer::{Comparer, DropFilter};
+use fcae::decoder::{InputDecoder, MergeSource};
+use fcae::memory::build_input_image;
+use lsm::compaction::CompactionInput;
+use sstable::comparator::InternalKeyComparator;
+use sstable::env::{MemEnv, StorageEnv};
+use sstable::format::CompressionType;
+use sstable::ikey::{InternalKey, ValueType};
+use sstable::table::{Table, TableReadOptions};
+use sstable::table_builder::{TableBuilder, TableBuilderOptions};
+
+struct CountingAllocator {
+    allocs: AtomicU64,
+}
+
+static ALLOCS: CountingAllocator = CountingAllocator {
+    allocs: AtomicU64::new(0),
+};
+
+#[global_allocator]
+static GLOBAL: &CountingAllocator = &ALLOCS;
+
+unsafe impl GlobalAlloc for &'static CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+const W_IN: u32 = 64;
+const ENTRIES_PER_TABLE: usize = 1200;
+
+fn build_table(
+    env: &MemEnv,
+    path: &str,
+    stride_offset: u64,
+    compression: CompressionType,
+) -> Arc<Table> {
+    let opts = TableBuilderOptions {
+        compression,
+        comparator: Arc::new(InternalKeyComparator::default()),
+        // 8 KiB blocks: several block fetches per table, so the measured
+        // window crosses block boundaries on the decode side too.
+        block_size: 8 << 10,
+        ..Default::default()
+    };
+    let f = env.create_writable(Path::new(path)).unwrap();
+    let mut b = TableBuilder::new(opts, f);
+    for i in 0..ENTRIES_PER_TABLE as u64 {
+        // Fixed-width keys; streams interleave and share user keys so the
+        // drop filter's shadowing path runs inside the window.
+        let key = InternalKey::new(
+            format!("user-key-{:08}", i * 2 + (stride_offset % 2)).as_bytes(),
+            1000 + stride_offset,
+            if i % 11 == 0 {
+                ValueType::Deletion
+            } else {
+                ValueType::Value
+            },
+        );
+        b.add(key.encoded(), format!("value-{i:0>40}").as_bytes())
+            .unwrap();
+    }
+    let size = b.finish().unwrap();
+    let file = env.open_random_access(Path::new(path)).unwrap();
+    let read_opts = TableReadOptions {
+        comparator: Arc::new(InternalKeyComparator::default()),
+        ..Default::default()
+    };
+    Table::open(file, size, read_opts).unwrap()
+}
+
+/// Runs the merge loop over four decoders, measuring allocations in a
+/// steady-state window after a warm-up prefix. Returns (kvs in window,
+/// allocations in window).
+fn measure(compression: CompressionType) -> (u64, u64) {
+    let env = MemEnv::new();
+    let inputs: Vec<CompactionInput> = (0..4u64)
+        .map(|n| CompactionInput {
+            tables: vec![build_table(&env, &format!("/t{n}"), n, compression)],
+        })
+        .collect();
+    let images: Vec<_> = inputs
+        .iter()
+        .map(|i| build_input_image(i, W_IN).unwrap())
+        .collect();
+
+    let mut decoders: Vec<InputDecoder<'_>> = images
+        .iter()
+        .map(|im| InputDecoder::new(im, W_IN))
+        .collect();
+    for d in &mut decoders {
+        d.advance().unwrap();
+    }
+    let mut comparer = Comparer::new(DropFilter::new(u64::MAX, true));
+
+    // Warm-up: grow the cursor key buffers, the Snappy scratch buffer and
+    // the drop filter's last-user-key buffer, and build the loser tree.
+    // Run until every decoder has fetched at least two data blocks: the
+    // decompression buffer grows geometrically, so after the second fetch
+    // its capacity covers every subsequent same-sized block.
+    let mut checksum = 0u64;
+    while decoders.iter().any(|d| d.blocks_fetched() < 2) {
+        let sel = comparer.select(&decoders).expect("warm-up exhausted input");
+        checksum = checksum
+            .wrapping_add(decoders[sel.input_no].key().len() as u64)
+            .wrapping_add(decoders[sel.input_no].value().len() as u64);
+        decoders[sel.input_no].advance().unwrap();
+    }
+
+    // Steady state: every select/read/advance must be allocation-free.
+    let before = ALLOCS.allocs.load(Ordering::SeqCst);
+    let mut kvs = 0u64;
+    while let Some(sel) = comparer.select(&decoders) {
+        let d = &mut decoders[sel.input_no];
+        checksum = checksum
+            .wrapping_add(d.key().len() as u64)
+            .wrapping_add(d.value().len() as u64);
+        d.advance().unwrap();
+        kvs += 1;
+    }
+    let after = ALLOCS.allocs.load(Ordering::SeqCst);
+    assert!(checksum > 0);
+    (kvs, after - before)
+}
+
+#[test]
+fn steady_state_merge_loop_is_allocation_free() {
+    for compression in [CompressionType::None, CompressionType::Snappy] {
+        let (kvs, allocs) = measure(compression);
+        assert!(
+            kvs > 2000,
+            "window too small to be meaningful: {kvs} kvs ({compression:?})"
+        );
+        assert_eq!(
+            allocs, 0,
+            "steady-state merge loop allocated {allocs} times over {kvs} kvs ({compression:?})"
+        );
+    }
+}

@@ -271,10 +271,15 @@ impl InternalIterator for ChainIterator {
 /// compaction. This implements LevelDB's `DoCompactionWork` drop rules and
 /// is the exact contract the paper's *Validity Check* module enforces in
 /// hardware, so both engines share it.
+#[derive(Clone)]
 pub struct DropFilter {
     smallest_snapshot: SequenceNumber,
     bottommost: bool,
-    last_user_key: Option<Vec<u8>>,
+    /// Previous entry's user key, in a buffer reused across entries so
+    /// the per-entry path never allocates (only grows capacity when a
+    /// longer key than any before arrives).
+    last_user_key: Vec<u8>,
+    has_last_user_key: bool,
     /// Sequence of the previous (newer) entry for the current user key;
     /// `None` on the first occurrence of a key.
     prev_sequence_for_key: Option<SequenceNumber>,
@@ -286,7 +291,8 @@ impl DropFilter {
         DropFilter {
             smallest_snapshot,
             bottommost,
-            last_user_key: None,
+            last_user_key: Vec::new(),
+            has_last_user_key: false,
             prev_sequence_for_key: None,
         }
     }
@@ -297,16 +303,16 @@ impl DropFilter {
         let Some(parsed) = parse_internal_key(ikey) else {
             // Unparseable keys are passed through so corruption stays
             // visible downstream rather than silently vanishing.
-            self.last_user_key = None;
+            self.has_last_user_key = false;
             self.prev_sequence_for_key = None;
             return false;
         };
-        let first_occurrence = match &self.last_user_key {
-            Some(last) => last.as_slice() != parsed.user_key,
-            None => true,
-        };
+        let first_occurrence =
+            !self.has_last_user_key || self.last_user_key.as_slice() != parsed.user_key;
         if first_occurrence {
-            self.last_user_key = Some(parsed.user_key.to_vec());
+            self.last_user_key.clear();
+            self.last_user_key.extend_from_slice(parsed.user_key);
+            self.has_last_user_key = true;
             self.prev_sequence_for_key = None;
         }
 
@@ -363,7 +369,9 @@ impl CompactionEngine for CpuCompactionEngine {
         let mut filter = DropFilter::new(req.smallest_snapshot, req.bottommost);
         let mut builder: Option<(u64, TableBuilder)> = None;
         let mut smallest: Option<InternalKey> = None;
-        let mut largest = InternalKey::default();
+        // Reused per-entry; materialized as an InternalKey only when a
+        // table closes, so the hot loop never allocates for it.
+        let mut largest_buf: Vec<u8> = Vec::new();
 
         while merger.valid() {
             let key = merger.key();
@@ -380,7 +388,8 @@ impl CompactionEngine for CpuCompactionEngine {
             let (_, b) = builder.as_mut().expect("builder initialized above");
             b.add(key, merger.value())?;
             outcome.entries_written += 1;
-            largest = InternalKey::from_encoded(key.to_vec());
+            largest_buf.clear();
+            largest_buf.extend_from_slice(key);
             if b.file_size() >= req.max_output_file_size {
                 let (number, mut b) = builder.take().expect("builder present when splitting");
                 let entries = b.num_entries();
@@ -390,7 +399,7 @@ impl CompactionEngine for CpuCompactionEngine {
                     number,
                     file_size: size,
                     smallest: smallest.take().expect("smallest set with builder"),
-                    largest: largest.clone(),
+                    largest: InternalKey::from_encoded(largest_buf.clone()),
                     entries,
                 });
             }
@@ -406,7 +415,7 @@ impl CompactionEngine for CpuCompactionEngine {
                 number,
                 file_size: size,
                 smallest: smallest.take().expect("smallest set with builder"),
-                largest,
+                largest: InternalKey::from_encoded(largest_buf),
                 entries,
             });
         }

@@ -29,6 +29,7 @@ pub mod db_iter;
 pub mod filename;
 pub mod memtable;
 pub mod options;
+pub mod pipeline;
 pub mod repair;
 pub mod table_cache;
 pub mod version;
@@ -43,6 +44,7 @@ pub use conflict::{ConflictChecker, JobShape, JobTicket};
 pub use db::{Db, DbStats};
 pub use db_iter::DbIter;
 pub use options::{Options, ReadOptions, WriteOptions};
+pub use pipeline::PipelinedCompactionEngine;
 pub use repair::{repair_db, RepairReport};
 pub use write_batch::WriteBatch;
 

@@ -1,0 +1,486 @@
+//! A staged, multi-threaded software compaction engine.
+//!
+//! The FPGA pipeline of the paper overlaps its stages in hardware; this
+//! module is the software analogue for the CPU-fallback path: per-input
+//! *read/decode* threads, one *merge* thread (loser-tree selection +
+//! drop filtering), and the *encode* stage on the calling thread, all
+//! connected by bounded channels so a slow stage backpressures the ones
+//! before it instead of buffering unboundedly.
+//!
+//! Key-value pairs travel between stages in flat byte batches (length-
+//! prefixed entries packed into one `Vec<u8>`), so channel traffic is a
+//! few large sends per block's worth of data rather than two allocations
+//! per pair.
+//!
+//! [`PipelinedCompactionEngine`] produces byte-identical output files to
+//! [`CpuCompactionEngine`](crate::compaction::CpuCompactionEngine): the
+//! same merge order (ties by input index, as `MergingIterator` prefers
+//! earlier children), the same drop rules, the same table split points.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sstable::comparator::{Comparator, InternalKeyComparator};
+use sstable::ikey::InternalKey;
+use sstable::iterator::InternalIterator;
+use sstable::losertree::LoserTree;
+use sstable::table::Table;
+use sstable::table_builder::TableBuilder;
+
+use crate::compaction::{
+    ChainIterator, CompactionEngine, CompactionOutcome, CompactionRequest, DropFilter,
+    OutputFileFactory, OutputTableMeta,
+};
+use crate::{Error, Result};
+
+/// A batch of length-prefixed entries, or a stage error.
+type BatchResult = std::result::Result<Vec<u8>, Error>;
+
+/// The staged software engine. Construction is config-only; every
+/// `compact` call spins up its own scoped threads and channels.
+pub struct PipelinedCompactionEngine {
+    /// Target flat-batch size between stages.
+    batch_bytes: usize,
+    /// Bounded channel depth (batches in flight per edge).
+    queue_depth: usize,
+}
+
+impl Default for PipelinedCompactionEngine {
+    fn default() -> Self {
+        PipelinedCompactionEngine {
+            batch_bytes: 256 << 10,
+            queue_depth: 4,
+        }
+    }
+}
+
+impl PipelinedCompactionEngine {
+    /// Creates an engine with explicit batch size and queue depth
+    /// (defaults: 256 KiB batches, depth 4). Small values are useful in
+    /// tests to force many batch boundaries.
+    pub fn new(batch_bytes: usize, queue_depth: usize) -> Self {
+        PipelinedCompactionEngine {
+            batch_bytes: batch_bytes.max(1),
+            queue_depth: queue_depth.max(1),
+        }
+    }
+}
+
+/// Appends one `[u32 klen][u32 vlen][key][value]` entry.
+fn push_entry(batch: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    batch.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    batch.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    batch.extend_from_slice(key);
+    batch.extend_from_slice(value);
+}
+
+/// Parses the entry at `pos`, returning (key range, value range, next
+/// pos). The framing is internal to this module, so a short batch is a
+/// logic bug, not input corruption.
+fn parse_entry(batch: &[u8], pos: usize) -> ((usize, usize), (usize, usize), usize) {
+    let klen = u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(batch[pos + 4..pos + 8].try_into().unwrap()) as usize;
+    let kstart = pos + 8;
+    let vstart = kstart + klen;
+    ((kstart, vstart), (vstart, vstart + vlen), vstart + vlen)
+}
+
+/// Read stage: walks one input's table run and ships batches. A send
+/// failure means downstream hung up (error or early exit) — just stop.
+fn read_stage(tables: Vec<Arc<Table>>, batch_bytes: usize, tx: SyncSender<BatchResult>) {
+    let mut it = ChainIterator::new(tables);
+    it.seek_to_first();
+    let mut batch = Vec::with_capacity(batch_bytes + 1024);
+    while it.valid() {
+        push_entry(&mut batch, it.key(), it.value());
+        if batch.len() >= batch_bytes {
+            let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_bytes + 1024));
+            if tx.send(Ok(full)).is_err() {
+                return;
+            }
+        }
+        it.next();
+    }
+    if let Err(e) = it.status() {
+        let _ = tx.send(Err(e.into()));
+        return;
+    }
+    if !batch.is_empty() {
+        let _ = tx.send(Ok(batch));
+    }
+}
+
+/// One merge-side input: the current batch plus the entry cursor on it.
+struct MergeInput {
+    rx: Receiver<BatchResult>,
+    batch: Vec<u8>,
+    pos: usize,
+    key: (usize, usize),
+    value: (usize, usize),
+    valid: bool,
+}
+
+impl MergeInput {
+    fn new(rx: Receiver<BatchResult>) -> Self {
+        MergeInput {
+            rx,
+            batch: Vec::new(),
+            pos: 0,
+            key: (0, 0),
+            value: (0, 0),
+            valid: false,
+        }
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.batch[self.key.0..self.key.1]
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.batch[self.value.0..self.value.1]
+    }
+
+    /// Moves to the next entry, blocking on the reader when the current
+    /// batch is drained. `valid` goes false at end of input.
+    fn advance(&mut self) -> Result<()> {
+        loop {
+            if self.pos < self.batch.len() {
+                let (k, v, next) = parse_entry(&self.batch, self.pos);
+                (self.key, self.value, self.pos) = (k, v, next);
+                self.valid = true;
+                return Ok(());
+            }
+            match self.rx.recv() {
+                Ok(Ok(b)) => {
+                    self.batch = b;
+                    self.pos = 0;
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    self.valid = false;
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Merge stage: loser-tree k-way merge + drop filtering. Returns the
+/// number of entries dropped. A send failure means the encoder hung up.
+fn merge_stage(
+    rxs: Vec<Receiver<BatchResult>>,
+    mut filter: DropFilter,
+    batch_bytes: usize,
+    tx: SyncSender<BatchResult>,
+) -> Result<u64> {
+    let icmp = InternalKeyComparator::default();
+    let mut inputs: Vec<MergeInput> = rxs.into_iter().map(MergeInput::new).collect();
+    for input in &mut inputs {
+        if let Err(e) = input.advance() {
+            let _ = tx.send(Err(e.clone_as_corruption()));
+            return Err(e);
+        }
+    }
+    let beats = |inputs: &[MergeInput], a: usize, b: usize| match (inputs[a].valid, inputs[b].valid)
+    {
+        (true, false) => true,
+        (false, _) => false,
+        (true, true) => match icmp.compare(inputs[a].key(), inputs[b].key()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        },
+    };
+    let mut tree = LoserTree::new(inputs.len());
+    tree.rebuild(|a, b| beats(&inputs, a, b));
+
+    let mut dropped = 0u64;
+    let mut out = Vec::with_capacity(batch_bytes + 1024);
+    while !inputs.is_empty() {
+        let w = tree.winner();
+        if !inputs[w].valid {
+            break;
+        }
+        if filter.should_drop(inputs[w].key()) {
+            dropped += 1;
+        } else {
+            push_entry(&mut out, inputs[w].key(), inputs[w].value());
+            if out.len() >= batch_bytes {
+                let full = std::mem::replace(&mut out, Vec::with_capacity(batch_bytes + 1024));
+                if tx.send(Ok(full)).is_err() {
+                    return Ok(dropped);
+                }
+            }
+        }
+        if let Err(e) = inputs[w].advance() {
+            let _ = tx.send(Err(e.clone_as_corruption()));
+            return Err(e);
+        }
+        tree.update(w, |a, b| beats(&inputs, a, b));
+    }
+    if !out.is_empty() {
+        let _ = tx.send(Ok(out));
+    }
+    Ok(dropped)
+}
+
+impl Error {
+    /// Channel messages need an owned error while the stage also returns
+    /// one; I/O errors aren't `Clone`, so the copy is stringly.
+    fn clone_as_corruption(&self) -> Error {
+        Error::Corruption(self.to_string())
+    }
+}
+
+impl CompactionEngine for PipelinedCompactionEngine {
+    fn name(&self) -> &str {
+        "cpu-pipelined"
+    }
+
+    fn max_inputs(&self) -> usize {
+        usize::MAX
+    }
+
+    fn compact(
+        &self,
+        req: &CompactionRequest,
+        out: &dyn OutputFileFactory,
+    ) -> Result<CompactionOutcome> {
+        let start = Instant::now();
+        let mut outcome = CompactionOutcome {
+            bytes_read: req.inputs.iter().map(|i| i.bytes()).sum(),
+            ..Default::default()
+        };
+        if req.inputs.is_empty() {
+            outcome.wall_time = start.elapsed();
+            return Ok(outcome);
+        }
+
+        let (batch_bytes, depth) = (self.batch_bytes, self.queue_depth);
+        let encode_err = std::thread::scope(|s| -> Result<()> {
+            let mut rxs = Vec::with_capacity(req.inputs.len());
+            for input in &req.inputs {
+                let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+                let tables = input.tables.clone();
+                s.spawn(move || read_stage(tables, batch_bytes, tx));
+                rxs.push(rx);
+            }
+            let (mtx, mrx) = std::sync::mpsc::sync_channel(depth);
+            let filter = DropFilter::new(req.smallest_snapshot, req.bottommost);
+            let merger = s.spawn(move || merge_stage(rxs, filter, batch_bytes, mtx));
+
+            // Encode stage, on the calling thread: identical bookkeeping
+            // to CpuCompactionEngine's loop.
+            let mut builder: Option<(u64, TableBuilder)> = None;
+            let mut smallest: Option<InternalKey> = None;
+            let mut largest_buf: Vec<u8> = Vec::new();
+            let mut encode = || -> Result<()> {
+                for batch in mrx.iter() {
+                    let batch = batch?;
+                    let mut pos = 0;
+                    while pos < batch.len() {
+                        let (k, v, next) = parse_entry(&batch, pos);
+                        let (key, value) = (&batch[k.0..k.1], &batch[v.0..v.1]);
+                        pos = next;
+                        if builder.is_none() {
+                            let (number, file) = out.new_output()?;
+                            builder = Some((
+                                number,
+                                TableBuilder::new(req.builder_options.clone(), file),
+                            ));
+                            smallest = Some(InternalKey::from_encoded(key.to_vec()));
+                        }
+                        let (_, b) = builder.as_mut().expect("builder initialized above");
+                        b.add(key, value)?;
+                        outcome.entries_written += 1;
+                        largest_buf.clear();
+                        largest_buf.extend_from_slice(key);
+                        if b.file_size() >= req.max_output_file_size {
+                            let (number, mut b) =
+                                builder.take().expect("builder present when splitting");
+                            let entries = b.num_entries();
+                            let size = b.finish()?;
+                            outcome.bytes_written += size;
+                            outcome.outputs.push(OutputTableMeta {
+                                number,
+                                file_size: size,
+                                smallest: smallest.take().expect("smallest set with builder"),
+                                largest: InternalKey::from_encoded(largest_buf.clone()),
+                                entries,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            };
+            let encode_result = encode();
+            // Drain the channel on error so the merge thread can exit,
+            // then surface the most upstream failure first.
+            drop(mrx);
+            let merge_result = merger.join().expect("merge stage panicked");
+            match merge_result {
+                Ok(dropped) => outcome.entries_dropped = dropped,
+                Err(e) => return Err(e),
+            }
+            encode_result?;
+            if let Some((number, mut b)) = builder.take() {
+                let entries = b.num_entries();
+                let size = b.finish()?;
+                outcome.bytes_written += size;
+                outcome.outputs.push(OutputTableMeta {
+                    number,
+                    file_size: size,
+                    smallest: smallest.take().expect("smallest set with builder"),
+                    largest: InternalKey::from_encoded(std::mem::take(&mut largest_buf)),
+                    entries,
+                });
+            }
+            Ok(())
+        });
+        encode_err?;
+        outcome.wall_time = start.elapsed();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compaction::{CompactionInput, CpuCompactionEngine};
+    use sstable::env::{MemEnv, StorageEnv, WritableFile};
+    use sstable::ikey::{InternalKey, ValueType};
+    use sstable::table::{Table, TableReadOptions};
+    use sstable::table_builder::TableBuilderOptions;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Factory {
+        env: MemEnv,
+        prefix: &'static str,
+        counter: AtomicU64,
+    }
+
+    impl Factory {
+        fn new(env: MemEnv, prefix: &'static str) -> Self {
+            Factory {
+                env,
+                prefix,
+                counter: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl OutputFileFactory for Factory {
+        fn new_output(&self) -> Result<(u64, Box<dyn WritableFile>)> {
+            let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+            let file = self
+                .env
+                .create_writable(Path::new(&format!("/{}-{n}", self.prefix)))?;
+            Ok((n, file))
+        }
+    }
+
+    fn opts() -> TableBuilderOptions {
+        TableBuilderOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            block_size: 512,
+            ..Default::default()
+        }
+    }
+
+    fn build_input(env: &MemEnv, name: &str, stride: u32, offset: u32, n: u32) -> CompactionInput {
+        let f = env.create_writable(Path::new(name)).unwrap();
+        let mut b = TableBuilder::new(opts(), f);
+        for e in 0..n {
+            let i = e * stride + offset;
+            // Interleave deletions to exercise the drop filter.
+            let (t, v) = if i.is_multiple_of(7) {
+                (ValueType::Deletion, String::new())
+            } else {
+                (ValueType::Value, format!("value-{i}"))
+            };
+            let k = InternalKey::new(format!("key{i:06}").as_bytes(), u64::from(i) + 1, t);
+            b.add(k.encoded(), v.as_bytes()).unwrap();
+        }
+        let size = b.finish().unwrap();
+        let ropts = TableReadOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            ..Default::default()
+        };
+        let file = env.open_random_access(Path::new(name)).unwrap();
+        CompactionInput {
+            tables: vec![Table::open(file, size, ropts).unwrap()],
+        }
+    }
+
+    fn request(env: &MemEnv) -> CompactionRequest {
+        CompactionRequest {
+            level: 0,
+            inputs: (0..4)
+                .map(|i| build_input(env, &format!("/in{i}"), 4, i, 500))
+                .collect(),
+            smallest_snapshot: 1 << 40,
+            bottommost: true,
+            builder_options: opts(),
+            max_output_file_size: 64 << 10,
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_cpu_engine_byte_for_byte() {
+        let env = MemEnv::new();
+        let cpu_out = Factory::new(env.clone(), "cpu");
+        let cpu = CpuCompactionEngine
+            .compact(&request(&env), &cpu_out)
+            .unwrap();
+
+        // Tiny batches force many batch boundaries through the pipeline.
+        for (label, engine) in [
+            ("default", PipelinedCompactionEngine::default()),
+            ("tiny", PipelinedCompactionEngine::new(97, 1)),
+        ] {
+            let pipe_out = Factory::new(env.clone(), "pipe");
+            let pipe = engine.compact(&request(&env), &pipe_out).unwrap();
+            assert_eq!(pipe.entries_written, cpu.entries_written, "{label}");
+            assert_eq!(pipe.entries_dropped, cpu.entries_dropped, "{label}");
+            assert_eq!(pipe.outputs.len(), cpu.outputs.len(), "{label}");
+            for (i, (a, b)) in cpu.outputs.iter().zip(&pipe.outputs).enumerate() {
+                assert_eq!(a.file_size, b.file_size, "{label} table {i}");
+                assert_eq!(a.entries, b.entries, "{label} table {i}");
+                let fa = env
+                    .open_random_access(Path::new(&format!("/cpu-{}", a.number)))
+                    .unwrap()
+                    .read_all()
+                    .unwrap();
+                let fb = env
+                    .open_random_access(Path::new(&format!("/pipe-{}", b.number)))
+                    .unwrap()
+                    .read_all()
+                    .unwrap();
+                assert_eq!(fa, fb, "{label} table {i} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_request_produces_nothing() {
+        let env = MemEnv::new();
+        let fac = Factory::new(env.clone(), "o");
+        let req = CompactionRequest {
+            level: 0,
+            inputs: vec![],
+            smallest_snapshot: 0,
+            bottommost: false,
+            builder_options: opts(),
+            max_output_file_size: 1 << 20,
+        };
+        let outcome = PipelinedCompactionEngine::default()
+            .compact(&req, &fac)
+            .unwrap();
+        assert!(outcome.outputs.is_empty());
+        assert_eq!(outcome.entries_written, 0);
+    }
+}

@@ -37,6 +37,7 @@ use lsm::compaction::{
     CompactionEngine, CompactionOutcome, CompactionRequest, CpuCompactionEngine, OutputFileFactory,
     WritePressure,
 };
+use lsm::PipelinedCompactionEngine;
 use parking_lot::{Condvar, Mutex};
 
 pub use fault::FaultInjector;
@@ -61,6 +62,12 @@ pub struct OffloadConfig {
     pub slowdown_queue_depth: usize,
     /// Queued jobs at which the service advises `WritePressure::Stop`.
     pub stop_queue_depth: usize,
+    /// CPU-path jobs whose total input size is at least this many bytes
+    /// run on the staged [`lsm::PipelinedCompactionEngine`] instead of
+    /// the single-threaded CPU engine. Small jobs stay single-threaded —
+    /// the pipeline's thread/channel setup isn't worth it below a few
+    /// megabytes. `u64::MAX` disables the pipelined path.
+    pub pipelined_cpu_threshold_bytes: u64,
 }
 
 impl Default for OffloadConfig {
@@ -72,6 +79,7 @@ impl Default for OffloadConfig {
             aging_interval: Duration::from_millis(20),
             slowdown_queue_depth: 4,
             stop_queue_depth: 8,
+            pipelined_cpu_threshold_bytes: 8 << 20,
         }
     }
 }
@@ -215,7 +223,15 @@ impl OffloadService {
         out: &dyn OutputFileFactory,
     ) -> lsm::Result<CompactionOutcome> {
         let t0 = Instant::now();
-        let result = CpuCompactionEngine.compact(req, out);
+        let input_bytes: u64 = req.inputs.iter().map(|i| i.bytes()).sum();
+        let result = if input_bytes >= self.config.pipelined_cpu_threshold_bytes {
+            // Large fallback job: overlap read/merge/encode across
+            // threads. Byte-identical output to the plain CPU engine.
+            self.state.lock().metrics.cpu_pipelined_jobs += 1;
+            PipelinedCompactionEngine::default().compact(req, out)
+        } else {
+            CpuCompactionEngine.compact(req, out)
+        };
         self.state.lock().metrics.cpu_busy_time += t0.elapsed();
         result
     }

@@ -22,6 +22,9 @@ pub struct OffloadMetrics {
     pub device_faults: u64,
     /// Jobs retried on the CPU after a device fault.
     pub cpu_retries_after_fault: u64,
+    /// CPU-path jobs that ran on the staged pipelined engine (input size
+    /// reached `pipelined_cpu_threshold_bytes`).
+    pub cpu_pipelined_jobs: u64,
     /// Peak engine slots busy at once.
     pub max_fpga_in_flight: u64,
     /// Peak jobs inside the service at once (FPGA + CPU fallback).

@@ -120,6 +120,41 @@ fn offload_state_matches_serial_cpu_run() {
 }
 
 #[test]
+fn pipelined_cpu_fallback_matches_serial_run() {
+    // Reference run on the plain CPU engine.
+    let serial = Db::open("/db", small_options(1)).unwrap();
+    run_workload(&serial);
+    let expect = dump(&serial);
+
+    // Threshold 0: every CPU-path job takes the staged pipelined engine.
+    // The 2-input device rejects most jobs (oversized), so nearly the
+    // whole workload compacts through the pipeline.
+    let svc = Arc::new(OffloadService::with_slots(
+        FcaeConfig::two_input(),
+        1,
+        OffloadConfig {
+            pipelined_cpu_threshold_bytes: 0,
+            ..Default::default()
+        },
+    ));
+    let engine = Arc::clone(&svc) as Arc<dyn CompactionEngine>;
+    let db = Db::open_with_engine("/db", small_options(2), engine).unwrap();
+    run_workload(&db);
+    assert_eq!(dump(&db), expect, "pipelined fallback diverged from serial");
+
+    let m = svc.metrics();
+    assert!(
+        m.cpu_pipelined_jobs > 0,
+        "pipelined path never taken: {m:?}"
+    );
+    assert_eq!(
+        m.cpu_pipelined_jobs,
+        m.cpu_jobs(),
+        "threshold 0 must route every CPU job through the pipeline: {m:?}"
+    );
+}
+
+#[test]
 fn every_fault_is_retried_without_data_loss() {
     // Fault *every* device dispatch: the store degrades to CPU-only but
     // must stay correct.

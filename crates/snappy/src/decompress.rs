@@ -26,6 +26,23 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Decompresses into `out`, resizing it to the header-declared length but
+/// reusing its capacity. Call in a loop with one long-lived buffer to
+/// decompress a stream of blocks with no steady-state allocation.
+pub fn decompress_to_vec(stream: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    let len = decompressed_len(stream)?;
+    out.clear();
+    // Grow to the next power of two: blocks in a stream vary slightly in
+    // size, and growing geometrically means capacity stabilizes after the
+    // first block instead of reallocating each time a new high-water mark
+    // arrives.
+    if out.capacity() < len {
+        out.reserve(len.next_power_of_two());
+    }
+    out.resize(len, 0);
+    decompress_into(stream, out)
+}
+
 /// Decompresses into a caller-provided buffer whose length must equal the
 /// header-declared uncompressed length.
 pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<()> {

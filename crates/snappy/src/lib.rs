@@ -27,7 +27,7 @@ mod decompress;
 mod varint;
 
 pub use compress::{compress, max_compressed_len, Encoder};
-pub use decompress::{decompress, decompress_into, decompressed_len};
+pub use decompress::{decompress, decompress_into, decompress_to_vec, decompressed_len};
 
 /// Errors returned by the decompressor.
 ///
@@ -241,5 +241,19 @@ mod tests {
         let mut out = vec![0u8; 5];
         decompress_into(&c, &mut out).unwrap();
         assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn decompress_to_vec_reuses_capacity() {
+        let mut out = Vec::new();
+        decompress_to_vec(&compress(&vec![9u8; 4096]), &mut out).unwrap();
+        assert_eq!(out, vec![9u8; 4096]);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        // A smaller block must reuse the same storage, not reallocate.
+        decompress_to_vec(&compress(b"hello"), &mut out).unwrap();
+        assert_eq!(&out, b"hello");
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr);
     }
 }

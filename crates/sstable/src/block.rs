@@ -307,6 +307,128 @@ impl BlockIter {
     }
 }
 
+/// Forward-only, allocation-free cursor over one block's entries.
+///
+/// Unlike [`BlockIter`], the cursor does not own the block bytes: it is
+/// [`BlockCursor::reset`] against a `contents` slice, and every
+/// [`BlockCursor::advance`] / [`BlockCursor::value`] call takes the *same*
+/// slice again. That lets callers keep block contents in a reusable
+/// decompression buffer — or borrow them straight out of a larger memory
+/// region — and decode entries with zero per-block heap allocation; the
+/// prefix-reconstructed key buffer is reused across blocks. Passing a
+/// different slice than the one `reset` saw yields garbage entries or a
+/// `corrupted` cursor, never undefined behavior (all accesses are bounds-
+/// checked).
+///
+/// The cursor deliberately supports only what a streaming decoder needs:
+/// no seeks, no backward iteration, no restart-point binary search.
+#[derive(Default)]
+pub struct BlockCursor {
+    /// End of the entry area (= offset of the restart array).
+    entries_end: usize,
+    /// Offset of the next entry to parse.
+    next: usize,
+    /// Current key, reconstructed from shared prefixes.
+    key: Vec<u8>,
+    /// Current value bytes within the contents slice.
+    value_range: (usize, usize),
+    valid: bool,
+    corrupt: bool,
+}
+
+impl BlockCursor {
+    /// Creates a cursor positioned on nothing; `reset` it onto a block.
+    pub fn new() -> Self {
+        BlockCursor::default()
+    }
+
+    /// Re-targets the cursor at the start of `contents` (a full block:
+    /// entries + restart array + count), keeping the key buffer's
+    /// capacity. Fails on a malformed restart trailer.
+    pub fn reset(&mut self, contents: &[u8]) -> Result<()> {
+        if contents.len() < 4 {
+            return Err(corruption("block too small for restart count"));
+        }
+        let num_restarts = decode_fixed32(&contents[contents.len() - 4..]);
+        let max_restarts = (contents.len() as u64 - 4) / 4;
+        if u64::from(num_restarts) > max_restarts {
+            return Err(corruption(format!(
+                "restart count {num_restarts} exceeds block capacity"
+            )));
+        }
+        self.entries_end = contents.len() - 4 - num_restarts as usize * 4;
+        self.next = 0;
+        self.key.clear();
+        self.value_range = (0, 0);
+        self.valid = false;
+        self.corrupt = false;
+        Ok(())
+    }
+
+    /// True when positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// True if the cursor hit a malformed entry.
+    pub fn corrupted(&self) -> bool {
+        self.corrupt
+    }
+
+    /// Moves to the next entry of `contents` (the slice `reset` saw).
+    /// Returns false at the end of the block or on corruption.
+    pub fn advance(&mut self, contents: &[u8]) -> bool {
+        let end = self.entries_end.min(contents.len());
+        if self.next >= end {
+            self.valid = false;
+            return false;
+        }
+        let data = &contents[..end];
+        let mut p = self.next;
+        let Some((shared, n1)) = get_varint32(&data[p..]) else {
+            return self.fail();
+        };
+        p += n1;
+        let Some((non_shared, n2)) = get_varint32(&data[p..]) else {
+            return self.fail();
+        };
+        p += n2;
+        let Some((value_len, n3)) = get_varint32(&data[p..]) else {
+            return self.fail();
+        };
+        p += n3;
+        let (shared, non_shared, value_len) =
+            (shared as usize, non_shared as usize, value_len as usize);
+        if shared > self.key.len() || p + non_shared + value_len > data.len() {
+            return self.fail();
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&data[p..p + non_shared]);
+        self.value_range = (p + non_shared, p + non_shared + value_len);
+        self.next = self.value_range.1;
+        self.valid = true;
+        true
+    }
+
+    fn fail(&mut self) -> bool {
+        self.corrupt = true;
+        self.valid = false;
+        false
+    }
+
+    /// Current key (full, reconstructed from prefixes).
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current value within `contents` (the slice `reset` saw).
+    pub fn value<'a>(&self, contents: &'a [u8]) -> &'a [u8] {
+        debug_assert!(self.valid);
+        &contents[self.value_range.0..self.value_range.1]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +474,42 @@ mod tests {
         // Past all.
         it.seek(b"zzz");
         assert!(!it.valid());
+    }
+
+    #[test]
+    fn cursor_agrees_with_iterator() {
+        let mut cursor = BlockCursor::new();
+        for interval in [1usize, 2, 7, 16, 64] {
+            let (block, entries) = sample_block(137, interval);
+            // Reuse the same cursor across blocks, as the decoder will.
+            let contents = block.contents.as_ref();
+            cursor.reset(contents).unwrap();
+            let mut count = 0;
+            while cursor.advance(contents) {
+                assert!(cursor.valid());
+                assert_eq!(cursor.key(), &entries[count].0[..]);
+                assert_eq!(cursor.value(contents), &entries[count].1[..]);
+                count += 1;
+            }
+            assert_eq!(count, entries.len(), "interval {interval}");
+            assert!(!cursor.valid());
+            assert!(!cursor.corrupted());
+        }
+    }
+
+    #[test]
+    fn cursor_flags_truncated_entry() {
+        let (block, _) = sample_block(10, 4);
+        let contents = block.contents.as_ref();
+        // Rebuild a block whose entry area promises more bytes than exist:
+        // keep the first entry header but chop the restart trailer in so
+        // the value range runs past the data.
+        let mut bad = contents[..6].to_vec();
+        bad.extend_from_slice(&[0, 0, 0, 0, 0, 0, 0, 0]); // restart 0, count 1
+        let mut cursor = BlockCursor::new();
+        cursor.reset(&bad).unwrap();
+        while cursor.advance(&bad) {}
+        assert!(cursor.corrupted());
     }
 
     #[test]

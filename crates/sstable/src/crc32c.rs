@@ -1,6 +1,8 @@
-//! CRC32C (Castagnoli) with LevelDB's mask/unmask scheme, implemented with
-//! a slice-by-8 table for throughput (the checksum runs over every block
-//! written or read).
+//! CRC32C (Castagnoli) with LevelDB's mask/unmask scheme. On x86-64 with
+//! SSE 4.2 the hardware `crc32` instruction is used (the Castagnoli
+//! polynomial is the one the instruction implements); elsewhere a
+//! slice-by-8 table provides the fallback. The checksum runs over every
+//! block written or read, so this is squarely on the compaction hot path.
 
 const POLY: u32 = 0x82f6_3b78; // reflected Castagnoli polynomial
 
@@ -42,6 +44,35 @@ const fn build_tables() -> Tables {
 /// Computes the CRC32C of `data` starting from an initial value
 /// (use 0 for a fresh checksum).
 pub fn extend(init: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: guarded by the runtime feature check above.
+            return unsafe { extend_hw(init, data) };
+        }
+    }
+    extend_sw(init, data)
+}
+
+/// Hardware CRC32C via the SSE 4.2 `crc32` instruction, 8 bytes at a time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn extend_hw(init: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut crc = u64::from(!init);
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        crc = _mm_crc32_u64(crc, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let mut crc = crc as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    !crc
+}
+
+/// Table-driven (slice-by-8) CRC32C for platforms without the instruction.
+fn extend_sw(init: u32, data: &[u8]) -> u32 {
     let t = &TABLES.0;
     let mut crc = !init;
     let mut chunks = data.chunks_exact(8);
@@ -118,6 +149,18 @@ mod tests {
         assert_ne!(crc, mask(mask(crc)));
         assert_eq!(crc, unmask(mask(crc)));
         assert_eq!(crc, unmask(unmask(mask(mask(crc)))));
+    }
+
+    #[test]
+    fn hardware_and_software_paths_agree() {
+        let mut data = Vec::new();
+        for i in 0..600u32 {
+            data.push((i.wrapping_mul(2_654_435_761) >> 23) as u8);
+            // `value` may pick the hardware path; `extend_sw` never does.
+            assert_eq!(value(&data), extend_sw(0, &data), "len {}", data.len());
+            let (a, b) = data.split_at(data.len() / 2);
+            assert_eq!(extend(extend_sw(0, a), b), value(&data));
+        }
     }
 
     #[test]

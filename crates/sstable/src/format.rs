@@ -133,6 +133,21 @@ pub fn frame_block(
     requested: CompressionType,
     scratch: &mut Vec<u8>,
 ) -> (CompressionType, Vec<u8>) {
+    let mut framed = Vec::with_capacity(contents.len() + BLOCK_TRAILER_SIZE);
+    let (ty, _) = frame_block_into(contents, requested, scratch, &mut framed);
+    (ty, framed)
+}
+
+/// Like [`frame_block`] but appends the framed block (payload + trailer)
+/// to `out` instead of allocating a fresh buffer, returning the tag used
+/// and the framed length appended. Lets encoders frame straight into a
+/// long-lived output memory with zero per-block allocation.
+pub fn frame_block_into(
+    contents: &[u8],
+    requested: CompressionType,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> (CompressionType, usize) {
     let (ty, payload): (CompressionType, &[u8]) = match requested {
         CompressionType::None => (CompressionType::None, contents),
         CompressionType::Snappy => {
@@ -146,12 +161,12 @@ pub fn frame_block(
             }
         }
     };
-    let mut framed = Vec::with_capacity(payload.len() + BLOCK_TRAILER_SIZE);
-    framed.extend_from_slice(payload);
-    framed.push(ty as u8);
+    let start = out.len();
+    out.extend_from_slice(payload);
+    out.push(ty as u8);
     let crc = crc32c::extend(crc32c::value(payload), &[ty as u8]);
-    put_fixed32(&mut framed, crc32c::mask(crc));
-    (ty, framed)
+    put_fixed32(out, crc32c::mask(crc));
+    (ty, out.len() - start)
 }
 
 /// Reads and verifies one block (contents + trailer) from `file` at

@@ -37,6 +37,7 @@ pub mod filter_block;
 pub mod format;
 pub mod ikey;
 pub mod iterator;
+pub mod losertree;
 pub mod table;
 pub mod table_builder;
 
@@ -51,6 +52,7 @@ pub use ikey::{
     SequenceNumber, ValueType, MAX_SEQUENCE_NUMBER,
 };
 pub use iterator::{InternalIterator, MergingIterator};
+pub use losertree::LoserTree;
 pub use table::Table;
 pub use table_builder::TableBuilder;
 

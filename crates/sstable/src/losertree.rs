@@ -1,0 +1,215 @@
+//! Loser tree (tournament tree) for k-way merge selection.
+//!
+//! A linear N-way comparer re-scans every input per selected pair —
+//! O(N) comparisons each. The loser tree keeps the interior "losers" of
+//! past matches so that after the winning input advances, only the
+//! replay path from that leaf to the root is re-fought: O(log N)
+//! comparisons per pair. This mirrors the hardware Key Compare module's
+//! tournament network; the cycle model is unaffected because selection
+//! *results* are identical — only software comparison count changes.
+//!
+//! The tree is generic over a `better(a, b) -> bool` ordering closure so
+//! the comparer can encode internal-key order, exhausted-input demotion,
+//! and tie-breaking by input index without this module knowing about any
+//! of them.
+
+/// Sentinel for "no contestant yet" slots during (re)build.
+const UNSET: usize = usize::MAX;
+
+/// A loser tree over `n` external players identified by index `0..n`.
+///
+/// The caller owns the players (merge inputs) and supplies the ordering;
+/// the tree only stores indices. `better(a, b)` must return true when
+/// player `a` beats player `b` (i.e. `a` should be selected first), must
+/// be a strict weak ordering over the current player states, and must be
+/// deterministic between [`LoserTree::rebuild`] / [`LoserTree::update`]
+/// calls.
+pub struct LoserTree {
+    /// `tree[1..n]` holds the loser of each interior match; `tree[0]` the
+    /// overall winner. Leaf `i`'s parent is `(i + n) / 2`.
+    tree: Vec<usize>,
+    n: usize,
+}
+
+impl LoserTree {
+    /// Creates an unbuilt tree for `n` players; call `rebuild` before
+    /// `winner`. `n` may be 0 (then `winner` is meaningless).
+    pub fn new(n: usize) -> Self {
+        LoserTree {
+            tree: vec![UNSET; n.max(1)],
+            n,
+        }
+    }
+
+    /// Number of players.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree has no players.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Rebuilds all matches from scratch (O(n) comparisons).
+    pub fn rebuild(&mut self, mut better: impl FnMut(usize, usize) -> bool) {
+        self.tree.fill(UNSET);
+        for leaf in 0..self.n {
+            self.replay(leaf, &mut better);
+        }
+    }
+
+    /// Replays the matches on the path from `changed` to the root after
+    /// that player's state changed (O(log n) comparisons).
+    pub fn update(&mut self, changed: usize, mut better: impl FnMut(usize, usize) -> bool) {
+        debug_assert!(changed < self.n);
+        self.replay(changed, &mut better);
+    }
+
+    /// Current overall winner. Only meaningful after a full `rebuild`.
+    pub fn winner(&self) -> usize {
+        self.tree[0]
+    }
+
+    fn replay(&mut self, leaf: usize, better: &mut impl FnMut(usize, usize) -> bool) {
+        let mut winner = leaf;
+        let mut node = (leaf + self.n) / 2;
+        while node > 0 {
+            let opponent = self.tree[node];
+            if opponent == UNSET {
+                // First contestant to reach this match during a rebuild:
+                // park here as the provisional loser and stop — the
+                // sibling subtree will fight this match when it arrives.
+                self.tree[node] = winner;
+                return;
+            }
+            if better(opponent, winner) {
+                self.tree[node] = winner;
+                winner = opponent;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains `inputs` (each a sorted run) through a loser tree,
+    /// tie-breaking by input index, and returns the merged sequence.
+    fn merge_with_tree(inputs: &[Vec<u32>]) -> Vec<u32> {
+        let mut pos = vec![0usize; inputs.len()];
+        let better = |pos: &[usize], a: usize, b: usize| {
+            let ka = inputs[a].get(pos[a]);
+            let kb = inputs[b].get(pos[b]);
+            match (ka, kb) {
+                (Some(x), Some(y)) => (x, a) < (y, b),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => a < b,
+            }
+        };
+        let mut tree = LoserTree::new(inputs.len());
+        tree.rebuild(|a, b| better(&pos, a, b));
+        let mut out = Vec::new();
+        loop {
+            let w = tree.winner();
+            match inputs[w].get(pos[w]) {
+                Some(&v) => {
+                    out.push(v);
+                    pos[w] += 1;
+                    tree.update(w, |a, b| better(&pos, a, b));
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn merges_like_sort_for_various_shapes() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 3, 5]],
+            vec![vec![1, 3], vec![2, 4]],
+            vec![vec![], vec![2, 4], vec![]],
+            vec![vec![5, 6, 7], vec![1, 2, 3], vec![4]],
+            vec![vec![1, 1, 1], vec![1, 1], vec![1]],
+            (0..9)
+                .map(|i| (0..20).map(|e| e * 9 + i).collect())
+                .collect(),
+            vec![vec![], vec![], vec![]],
+        ];
+        for inputs in cases {
+            let merged = merge_with_tree(&inputs);
+            let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+            expect.sort();
+            assert_eq!(merged, expect, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn ties_go_to_lowest_index() {
+        // Every input holds the same single key; winners must appear in
+        // input order as each earlier input exhausts.
+        let inputs: Vec<Vec<u32>> = vec![vec![7]; 5];
+        let mut pos = vec![0usize; inputs.len()];
+        let better = |pos: &[usize], a: usize, b: usize| {
+            let ka = inputs[a].get(pos[a]);
+            let kb = inputs[b].get(pos[b]);
+            match (ka, kb) {
+                (Some(x), Some(y)) => (x, a) < (y, b),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => a < b,
+            }
+        };
+        let mut tree = LoserTree::new(inputs.len());
+        tree.rebuild(|a, b| better(&pos, a, b));
+        let mut order = Vec::new();
+        while inputs[tree.winner()].get(pos[tree.winner()]).is_some() {
+            let w = tree.winner();
+            order.push(w);
+            pos[w] += 1;
+            tree.update(w, |a, b| better(&pos, a, b));
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_player_always_wins() {
+        let mut tree = LoserTree::new(1);
+        tree.rebuild(|_, _| unreachable!("no matches with one player"));
+        assert_eq!(tree.winner(), 0);
+        tree.update(0, |_, _| unreachable!());
+        assert_eq!(tree.winner(), 0);
+    }
+
+    #[test]
+    fn random_merges_match_sort() {
+        // Deterministic LCG-driven fuzz over input counts and lengths.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let n = (rng() % 12 + 1) as usize;
+            let inputs: Vec<Vec<u32>> = (0..n)
+                .map(|_| {
+                    let len = (rng() % 20) as usize;
+                    let mut v: Vec<u32> = (0..len).map(|_| (rng() % 50) as u32).collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            let merged = merge_with_tree(&inputs);
+            let mut expect: Vec<u32> = inputs.iter().flatten().copied().collect();
+            expect.sort();
+            assert_eq!(merged, expect);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Appends one perf-trajectory snapshot to BENCH_PR2.json.
+#
+# Usage: scripts/bench_snapshot.sh [label] [out-file]
+#
+# Runs the merge microbenchmark (4-input, 1 KiB values, both engines,
+# with allocation counting) and a db_bench-style fillrandom pass, and
+# appends the results as one labelled JSON object. Run it before and
+# after a perf change (e.g. labels "pr3-before" / "pr3-after") so the
+# repo carries its own performance history.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
+OUT="${2:-BENCH_PR2.json}"
+
+cargo run --release -p bench --bin bench_snapshot -- --label "$LABEL" --out "$OUT"

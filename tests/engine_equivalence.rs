@@ -1,0 +1,283 @@
+//! Cross-engine equivalence: the same compaction through every execution
+//! path in the workspace must agree.
+//!
+//! Three levels of agreement, from strictest to loosest:
+//!
+//! 1. **Byte-identical files**: the staged [`PipelinedCompactionEngine`]
+//!    must emit exactly the bytes of the single-threaded
+//!    [`CpuCompactionEngine`], for raw and Snappy-compressed outputs.
+//! 2. **Byte-identical images + cycles**: the device kernel with the
+//!    optimized zero-copy decoder must match the basic (Algorithm 1)
+//!    decoder — same output images, same MetaOut, and a bit-identical
+//!    cycle model, because the timing model is charged per pair, not per
+//!    software implementation.
+//! 3. **Logically identical streams**: the device engine splits output
+//!    tables differently from the host builder, so its files differ —
+//!    but the concatenated (internal key, value) stream across all output
+//!    tables must equal the CPU engine's exactly.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fcae::{FcaeConfig, FcaeEngine};
+use lsm::compaction::{
+    CompactionEngine, CompactionInput, CompactionRequest, CpuCompactionEngine, OutputFileFactory,
+};
+use lsm::PipelinedCompactionEngine;
+use sstable::comparator::InternalKeyComparator;
+use sstable::env::{MemEnv, StorageEnv, WritableFile};
+use sstable::format::CompressionType;
+use sstable::ikey::{InternalKey, ValueType};
+use sstable::iterator::InternalIterator;
+use sstable::table::{Table, TableReadOptions};
+use sstable::table_builder::{TableBuilder, TableBuilderOptions};
+
+struct Factory {
+    env: MemEnv,
+    prefix: &'static str,
+    counter: AtomicU64,
+}
+
+impl Factory {
+    fn new(env: MemEnv, prefix: &'static str) -> Self {
+        Factory {
+            env,
+            prefix,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    fn path(&self, number: u64) -> String {
+        format!("/{}-{number}", self.prefix)
+    }
+}
+
+impl OutputFileFactory for Factory {
+    fn new_output(&self) -> lsm::Result<(u64, Box<dyn WritableFile>)> {
+        let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let file = self.env.create_writable(Path::new(&self.path(n)))?;
+        Ok((n, file))
+    }
+}
+
+fn builder_opts(compression: CompressionType) -> TableBuilderOptions {
+    TableBuilderOptions {
+        comparator: Arc::new(InternalKeyComparator::default()),
+        internal_key_filter: true,
+        block_size: 1024,
+        compression,
+        ..Default::default()
+    }
+}
+
+fn read_opts() -> TableReadOptions {
+    TableReadOptions {
+        comparator: Arc::new(InternalKeyComparator::default()),
+        internal_key_filter: true,
+        ..Default::default()
+    }
+}
+
+/// Four overlapping sorted runs with interleaved tombstones and duplicate
+/// user keys (same key at different sequence numbers across runs).
+fn request(env: &MemEnv, compression: CompressionType) -> CompactionRequest {
+    let inputs = (0..4u32)
+        .map(|input_no| {
+            let name = format!("/in-{compression:?}-{input_no}");
+            let f = env.create_writable(Path::new(&name)).unwrap();
+            let mut b = TableBuilder::new(builder_opts(compression), f);
+            for e in 0..400u32 {
+                // Stride-interleaved keys; every 5th user key also appears
+                // in the next input at a lower sequence (shadowed version).
+                let i = e * 4 + input_no;
+                let (t, v) = if i % 7 == 0 {
+                    (ValueType::Deletion, String::new())
+                } else {
+                    (ValueType::Value, format!("value-{i}-{:0>120}", e))
+                };
+                let k = InternalKey::new(format!("key{i:06}").as_bytes(), u64::from(i) + 10, t);
+                b.add(k.encoded(), v.as_bytes()).unwrap();
+                if i % 5 == 0 {
+                    let shadowed = InternalKey::new(
+                        format!("key{:06}", i + 1).as_bytes(),
+                        3,
+                        ValueType::Value,
+                    );
+                    b.add(shadowed.encoded(), b"old-version").unwrap();
+                }
+            }
+            let size = b.finish().unwrap();
+            let file = env.open_random_access(Path::new(&name)).unwrap();
+            CompactionInput {
+                tables: vec![Table::open(file, size, read_opts()).unwrap()],
+            }
+        })
+        .collect();
+    CompactionRequest {
+        level: 0,
+        inputs,
+        smallest_snapshot: 1 << 40,
+        bottommost: true,
+        builder_options: builder_opts(compression),
+        // Small enough that output splits even when Snappy shrinks the
+        // highly-compressible values.
+        max_output_file_size: 16 << 10,
+    }
+}
+
+/// Concatenated (internal key, value) stream across an engine's outputs.
+fn entry_stream(env: &MemEnv, fac: &Factory, numbers: &[(u64, u64)]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut entries = Vec::new();
+    for &(number, file_size) in numbers {
+        let file = env
+            .open_random_access(Path::new(&fac.path(number)))
+            .unwrap();
+        let table = Table::open(file, file_size, read_opts()).unwrap();
+        let mut it = table.iter();
+        it.seek_to_first();
+        while it.valid() {
+            entries.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        it.status().unwrap();
+    }
+    entries
+}
+
+#[test]
+fn pipelined_and_cpu_engines_emit_identical_files() {
+    for compression in [CompressionType::None, CompressionType::Snappy] {
+        let env = MemEnv::new();
+        let req = request(&env, compression);
+
+        let cpu_fac = Factory::new(env.clone(), "cpu");
+        let cpu = CpuCompactionEngine.compact(&req, &cpu_fac).unwrap();
+        assert!(cpu.outputs.len() > 1, "want a file split: {compression:?}");
+        assert!(cpu.entries_dropped > 0, "want drops: {compression:?}");
+
+        let pipe_fac = Factory::new(env.clone(), "pipe");
+        let pipe = PipelinedCompactionEngine::default()
+            .compact(&req, &pipe_fac)
+            .unwrap();
+
+        assert_eq!(pipe.entries_written, cpu.entries_written, "{compression:?}");
+        assert_eq!(pipe.entries_dropped, cpu.entries_dropped, "{compression:?}");
+        assert_eq!(pipe.outputs.len(), cpu.outputs.len(), "{compression:?}");
+        for (a, b) in cpu.outputs.iter().zip(&pipe.outputs) {
+            let fa = env
+                .open_random_access(Path::new(&cpu_fac.path(a.number)))
+                .unwrap()
+                .read_all()
+                .unwrap();
+            let fb = env
+                .open_random_access(Path::new(&pipe_fac.path(b.number)))
+                .unwrap()
+                .read_all()
+                .unwrap();
+            assert_eq!(fa, fb, "{compression:?} table {}", a.number);
+        }
+    }
+}
+
+#[test]
+fn optimized_and_basic_decoder_kernels_are_bit_identical() {
+    for compression in [CompressionType::None, CompressionType::Snappy] {
+        let env = MemEnv::new();
+        let req = request(&env, compression);
+        let config = FcaeConfig::nine_input();
+        let images = fcae::memory::build_input_images(&req.inputs, config.w_in).unwrap();
+        let engine = FcaeEngine::new(config);
+
+        let (opt_tables, opt_model, opt_report) = engine
+            .run_kernel(
+                &images,
+                req.smallest_snapshot,
+                true,
+                compression,
+                4096,
+                48 << 10,
+            )
+            .unwrap();
+        let (basic_tables, basic_model, basic_report) = engine
+            .run_kernel_basic(
+                &images,
+                req.smallest_snapshot,
+                true,
+                compression,
+                4096,
+                48 << 10,
+            )
+            .unwrap();
+
+        assert_eq!(opt_tables.len(), basic_tables.len(), "{compression:?}");
+        for (i, (a, b)) in opt_tables.iter().zip(&basic_tables).enumerate() {
+            assert_eq!(
+                a.data_memory, b.data_memory,
+                "{compression:?} image {i} data bytes"
+            );
+            assert_eq!(
+                format!("{:?}", a.index_entries),
+                format!("{:?}", b.index_entries),
+                "{compression:?} image {i} index"
+            );
+            assert_eq!(
+                format!("{:?}", a.meta),
+                format!("{:?}", b.meta),
+                "{compression:?} image {i} meta"
+            );
+        }
+        // The cycle model is charged per pair/block/table event, so the
+        // decoder implementation must not change a single count.
+        assert_eq!(
+            format!("{opt_model:?}"),
+            format!("{basic_model:?}"),
+            "{compression:?} cycle model diverged"
+        );
+        assert_eq!(
+            opt_report.pairs_compared, basic_report.pairs_compared,
+            "{compression:?}"
+        );
+        assert_eq!(
+            opt_report.pairs_dropped, basic_report.pairs_dropped,
+            "{compression:?}"
+        );
+    }
+}
+
+#[test]
+fn device_and_cpu_engines_agree_logically() {
+    let env = MemEnv::new();
+    let req = request(&env, CompressionType::Snappy);
+
+    let cpu_fac = Factory::new(env.clone(), "cpu");
+    let cpu = CpuCompactionEngine.compact(&req, &cpu_fac).unwrap();
+    let cpu_numbers: Vec<_> = cpu
+        .outputs
+        .iter()
+        .map(|o| (o.number, o.file_size))
+        .collect();
+    let cpu_entries = entry_stream(&env, &cpu_fac, &cpu_numbers);
+
+    let dev_fac = Factory::new(env.clone(), "dev");
+    let dev = FcaeEngine::new(FcaeConfig::nine_input())
+        .compact(&req, &dev_fac)
+        .unwrap();
+    let dev_numbers: Vec<_> = dev
+        .outputs
+        .iter()
+        .map(|o| (o.number, o.file_size))
+        .collect();
+    let dev_entries = entry_stream(&env, &dev_fac, &dev_numbers);
+
+    assert_eq!(cpu.entries_written, dev.entries_written);
+    assert_eq!(cpu.entries_dropped, dev.entries_dropped);
+    assert_eq!(
+        cpu_entries.len(),
+        dev_entries.len(),
+        "entry counts differ: cpu={} dev={}",
+        cpu_entries.len(),
+        dev_entries.len()
+    );
+    assert_eq!(cpu_entries, dev_entries, "entry streams diverged");
+}
