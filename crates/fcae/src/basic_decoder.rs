@@ -82,6 +82,8 @@ impl<'a> BasicInputDecoder<'a> {
     pub fn key(&self) -> &[u8] {
         self.block_iter
             .as_ref()
+            // PANIC-OK: MergeSource contract — key() only after advance()
+            // returned true, which leaves block_iter populated.
             .expect("key on invalid decoder")
             .key()
     }
@@ -90,6 +92,8 @@ impl<'a> BasicInputDecoder<'a> {
     pub fn value(&self) -> &[u8] {
         self.block_iter
             .as_ref()
+            // PANIC-OK: MergeSource contract — value() only after advance()
+            // returned true, which leaves block_iter populated.
             .expect("value on invalid decoder")
             .value()
     }
@@ -131,6 +135,8 @@ impl<'a> BasicInputDecoder<'a> {
                 self.data_cursor = meta.data_offset;
                 self.sst_idx += 1;
             }
+            // PANIC-OK: the branch above just set index_iter to Some or
+            // returned; None is unreachable here.
             let index_iter = self.index_iter.as_mut().expect("opened above");
             if !index_iter.valid() {
                 self.index_iter = None;

@@ -23,25 +23,18 @@
 //! The native Rust merge is still measured and reported separately by the
 //! benches; this model exists so that ratios are comparable to the paper.
 
-/// Fixed per-pair cost in microseconds (iterator dispatch, allocator,
-/// block-builder bookkeeping in 2019-era LevelDB).
-pub const C_FIX_US: f64 = 10.0;
-/// Cost per internal-key byte in microseconds (heap compares).
-pub const C_KEY_US_PER_BYTE: f64 = 0.125;
-/// Cost per value byte in microseconds (copies + snappy en/decode).
-pub const C_VALUE_US_PER_BYTE: f64 = 0.056;
-/// Additional cost per value byte beyond 1 KiB (cache-miss penalty; the
-/// paper's CPU speed visibly drops at 2 KiB values).
-pub const C_CACHE_US_PER_BYTE: f64 = 0.027;
-/// Cache penalty threshold.
-pub const CACHE_THRESHOLD_BYTES: usize = 1024;
-/// Per-entry cost of each merge input beyond two. LevelDB's
-/// `MergingIterator` performs a *linear* scan over all N children on every
-/// `Next()` (plus N virtual calls), so a 9-way software merge is
-/// substantially slower per entry than a 2-way one — this is why the
-/// paper's Fig. 13 shows the 9-input engine achieving an even larger
-/// acceleration ratio despite its lower absolute speed.
-pub const C_CHILD_US: f64 = 0.8;
+// The fitted constants live in `paper_tables` (Table V, CPU column),
+// where the `paper-constants` lint can prove there is exactly one copy;
+// re-exported so existing `fcae::cpu_model::X` paths keep working. On
+// C_CHILD_US: LevelDB's `MergingIterator` performs a *linear* scan over
+// all N children on every `Next()` (plus N virtual calls), so a 9-way
+// software merge is substantially slower per entry than a 2-way one —
+// this is why the paper's Fig. 13 shows the 9-input engine achieving an
+// even larger acceleration ratio despite its lower absolute speed.
+pub use crate::paper_tables::{
+    CACHE_THRESHOLD_BYTES, C_CACHE_US_PER_BYTE, C_CHILD_US, C_FIX_US, C_KEY_US_PER_BYTE,
+    C_VALUE_US_PER_BYTE,
+};
 
 /// The CPU baseline cost model.
 #[derive(Debug, Clone, Copy)]

@@ -150,6 +150,8 @@ impl<'a> InputDecoder<'a> {
                 self.block_src = BlockSrc::None;
                 return Ok(false);
             }
+            // PANIC-OK: open_next_index() just returned true, which only
+            // happens after storing Some(index_iter).
             let index_iter = self.index_iter.as_mut().expect("opened above");
             if !index_iter.valid() {
                 // This SSTable is exhausted; move on.

@@ -58,6 +58,8 @@ impl FcaeEngine {
     /// programmer errors, caught in tests).
     pub fn new(config: FcaeConfig) -> Self {
         if let Err(e) = config.validate() {
+            // PANIC-OK: documented contract of new(); misconfiguration is
+            // a programmer error, not a runtime condition to propagate.
             panic!("invalid FCAE configuration: {e}");
         }
         FcaeEngine {
@@ -280,6 +282,9 @@ impl CompactionEngine for FcaeEngine {
         req: &CompactionRequest,
         out: &dyn OutputFileFactory,
     ) -> Result<CompactionOutcome> {
+        // DETERMINISM-OK: host-side wall time reported *alongside* the
+        // modeled device time, never fed back into the cycle model.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         if req.inputs.len() > self.config.n_inputs {
             return Err(lsm::Error::InvalidArgument(format!(

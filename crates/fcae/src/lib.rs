@@ -33,6 +33,7 @@ pub mod encoder;
 pub mod engine;
 pub mod memory;
 pub mod meta_wire;
+pub mod paper_tables;
 pub mod resources;
 pub mod timing;
 

@@ -35,12 +35,14 @@ fn take<'a>(src: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
 
 fn read_u32(src: &mut &[u8], what: &str) -> Result<u32> {
     Ok(u32::from_le_bytes(
+        // PANIC-OK: take() returned exactly 4 bytes or erred already.
         take(src, 4, what)?.try_into().expect("4 bytes"),
     ))
 }
 
 fn read_u64(src: &mut &[u8], what: &str) -> Result<u64> {
     Ok(u64::from_le_bytes(
+        // PANIC-OK: take() returned exactly 8 bytes or erred already.
         take(src, 8, what)?.try_into().expect("8 bytes"),
     ))
 }

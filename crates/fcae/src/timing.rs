@@ -41,19 +41,15 @@
 //!   hidden.
 
 use crate::config::FcaeConfig;
-
-/// Value bytes cross the V-wide datapath this many times.
-pub const VALUE_DATAPATH_PASSES: f64 = 2.0;
-/// Shared DRAM/AXI cost per value byte (cycles), calibrated to Table V.
-pub const MEM_CYCLES_PER_VALUE_BYTE: f64 = 0.12;
-/// Fixed per-pair control overhead (cycles), calibrated to Table V.
-pub const ENTRY_OVERHEAD_CYCLES: f64 = 25.0;
-/// DRAM read latency on the card (the paper cites 7–8 cycles; §V-B).
-pub const DRAM_READ_LATENCY_CYCLES: f64 = 8.0;
-/// Per-block bookkeeping: handle parse, FIFO drain/refill.
-pub const BLOCK_SETUP_CYCLES: f64 = 16.0;
-/// Per-table reset of the encoder state (§V-A: "the Encoder gets reset").
-pub const TABLE_RESET_CYCLES: f64 = 64.0;
+// Every period/calibration constant lives in `paper_tables`, next to the
+// table it came from; the `paper-constants` lint forbids declaring any
+// here. Re-exported so existing `fcae::timing::X` paths keep working.
+pub use crate::paper_tables::{
+    BASIC_INDEX_FETCH_ROUND_TRIPS, BASIC_INDEX_FLUSH_ROUND_TRIPS, BLOCK_SETUP_CYCLES,
+    COMPARER_BASE_STAGES, DRAM_READ_LATENCY_CYCLES, DROPPED_PAIR_PERIOD_FACTOR,
+    ENTRY_OVERHEAD_CYCLES, MEM_CYCLES_PER_VALUE_BYTE, PIPELINE_FILL_PERIODS, TABLE_RESET_CYCLES,
+    VALUE_DATAPATH_PASSES,
+};
 
 /// Accumulates cycles for one kernel invocation.
 #[derive(Debug, Clone)]
@@ -112,7 +108,7 @@ impl PipelineModel {
         };
 
         let decoder = k + self.value_cycles(l);
-        let comparer = (2.0 + log2n) * cmp_payload;
+        let comparer = (COMPARER_BASE_STAGES + log2n) * cmp_payload;
         let transfer = k.max(xfer_value);
         let encoder = k;
         // AXI ingress/egress: the stored pair must stream through W_in /
@@ -140,16 +136,16 @@ impl PipelineModel {
     pub fn on_pair(&mut self, key_len: usize, value_len: usize, kept: bool) {
         if !self.filled {
             // Pipeline fill: one pass through every stage before the
-            // steady state. Approximated as 4 stage latencies.
-            self.cycles += 4.0 * self.pair_period(key_len, value_len);
+            // steady state.
+            self.cycles += PIPELINE_FILL_PERIODS * self.pair_period(key_len, value_len);
             self.filled = true;
         }
         let mut cycles = self.pair_period(key_len, value_len) + ENTRY_OVERHEAD_CYCLES;
         if !kept {
             // Dropped pairs do not cross transfer/encode; they cost the
-            // decode/compare legs only. Approximate as half the period
-            // plus the control overhead.
-            cycles = self.pair_period(key_len, value_len) * 0.5 + ENTRY_OVERHEAD_CYCLES;
+            // decode/compare legs only.
+            cycles = self.pair_period(key_len, value_len) * DROPPED_PAIR_PERIOD_FACTOR
+                + ENTRY_OVERHEAD_CYCLES;
         }
         self.cycles += cycles;
         self.pairs += 1;
@@ -164,7 +160,7 @@ impl PipelineModel {
         } else {
             // Basic design: the read pointer switches to the index block
             // and back, serializing an extra DRAM round trip + parse.
-            3.0 * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
+            BASIC_INDEX_FETCH_ROUND_TRIPS * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
         };
         self.cycles += stall + BLOCK_SETUP_CYCLES;
     }
@@ -178,7 +174,7 @@ impl PipelineModel {
         } else {
             // Basic design buffers the whole index block in BRAM and pays
             // for it when the table completes; charge per block here.
-            2.0 * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
+            BASIC_INDEX_FLUSH_ROUND_TRIPS * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
         };
         self.cycles += stall;
     }

@@ -1,0 +1,240 @@
+//! Loom model: the loser-tree [`Comparer`] fed concurrently by
+//! [`InputDecoder`] threads.
+//!
+//! Built and run only under `RUSTFLAGS="--cfg loom"`. Each input's
+//! decoder runs on its own thread (the shape of the store's pipelined
+//! CPU path and of the hardware's per-input decode units), streaming
+//! decoded pairs through a bounded channel to the merge thread, which
+//! runs the real `Comparer` over channel-backed [`MergeSource`]s. Across
+//! all explored interleavings the concurrently-fed merge must emit the
+//! byte-identical selection sequence of a single-threaded reference merge
+//! over the same images — the engine's determinism claim, under
+//! scheduling adversity.
+#![cfg(loom)]
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fcae::comparer::{Comparer, DropFilter};
+use fcae::decoder::{InputDecoder, MergeSource};
+use fcae::memory::build_input_image;
+use fcae::Result;
+use loom::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use lsm::compaction::CompactionInput;
+use sstable::env::{MemEnv, StorageEnv};
+use sstable::ikey::{InternalKey, ValueType};
+use sstable::table::{Table, TableReadOptions};
+use sstable::table_builder::{TableBuilder, TableBuilderOptions};
+
+const W_IN: u32 = 64;
+
+fn build_table(env: &MemEnv, path: &str, stride: u64, offset: u64, n: u64) -> Arc<Table> {
+    let opts = TableBuilderOptions {
+        comparator: Arc::new(sstable::comparator::InternalKeyComparator::default()),
+        internal_key_filter: true,
+        block_size: 256,
+        ..Default::default()
+    };
+    let f = env.create_writable(Path::new(path)).unwrap();
+    let mut b = TableBuilder::new(opts, f);
+    for e in 0..n {
+        let i = e * stride + offset;
+        // Overlapping user keys across inputs exercise the drop filter.
+        let key = InternalKey::new(
+            format!("key{:05}", i / 2).as_bytes(),
+            i + 1,
+            if i % 7 == 0 {
+                ValueType::Deletion
+            } else {
+                ValueType::Value
+            },
+        );
+        b.add(key.encoded(), format!("v{i}").as_bytes()).unwrap();
+    }
+    let size = b.finish().unwrap();
+    let file = env.open_random_access(Path::new(path)).unwrap();
+    let read_opts = TableReadOptions {
+        comparator: Arc::new(sstable::comparator::InternalKeyComparator::default()),
+        internal_key_filter: true,
+        ..Default::default()
+    };
+    Table::open(file, size, read_opts).unwrap()
+}
+
+fn inputs(env: &MemEnv) -> Vec<CompactionInput> {
+    (0..3u64)
+        .map(|i| CompactionInput {
+            tables: vec![build_table(env, &format!("/in{i}"), 3, i, 40)],
+        })
+        .collect()
+}
+
+/// One `[u32 klen][u32 vlen][key][value]` framed pair.
+fn push_pair(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+}
+
+/// A [`MergeSource`] whose pairs arrive over a bounded channel from a
+/// decoder thread; sender disconnect is end-of-stream.
+struct ChannelSource {
+    rx: Receiver<Vec<u8>>,
+    batch: Vec<u8>,
+    pos: usize,
+    key: (usize, usize),
+    value: (usize, usize),
+    valid: bool,
+    fetched: u64,
+}
+
+impl ChannelSource {
+    fn new(rx: Receiver<Vec<u8>>) -> Self {
+        ChannelSource {
+            rx,
+            batch: Vec::new(),
+            pos: 0,
+            key: (0, 0),
+            value: (0, 0),
+            valid: false,
+            fetched: 0,
+        }
+    }
+}
+
+impl MergeSource for ChannelSource {
+    fn advance(&mut self) -> Result<bool> {
+        loop {
+            if self.pos + 8 <= self.batch.len() {
+                let k = u32::from_le_bytes(self.batch[self.pos..self.pos + 4].try_into().unwrap())
+                    as usize;
+                let v =
+                    u32::from_le_bytes(self.batch[self.pos + 4..self.pos + 8].try_into().unwrap())
+                        as usize;
+                let ks = self.pos + 8;
+                self.key = (ks, ks + k);
+                self.value = (ks + k, ks + k + v);
+                self.pos = ks + k + v;
+                self.valid = true;
+                return Ok(true);
+            }
+            match self.rx.recv() {
+                Ok(b) => {
+                    self.batch = b;
+                    self.pos = 0;
+                    self.fetched += 1;
+                }
+                Err(_) => {
+                    self.valid = false;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    fn valid(&self) -> bool {
+        self.valid
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.batch[self.key.0..self.key.1]
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.batch[self.value.0..self.value.1]
+    }
+
+    fn blocks_fetched(&self) -> u64 {
+        self.fetched
+    }
+}
+
+/// Decoder thread body: decode one input image, ship pairs in batches of
+/// three through the bounded channel.
+fn feed(input: CompactionInput, tx: SyncSender<Vec<u8>>) {
+    let image = build_input_image(&input, W_IN).unwrap();
+    let mut dec = InputDecoder::new(&image, W_IN);
+    let mut batch = Vec::new();
+    let mut in_batch = 0;
+    while dec.advance().unwrap() {
+        push_pair(&mut batch, dec.key(), dec.value());
+        in_batch += 1;
+        if in_batch == 3 {
+            if tx.send(std::mem::take(&mut batch)).is_err() {
+                return;
+            }
+            in_batch = 0;
+        }
+    }
+    if !batch.is_empty() {
+        let _ = tx.send(batch);
+    }
+}
+
+/// Reference: the same merge, single-threaded (decoders in-process).
+fn reference_merge(env: &MemEnv) -> Vec<(Vec<u8>, Vec<u8>, bool)> {
+    let inputs = inputs(env);
+    let images: Vec<_> = inputs
+        .iter()
+        .map(|i| build_input_image(i, W_IN).unwrap())
+        .collect();
+    let mut decoders: Vec<InputDecoder<'_>> = images
+        .iter()
+        .map(|im| InputDecoder::new(im, W_IN))
+        .collect();
+    for d in &mut decoders {
+        d.advance().unwrap();
+    }
+    let mut comparer = Comparer::new(DropFilter::new(u64::MAX, true));
+    let mut out = Vec::new();
+    while let Some(sel) = comparer.select(&decoders) {
+        let d = &decoders[sel.input_no];
+        out.push((d.key().to_vec(), d.value().to_vec(), sel.drop));
+        decoders[sel.input_no].advance().unwrap();
+    }
+    out
+}
+
+#[test]
+fn concurrently_fed_comparer_matches_single_threaded_reference() {
+    let expected = reference_merge(&MemEnv::new());
+    assert!(
+        expected.len() > 100,
+        "model input too small to be meaningful"
+    );
+    let expected = Arc::new(expected);
+
+    loom::model(move || {
+        let env = MemEnv::new();
+        let mut sources = Vec::new();
+        let mut threads = Vec::new();
+        for input in inputs(&env) {
+            let (tx, rx) = sync_channel(2);
+            threads.push(loom::thread::spawn(move || feed(input, tx)));
+            sources.push(ChannelSource::new(rx));
+        }
+        for s in &mut sources {
+            s.advance().unwrap();
+        }
+        let mut comparer = Comparer::new(DropFilter::new(u64::MAX, true));
+        let mut got = Vec::new();
+        while let Some(sel) = comparer.select(&sources) {
+            let s = &sources[sel.input_no];
+            got.push((s.key().to_vec(), s.value().to_vec(), sel.drop));
+            sources[sel.input_no].advance().unwrap();
+        }
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "concurrent feed lost or duplicated pairs"
+        );
+        assert_eq!(
+            *expected, got,
+            "selection sequence diverged under concurrency"
+        );
+        for t in threads {
+            t.join().expect("decoder thread exits cleanly");
+        }
+    });
+}

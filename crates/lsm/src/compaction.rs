@@ -168,6 +168,7 @@ impl InternalIterator for ChainIterator {
     fn seek_to_first(&mut self) {
         let mut idx = 0;
         while self.set_table(idx) {
+            // PANIC-OK: set_table(idx) returning true fills self.current.
             let (_, it) = self.current.as_mut().unwrap();
             it.seek_to_first();
             if it.valid() {
@@ -182,6 +183,8 @@ impl InternalIterator for ChainIterator {
         while idx > 0 {
             idx -= 1;
             self.set_table(idx);
+            // PANIC-OK: idx < tables.len() here, so set_table filled
+            // self.current.
             let (_, it) = self.current.as_mut().unwrap();
             it.seek_to_last();
             if it.valid() {
@@ -196,6 +199,7 @@ impl InternalIterator for ChainIterator {
         // contents can reach `target`, then seek within it.
         let mut idx = 0;
         while self.set_table(idx) {
+            // PANIC-OK: set_table(idx) returning true fills self.current.
             let (_, it) = self.current.as_mut().unwrap();
             it.seek(target);
             if it.valid() {
@@ -207,12 +211,15 @@ impl InternalIterator for ChainIterator {
 
     fn next(&mut self) {
         debug_assert!(self.valid());
+        // PANIC-OK: InternalIterator contract — next() only on a valid
+        // iterator, and valid() requires current to be Some.
         let (idx, it) = self.current.as_mut().unwrap();
         let idx = *idx;
         it.next();
         if !it.valid() {
             let mut next_idx = idx + 1;
             while self.set_table(next_idx) {
+                // PANIC-OK: set_table returning true fills self.current.
                 let (_, it) = self.current.as_mut().unwrap();
                 it.seek_to_first();
                 if it.valid() {
@@ -225,6 +232,8 @@ impl InternalIterator for ChainIterator {
 
     fn prev(&mut self) {
         debug_assert!(self.valid());
+        // PANIC-OK: InternalIterator contract — prev() only on a valid
+        // iterator, and valid() requires current to be Some.
         let (idx, it) = self.current.as_mut().unwrap();
         let idx = *idx;
         it.prev();
@@ -233,6 +242,8 @@ impl InternalIterator for ChainIterator {
             while prev_idx > 0 {
                 prev_idx -= 1;
                 self.set_table(prev_idx);
+                // PANIC-OK: prev_idx < tables.len(), so set_table filled
+                // self.current.
                 let (_, it) = self.current.as_mut().unwrap();
                 it.seek_to_last();
                 if it.valid() {
@@ -246,6 +257,7 @@ impl InternalIterator for ChainIterator {
     fn key(&self) -> &[u8] {
         self.current
             .as_ref()
+            // PANIC-OK: InternalIterator contract — key() only when valid().
             .expect("key on invalid iterator")
             .1
             .key()
@@ -254,6 +266,7 @@ impl InternalIterator for ChainIterator {
     fn value(&self) -> &[u8] {
         self.current
             .as_ref()
+            // PANIC-OK: InternalIterator contract — value() only when valid().
             .expect("value on invalid iterator")
             .1
             .value()
@@ -385,12 +398,14 @@ impl CompactionEngine for CpuCompactionEngine {
                 builder = Some((number, TableBuilder::new(req.builder_options.clone(), file)));
                 smallest = Some(InternalKey::from_encoded(key.to_vec()));
             }
+            // PANIC-OK: the branch above creates the builder when None.
             let (_, b) = builder.as_mut().expect("builder initialized above");
             b.add(key, merger.value())?;
             outcome.entries_written += 1;
             largest_buf.clear();
             largest_buf.extend_from_slice(key);
             if b.file_size() >= req.max_output_file_size {
+                // PANIC-OK: only reachable inside the Some(builder) path.
                 let (number, mut b) = builder.take().expect("builder present when splitting");
                 let entries = b.num_entries();
                 let size = b.finish()?;
@@ -398,6 +413,7 @@ impl CompactionEngine for CpuCompactionEngine {
                 outcome.outputs.push(OutputTableMeta {
                     number,
                     file_size: size,
+                    // PANIC-OK: smallest is set whenever a builder opens.
                     smallest: smallest.take().expect("smallest set with builder"),
                     largest: InternalKey::from_encoded(largest_buf.clone()),
                     entries,
@@ -414,6 +430,7 @@ impl CompactionEngine for CpuCompactionEngine {
             outcome.outputs.push(OutputTableMeta {
                 number,
                 file_size: size,
+                // PANIC-OK: smallest is set whenever a builder opens.
                 smallest: smallest.take().expect("smallest set with builder"),
                 largest: InternalKey::from_encoded(largest_buf),
                 entries,

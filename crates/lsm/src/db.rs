@@ -309,6 +309,8 @@ impl Db {
                 std::thread::Builder::new()
                     .name(format!("lsm-background-{i}"))
                     .spawn(move || background_thread(bg_inner))
+                    // PANIC-OK: thread spawn fails only on resource
+                    // exhaustion at open(); no store state exists yet.
                     .expect("spawn background thread")
             })
             .collect();
@@ -368,6 +370,8 @@ impl Db {
         let result = slot
             .lock()
             .take()
+            // PANIC-OK: commit_write_group always fills every slot of the
+            // group it commits, and the leader's batch is in that group.
             .expect("leader's group includes its own batch");
         result
     }
@@ -673,6 +677,8 @@ impl DbInner {
                     BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
                     BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                 })
+                // PANIC-OK: iterate() re-walks a batch whose framing was
+                // validated when the WriteBatch was built.
                 .expect("batch validated on construction");
             }
             state.stats.group_commits += 1;

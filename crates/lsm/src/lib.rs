@@ -31,6 +31,7 @@ pub mod memtable;
 pub mod options;
 pub mod pipeline;
 pub mod repair;
+pub mod sync_shim;
 pub mod table_cache;
 pub mod version;
 pub mod wal;

@@ -17,9 +17,10 @@
 //! same merge order (ties by input index, as `MergingIterator` prefers
 //! earlier children), the same drop rules, the same table split points.
 
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
+
+use crate::sync_shim::{sync_channel, Receiver, SyncSender};
 
 use sstable::comparator::{Comparator, InternalKeyComparator};
 use sstable::ikey::InternalKey;
@@ -35,7 +36,31 @@ use crate::compaction::{
 use crate::{Error, Result};
 
 /// A batch of length-prefixed entries, or a stage error.
-type BatchResult = std::result::Result<Vec<u8>, Error>;
+pub(crate) type BatchResult = std::result::Result<Vec<u8>, Error>;
+
+/// Runs a stage body, converting a panic into an explicit `Err` batch on
+/// the stage's output channel (plus an `Err` return) instead of letting
+/// the unwound sender drop masquerade as clean end-of-input. Without
+/// this, a panicking read stage would silently *truncate* the merge
+/// (disconnect is how readers signal exhaustion), and a panicking merge
+/// stage would re-panic the encode thread mid-scope. The channel may
+/// itself be full or hung up; both are fine — a full channel means the
+/// consumer is alive and will drain to our error, and a hangup means the
+/// consumer is already gone and nobody needs it.
+pub(crate) fn catch_stage_panic<T>(
+    tx: &SyncSender<BatchResult>,
+    stage: &str,
+    body: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(result) => result,
+        Err(_) => {
+            let err = Error::Corruption(format!("{stage} stage panicked"));
+            let _ = tx.send(Err(err.clone_as_corruption()));
+            Err(err)
+        }
+    }
+}
 
 /// The staged software engine. Construction is config-only; every
 /// `compact` call spins up its own scoped threads and channels.
@@ -79,7 +104,10 @@ fn push_entry(batch: &mut Vec<u8>, key: &[u8], value: &[u8]) {
 /// pos). The framing is internal to this module, so a short batch is a
 /// logic bug, not input corruption.
 fn parse_entry(batch: &[u8], pos: usize) -> ((usize, usize), (usize, usize), usize) {
+    // PANIC-OK: framing is produced by push_entry in this module (see doc
+    // above); a short slice is a logic bug worth aborting on.
     let klen = u32::from_le_bytes(batch[pos..pos + 4].try_into().unwrap()) as usize;
+    // PANIC-OK: same framing invariant as the line above.
     let vlen = u32::from_le_bytes(batch[pos + 4..pos + 8].try_into().unwrap()) as usize;
     let kstart = pos + 8;
     let vstart = kstart + klen;
@@ -88,7 +116,17 @@ fn parse_entry(batch: &[u8], pos: usize) -> ((usize, usize), (usize, usize), usi
 
 /// Read stage: walks one input's table run and ships batches. A send
 /// failure means downstream hung up (error or early exit) — just stop.
-fn read_stage(tables: Vec<Arc<Table>>, batch_bytes: usize, tx: SyncSender<BatchResult>) {
+/// Panics inside the walk surface as an `Err` batch (see
+/// [`catch_stage_panic`]), never as a silently shorter stream.
+pub(crate) fn read_stage(tables: Vec<Arc<Table>>, batch_bytes: usize, tx: SyncSender<BatchResult>) {
+    let _ = catch_stage_panic(&tx, "read", || read_stage_inner(tables, batch_bytes, &tx));
+}
+
+fn read_stage_inner(
+    tables: Vec<Arc<Table>>,
+    batch_bytes: usize,
+    tx: &SyncSender<BatchResult>,
+) -> Result<()> {
     let mut it = ChainIterator::new(tables);
     it.seek_to_first();
     let mut batch = Vec::with_capacity(batch_bytes + 1024);
@@ -97,22 +135,23 @@ fn read_stage(tables: Vec<Arc<Table>>, batch_bytes: usize, tx: SyncSender<BatchR
         if batch.len() >= batch_bytes {
             let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_bytes + 1024));
             if tx.send(Ok(full)).is_err() {
-                return;
+                return Ok(());
             }
         }
         it.next();
     }
     if let Err(e) = it.status() {
         let _ = tx.send(Err(e.into()));
-        return;
+        return Ok(());
     }
     if !batch.is_empty() {
         let _ = tx.send(Ok(batch));
     }
+    Ok(())
 }
 
 /// One merge-side input: the current batch plus the entry cursor on it.
-struct MergeInput {
+pub(crate) struct MergeInput {
     rx: Receiver<BatchResult>,
     batch: Vec<u8>,
     pos: usize,
@@ -168,11 +207,24 @@ impl MergeInput {
 
 /// Merge stage: loser-tree k-way merge + drop filtering. Returns the
 /// number of entries dropped. A send failure means the encoder hung up.
-fn merge_stage(
+/// Panics inside the merge surface as an `Err` batch to the encoder (see
+/// [`catch_stage_panic`]) rather than re-panicking the join.
+pub(crate) fn merge_stage(
+    rxs: Vec<Receiver<BatchResult>>,
+    filter: DropFilter,
+    batch_bytes: usize,
+    tx: SyncSender<BatchResult>,
+) -> Result<u64> {
+    catch_stage_panic(&tx, "merge", || {
+        merge_stage_inner(rxs, filter, batch_bytes, &tx)
+    })
+}
+
+fn merge_stage_inner(
     rxs: Vec<Receiver<BatchResult>>,
     mut filter: DropFilter,
     batch_bytes: usize,
-    tx: SyncSender<BatchResult>,
+    tx: &SyncSender<BatchResult>,
 ) -> Result<u64> {
     let icmp = InternalKeyComparator::default();
     let mut inputs: Vec<MergeInput> = rxs.into_iter().map(MergeInput::new).collect();
@@ -261,12 +313,12 @@ impl CompactionEngine for PipelinedCompactionEngine {
         let encode_err = std::thread::scope(|s| -> Result<()> {
             let mut rxs = Vec::with_capacity(req.inputs.len());
             for input in &req.inputs {
-                let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+                let (tx, rx) = sync_channel(depth);
                 let tables = input.tables.clone();
                 s.spawn(move || read_stage(tables, batch_bytes, tx));
                 rxs.push(rx);
             }
-            let (mtx, mrx) = std::sync::mpsc::sync_channel(depth);
+            let (mtx, mrx) = sync_channel(depth);
             let filter = DropFilter::new(req.smallest_snapshot, req.bottommost);
             let merger = s.spawn(move || merge_stage(rxs, filter, batch_bytes, mtx));
 
@@ -291,20 +343,27 @@ impl CompactionEngine for PipelinedCompactionEngine {
                             ));
                             smallest = Some(InternalKey::from_encoded(key.to_vec()));
                         }
+                        // PANIC-OK: the branch above creates the
+                        // builder when None.
                         let (_, b) = builder.as_mut().expect("builder initialized above");
                         b.add(key, value)?;
                         outcome.entries_written += 1;
                         largest_buf.clear();
                         largest_buf.extend_from_slice(key);
                         if b.file_size() >= req.max_output_file_size {
-                            let (number, mut b) =
-                                builder.take().expect("builder present when splitting");
+                            let (number, mut b) = builder
+                                .take()
+                                // PANIC-OK: only reachable inside the
+                                // Some(builder) path.
+                                .expect("builder present when splitting");
                             let entries = b.num_entries();
                             let size = b.finish()?;
                             outcome.bytes_written += size;
                             outcome.outputs.push(OutputTableMeta {
                                 number,
                                 file_size: size,
+                                // PANIC-OK: smallest is set whenever
+                                // a builder opens.
                                 smallest: smallest.take().expect("smallest set with builder"),
                                 largest: InternalKey::from_encoded(largest_buf.clone()),
                                 entries,
@@ -316,9 +375,15 @@ impl CompactionEngine for PipelinedCompactionEngine {
             };
             let encode_result = encode();
             // Drain the channel on error so the merge thread can exit,
-            // then surface the most upstream failure first.
+            // then surface the most upstream failure first. The merge
+            // thread converts its own panics into `Err` returns
+            // (catch_stage_panic), so a failed join here can only mean a
+            // panic in that conversion itself — still surfaced as an
+            // error, never a deadlock or a cross-thread re-panic.
             drop(mrx);
-            let merge_result = merger.join().expect("merge stage panicked");
+            let merge_result = merger
+                .join()
+                .unwrap_or_else(|_| Err(Error::Corruption("merge stage panicked".into())));
             match merge_result {
                 Ok(dropped) => outcome.entries_dropped = dropped,
                 Err(e) => return Err(e),
@@ -331,6 +396,7 @@ impl CompactionEngine for PipelinedCompactionEngine {
                 outcome.outputs.push(OutputTableMeta {
                     number,
                     file_size: size,
+                    // PANIC-OK: smallest is set whenever a builder opens.
                     smallest: smallest.take().expect("smallest set with builder"),
                     largest: InternalKey::from_encoded(std::mem::take(&mut largest_buf)),
                     entries,
@@ -341,6 +407,153 @@ impl CompactionEngine for PipelinedCompactionEngine {
         encode_err?;
         outcome.wall_time = start.elapsed();
         Ok(outcome)
+    }
+}
+
+/// Loom models of the pipeline's channel protocol, built and run only
+/// under `RUSTFLAGS="--cfg loom"` (see `scripts/check.sh` and the
+/// `static-analysis` CI job). They explore the interleavings `cargo test`
+/// cannot pin down: shutdown while a bounded channel is full,
+/// backpressure release, and panic teardown.
+#[cfg(all(loom, test))]
+mod loom_models {
+    use super::*;
+    use sstable::ikey::{InternalKey, ValueType};
+
+    /// One length-prefixed batch holding `keys` as internal keys.
+    fn batch_of(keys: &[(&[u8], u64)]) -> Vec<u8> {
+        let mut b = Vec::new();
+        for (user_key, seq) in keys {
+            let ik = InternalKey::new(user_key, *seq, ValueType::Value);
+            push_entry(&mut b, ik.encoded(), user_key);
+        }
+        b
+    }
+
+    /// A sender blocked on a full bounded channel must wake and exit when
+    /// the receiver hangs up mid-stream — the pipeline's early-shutdown
+    /// path (encoder error). A deadlock here hangs the model and fails
+    /// the suite's timeout.
+    #[test]
+    fn shutdown_while_channel_full_releases_sender() {
+        loom::model(|| {
+            let (tx, rx) = sync_channel::<BatchResult>(1);
+            let producer = loom::thread::spawn(move || {
+                let mut sent = 0u32;
+                // Keep producing until downstream hangs up; with depth 1
+                // the channel is full almost immediately.
+                while tx.send(Ok(batch_of(&[(b"k", 1)]))).is_ok() {
+                    sent += 1;
+                    if sent > 64 {
+                        panic!("receiver hangup never observed");
+                    }
+                }
+                sent
+            });
+            let first = rx.recv().expect("producer sent at least one batch");
+            assert!(first.is_ok());
+            drop(rx); // shutdown with the channel possibly full
+            let sent = producer.join().expect("producer must exit, not deadlock");
+            assert!(sent >= 1);
+        });
+    }
+
+    /// Backpressure release: a depth-1 channel forces the producer to
+    /// block on every batch; the consumer must still observe every batch
+    /// in order, and the producer must terminate cleanly at end-of-input.
+    #[test]
+    fn backpressure_release_preserves_order_and_completeness() {
+        loom::model(|| {
+            let (tx, rx) = sync_channel::<BatchResult>(1);
+            let producer = loom::thread::spawn(move || {
+                for i in 0u8..6 {
+                    tx.send(Ok(vec![i])).expect("consumer drains all batches");
+                }
+            });
+            let got: Vec<u8> = rx.iter().map(|b| b.expect("no errors")[0]).collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+            producer.join().expect("producer exits after last send");
+        });
+    }
+
+    /// A read stage that panics mid-stream must surface as a merge
+    /// *error*, not as a silently truncated (but "successful") merge —
+    /// the channel-teardown bug class the guards exist for.
+    #[test]
+    fn reader_panic_is_an_error_not_truncation() {
+        // The injected panics are expected; keep the model output clean.
+        std::panic::set_hook(Box::new(|_| {}));
+        loom::model(|| {
+            let (tx, rx) = sync_channel(1);
+            let feeder = loom::thread::spawn(move || {
+                let _ = catch_stage_panic(&tx, "read", || -> Result<()> {
+                    let _ = tx.send(Ok(batch_of(&[(b"a", 1)])));
+                    panic!("injected reader fault");
+                });
+            });
+            let (mtx, mrx) = sync_channel(1);
+            let filter = DropFilter::new(u64::MAX, false);
+            let merger = loom::thread::spawn(move || merge_stage(vec![rx], filter, 64, mtx));
+            // Drain the merge output; the last batch must be the error.
+            let mut saw_err = false;
+            for b in mrx.iter() {
+                saw_err = b.is_err();
+            }
+            assert!(saw_err, "merge output ended without surfacing the panic");
+            let merged = merger.join().expect("merge thread itself must not panic");
+            assert!(merged.is_err(), "panicking reader produced a clean merge");
+            feeder
+                .join()
+                .expect("guarded feeder must not propagate panic");
+        });
+        let _ = std::panic::take_hook();
+    }
+
+    /// Three concurrent readers feed the loser-tree merge through
+    /// depth-1 channels; across all interleavings the merge must emit
+    /// every key exactly once, in global internal-key order.
+    #[test]
+    fn concurrent_feed_merges_sorted_and_complete() {
+        loom::model(|| {
+            let mut rxs = Vec::new();
+            let mut feeders = Vec::new();
+            for input in 0u64..3 {
+                let (tx, rx) = sync_channel(1);
+                rxs.push(rx);
+                feeders.push(loom::thread::spawn(move || {
+                    // Keys interleave across inputs: input 0 owns 0,3,6…
+                    for j in (input..30).step_by(3) {
+                        let key = format!("key{j:04}");
+                        let b = batch_of(&[(key.as_bytes(), j + 1)]);
+                        if tx.send(Ok(b)).is_err() {
+                            return;
+                        }
+                    }
+                }));
+            }
+            let (mtx, mrx) = sync_channel(1);
+            let filter = DropFilter::new(u64::MAX, false);
+            let merger = loom::thread::spawn(move || merge_stage(rxs, filter, 64, mtx));
+            let mut keys = Vec::new();
+            for b in mrx.iter() {
+                let b = b.expect("clean feed");
+                let mut pos = 0;
+                while pos < b.len() {
+                    let (k, _, next) = parse_entry(&b, pos);
+                    let ik = InternalKey::from_encoded(b[k.0..k.1].to_vec());
+                    keys.push(ik.user_key().to_vec());
+                    pos = next;
+                }
+            }
+            let expected: Vec<Vec<u8>> = (0u64..30)
+                .map(|j| format!("key{j:04}").into_bytes())
+                .collect();
+            assert_eq!(keys, expected);
+            assert_eq!(merger.join().unwrap().expect("merge ok"), 0);
+            for f in feeders {
+                f.join().expect("feeder exits");
+            }
+        });
     }
 }
 
@@ -463,6 +676,47 @@ mod tests {
                 assert_eq!(fa, fb, "{label} table {i} bytes");
             }
         }
+    }
+
+    #[test]
+    fn catch_stage_panic_converts_panic_into_channel_error() {
+        let (tx, rx) = sync_channel(1);
+        let result = catch_stage_panic(&tx, "test", || -> Result<()> {
+            panic!("injected stage fault");
+        });
+        assert!(result.is_err(), "panic must become an Err return");
+        match rx.recv() {
+            Ok(Err(Error::Corruption(msg))) => assert!(msg.contains("test stage panicked")),
+            other => panic!("expected an Err batch on the channel, got {other:?}"),
+        }
+        // Non-panicking bodies pass through untouched.
+        let ok = catch_stage_panic(&tx, "test", || Ok(7u64));
+        assert_eq!(ok.unwrap(), 7);
+    }
+
+    /// A reader that dies mid-stream must fail the merge; before the
+    /// stage guards, the dropped sender read as clean end-of-input and
+    /// the merge succeeded with silently truncated output.
+    #[test]
+    fn reader_panic_fails_merge_instead_of_truncating() {
+        let (tx, rx) = sync_channel(1);
+        let feeder = std::thread::spawn(move || {
+            let _ = catch_stage_panic(&tx, "read", || -> Result<()> {
+                let mut b = Vec::new();
+                let ik = InternalKey::new(b"a", 1, sstable::ikey::ValueType::Value);
+                push_entry(&mut b, ik.encoded(), b"va");
+                let _ = tx.send(Ok(b));
+                panic!("injected reader fault");
+            });
+        });
+        let (mtx, mrx) = sync_channel(4);
+        let merged = merge_stage(vec![rx], DropFilter::new(u64::MAX, false), 64, mtx);
+        assert!(merged.is_err(), "panicking reader must fail the merge");
+        let last = mrx.iter().last().expect("merge forwarded something");
+        assert!(last.is_err(), "encoder must see the error batch");
+        feeder
+            .join()
+            .expect("guarded feeder must not propagate panic");
     }
 
     #[test]

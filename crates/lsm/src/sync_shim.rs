@@ -1,0 +1,15 @@
+//! Concurrency primitives for the pipelined engine, swappable for loom.
+//!
+//! The staged pipeline ([`crate::pipeline`]) talks between threads over
+//! bounded channels. Production builds use `std::sync::mpsc`; building
+//! with `RUSTFLAGS="--cfg loom"` swaps in `loom`'s instrumented versions
+//! so the model suites (`loom_models` in `pipeline.rs`) can explore
+//! shutdown-while-full, backpressure-release, and panic-teardown
+//! interleavings. The re-exported API is the `std::sync::mpsc` subset the
+//! pipeline uses, identical under both cfgs — the models exercise the
+//! exact channel protocol production runs.
+
+#[cfg(loom)]
+pub use loom::sync::mpsc::{sync_channel, Receiver, SyncSender};
+#[cfg(not(loom))]
+pub use std::sync::mpsc::{sync_channel, Receiver, SyncSender};

@@ -376,6 +376,7 @@ impl VersionSet {
             self.create_manifest()?;
         }
         let record = edit.encode();
+        // PANIC-OK: create_manifest() just ran for the None case.
         let manifest = self.manifest.as_mut().expect("manifest created above");
         manifest.add_record(&record)?;
         manifest.flush()?;

@@ -29,6 +29,7 @@
 pub mod fault;
 pub mod metrics;
 pub mod queue;
+pub mod sync_shim;
 
 use std::time::{Duration, Instant};
 
@@ -38,7 +39,7 @@ use lsm::compaction::{
     WritePressure,
 };
 use lsm::PipelinedCompactionEngine;
-use parking_lot::{Condvar, Mutex};
+use sync_shim::{Condvar, Mutex};
 
 pub use fault::FaultInjector;
 pub use metrics::OffloadMetrics;
@@ -404,5 +405,306 @@ mod tests {
         assert_eq!(slot, Some(0));
         // ...but once the only slot is busy, a zero budget cannot wait.
         assert_eq!(svc.acquire_slot(JobClass::L0ToL1), None);
+    }
+}
+
+/// Loom model suite (`RUSTFLAGS="--cfg loom"`): the scheduler invariants
+/// that only break under adversarial interleavings — slot exclusivity,
+/// exactly-once execution across the fault-retry path, and priority-queue
+/// aging with concurrent enqueue/dequeue. The service is built against
+/// [`sync_shim`], so these models drive the exact lock/condvar protocol
+/// production uses.
+#[cfg(all(loom, test))]
+mod loom_models {
+    use std::path::Path;
+    use std::sync::Arc;
+
+    use loom::sync::atomic::{AtomicBool, Ordering};
+    use sstable::comparator::InternalKeyComparator;
+    use sstable::env::{MemEnv, StorageEnv, WritableFile};
+    use sstable::ikey::{parse_internal_key, InternalKey, ValueType};
+    use sstable::iterator::InternalIterator;
+    use sstable::table::{Table, TableReadOptions};
+    use sstable::table_builder::TableBuilderOptions;
+
+    use super::*;
+    use lsm::compaction::CompactionInput;
+
+    /// Two slots, four contending threads: a granted slot must never be
+    /// held by two jobs at once, and the free list must be whole after
+    /// the storm.
+    #[test]
+    fn slots_are_never_double_granted() {
+        loom::model(|| {
+            let cfg = OffloadConfig {
+                wait_budget: Duration::from_secs(30),
+                ..Default::default()
+            };
+            let svc = Arc::new(OffloadService::with_slots(FcaeConfig::two_input(), 2, cfg));
+            let claimed: Arc<Vec<AtomicBool>> =
+                Arc::new((0..2).map(|_| AtomicBool::new(false)).collect());
+            let mut threads = Vec::new();
+            for t in 0..4usize {
+                let svc = Arc::clone(&svc);
+                let claimed = Arc::clone(&claimed);
+                threads.push(loom::thread::spawn(move || {
+                    for _ in 0..3 {
+                        let slot = svc
+                            .acquire_slot(JobClass::from_level(t % 3))
+                            .expect("budget is far beyond any model schedule");
+                        assert!(
+                            !claimed[slot].swap(true, Ordering::SeqCst),
+                            "slot {slot} granted to two jobs at once"
+                        );
+                        // Mirror run_job's occupancy accounting so
+                        // release_slot's decrement balances.
+                        svc.state.lock().fpga_in_flight += 1;
+                        loom::thread::yield_now();
+                        claimed[slot].store(false, Ordering::SeqCst);
+                        svc.release_slot(slot);
+                    }
+                }));
+            }
+            for t in threads {
+                t.join().expect("contender thread must not panic");
+            }
+            let state = svc.state.lock();
+            assert_eq!(state.free_slots.len(), 2, "a slot leaked");
+            assert!(state.waiting.is_empty(), "a waiter was stranded");
+            assert_eq!(state.fpga_in_flight, 0);
+        });
+    }
+
+    fn builder_options() -> TableBuilderOptions {
+        TableBuilderOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            block_size: 512,
+            ..Default::default()
+        }
+    }
+
+    fn one_input(env: &MemEnv, path: &str) -> CompactionInput {
+        let f = env.create_writable(Path::new(path)).expect("mem create");
+        let mut b = sstable::table_builder::TableBuilder::new(builder_options(), f);
+        for i in 0..40u64 {
+            let t = if i % 9 == 0 {
+                ValueType::Deletion
+            } else {
+                ValueType::Value
+            };
+            let key = InternalKey::new(format!("key{i:04}").as_bytes(), i + 1, t);
+            b.add(key.encoded(), format!("val{i}").as_bytes())
+                .expect("add");
+        }
+        let size = b.finish().expect("finish");
+        let file = env.open_random_access(Path::new(path)).expect("open");
+        let read_opts = TableReadOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            ..Default::default()
+        };
+        CompactionInput {
+            tables: vec![Table::open(file, size, read_opts).expect("table")],
+        }
+    }
+
+    fn request(env: &MemEnv) -> CompactionRequest {
+        CompactionRequest {
+            level: 1,
+            inputs: vec![one_input(env, "/in")],
+            smallest_snapshot: 1 << 40,
+            bottommost: true,
+            builder_options: builder_options(),
+            max_output_file_size: 64 << 10,
+        }
+    }
+
+    /// Allocates numbered output files in a MemEnv, counting allocations
+    /// (a double-dispatched job would double the count).
+    struct MemFactory {
+        env: MemEnv,
+        counter: std::sync::atomic::AtomicU64,
+    }
+
+    impl OutputFileFactory for MemFactory {
+        fn new_output(&self) -> lsm::Result<(u64, Box<dyn WritableFile>)> {
+            let n = self
+                .counter
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                + 1;
+            let file = self
+                .env
+                .create_writable(Path::new(&format!("/out-{n}.ldb")))?;
+            Ok((n, file))
+        }
+    }
+
+    fn read_outputs(
+        env: &MemEnv,
+        outputs: &[lsm::compaction::OutputTableMeta],
+    ) -> Vec<(Vec<u8>, u64, ValueType, Vec<u8>)> {
+        let read_opts = TableReadOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            internal_key_filter: true,
+            ..Default::default()
+        };
+        let mut all = Vec::new();
+        for meta in outputs {
+            let path = format!("/out-{}.ldb", meta.number);
+            let file = env.open_random_access(Path::new(&path)).expect("open out");
+            let table = Table::open(file, meta.file_size, read_opts.clone()).expect("out table");
+            let mut it = table.iter();
+            it.seek_to_first();
+            while it.valid() {
+                let p = parse_internal_key(it.key()).expect("well-formed key");
+                all.push((
+                    p.user_key.to_vec(),
+                    p.sequence,
+                    p.value_type,
+                    it.value().to_vec(),
+                ));
+                it.next();
+            }
+            it.status().expect("clean iteration");
+        }
+        all
+    }
+
+    /// Three concurrent jobs, one injected device fault: the faulted job
+    /// must run on the CPU exactly once (never also on the device), every
+    /// job's output must match the single-threaded reference, and the
+    /// metrics must account for every dispatch.
+    #[test]
+    fn fault_retry_is_exactly_once_under_concurrency() {
+        // Single-threaded reference output, computed once.
+        let ref_env = MemEnv::new();
+        let ref_factory = MemFactory {
+            env: ref_env.clone(),
+            counter: Default::default(),
+        };
+        let ref_out = CpuCompactionEngine
+            .compact(&request(&ref_env), &ref_factory)
+            .expect("reference compaction");
+        let expected = Arc::new(read_outputs(&ref_env, &ref_out.outputs));
+        let expected_files = ref_out.outputs.len() as u64;
+        assert!(!expected.is_empty());
+
+        loom::model(move || {
+            let cfg = OffloadConfig {
+                wait_budget: Duration::from_secs(30),
+                ..Default::default()
+            };
+            let svc = Arc::new(OffloadService::with_slots(FcaeConfig::two_input(), 2, cfg));
+            svc.faults().inject(1);
+            let mut threads = Vec::new();
+            for _ in 0..3 {
+                let svc = Arc::clone(&svc);
+                let expected = Arc::clone(&expected);
+                threads.push(loom::thread::spawn(move || {
+                    let env = MemEnv::new();
+                    let factory = MemFactory {
+                        env: env.clone(),
+                        counter: Default::default(),
+                    };
+                    let out = svc
+                        .compact(&request(&env), &factory)
+                        .expect("faults are retried, not surfaced");
+                    assert_eq!(
+                        read_outputs(&env, &out.outputs),
+                        *expected,
+                        "job output diverged from the reference"
+                    );
+                    assert_eq!(
+                        factory.counter.load(std::sync::atomic::Ordering::SeqCst),
+                        expected_files,
+                        "a retried job must not allocate outputs twice"
+                    );
+                }));
+            }
+            for t in threads {
+                t.join().expect("job thread must not panic");
+            }
+            let m = svc.metrics();
+            assert_eq!(m.jobs_submitted, 3);
+            assert_eq!(m.device_faults, 1, "exactly the injected fault fires");
+            assert_eq!(m.cpu_retries_after_fault, 1, "one CPU retry per fault");
+            assert_eq!(m.fpga_jobs, 2, "unfaulted jobs stay on the device");
+            assert_eq!(
+                m.cpu_fallback_budget + m.cpu_fallback_oversized + m.cpu_fallback_timeout,
+                0,
+                "no job may take an unrelated CPU path in this model"
+            );
+            assert_eq!(svc.state.lock().jobs_in_flight, 0);
+        });
+    }
+
+    /// Aging regression under concurrent enqueue/dequeue: a Deeper(4)
+    /// waiter that has starved past five aging intervals must be served
+    /// before fresh L0ToL1 waiters when the slot frees — and every waiter
+    /// must be served exactly once.
+    #[test]
+    fn aged_deep_waiter_beats_fresh_l0_under_churn() {
+        loom::model(|| {
+            let cfg = OffloadConfig {
+                wait_budget: Duration::from_secs(30),
+                aging_interval: Duration::from_millis(2),
+                ..Default::default()
+            };
+            let svc = Arc::new(OffloadService::with_slots(FcaeConfig::two_input(), 1, cfg));
+            // Hold the only slot so every acquirer queues behind it.
+            let held = svc.acquire_slot(JobClass::Flush).expect("idle slot");
+            svc.state.lock().fpga_in_flight += 1;
+
+            let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let serve = |svc: &OffloadService,
+                         order: &std::sync::Mutex<Vec<&'static str>>,
+                         class: JobClass,
+                         tag: &'static str| {
+                let slot = svc.acquire_slot(class).expect("budget outlasts the model");
+                order.lock().expect("order lock").push(tag);
+                svc.state.lock().fpga_in_flight += 1;
+                svc.release_slot(slot);
+            };
+
+            let deep = {
+                let svc = Arc::clone(&svc);
+                let order = Arc::clone(&order);
+                loom::thread::spawn(move || serve(&svc, &order, JobClass::Deeper(4), "deep"))
+            };
+            // Deeper(4) must be queued before it can starve.
+            while svc.state.lock().waiting.is_empty() {
+                loom::thread::yield_now();
+            }
+            // Let it starve past five aging intervals (base rank 5 -> 0),
+            // then race in fresh L0 waiters — base rank 1, no aging yet.
+            std::thread::sleep(Duration::from_millis(11));
+            let mut l0s = Vec::new();
+            for _ in 0..2 {
+                let svc = Arc::clone(&svc);
+                let order = Arc::clone(&order);
+                l0s.push(loom::thread::spawn(move || {
+                    serve(&svc, &order, JobClass::L0ToL1, "l0")
+                }));
+            }
+            while svc.state.lock().waiting.len() < 3 {
+                loom::thread::yield_now();
+            }
+            svc.release_slot(held);
+
+            deep.join().expect("deep waiter");
+            for t in l0s {
+                t.join().expect("l0 waiter");
+            }
+            let order = order.lock().expect("order lock");
+            assert_eq!(order.len(), 3, "every waiter served exactly once");
+            assert_eq!(
+                order[0], "deep",
+                "starvation aging must promote the deep job past fresh L0 work"
+            );
+            let state = svc.state.lock();
+            assert_eq!(state.free_slots.len(), 1);
+            assert!(state.waiting.is_empty());
+        });
     }
 }

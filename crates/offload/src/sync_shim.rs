@@ -1,0 +1,123 @@
+//! Concurrency primitives for the scheduler, swappable for loom.
+//!
+//! [`crate::OffloadService`] guards its slot table with a
+//! parking_lot-style mutex/condvar pair. Production builds use
+//! `parking_lot` directly; building with `RUSTFLAGS="--cfg loom"` swaps
+//! in a facade over `loom`'s instrumented primitives so the model suites
+//! (`loom_models` in `lib.rs`) can explore slot-grant, fault-retry, and
+//! aging interleavings through the exact lock protocol production runs.
+//! The facade keeps parking_lot's calling convention — `lock()` returns
+//! the guard directly, `Condvar::wait*` borrows `&mut MutexGuard` — so
+//! the scheduler source is identical under both cfgs.
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub use self::loom_facade::{Condvar, Mutex, MutexGuard};
+
+#[cfg(loom)]
+mod loom_facade {
+    use std::sync::PoisonError;
+    use std::time::Instant;
+
+    /// Result of a timed wait (only `timed_out` is exposed, matching the
+    /// subset of parking_lot's type the scheduler uses).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        /// True if the wait ended because the deadline passed.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// parking_lot-shaped mutex over `loom::sync::Mutex`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: loom::sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        // `Option` so `Condvar::wait*` can temporarily take the loom
+        // guard (loom's wait consumes and returns it).
+        guard: Option<loom::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex (not `const`: loom's constructor isn't).
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: loom::sync::Mutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex, blocking until available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard { guard: Some(guard) }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // PANIC-OK: the Option is only None inside Condvar::wait*,
+            // which holds the guard exclusively for the duration.
+            self.guard.as_ref().expect("guard present outside wait")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // PANIC-OK: see deref().
+            self.guard.as_mut().expect("guard present outside wait")
+        }
+    }
+
+    /// Condition variable pairing with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: loom::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub fn new() -> Condvar {
+            Condvar::default()
+        }
+
+        /// Waits until `deadline`, releasing and reacquiring the guard's
+        /// mutex around the wait.
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            // PANIC-OK: see deref() — callers cannot observe the None.
+            let g = guard.guard.take().expect("guard present outside wait");
+            let (g, result) = match self.inner.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(e) => e.into_inner(),
+            };
+            guard.guard = Some(g);
+            WaitTimeoutResult(result.timed_out())
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+}

@@ -155,6 +155,8 @@ impl CpuPool {
             .enumerate()
             .min_by_key(|(_, &t)| t)
             .map(|(i, _)| i)
+            // PANIC-OK: constructors reject zero-core pools, so the
+            // min_by_key over busy_until always yields a core.
             .expect("pool has at least one core");
         let start = self.busy_until[core].max(now);
         let finish = start.saturating_add(duration);

@@ -113,6 +113,9 @@ impl Encoder {
 
 #[inline]
 fn load32(buf: &[u8], at: usize) -> u32 {
+    // PANIC-OK: every caller bounds-checks `at + 4 <= buf.len()` (the
+    // match loop stops 4 bytes before the end); slice of 4 infallibly
+    // converts.
     u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
 }
 

@@ -93,6 +93,7 @@ pub fn hash(data: &[u8], seed: u32) -> u32 {
     let mut h = seed ^ (M.wrapping_mul(data.len() as u32));
     let mut chunks = data.chunks_exact(4);
     for c in chunks.by_ref() {
+        // PANIC-OK: chunks_exact(4) yields exactly 4-byte slices.
         let w = u32::from_le_bytes(c.try_into().unwrap());
         h = h.wrapping_add(w);
         h = h.wrapping_mul(M);

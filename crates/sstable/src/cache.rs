@@ -49,6 +49,7 @@ impl Shard {
                 .iter()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| *k)
+                // PANIC-OK: the loop condition just checked !is_empty().
                 .expect("non-empty map");
             if let Some(e) = self.map.remove(&victim) {
                 self.bytes -= e.charge;

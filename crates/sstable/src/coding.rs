@@ -19,6 +19,7 @@ pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
 /// Panics if `src` is shorter than 4 bytes.
 #[inline]
 pub fn decode_fixed32(src: &[u8]) -> u32 {
+    // PANIC-OK: documented in the `# Panics` section above.
     u32::from_le_bytes(src[..4].try_into().unwrap())
 }
 
@@ -28,6 +29,7 @@ pub fn decode_fixed32(src: &[u8]) -> u32 {
 /// Panics if `src` is shorter than 8 bytes.
 #[inline]
 pub fn decode_fixed64(src: &[u8]) -> u64 {
+    // PANIC-OK: documented in the `# Panics` section above.
     u64::from_le_bytes(src[..8].try_into().unwrap())
 }
 

@@ -57,11 +57,15 @@ pub fn extend(init: u32, data: &[u8]) -> u32 {
 /// Hardware CRC32C via the SSE 4.2 `crc32` instruction, 8 bytes at a time.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.2")]
+// SAFETY: `unsafe` only because of `target_feature`; callers must have
+// verified SSE 4.2 support (the sole caller, `extend`, feature-detects at
+// runtime). The body itself performs no raw-pointer or aliasing tricks.
 unsafe fn extend_hw(init: u32, data: &[u8]) -> u32 {
     use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
     let mut crc = u64::from(!init);
     let mut chunks = data.chunks_exact(8);
     for c in chunks.by_ref() {
+        // PANIC-OK: chunks_exact(8) yields exactly 8-byte slices.
         crc = _mm_crc32_u64(crc, u64::from_le_bytes(c.try_into().unwrap()));
     }
     let mut crc = crc as u32;
@@ -77,7 +81,9 @@ fn extend_sw(init: u32, data: &[u8]) -> u32 {
     let mut crc = !init;
     let mut chunks = data.chunks_exact(8);
     for c in chunks.by_ref() {
+        // PANIC-OK: chunks_exact(8) yields exactly 8-byte slices.
         let lo = crc ^ u32::from_le_bytes(c[..4].try_into().unwrap());
+        // PANIC-OK: same 8-byte chunk as the line above.
         let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
         crc = t[7][(lo & 0xff) as usize]
             ^ t[6][((lo >> 8) & 0xff) as usize]

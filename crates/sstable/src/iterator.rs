@@ -48,15 +48,20 @@ impl InternalIterator for EmptyIterator {
     fn seek_to_last(&mut self) {}
     fn seek(&mut self, _target: &[u8]) {}
     fn next(&mut self) {
+        // PANIC-OK: InternalIterator contract — never valid(), so
+        // position/accessor calls are caller bugs.
         unreachable!("next on empty iterator")
     }
     fn prev(&mut self) {
+        // PANIC-OK: see next().
         unreachable!("prev on empty iterator")
     }
     fn key(&self) -> &[u8] {
+        // PANIC-OK: see next().
         unreachable!("key on empty iterator")
     }
     fn value(&self) -> &[u8] {
+        // PANIC-OK: see next().
         unreachable!("value on empty iterator")
     }
     fn status(&self) -> Result<()> {
@@ -223,6 +228,7 @@ impl InternalIterator for MergingIterator {
     }
 
     fn next(&mut self) {
+        // PANIC-OK: InternalIterator contract — next() only when valid().
         let cur = self.current.expect("next on invalid merging iterator");
         if !self.forward {
             // Children other than `cur` sit at entries <= key(); move them
@@ -239,11 +245,13 @@ impl InternalIterator for MergingIterator {
             }
             self.forward = true;
         }
+        // PANIC-OK: current was Some at entry and is untouched above.
         self.children[self.current.unwrap()].next();
         self.find_smallest();
     }
 
     fn prev(&mut self) {
+        // PANIC-OK: InternalIterator contract — prev() only when valid().
         let cur = self.current.expect("prev on invalid merging iterator");
         if self.forward {
             let key = self.children[cur].key().to_vec();
@@ -260,15 +268,18 @@ impl InternalIterator for MergingIterator {
             }
             self.forward = false;
         }
+        // PANIC-OK: current was Some at entry and is untouched above.
         self.children[self.current.unwrap()].prev();
         self.find_largest();
     }
 
     fn key(&self) -> &[u8] {
+        // PANIC-OK: InternalIterator contract — key() only when valid().
         self.children[self.current.expect("key on invalid iterator")].key()
     }
 
     fn value(&self) -> &[u8] {
+        // PANIC-OK: InternalIterator contract — value() only when valid().
         self.children[self.current.expect("value on invalid iterator")].value()
     }
 

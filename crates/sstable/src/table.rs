@@ -346,6 +346,7 @@ impl InternalIterator for TableIterator {
     fn key(&self) -> &[u8] {
         self.data_iter
             .as_ref()
+            // PANIC-OK: InternalIterator contract — key() only when valid().
             .expect("key on invalid iterator")
             .key()
     }
@@ -353,6 +354,7 @@ impl InternalIterator for TableIterator {
     fn value(&self) -> &[u8] {
         self.data_iter
             .as_ref()
+            // PANIC-OK: InternalIterator contract — value() only when valid().
             .expect("value on invalid iterator")
             .value()
     }

@@ -192,6 +192,8 @@ impl TableBuilder {
                 .options
                 .filter_policy
                 .as_ref()
+                // PANIC-OK: filter_handle is only Some when a policy was
+                // configured and its block was written.
                 .expect("filter handle implies policy")
                 .name();
             metaindex.add(format!("filter.{name}").as_bytes(), &handle.encode());

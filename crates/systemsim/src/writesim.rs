@@ -316,6 +316,7 @@ impl WriteSim {
         // Flush has priority (paper §VI-A: dump of the immutable memtable
         // is the first compaction type).
         if self.imm.is_some() && !self.flush_active {
+            // PANIC-OK: is_some() checked on the line above.
             let raw = self.imm.expect("imm checked above");
             let stored = (raw as f64 * self.cfg.compression_ratio) as u64;
             let dur = self.jittered(
@@ -506,6 +507,8 @@ impl WriteSim {
                 self.target_bytes
             );
             let Some((_, ev)) = self.queue.pop() else {
+                // PANIC-OK: an empty queue with the writer incomplete is a
+                // simulator bug (lost wakeup); abort with full state.
                 panic!(
                     "event queue drained while writer incomplete: blocked={:?} imm={:?} l0={:?}",
                     self.writer_blocked, self.imm, self.levels[0]
@@ -514,6 +517,8 @@ impl WriteSim {
             match ev {
                 Ev::ChunkDone => self.on_chunk_done(),
                 Ev::FlushDone => {
+                    // PANIC-OK: FlushDone is only scheduled while imm is
+                    // held, and nothing else clears it.
                     let raw = self.imm.take().expect("flush completed without imm");
                     let stored = (raw as f64 * self.cfg.compression_ratio) as u64;
                     self.levels[0].bytes += stored;
@@ -526,6 +531,8 @@ impl WriteSim {
                 Ev::KernelDone(id) => {
                     // Host phase 2: DMA out over the shared link + write
                     // outputs to disk.
+                    // PANIC-OK: KernelDone(id) is scheduled when job
+                    // `id` is inserted; only CompDone removes it.
                     let job = *self.jobs.get(&id).expect("kernel done without job");
                     let start = self.host_busy_until.max(self.queue.now());
                     let (dma_start, dma_end) = self.pcie_bus.transfer(start, job.bytes_out);
@@ -536,6 +543,8 @@ impl WriteSim {
                     self.queue.schedule_at(end, Ev::CompDone(id));
                 }
                 Ev::CompDone(id) => {
+                    // PANIC-OK: CompDone(id) follows KernelDone(id)
+                    // exactly once; the job is still in the map.
                     let job = self.jobs.remove(&id).expect("comp done without job");
                     if job.bytes_in > 0 {
                         self.apply_compaction(&job, true);
@@ -546,6 +555,7 @@ impl WriteSim {
             }
         }
 
+        // PANIC-OK: the loop condition is writer_done_at.is_none().
         let end = self.writer_done_at.expect("loop exits only when done");
         let total = to_secs_f64(end);
         self.report.bytes_written = self.written;

@@ -1,0 +1,27 @@
+// Lint fixture (not compiled): `paper-constants` positive and negative
+// cases. Lines are asserted by number in tests/lints_fire.rs.
+
+const BAD_INLINE: f64 = 3.25; // line 4: numeric const outside paper_tables
+
+pub use crate::paper_tables::GOOD_REEXPORT;
+
+fn allowed_floats(x: f64) -> f64 {
+    (x / 1e6).max(1.0) + 0.0 // allowlisted literals: fine
+}
+
+fn bad_magic(x: f64) -> f64 {
+    x * 2.75 // line 13: magic float
+}
+
+// PAPER-CONST-OK: fixture demonstrating the waiver form.
+const WAIVED: f64 = 9.81;
+
+#[cfg(test)]
+mod tests {
+    const TEST_LOCAL: f64 = 123.456; // in tests: exempt
+
+    #[test]
+    fn t() {
+        assert!(TEST_LOCAL > 2.5);
+    }
+}

@@ -1,0 +1,30 @@
+// Lint fixture (not compiled): `determinism` positive and negative
+// cases. tests/lints_fire.rs asserts violations by line number — keep
+// the layout stable.
+
+use std::time::Instant;
+
+fn bad_wall_clock() -> Instant {
+    Instant::now() // expected violation (line 8)
+}
+
+fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // expected violation (line 12)
+}
+
+fn waived_wall_clock() -> Instant {
+    // DETERMINISM-OK: host-side measurement reported alongside modeled time.
+    Instant::now()
+}
+
+fn modeled_time(cycles: u64, cycle_time_sec: f64) -> f64 {
+    cycles as f64 * cycle_time_sec
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,39 @@
+// Lint fixture (not compiled): `no-panics` positive and negative cases.
+// tests/lints_fire.rs asserts violations by line number — keep the
+// layout stable.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // expected violation (line 6)
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("value present") // expected violation (line 10)
+}
+
+fn bad_panic() {
+    panic!("boom"); // expected violation (line 14)
+}
+
+fn fine_unwrap_or(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) // not the panicking form: fine
+}
+
+fn waived(v: &[u32]) -> u32 {
+    // PANIC-OK: the slice is non-empty by the caller's contract.
+    *v.first().unwrap()
+}
+
+fn waived_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // PANIC-OK: caller guarantees Some by construction.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let s = "7".parse::<u32>().expect("digit");
+        assert_eq!(s, 7);
+    }
+}

@@ -1,0 +1,20 @@
+// Lint fixture (not compiled): `safety-comments` positive and negative
+// cases. tests/lints_fire.rs asserts violations by line number — keep
+// the layout stable.
+
+fn bad() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() }; // expected violation (line 7)
+}
+
+fn good_trailing() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() }; // SAFETY: pointer derives from a live array.
+}
+
+fn good_block_above() {
+    let x = [1u8, 2];
+    // SAFETY: pointer derives from a live array; index 0 is in bounds.
+    #[allow(unused)]
+    let _ = unsafe { *x.as_ptr() };
+}

@@ -1,0 +1,52 @@
+//! `cargo xtask` — repo automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the invariant lints (see [`xtask`] crate docs) over the
+//!   whole repo. Exits nonzero if any lint fires; prints one
+//!   `path:line: [lint] message` per violation.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // The xtask manifest lives at <root>/crates/xtask.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the repo root"); // PANIC-OK: dev tool, structural invariant of this repo.
+    let violations = xtask::lint_repo(root);
+    if violations.is_empty() {
+        println!("xtask lint: clean (safety-comments, paper-constants, determinism, no-panics)");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            // Paths relative to the root read better in CI logs.
+            let rel = v
+                .file
+                .strip_prefix(root)
+                .unwrap_or(&v.file)
+                .display()
+                .to_string();
+            eprintln!("{rel}:{}: [{}] {}", v.line, v.lint, v.message);
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,15 +1,41 @@
 #!/usr/bin/env bash
 # Full verification, mirroring .github/workflows/ci.yml (fmt, clippy,
-# tier-1 build+test) and then going further: docs, release tests, and
-# every experiment bench.
+# xtask lints, tier-1 build+test, loom models) and then going further:
+# docs, release tests, and every experiment bench. Tools CI runs on
+# nightly (miri, TSan) and cargo-deny are skipped gracefully when not
+# installed locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # CI jobs.
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Repo invariant lints: SAFETY comments, paper-table constants,
+# wall-clock bans in model code, no-panics in libraries.
+cargo xtask lint
 cargo build --release
 cargo test -q
+
+# Loom model suites (shutdown/backpressure/fault-retry/aging
+# interleavings). Deadlocks present as hangs, so bound them.
+RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p lsm --lib -q
+RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p offload --lib -q
+RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p fcae --test loom_comparer -q
+
+# Nightly-only / optional tooling: run when available, skip otherwise
+# (CI's static-analysis, miri, and tsan jobs are authoritative).
+if cargo deny --version >/dev/null 2>&1; then
+    cargo deny check bans licenses sources
+else
+    echo "skip: cargo-deny not installed"
+fi
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p sstable --lib
+    MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p snap-codec --lib
+    MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p fcae --lib
+else
+    echo "skip: miri not installed"
+fi
 
 # Extended checks.
 cargo build --workspace --all-targets

@@ -1,0 +1,84 @@
+//! `loom::sync::atomic` — std atomics with scheduling points on every
+//! access. Only the operations the workspace's models use are mirrored.
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic {
+    ($name:ident, $std:path, $ty:ty) => {
+        /// Scheduling-point-instrumented atomic.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic. (Not `const fn`: real loom's isn't.)
+            pub fn new(v: $ty) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $ty {
+                crate::sched_point();
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $ty, order: Ordering) {
+                crate::sched_point();
+                self.inner.store(v, order)
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                crate::sched_point();
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                crate::sched_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:path, $ty:ty) => {
+        atomic!($name, $std, $ty);
+
+        impl $name {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                crate::sched_point();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                crate::sched_point();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic max, returning the previous value.
+            pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                crate::sched_point();
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);

@@ -1,0 +1,24 @@
+//! `loom::thread` — std threads whose spawn/join edges are scheduling
+//! points, and whose bodies inherit the model iteration's seed.
+
+pub use std::thread::JoinHandle;
+
+/// Spawns a thread; the child's first scheduling point re-seeds from the
+/// current model iteration (see `RNG` lazy init in the crate root).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    crate::sched_point();
+    std::thread::spawn(move || {
+        crate::sched_point();
+        f()
+    })
+}
+
+/// Yields the current thread (also a scheduling point).
+pub fn yield_now() {
+    crate::sched_point();
+    std::thread::yield_now();
+}
