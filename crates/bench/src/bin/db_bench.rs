@@ -29,6 +29,8 @@ struct Config {
     engine: String,
     n_inputs: usize,
     db_path: PathBuf,
+    /// Dump the store's stats/metrics/trace exports after the run.
+    stats: bool,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -40,10 +42,16 @@ fn parse_args() -> Result<Config, String> {
         engine: "cpu".into(),
         n_inputs: 9,
         db_path: std::env::temp_dir().join("fcae-db-bench"),
+        stats: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--stats" {
+            cfg.stats = true;
+            i += 1;
+            continue;
+        }
         let (flag, value) = match args[i].split_once('=') {
             Some((f, v)) => (f.to_string(), v.to_string()),
             None => {
@@ -179,6 +187,18 @@ fn main() {
             "modeled device time: kernel {:?}, PCIe {:?}",
             stats.modeled_kernel_time, stats.modeled_transfer_time
         );
+    }
+    if cfg.stats {
+        for prop in ["lsm.stats", "lsm.metrics", "lsm.trace"] {
+            println!("------------------------------------------------");
+            println!("[{prop}]");
+            if let Some(text) = db.property(prop) {
+                print!("{text}");
+                if !text.ends_with('\n') {
+                    println!();
+                }
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&cfg.db_path);
 }

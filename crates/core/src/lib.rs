@@ -40,6 +40,7 @@
 
 pub use fcae;
 pub use lsm;
+pub use obs;
 pub use offload;
 pub use simkit;
 pub use snap_codec;

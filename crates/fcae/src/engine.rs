@@ -44,6 +44,9 @@ pub struct KernelReport {
     pub pairs_compared: u64,
     /// Pairs dropped by the validity check.
     pub pairs_dropped: u64,
+    /// Per-module attribution of `cycles` (decoder/comparer/transfer/
+    /// encoder/AXI bottleneck shares plus overhead and memory stalls).
+    pub breakdown: crate::timing::ModuleBreakdown,
 }
 
 /// The simulated FPGA compaction engine.
@@ -201,6 +204,7 @@ impl FcaeEngine {
             pcie_time_sec,
             pairs_compared: comparer.selections,
             pairs_dropped: comparer.dropped,
+            breakdown: model.breakdown(),
         };
         Ok((tables, model, report))
     }

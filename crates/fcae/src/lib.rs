@@ -41,7 +41,7 @@ pub use config::{AblationFlags, FcaeConfig, PcieConfig};
 pub use cpu_model::CpuCostModel;
 pub use engine::{FcaeEngine, KernelReport};
 pub use resources::{ResourceModel, Utilization};
-pub use timing::PipelineModel;
+pub use timing::{ModuleBreakdown, PipelineModel};
 
 /// Engine errors are the store's errors: the engine is a drop-in
 /// [`lsm::CompactionEngine`].

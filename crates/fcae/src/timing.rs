@@ -51,6 +51,64 @@ pub use crate::paper_tables::{
     VALUE_DATAPATH_PASSES,
 };
 
+/// Per-module cycle attribution for one kernel invocation.
+///
+/// Each merged pair's period is charged to the module that bottlenecked
+/// it (the `max` in [`PipelineModel::pair_period`], ties broken in
+/// pipeline order), so the fields always sum to
+/// [`PipelineModel::cycles`]: `decoder + comparer + transfer + encoder +
+/// axi + overhead + memory == cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModuleBreakdown {
+    /// Cycles where the Data Block Decoder was the bottleneck.
+    pub decoder: f64,
+    /// Cycles where the Comparer was the bottleneck.
+    pub comparer: f64,
+    /// Cycles where Key-Value Transfer was the bottleneck.
+    pub transfer: f64,
+    /// Cycles where the Data Block Encoder was the bottleneck.
+    pub encoder: f64,
+    /// Cycles where AXI ingress/egress was the bottleneck.
+    pub axi: f64,
+    /// Fixed per-entry control overhead plus the pipeline fill.
+    pub overhead: f64,
+    /// DRAM block fetch/flush stalls and output table resets.
+    pub memory: f64,
+}
+
+impl ModuleBreakdown {
+    /// Sum of every attribution bucket; equals the model's total cycles.
+    pub fn total(&self) -> f64 {
+        self.decoder
+            + self.comparer
+            + self.transfer
+            + self.encoder
+            + self.axi
+            + self.overhead
+            + self.memory
+    }
+}
+
+/// Steady-state period of each pipeline module for one pair; the
+/// engine's emission period is the max over them.
+struct ModulePeriods {
+    decoder: f64,
+    comparer: f64,
+    transfer: f64,
+    encoder: f64,
+    axi: f64,
+}
+
+impl ModulePeriods {
+    fn max(&self) -> f64 {
+        self.decoder
+            .max(self.comparer)
+            .max(self.transfer)
+            .max(self.encoder)
+            .max(self.axi)
+    }
+}
+
 /// Accumulates cycles for one kernel invocation.
 #[derive(Debug, Clone)]
 pub struct PipelineModel {
@@ -61,6 +119,7 @@ pub struct PipelineModel {
     blocks_out: u64,
     tables_out: u64,
     filled: bool,
+    breakdown: ModuleBreakdown,
 }
 
 impl PipelineModel {
@@ -74,6 +133,7 @@ impl PipelineModel {
             blocks_out: 0,
             tables_out: 0,
             filled: false,
+            breakdown: ModuleBreakdown::default(),
         }
     }
 
@@ -91,9 +151,8 @@ impl PipelineModel {
         value_len * (VALUE_DATAPATH_PASSES / self.v() + MEM_CYCLES_PER_VALUE_BYTE)
     }
 
-    /// Steady-state period (cycles/pair) for a pair of the given lengths.
-    /// Exposed so experiments can query the analytic bottleneck directly.
-    pub fn pair_period(&self, key_len: usize, value_len: usize) -> f64 {
+    /// Per-module periods (cycles/pair) for a pair of the given lengths.
+    fn module_periods(&self, key_len: usize, value_len: usize) -> ModulePeriods {
         let k = key_len as f64;
         let l = value_len as f64;
         let n = self.config.n_inputs as f64;
@@ -107,10 +166,6 @@ impl PipelineModel {
             (k + l / self.v(), self.value_cycles(l) + k)
         };
 
-        let decoder = k + self.value_cycles(l);
-        let comparer = (COMPARER_BASE_STAGES + log2n) * cmp_payload;
-        let transfer = k.max(xfer_value);
-        let encoder = k;
         // AXI ingress/egress: the stored pair must stream through W_in /
         // W_out byte lanes (per input; inputs stream in parallel).
         let (w_in, w_out) = if self.config.ablation.wide_transmission {
@@ -118,36 +173,60 @@ impl PipelineModel {
         } else {
             (1.0, 1.0)
         };
-        let axi_in = (k + l) / w_in;
-        let axi_out = (k + l) / w_out;
         let _ = n;
 
-        decoder
-            .max(comparer)
-            .max(transfer)
-            .max(encoder)
-            .max(axi_in)
-            .max(axi_out)
+        ModulePeriods {
+            decoder: k + self.value_cycles(l),
+            comparer: (COMPARER_BASE_STAGES + log2n) * cmp_payload,
+            transfer: k.max(xfer_value),
+            encoder: k,
+            axi: ((k + l) / w_in).max((k + l) / w_out),
+        }
+    }
+
+    /// Steady-state period (cycles/pair) for a pair of the given lengths.
+    /// Exposed so experiments can query the analytic bottleneck directly.
+    pub fn pair_period(&self, key_len: usize, value_len: usize) -> f64 {
+        self.module_periods(key_len, value_len).max()
     }
 
     /// Charges one merged pair. `kept` is false for entries the validity
     /// check dropped (they skip transfer/encode but still paid decode and
     /// compare, which the max-based period already covers).
     pub fn on_pair(&mut self, key_len: usize, value_len: usize, kept: bool) {
+        let periods = self.module_periods(key_len, value_len);
+        let period = periods.max();
         if !self.filled {
             // Pipeline fill: one pass through every stage before the
             // steady state.
-            self.cycles += PIPELINE_FILL_PERIODS * self.pair_period(key_len, value_len);
+            let fill = PIPELINE_FILL_PERIODS * period;
+            self.cycles += fill;
+            self.breakdown.overhead += fill;
             self.filled = true;
         }
-        let mut cycles = self.pair_period(key_len, value_len) + ENTRY_OVERHEAD_CYCLES;
-        if !kept {
+        let charged = if kept {
+            period
+        } else {
             // Dropped pairs do not cross transfer/encode; they cost the
             // decode/compare legs only.
-            cycles = self.pair_period(key_len, value_len) * DROPPED_PAIR_PERIOD_FACTOR
-                + ENTRY_OVERHEAD_CYCLES;
-        }
-        self.cycles += cycles;
+            period * DROPPED_PAIR_PERIOD_FACTOR
+        };
+        // Attribute the pair to its bottleneck module (ties broken in
+        // pipeline order).
+        let bucket = if periods.decoder >= period {
+            &mut self.breakdown.decoder
+        } else if periods.comparer >= period {
+            &mut self.breakdown.comparer
+        } else if periods.transfer >= period {
+            &mut self.breakdown.transfer
+        } else if periods.encoder >= period {
+            &mut self.breakdown.encoder
+        } else {
+            &mut self.breakdown.axi
+        };
+        *bucket += charged;
+        self.breakdown.overhead += ENTRY_OVERHEAD_CYCLES;
+        self.cycles += charged + ENTRY_OVERHEAD_CYCLES;
         self.pairs += 1;
     }
 
@@ -163,6 +242,7 @@ impl PipelineModel {
             BASIC_INDEX_FETCH_ROUND_TRIPS * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
         };
         self.cycles += stall + BLOCK_SETUP_CYCLES;
+        self.breakdown.memory += stall + BLOCK_SETUP_CYCLES;
     }
 
     /// Charges an output data block flush (and its index entry, which is
@@ -177,17 +257,24 @@ impl PipelineModel {
             BASIC_INDEX_FLUSH_ROUND_TRIPS * DRAM_READ_LATENCY_CYCLES + BLOCK_SETUP_CYCLES
         };
         self.cycles += stall;
+        self.breakdown.memory += stall;
     }
 
     /// Charges completion of one output SSTable.
     pub fn on_table_complete(&mut self) {
         self.tables_out += 1;
         self.cycles += TABLE_RESET_CYCLES;
+        self.breakdown.memory += TABLE_RESET_CYCLES;
     }
 
     /// Total cycles so far.
     pub fn cycles(&self) -> f64 {
         self.cycles
+    }
+
+    /// Per-module attribution of [`cycles`](Self::cycles).
+    pub fn breakdown(&self) -> ModuleBreakdown {
+        self.breakdown
     }
 
     /// Pairs processed.
@@ -320,6 +407,39 @@ mod tests {
         dropped.on_pair(K, 512, true);
         dropped.on_pair(K, 512, false);
         assert!(dropped.cycles() < kept.cycles());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_cycles() {
+        let mut m = PipelineModel::new(FcaeConfig::nine_input());
+        for i in 0..200usize {
+            m.on_block_fetch();
+            m.on_pair(K, 32 + (i * 37) % 2048, i % 7 != 0);
+            if i % 13 == 0 {
+                m.on_block_flush();
+            }
+        }
+        m.on_table_complete();
+        let b = m.breakdown();
+        assert!((b.total() - m.cycles()).abs() < 1e-6 * m.cycles());
+        assert!(b.overhead > 0.0, "{b:?}");
+        assert!(b.memory > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn breakdown_attributes_to_the_bottleneck_module() {
+        // Small values with N=2, V=64: the comparer dominates (3·K).
+        let mut m = PipelineModel::new(FcaeConfig::two_input().with_v(64));
+        m.on_pair(K, 64, true);
+        let b = m.breakdown();
+        assert!(b.comparer > 0.0, "{b:?}");
+        assert_eq!(b.decoder, 0.0, "{b:?}");
+        // Huge values flip the bottleneck to the decoder.
+        let mut m = PipelineModel::new(FcaeConfig::two_input().with_v(64));
+        m.on_pair(K, 4096, true);
+        let b = m.breakdown();
+        assert!(b.decoder > 0.0, "{b:?}");
+        assert_eq!(b.comparer, 0.0, "{b:?}");
     }
 
     #[test]

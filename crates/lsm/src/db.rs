@@ -46,6 +46,20 @@ use crate::wal::{LogReader, LogWriter};
 use crate::write_batch::{BatchOp, WriteBatch};
 use crate::{Error, Result};
 
+/// Per-level compaction activity (LevelDB's `leveldb.stats` rows).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LevelCompactionStats {
+    /// Compactions whose inputs started at this level.
+    pub compactions: u64,
+    /// Bytes read by those compactions (inputs at this level and the
+    /// overlapping files at `level + 1`).
+    pub bytes_read: u64,
+    /// Bytes written into `level + 1`.
+    pub bytes_written: u64,
+    /// Input files merged away.
+    pub files_merged: u64,
+}
+
 /// Aggregate statistics exposed for the experiments.
 #[derive(Debug, Default, Clone)]
 pub struct DbStats {
@@ -85,6 +99,8 @@ pub struct DbStats {
     pub backpressure_slowdowns: u64,
     /// Writes stalled because the engine reported `WritePressure::Stop`.
     pub backpressure_stalls: u64,
+    /// Per-level compaction traffic, indexed by the input level.
+    pub per_level: [LevelCompactionStats; NUM_LEVELS],
 }
 
 struct DbState {
@@ -115,10 +131,36 @@ struct DbState {
     stats: DbStats,
 }
 
+/// Pre-registered hot-path metric handles (the registry mutex is
+/// touched once at open, not per operation).
+struct DbMetrics {
+    get_micros: Arc<obs::Histogram>,
+    put_micros: Arc<obs::Histogram>,
+    group_size: Arc<obs::Histogram>,
+    stall_micros: Arc<obs::Counter>,
+    flush_count: Arc<obs::Counter>,
+    flush_bytes: Arc<obs::Counter>,
+}
+
+impl DbMetrics {
+    fn new(registry: &obs::Registry) -> Self {
+        DbMetrics {
+            get_micros: registry.histogram("lsm.get_micros"),
+            put_micros: registry.histogram("lsm.put_micros"),
+            group_size: registry.histogram("lsm.write.group_size"),
+            stall_micros: registry.counter("lsm.stall_micros"),
+            flush_count: registry.counter("lsm.flush.count"),
+            flush_bytes: registry.counter("lsm.flush.bytes"),
+        }
+    }
+}
+
 struct DbInner {
     dir: PathBuf,
     options: Options,
     engine: Arc<dyn CompactionEngine>,
+    obs: Arc<obs::Obs>,
+    metrics: DbMetrics,
     state: Mutex<DbState>,
     /// The WAL has its own lock so the group-commit leader can append
     /// (and fsync) without blocking readers or enqueueing writers.
@@ -272,12 +314,17 @@ impl Db {
         }
         versions.log_and_apply(edit)?;
 
-        let table_cache = TableCache::new(dir.clone(), options.clone(), 1000);
+        let obs = options.obs.clone().unwrap_or_else(obs::Obs::wall);
+        let metrics = DbMetrics::new(&obs.registry);
+        let table_cache =
+            TableCache::new(dir.clone(), options.clone(), 1000).with_trace(Arc::clone(&obs.trace));
         let last_sequence = AtomicU64::new(versions.last_sequence);
         let inner = Arc::new(DbInner {
             dir,
             options,
             engine,
+            obs,
+            metrics,
             state: Mutex::new(DbState {
                 mem,
                 imm: None,
@@ -340,6 +387,16 @@ impl Db {
     /// writer queue does. Followers enqueue while the leader is in WAL
     /// I/O, which is what makes grouping effective.
     pub fn write(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
+        let t0 = self.inner.obs.now_micros();
+        let result = self.write_inner(batch, opts);
+        self.inner
+            .metrics
+            .put_micros
+            .record(self.inner.obs.now_micros().saturating_sub(t0));
+        result
+    }
+
+    fn write_inner(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
         let inner = &self.inner;
         let slot = Arc::new(Mutex::new(None::<Result<()>>));
         let mut state = inner.state.lock();
@@ -378,6 +435,16 @@ impl Db {
 
     /// Point lookup at the latest (or a snapshot) sequence.
     pub fn get_with(&self, key: &[u8], opts: ReadOptions) -> Result<Option<Vec<u8>>> {
+        let t0 = self.inner.obs.now_micros();
+        let result = self.get_with_inner(key, opts);
+        self.inner
+            .metrics
+            .get_micros
+            .record(self.inner.obs.now_micros().saturating_sub(t0));
+        result
+    }
+
+    fn get_with_inner(&self, key: &[u8], opts: ReadOptions) -> Result<Option<Vec<u8>>> {
         let inner = &self.inner;
         let (lookup, version);
         {
@@ -581,6 +648,92 @@ impl Db {
         (0..NUM_LEVELS).map(|l| v.num_files(l)).collect()
     }
 
+    /// The observability bundle this store records into (the one from
+    /// [`Options::obs`], or the private wall-clock bundle created at
+    /// open).
+    pub fn obs(&self) -> Arc<obs::Obs> {
+        Arc::clone(&self.inner.obs)
+    }
+
+    /// LevelDB `GetProperty`-style named introspection. Returns `None`
+    /// for unknown names. Supported:
+    ///
+    /// * `lsm.num-files-at-level<N>` — file count at level `N`
+    /// * `lsm.stats` — human-readable per-level report (below)
+    /// * `lsm.metrics` — metric registry, text format
+    /// * `lsm.metrics-json` — metric registry, JSON
+    /// * `lsm.trace` — buffered trace events, text format
+    pub fn property(&self, name: &str) -> Option<String> {
+        if let Some(rest) = name.strip_prefix("lsm.num-files-at-level") {
+            let level: usize = rest.parse().ok()?;
+            if level >= NUM_LEVELS {
+                return None;
+            }
+            let state = self.inner.state.lock();
+            return Some(state.versions.current().num_files(level).to_string());
+        }
+        match name {
+            "lsm.stats" => Some(self.stats_report()),
+            "lsm.metrics" => Some(self.inner.obs.registry.export_text()),
+            "lsm.metrics-json" => Some(self.inner.obs.registry.export_json()),
+            "lsm.trace" => Some(self.inner.obs.trace.export_text()),
+            _ => None,
+        }
+    }
+
+    /// Human-readable counterpart of LevelDB's `leveldb.stats` property:
+    /// one row per level (files, resident bytes, compaction traffic)
+    /// plus the aggregate write-path counters.
+    pub fn stats_report(&self) -> String {
+        use std::fmt::Write as _;
+        let (stats, rows) = {
+            let state = self.inner.state.lock();
+            let v = state.versions.current();
+            let rows: Vec<(usize, u64)> = (0..NUM_LEVELS)
+                .map(|l| {
+                    (
+                        v.num_files(l),
+                        v.files[l].iter().map(|f| f.file_size).sum::<u64>(),
+                    )
+                })
+                .collect();
+            (state.stats.clone(), rows)
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "level  files  size_kb  compactions  read_kb  write_kb  files_merged"
+        );
+        for (level, (files, bytes)) in rows.iter().enumerate() {
+            let lv = stats.per_level[level];
+            let _ = writeln!(
+                out,
+                "{level:>5}  {files:>5}  {:>7}  {:>11}  {:>7}  {:>8}  {:>12}",
+                bytes / 1024,
+                lv.compactions,
+                lv.bytes_read / 1024,
+                lv.bytes_written / 1024,
+                lv.files_merged
+            );
+        }
+        let _ = writeln!(
+            out,
+            "flushes={} engine_compactions={} sw_fallbacks={} trivial_moves={}",
+            stats.flushes,
+            stats.engine_compactions,
+            stats.sw_fallback_compactions,
+            stats.trivial_moves
+        );
+        let _ = writeln!(
+            out,
+            "stall_micros={} group_commits={} grouped_writes={}",
+            stats.stall_time.as_micros(),
+            stats.group_commits,
+            stats.grouped_writes
+        );
+        out
+    }
+
     /// The configured engine's name.
     pub fn engine_name(&self) -> String {
         self.inner.engine.name().to_string()
@@ -683,6 +836,7 @@ impl DbInner {
             }
             state.stats.group_commits += 1;
             state.stats.grouped_writes += batches.len() as u64;
+            self.metrics.group_size.record(batches.len() as u64);
         }
         for _ in 0..slots.len() {
             state.pending_writes.pop_front();
@@ -697,6 +851,15 @@ impl DbInner {
         let state = self.state.lock();
         self.writers_cv.notify_all();
         drop(state);
+    }
+
+    /// Accounts one writer stall: DbStats, the stall counter, and a
+    /// `write_stall` trace event.
+    fn note_stall(&self, state: &mut DbState, elapsed: Duration) {
+        state.stats.stall_time += elapsed;
+        let micros = elapsed.as_micros() as u64;
+        self.metrics.stall_micros.add(micros);
+        self.obs.event(obs::EventKind::WriteStall { micros });
     }
 
     /// LevelDB `MakeRoomForWrite`: apply slowdown/stop triggers (the DB's
@@ -719,7 +882,7 @@ impl DbInner {
                 self.wake_workers(&state);
                 self.work_done.wait(&mut state);
                 state.stats.backpressure_stalls += 1;
-                state.stats.stall_time += t0.elapsed();
+                self.note_stall(&mut state, t0.elapsed());
                 continue;
             }
             if pressure != WritePressure::None && allow_pressure_delay {
@@ -750,14 +913,14 @@ impl DbInner {
                 let t0 = Instant::now();
                 self.wake_workers(&state);
                 self.work_done.wait(&mut state);
-                state.stats.stall_time += t0.elapsed();
+                self.note_stall(&mut state, t0.elapsed());
                 continue;
             }
             if state.versions.current().num_files(0) >= L0_STOP_WRITES_TRIGGER {
                 let t0 = Instant::now();
                 self.wake_workers(&state);
                 self.work_done.wait(&mut state);
-                state.stats.stall_time += t0.elapsed();
+                self.note_stall(&mut state, t0.elapsed());
                 continue;
             }
             state = self.rotate_memtable(state)?;
@@ -771,9 +934,9 @@ impl DbInner {
             drop(state);
             std::thread::sleep(Duration::from_millis(1));
             state = self.state.lock();
-            state.stats.stall_time += t0.elapsed();
+            self.note_stall(&mut state, t0.elapsed());
         } else {
-            state.stats.stall_time += Duration::from_millis(1);
+            self.note_stall(&mut state, Duration::from_millis(1));
         }
         state
     }
@@ -821,12 +984,16 @@ impl DbInner {
 
         // Long-running build happens outside the lock.
         drop(state);
+        let t0 = self.obs.now_micros();
         let result = self.build_memtable_table(&imm, file_number);
+        let flush_micros = self.obs.now_micros().saturating_sub(t0);
         let mut state = self.state.lock();
         state.flush_in_progress = false;
 
+        let mut flushed_bytes = 0u64;
         match result {
             Ok(Some(meta)) => {
+                flushed_bytes = meta.file_size;
                 let mut edit = VersionEdit {
                     log_number: Some(log_number),
                     ..Default::default()
@@ -852,6 +1019,12 @@ impl DbInner {
         state.imm = None;
         state.pending_outputs.remove(&file_number);
         state.stats.flushes += 1;
+        self.metrics.flush_count.inc();
+        self.metrics.flush_bytes.add(flushed_bytes);
+        self.obs.event(obs::EventKind::Flush {
+            bytes: flushed_bytes,
+            micros: flush_micros,
+        });
         self.work_done.notify_all();
         self.delete_obsolete_files_locked(&mut state);
         Ok(state)
@@ -1021,6 +1194,15 @@ impl DbInner {
             max_output_file_size: self.options.max_file_size,
         };
 
+        let input_files: usize = input_metas.iter().map(|m| m.len()).sum();
+        let input_bytes: u64 = input_metas.iter().flatten().map(|m| m.file_size).sum();
+        self.obs.event(obs::EventKind::CompactionStart {
+            level,
+            files: input_files,
+            bytes: input_bytes,
+        });
+        let t0 = self.obs.now_micros();
+
         // Engine dispatch (Fig. 6): offload when the device can take the
         // input count, otherwise software compaction.
         let use_engine = req.inputs.len() <= self.engine.max_inputs();
@@ -1098,6 +1280,30 @@ impl DbInner {
                     if let Some(t) = outcome.modeled_transfer_time {
                         stats.modeled_transfer_time += t;
                     }
+                    let lv = &mut stats.per_level[level];
+                    lv.compactions += 1;
+                    lv.bytes_read += outcome.bytes_read;
+                    lv.bytes_written += outcome.bytes_written;
+                    lv.files_merged += input_files as u64;
+                    let registry = &self.obs.registry;
+                    registry
+                        .counter(&format!("lsm.compact.l{level}.count"))
+                        .inc();
+                    registry
+                        .counter(&format!("lsm.compact.l{level}.bytes_read"))
+                        .add(outcome.bytes_read);
+                    registry
+                        .counter(&format!("lsm.compact.l{level}.bytes_written"))
+                        .add(outcome.bytes_written);
+                    registry
+                        .counter(&format!("lsm.compact.l{level}.files_merged"))
+                        .add(input_files as u64);
+                    self.obs.event(obs::EventKind::CompactionFinish {
+                        level,
+                        bytes_read: outcome.bytes_read,
+                        bytes_written: outcome.bytes_written,
+                        micros: self.obs.now_micros().saturating_sub(t0),
+                    });
                 }
             }
             Err(e) => {

@@ -55,6 +55,11 @@ pub struct Options {
     /// engine-slot count) so disjoint-range compactions at different
     /// levels run concurrently. Values are clamped to at least 1.
     pub background_threads: usize,
+    /// Observability bundle (metric registry + event trace + clock). The
+    /// DB creates a private wall-clock bundle when `None`; simulators
+    /// pass a shared bundle driven by a manual clock so exports are
+    /// byte-identical across runs.
+    pub obs: Option<Arc<obs::Obs>>,
 }
 
 impl Default for Options {
@@ -73,6 +78,7 @@ impl Default for Options {
             env: Arc::new(StdEnv),
             slowdown_sleep: true,
             background_threads: 1,
+            obs: None,
         }
     }
 }

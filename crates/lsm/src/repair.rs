@@ -42,6 +42,11 @@ pub struct RepairReport {
     pub log_entries_salvaged: u64,
     /// Highest sequence number observed.
     pub max_sequence: u64,
+    /// Corrupt tables that could not be moved into `lost/` (path and
+    /// error). These files are still in the database directory; the
+    /// caller must deal with them before reopening, because a later
+    /// repair or open may trip over them again.
+    pub quarantine_failures: Vec<String>,
 }
 
 /// Rebuilds the MANIFEST/CURRENT for the database in `dir`.
@@ -137,7 +142,15 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
                 let _ = env.remove_file(&path);
             }
             Err(_) => {
-                quarantine(env.as_ref(), dir, &path);
+                if let Err(e) = quarantine(env.as_ref(), dir, &path) {
+                    let failure = format!("{}: {e}", path.display());
+                    if let Some(obs) = &options.obs {
+                        obs.event(obs::EventKind::QuarantineFailure {
+                            path: failure.clone(),
+                        });
+                    }
+                    report.quarantine_failures.push(failure);
+                }
                 report.tables_lost += 1;
             }
         }
@@ -241,13 +254,18 @@ fn scan_table(
     )))
 }
 
-/// Moves an unreadable file into `lost/`.
-fn quarantine(env: &dyn sstable::env::StorageEnv, dir: &Path, path: &Path) {
+/// Moves an unreadable file into `lost/`. A failure here must reach the
+/// caller: a corrupt table left in place can shadow repaired data or
+/// fail the next open, so "couldn't move it" is a reportable outcome,
+/// not a shrug.
+fn quarantine(env: &dyn sstable::env::StorageEnv, dir: &Path, path: &Path) -> Result<()> {
     let lost = dir.join("lost");
-    let _ = env.create_dir_all(&lost);
-    if let Some(name) = path.file_name() {
-        let _ = env.rename(path, &lost.join(name));
-    }
+    env.create_dir_all(&lost)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| Error::Corruption(format!("no file name in {}", path.display())))?;
+    env.rename(path, &lost.join(name))?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -357,6 +375,108 @@ mod tests {
         let db = Db::open(dir, mem_options(&env)).unwrap();
         let rows = db.scan(b"", None, usize::MAX).unwrap();
         assert!(!rows.is_empty());
+    }
+
+    /// MemEnv wrapper whose renames into `lost/` fail, emulating a
+    /// read-only or full filesystem during quarantine.
+    struct RenameFailEnv {
+        inner: Arc<MemEnv>,
+    }
+
+    impl sstable::env::StorageEnv for RenameFailEnv {
+        fn open_random_access(
+            &self,
+            path: &Path,
+        ) -> sstable::Result<Box<dyn sstable::env::RandomAccessFile>> {
+            self.inner.open_random_access(path)
+        }
+        fn create_writable(
+            &self,
+            path: &Path,
+        ) -> sstable::Result<Box<dyn sstable::env::WritableFile>> {
+            self.inner.create_writable(path)
+        }
+        fn remove_file(&self, path: &Path) -> sstable::Result<()> {
+            self.inner.remove_file(path)
+        }
+        fn create_dir_all(&self, path: &Path) -> sstable::Result<()> {
+            self.inner.create_dir_all(path)
+        }
+        fn list_dir(&self, path: &Path) -> sstable::Result<Vec<String>> {
+            self.inner.list_dir(path)
+        }
+        fn file_exists(&self, path: &Path) -> bool {
+            self.inner.file_exists(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> sstable::Result<()> {
+            if to.components().any(|c| c.as_os_str() == "lost") {
+                return Err(sstable::Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "injected rename failure",
+                )));
+            }
+            self.inner.rename(from, to)
+        }
+    }
+
+    /// Regression: `quarantine` used to swallow rename errors with
+    /// `let _ =`, silently leaving the corrupt table in the directory
+    /// with no record of the failure. It must now surface in the report
+    /// and on the trace.
+    #[test]
+    fn quarantine_failure_is_reported_not_swallowed() {
+        use sstable::env::StorageEnv as _;
+        let env = Arc::new(MemEnv::new());
+        let dir = Path::new("/db");
+        {
+            let db = Db::open(dir, mem_options(&env)).unwrap();
+            for i in 0..1_000u64 {
+                db.put(format!("{i:08}").as_bytes(), &[7u8; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            db.wait_for_background_quiescence();
+        }
+        destroy_metadata(&env, dir);
+        // Corrupt one table's footer.
+        let victim = env
+            .list_dir(dir)
+            .unwrap()
+            .into_iter()
+            .find(|n| matches!(parse_file_name(n), Some(FileType::Table(_))))
+            .expect("some table exists");
+        let path = dir.join(&victim);
+        let bytes = env.open_random_access(&path).unwrap().read_all().unwrap();
+        let mut w = env.create_writable(&path).unwrap();
+        w.append(&bytes[..bytes.len() / 2]).unwrap();
+        drop(w);
+
+        let (obs, _clock) = obs::Obs::manual();
+        let options = Options {
+            env: Arc::new(RenameFailEnv {
+                inner: Arc::clone(&env),
+            }) as Arc<dyn sstable::env::StorageEnv>,
+            obs: Some(Arc::clone(&obs)),
+            ..mem_options(&env)
+        };
+        let report = repair_db(dir, &options).unwrap();
+        assert_eq!(report.tables_lost, 1, "{report:?}");
+        assert_eq!(report.quarantine_failures.len(), 1, "{report:?}");
+        assert!(
+            report.quarantine_failures[0].contains(&victim),
+            "failure must name the stuck file: {report:?}"
+        );
+        assert!(
+            report.quarantine_failures[0].contains("injected rename failure"),
+            "failure must carry the error: {report:?}"
+        );
+        let events = obs.trace.snapshot();
+        assert!(
+            events.iter().any(
+                |e| matches!(&e.kind, obs::EventKind::QuarantineFailure { path }
+                    if path.contains(&victim))
+            ),
+            "trace must record the quarantine failure: {events:?}"
+        );
     }
 
     #[test]

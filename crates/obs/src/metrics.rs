@@ -1,0 +1,275 @@
+//! Lock-cheap metric primitives.
+//!
+//! All three metric kinds are plain relaxed atomics: recording is a
+//! handful of `fetch_add`s with no locking, so they are safe to update
+//! from hot paths (per-get latency, per-block cache probes). Snapshots
+//! are *not* atomic across fields — they are observability reads, not
+//! linearizable state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value, with a high-watermark helper.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark gauges).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` holds values whose bit
+/// length is `i`, i.e. bucket 0 is exactly `{0}` and bucket `i >= 1`
+/// covers `[2^(i-1), 2^i - 1]`. 65 buckets span the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// Fixed-bucket histogram over `u64` samples (latencies in micros,
+/// batch sizes, byte counts...). Power-of-two buckets keep recording at
+/// one `leading_zeros` plus a few relaxed `fetch_add`s, and quantiles
+/// are estimated by linear interpolation inside the target bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, rounded down; zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the current contents, including p50/p95/p99.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let q = |quantile_num: u64, quantile_den: u64| -> u64 {
+            // 1-based rank of the requested quantile, rounded up
+            // (widened so huge counts cannot overflow the product).
+            let rank = ((count as u128 * quantile_num as u128).div_ceil(quantile_den as u128)
+                as u64)
+                .max(1);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if seen + c >= rank {
+                    // Interpolate linearly inside bucket i, clamped to
+                    // the observed min/max so sparse histograms do not
+                    // report impossible values.
+                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let hi = if i == 0 {
+                        0
+                    } else if i >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << i) - 1
+                    };
+                    let into = rank - seen; // 1..=c
+                    let est = lo + ((hi - lo) / c).saturating_mul(into);
+                    return est.clamp(min, max);
+                }
+                seen += c;
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: q(50, 100),
+            p95: q(95, 100),
+            p99: q(99, 100),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3); // lower: ignored
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 42);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.p99, 42);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
+        // p50 of uniform 1..=1000 lives in bucket [512, 1000]; the
+        // bucket estimate is coarse but must land in a sane band.
+        assert!(s.p50 >= 256 && s.p50 <= 768, "p50={}", s.p50);
+        assert!(s.p99 >= 512, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn histogram_zero_and_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_mean() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.snapshot().mean(), 15);
+        assert_eq!(HistogramSnapshot::default().mean(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Structured event trace.
+//!
+//! A bounded ring buffer of timestamped events covering the lifecycle
+//! moments the paper's evaluation reasons about: compactions, flushes,
+//! write stalls, offload-engine dispatch/fault/fallback, cache
+//! evictions, and repair quarantines. Timestamps come from the injected
+//! [`Clock`], so simulated runs emit byte-identical traces.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+
+/// What happened. Field names are part of the exported text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A compaction was picked and started executing.
+    CompactionStart {
+        level: usize,
+        files: usize,
+        bytes: u64,
+    },
+    /// A compaction finished (successfully) into `level + 1`.
+    CompactionFinish {
+        level: usize,
+        bytes_read: u64,
+        bytes_written: u64,
+        micros: u64,
+    },
+    /// An immutable memtable was flushed to a level-0 table.
+    Flush { bytes: u64, micros: u64 },
+    /// A writer was stalled (slowdown or stop trigger) for `micros`.
+    WriteStall { micros: u64 },
+    /// The offload scheduler handed a job to an engine.
+    EngineDispatch {
+        job: u64,
+        engine: &'static str,
+        bytes: u64,
+    },
+    /// A device engine faulted while running a job.
+    EngineFault { job: u64 },
+    /// A job bypassed (or was retried off) the device onto the CPU.
+    EngineFallback { job: u64, reason: &'static str },
+    /// A dead file's blocks were purged from the block cache.
+    CacheEviction { file_number: u64, bytes: u64 },
+    /// `repair_db` failed to move a corrupt table into `lost/`.
+    QuarantineFailure { path: String },
+}
+
+impl EventKind {
+    /// Stable lowercase name used by the text export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CompactionStart { .. } => "compaction_start",
+            EventKind::CompactionFinish { .. } => "compaction_finish",
+            EventKind::Flush { .. } => "flush",
+            EventKind::WriteStall { .. } => "write_stall",
+            EventKind::EngineDispatch { .. } => "engine_dispatch",
+            EventKind::EngineFault { .. } => "engine_fault",
+            EventKind::EngineFallback { .. } => "engine_fallback",
+            EventKind::CacheEviction { .. } => "cache_eviction",
+            EventKind::QuarantineFailure { .. } => "quarantine_failure",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::CompactionStart {
+                level,
+                files,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "compaction_start level={level} files={files} bytes={bytes}"
+                )
+            }
+            EventKind::CompactionFinish {
+                level,
+                bytes_read,
+                bytes_written,
+                micros,
+            } => write!(
+                f,
+                "compaction_finish level={level} bytes_read={bytes_read} \
+                 bytes_written={bytes_written} micros={micros}"
+            ),
+            EventKind::Flush { bytes, micros } => {
+                write!(f, "flush bytes={bytes} micros={micros}")
+            }
+            EventKind::WriteStall { micros } => write!(f, "write_stall micros={micros}"),
+            EventKind::EngineDispatch { job, engine, bytes } => {
+                write!(f, "engine_dispatch job={job} engine={engine} bytes={bytes}")
+            }
+            EventKind::EngineFault { job } => write!(f, "engine_fault job={job}"),
+            EventKind::EngineFallback { job, reason } => {
+                write!(f, "engine_fallback job={job} reason={reason}")
+            }
+            EventKind::CacheEviction { file_number, bytes } => {
+                write!(f, "cache_eviction file={file_number} bytes={bytes}")
+            }
+            EventKind::QuarantineFailure { path } => {
+                write!(f, "quarantine_failure path={path}")
+            }
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives ring wrap).
+    pub seq: u64,
+    /// Timestamp from the buffer's clock.
+    pub at_micros: u64,
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:06} {:>10}us {}", self.seq, self.at_micros, self.kind)
+    }
+}
+
+struct TraceInner {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of [`Event`]s.
+///
+/// Recording is one short mutex hold (push + possible pop); the buffer
+/// never allocates past its capacity. When full, the oldest event is
+/// dropped and counted.
+pub struct TraceBuffer {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            clock,
+            capacity,
+            inner: Mutex::new(TraceInner {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records `kind` at the clock's current time.
+    pub fn record(&self, kind: EventKind) {
+        let at_micros = self.clock.now_micros();
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(Event {
+            seq,
+            at_micros,
+            kind,
+        });
+    }
+
+    /// The clock this buffer stamps events with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Copies out the currently buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True when nothing has been buffered (or everything wrapped out).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// One line per buffered event, plus a trailer counting drops.
+    /// Byte-stable for a given event sequence and clock.
+    pub fn export_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for ev in &inner.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "trace: {} buffered, {} dropped\n",
+            inner.events.len(),
+            inner.dropped
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn buffer(cap: usize) -> (Arc<ManualClock>, TraceBuffer) {
+        let clock = Arc::new(ManualClock::new());
+        let buf = TraceBuffer::new(cap, clock.clone());
+        (clock, buf)
+    }
+
+    #[test]
+    fn records_with_clock_timestamps() {
+        let (clock, buf) = buffer(8);
+        buf.record(EventKind::Flush {
+            bytes: 10,
+            micros: 2,
+        });
+        clock.advance(500);
+        buf.record(EventKind::WriteStall { micros: 7 });
+        let evs = buf.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at_micros, 0);
+        assert_eq!(evs[1].at_micros, 500);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let (_clock, buf) = buffer(2);
+        for i in 0..5 {
+            buf.record(EventKind::EngineFault { job: i });
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        let evs = buf.snapshot();
+        assert_eq!(evs[0].seq, 3);
+        assert_eq!(evs[1].seq, 4);
+    }
+
+    #[test]
+    fn export_is_deterministic_for_same_inputs() {
+        let run = || {
+            let (clock, buf) = buffer(16);
+            buf.record(EventKind::CompactionStart {
+                level: 1,
+                files: 4,
+                bytes: 4096,
+            });
+            clock.set(123);
+            buf.record(EventKind::CompactionFinish {
+                level: 1,
+                bytes_read: 4096,
+                bytes_written: 4000,
+                micros: 123,
+            });
+            buf.record(EventKind::CacheEviction {
+                file_number: 9,
+                bytes: 512,
+            });
+            buf.export_text()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("compaction_start level=1 files=4 bytes=4096"));
+        assert!(a.contains("trace: 3 buffered, 0 dropped"));
+    }
+}

@@ -85,6 +85,76 @@ impl Default for OffloadConfig {
     }
 }
 
+/// Pre-registered observability handles (`OffloadService::with_obs`).
+/// Counters mirror [`OffloadMetrics`]; the histograms add the queue-wait
+/// and busy-time distributions the scalar totals cannot show; dispatch,
+/// fault and fallback decisions land on the trace with a job id.
+struct OffloadObs {
+    bundle: std::sync::Arc<obs::Obs>,
+    queue_wait_micros: std::sync::Arc<obs::Histogram>,
+    engine_busy_micros: std::sync::Arc<obs::Histogram>,
+    cpu_busy_micros: std::sync::Arc<obs::Histogram>,
+    jobs_submitted: std::sync::Arc<obs::Counter>,
+    fpga_jobs: std::sync::Arc<obs::Counter>,
+    cpu_fallback_oversized: std::sync::Arc<obs::Counter>,
+    cpu_fallback_timeout: std::sync::Arc<obs::Counter>,
+    cpu_fallback_budget: std::sync::Arc<obs::Counter>,
+    device_faults: std::sync::Arc<obs::Counter>,
+    cpu_retries_after_fault: std::sync::Arc<obs::Counter>,
+    cpu_pipelined_jobs: std::sync::Arc<obs::Counter>,
+    max_fpga_in_flight: std::sync::Arc<obs::Gauge>,
+    max_jobs_in_flight: std::sync::Arc<obs::Gauge>,
+    /// Per-module device cycle attribution (`fcae.cycles.*`), summed
+    /// over every job that ran on an engine, truncated to whole cycles.
+    cycles_decoder: std::sync::Arc<obs::Counter>,
+    cycles_comparer: std::sync::Arc<obs::Counter>,
+    cycles_transfer: std::sync::Arc<obs::Counter>,
+    cycles_encoder: std::sync::Arc<obs::Counter>,
+    cycles_axi: std::sync::Arc<obs::Counter>,
+    cycles_overhead: std::sync::Arc<obs::Counter>,
+    cycles_memory: std::sync::Arc<obs::Counter>,
+}
+
+impl OffloadObs {
+    fn new(bundle: std::sync::Arc<obs::Obs>) -> Self {
+        let r = &bundle.registry;
+        OffloadObs {
+            queue_wait_micros: r.histogram("offload.queue_wait_micros"),
+            engine_busy_micros: r.histogram("offload.engine_busy_micros"),
+            cpu_busy_micros: r.histogram("offload.cpu_busy_micros"),
+            jobs_submitted: r.counter("offload.jobs_submitted"),
+            fpga_jobs: r.counter("offload.fpga_jobs"),
+            cpu_fallback_oversized: r.counter("offload.cpu_fallback_oversized"),
+            cpu_fallback_timeout: r.counter("offload.cpu_fallback_timeout"),
+            cpu_fallback_budget: r.counter("offload.cpu_fallback_budget"),
+            device_faults: r.counter("offload.device_faults"),
+            cpu_retries_after_fault: r.counter("offload.cpu_retries_after_fault"),
+            cpu_pipelined_jobs: r.counter("offload.cpu_pipelined_jobs"),
+            max_fpga_in_flight: r.gauge("offload.max_fpga_in_flight"),
+            max_jobs_in_flight: r.gauge("offload.max_jobs_in_flight"),
+            cycles_decoder: r.counter("fcae.cycles.decoder"),
+            cycles_comparer: r.counter("fcae.cycles.comparer"),
+            cycles_transfer: r.counter("fcae.cycles.transfer"),
+            cycles_encoder: r.counter("fcae.cycles.encoder"),
+            cycles_axi: r.counter("fcae.cycles.axi"),
+            cycles_overhead: r.counter("fcae.cycles.overhead"),
+            cycles_memory: r.counter("fcae.cycles.memory"),
+            bundle,
+        }
+    }
+
+    /// Adds one kernel's per-module cycle attribution to the registry.
+    fn record_breakdown(&self, b: &fcae::ModuleBreakdown) {
+        self.cycles_decoder.add(b.decoder as u64);
+        self.cycles_comparer.add(b.comparer as u64);
+        self.cycles_transfer.add(b.transfer as u64);
+        self.cycles_encoder.add(b.encoder as u64);
+        self.cycles_axi.add(b.axi as u64);
+        self.cycles_overhead.add(b.overhead as u64);
+        self.cycles_memory.add(b.memory as u64);
+    }
+}
+
 struct ServiceState {
     /// Indices into `engines` that are idle.
     free_slots: Vec<usize>,
@@ -108,6 +178,7 @@ pub struct OffloadService {
     /// Signaled whenever a slot frees or queue membership changes.
     slot_free: Condvar,
     faults: FaultInjector,
+    obs: Option<OffloadObs>,
 }
 
 impl OffloadService {
@@ -141,6 +212,22 @@ impl OffloadService {
             }),
             slot_free: Condvar::new(),
             faults: FaultInjector::new(),
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability bundle: scheduler counters and
+    /// histograms register on its registry (`offload.*` names) and every
+    /// dispatch/fault/fallback decision is traced. Share the bundle with
+    /// the `lsm::Db` (via `Options::obs`) for one unified export.
+    pub fn with_obs(mut self, bundle: std::sync::Arc<obs::Obs>) -> Self {
+        self.obs = Some(OffloadObs::new(bundle));
+        self
+    }
+
+    fn trace(&self, kind: obs::EventKind) {
+        if let Some(o) = &self.obs {
+            o.bundle.event(kind);
         }
     }
 
@@ -194,7 +281,11 @@ impl OffloadService {
             if chosen == Some(id) {
                 if let Some(slot) = state.free_slots.pop() {
                     state.waiting.retain(|w| w.id != id);
-                    state.metrics.total_queue_wait += now.saturating_duration_since(enqueued);
+                    let waited = now.saturating_duration_since(enqueued);
+                    state.metrics.total_queue_wait += waited;
+                    if let Some(o) = &self.obs {
+                        o.queue_wait_micros.record(waited.as_micros() as u64);
+                    }
                     // Other waiters may still find free slots.
                     self.slot_free.notify_all();
                     return Some(slot);
@@ -202,7 +293,11 @@ impl OffloadService {
             }
             if now >= deadline {
                 state.waiting.retain(|w| w.id != id);
-                state.metrics.total_queue_wait += now.saturating_duration_since(enqueued);
+                let waited = now.saturating_duration_since(enqueued);
+                state.metrics.total_queue_wait += waited;
+                if let Some(o) = &self.obs {
+                    o.queue_wait_micros.record(waited.as_micros() as u64);
+                }
                 // Our departure may promote another waiter.
                 self.slot_free.notify_all();
                 return None;
@@ -222,18 +317,31 @@ impl OffloadService {
         &self,
         req: &CompactionRequest,
         out: &dyn OutputFileFactory,
+        job: u64,
     ) -> lsm::Result<CompactionOutcome> {
         let t0 = Instant::now();
         let input_bytes: u64 = req.inputs.iter().map(|i| i.bytes()).sum();
+        self.trace(obs::EventKind::EngineDispatch {
+            job,
+            engine: "cpu",
+            bytes: input_bytes,
+        });
         let result = if input_bytes >= self.config.pipelined_cpu_threshold_bytes {
             // Large fallback job: overlap read/merge/encode across
             // threads. Byte-identical output to the plain CPU engine.
             self.state.lock().metrics.cpu_pipelined_jobs += 1;
+            if let Some(o) = &self.obs {
+                o.cpu_pipelined_jobs.inc();
+            }
             PipelinedCompactionEngine::default().compact(req, out)
         } else {
             CpuCompactionEngine.compact(req, out)
         };
-        self.state.lock().metrics.cpu_busy_time += t0.elapsed();
+        let busy = t0.elapsed();
+        self.state.lock().metrics.cpu_busy_time += busy;
+        if let Some(o) = &self.obs {
+            o.cpu_busy_micros.record(busy.as_micros() as u64);
+        }
         result
     }
 
@@ -241,22 +349,44 @@ impl OffloadService {
         &self,
         req: &CompactionRequest,
         out: &dyn OutputFileFactory,
+        job: u64,
     ) -> lsm::Result<CompactionOutcome> {
         // Software paths first (Fig. 6): too many inputs for the device,
         // or a job too large for the per-job device-time budget.
         if req.inputs.len() > self.device.n_inputs {
             self.state.lock().metrics.cpu_fallback_oversized += 1;
-            return self.run_cpu(req, out);
+            if let Some(o) = &self.obs {
+                o.cpu_fallback_oversized.inc();
+            }
+            self.trace(obs::EventKind::EngineFallback {
+                job,
+                reason: "oversized",
+            });
+            return self.run_cpu(req, out, job);
         }
         if self.estimated_device_time(req) > self.config.job_timeout {
             self.state.lock().metrics.cpu_fallback_timeout += 1;
-            return self.run_cpu(req, out);
+            if let Some(o) = &self.obs {
+                o.cpu_fallback_timeout.inc();
+            }
+            self.trace(obs::EventKind::EngineFallback {
+                job,
+                reason: "timeout",
+            });
+            return self.run_cpu(req, out, job);
         }
 
         let Some(slot) = self.acquire_slot(JobClass::from_level(req.level)) else {
             // Hybrid dispatch: the device is saturated, the host is idle.
             self.state.lock().metrics.cpu_fallback_budget += 1;
-            return self.run_cpu(req, out);
+            if let Some(o) = &self.obs {
+                o.cpu_fallback_budget.inc();
+            }
+            self.trace(obs::EventKind::EngineFallback {
+                job,
+                reason: "budget",
+            });
+            return self.run_cpu(req, out, job);
         };
 
         {
@@ -266,7 +396,15 @@ impl OffloadService {
                 .metrics
                 .max_fpga_in_flight
                 .max(state.fpga_in_flight as u64);
+            if let Some(o) = &self.obs {
+                o.max_fpga_in_flight.set_max(state.fpga_in_flight as u64);
+            }
         }
+        self.trace(obs::EventKind::EngineDispatch {
+            job,
+            engine: "fcae",
+            bytes: req.inputs.iter().map(|i| i.bytes()).sum(),
+        });
         let result = if self.faults.should_fault() {
             Err(lsm::Error::Io(std::io::Error::other(
                 "injected device fault",
@@ -274,7 +412,14 @@ impl OffloadService {
         } else {
             let t0 = Instant::now();
             let r = self.engines[slot].compact(req, out);
-            self.state.lock().metrics.fpga_busy_time += t0.elapsed();
+            let busy = t0.elapsed();
+            self.state.lock().metrics.fpga_busy_time += busy;
+            if let Some(o) = &self.obs {
+                o.engine_busy_micros.record(busy.as_micros() as u64);
+                if r.is_ok() {
+                    o.record_breakdown(&self.engines[slot].last_report().breakdown);
+                }
+            }
             r
         };
         self.release_slot(slot);
@@ -282,6 +427,9 @@ impl OffloadService {
         match result {
             Ok(outcome) => {
                 self.state.lock().metrics.fpga_jobs += 1;
+                if let Some(o) = &self.obs {
+                    o.fpga_jobs.inc();
+                }
                 Ok(outcome)
             }
             Err(_) => {
@@ -293,7 +441,16 @@ impl OffloadService {
                 state.metrics.device_faults += 1;
                 state.metrics.cpu_retries_after_fault += 1;
                 drop(state);
-                self.run_cpu(req, out)
+                if let Some(o) = &self.obs {
+                    o.device_faults.inc();
+                    o.cpu_retries_after_fault.inc();
+                }
+                self.trace(obs::EventKind::EngineFault { job });
+                self.trace(obs::EventKind::EngineFallback {
+                    job,
+                    reason: "fault-retry",
+                });
+                self.run_cpu(req, out, job)
             }
         }
     }
@@ -315,7 +472,7 @@ impl CompactionEngine for OffloadService {
         req: &CompactionRequest,
         out: &dyn OutputFileFactory,
     ) -> lsm::Result<CompactionOutcome> {
-        {
+        let job = {
             let mut state = self.state.lock();
             state.metrics.jobs_submitted += 1;
             state.jobs_in_flight += 1;
@@ -323,8 +480,13 @@ impl CompactionEngine for OffloadService {
                 .metrics
                 .max_jobs_in_flight
                 .max(state.jobs_in_flight as u64);
-        }
-        let result = self.run_job(req, out);
+            if let Some(o) = &self.obs {
+                o.jobs_submitted.inc();
+                o.max_jobs_in_flight.set_max(state.jobs_in_flight as u64);
+            }
+            state.metrics.jobs_submitted
+        };
+        let result = self.run_job(req, out, job);
         self.state.lock().jobs_in_flight -= 1;
         result
     }

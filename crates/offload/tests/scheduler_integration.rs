@@ -184,3 +184,79 @@ fn every_fault_is_retried_without_data_loss() {
         assert!(got.is_some(), "lost {key}");
     }
 }
+
+/// One shared observability bundle must see both sides of the stack:
+/// store-level metrics (flushes, put latency, per-level compaction
+/// counters) and scheduler-level metrics (job counts, dispatch and
+/// fault events), with the registry mirrors agreeing with the
+/// scheduler's own `OffloadMetrics`.
+#[test]
+fn shared_obs_bundle_records_store_and_scheduler() {
+    let bundle = obs::Obs::wall();
+    let svc = Arc::new(
+        OffloadService::with_slots(FcaeConfig::nine_input(), 2, OffloadConfig::default())
+            .with_obs(Arc::clone(&bundle)),
+    );
+    svc.faults().fail_every(5);
+    let engine = Arc::clone(&svc) as Arc<dyn CompactionEngine>;
+    let mut options = small_options(2);
+    options.obs = Some(Arc::clone(&bundle));
+    let db = Db::open_with_engine("/db", options, engine).unwrap();
+    run_workload(&db);
+    db.wait_for_background_quiescence();
+
+    // Registry mirrors agree with the scheduler's own metrics.
+    let m = svc.metrics();
+    assert!(m.jobs_submitted > 0, "workload must offload jobs: {m:?}");
+    let reg = &bundle.registry;
+    assert_eq!(
+        reg.counter_value("offload.jobs_submitted"),
+        Some(m.jobs_submitted)
+    );
+    assert_eq!(reg.counter_value("offload.fpga_jobs"), Some(m.fpga_jobs));
+    assert_eq!(
+        reg.counter_value("offload.device_faults"),
+        Some(m.device_faults)
+    );
+    // Injected faults skip the engine, so busy time is recorded exactly
+    // once per job that actually ran on the device.
+    let busy = reg
+        .histogram_snapshot("offload.engine_busy_micros")
+        .unwrap();
+    assert_eq!(busy.count, m.fpga_jobs);
+
+    // Device jobs publish their per-module cycle attribution.
+    if m.fpga_jobs > 0 {
+        let device_cycles: u64 = [
+            "fcae.cycles.decoder",
+            "fcae.cycles.comparer",
+            "fcae.cycles.transfer",
+            "fcae.cycles.encoder",
+            "fcae.cycles.axi",
+            "fcae.cycles.overhead",
+            "fcae.cycles.memory",
+        ]
+        .iter()
+        .map(|n| reg.counter_value(n).unwrap())
+        .sum();
+        assert!(device_cycles > 0, "cycle attribution must be non-empty");
+    }
+
+    // Store-side metrics land on the same registry.
+    assert!(reg.histogram_snapshot("lsm.put_micros").unwrap().count > 0);
+    assert!(reg.counter_value("lsm.flush.count").unwrap() > 0);
+    let stats = db.property("lsm.stats").unwrap();
+    assert!(stats.contains("flushes="), "stats report:\n{stats}");
+    let text = db.property("lsm.metrics").unwrap();
+    assert!(text.contains("offload.jobs_submitted"));
+
+    // The trace interleaves store and scheduler events.
+    let events = bundle.trace.snapshot();
+    let has = |f: &dyn Fn(&obs::EventKind) -> bool| events.iter().any(|e| f(&e.kind));
+    assert!(has(&|k| matches!(k, obs::EventKind::Flush { .. })));
+    assert!(has(&|k| matches!(
+        k,
+        obs::EventKind::EngineDispatch { engine: "fcae", .. }
+    )));
+    assert!(has(&|k| matches!(k, obs::EventKind::EngineFault { .. })));
+}

@@ -85,13 +85,22 @@ impl BlockCache {
         })
     }
 
-    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+    fn shard_index(key: &Key) -> usize {
         // Mix so sequential offsets spread across shards.
         let h = key
             .table
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(key.offset.wrapping_mul(0xff51_afd7_ed55_8ccd));
-        &self.shards[(h >> 56) as usize % SHARDS]
+        // Fold all 64 bits into the low bits before the modulo: the top
+        // byte alone barely moves for small sequential table ids, which
+        // piled every block onto a couple of shards.
+        let folded = h ^ (h >> 32);
+        let folded = folded ^ (folded >> 16);
+        (folded as usize) % SHARDS
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        &self.shards[Self::shard_index(key)]
     }
 
     /// Looks up the block for `(table_id, offset)`.
@@ -142,7 +151,9 @@ impl BlockCache {
     }
 
     /// Drops every block belonging to `table_id` (file deleted).
-    pub fn evict_table(&self, table_id: u64) {
+    /// Returns the number of cached bytes freed.
+    pub fn evict_table(&self, table_id: u64) -> usize {
+        let mut freed = 0usize;
         for shard in &self.shards {
             let mut shard = shard.lock();
             let removed: Vec<Key> = shard
@@ -154,9 +165,11 @@ impl BlockCache {
             for k in removed {
                 if let Some(e) = shard.map.remove(&k) {
                     shard.bytes -= e.charge;
+                    freed += e.charge;
                 }
             }
         }
+        freed
     }
 
     /// Total cached bytes.
@@ -245,6 +258,50 @@ mod tests {
             assert!(c.get(7, i * 4096).is_none());
         }
         assert!((0..20u64).any(|i| c.get(8, i * 4096).is_some()));
+    }
+
+    #[test]
+    fn shard_distribution_over_sequential_keys() {
+        // Regression: the old shard selector took only the top 8 bits of
+        // the mixed hash, so sequential table ids × block offsets (the
+        // access pattern every compaction produces) landed on a handful
+        // of shards. Require every shard to take a reasonable share.
+        let mut per_shard = [0usize; SHARDS];
+        let mut total = 0usize;
+        for table in 1..=32u64 {
+            for block in 0..64u64 {
+                let key = Key {
+                    table,
+                    offset: block * 4096,
+                };
+                per_shard[BlockCache::shard_index(&key)] += 1;
+                total += 1;
+            }
+        }
+        let avg = total / SHARDS;
+        let min = *per_shard.iter().min().unwrap();
+        let max = *per_shard.iter().max().unwrap();
+        assert!(
+            min * 3 >= avg,
+            "underloaded shard: min {min} vs avg {avg} ({per_shard:?})"
+        );
+        assert!(
+            max <= avg * 2,
+            "overloaded shard: max {max} vs avg {avg} ({per_shard:?})"
+        );
+    }
+
+    #[test]
+    fn evict_table_reports_freed_bytes() {
+        let c = BlockCache::new(1 << 20);
+        c.insert(5, 0, block(500));
+        c.insert(5, 4096, block(500));
+        let before = c.bytes();
+        assert!(before > 0);
+        let freed = c.evict_table(5);
+        assert_eq!(freed, before);
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.evict_table(5), 0);
     }
 
     #[test]

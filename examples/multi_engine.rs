@@ -11,6 +11,7 @@ use std::sync::Arc;
 use fcae_repro::fcae::{FcaeConfig, ResourceModel};
 use fcae_repro::lsm::compaction::CompactionEngine;
 use fcae_repro::lsm::{Db, Options};
+use fcae_repro::obs::Obs;
 use fcae_repro::offload::{OffloadConfig, OffloadService};
 use fcae_repro::sstable::env::{MemEnv, StorageEnv};
 
@@ -24,7 +25,12 @@ fn main() {
         device.n_inputs, device.v, device.w_in
     );
 
-    let service = Arc::new(OffloadService::new(device, OffloadConfig::default()));
+    // One observability bundle shared by the store and the scheduler:
+    // latency histograms, per-level compaction counters, dispatch traces.
+    let bundle = Obs::wall();
+    let service = Arc::new(
+        OffloadService::new(device, OffloadConfig::default()).with_obs(Arc::clone(&bundle)),
+    );
     println!("service: {} engine slot(s)\n", service.engine_slots());
 
     // Fault the device every 10th dispatch to show the CPU retry path.
@@ -39,6 +45,7 @@ fn main() {
         max_file_size: 16 << 10,
         level1_max_bytes: 32 << 10,
         background_threads: service.engine_slots() + 1,
+        obs: Some(Arc::clone(&bundle)),
         ..Default::default()
     };
     let engine = Arc::clone(&service) as Arc<dyn CompactionEngine>;
@@ -92,5 +99,16 @@ fn main() {
     );
 
     assert_eq!(m.device_faults, m.cpu_retries_after_fault);
+
+    println!("\n--- per-level compaction stats (db.property(\"lsm.stats\")) ---");
+    print!("{}", db.property("lsm.stats").unwrap());
+    println!("\n--- shared metric registry (store + scheduler + device cycles) ---");
+    print!("{}", bundle.registry.export_text());
+    println!("\n--- last trace events ---");
+    let text = bundle.trace.export_text();
+    for line in text.lines().rev().take(8).collect::<Vec<_>>().iter().rev() {
+        println!("{line}");
+    }
+
     println!("\nall compactions accounted for; store state verified by `cargo test -p offload`");
 }

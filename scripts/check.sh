@@ -16,6 +16,14 @@ cargo xtask lint
 cargo build --release
 cargo test -q
 
+# Observability smoke: the --stats export must carry live metrics, and
+# two identical simulated runs must export byte-identical output.
+cargo run --release -p bench --bin db_bench -- \
+    --num 20000 --benchmarks fillrandom --engine fcae --stats \
+    | grep -q "hist lsm.put_micros" \
+    || { echo "obs smoke failed: no lsm.put_micros in --stats export"; exit 1; }
+cargo test -q -p systemsim identical_runs_export_identical_observability
+
 # Loom model suites (shutdown/backpressure/fault-retry/aging
 # interleavings). Deadlocks present as hangs, so bound them.
 RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p lsm --lib -q
