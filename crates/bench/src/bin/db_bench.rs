@@ -6,6 +6,11 @@
 //!          --num 100000 --value-size 128 --engine fcae --n-inputs 9
 //! ```
 //!
+//! `--fault-every N` injects a transient device fault every Nth
+//! compaction dispatch (plus a mid-job timeout every 3Nth) through the
+//! offload scheduler; combine with `--stats` to see the
+//! `offload.fault.*` and `lsm.bg-error.*` counters after the run.
+//!
 //! Unlike the simulator-backed benches (which model the paper's 2019
 //! hardware), this measures *this machine's* wall clock — useful for
 //! regression testing the real store and for comparing the functional
@@ -18,6 +23,7 @@ use std::time::Instant;
 use fcae::{FcaeConfig, FcaeEngine};
 use lsm::compaction::{CompactionEngine, CpuCompactionEngine};
 use lsm::{Db, Options};
+use offload::{DeviceFaultKind, OffloadConfig, OffloadService};
 use simkit::SplitMix64;
 use workloads::{DbBenchWorkload, KeyFormat, ValueGenerator};
 
@@ -31,6 +37,10 @@ struct Config {
     db_path: PathBuf,
     /// Dump the store's stats/metrics/trace exports after the run.
     stats: bool,
+    /// Inject a transient device fault every Nth compaction dispatch (and
+    /// a mid-job timeout every 3Nth), exercising the CPU-fallback path
+    /// under load. 0 disables injection.
+    fault_every: u64,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -43,6 +53,7 @@ fn parse_args() -> Result<Config, String> {
         n_inputs: 9,
         db_path: std::env::temp_dir().join("fcae-db-bench"),
         stats: false,
+        fault_every: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +85,9 @@ fn parse_args() -> Result<Config, String> {
             "--engine" => cfg.engine = value,
             "--n-inputs" => cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?,
             "--db" => cfg.db_path = PathBuf::from(value),
+            "--fault-every" => {
+                cfg.fault_every = value.parse().map_err(|e| format!("--fault-every: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -81,28 +95,50 @@ fn parse_args() -> Result<Config, String> {
     Ok(cfg)
 }
 
-fn open_db(cfg: &Config) -> Db {
+fn device_config(cfg: &Config) -> FcaeConfig {
+    if cfg.n_inputs > 2 {
+        FcaeConfig::nine_input().with_n(cfg.n_inputs)
+    } else {
+        FcaeConfig::two_input()
+    }
+}
+
+fn open_db(cfg: &Config) -> (Db, Option<Arc<OffloadService>>) {
     let _ = std::fs::remove_dir_all(&cfg.db_path);
+    let bundle = obs::Obs::wall();
     let options = Options {
         slowdown_sleep: true,
+        obs: Some(Arc::clone(&bundle)),
         ..Default::default()
     };
+    // Fault injection routes compactions through the offload scheduler so
+    // every injected fault exercises the real fallback-and-retry path.
+    if cfg.fault_every > 0 {
+        if cfg.engine == "cpu" {
+            eprintln!("--fault-every targets the device path; using the offload engine");
+        }
+        let svc = Arc::new(
+            OffloadService::new(device_config(cfg), OffloadConfig::default()).with_obs(bundle),
+        );
+        svc.faults().fail_every(cfg.fault_every);
+        svc.faults()
+            .fail_every_kind(DeviceFaultKind::MidJobTimeout, cfg.fault_every * 3);
+        let engine: Arc<dyn CompactionEngine> = Arc::clone(&svc) as _;
+        let db = Db::open_with_engine(&cfg.db_path, options, engine).expect("open db");
+        return (db, Some(svc));
+    }
     let engine: Arc<dyn CompactionEngine> = match cfg.engine.as_str() {
         "cpu" => Arc::new(CpuCompactionEngine),
-        "fcae" => {
-            let fc = if cfg.n_inputs > 2 {
-                FcaeConfig::nine_input().with_n(cfg.n_inputs)
-            } else {
-                FcaeConfig::two_input()
-            };
-            Arc::new(FcaeEngine::new(fc))
-        }
+        "fcae" => Arc::new(FcaeEngine::new(device_config(cfg))),
         other => {
             eprintln!("unknown engine {other}; using cpu");
             Arc::new(CpuCompactionEngine)
         }
     };
-    Db::open_with_engine(&cfg.db_path, options, engine).expect("open db")
+    (
+        Db::open_with_engine(&cfg.db_path, options, engine).expect("open db"),
+        None,
+    )
 }
 
 fn run_benchmark(name: &str, cfg: &Config, db: &Db) {
@@ -166,7 +202,7 @@ fn main() {
         cfg.key_size, cfg.value_size, cfg.num, cfg.engine
     );
     println!("------------------------------------------------");
-    let db = open_db(&cfg);
+    let (db, offload_svc) = open_db(&cfg);
     for b in cfg.benchmarks.clone() {
         run_benchmark(&b, &cfg, &db);
     }
@@ -186,6 +222,19 @@ fn main() {
         println!(
             "modeled device time: kernel {:?}, PCIe {:?}",
             stats.modeled_kernel_time, stats.modeled_transfer_time
+        );
+    }
+    if let Some(svc) = &offload_svc {
+        let m = svc.metrics();
+        println!(
+            "device faults {} (transient {} / midjob-timeout {} / midjob-poisoned {}) | \
+             cpu retries {} | outputs discarded {}",
+            m.device_faults,
+            m.faults_transient,
+            m.faults_midjob_timeout,
+            m.faults_midjob_poisoned,
+            m.cpu_retries_after_fault,
+            m.midjob_outputs_discarded,
         );
     }
     if cfg.stats {

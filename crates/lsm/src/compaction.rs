@@ -409,6 +409,10 @@ impl CompactionEngine for CpuCompactionEngine {
                 let (number, mut b) = builder.take().expect("builder present when splitting");
                 let entries = b.num_entries();
                 let size = b.finish()?;
+                // Outputs must be durable before the manifest can
+                // reference them; a power cut between install and a
+                // lazy sync would tear a live table.
+                b.sync()?;
                 outcome.bytes_written += size;
                 outcome.outputs.push(OutputTableMeta {
                     number,
@@ -426,6 +430,7 @@ impl CompactionEngine for CpuCompactionEngine {
         if let Some((number, mut b)) = builder.take() {
             let entries = b.num_entries();
             let size = b.finish()?;
+            b.sync()?;
             outcome.bytes_written += size;
             outcome.outputs.push(OutputTableMeta {
                 number,

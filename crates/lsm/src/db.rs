@@ -140,6 +140,10 @@ struct DbMetrics {
     stall_micros: Arc<obs::Counter>,
     flush_count: Arc<obs::Counter>,
     flush_bytes: Arc<obs::Counter>,
+    bg_error_set: Arc<obs::Counter>,
+    readonly_rejects: Arc<obs::Counter>,
+    compact_retries: Arc<obs::Counter>,
+    compact_retry_backoff: Arc<obs::Counter>,
 }
 
 impl DbMetrics {
@@ -151,6 +155,10 @@ impl DbMetrics {
             stall_micros: registry.counter("lsm.stall_micros"),
             flush_count: registry.counter("lsm.flush.count"),
             flush_bytes: registry.counter("lsm.flush.bytes"),
+            bg_error_set: registry.counter("lsm.bg-error.set"),
+            readonly_rejects: registry.counter("lsm.bg-error.readonly-writes"),
+            compact_retries: registry.counter("lsm.compact.retry.count"),
+            compact_retry_backoff: registry.counter("lsm.compact.retry.backoff-micros"),
         }
     }
 }
@@ -262,6 +270,16 @@ impl Db {
                     })?;
                     let last = base + u64::from(batch.count()).saturating_sub(1);
                     max_sequence = max_sequence.max(last);
+                }
+                if reader.corruption_detected() {
+                    // A torn tail is expected after a crash (silent EOF),
+                    // but a checksum failure *inside* the log means the
+                    // replayed prefix may be missing acknowledged writes.
+                    // Surface it so callers route through `repair_db`
+                    // rather than opening with silent data loss.
+                    return Err(Error::Corruption(format!(
+                        "WAL {number:06} contains corrupt records"
+                    )));
                 }
             }
         }
@@ -575,8 +593,13 @@ impl Db {
                 return Ok(());
             }
             if !state.mem.is_empty() {
-                // Wait for any existing imm first.
+                // Wait for any existing imm first. A background error
+                // stops all flush progress, so bail out instead of
+                // waiting forever on work that will never happen.
                 while state.imm.is_some() {
+                    if let Some(e) = &state.bg_error {
+                        return Err(Error::ReadOnly(e.clone()));
+                    }
                     self.inner.work_done.wait(&mut state);
                 }
                 state = self.inner.rotate_memtable(state)?;
@@ -584,6 +607,9 @@ impl Db {
             }
         }
         self.wait_for_background_quiescence();
+        if let Some(e) = self.inner.state.lock().bg_error.clone() {
+            return Err(Error::ReadOnly(e));
+        }
         Ok(())
     }
 
@@ -598,7 +624,7 @@ impl Db {
                 {
                     let mut state = self.inner.state.lock();
                     if let Some(e) = &state.bg_error {
-                        return Err(Error::Corruption(e.clone()));
+                        return Err(Error::ReadOnly(e.clone()));
                     }
                     if state.versions.current().num_files(level) == 0 {
                         state.force_compact_level = None;
@@ -767,10 +793,9 @@ impl DbInner {
         let mut state = match self.make_room_for_write(state) {
             Ok(s) => s,
             Err(e) => {
-                let msg = e.to_string();
                 let mut state = self.state.lock();
                 while let Some(w) = state.pending_writes.pop_front() {
-                    *w.result.lock() = Some(Err(Error::Corruption(msg.clone())));
+                    *w.result.lock() = Some(Err(replicate_err(&e)));
                 }
                 self.writers_cv.notify_all();
                 return;
@@ -813,8 +838,7 @@ impl DbInner {
         let commit = (|| -> Result<()> {
             let mut wal = self.wal.lock();
             for b in &batches {
-                wal.add_record(b.data())
-                    .map_err(|e| Error::Corruption(format!("wal append failed: {e}")))?;
+                wal.add_record(b.data())?;
             }
             if sync {
                 wal.sync()?;
@@ -823,6 +847,13 @@ impl DbInner {
         })();
 
         let mut state = self.state.lock();
+        if let Err(e) = &commit {
+            // A failed append or sync leaves the WAL tail in an unknown
+            // state; appending further records behind it could replay as
+            // garbage (or silently drop acknowledged writes). First
+            // failure is sticky: the store goes read-only.
+            self.set_bg_error(&mut state, format!("wal commit failed: {e}"));
+        }
         if commit.is_ok() {
             let mem = &mut state.mem;
             for b in &batches {
@@ -845,12 +876,25 @@ impl DbInner {
         for slot in &slots {
             *slot.lock() = Some(match &commit {
                 Ok(()) => Ok(()),
-                Err(e) => Err(Error::Corruption(e.to_string())),
+                Err(e) => Err(replicate_err(e)),
             });
         }
         let state = self.state.lock();
         self.writers_cv.notify_all();
         drop(state);
+    }
+
+    /// Records a fatal background error. The first error wins and is
+    /// sticky: the store is read-only from here on (writes return
+    /// [`Error::ReadOnly`]), reads keep working, and everything blocked
+    /// on background progress is woken so it can observe the state.
+    fn set_bg_error(&self, state: &mut DbState, msg: String) {
+        if state.bg_error.is_none() {
+            state.bg_error = Some(msg.clone());
+            self.metrics.bg_error_set.inc();
+            self.obs.event(obs::EventKind::BgError { message: msg });
+        }
+        self.work_done.notify_all();
     }
 
     /// Accounts one writer stall: DbStats, the stall counter, and a
@@ -870,7 +914,8 @@ impl DbInner {
         let mut allow_pressure_delay = true;
         loop {
             if let Some(e) = &state.bg_error {
-                return Err(Error::Corruption(e.clone()));
+                self.metrics.readonly_rejects.inc();
+                return Err(Error::ReadOnly(e.clone()));
             }
             let pressure = self.engine.write_pressure();
             let background_busy =
@@ -949,12 +994,23 @@ impl DbInner {
             .options
             .env
             .create_writable(&log_file_name(&self.dir, new_log_number))?;
+        // The new WAL's directory entry must survive a power cut or every
+        // synced record inside it is unreachable on recovery.
+        self.options.env.sync_dir(&self.dir)?;
         let old_mem = std::mem::replace(
             &mut state.mem,
             MemTable::new(InternalKeyComparator::default()),
         );
         state.imm = Some(Arc::new(old_mem));
-        *self.wal.lock() = LogWriter::new(file);
+        let mut wal = self.wal.lock();
+        // Sync the retiring WAL before installing its successor. Without
+        // this, a later `sync: true` write only reaches the new WAL, and a
+        // power cut could drop acknowledged records stranded in the old
+        // WAL's unsynced tail — breaking "a synced write makes every prior
+        // acknowledged write durable".
+        wal.sync()?;
+        *wal = LogWriter::new(file);
+        drop(wal);
         state.log_file_number = new_log_number;
         self.wake_workers(&state);
         Ok(state)
@@ -992,27 +1048,27 @@ impl DbInner {
 
         let mut flushed_bytes = 0u64;
         match result {
-            Ok(Some(meta)) => {
-                flushed_bytes = meta.file_size;
+            Ok(meta) => {
                 let mut edit = VersionEdit {
                     log_number: Some(log_number),
                     ..Default::default()
                 };
-                edit.new_files.push((0, meta));
-                state.versions.log_and_apply(edit)?;
-            }
-            Ok(None) => {
-                // Empty memtable: still advance the log number.
-                let edit = VersionEdit {
-                    log_number: Some(log_number),
-                    ..Default::default()
-                };
-                state.versions.log_and_apply(edit)?;
+                if let Some(meta) = meta {
+                    flushed_bytes = meta.file_size;
+                    edit.new_files.push((0, meta));
+                }
+                if let Err(e) = state.versions.log_and_apply(edit) {
+                    // The manifest write failed: the table (if any) is on
+                    // disk but not referenced, the WAL still covers the
+                    // data, and no further flush can make progress.
+                    state.pending_outputs.remove(&file_number);
+                    self.set_bg_error(&mut state, format!("flush manifest write failed: {e}"));
+                    return Err(e);
+                }
             }
             Err(e) => {
                 state.pending_outputs.remove(&file_number);
-                state.bg_error = Some(format!("flush failed: {e}"));
-                self.work_done.notify_all();
+                self.set_bg_error(&mut state, format!("flush failed: {e}"));
                 return Err(e);
             }
         }
@@ -1107,8 +1163,7 @@ impl DbInner {
                     let result = state.versions.log_and_apply(edit);
                     state.conflicts.release(ticket);
                     if let Err(e) = result {
-                        state.bg_error = Some(format!("trivial move failed: {e}"));
-                        self.work_done.notify_all();
+                        self.set_bg_error(state, format!("trivial move failed: {e}"));
                         return None;
                     }
                     state.stats.trivial_moves += 1;
@@ -1179,8 +1234,7 @@ impl DbInner {
                 Err(e) => {
                     let mut state = self.state.lock();
                     state.conflicts.release(ticket);
-                    state.bg_error = Some(format!("compaction open failed: {e}"));
-                    self.work_done.notify_all();
+                    self.set_bg_error(&mut state, format!("compaction open failed: {e}"));
                     return;
                 }
             }
@@ -1214,10 +1268,40 @@ impl DbInner {
             inner: self,
             allocated: std::sync::Mutex::new(Vec::new()),
         };
-        let result = if use_engine {
-            self.engine.compact(&req, &factory)
-        } else {
-            CpuCompactionEngine.compact(&req, &factory)
+        // Transient I/O errors get a bounded number of retries with
+        // exponential backoff. Each attempt allocates fresh output file
+        // numbers, so a half-written attempt is never installed — its
+        // orphans are swept by the obsolete-file GC below (exactly-once
+        // install). The backoff is accounted on metrics/trace (injectable
+        // clock time); a real sleep happens only under `slowdown_sleep`,
+        // keeping deterministic tests free of wall-clock waits.
+        let mut attempt: u32 = 0;
+        let result = loop {
+            let r = if use_engine {
+                self.engine.compact(&req, &factory)
+            } else {
+                CpuCompactionEngine.compact(&req, &factory)
+            };
+            match r {
+                Err(e) if attempt < self.options.compaction_max_retries && is_transient_io(&e) => {
+                    attempt += 1;
+                    let backoff = self
+                        .options
+                        .compaction_retry_backoff_micros
+                        .saturating_mul(1u64 << (attempt - 1).min(20));
+                    self.metrics.compact_retries.inc();
+                    self.metrics.compact_retry_backoff.add(backoff);
+                    self.obs.event(obs::EventKind::CompactionRetry {
+                        level,
+                        attempt,
+                        backoff_micros: backoff,
+                    });
+                    if self.options.slowdown_sleep {
+                        std::thread::sleep(Duration::from_micros(backoff));
+                    }
+                }
+                r => break r,
+            }
         };
 
         let mut state = self.state.lock();
@@ -1263,7 +1347,7 @@ impl DbInner {
                 edit.compact_pointers
                     .push((level, compaction.largest_input_key.clone()));
                 if let Err(e) = state.versions.log_and_apply(edit) {
-                    state.bg_error = Some(format!("compaction install failed: {e}"));
+                    self.set_bg_error(&mut state, format!("compaction install failed: {e}"));
                 } else {
                     let stats = &mut state.stats;
                     if use_engine {
@@ -1307,7 +1391,7 @@ impl DbInner {
                 }
             }
             Err(e) => {
-                state.bg_error = Some(format!("compaction failed: {e}"));
+                self.set_bg_error(&mut state, format!("compaction failed: {e}"));
             }
         }
         // Completion may unblock both waiters and conflicting candidates.
@@ -1347,6 +1431,23 @@ impl DbInner {
             }
         }
     }
+}
+
+/// Reproduces an error for fan-out to every writer in a group (the
+/// underlying `std::io::Error` is not `Clone`).
+fn replicate_err(e: &Error) -> Error {
+    match e {
+        Error::ReadOnly(m) => Error::ReadOnly(m.clone()),
+        Error::Io(io) => Error::Io(std::io::Error::new(io.kind(), io.to_string())),
+        Error::Corruption(m) => Error::Corruption(m.clone()),
+        other => Error::Corruption(other.to_string()),
+    }
+}
+
+/// Transient I/O errors are worth retrying; corruption and logic errors
+/// are not (retrying cannot make a bad checksum good).
+fn is_transient_io(e: &Error) -> bool {
+    matches!(e, Error::Io(_) | Error::Table(sstable::Error::Io(_)))
 }
 
 /// One unit of admitted background work.

@@ -62,6 +62,10 @@ pub enum Error {
     InvalidArgument(String),
     /// The database is shutting down.
     ShuttingDown,
+    /// A background write failure moved the store into read-only mode;
+    /// the payload is the original error. Reads still work, writes are
+    /// rejected instead of being silently dropped.
+    ReadOnly(String),
 }
 
 impl std::fmt::Display for Error {
@@ -72,6 +76,7 @@ impl std::fmt::Display for Error {
             Error::Corruption(m) => write!(f, "corruption: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::ShuttingDown => write!(f, "database is shutting down"),
+            Error::ReadOnly(m) => write!(f, "database is read-only after background error: {m}"),
         }
     }
 }

@@ -60,6 +60,15 @@ pub struct Options {
     /// pass a shared bundle driven by a manual clock so exports are
     /// byte-identical across runs.
     pub obs: Option<Arc<obs::Obs>>,
+    /// Transient compaction I/O errors are retried this many times with
+    /// exponential backoff before the store goes read-only. Corruption is
+    /// never retried.
+    pub compaction_max_retries: u32,
+    /// Base backoff between compaction retries, doubling per attempt.
+    /// The wait is accounted on the injectable clock/metrics; a real
+    /// sleep happens only when `slowdown_sleep` is on, so deterministic
+    /// tests never block on wall time.
+    pub compaction_retry_backoff_micros: u64,
 }
 
 impl Default for Options {
@@ -79,6 +88,8 @@ impl Default for Options {
             slowdown_sleep: true,
             background_threads: 1,
             obs: None,
+            compaction_max_retries: 2,
+            compaction_retry_backoff_micros: 1000,
         }
     }
 }

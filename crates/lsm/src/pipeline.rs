@@ -358,6 +358,9 @@ impl CompactionEngine for PipelinedCompactionEngine {
                                 .expect("builder present when splitting");
                             let entries = b.num_entries();
                             let size = b.finish()?;
+                            // Durable before the manifest references it
+                            // (same discipline as the CPU engine).
+                            b.sync()?;
                             outcome.bytes_written += size;
                             outcome.outputs.push(OutputTableMeta {
                                 number,
@@ -392,6 +395,7 @@ impl CompactionEngine for PipelinedCompactionEngine {
             if let Some((number, mut b)) = builder.take() {
                 let entries = b.num_entries();
                 let size = b.finish()?;
+                b.sync()?;
                 outcome.bytes_written += size;
                 outcome.outputs.push(OutputTableMeta {
                     number,

@@ -375,11 +375,20 @@ impl VersionSet {
         if self.manifest.is_none() {
             self.create_manifest()?;
         }
+        if !edit.new_files.is_empty() {
+            // New table files must be durable — content *and* directory
+            // entry — before the manifest references them, or a power cut
+            // leaves a manifest pointing at files that no longer exist.
+            self.options.env.sync_dir(&self.dir)?;
+        }
         let record = edit.encode();
         // PANIC-OK: create_manifest() just ran for the None case.
         let manifest = self.manifest.as_mut().expect("manifest created above");
         manifest.add_record(&record)?;
         manifest.flush()?;
+        // The edit may obsolete a WAL (log_number advance) whose deletion
+        // happens right after; the manifest record must hit disk first.
+        manifest.sync()?;
 
         if let Some(n) = edit.log_number {
             self.log_number = n;
@@ -446,8 +455,14 @@ impl VersionSet {
         }
         writer.add_record(&snapshot.encode())?;
         writer.flush()?;
+        // The snapshot and the manifest's directory entry must both be
+        // durable before CURRENT can point at it.
+        writer.sync()?;
         self.manifest = Some(writer);
+        self.options.env.sync_dir(&self.dir)?;
         self.set_current_file(self.manifest_number)?;
+        // Make the CURRENT swap itself durable.
+        self.options.env.sync_dir(&self.dir)?;
         Ok(())
     }
 
@@ -504,6 +519,15 @@ impl VersionSet {
             for (level, key) in &edit.compact_pointers {
                 self.compact_pointers[*level] = key.encoded().to_vec();
             }
+        }
+        if reader.corruption_detected() {
+            // A checksum-failed record mid-manifest means later edits may
+            // have been applied on top of a hole; surface it so the
+            // caller can route the store through `repair_db` instead of
+            // serving a silently wrong file layout.
+            return Err(Error::Corruption(format!(
+                "MANIFEST-{manifest_number:06} contains corrupt records"
+            )));
         }
         self.current = Arc::new(version);
         // Continue appending to a fresh manifest on next log_and_apply.

@@ -48,6 +48,14 @@ pub enum EventKind {
     CacheEviction { file_number: u64, bytes: u64 },
     /// `repair_db` failed to move a corrupt table into `lost/`.
     QuarantineFailure { path: String },
+    /// A background write failure moved the store read-only (sticky).
+    BgError { message: String },
+    /// A transient compaction I/O error is being retried with backoff.
+    CompactionRetry {
+        level: usize,
+        attempt: u32,
+        backoff_micros: u64,
+    },
 }
 
 impl EventKind {
@@ -63,6 +71,8 @@ impl EventKind {
             EventKind::EngineFallback { .. } => "engine_fallback",
             EventKind::CacheEviction { .. } => "cache_eviction",
             EventKind::QuarantineFailure { .. } => "quarantine_failure",
+            EventKind::BgError { .. } => "bg_error",
+            EventKind::CompactionRetry { .. } => "compaction_retry",
         }
     }
 }
@@ -107,6 +117,15 @@ impl fmt::Display for EventKind {
             EventKind::QuarantineFailure { path } => {
                 write!(f, "quarantine_failure path={path}")
             }
+            EventKind::BgError { message } => write!(f, "bg_error message={message}"),
+            EventKind::CompactionRetry {
+                level,
+                attempt,
+                backoff_micros,
+            } => write!(
+                f,
+                "compaction_retry level={level} attempt={attempt} backoff_micros={backoff_micros}"
+            ),
         }
     }
 }

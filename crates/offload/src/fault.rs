@@ -1,17 +1,79 @@
 //! Injectable device faults, for exercising the CPU-retry path without a
-//! real flaky card. Faults fire at dispatch time, *before* the engine
-//! touches the output-file factory, so a faulted job has no on-disk
-//! side effects to clean up — the retry is exactly-once by construction.
+//! real flaky card.
+//!
+//! Faults come in three kinds ([`DeviceFaultKind`]):
+//!
+//! * **Transient** — fires at dispatch time, *before* the engine touches
+//!   the output-file factory. A transiently-faulted job has no on-disk
+//!   side effects to clean up; the CPU retry is exactly-once by
+//!   construction.
+//! * **MidJobTimeout** — the engine runs to completion against the real
+//!   output factory, but the device never acknowledges within its
+//!   deadline. The scheduler must discard the produced outputs (the
+//!   store's pending-outputs GC sweeps the orphaned files) and retry on
+//!   the CPU with fresh output numbers.
+//! * **MidJobPoisoned** — the device "completes" but its output fails
+//!   validation and cannot be trusted. Same cleanup discipline as a
+//!   timeout; counted separately so operators can tell a slow card from
+//!   a corrupting one.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Decides whether the next device dispatch fails.
+/// How an injected device fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceFaultKind {
+    /// Dispatch-time fault: the engine is never invoked, the factory is
+    /// never touched. Retryable with zero cleanup.
+    Transient,
+    /// The engine ran against the real output factory, then the device
+    /// timed out before acknowledging. Outputs must be discarded.
+    MidJobTimeout,
+    /// The engine ran, but its output is poisoned (fails validation).
+    /// Outputs must be discarded.
+    MidJobPoisoned,
+}
+
+impl DeviceFaultKind {
+    /// Every kind, in decision-priority order (explicit budgets and
+    /// periodic schedules are consulted in this order).
+    pub const ALL: [DeviceFaultKind; 3] = [
+        DeviceFaultKind::Transient,
+        DeviceFaultKind::MidJobTimeout,
+        DeviceFaultKind::MidJobPoisoned,
+    ];
+
+    /// True for kinds that fire *after* the engine used the output
+    /// factory, i.e. the scheduler has device-side outputs to unwind.
+    pub fn is_mid_job(self) -> bool {
+        !matches!(self, DeviceFaultKind::Transient)
+    }
+
+    /// Stable lowercase name used in metric names and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceFaultKind::Transient => "transient",
+            DeviceFaultKind::MidJobTimeout => "midjob_timeout",
+            DeviceFaultKind::MidJobPoisoned => "midjob_poisoned",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DeviceFaultKind::Transient => 0,
+            DeviceFaultKind::MidJobTimeout => 1,
+            DeviceFaultKind::MidJobPoisoned => 2,
+        }
+    }
+}
+
+/// Decides whether (and how) the next device dispatch fails.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
-    /// Explicit budget: the next `n` dispatches fault.
-    fail_next: AtomicU64,
-    /// Periodic faults: every `n`-th dispatch faults (0 = off).
-    fail_every: AtomicU64,
+    /// Explicit per-kind budgets: the next `n` dispatches fault with
+    /// that kind.
+    fail_next: [AtomicU64; 3],
+    /// Per-kind periodic faults: every `n`-th dispatch faults (0 = off).
+    fail_every: [AtomicU64; 3],
     /// Device dispatches observed so far.
     dispatches: AtomicU64,
 }
@@ -22,34 +84,51 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
-    /// Makes the next `n` device dispatches fail.
+    /// Makes the next `n` device dispatches fail transiently.
     pub fn inject(&self, n: u64) {
-        self.fail_next.fetch_add(n, Ordering::SeqCst);
+        self.inject_kind(DeviceFaultKind::Transient, n);
     }
 
-    /// Makes every `n`-th dispatch fail (0 disables periodic faults).
+    /// Makes the next `n` device dispatches fail with `kind`.
+    pub fn inject_kind(&self, kind: DeviceFaultKind, n: u64) {
+        self.fail_next[kind.index()].fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Makes every `n`-th dispatch fail transiently (0 disables).
     pub fn fail_every(&self, n: u64) {
-        self.fail_every.store(n, Ordering::SeqCst);
+        self.fail_every_kind(DeviceFaultKind::Transient, n);
     }
 
-    /// Called once per device dispatch; true means "the device faulted".
-    pub fn should_fault(&self) -> bool {
+    /// Makes every `n`-th dispatch fail with `kind` (0 disables that
+    /// kind's schedule).
+    pub fn fail_every_kind(&self, kind: DeviceFaultKind, n: u64) {
+        self.fail_every[kind.index()].store(n, Ordering::SeqCst);
+    }
+
+    /// Called once per device dispatch; `Some(kind)` means "the device
+    /// faults this way". Explicit budgets win over periodic schedules;
+    /// within each, [`DeviceFaultKind::ALL`] order breaks ties.
+    pub fn should_fault(&self) -> Option<DeviceFaultKind> {
         let dispatch = self.dispatches.fetch_add(1, Ordering::SeqCst) + 1;
-        // Consume one unit of the explicit budget if available.
-        let mut budget = self.fail_next.load(Ordering::SeqCst);
-        while budget > 0 {
-            match self.fail_next.compare_exchange(
-                budget,
-                budget - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => return true,
-                Err(actual) => budget = actual,
+        // Consume one unit of the first non-empty explicit budget.
+        for kind in DeviceFaultKind::ALL {
+            let cell = &self.fail_next[kind.index()];
+            let mut budget = cell.load(Ordering::SeqCst);
+            while budget > 0 {
+                match cell.compare_exchange(budget, budget - 1, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => return Some(kind),
+                    Err(actual) => budget = actual,
+                }
             }
         }
-        let every = self.fail_every.load(Ordering::SeqCst);
-        every != 0 && dispatch % every == 0
+        for kind in DeviceFaultKind::ALL {
+            let every = self.fail_every[kind.index()].load(Ordering::SeqCst);
+            if every != 0 && dispatch % every == 0 {
+                return Some(kind);
+            }
+        }
+        None
     }
 }
 
@@ -60,20 +139,52 @@ mod tests {
     #[test]
     fn injected_budget_is_consumed() {
         let f = FaultInjector::new();
-        assert!(!f.should_fault());
+        assert_eq!(f.should_fault(), None);
         f.inject(2);
-        assert!(f.should_fault());
-        assert!(f.should_fault());
-        assert!(!f.should_fault());
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::Transient));
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::Transient));
+        assert_eq!(f.should_fault(), None);
     }
 
     #[test]
     fn periodic_faults_hit_every_nth() {
         let f = FaultInjector::new();
         f.fail_every(3);
-        let hits: Vec<bool> = (0..6).map(|_| f.should_fault()).collect();
+        let hits: Vec<bool> = (0..6).map(|_| f.should_fault().is_some()).collect();
         assert_eq!(hits, vec![false, false, true, false, false, true]);
         f.fail_every(0);
-        assert!(!f.should_fault());
+        assert_eq!(f.should_fault(), None);
+    }
+
+    #[test]
+    fn kinds_have_independent_budgets() {
+        let f = FaultInjector::new();
+        f.inject_kind(DeviceFaultKind::MidJobTimeout, 1);
+        f.inject_kind(DeviceFaultKind::MidJobPoisoned, 1);
+        // Budgets drain in ALL order: timeout first, then poisoned.
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::MidJobTimeout));
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::MidJobPoisoned));
+        assert_eq!(f.should_fault(), None);
+    }
+
+    #[test]
+    fn explicit_budget_wins_over_periodic_schedule() {
+        let f = FaultInjector::new();
+        f.fail_every_kind(DeviceFaultKind::MidJobPoisoned, 1);
+        f.inject_kind(DeviceFaultKind::Transient, 1);
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::Transient));
+        assert_eq!(f.should_fault(), Some(DeviceFaultKind::MidJobPoisoned));
+    }
+
+    #[test]
+    fn kind_predicates_and_names() {
+        assert!(!DeviceFaultKind::Transient.is_mid_job());
+        assert!(DeviceFaultKind::MidJobTimeout.is_mid_job());
+        assert!(DeviceFaultKind::MidJobPoisoned.is_mid_job());
+        let names: Vec<&str> = DeviceFaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["transient", "midjob_timeout", "midjob_poisoned"]
+        );
     }
 }

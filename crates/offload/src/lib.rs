@@ -15,8 +15,12 @@
 //!   inputs, or an estimated device time past the per-job timeout) go to
 //!   the CPU immediately, mirroring the paper's Fig. 6 software path.
 //! * **Fault handling** — injected (or real) device faults are retried on
-//!   the CPU. Faults fire before the engine touches the output-file
-//!   factory, so retries never duplicate or lose keys.
+//!   the CPU. *Transient* faults fire before the engine touches the
+//!   output-file factory, so those retries never duplicate or lose keys;
+//!   *mid-job* faults (device timeout, poisoned output) fire after the
+//!   engine produced real outputs — the scheduler discards the outcome
+//!   (the store's pending-outputs GC sweeps the orphans) and the CPU
+//!   retry installs a fresh set of files exactly once.
 //! * **Backpressure** — queue saturation surfaces to the store as
 //!   [`lsm::WritePressure`], which `lsm::Db` turns into the same
 //!   slowdown/stall mechanics as its L0 triggers.
@@ -41,7 +45,7 @@ use lsm::compaction::{
 use lsm::PipelinedCompactionEngine;
 use sync_shim::{Condvar, Mutex};
 
-pub use fault::FaultInjector;
+pub use fault::{DeviceFaultKind, FaultInjector};
 pub use metrics::OffloadMetrics;
 pub use queue::{JobClass, PriorityPolicy, Waiter};
 
@@ -100,6 +104,10 @@ struct OffloadObs {
     cpu_fallback_timeout: std::sync::Arc<obs::Counter>,
     cpu_fallback_budget: std::sync::Arc<obs::Counter>,
     device_faults: std::sync::Arc<obs::Counter>,
+    fault_transient: std::sync::Arc<obs::Counter>,
+    fault_midjob_timeout: std::sync::Arc<obs::Counter>,
+    fault_midjob_poisoned: std::sync::Arc<obs::Counter>,
+    fault_outputs_discarded: std::sync::Arc<obs::Counter>,
     cpu_retries_after_fault: std::sync::Arc<obs::Counter>,
     cpu_pipelined_jobs: std::sync::Arc<obs::Counter>,
     max_fpga_in_flight: std::sync::Arc<obs::Gauge>,
@@ -128,6 +136,10 @@ impl OffloadObs {
             cpu_fallback_timeout: r.counter("offload.cpu_fallback_timeout"),
             cpu_fallback_budget: r.counter("offload.cpu_fallback_budget"),
             device_faults: r.counter("offload.device_faults"),
+            fault_transient: r.counter("offload.fault.transient"),
+            fault_midjob_timeout: r.counter("offload.fault.midjob_timeout"),
+            fault_midjob_poisoned: r.counter("offload.fault.midjob_poisoned"),
+            fault_outputs_discarded: r.counter("offload.fault.outputs_discarded"),
             cpu_retries_after_fault: r.counter("offload.cpu_retries_after_fault"),
             cpu_pipelined_jobs: r.counter("offload.cpu_pipelined_jobs"),
             max_fpga_in_flight: r.gauge("offload.max_fpga_in_flight"),
@@ -140,6 +152,15 @@ impl OffloadObs {
             cycles_overhead: r.counter("fcae.cycles.overhead"),
             cycles_memory: r.counter("fcae.cycles.memory"),
             bundle,
+        }
+    }
+
+    /// The registry mirror of the per-kind fault counters.
+    fn fault_counter(&self, kind: DeviceFaultKind) -> &obs::Counter {
+        match kind {
+            DeviceFaultKind::Transient => &self.fault_transient,
+            DeviceFaultKind::MidJobTimeout => &self.fault_midjob_timeout,
+            DeviceFaultKind::MidJobPoisoned => &self.fault_midjob_poisoned,
         }
     }
 
@@ -405,7 +426,10 @@ impl OffloadService {
             engine: "fcae",
             bytes: req.inputs.iter().map(|i| i.bytes()).sum(),
         });
-        let result = if self.faults.should_fault() {
+        let injected = self.faults.should_fault();
+        let result = if injected == Some(DeviceFaultKind::Transient) {
+            // Dispatch-time fault: the engine never runs, the factory is
+            // never touched, nothing to clean up.
             Err(lsm::Error::Io(std::io::Error::other(
                 "injected device fault",
             )))
@@ -420,7 +444,26 @@ impl OffloadService {
                     o.record_breakdown(&self.engines[slot].last_report().breakdown);
                 }
             }
-            r
+            match (r, injected) {
+                (Ok(outcome), Some(kind)) => {
+                    // Mid-job fault: the engine already ran against the
+                    // real output factory. Discard the outcome — the
+                    // allocated files become orphans the store's
+                    // pending-outputs GC sweeps — and surface a device
+                    // error so the CPU retry installs a fresh set of
+                    // outputs exactly once.
+                    let discarded = outcome.outputs.len() as u64;
+                    self.state.lock().metrics.midjob_outputs_discarded += discarded;
+                    if let Some(o) = &self.obs {
+                        o.fault_outputs_discarded.add(discarded);
+                    }
+                    Err(lsm::Error::Io(std::io::Error::other(match kind {
+                        DeviceFaultKind::MidJobTimeout => "injected mid-job device timeout",
+                        _ => "injected poisoned device output",
+                    })))
+                }
+                (r, _) => r,
+            }
         };
         self.release_slot(slot);
 
@@ -433,16 +476,19 @@ impl OffloadService {
                 Ok(outcome)
             }
             Err(_) => {
-                // Device fault. The engine errors before it allocates any
-                // output file (and injected faults skip it entirely), so
-                // retrying the whole job on the CPU neither loses nor
-                // duplicates keys.
+                // Device fault. Real (non-injected) engine errors happen
+                // before any output file is allocated, so they classify
+                // as transient; mid-job injections had their outputs
+                // discarded above. Either way the whole job retries on
+                // the CPU without losing or duplicating keys.
+                let kind = injected.unwrap_or(DeviceFaultKind::Transient);
                 let mut state = self.state.lock();
-                state.metrics.device_faults += 1;
+                state.metrics.record_fault(kind);
                 state.metrics.cpu_retries_after_fault += 1;
                 drop(state);
                 if let Some(o) = &self.obs {
                     o.device_faults.inc();
+                    o.fault_counter(kind).inc();
                     o.cpu_retries_after_fault.inc();
                 }
                 self.trace(obs::EventKind::EngineFault { job });
@@ -790,6 +836,16 @@ mod loom_models {
             let m = svc.metrics();
             assert_eq!(m.jobs_submitted, 3);
             assert_eq!(m.device_faults, 1, "exactly the injected fault fires");
+            assert_eq!(m.faults_transient, 1, "the fault is dispatch-time");
+            assert_eq!(
+                m.faults_midjob_timeout + m.faults_midjob_poisoned,
+                0,
+                "no mid-job fault was injected"
+            );
+            assert_eq!(
+                m.midjob_outputs_discarded, 0,
+                "a transient fault never has outputs to discard"
+            );
             assert_eq!(m.cpu_retries_after_fault, 1, "one CPU retry per fault");
             assert_eq!(m.fpga_jobs, 2, "unfaulted jobs stay on the device");
             assert_eq!(

@@ -4,6 +4,8 @@
 
 use std::time::Duration;
 
+use crate::fault::DeviceFaultKind;
+
 /// Cumulative scheduler metrics; cheap to clone out under the lock.
 #[derive(Debug, Default, Clone)]
 pub struct OffloadMetrics {
@@ -18,8 +20,22 @@ pub struct OffloadMetrics {
     pub cpu_fallback_timeout: u64,
     /// Jobs sent to the CPU because no slot freed within the wait budget.
     pub cpu_fallback_budget: u64,
-    /// Device faults observed (injected or real engine errors).
+    /// Device faults observed, all kinds (injected or real engine
+    /// errors). Always equals the sum of the per-kind counters below.
     pub device_faults: u64,
+    /// Dispatch-time transient faults: the engine never touched the
+    /// output factory, so the CPU retry needed no cleanup.
+    pub faults_transient: u64,
+    /// Mid-job timeouts: the engine ran against the real output factory,
+    /// then the device failed to acknowledge; outputs were discarded.
+    pub faults_midjob_timeout: u64,
+    /// Mid-job poisoned outputs: the device "completed" but its output
+    /// failed validation; outputs were discarded.
+    pub faults_midjob_poisoned: u64,
+    /// Output files discarded after mid-job faults. The files become
+    /// orphans swept by the store's obsolete-file GC; this counter is
+    /// how tests prove the discard actually happened.
+    pub midjob_outputs_discarded: u64,
     /// Jobs retried on the CPU after a device fault.
     pub cpu_retries_after_fault: u64,
     /// CPU-path jobs that ran on the staged pipelined engine (input size
@@ -44,5 +60,25 @@ impl OffloadMetrics {
             + self.cpu_fallback_timeout
             + self.cpu_fallback_budget
             + self.cpu_retries_after_fault
+    }
+
+    /// Bumps the total and the per-kind fault counter together, keeping
+    /// `device_faults == sum(per-kind)` by construction.
+    pub(crate) fn record_fault(&mut self, kind: DeviceFaultKind) {
+        self.device_faults += 1;
+        match kind {
+            DeviceFaultKind::Transient => self.faults_transient += 1,
+            DeviceFaultKind::MidJobTimeout => self.faults_midjob_timeout += 1,
+            DeviceFaultKind::MidJobPoisoned => self.faults_midjob_poisoned += 1,
+        }
+    }
+
+    /// The per-kind fault counter.
+    pub fn faults_of_kind(&self, kind: DeviceFaultKind) -> u64 {
+        match kind {
+            DeviceFaultKind::Transient => self.faults_transient,
+            DeviceFaultKind::MidJobTimeout => self.faults_midjob_timeout,
+            DeviceFaultKind::MidJobPoisoned => self.faults_midjob_poisoned,
+        }
     }
 }

@@ -11,8 +11,9 @@ use std::sync::Arc;
 
 use fcae::FcaeConfig;
 use lsm::compaction::CompactionEngine;
+use lsm::filename::{parse_file_name, FileType};
 use lsm::{Db, Options};
-use offload::{OffloadConfig, OffloadService};
+use offload::{DeviceFaultKind, OffloadConfig, OffloadService};
 use sstable::env::{MemEnv, StorageEnv};
 
 /// Options small enough that the workload spans several levels.
@@ -151,6 +152,77 @@ fn pipelined_cpu_fallback_matches_serial_run() {
         m.cpu_pipelined_jobs,
         m.cpu_jobs(),
         "threshold 0 must route every CPU job through the pipeline: {m:?}"
+    );
+}
+
+/// Mid-job faults are the nasty class: the device engine already ran
+/// against the real output factory before the fault fired, so the
+/// scheduler has on-disk outputs to unwind. The run must still be
+/// byte-identical to a serial CPU run, the per-kind counters must
+/// account for every fault, and the discarded outputs must end up
+/// swept by the store's obsolete-file GC rather than leaking.
+#[test]
+fn midjob_faults_discard_outputs_and_stay_correct() {
+    let serial = Db::open("/db", small_options(1)).unwrap();
+    run_workload(&serial);
+    let expect = dump(&serial);
+
+    let env = Arc::new(MemEnv::new());
+    let svc = Arc::new(OffloadService::with_slots(
+        FcaeConfig::nine_input(),
+        2,
+        OffloadConfig::default(),
+    ));
+    // Overlapping schedules: every 3rd dispatch times out mid-job, every
+    // 7th poisons its output (timeout wins when both land on the same
+    // dispatch). Both classes leave device-side outputs to discard.
+    svc.faults()
+        .fail_every_kind(DeviceFaultKind::MidJobTimeout, 3);
+    svc.faults()
+        .fail_every_kind(DeviceFaultKind::MidJobPoisoned, 7);
+    let engine = Arc::clone(&svc) as Arc<dyn CompactionEngine>;
+    let options = Options {
+        env: Arc::clone(&env) as Arc<dyn StorageEnv>,
+        ..small_options(2)
+    };
+    let db = Db::open_with_engine("/db", options, engine).unwrap();
+    run_workload(&db);
+    assert_eq!(dump(&db), expect, "mid-job faults corrupted the state");
+
+    let m = svc.metrics();
+    assert!(
+        m.faults_midjob_timeout > 0,
+        "timeout schedule never fired: {m:?}"
+    );
+    assert!(
+        m.midjob_outputs_discarded > 0,
+        "mid-job faults must discard device outputs: {m:?}"
+    );
+    assert_eq!(
+        m.device_faults,
+        m.faults_transient + m.faults_midjob_timeout + m.faults_midjob_poisoned,
+        "per-kind counters must partition the total: {m:?}"
+    );
+    assert_eq!(
+        m.device_faults, m.cpu_retries_after_fault,
+        "every mid-job fault must be retried on the CPU: {m:?}"
+    );
+
+    // Exactly-once cleanup: the GC pass after each compaction sweeps the
+    // discarded device outputs, so once the store is quiescent every
+    // table file in the directory is referenced by the live version.
+    db.wait_for_background_quiescence();
+    let on_disk: Vec<String> = env
+        .list_dir(std::path::Path::new("/db"))
+        .unwrap()
+        .into_iter()
+        .filter(|n| matches!(parse_file_name(n), Some(FileType::Table(_))))
+        .collect();
+    let live = db.level_file_counts().iter().sum::<usize>();
+    assert_eq!(
+        on_disk.len(),
+        live,
+        "discarded mid-job outputs leaked: {on_disk:?}"
     );
 }
 

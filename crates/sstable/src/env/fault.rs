@@ -1,0 +1,838 @@
+//! Fault-injecting storage environment.
+//!
+//! [`FaultEnv`] wraps any [`StorageEnv`] and models the failure surface a
+//! real disk exposes, in the spirit of RocksDB's `FaultInjectionTestFS`:
+//!
+//! * **Power cuts with torn tails.** Every file created through the
+//!   wrapper tracks its *durable prefix* — the byte length at the last
+//!   successful `sync`. Directory operations (create, rename, remove) are
+//!   journaled until the containing directory is synced via
+//!   [`StorageEnv::sync_dir`]. [`FaultEnv::power_cut`] undoes all
+//!   unsynced directory operations in reverse order and truncates each
+//!   file to its durable prefix plus a seeded-random *torn tail* — an
+//!   arbitrary byte-granularity prefix of the unsynced suffix, modeling a
+//!   write that was partially on disk when power failed.
+//! * **Deterministic I/O errors.** Per-[`FaultKind`] one-shot budgets
+//!   (`inject_errors`) and seeded probabilistic rates (`fail_one_in`)
+//!   make appends, syncs, reads, renames, creates, and dir ops fail with
+//!   an injected `Io` error (ENOSPC-style for writes).
+//! * **Media corruption.** Reads can flip a seeded-random bit in the
+//!   returned buffer (`corrupt_reads_one_in`), exercising every checksum
+//!   on the read path.
+//!
+//! All randomness flows from one splitmix64 stream seeded at
+//! construction (plus a per-cut seed), so a failing schedule replays
+//! bit-identically. The wrapper is `Clone`; clones share state, so tests
+//! can keep a control handle while the store owns the `Arc<dyn
+//! StorageEnv>` view.
+//!
+//! Semantics notes: files that already existed in the wrapped env before
+//! the wrapper saw them are treated as fully durable. Handles opened
+//! before a `power_cut` keep writing into detached buffers — the harness
+//! is expected to drop the store (after `set_offline(true)` makes further
+//! acknowledgements impossible) before cutting power and reopening.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::{RandomAccessFile, StorageEnv, WritableFile};
+use crate::{Error, Result};
+
+/// The operation classes on which faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `create_writable`
+    Create,
+    /// `WritableFile::append`
+    Append,
+    /// `WritableFile::sync`
+    Sync,
+    /// `RandomAccessFile::read_at`
+    Read,
+    /// `StorageEnv::rename`
+    Rename,
+    /// `StorageEnv::remove_file`
+    RemoveFile,
+    /// `StorageEnv::create_dir_all`
+    CreateDir,
+    /// `StorageEnv::sync_dir`
+    SyncDir,
+}
+
+impl FaultKind {
+    /// All fault kinds, for iteration in reports.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Create,
+        FaultKind::Append,
+        FaultKind::Sync,
+        FaultKind::Read,
+        FaultKind::Rename,
+        FaultKind::RemoveFile,
+        FaultKind::CreateDir,
+        FaultKind::SyncDir,
+    ];
+}
+
+/// What a [`FaultEnv::power_cut`] actually destroyed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PowerCutReport {
+    /// Unsynced directory operations rolled back.
+    pub dir_ops_undone: usize,
+    /// Files whose unsynced suffix was (partially) dropped.
+    pub files_truncated: usize,
+    /// Total unsynced bytes discarded across all files.
+    pub bytes_dropped: u64,
+    /// Bytes that survived inside torn tails (durable prefix excluded).
+    pub torn_bytes_kept: u64,
+}
+
+/// splitmix64: tiny, seedable, and good enough for fault schedules.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`; returns 0 when `n == 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// An unsynced directory operation, journaled until `sync_dir`.
+#[derive(Debug)]
+enum DirOp {
+    /// File created (possibly truncating `prev` = old content + old
+    /// durable prefix). Undo: restore `prev` or remove the file.
+    Create {
+        path: PathBuf,
+        prev: Option<(Vec<u8>, u64)>,
+    },
+    /// File renamed over `prev_to` (old target content + durable prefix,
+    /// if any). Undo: move back and restore the clobbered target.
+    Rename {
+        from: PathBuf,
+        to: PathBuf,
+        prev_to: Option<(Vec<u8>, u64)>,
+        from_synced: u64,
+    },
+    /// File removed. Undo: resurrect content with its durable prefix.
+    Remove {
+        path: PathBuf,
+        content: Vec<u8>,
+        synced_len: u64,
+    },
+}
+
+impl DirOp {
+    /// True when every directory this op touches is `dir`.
+    fn contained_in(&self, dir: &Path) -> bool {
+        let parent_is = |p: &Path| p.parent() == Some(dir);
+        match self {
+            DirOp::Create { path, .. } | DirOp::Remove { path, .. } => parent_is(path),
+            DirOp::Rename { from, to, .. } => parent_is(from) && parent_is(to),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    injected: HashMap<FaultKind, u64>,
+    bits_flipped: u64,
+}
+
+struct FaultState {
+    rng: SplitMix64,
+    offline: bool,
+    /// Durable prefix length per tracked file (created/renamed through us).
+    synced_len: HashMap<PathBuf, u64>,
+    dir_journal: Vec<DirOp>,
+    fail_one_in: HashMap<FaultKind, u64>,
+    fail_budget: HashMap<FaultKind, u64>,
+    read_corrupt_one_in: u64,
+    counters: Counters,
+}
+
+impl FaultState {
+    /// Decides whether an operation of `kind` should fail now, consuming
+    /// one-shot budget first, then rolling the seeded probability.
+    fn should_fail(&mut self, kind: FaultKind) -> bool {
+        if let Some(budget) = self.fail_budget.get_mut(&kind) {
+            if *budget > 0 {
+                *budget -= 1;
+                *self.counters.injected.entry(kind).or_insert(0) += 1;
+                return true;
+            }
+        }
+        if let Some(&n) = self.fail_one_in.get(&kind) {
+            if n > 0 && self.rng.below(n) == 0 {
+                *self.counters.injected.entry(kind).or_insert(0) += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+struct Shared {
+    inner: Arc<dyn StorageEnv>,
+    state: Mutex<FaultState>,
+}
+
+impl Shared {
+    fn fault_err(&self, kind: FaultKind) -> Error {
+        let msg = match kind {
+            FaultKind::Append | FaultKind::Sync | FaultKind::Create => {
+                format!("injected {kind:?} fault: no space left on device")
+            }
+            _ => format!("injected {kind:?} fault"),
+        };
+        Error::Io(io::Error::other(msg))
+    }
+
+    /// Fails with an injected error when offline or scheduled to fault.
+    fn gate(&self, kind: FaultKind) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.offline {
+            return Err(Error::Io(io::Error::other(format!(
+                "storage offline (power cut pending): {kind:?} rejected"
+            ))));
+        }
+        if state.should_fail(kind) {
+            return Err(self.fault_err(kind));
+        }
+        Ok(())
+    }
+
+    fn read_file(&self, path: &Path) -> Option<Vec<u8>> {
+        let file = self.inner.open_random_access(path).ok()?;
+        file.read_all().ok()
+    }
+
+    /// Replaces `path`'s content with `bytes`, bypassing journaling.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let mut w = self.inner.create_writable(path)?;
+        if !bytes.is_empty() {
+            w.append(bytes)?;
+        }
+        w.sync()
+    }
+}
+
+/// Fault-injecting [`StorageEnv`] wrapper. See the module docs.
+#[derive(Clone)]
+pub struct FaultEnv {
+    shared: Arc<Shared>,
+}
+
+impl FaultEnv {
+    /// Wraps `inner`, seeding the fault schedule with `seed`.
+    pub fn new(inner: Arc<dyn StorageEnv>, seed: u64) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                inner,
+                state: Mutex::new(FaultState {
+                    rng: SplitMix64::new(seed ^ 0xFA17_FA17_FA17_FA17),
+                    offline: false,
+                    synced_len: HashMap::new(),
+                    dir_journal: Vec::new(),
+                    fail_one_in: HashMap::new(),
+                    fail_budget: HashMap::new(),
+                    read_corrupt_one_in: 0,
+                    counters: Counters::default(),
+                }),
+            }),
+        }
+    }
+
+    /// When offline, every mutating operation fails; reads still work.
+    /// Used by crash harnesses to stop acknowledgements at the instant of
+    /// a simulated crash, before the store is dropped and power is cut.
+    pub fn set_offline(&self, offline: bool) {
+        self.shared.state.lock().offline = offline;
+    }
+
+    /// True when the env is rejecting mutations.
+    pub fn is_offline(&self) -> bool {
+        self.shared.state.lock().offline
+    }
+
+    /// Makes roughly one in `n` operations of `kind` fail (0 disables).
+    pub fn fail_one_in(&self, kind: FaultKind, n: u64) {
+        self.shared.state.lock().fail_one_in.insert(kind, n);
+    }
+
+    /// Queues `count` guaranteed failures for `kind` (consumed first).
+    pub fn inject_errors(&self, kind: FaultKind, count: u64) {
+        *self
+            .shared
+            .state
+            .lock()
+            .fail_budget
+            .entry(kind)
+            .or_insert(0) += count;
+    }
+
+    /// Flips one seeded-random bit in roughly one of every `n` successful
+    /// reads (0 disables).
+    pub fn corrupt_reads_one_in(&self, n: u64) {
+        self.shared.state.lock().read_corrupt_one_in = n;
+    }
+
+    /// Errors injected so far for `kind`.
+    pub fn injected_errors(&self, kind: FaultKind) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .counters
+            .injected
+            .get(&kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Errors injected so far across all kinds.
+    pub fn total_injected_errors(&self) -> u64 {
+        self.shared.state.lock().counters.injected.values().sum()
+    }
+
+    /// Bits flipped on reads so far.
+    pub fn bits_flipped(&self) -> u64 {
+        self.shared.state.lock().counters.bits_flipped
+    }
+
+    /// Durable prefix length of a tracked file, if known.
+    pub fn synced_len(&self, path: &Path) -> Option<u64> {
+        self.shared.state.lock().synced_len.get(path).copied()
+    }
+
+    /// Total bytes currently at risk: content beyond each tracked file's
+    /// durable prefix.
+    pub fn unsynced_bytes(&self) -> u64 {
+        let state = self.shared.state.lock();
+        let mut total = 0u64;
+        for (path, &synced) in &state.synced_len {
+            if let Ok(file) = self.shared.inner.open_random_access(path) {
+                if let Ok(len) = file.len() {
+                    total += len.saturating_sub(synced);
+                }
+            }
+        }
+        total
+    }
+
+    /// Simulates a power cut: rolls back every unsynced directory
+    /// operation (newest first), then truncates each tracked file to its
+    /// durable prefix plus a seeded-random torn tail drawn from `seed`.
+    /// Afterwards the env is back online with a clean journal, ready for
+    /// a recovery pass to reopen the store.
+    pub fn power_cut(&self, seed: u64) -> Result<PowerCutReport> {
+        let mut report = PowerCutReport::default();
+        let mut state = self.shared.state.lock();
+        let mut rng = SplitMix64::new(seed ^ 0x0DD_C0FF_EE00);
+
+        let journal = std::mem::take(&mut state.dir_journal);
+        report.dir_ops_undone = journal.len();
+        for op in journal.into_iter().rev() {
+            match op {
+                DirOp::Create { path, prev } => {
+                    match prev {
+                        Some((bytes, synced)) => {
+                            self.shared.write_file(&path, &bytes)?;
+                            state.synced_len.insert(path, synced);
+                        }
+                        None => {
+                            // Ignore NotFound: the file may have been
+                            // renamed away and already rolled back.
+                            let _ = self.shared.inner.remove_file(&path);
+                            state.synced_len.remove(&path);
+                        }
+                    }
+                }
+                DirOp::Rename {
+                    from,
+                    to,
+                    prev_to,
+                    from_synced,
+                } => {
+                    if let Some(bytes) = self.shared.read_file(&to) {
+                        self.shared.write_file(&from, &bytes)?;
+                    }
+                    match prev_to {
+                        Some((bytes, synced)) => {
+                            self.shared.write_file(&to, &bytes)?;
+                            state.synced_len.insert(to, synced);
+                        }
+                        None => {
+                            let _ = self.shared.inner.remove_file(&to);
+                            state.synced_len.remove(&to);
+                        }
+                    }
+                    state.synced_len.insert(from, from_synced);
+                }
+                DirOp::Remove {
+                    path,
+                    content,
+                    synced_len,
+                } => {
+                    self.shared.write_file(&path, &content)?;
+                    state.synced_len.insert(path, synced_len);
+                }
+            }
+        }
+
+        // Sort for a deterministic truncation order: which file draws
+        // which torn-tail length must not depend on HashMap iteration.
+        let mut paths: Vec<PathBuf> = state.synced_len.keys().cloned().collect();
+        paths.sort();
+        for path in paths {
+            let synced = state.synced_len.get(&path).copied().unwrap_or(0);
+            let Some(bytes) = self.shared.read_file(&path) else {
+                continue;
+            };
+            let len = bytes.len() as u64;
+            if len <= synced {
+                continue;
+            }
+            let unsynced = len - synced;
+            let torn = rng.below(unsynced + 1);
+            let keep = (synced + torn) as usize;
+            self.shared.write_file(&path, &bytes[..keep])?;
+            report.files_truncated += 1;
+            report.bytes_dropped += unsynced - torn;
+            report.torn_bytes_kept += torn;
+            state.synced_len.insert(path, keep as u64);
+        }
+
+        state.offline = false;
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------- files
+
+struct FaultWritable {
+    inner: Box<dyn WritableFile>,
+    shared: Arc<Shared>,
+    path: PathBuf,
+    /// Bytes appended through this handle; the file was created fresh,
+    /// so this is also the file length.
+    len: u64,
+}
+
+impl WritableFile for FaultWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.shared.gate(FaultKind::Append)?;
+        self.inner.append(data)?;
+        self.len += data.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.shared.gate(FaultKind::Sync)?;
+        self.inner.sync()?;
+        self.shared
+            .state
+            .lock()
+            .synced_len
+            .insert(self.path.clone(), self.len);
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+struct FaultRandomAccess {
+    inner: Box<dyn RandomAccessFile>,
+    shared: Arc<Shared>,
+}
+
+impl RandomAccessFile for FaultRandomAccess {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        {
+            let mut state = self.shared.state.lock();
+            if state.should_fail(FaultKind::Read) {
+                return Err(self.shared.fault_err(FaultKind::Read));
+            }
+        }
+        let n = self.inner.read_at(offset, buf)?;
+        if n > 0 {
+            let mut state = self.shared.state.lock();
+            let one_in = state.read_corrupt_one_in;
+            if one_in > 0 && state.rng.below(one_in) == 0 {
+                let idx = state.rng.below(n as u64) as usize;
+                let bit = state.rng.below(8) as u32;
+                buf[idx] ^= 1u8 << bit;
+                state.counters.bits_flipped += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+}
+
+// ------------------------------------------------------------------ env
+
+impl StorageEnv for FaultEnv {
+    fn open_random_access(&self, path: &Path) -> Result<Box<dyn RandomAccessFile>> {
+        let inner = self.shared.inner.open_random_access(path)?;
+        Ok(Box::new(FaultRandomAccess {
+            inner,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn create_writable(&self, path: &Path) -> Result<Box<dyn WritableFile>> {
+        self.shared.gate(FaultKind::Create)?;
+        // Capture the clobbered file (if any) so a power cut can restore
+        // it: until the directory is synced, the truncating create is not
+        // durable either.
+        let prev = if self.shared.inner.file_exists(path) {
+            self.shared.read_file(path).map(|bytes| {
+                let synced = self
+                    .shared
+                    .state
+                    .lock()
+                    .synced_len
+                    .get(path)
+                    .copied()
+                    .unwrap_or(bytes.len() as u64);
+                (bytes, synced)
+            })
+        } else {
+            None
+        };
+        let inner = self.shared.inner.create_writable(path)?;
+        {
+            let mut state = self.shared.state.lock();
+            state.dir_journal.push(DirOp::Create {
+                path: path.to_path_buf(),
+                prev,
+            });
+            state.synced_len.insert(path.to_path_buf(), 0);
+        }
+        Ok(Box::new(FaultWritable {
+            inner,
+            shared: Arc::clone(&self.shared),
+            path: path.to_path_buf(),
+            len: 0,
+        }))
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        self.shared.gate(FaultKind::RemoveFile)?;
+        let content = self.shared.read_file(path);
+        self.shared.inner.remove_file(path)?;
+        if let Some(content) = content {
+            let mut state = self.shared.state.lock();
+            let synced_len = state
+                .synced_len
+                .remove(path)
+                .unwrap_or(content.len() as u64);
+            state.dir_journal.push(DirOp::Remove {
+                path: path.to_path_buf(),
+                content,
+                synced_len,
+            });
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        self.shared.gate(FaultKind::CreateDir)?;
+        self.shared.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>> {
+        self.shared.inner.list_dir(path)
+    }
+
+    fn file_exists(&self, path: &Path) -> bool {
+        self.shared.inner.file_exists(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        self.shared.gate(FaultKind::Rename)?;
+        let prev_to = if self.shared.inner.file_exists(to) {
+            self.shared.read_file(to).map(|bytes| {
+                let synced = self
+                    .shared
+                    .state
+                    .lock()
+                    .synced_len
+                    .get(to)
+                    .copied()
+                    .unwrap_or(bytes.len() as u64);
+                (bytes, synced)
+            })
+        } else {
+            None
+        };
+        // Untracked source files predate the wrapper and count as fully
+        // durable.
+        let from_len = self
+            .shared
+            .inner
+            .open_random_access(from)
+            .and_then(|f| f.len())
+            .unwrap_or(0);
+        self.shared.inner.rename(from, to)?;
+        let mut state = self.shared.state.lock();
+        let from_synced = state.synced_len.remove(from).unwrap_or(from_len);
+        state.synced_len.insert(to.to_path_buf(), from_synced);
+        state.dir_journal.push(DirOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+            prev_to,
+            from_synced,
+        });
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        self.shared.gate(FaultKind::SyncDir)?;
+        self.shared.inner.sync_dir(path)?;
+        self.shared
+            .state
+            .lock()
+            .dir_journal
+            .retain(|op| !op.contained_in(path));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MemEnv;
+    use super::*;
+
+    fn fault_env(seed: u64) -> FaultEnv {
+        FaultEnv::new(Arc::new(MemEnv::new()), seed)
+    }
+
+    fn write(env: &FaultEnv, path: &Path, data: &[u8], sync: bool) {
+        let mut w = env.create_writable(path).unwrap();
+        w.append(data).unwrap();
+        if sync {
+            w.sync().unwrap();
+        }
+    }
+
+    fn read(env: &FaultEnv, path: &Path) -> Vec<u8> {
+        env.open_random_access(path).unwrap().read_all().unwrap()
+    }
+
+    #[test]
+    fn power_cut_keeps_synced_prefix_drops_unsynced() {
+        let env = fault_env(1);
+        let p = Path::new("/db/f1");
+        let mut w = env.create_writable(p).unwrap();
+        w.append(b"durable-").unwrap();
+        w.sync().unwrap();
+        w.append(b"volatile").unwrap();
+        drop(w);
+        env.sync_dir(Path::new("/db")).unwrap();
+        assert_eq!(env.unsynced_bytes(), 8);
+
+        let report = env.power_cut(7).unwrap();
+        let survived = read(&env, p);
+        assert!(survived.starts_with(b"durable-"));
+        // Torn tail: whatever survives past the durable prefix must be a
+        // prefix of the unsynced bytes, never reordered or invented.
+        assert!(b"durable-volatile".starts_with(survived.as_slice()));
+        assert_eq!(report.bytes_dropped + report.torn_bytes_kept, 8);
+        assert_eq!(env.unsynced_bytes(), 0);
+    }
+
+    #[test]
+    fn power_cut_is_deterministic_per_seed() {
+        let lens: Vec<usize> = (0..2)
+            .map(|_| {
+                let env = fault_env(42);
+                let p = Path::new("/db/f");
+                let mut w = env.create_writable(p).unwrap();
+                w.append(&[0xAB; 100]).unwrap();
+                w.sync().unwrap();
+                w.append(&[0xCD; 1000]).unwrap();
+                drop(w);
+                env.sync_dir(Path::new("/db")).unwrap();
+                env.power_cut(9).unwrap();
+                read(&env, p).len()
+            })
+            .collect();
+        assert_eq!(lens[0], lens[1]);
+        assert!(lens[0] >= 100 && lens[0] <= 1100);
+    }
+
+    #[test]
+    fn unsynced_create_vanishes_on_power_cut() {
+        let env = fault_env(2);
+        let p = Path::new("/db/new");
+        write(&env, p, b"data", true); // file synced, dir entry not
+        env.power_cut(3).unwrap();
+        assert!(!env.file_exists(p));
+    }
+
+    #[test]
+    fn synced_dir_makes_create_durable() {
+        let env = fault_env(2);
+        let p = Path::new("/db/new");
+        write(&env, p, b"data", true);
+        env.sync_dir(Path::new("/db")).unwrap();
+        env.power_cut(3).unwrap();
+        assert_eq!(read(&env, p), b"data");
+    }
+
+    #[test]
+    fn unsynced_rename_rolls_back() {
+        let env = fault_env(3);
+        let cur = Path::new("/db/CURRENT");
+        let tmp = Path::new("/db/CURRENT.tmp");
+        write(&env, cur, b"MANIFEST-1", true);
+        env.sync_dir(Path::new("/db")).unwrap();
+
+        write(&env, tmp, b"MANIFEST-2", true);
+        env.rename(tmp, cur).unwrap();
+        assert_eq!(read(&env, cur), b"MANIFEST-2");
+
+        env.power_cut(11).unwrap();
+        // The swap was never synced: the old CURRENT is back and the tmp
+        // file is gone (its create was unsynced too).
+        assert_eq!(read(&env, cur), b"MANIFEST-1");
+        assert!(!env.file_exists(tmp));
+    }
+
+    #[test]
+    fn synced_rename_survives() {
+        let env = fault_env(3);
+        let cur = Path::new("/db/CURRENT");
+        let tmp = Path::new("/db/CURRENT.tmp");
+        write(&env, cur, b"MANIFEST-1", true);
+        write(&env, tmp, b"MANIFEST-2", true);
+        env.rename(tmp, cur).unwrap();
+        env.sync_dir(Path::new("/db")).unwrap();
+        env.power_cut(11).unwrap();
+        assert_eq!(read(&env, cur), b"MANIFEST-2");
+    }
+
+    #[test]
+    fn unsynced_remove_resurrects() {
+        let env = fault_env(4);
+        let p = Path::new("/db/table");
+        write(&env, p, b"rows", true);
+        env.sync_dir(Path::new("/db")).unwrap();
+        env.remove_file(p).unwrap();
+        assert!(!env.file_exists(p));
+        env.power_cut(5).unwrap();
+        assert_eq!(read(&env, p), b"rows");
+    }
+
+    #[test]
+    fn injected_errors_fire_and_count() {
+        let env = fault_env(5);
+        env.inject_errors(FaultKind::Append, 1);
+        let mut w = env.create_writable(Path::new("/f")).unwrap();
+        assert!(w.append(b"x").is_err());
+        assert!(w.append(b"x").is_ok());
+        assert_eq!(env.injected_errors(FaultKind::Append), 1);
+
+        env.inject_errors(FaultKind::Sync, 1);
+        assert!(w.sync().is_err());
+        assert!(w.sync().is_ok());
+        assert_eq!(env.total_injected_errors(), 2);
+
+        env.inject_errors(FaultKind::Rename, 1);
+        assert!(env.rename(Path::new("/f"), Path::new("/g")).is_err());
+        env.inject_errors(FaultKind::Create, 1);
+        assert!(env.create_writable(Path::new("/h")).is_err());
+    }
+
+    #[test]
+    fn probabilistic_errors_fire_eventually() {
+        let env = fault_env(6);
+        env.fail_one_in(FaultKind::Append, 4);
+        let mut w = env.create_writable(Path::new("/f")).unwrap();
+        let mut failures = 0;
+        for _ in 0..256 {
+            if w.append(b"y").is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(env.injected_errors(FaultKind::Append), failures);
+    }
+
+    #[test]
+    fn read_corruption_flips_exactly_one_bit() {
+        let env = fault_env(7);
+        let p = Path::new("/f");
+        write(&env, p, &[0u8; 64], true);
+        env.corrupt_reads_one_in(1); // every read
+        let f = env.open_random_access(p).unwrap();
+        let mut buf = [0u8; 64];
+        let n = f.read_at(0, &mut buf).unwrap();
+        assert_eq!(n, 64);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_eq!(env.bits_flipped(), 1);
+    }
+
+    #[test]
+    fn offline_rejects_mutations_but_allows_reads() {
+        let env = fault_env(8);
+        let p = Path::new("/f");
+        write(&env, p, b"ok", true);
+        env.set_offline(true);
+        assert!(env.is_offline());
+        assert!(env.create_writable(Path::new("/g")).is_err());
+        assert!(env.rename(p, Path::new("/g")).is_err());
+        assert!(env.remove_file(p).is_err());
+        assert!(env.sync_dir(Path::new("/")).is_err());
+        assert_eq!(read(&env, p), b"ok");
+        // power_cut revives the env.
+        env.power_cut(1).unwrap();
+        assert!(!env.is_offline());
+        assert!(env.create_writable(Path::new("/g")).is_ok());
+    }
+
+    #[test]
+    fn truncating_create_restores_previous_content_on_cut() {
+        let env = fault_env(9);
+        let p = Path::new("/db/f");
+        write(&env, p, b"old-durable", true);
+        env.sync_dir(Path::new("/db")).unwrap();
+        // Re-create (truncate) without syncing the directory.
+        write(&env, p, b"new", true);
+        env.power_cut(2).unwrap();
+        assert_eq!(read(&env, p), b"old-durable");
+    }
+}

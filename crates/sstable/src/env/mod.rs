@@ -1,8 +1,15 @@
 //! Storage abstraction: the minimal file interfaces tables and logs need,
-//! with a real-filesystem implementation and an in-memory one for tests
-//! and simulation.
+//! with a real-filesystem implementation, an in-memory one for tests and
+//! simulation, and a fault-injecting wrapper ([`FaultEnv`]) that models
+//! power cuts, torn writes, I/O errors, and media corruption.
+
+pub mod fault;
+
+pub use fault::{FaultEnv, FaultKind, PowerCutReport};
 
 use std::collections::HashMap;
+// FS-OK: this module *is* the storage backend; every direct filesystem
+// touch in the workspace is supposed to live here.
 use std::fs;
 use std::io::Write;
 #[cfg(not(unix))]
@@ -62,6 +69,14 @@ pub trait StorageEnv: Send + Sync {
     fn file_exists(&self, path: &Path) -> bool;
     /// Atomically replaces `to` with `from`.
     fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+    /// Durably persists a directory's entries (fsync on real filesystems;
+    /// no-op in memory). Callers must invoke this after `rename` or
+    /// `create_writable` when the directory entry itself — not just the
+    /// file contents — has to survive a power cut (CURRENT swaps, fresh
+    /// WAL/MANIFEST files).
+    fn sync_dir(&self, _path: &Path) -> Result<()> {
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------- std fs
@@ -165,6 +180,24 @@ impl StorageEnv for StdEnv {
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
         fs::rename(from, to)?;
+        // A rename is only durable once the containing directory is
+        // synced; do it eagerly so CURRENT swaps survive power cuts even
+        // if a caller forgets the explicit sync_dir.
+        if let Some(parent) = to.parent() {
+            self.sync_dir(parent)?;
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> Result<()> {
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+        }
         Ok(())
     }
 }
@@ -335,6 +368,7 @@ mod tests {
         env.rename(&path, &path2).unwrap();
         assert!(!env.file_exists(&path));
         assert!(env.file_exists(&path2));
+        env.sync_dir(root).unwrap();
 
         env.remove_file(&path2).unwrap();
         assert!(!env.file_exists(&path2));

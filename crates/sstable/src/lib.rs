@@ -45,7 +45,9 @@ pub use block::Block;
 pub use block_builder::BlockBuilder;
 pub use cache::BlockCache;
 pub use comparator::{BytewiseComparator, Comparator, InternalKeyComparator};
-pub use env::{MemEnv, RandomAccessFile, StdEnv, StorageEnv, WritableFile};
+pub use env::{
+    FaultEnv, FaultKind, MemEnv, PowerCutReport, RandomAccessFile, StdEnv, StorageEnv, WritableFile,
+};
 pub use format::{BlockHandle, CompressionType, Footer};
 pub use ikey::{
     append_internal_key, parse_internal_key, InternalKey, LookupKey, ParsedInternalKey,

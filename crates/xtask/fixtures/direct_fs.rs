@@ -1,0 +1,30 @@
+// Lint fixture (not compiled): `no-direct-fs` positive and negative
+// cases. tests/lints_fire.rs asserts violations by line number — keep
+// the layout stable.
+
+use std::fs; // expected violation (line 5)
+
+fn bad_read(path: &std::path::Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_default() // expected violation (line 8)
+}
+
+fn waived_block(path: &std::path::Path) {
+    // FS-OK: emergency scrub path; never reached by store I/O.
+    let _ = std::fs::remove_dir_all(path);
+}
+
+fn waived_trailing(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path); // FS-OK: tool-only cleanup.
+}
+
+fn fine_string_mention() -> &'static str {
+    "std::fs" // inside a string literal: fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_the_filesystem() {
+        let _ = std::fs::read_to_string("/dev/null");
+    }
+}

@@ -11,6 +11,7 @@
 //! | `paper-constants` | `fcae::timing` / `fcae::cpu_model` take every model constant from `fcae::paper_tables` (Tables II/III/V) — no inline magic numbers | `// PAPER-CONST-OK:` |
 //! | `determinism`     | cycle-model and simulator code never reads wall clocks (`Instant::now`, `SystemTime`, `thread::sleep`) — modeled time only | `// DETERMINISM-OK:` |
 //! | `no-panics`       | library code never `unwrap`/`expect`/`panic!` outside `#[cfg(test)]` | `// PANIC-OK:`     |
+//! | `no-direct-fs`    | library code touches the filesystem only through `sstable::env` — no direct `std::fs` calls, so fault injection (`FaultEnv`) sees every I/O | `// FS-OK:`        |
 //!
 //! A waiver counts when it appears in a trailing comment on the flagged
 //! line or in the contiguous comment/attribute block directly above it.
@@ -405,6 +406,33 @@ pub fn scan_no_panics(file: &Path, source: &str) -> Vec<Violation> {
     out
 }
 
+/// `no-direct-fs`: library code reaches the filesystem only through the
+/// `sstable::env` abstraction. A direct `std::fs` call bypasses
+/// `StorageEnv` — and with it fault injection, power-cut simulation, and
+/// the in-memory env — so crash tests silently stop covering that I/O.
+/// Tests are exempt (they may scrub temp dirs); production waivers take
+/// `// FS-OK: <why>`. The `sstable::env` module itself carries one.
+pub fn scan_direct_fs(file: &Path, source: &str) -> Vec<Violation> {
+    let lines = scan_lines(source);
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test_mod {
+            continue;
+        }
+        if l.code.contains("std::fs") && !waived(&lines, i, "FS-OK:") {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: l.no,
+                lint: "no-direct-fs",
+                message: "direct `std::fs` use in library code; go through \
+                          `sstable::env::StorageEnv` (waiver: // FS-OK: <why>)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Repo-level drivers
 // ---------------------------------------------------------------------
@@ -486,7 +514,9 @@ pub fn lint_repo(root: &Path) -> Vec<Violation> {
         }
     }
 
-    // no-panics: library crate sources, excluding their bin targets.
+    // no-panics + no-direct-fs: library crate sources, excluding their
+    // bin targets. The storage backend in `sstable::env` carries the one
+    // standing `FS-OK:` waiver.
     for krate in LIBRARY_CRATES {
         let mut files = Vec::new();
         rs_files(&root.join("crates").join(krate).join("src"), &mut files);
@@ -494,7 +524,9 @@ pub fn lint_repo(root: &Path) -> Vec<Violation> {
             if f.components().any(|c| c.as_os_str() == "bin") {
                 continue;
             }
-            violations.extend(scan_no_panics(f, &read(f)));
+            let source = read(f);
+            violations.extend(scan_no_panics(f, &source));
+            violations.extend(scan_direct_fs(f, &source));
         }
     }
 

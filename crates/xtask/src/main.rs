@@ -33,7 +33,9 @@ fn lint() -> ExitCode {
         .expect("xtask sits two levels below the repo root"); // PANIC-OK: dev tool, structural invariant of this repo.
     let violations = xtask::lint_repo(root);
     if violations.is_empty() {
-        println!("xtask lint: clean (safety-comments, paper-constants, determinism, no-panics)");
+        println!(
+            "xtask lint: clean (safety-comments, paper-constants, determinism, no-panics, no-direct-fs)"
+        );
         ExitCode::SUCCESS
     } else {
         for v in &violations {

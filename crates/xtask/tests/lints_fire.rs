@@ -8,7 +8,8 @@
 use std::path::{Path, PathBuf};
 
 use xtask::{
-    lint_repo, scan_determinism, scan_no_panics, scan_paper_constants, scan_safety, Violation,
+    lint_repo, scan_determinism, scan_direct_fs, scan_no_panics, scan_paper_constants, scan_safety,
+    Violation,
 };
 
 fn fixture(name: &str) -> (PathBuf, String) {
@@ -72,6 +73,19 @@ fn no_panics_lint_fires_on_unwaived_panics_only() {
          test-mod unwraps must not: {v:#?}"
     );
     assert!(v.iter().all(|v| v.lint == "no-panics"));
+}
+
+#[test]
+fn direct_fs_lint_fires_on_unwaived_std_fs_only() {
+    let (path, src) = fixture("direct_fs.rs");
+    let v = scan_direct_fs(&path, &src);
+    assert_eq!(
+        lines(&v),
+        vec![5, 8],
+        "the bare import and the inline call must fire; waived calls, \
+         string mentions, and test-mod uses must not: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.lint == "no-direct-fs"));
 }
 
 /// The repo itself must be lint-clean — this is the `cargo xtask lint`

@@ -24,6 +24,18 @@ cargo run --release -p bench --bin db_bench -- \
     || { echo "obs smoke failed: no lsm.put_micros in --stats export"; exit 1; }
 cargo test -q -p systemsim identical_runs_export_identical_observability
 
+# Fault matrix: the randomized power-cut harness already ran on its
+# default seed band in `cargo test -q`; sweep a second band like CI's
+# fault-matrix job, then the corruption-repair property suite and the
+# degradation smoke (write fault -> read-only, read corruption ->
+# checksum error, transient compaction fault -> retry).
+POWER_CUT_SEED_BASE=100 cargo test -q -p fcae-repro --test power_cut power_cut_recovers
+cargo test -q -p lsm --test proptest_repair
+cargo run --release -p bench --bin db_bench -- \
+    --num 20000 --benchmarks fillrandom --fault-every 2 --stats \
+    | grep -q "offload.fault.transient" \
+    || { echo "fault smoke failed: no offload.fault.* counters in --stats export"; exit 1; }
+
 # Loom model suites (shutdown/backpressure/fault-retry/aging
 # interleavings). Deadlocks present as hangs, so bound them.
 RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p lsm --lib -q
