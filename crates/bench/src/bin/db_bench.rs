@@ -206,6 +206,13 @@ fn main() {
     for b in cfg.benchmarks.clone() {
         run_benchmark(&b, &cfg, &db);
     }
+    // Flush and drain background work BEFORE reading stats: compactions
+    // queued by the last benchmark would otherwise be counted by some
+    // exports and missed by others, making `--stats` non-reproducible.
+    // (Flush may fail if a fault run left the store read-only — the
+    // exports below should still print.)
+    let _ = db.flush();
+    db.wait_for_background_quiescence();
     let stats = db.stats();
     println!("------------------------------------------------");
     println!(

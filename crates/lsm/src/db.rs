@@ -700,10 +700,32 @@ impl Db {
         }
         match name {
             "lsm.stats" => Some(self.stats_report()),
-            "lsm.metrics" => Some(self.inner.obs.registry.export_text()),
-            "lsm.metrics-json" => Some(self.inner.obs.registry.export_json()),
+            "lsm.metrics" => {
+                self.refresh_level_gauges();
+                Some(self.inner.obs.registry.export_text())
+            }
+            "lsm.metrics-json" => {
+                self.refresh_level_gauges();
+                Some(self.inner.obs.registry.export_json())
+            }
             "lsm.trace" => Some(self.inner.obs.trace.export_text()),
             _ => None,
+        }
+    }
+
+    /// Updates the `lsm.num-files-at-level<N>` gauges from the current
+    /// version so metric exports carry the live file counts. The names
+    /// keep LevelDB's literal `<N>` property spelling — including the
+    /// angle brackets — which is exactly what the JSON export's string
+    /// escaping must keep valid.
+    fn refresh_level_gauges(&self) {
+        let counts = self.level_file_counts();
+        for (level, count) in counts.into_iter().enumerate() {
+            self.inner
+                .obs
+                .registry
+                .gauge(&format!("lsm.num-files-at-level<{level}>"))
+                .set(count as u64);
         }
     }
 
@@ -787,8 +809,7 @@ impl DbInner {
     /// range, one WAL write (outside the state lock), one optional sync.
     /// Fills every group member's result slot and wakes the queue.
     fn commit_write_group(&self, state: StateGuard<'_>) {
-        /// Cap on bytes combined into one group (LevelDB uses ~1 MiB).
-        const MAX_GROUP_BYTES: usize = 1 << 20;
+        let max_group_bytes = self.options.max_group_commit_bytes.max(1);
 
         let mut state = match self.make_room_for_write(state) {
             Ok(s) => s,
@@ -810,7 +831,7 @@ impl DbInner {
         let mut bytes = 0usize;
         for w in state.pending_writes.iter_mut() {
             let Some(b) = w.batch.take() else { break };
-            if !batches.is_empty() && bytes + b.approximate_size() > MAX_GROUP_BYTES {
+            if !batches.is_empty() && bytes + b.approximate_size() > max_group_bytes {
                 w.batch = Some(b);
                 break;
             }

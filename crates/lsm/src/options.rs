@@ -44,6 +44,16 @@ pub struct Options {
     pub block_cache_bytes: Option<usize>,
     /// Sync the WAL on every write (off by default, like db_bench).
     pub sync_writes: bool,
+    /// Cap on bytes combined into one group commit (LevelDB groups up to
+    /// ~1 MiB per WAL write). Serving layers with many concurrent small
+    /// writers can raise this so more acks ride one sync; set it to 1 to
+    /// effectively disable grouping.
+    pub max_group_commit_bytes: usize,
+    /// Pre-built data-block cache shared across *stores*. A sharded
+    /// serving layer passes the same `Arc` to every shard's `Options` so
+    /// N shards share one cache budget instead of N private caches. When
+    /// set, it takes precedence over [`Options::block_cache_bytes`].
+    pub shared_block_cache: Option<Arc<BlockCache>>,
     /// Storage backend.
     pub env: Arc<dyn StorageEnv>,
     /// Emulate LevelDB's 1 ms write-slowdown sleep when L0 is congested.
@@ -84,6 +94,8 @@ impl Default for Options {
             verify_checksums: true,
             block_cache_bytes: Some(8 << 20),
             sync_writes: false,
+            max_group_commit_bytes: 1 << 20,
+            shared_block_cache: None,
             env: Arc::new(StdEnv),
             slowdown_sleep: true,
             background_threads: 1,

@@ -50,9 +50,11 @@ impl TableCache {
     /// Creates a cache for tables under `dir`, sharing `block_cache`
     /// across all of them.
     pub fn new(dir: PathBuf, options: Options, capacity: usize) -> Self {
-        let block_cache = options
-            .block_cache_bytes
-            .map(sstable::cache::BlockCache::new);
+        let block_cache = options.shared_block_cache.clone().or_else(|| {
+            options
+                .block_cache_bytes
+                .map(sstable::cache::BlockCache::new)
+        });
         let read_options = options.table_read_options_with(block_cache);
         TableCache {
             dir,

@@ -509,3 +509,71 @@ fn grouped_writes_assign_disjoint_sequences() {
     let s = String::from_utf8(v).unwrap();
     assert!(s.ends_with("-i999"), "final value {s}");
 }
+
+#[test]
+fn metrics_json_property_round_trips_with_level_gauges() {
+    let (_env, options) = small_options();
+    let db = Db::open("/db", options).unwrap();
+    for i in 0..2_000u64 {
+        db.put(format!("k{i:06}").as_bytes(), &[b'v'; 128]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_background_quiescence();
+
+    let json = db.property("lsm.metrics-json").unwrap();
+    let doc = obs::json::parse(&json).expect("lsm.metrics-json must be valid JSON");
+    let gauges = doc
+        .get("gauges")
+        .and_then(obs::json::Value::as_object)
+        .unwrap();
+
+    // Every level's gauge is present under its literal `<N>` name and
+    // matches the live `lsm.num-files-at-levelN` property.
+    let mut total = 0u64;
+    for level in 0..7 {
+        let name = format!("lsm.num-files-at-level<{level}>");
+        let from_json = gauges
+            .get(&name)
+            .and_then(obs::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("missing gauge {name}"));
+        let from_property: u64 = db
+            .property(&format!("lsm.num-files-at-level{level}"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            from_json, from_property,
+            "gauge {name} must track the property"
+        );
+        total += from_json;
+    }
+    assert!(total > 0, "flushed data must appear in some level's gauge");
+}
+
+#[test]
+fn max_group_commit_bytes_is_honored() {
+    // With a tiny cap every batch commits alone: grouped_writes stays
+    // equal to group_commits (no multi-batch groups).
+    let (_env, mut options) = mem_options();
+    options.max_group_commit_bytes = 1;
+    let db = Arc::new(Db::open("/db", options).unwrap());
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    db.put(format!("k{t}-{i}").as_bytes(), b"v").unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(
+        stats.grouped_writes, stats.group_commits,
+        "a 1-byte group cap must commit exactly one batch per group"
+    );
+    assert_eq!(stats.group_commits, 800, "one commit per write");
+}

@@ -19,6 +19,7 @@
 //! order and all numbers are integers.
 
 pub mod clock;
+pub mod json;
 pub mod metrics;
 pub mod trace;
 
@@ -301,5 +302,57 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    /// Serde-style round trip: every exported name — including the
+    /// LevelDB-inherited `lsm.num-files-at-level<N>` spelling with
+    /// literal angle brackets, plus quotes, backslashes and control
+    /// characters — must survive `export_json` → parse → lookup.
+    #[test]
+    fn export_json_round_trips_through_parser() {
+        let r = Registry::new();
+        let hostile = [
+            "lsm.num-files-at-level<0>",
+            "lsm.num-files-at-level<6>",
+            "name with \"quotes\"",
+            "back\\slash",
+            "tab\there",
+            "new\nline",
+            "ctrl\u{1}char",
+            "unicode-μs",
+        ];
+        for (i, name) in hostile.iter().enumerate() {
+            r.counter(name).add(i as u64 + 1);
+            r.gauge(name).set(i as u64 * 10);
+        }
+        r.histogram("h<angle>").record(123);
+        r.counter("big").add(u64::MAX);
+
+        let doc = json::parse(&r.export_json()).expect("export must be valid JSON");
+        let counters = doc.get("counters").expect("counters object");
+        for (i, name) in hostile.iter().enumerate() {
+            assert_eq!(
+                counters.get(name).and_then(json::Value::as_u64),
+                Some(i as u64 + 1),
+                "counter {name:?} must round-trip"
+            );
+            assert_eq!(
+                doc.get("gauges")
+                    .and_then(|g| g.get(name))
+                    .and_then(json::Value::as_u64),
+                Some(i as u64 * 10),
+                "gauge {name:?} must round-trip"
+            );
+        }
+        assert_eq!(
+            counters.get("big").and_then(json::Value::as_u64),
+            Some(u64::MAX)
+        );
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("h<angle>"))
+            .expect("histogram with angle brackets");
+        assert_eq!(h.get("count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(h.get("sum").and_then(json::Value::as_u64), Some(123));
     }
 }

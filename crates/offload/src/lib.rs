@@ -550,6 +550,80 @@ impl CompactionEngine for OffloadService {
     }
 }
 
+/// Per-shard view of a shared [`OffloadService`].
+///
+/// A sharded serving layer opens every shard's `lsm::Db` with its own
+/// handle to *one* service, so all shards' compaction jobs contend for
+/// the same K engine slots — the multi-tenant regime the paper never
+/// measured. The handle adds shard attribution on the shared registry
+/// (`offload.shard{i}.jobs`, `offload.shard{i}.max_in_flight`) while
+/// every scheduling decision, fallback and fault stays on the service's
+/// aggregate `offload.*` metrics.
+pub struct ShardOffloadHandle {
+    service: std::sync::Arc<OffloadService>,
+    name: String,
+    jobs: Option<std::sync::Arc<obs::Counter>>,
+    max_in_flight: Option<std::sync::Arc<obs::Gauge>>,
+    in_flight: std::sync::atomic::AtomicU64,
+}
+
+impl OffloadService {
+    /// A [`CompactionEngine`] for shard `shard` backed by this service.
+    /// Jobs submitted through the handle share the service's slots,
+    /// queue and wait budget with every other shard's.
+    pub fn shard_handle(self: &std::sync::Arc<Self>, shard: usize) -> ShardOffloadHandle {
+        let (jobs, max_in_flight) = match &self.obs {
+            Some(o) => {
+                let r = &o.bundle.registry;
+                (
+                    Some(r.counter(&format!("offload.shard{shard}.jobs"))),
+                    Some(r.gauge(&format!("offload.shard{shard}.max_in_flight"))),
+                )
+            }
+            None => (None, None),
+        };
+        ShardOffloadHandle {
+            service: std::sync::Arc::clone(self),
+            name: format!("offload.shard{shard}"),
+            jobs,
+            max_in_flight,
+            in_flight: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl CompactionEngine for ShardOffloadHandle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn max_inputs(&self) -> usize {
+        self.service.max_inputs()
+    }
+
+    fn compact(
+        &self,
+        req: &CompactionRequest,
+        out: &dyn OutputFileFactory,
+    ) -> lsm::Result<CompactionOutcome> {
+        use std::sync::atomic::Ordering;
+        if let Some(jobs) = &self.jobs {
+            jobs.inc();
+        }
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(g) = &self.max_in_flight {
+            g.set_max(now);
+        }
+        let result = self.service.compact(req, out);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn write_pressure(&self) -> WritePressure {
+        self.service.write_pressure()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,96 @@
+//! `kv-cli` — one-shot client operations against a running `kv-server`.
+//!
+//! ```sh
+//! kv-cli --addr 127.0.0.1:7878 put mykey myvalue
+//! kv-cli --addr 127.0.0.1:7878 get mykey
+//! kv-cli --addr 127.0.0.1:7878 scan 0000 9999 --limit 10
+//! kv-cli --addr 127.0.0.1:7878 stats --json
+//! ```
+//!
+//! Keys and values are taken as UTF-8 from the command line. Exit code
+//! 0 on success (including `get` of a missing key, which prints
+//! `(not found)`), 1 on any error.
+
+use server::KvClient;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: kv-cli --addr HOST:PORT <get KEY | put KEY VALUE [--sync] | \
+                 del KEY [--sync] | scan START [END] [--limit N] | stats [--json]>"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rest: Vec<&str> = Vec::new();
+    let mut sync = false;
+    let mut json = false;
+    let mut limit = 100u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().ok_or("missing value for --addr")?;
+            }
+            "--sync" => sync = true,
+            "--json" => json = true,
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .ok_or("missing value for --limit")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?;
+            }
+            other => rest.push(other),
+        }
+        i += 1;
+    }
+
+    let mut client = KvClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match rest.as_slice() {
+        ["get", key] => match client.get(key.as_bytes()).map_err(|e| e.to_string())? {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(not found)"),
+        },
+        ["put", key, value] => client
+            .put(key.as_bytes(), value.as_bytes(), sync)
+            .map_err(|e| e.to_string())?,
+        ["del", key] => client
+            .delete(key.as_bytes(), sync)
+            .map_err(|e| e.to_string())?,
+        ["scan", start] => print_pairs(
+            client
+                .scan(start.as_bytes(), None, limit)
+                .map_err(|e| e.to_string())?,
+        ),
+        ["scan", start, end] => print_pairs(
+            client
+                .scan(start.as_bytes(), Some(end.as_bytes()), limit)
+                .map_err(|e| e.to_string())?,
+        ),
+        ["stats"] => println!("{}", client.stats(json).map_err(|e| e.to_string())?),
+        _ => return Err("unrecognized command".into()),
+    }
+    Ok(())
+}
+
+fn print_pairs(pairs: Vec<(Vec<u8>, Vec<u8>)>) {
+    for (k, v) in &pairs {
+        println!(
+            "{}\t{}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
+    }
+    eprintln!("({} pairs)", pairs.len());
+}

@@ -1,0 +1,119 @@
+//! `kv-server` — serve N range-partitioned shards over TCP.
+//!
+//! ```sh
+//! kv-server --listen 127.0.0.1:7878 --shards 4 --engines 2 --root ./kv-data
+//! ```
+//!
+//! Prints one `listening on <addr> ...` line on stdout once the socket
+//! is bound (harnesses parse it to learn the OS-assigned port when
+//! `--listen` ends in `:0`), then serves until killed. `--sync` makes
+//! every acknowledged write WAL-synced — the power-cut harness runs
+//! with it so `SIGKILL` cannot lose acked writes.
+
+use std::io::Write as _;
+
+use server::{KvServer, ServerConfig};
+
+struct Args {
+    listen: String,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        listen: "127.0.0.1:7878".into(),
+        config: ServerConfig::default(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        // Flags without a value.
+        if args[i] == "--sync" {
+            out.config.sync_writes = true;
+            i += 1;
+            continue;
+        }
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--listen" => out.listen = value,
+            "--root" => out.config.root = value.into(),
+            "--shards" => {
+                out.config.shards = value.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--engines" => {
+                out.config.engine_slots = value.parse().map_err(|e| format!("--engines: {e}"))?
+            }
+            "--write-buffer" => {
+                out.config.write_buffer_size =
+                    value.parse().map_err(|e| format!("--write-buffer: {e}"))?
+            }
+            "--max-file" => {
+                out.config.max_file_size = value.parse().map_err(|e| format!("--max-file: {e}"))?
+            }
+            "--key-len" => {
+                out.config.key_len = value.parse().map_err(|e| format!("--key-len: {e}"))?
+            }
+            // Pre-split for a dense record-id workload: shard boundaries
+            // split [0, N) instead of the full keyspace. Pass the same N
+            // as load_gen's --records.
+            "--records" => {
+                out.config.key_space = Some(value.parse().map_err(|e| format!("--records: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: kv-server [--listen ADDR] [--root DIR] [--shards N] [--engines K] \
+                 [--sync] [--write-buffer BYTES] [--max-file BYTES] [--key-len N] \
+                 [--records N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let shards = args.config.shards;
+    let engines = args.config.engine_slots;
+    let sync = args.config.sync_writes;
+    let kv = match KvServer::open(args.config) {
+        Ok(kv) => kv,
+        Err(e) => {
+            eprintln!("error: opening shards failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = match kv.start(&args.listen) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: binding {} failed: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "listening on {} shards={shards} engines={engines} sync={sync}",
+        handle.addr()
+    );
+    let _ = std::io::stdout().flush();
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

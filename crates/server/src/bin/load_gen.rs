@@ -1,0 +1,121 @@
+//! `load_gen` — replay YCSB mixes against a running `kv-server`.
+//!
+//! ```sh
+//! load_gen --addr 127.0.0.1:7878 --workload a --connections 64 --seconds 10
+//! ```
+//!
+//! Prints one greppable summary line (see `LoadReport::summary_line`)
+//! with throughput and client-observed p50/p95/p99. Exits nonzero when
+//! any protocol error occurred — the CI smoke job's gate.
+
+use server::load::{self, LoadConfig};
+
+fn parse_args() -> Result<LoadConfig, String> {
+    let mut cfg = LoadConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..Default::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-preload" => {
+                cfg.preload = false;
+                i += 1;
+                continue;
+            }
+            "--sync" => {
+                cfg.sync = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--workload" => {
+                cfg.workload = load::parse_workload(&value)
+                    .ok_or(format!("unknown workload {value} (load, a-f)"))?
+            }
+            "--connections" => {
+                cfg.connections = value.parse().map_err(|e| format!("--connections: {e}"))?
+            }
+            "--records" => cfg.records = value.parse().map_err(|e| format!("--records: {e}"))?,
+            "--seconds" => {
+                cfg.seconds = Some(value.parse().map_err(|e| format!("--seconds: {e}"))?)
+            }
+            "--ops" => {
+                cfg.ops_per_connection = Some(value.parse().map_err(|e| format!("--ops: {e}"))?);
+                cfg.seconds = None;
+            }
+            "--value-len" => {
+                cfg.value_len = value.parse().map_err(|e| format!("--value-len: {e}"))?
+            }
+            "--key-len" => cfg.key_len = value.parse().map_err(|e| format!("--key-len: {e}"))?,
+            "--seed" => cfg.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if cfg.seconds.is_none() && cfg.ops_per_connection.is_none() {
+        cfg.seconds = Some(10);
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: load_gen --addr HOST:PORT [--workload load|a-f] [--connections N] \
+                 [--records N] [--seconds N | --ops PER_CONN] [--value-len B] [--key-len B] \
+                 [--seed N] [--no-preload] [--sync]"
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "load_gen: YCSB-{} against {} at {} connections ({})",
+        cfg.workload.name(),
+        cfg.addr,
+        cfg.connections,
+        match (cfg.seconds, cfg.ops_per_connection) {
+            (Some(s), _) => format!("{s}s"),
+            (None, Some(o)) => format!("{o} ops/conn"),
+            (None, None) => "unbounded".into(),
+        }
+    );
+    let report = match load::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        report.summary_line(&format!(
+            "ycsb_{}_c{}",
+            cfg.workload.name().to_ascii_lowercase(),
+            cfg.connections
+        ))
+    );
+    if report.protocol_errors > 0 {
+        eprintln!("FAIL: {} protocol errors", report.protocol_errors);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,218 @@
+//! `server_saturation` — throughput + p99 vs. connection count, at
+//! K=1 and K=4 engine slots, appended to `BENCH_PR6.json`.
+//!
+//! Runs an in-process 4-shard server per engine configuration (fresh
+//! store directories each time), drives YCSB-A through the real TCP
+//! stack at each connection count, and appends one labelled JSON row:
+//!
+//! ```sh
+//! cargo run --release -p server --bin server_saturation -- \
+//!     --label pr6 --out BENCH_PR6.json
+//! ```
+
+use std::time::SystemTime;
+
+use server::load::{self, LoadConfig};
+use server::{KvServer, ServerConfig};
+
+struct Args {
+    label: String,
+    out: String,
+    seconds: u64,
+    connections: Vec<usize>,
+    engines: Vec<usize>,
+    records: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        label: "saturation".into(),
+        out: "BENCH_PR6.json".into(),
+        seconds: 3,
+        connections: vec![8, 32, 64],
+        engines: vec![1, 4],
+        records: 20_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--label" => out.label = value,
+            "--out" => out.out = value,
+            "--seconds" => out.seconds = value.parse().map_err(|e| format!("--seconds: {e}"))?,
+            "--records" => out.records = value.parse().map_err(|e| format!("--records: {e}"))?,
+            "--connections" => {
+                out.connections = value
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--connections: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--engines" => {
+                out.engines = value
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--engines: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// One (engines, connections) measurement.
+struct Point {
+    engines: usize,
+    connections: usize,
+    throughput_ops_s: u64,
+    p50_us: u64,
+    p99_us: u64,
+    protocol_errors: u64,
+}
+
+impl Point {
+    fn json(&self) -> String {
+        format!(
+            "{{\"engines\": {}, \"connections\": {}, \"throughput_ops_s\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"protocol_errors\": {}}}",
+            self.engines,
+            self.connections,
+            self.throughput_ops_s,
+            self.p50_us,
+            self.p99_us,
+            self.protocol_errors
+        )
+    }
+}
+
+fn measure(engines: usize, connections: usize, args: &Args) -> Result<Point, String> {
+    let root = std::env::temp_dir().join(format!(
+        "server-saturation-{}-k{engines}-c{connections}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let kv = KvServer::open(ServerConfig {
+        shards: 4,
+        root: root.clone(),
+        engine_slots: engines,
+        // Small buffers so the run actually compacts under load and the
+        // engine-slot count matters within a few seconds.
+        write_buffer_size: 256 << 10,
+        max_file_size: 128 << 10,
+        // Pre-split for the dense YCSB record ids so the load actually
+        // spreads across all 4 shards.
+        key_space: Some(args.records),
+        ..Default::default()
+    })
+    .map_err(|e| format!("open: {e}"))?;
+    let handle = kv.start("127.0.0.1:0").map_err(|e| format!("start: {e}"))?;
+
+    let report = load::run(&LoadConfig {
+        addr: handle.addr().to_string(),
+        connections,
+        records: args.records,
+        seconds: Some(args.seconds),
+        seed: 42,
+        ..Default::default()
+    })
+    .map_err(|e| format!("load: {e}"))?;
+
+    handle.quiesce();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(Point {
+        engines,
+        connections,
+        throughput_ops_s: report.throughput_ops_s(),
+        p50_us: report.latency.p50,
+        p99_us: report.latency.p99,
+        protocol_errors: report.protocol_errors,
+    })
+}
+
+/// Appends `snapshot` to the JSON array in `path` (creating it if
+/// absent) — the same trajectory-file convention as `bench_snapshot`.
+fn append_snapshot(path: &str, snapshot: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .ok_or_else(|| std::io::Error::other(format!("{path} is not a JSON array")))?
+                .trim_end();
+            let sep = if without_close.ends_with('[') {
+                ""
+            } else {
+                ","
+            };
+            format!("{without_close}{sep}\n{snapshot}\n]\n")
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("[\n{snapshot}\n]\n")
+        }
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut points = Vec::new();
+    for &engines in &args.engines {
+        for &connections in &args.connections {
+            eprintln!("measuring K={engines} connections={connections} ...");
+            match measure(engines, connections, &args) {
+                Ok(p) => {
+                    eprintln!(
+                        "  {} ops/s p50={}us p99={}us proto_errors={}",
+                        p.throughput_ops_s, p.p50_us, p.p99_us, p.protocol_errors
+                    );
+                    points.push(p);
+                }
+                Err(e) => {
+                    eprintln!("error: K={engines} c={connections}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let unix_time = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rows: Vec<String> = points.iter().map(Point::json).collect();
+    let snapshot = format!(
+        "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"workload\": \"ycsb_a\", \
+         \"shards\": 4, \"seconds_per_point\": {}, \"saturation\": [{}]}}",
+        args.label,
+        args.seconds,
+        rows.join(", ")
+    );
+    if let Err(e) = append_snapshot(&args.out, &snapshot) {
+        eprintln!("error writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("appended saturation row '{}' to {}", args.label, args.out);
+    if points.iter().any(|p| p.protocol_errors > 0) {
+        eprintln!("FAIL: protocol errors observed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Blocking client for the wire protocol.
+//!
+//! One [`KvClient`] wraps one TCP connection. Responses arrive in
+//! request order, so [`KvClient::pipeline`] can send a burst of frames
+//! and then collect the matching responses — the server-side concurrency
+//! model the load generator leans on.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{self, BatchOp, ProtoError, Request, Response};
+
+/// Client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode.
+    Proto(ProtoError),
+    /// The server reported a protocol violation on our side.
+    ServerProto(String),
+    /// The server answered, but with a storage error or a response kind
+    /// the call did not expect.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::ServerProto(msg) => write!(f, "protocol (server-reported): {msg}"),
+            ClientError::Rejected(msg) => write!(f, "rejected by server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Client result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A connected client.
+pub struct KvClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KvClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<KvClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(KvClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Socket read timeout for every subsequent response wait.
+    pub fn set_timeout(&self, dur: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(dur)?;
+        Ok(())
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        self.buf.clear();
+        proto::encode_request(&mut self.buf, req);
+        self.stream.write_all(&self.buf)?;
+        self.read_response()
+    }
+
+    /// Sends all requests back-to-back, then reads the matching
+    /// responses in order (request pipelining: one round trip's latency
+    /// amortized over the burst).
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>> {
+        self.buf.clear();
+        for req in reqs {
+            proto::encode_request(&mut self.buf, req);
+        }
+        self.stream.write_all(&self.buf)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let len = proto::frame_len(prefix)?;
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        Ok(proto::decode_response(&body)?)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.request(&Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Write; `sync` demands a durable ack.
+    pub fn put(&mut self, key: &[u8], value: &[u8], sync: bool) -> Result<()> {
+        match self.request(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            sync,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Delete; `sync` demands a durable ack.
+    pub fn delete(&mut self, key: &[u8], sync: bool) -> Result<()> {
+        match self.request(&Request::Delete {
+            key: key.to_vec(),
+            sync,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Range scan over `[start, end)`, at most `limit` pairs.
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.request(&Request::Scan {
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+            limit,
+        })? {
+            Response::Pairs(pairs) => Ok(pairs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Multi-op write (atomic per shard).
+    pub fn write_batch(&mut self, ops: Vec<BatchOp>, sync: bool) -> Result<()> {
+        match self.request(&Request::WriteBatch { ops, sync })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Server-side metrics export (text or JSON).
+    pub fn stats(&mut self, json: bool) -> Result<String> {
+        match self.request(&Request::Stats { json })? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::ProtoErr(msg) => ClientError::ServerProto(msg),
+        Response::Err(msg) => ClientError::Rejected(msg),
+        other => ClientError::Rejected(format!("unexpected response {other:?}")),
+    }
+}

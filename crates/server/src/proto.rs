@@ -1,0 +1,589 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! +----------------+----------------------+
+//! | len: u32 LE    | body: len bytes      |
+//! +----------------+----------------------+
+//! ```
+//!
+//! `len` counts the body only and is capped at [`MAX_FRAME`]; anything
+//! larger is rejected before allocation, so a hostile peer cannot make
+//! the server reserve gigabytes from four bytes of input.
+//!
+//! Request bodies start with an opcode byte; response bodies with a tag
+//! byte. Variable-length fields are `u32 LE` length + bytes. Requests on
+//! one connection are answered strictly in order, which is what lets
+//! clients pipeline: send N frames back-to-back, then read N responses.
+//!
+//! The codec is pure and panic-free on arbitrary input (it is inside the
+//! xtask no-panics lint scope): decode failures return [`ProtoError`],
+//! never a crash — the property tests feed truncated, oversized and
+//! garbage frames to hold that line.
+
+use std::fmt;
+
+/// Largest accepted frame body (16 MiB) — comfortably above the largest
+/// legitimate value/batch, far below an allocation attack.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request opcodes (first body byte).
+pub mod opcode {
+    /// Point lookup.
+    pub const GET: u8 = 0x01;
+    /// Single-key write.
+    pub const PUT: u8 = 0x02;
+    /// Single-key delete.
+    pub const DELETE: u8 = 0x03;
+    /// Range scan.
+    pub const SCAN: u8 = 0x04;
+    /// Atomic-per-shard multi-op write.
+    pub const WRITE_BATCH: u8 = 0x05;
+    /// Metrics export.
+    pub const STATS: u8 = 0x06;
+}
+
+/// Response tags (first body byte).
+pub mod tag {
+    /// Write acknowledged.
+    pub const OK: u8 = 0x00;
+    /// Key absent.
+    pub const NOT_FOUND: u8 = 0x01;
+    /// Value payload follows.
+    pub const VALUE: u8 = 0x02;
+    /// Key/value pair list follows.
+    pub const PAIRS: u8 = 0x03;
+    /// Stats payload follows.
+    pub const STATS: u8 = 0x04;
+    /// Storage-side error (store stays usable; request failed).
+    pub const ERR: u8 = 0x10;
+    /// Protocol violation (connection closes after this).
+    pub const PROTO_ERR: u8 = 0x11;
+}
+
+/// Request flag bits.
+pub mod flags {
+    /// Sync the WAL before acknowledging this write.
+    pub const SYNC: u8 = 0x01;
+}
+
+/// One operation inside a [`Request::WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite.
+    Put {
+        /// User key.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove.
+    Delete {
+        /// User key.
+        key: Vec<u8>,
+    },
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// User key.
+        key: Vec<u8>,
+    },
+    /// Single-key write. `sync` forces a WAL sync before the ack.
+    Put {
+        /// User key.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+        /// Require a WAL sync before acknowledging.
+        sync: bool,
+    },
+    /// Single-key delete.
+    Delete {
+        /// User key.
+        key: Vec<u8>,
+        /// Require a WAL sync before acknowledging.
+        sync: bool,
+    },
+    /// Range scan over `[start, end)` (`end` `None` = unbounded),
+    /// returning at most `limit` pairs.
+    Scan {
+        /// Inclusive start key.
+        start: Vec<u8>,
+        /// Exclusive end key; `None` scans to the keyspace end.
+        end: Option<Vec<u8>>,
+        /// Pair cap.
+        limit: u32,
+    },
+    /// Multi-op write. Atomic *per shard*: ops are split by the router
+    /// and each shard's slice commits as one `lsm::WriteBatch`.
+    WriteBatch {
+        /// Operations in application order.
+        ops: Vec<BatchOp>,
+        /// Require a WAL sync before acknowledging.
+        sync: bool,
+    },
+    /// Metrics export; `json` selects the JSON registry export over the
+    /// text format.
+    Stats {
+        /// JSON (`true`) or text (`false`).
+        json: bool,
+    },
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write acknowledged (durably, when the request carried `sync`).
+    Ok,
+    /// Key absent.
+    NotFound,
+    /// Lookup result.
+    Value(Vec<u8>),
+    /// Scan result, in key order.
+    Pairs(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Stats payload (text or JSON, per the request).
+    Stats(String),
+    /// Storage-side failure; the connection stays open.
+    Err(String),
+    /// Protocol violation; the server closes the connection after
+    /// sending this.
+    ProtoErr(String),
+}
+
+/// Decode failure. Conversion to a wire response uses
+/// [`Response::ProtoErr`] with the `Display` text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Body ended before a field was complete.
+    Truncated,
+    /// Frame length exceeds [`MAX_FRAME`].
+    Oversized,
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown response tag.
+    BadTag(u8),
+    /// Unknown op kind inside a batch.
+    BadBatchOp(u8),
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+    /// A length field points past the end of the body.
+    LengthOverflow,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized => write!(f, "frame exceeds {MAX_FRAME} bytes"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::BadTag(t) => write!(f, "unknown response tag {t:#04x}"),
+            ProtoError::BadBatchOp(k) => write!(f, "unknown batch op kind {k:#04x}"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
+            ProtoError::LengthOverflow => write!(f, "length field overruns frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Appends `body` to `out` as a complete frame (length prefix + body).
+pub fn encode_frame(out: &mut Vec<u8>, body: &[u8]) {
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+/// Encodes `req` (body only, no length prefix) into a fresh buffer.
+pub fn encode_request_body(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Get { key } => {
+            out.push(opcode::GET);
+            put_bytes(&mut out, key);
+        }
+        Request::Put { key, value, sync } => {
+            out.push(opcode::PUT);
+            out.push(if *sync { flags::SYNC } else { 0 });
+            put_bytes(&mut out, key);
+            put_bytes(&mut out, value);
+        }
+        Request::Delete { key, sync } => {
+            out.push(opcode::DELETE);
+            out.push(if *sync { flags::SYNC } else { 0 });
+            put_bytes(&mut out, key);
+        }
+        Request::Scan { start, end, limit } => {
+            out.push(opcode::SCAN);
+            put_bytes(&mut out, start);
+            match end {
+                Some(end) => {
+                    out.push(1);
+                    put_bytes(&mut out, end);
+                }
+                None => out.push(0),
+            }
+            put_u32(&mut out, *limit);
+        }
+        Request::WriteBatch { ops, sync } => {
+            out.push(opcode::WRITE_BATCH);
+            out.push(if *sync { flags::SYNC } else { 0 });
+            put_u32(&mut out, ops.len() as u32);
+            for op in ops {
+                match op {
+                    BatchOp::Put { key, value } => {
+                        out.push(0);
+                        put_bytes(&mut out, key);
+                        put_bytes(&mut out, value);
+                    }
+                    BatchOp::Delete { key } => {
+                        out.push(1);
+                        put_bytes(&mut out, key);
+                    }
+                }
+            }
+        }
+        Request::Stats { json } => {
+            out.push(opcode::STATS);
+            out.push(u8::from(*json));
+        }
+    }
+    out
+}
+
+/// Encodes `resp` (body only, no length prefix) into a fresh buffer.
+pub fn encode_response_body(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Ok => out.push(tag::OK),
+        Response::NotFound => out.push(tag::NOT_FOUND),
+        Response::Value(v) => {
+            out.push(tag::VALUE);
+            out.extend_from_slice(v);
+        }
+        Response::Pairs(pairs) => {
+            out.push(tag::PAIRS);
+            put_u32(&mut out, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_bytes(&mut out, k);
+                put_bytes(&mut out, v);
+            }
+        }
+        Response::Stats(s) => {
+            out.push(tag::STATS);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Response::Err(msg) => {
+            out.push(tag::ERR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+        Response::ProtoErr(msg) => {
+            out.push(tag::PROTO_ERR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes `req` as a complete frame.
+pub fn encode_request(out: &mut Vec<u8>, req: &Request) {
+    let body = encode_request_body(req);
+    encode_frame(out, &body);
+}
+
+/// Encodes `resp` as a complete frame.
+pub fn encode_response(out: &mut Vec<u8>, resp: &Response) {
+    let body = encode_response_body(resp);
+    encode_frame(out, &body);
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked reader over a frame body.
+struct Reader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Reader { body, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let b = *self.body.get(self.pos).ok_or(ProtoError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let end = self.pos.checked_add(4).ok_or(ProtoError::Truncated)?;
+        let bytes = self.body.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        let arr: [u8; 4] = bytes.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::LengthOverflow);
+        }
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(ProtoError::LengthOverflow)?;
+        let slice = self
+            .body
+            .get(self.pos..end)
+            .ok_or(ProtoError::LengthOverflow)?;
+        self.pos = end;
+        Ok(slice.to_vec())
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let out = self.body.get(self.pos..).unwrap_or(&[]).to_vec();
+        self.pos = self.body.len();
+        out
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.body.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+/// Decodes a request frame body.
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
+    if body.len() > MAX_FRAME {
+        return Err(ProtoError::Oversized);
+    }
+    let mut r = Reader::new(body);
+    let req = match r.u8()? {
+        opcode::GET => Request::Get { key: r.bytes()? },
+        opcode::PUT => {
+            let flags = r.u8()?;
+            Request::Put {
+                sync: flags & flags::SYNC != 0,
+                key: r.bytes()?,
+                value: r.bytes()?,
+            }
+        }
+        opcode::DELETE => {
+            let flags = r.u8()?;
+            Request::Delete {
+                sync: flags & flags::SYNC != 0,
+                key: r.bytes()?,
+            }
+        }
+        opcode::SCAN => {
+            let start = r.bytes()?;
+            let end = match r.u8()? {
+                0 => None,
+                _ => Some(r.bytes()?),
+            };
+            Request::Scan {
+                start,
+                end,
+                limit: r.u32()?,
+            }
+        }
+        opcode::WRITE_BATCH => {
+            let flags = r.u8()?;
+            let count = r.u32()? as usize;
+            // Each op needs at least 5 body bytes; reject counts the
+            // remaining bytes cannot possibly satisfy before reserving.
+            if count > body.len() / 5 + 1 {
+                return Err(ProtoError::LengthOverflow);
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                match r.u8()? {
+                    0 => ops.push(BatchOp::Put {
+                        key: r.bytes()?,
+                        value: r.bytes()?,
+                    }),
+                    1 => ops.push(BatchOp::Delete { key: r.bytes()? }),
+                    k => return Err(ProtoError::BadBatchOp(k)),
+                }
+            }
+            Request::WriteBatch {
+                ops,
+                sync: flags & flags::SYNC != 0,
+            }
+        }
+        opcode::STATS => Request::Stats { json: r.u8()? != 0 },
+        op => return Err(ProtoError::BadOpcode(op)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response frame body.
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
+    if body.len() > MAX_FRAME {
+        return Err(ProtoError::Oversized);
+    }
+    let mut r = Reader::new(body);
+    let resp = match r.u8()? {
+        tag::OK => Response::Ok,
+        tag::NOT_FOUND => Response::NotFound,
+        tag::VALUE => Response::Value(r.rest()),
+        tag::PAIRS => {
+            let count = r.u32()? as usize;
+            if count > body.len() / 8 + 1 {
+                return Err(ProtoError::LengthOverflow);
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = r.bytes()?;
+                let v = r.bytes()?;
+                pairs.push((k, v));
+            }
+            Response::Pairs(pairs)
+        }
+        tag::STATS => Response::Stats(String::from_utf8_lossy(&r.rest()).into_owned()),
+        tag::ERR => Response::Err(String::from_utf8_lossy(&r.rest()).into_owned()),
+        tag::PROTO_ERR => Response::ProtoErr(String::from_utf8_lossy(&r.rest()).into_owned()),
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Validates a frame length prefix, returning the body length.
+pub fn frame_len(prefix: [u8; 4]) -> Result<usize, ProtoError> {
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        Err(ProtoError::Oversized)
+    } else {
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = encode_request_body(&req);
+        assert_eq!(decode_request(&body), Ok(req));
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = encode_response_body(&resp);
+        assert_eq!(decode_response(&body), Ok(resp));
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_request(Request::Get { key: b"k".to_vec() });
+        round_trip_request(Request::Put {
+            key: b"k".to_vec(),
+            value: vec![0u8; 1000],
+            sync: true,
+        });
+        round_trip_request(Request::Delete {
+            key: vec![],
+            sync: false,
+        });
+        round_trip_request(Request::Scan {
+            start: b"a".to_vec(),
+            end: Some(b"z".to_vec()),
+            limit: 100,
+        });
+        round_trip_request(Request::Scan {
+            start: vec![],
+            end: None,
+            limit: 0,
+        });
+        round_trip_request(Request::WriteBatch {
+            ops: vec![
+                BatchOp::Put {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                },
+                BatchOp::Delete { key: b"b".to_vec() },
+            ],
+            sync: true,
+        });
+        round_trip_request(Request::Stats { json: true });
+    }
+
+    #[test]
+    fn response_round_trips() {
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::NotFound);
+        round_trip_response(Response::Value(vec![7u8; 300]));
+        round_trip_response(Response::Pairs(vec![
+            (b"k1".to_vec(), b"v1".to_vec()),
+            (vec![], vec![]),
+        ]));
+        round_trip_response(Response::Stats("counter x 1\n".into()));
+        round_trip_response(Response::Err("read-only".into()));
+        round_trip_response(Response::ProtoErr("truncated frame".into()));
+    }
+
+    #[test]
+    fn truncation_is_an_error_everywhere() {
+        let body = encode_request_body(&Request::Put {
+            key: b"key".to_vec(),
+            value: b"value".to_vec(),
+            sync: false,
+        });
+        for cut in 0..body.len() {
+            let err = decode_request(&body[..cut]);
+            assert!(err.is_err(), "prefix of length {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A batch claiming u32::MAX ops in a tiny body must be rejected
+        // before any `Vec::with_capacity(u32::MAX)`.
+        let mut body = vec![opcode::WRITE_BATCH, 0];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
+
+        // A field length pointing far past the body end.
+        let mut body = vec![opcode::GET];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
+    }
+
+    #[test]
+    fn unknown_opcodes_and_trailing_bytes_rejected() {
+        assert_eq!(decode_request(&[0xEE]), Err(ProtoError::BadOpcode(0xEE)));
+        assert_eq!(decode_response(&[0xEE]), Err(ProtoError::BadTag(0xEE)));
+        let mut body = encode_request_body(&Request::Stats { json: false });
+        body.push(0);
+        assert_eq!(decode_request(&body), Err(ProtoError::TrailingBytes));
+        assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn frame_len_caps_at_max() {
+        assert_eq!(frame_len(100u32.to_le_bytes()), Ok(100));
+        assert_eq!(
+            frame_len(u32::MAX.to_le_bytes()),
+            Err(ProtoError::Oversized)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Range-partitioned shard routing.
+//!
+//! The keyspace is split at `N - 1` sorted boundary keys into `N`
+//! contiguous shards: shard `i` owns `[boundary[i-1], boundary[i])`
+//! (with open ends at the extremes). Range partitioning — rather than
+//! hashing — keeps scans contiguous: a scan touches only the shards
+//! whose ranges intersect `[start, end)`, in order, and the
+//! concatenation of their results is already globally sorted.
+//!
+//! [`decimal_boundaries`] builds even splits of the db_bench/YCSB
+//! decimal keyspace (`workloads::KeyFormat`'s zero-padded keys), so the
+//! standard workloads spread across shards out of the box.
+
+use workloads::KeyFormat;
+
+/// Maps keys and ranges to shard indices via sorted boundary keys.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// `shards - 1` sorted split points; shard `i` owns keys in
+    /// `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<Vec<u8>>,
+}
+
+impl ShardRouter {
+    /// A router over `boundaries.len() + 1` shards. Boundaries are
+    /// sorted and deduplicated; equal or unsorted inputs therefore
+    /// collapse rather than produce unreachable shards.
+    pub fn new(mut boundaries: Vec<Vec<u8>>) -> Self {
+        boundaries.sort();
+        boundaries.dedup();
+        ShardRouter { boundaries }
+    }
+
+    /// Even splits of the fixed-width decimal keyspace that
+    /// [`KeyFormat`] formats into, for `shards` shards.
+    ///
+    /// Note that db_bench/YCSB *record ids* are dense in
+    /// `0..record_count` — far below the full keyspace — so a server
+    /// fronting those workloads should pre-split with
+    /// [`ShardRouter::split_boundaries`] over the record count instead;
+    /// full-space splits would route every dense key to shard 0.
+    pub fn decimal_boundaries(shards: usize, key_len: usize) -> Vec<Vec<u8>> {
+        let format = KeyFormat { key_len };
+        Self::split_boundaries(format.key_space(), shards, key_len)
+    }
+
+    /// Even splits of the decimal key range `[0, space)` — HBase-style
+    /// pre-splitting for a workload whose key numbers are known to be
+    /// dense in that range (e.g. `space` = YCSB record count).
+    pub fn split_boundaries(space: u64, shards: usize, key_len: usize) -> Vec<Vec<u8>> {
+        let format = KeyFormat { key_len };
+        let shards = shards.max(1) as u64;
+        (1..shards)
+            .map(|i| format.format((space / shards).max(1).saturating_mul(i)))
+            .collect()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_for(&self, key: &[u8]) -> usize {
+        // partition_point: first boundary > key is the owner (boundary
+        // keys belong to the shard they open).
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// The contiguous shard range `[first, last]` intersecting
+    /// `[start, end)`; `None` when the range is empty.
+    pub fn shards_for_range(&self, start: &[u8], end: Option<&[u8]>) -> Option<(usize, usize)> {
+        if let Some(end) = end {
+            if end <= start {
+                return None;
+            }
+        }
+        let first = self.shard_for(start);
+        let last = match end {
+            // `end` is exclusive: the shard owning the last possible key
+            // below `end` is the one owning `end`'s predecessor, which
+            // partition_point with `< end` yields.
+            Some(end) => self.boundaries.partition_point(|b| b.as_slice() < end),
+            None => self.shards() - 1,
+        };
+        Some((first, last.max(first)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router4() -> ShardRouter {
+        ShardRouter::new(vec![b"b".to_vec(), b"m".to_vec(), b"t".to_vec()])
+    }
+
+    #[test]
+    fn keys_route_to_owning_shard() {
+        let r = router4();
+        assert_eq!(r.shards(), 4);
+        assert_eq!(r.shard_for(b""), 0);
+        assert_eq!(r.shard_for(b"a"), 0);
+        assert_eq!(r.shard_for(b"b"), 1, "boundary key opens its shard");
+        assert_eq!(r.shard_for(b"cat"), 1);
+        assert_eq!(r.shard_for(b"m"), 2);
+        assert_eq!(r.shard_for(b"s"), 2);
+        assert_eq!(r.shard_for(b"t"), 3);
+        assert_eq!(r.shard_for(b"zzz"), 3);
+    }
+
+    #[test]
+    fn ranges_cover_contiguous_shards() {
+        let r = router4();
+        assert_eq!(r.shards_for_range(b"a", Some(b"c")), Some((0, 1)));
+        assert_eq!(r.shards_for_range(b"", None), Some((0, 3)));
+        assert_eq!(r.shards_for_range(b"c", Some(b"d")), Some((1, 1)));
+        // End exactly on a boundary stays below it: ["a", "b") is shard 0.
+        assert_eq!(r.shards_for_range(b"a", Some(b"b")), Some((0, 0)));
+        assert_eq!(r.shards_for_range(b"x", Some(b"x")), None);
+        assert_eq!(r.shards_for_range(b"z", Some(b"a")), None);
+    }
+
+    #[test]
+    fn decimal_boundaries_spread_the_ycsb_keyspace() {
+        let boundaries = ShardRouter::decimal_boundaries(4, 16);
+        let r = ShardRouter::new(boundaries);
+        assert_eq!(r.shards(), 4);
+        let format = KeyFormat { key_len: 16 };
+        let space = format.key_space();
+        // Keys from each quarter of the keyspace land on distinct shards.
+        for (i, numerator) in [1u64, 3, 5, 7].iter().enumerate() {
+            let key = format.format(space / 8 * numerator);
+            assert_eq!(r.shard_for(&key), i, "key {numerator}/8 of keyspace");
+        }
+    }
+
+    #[test]
+    fn split_boundaries_spread_dense_record_ids() {
+        // YCSB record ids are dense in [0, records): a full-space split
+        // would put all of them on shard 0, a [0, records) pre-split
+        // spreads them evenly.
+        let records = 10_000u64;
+        let r = ShardRouter::new(ShardRouter::split_boundaries(records, 4, 16));
+        assert_eq!(r.shards(), 4);
+        let format = KeyFormat { key_len: 16 };
+        let mut per_shard = [0u64; 4];
+        for i in 0..records {
+            per_shard[r.shard_for(&format.format(i))] += 1;
+        }
+        for (shard, &n) in per_shard.iter().enumerate() {
+            assert_eq!(n, records / 4, "shard {shard} of {per_shard:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_router_owns_everything() {
+        let r = ShardRouter::new(vec![]);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.shard_for(b"anything"), 0);
+        assert_eq!(r.shards_for_range(b"", None), Some((0, 0)));
+    }
+
+    #[test]
+    fn duplicate_boundaries_collapse() {
+        let r = ShardRouter::new(vec![b"m".to_vec(), b"m".to_vec(), b"a".to_vec()]);
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.shard_for(b"a"), 1);
+        assert_eq!(r.shard_for(b"z"), 2);
+    }
+}

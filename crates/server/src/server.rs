@@ -1,0 +1,517 @@
+//! The sharded KV server.
+//!
+//! N range-partitioned `lsm::Db` shards behind one TCP listener. Every
+//! shard is opened against a per-shard [`offload::ShardOffloadHandle`]
+//! onto **one** shared [`offload::OffloadService`], so compaction jobs
+//! from all shards contend for the same K engine slots — the
+//! multi-tenant regime the paper's single-store evaluation never
+//! measured. All shards also share one `obs` bundle and one block
+//! cache, so a single metrics export shows the whole box.
+//!
+//! Each connection is handled by its own task: read a frame, decode,
+//! dispatch, write the response — strictly in request order, which is
+//! what allows clients to pipeline. Writes ride the per-shard group
+//! commit inside `lsm::Db`: concurrent connections hitting one shard
+//! batch into one WAL sync.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+use crate::proto::{self, Request, Response};
+use crate::router::ShardRouter;
+
+/// How the server is built: shard count, store tuning, engine slots.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Number of range-partitioned shards.
+    pub shards: usize,
+    /// Directory holding one `shard<i>` store per shard.
+    pub root: PathBuf,
+    /// Engine slots on the shared offload service; `0` runs all
+    /// compactions on the CPU engine instead (no offload service).
+    pub engine_slots: usize,
+    /// Sync the WAL on *every* write, regardless of per-request flags.
+    /// Required for the power-cut guarantee: an acknowledged write must
+    /// survive `SIGKILL`.
+    pub sync_writes: bool,
+    /// Per-shard memtable budget.
+    pub write_buffer_size: usize,
+    /// Per-shard SSTable target size.
+    pub max_file_size: u64,
+    /// Key width for the default decimal shard boundaries.
+    pub key_len: usize,
+    /// Pre-split hint: the key numbers the workload actually uses are
+    /// dense in `[0, key_space)` (e.g. the YCSB record count). `None`
+    /// splits the full `key_len`-digit keyspace — correct for uniformly
+    /// spread keys, but it routes dense db_bench/YCSB record ids all to
+    /// shard 0 (the `server.shard.skew_permille` gauge will say so).
+    pub key_space: Option<u64>,
+    /// Explicit shard boundaries; `None` derives even decimal splits
+    /// from `key_len` and `key_space`.
+    pub boundaries: Option<Vec<Vec<u8>>>,
+    /// Observability bundle shared by shards, scheduler and server
+    /// metrics; a fresh wall-clock bundle when `None`.
+    pub obs: Option<Arc<obs::Obs>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            root: PathBuf::from("kv-data"),
+            engine_slots: 2,
+            sync_writes: false,
+            write_buffer_size: 4 << 20,
+            max_file_size: 2 << 20,
+            key_len: 16,
+            key_space: None,
+            boundaries: None,
+            obs: None,
+        }
+    }
+}
+
+/// Pre-registered server metric handles (`server.*` names).
+struct ServerMetrics {
+    get_micros: Arc<obs::Histogram>,
+    put_micros: Arc<obs::Histogram>,
+    del_micros: Arc<obs::Histogram>,
+    scan_micros: Arc<obs::Histogram>,
+    batch_micros: Arc<obs::Histogram>,
+    stats_micros: Arc<obs::Histogram>,
+    proto_errors: Arc<obs::Counter>,
+    connections: Arc<obs::Gauge>,
+    /// Per-shard request counters, index = shard.
+    shard_requests: Vec<Arc<obs::Counter>>,
+    /// Per-shard in-flight request depth gauges.
+    shard_in_flight: Vec<Arc<obs::Gauge>>,
+    /// Permille of requests absorbed by the hottest shard (1000/N = even).
+    skew_permille: Arc<obs::Gauge>,
+    /// Live in-flight counts backing the gauges.
+    in_flight: Vec<AtomicU64>,
+    requests_total: AtomicU64,
+    live_connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn new(registry: &obs::Registry, shards: usize) -> Self {
+        ServerMetrics {
+            get_micros: registry.histogram("server.req.get_micros"),
+            put_micros: registry.histogram("server.req.put_micros"),
+            del_micros: registry.histogram("server.req.del_micros"),
+            scan_micros: registry.histogram("server.req.scan_micros"),
+            batch_micros: registry.histogram("server.req.batch_micros"),
+            stats_micros: registry.histogram("server.req.stats_micros"),
+            proto_errors: registry.counter("server.proto.errors"),
+            connections: registry.gauge("server.connections"),
+            shard_requests: (0..shards)
+                .map(|i| registry.counter(&format!("server.shard{i}.requests")))
+                .collect(),
+            shard_in_flight: (0..shards)
+                .map(|i| registry.gauge(&format!("server.shard{i}.in_flight")))
+                .collect(),
+            skew_permille: registry.gauge("server.shard.skew_permille"),
+            in_flight: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            requests_total: AtomicU64::new(0),
+            live_connections: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts a request against `shard`, refreshing the skew gauge every
+    /// 256th request (reading N counters is cheap, but not per-op cheap).
+    fn count_shard(&self, shard: usize) {
+        if let Some(c) = self.shard_requests.get(shard) {
+            c.inc();
+        }
+        let total = self.requests_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if total % 256 == 0 {
+            self.refresh_skew();
+        }
+    }
+
+    /// Recomputes `server.shard.skew_permille` from the shard counters.
+    fn refresh_skew(&self) {
+        let counts: Vec<u64> = self.shard_requests.iter().map(|c| c.get()).collect();
+        let total: u64 = counts.iter().sum();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        if let Some(permille) = (max * 1000).checked_div(total) {
+            self.skew_permille.set(permille);
+        }
+    }
+
+    fn enter_shard(&self, shard: usize) {
+        if let (Some(n), Some(g)) = (self.in_flight.get(shard), self.shard_in_flight.get(shard)) {
+            g.set(n.fetch_add(1, Ordering::Relaxed) + 1);
+        }
+    }
+
+    fn leave_shard(&self, shard: usize) {
+        if let (Some(n), Some(g)) = (self.in_flight.get(shard), self.shard_in_flight.get(shard)) {
+            g.set(n.fetch_sub(1, Ordering::Relaxed).saturating_sub(1));
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection task.
+struct Shared {
+    shards: Vec<lsm::Db>,
+    router: ShardRouter,
+    obs: Arc<obs::Obs>,
+    offload: Option<Arc<offload::OffloadService>>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+/// The server: opened stores + router + shared scheduler, ready to
+/// accept connections via [`KvServer::start`].
+pub struct KvServer {
+    shared: Arc<Shared>,
+}
+
+/// A running server: bound address plus shutdown control. Dropping the
+/// handle does *not* stop the server; call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+}
+
+impl KvServer {
+    /// Opens `config.shards` stores under `config.root`, all sharing one
+    /// offload scheduler, one block cache and one obs bundle.
+    pub fn open(config: ServerConfig) -> lsm::Result<KvServer> {
+        let shards = config.shards.max(1);
+        let obs = config.obs.clone().unwrap_or_else(obs::Obs::wall);
+        let offload = if config.engine_slots > 0 {
+            Some(Arc::new(
+                offload::OffloadService::with_slots(
+                    fcae::FcaeConfig::two_input(),
+                    config.engine_slots,
+                    offload::OffloadConfig::default(),
+                )
+                .with_obs(Arc::clone(&obs)),
+            ))
+        } else {
+            None
+        };
+        // One cache budget for the whole box, not per shard.
+        let shared_cache = Some(sstable::cache::BlockCache::new(8 << 20));
+        let boundaries = config
+            .boundaries
+            .clone()
+            .unwrap_or_else(|| match config.key_space {
+                Some(space) => ShardRouter::split_boundaries(space, shards, config.key_len),
+                None => ShardRouter::decimal_boundaries(shards, config.key_len),
+            });
+        let router = ShardRouter::new(boundaries);
+
+        let mut dbs = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let options = lsm::Options {
+                write_buffer_size: config.write_buffer_size,
+                max_file_size: config.max_file_size,
+                sync_writes: config.sync_writes,
+                shared_block_cache: shared_cache.clone(),
+                obs: Some(Arc::clone(&obs)),
+                slowdown_sleep: false,
+                ..Default::default()
+            };
+            let dir = config.root.join(format!("shard{i}"));
+            let db = match &offload {
+                Some(svc) => {
+                    lsm::Db::open_with_engine(&dir, options, Arc::new(svc.shard_handle(i)))?
+                }
+                None => lsm::Db::open(&dir, options)?,
+            };
+            dbs.push(db);
+        }
+
+        let metrics = ServerMetrics::new(&obs.registry, shards);
+        Ok(KvServer {
+            shared: Arc::new(Shared {
+                shards: dbs,
+                router,
+                obs,
+                offload,
+                metrics,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Binds `addr` (use port 0 for an OS-assigned port), spawns the
+    /// accept loop, and returns the running server's handle.
+    pub fn start(self, addr: &str) -> std::io::Result<ServerHandle> {
+        let rt = tokio::runtime::Runtime::new()?;
+        let listener = rt.block_on(TcpListener::bind(addr))?;
+        let local = listener.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        tokio::spawn(accept_loop(shared, listener));
+        Ok(ServerHandle {
+            shared: self.shared,
+            addr: local,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The bundle all shards, the scheduler and the server record into.
+    pub fn obs(&self) -> Arc<obs::Obs> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// The shared offload scheduler (`None` in CPU-only mode).
+    pub fn offload(&self) -> Option<Arc<offload::OffloadService>> {
+        self.shared.offload.as_ref().map(Arc::clone)
+    }
+
+    /// Flushes every shard and waits for background work to settle
+    /// (benches call this before reading compaction metrics).
+    pub fn quiesce(&self) {
+        for db in &self.shared.shards {
+            let _ = db.flush();
+        }
+        for db in &self.shared.shards {
+            db.wait_for_background_quiescence();
+        }
+    }
+
+    /// Stops accepting connections. In-flight connections finish their
+    /// current request and exit at the next read (connection reset); the
+    /// stores close when the last task drops the shared state.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+async fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept().await else {
+            break;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(&shared);
+        tokio::spawn(async move {
+            let m = &shared.metrics;
+            m.connections
+                .set(m.live_connections.fetch_add(1, Ordering::Relaxed) + 1);
+            let _ = handle_connection(&shared, stream).await;
+            m.connections.set(
+                m.live_connections
+                    .fetch_sub(1, Ordering::Relaxed)
+                    .saturating_sub(1),
+            );
+        });
+    }
+}
+
+/// Serves one connection until EOF, I/O error, shutdown, or a protocol
+/// violation (which is answered with `ProtoErr` before closing).
+async fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    let mut body = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut prefix = [0u8; 4];
+        match stream.read_exact(&mut prefix).await {
+            Ok(()) => {}
+            // Clean EOF between frames ends the connection quietly.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let len = match proto::frame_len(prefix) {
+            Ok(len) => len,
+            Err(e) => {
+                shared.metrics.proto_errors.inc();
+                out.clear();
+                proto::encode_response(&mut out, &Response::ProtoErr(e.to_string()));
+                stream.write_all(&out).await?;
+                return Ok(());
+            }
+        };
+        body.resize(len, 0);
+        stream.read_exact(&mut body).await?;
+        let resp = match proto::decode_request(&body) {
+            Ok(req) => dispatch(shared, req),
+            Err(e) => {
+                shared.metrics.proto_errors.inc();
+                out.clear();
+                proto::encode_response(&mut out, &Response::ProtoErr(e.to_string()));
+                stream.write_all(&out).await?;
+                return Ok(());
+            }
+        };
+        out.clear();
+        proto::encode_response(&mut out, &resp);
+        stream.write_all(&out).await?;
+    }
+}
+
+/// Executes one decoded request against the shards.
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    let m = &shared.metrics;
+    let t0 = shared.obs.now_micros();
+    let (hist, resp) = match req {
+        Request::Get { key } => (&m.get_micros, do_get(shared, &key)),
+        Request::Put { key, value, sync } => (&m.put_micros, do_put(shared, &key, &value, sync)),
+        Request::Delete { key, sync } => (&m.del_micros, do_delete(shared, &key, sync)),
+        Request::Scan { start, end, limit } => (
+            &m.scan_micros,
+            do_scan(shared, &start, end.as_deref(), limit),
+        ),
+        Request::WriteBatch { ops, sync } => (&m.batch_micros, do_batch(shared, ops, sync)),
+        Request::Stats { json } => (&m.stats_micros, do_stats(shared, json)),
+    };
+    hist.record(shared.obs.now_micros().saturating_sub(t0));
+    resp
+}
+
+fn storage_err(e: &lsm::Error) -> Response {
+    Response::Err(e.to_string())
+}
+
+fn do_get(shared: &Shared, key: &[u8]) -> Response {
+    let shard = shared.router.shard_for(key);
+    let Some(db) = shared.shards.get(shard) else {
+        return Response::Err(format!("no shard {shard}"));
+    };
+    shared.metrics.count_shard(shard);
+    shared.metrics.enter_shard(shard);
+    let result = db.get(key);
+    shared.metrics.leave_shard(shard);
+    match result {
+        Ok(Some(v)) => Response::Value(v),
+        Ok(None) => Response::NotFound,
+        Err(e) => storage_err(&e),
+    }
+}
+
+fn do_put(shared: &Shared, key: &[u8], value: &[u8], sync: bool) -> Response {
+    let shard = shared.router.shard_for(key);
+    let Some(db) = shared.shards.get(shard) else {
+        return Response::Err(format!("no shard {shard}"));
+    };
+    shared.metrics.count_shard(shard);
+    shared.metrics.enter_shard(shard);
+    let mut batch = lsm::WriteBatch::new();
+    batch.put(key, value);
+    let result = db.write(batch, lsm::WriteOptions { sync });
+    shared.metrics.leave_shard(shard);
+    match result {
+        Ok(()) => Response::Ok,
+        Err(e) => storage_err(&e),
+    }
+}
+
+fn do_delete(shared: &Shared, key: &[u8], sync: bool) -> Response {
+    let shard = shared.router.shard_for(key);
+    let Some(db) = shared.shards.get(shard) else {
+        return Response::Err(format!("no shard {shard}"));
+    };
+    shared.metrics.count_shard(shard);
+    shared.metrics.enter_shard(shard);
+    let mut batch = lsm::WriteBatch::new();
+    batch.delete(key);
+    let result = db.write(batch, lsm::WriteOptions { sync });
+    shared.metrics.leave_shard(shard);
+    match result {
+        Ok(()) => Response::Ok,
+        Err(e) => storage_err(&e),
+    }
+}
+
+/// Scans shards in range order, concatenating results — ranges are
+/// contiguous per shard, so the concatenation is globally sorted.
+fn do_scan(shared: &Shared, start: &[u8], end: Option<&[u8]>, limit: u32) -> Response {
+    let limit = limit as usize;
+    let Some((first, last)) = shared.router.shards_for_range(start, end) else {
+        return Response::Pairs(Vec::new());
+    };
+    let mut pairs = Vec::new();
+    for shard in first..=last {
+        if pairs.len() >= limit {
+            break;
+        }
+        let Some(db) = shared.shards.get(shard) else {
+            break;
+        };
+        shared.metrics.count_shard(shard);
+        shared.metrics.enter_shard(shard);
+        let result = db.scan(start, end, limit - pairs.len());
+        shared.metrics.leave_shard(shard);
+        match result {
+            Ok(mut p) => pairs.append(&mut p),
+            Err(e) => return storage_err(&e),
+        }
+    }
+    Response::Pairs(pairs)
+}
+
+/// Splits the ops by owning shard (preserving per-shard order) and
+/// commits one `lsm::WriteBatch` per shard. Atomicity is therefore
+/// *per shard*, not global — a cross-shard batch that fails part-way
+/// reports an error but earlier shards' sub-batches stay committed.
+fn do_batch(shared: &Shared, ops: Vec<proto::BatchOp>, sync: bool) -> Response {
+    let mut per_shard: Vec<Option<lsm::WriteBatch>> = Vec::new();
+    per_shard.resize_with(shared.shards.len(), || None);
+    for op in &ops {
+        let key = match op {
+            proto::BatchOp::Put { key, .. } => key,
+            proto::BatchOp::Delete { key } => key,
+        };
+        let shard = shared.router.shard_for(key);
+        let Some(slot) = per_shard.get_mut(shard) else {
+            return Response::Err(format!("no shard {shard}"));
+        };
+        let batch = slot.get_or_insert_with(lsm::WriteBatch::new);
+        match op {
+            proto::BatchOp::Put { key, value } => batch.put(key, value),
+            proto::BatchOp::Delete { key } => batch.delete(key),
+        }
+    }
+    for (shard, slot) in per_shard.into_iter().enumerate() {
+        let Some(batch) = slot else { continue };
+        let Some(db) = shared.shards.get(shard) else {
+            continue;
+        };
+        shared.metrics.count_shard(shard);
+        shared.metrics.enter_shard(shard);
+        let result = db.write(batch, lsm::WriteOptions { sync });
+        shared.metrics.leave_shard(shard);
+        if let Err(e) = result {
+            return storage_err(&e);
+        }
+    }
+    Response::Ok
+}
+
+fn do_stats(shared: &Shared, json: bool) -> Response {
+    shared.metrics.refresh_skew();
+    // Refresh the per-level gauges on every shard so the export carries
+    // live file counts (shards share the registry; last writer wins,
+    // which for the aggregate export is an acceptable approximation).
+    for db in &shared.shards {
+        let _ = db.property("lsm.metrics");
+    }
+    let registry = &shared.obs.registry;
+    Response::Stats(if json {
+        registry.export_json()
+    } else {
+        registry.export_text()
+    })
+}

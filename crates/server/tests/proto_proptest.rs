@@ -1,0 +1,156 @@
+//! Property tests for the wire codec (ISSUE 6, satellite 3).
+//!
+//! Three properties hold the protocol line:
+//!
+//! 1. **Round-trip** — any representable `Request`/`Response` encodes to
+//!    a body that decodes back to an equal value.
+//! 2. **Truncation** — any strict prefix of a valid encoding decodes to
+//!    a clean `ProtoError`, never a panic (and never a bogus success).
+//! 3. **Garbage** — arbitrary byte soup (including hostile length
+//!    fields) either decodes or errors; it never panics or aborts. The
+//!    codec itself sits inside the xtask no-panics lint scope, so this
+//!    is defense in depth on top of the static check.
+
+use proptest::prelude::*;
+use server::proto::{
+    self, decode_request, decode_response, encode_request_body, encode_response_body, frame_len,
+    BatchOp, Request, Response,
+};
+
+fn bytes_strategy(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        (bytes_strategy(40), bytes_strategy(120))
+            .prop_map(|(key, value)| BatchOp::Put { key, value }),
+        bytes_strategy(40).prop_map(|key| BatchOp::Delete { key }),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        bytes_strategy(60).prop_map(|key| Request::Get { key }),
+        (bytes_strategy(60), bytes_strategy(300), any::<bool>())
+            .prop_map(|(key, value, sync)| Request::Put { key, value, sync }),
+        (bytes_strategy(60), any::<bool>()).prop_map(|(key, sync)| Request::Delete { key, sync }),
+        (
+            bytes_strategy(40),
+            prop_oneof![Just(None), bytes_strategy(40).prop_map(Some)],
+            any::<u32>()
+        )
+            .prop_map(|(start, end, limit)| Request::Scan { start, end, limit }),
+        (
+            proptest::collection::vec(batch_op_strategy(), 0..12),
+            any::<bool>()
+        )
+            .prop_map(|(ops, sync)| Request::WriteBatch { ops, sync }),
+        any::<bool>().prop_map(|json| Request::Stats { json }),
+    ]
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    proptest::collection::vec((bytes_strategy(30), bytes_strategy(80)), 0..10)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..60).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        Just(Response::NotFound),
+        bytes_strategy(300).prop_map(Response::Value),
+        pairs_strategy().prop_map(Response::Pairs),
+        text_strategy().prop_map(Response::Stats),
+        text_strategy().prop_map(Response::Err),
+        text_strategy().prop_map(Response::ProtoErr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_round_trips(req in request_strategy()) {
+        let body = encode_request_body(&req);
+        prop_assert_eq!(decode_request(&body), Ok(req));
+    }
+
+    #[test]
+    fn response_round_trips(resp in response_strategy()) {
+        let body = encode_response_body(&resp);
+        prop_assert_eq!(decode_response(&body), Ok(resp));
+    }
+
+    /// Every strict prefix of a valid request body is a clean error:
+    /// truncation can never be mistaken for a different valid message.
+    #[test]
+    fn truncated_request_is_clean_error(
+        req in request_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let body = encode_request_body(&req);
+        let cut = cut.index(body.len().max(1));
+        if cut < body.len() {
+            prop_assert!(decode_request(&body[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_response_never_panics(
+        resp in response_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let body = encode_response_body(&resp);
+        let cut = cut.index(body.len().max(1));
+        // `Value`/`Stats`/`Err` prefixes can still be valid (their
+        // payload is "rest of body"), so the property is only: clean
+        // decode or clean error, never a panic.
+        let _ = decode_response(&body[..cut]);
+    }
+
+    /// Arbitrary byte soup: decoding must return, never panic. When it
+    /// does decode, re-encoding must itself decode back to the same
+    /// value (decode output is always representable). Byte-exact
+    /// re-encoding is NOT required — flag bytes accept any nonzero bit
+    /// pattern but encode canonically.
+    #[test]
+    fn garbage_request_never_panics(body in bytes_strategy(2048)) {
+        if let Ok(req) = decode_request(&body) {
+            let reenc = encode_request_body(&req);
+            prop_assert_eq!(decode_request(&reenc), Ok(req));
+        }
+    }
+
+    #[test]
+    fn garbage_response_never_panics(body in bytes_strategy(2048)) {
+        let _ = decode_response(&body);
+    }
+
+    /// A corrupted-in-flight frame (one byte flipped anywhere in a valid
+    /// encoding) must decode cleanly or error cleanly — no panic, no
+    /// out-of-bounds.
+    #[test]
+    fn flipped_byte_never_panics(
+        req in request_strategy(),
+        flip in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut body = encode_request_body(&req);
+        let i = flip.index(body.len());
+        body[i] ^= xor;
+        let _ = decode_request(&body);
+    }
+
+    /// Hostile length prefixes are rejected before any allocation.
+    #[test]
+    fn frame_len_never_panics(prefix in any::<u32>()) {
+        match frame_len(prefix.to_le_bytes()) {
+            Ok(len) => prop_assert!(len <= proto::MAX_FRAME),
+            Err(e) => prop_assert_eq!(e, proto::ProtoError::Oversized),
+        }
+    }
+}

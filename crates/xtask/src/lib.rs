@@ -475,6 +475,7 @@ const LIBRARY_CRATES: &[&str] = &[
     "lsm",
     "obs",
     "offload",
+    "server",
     "simkit",
     "snappy",
     "sstable",

@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# Appends one perf-trajectory snapshot to BENCH_PR2.json.
+# Appends one perf-trajectory snapshot to the repo's bench history.
 #
 # Usage: scripts/bench_snapshot.sh [label] [out-file]
+#        scripts/bench_snapshot.sh --server [label] [out-file]
 #
-# Runs the merge microbenchmark (4-input, 1 KiB values, both engines,
-# with allocation counting) and a db_bench-style fillrandom pass, and
-# appends the results as one labelled JSON object. Run it before and
-# after a perf change (e.g. labels "pr3-before" / "pr3-after") so the
-# repo carries its own performance history.
+# Default mode runs the merge microbenchmark (4-input, 1 KiB values,
+# both engines, with allocation counting) and a db_bench-style
+# fillrandom pass, appending one labelled JSON object to BENCH_PR2.json.
+#
+# --server runs the serving-layer saturation sweep instead: YCSB-A over
+# TCP against an in-process 4-shard server, throughput + p50/p99 vs.
+# connection count at K=1 and K=4 engine slots, appended to
+# BENCH_PR6.json.
+#
+# Run it before and after a perf change (e.g. labels "pr3-before" /
+# "pr3-after") so the repo carries its own performance history.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
-OUT="${2:-BENCH_PR2.json}"
+MODE=bench
+if [ "${1:-}" = "--server" ]; then
+    MODE=server
+    shift
+fi
 
-cargo run --release -p bench --bin bench_snapshot -- --label "$LABEL" --out "$OUT"
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
+
+if [ "$MODE" = "server" ]; then
+    OUT="${2:-BENCH_PR6.json}"
+    cargo run --release -p server --bin server_saturation -- --label "$LABEL" --out "$OUT"
+else
+    OUT="${2:-BENCH_PR2.json}"
+    cargo run --release -p bench --bin bench_snapshot -- --label "$LABEL" --out "$OUT"
+fi

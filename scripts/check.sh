@@ -36,6 +36,30 @@ cargo run --release -p bench --bin db_bench -- \
     | grep -q "offload.fault.transient" \
     || { echo "fault smoke failed: no offload.fault.* counters in --stats export"; exit 1; }
 
+# Server smoke (mirrors CI's server-smoke job): 4-shard kv-server on an
+# OS-assigned port, YCSB-A at 64 connections, zero protocol errors and
+# nonzero throughput required; then the SIGKILL power-cut harness.
+cargo build --release -p server
+SERVER_OUT=$(mktemp)
+SERVER_ROOT=$(mktemp -d)
+./target/release/kv-server --listen 127.0.0.1:0 --shards 4 --engines 2 \
+    --records 10000 --root "$SERVER_ROOT" > "$SERVER_OUT" &
+SERVER_PID=$!
+for _ in $(seq 50); do grep -q "listening on " "$SERVER_OUT" && break; sleep 0.2; done
+SERVER_ADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$SERVER_OUT")
+[ -n "$SERVER_ADDR" ] || { echo "server smoke failed: server never bound"; exit 1; }
+./target/release/load_gen --addr "$SERVER_ADDR" --workload a \
+    --connections 64 --seconds 10 | tee "$SERVER_OUT.load"
+kill "$SERVER_PID" 2>/dev/null || true
+if ! grep -q "protocol_errors=0" "$SERVER_OUT.load"; then
+    echo "server smoke failed: protocol errors"; exit 1
+fi
+if grep -q "throughput_ops_s=0 " "$SERVER_OUT.load"; then
+    echo "server smoke failed: zero throughput"; exit 1
+fi
+rm -rf "$SERVER_ROOT" "$SERVER_OUT" "$SERVER_OUT.load"
+cargo test -q -p server --test power_cut
+
 # Loom model suites (shutdown/backpressure/fault-retry/aging
 # interleavings). Deadlocks present as hangs, so bound them.
 RUSTFLAGS="--cfg loom" timeout 1200 cargo test -p lsm --lib -q

@@ -1,0 +1,84 @@
+//! `AsyncReadExt` / `AsyncWriteExt` trait subset.
+//!
+//! Unlike real tokio these are inherent-style extension traits with
+//! `async fn` methods implemented directly for the net types (no
+//! `AsyncRead`/`AsyncWrite` poll traits underneath) — callers import
+//! them exactly as they would tokio's and the call sites read the same.
+
+#![allow(async_fn_in_trait)]
+
+use std::io::{Read, Result, Write};
+
+use crate::net::{OwnedReadHalf, OwnedWriteHalf, TcpStream};
+
+/// Read-side extension methods (mirror of `tokio::io::AsyncReadExt`).
+pub trait AsyncReadExt {
+    /// Reads some bytes into `buf`, returning how many were read
+    /// (0 = EOF).
+    async fn read(&mut self, buf: &mut [u8]) -> Result<usize>;
+
+    /// Reads exactly `buf.len()` bytes or fails with
+    /// `ErrorKind::UnexpectedEof`.
+    async fn read_exact(&mut self, buf: &mut [u8]) -> Result<()>;
+}
+
+/// Write-side extension methods (mirror of `tokio::io::AsyncWriteExt`).
+pub trait AsyncWriteExt {
+    /// Writes the entire buffer.
+    async fn write_all(&mut self, buf: &[u8]) -> Result<()>;
+
+    /// Flushes buffered data (no-op for unbuffered sockets; kept for
+    /// call-site compatibility).
+    async fn flush(&mut self) -> Result<()>;
+
+    /// Shuts down the write side, signalling EOF to the peer.
+    async fn shutdown(&mut self) -> Result<()>;
+}
+
+impl AsyncReadExt for TcpStream {
+    async fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.read_ref().read(buf)
+    }
+
+    async fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.read_ref().read_exact(buf)
+    }
+}
+
+impl AsyncWriteExt for TcpStream {
+    async fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.write_ref().write_all(buf)
+    }
+
+    async fn flush(&mut self) -> Result<()> {
+        self.write_ref().flush()
+    }
+
+    async fn shutdown(&mut self) -> Result<()> {
+        self.write_ref().shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl AsyncReadExt for OwnedReadHalf {
+    async fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.read_ref().read(buf)
+    }
+
+    async fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.read_ref().read_exact(buf)
+    }
+}
+
+impl AsyncWriteExt for OwnedWriteHalf {
+    async fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.write_ref().write_all(buf)
+    }
+
+    async fn flush(&mut self) -> Result<()> {
+        self.write_ref().flush()
+    }
+
+    async fn shutdown(&mut self) -> Result<()> {
+        self.shutdown_write()
+    }
+}

@@ -1,0 +1,176 @@
+//! TCP types mirroring `tokio::net`, backed by `std::net`.
+//!
+//! The async methods complete their blocking syscall on first poll; see
+//! the crate docs for the execution model.
+
+use std::io::Result;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Async-surface wrapper over [`std::net::TcpListener`].
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"`).
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts one connection (blocks the polling thread until a peer
+    /// connects).
+    pub async fn accept(&self) -> Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        Ok((TcpStream { inner: stream }, addr))
+    }
+
+    /// The bound local address (used to recover the OS-chosen port
+    /// after binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// Async-surface wrapper over [`std::net::TcpStream`].
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// Disables Nagle's algorithm (latency-sensitive request/response).
+    pub fn set_nodelay(&self, on: bool) -> Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    /// Socket-level read timeout — the shim's substitute for
+    /// `tokio::time::timeout` around reads. `None` blocks forever.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Splits into independently-owned read and write halves (via
+    /// `try_clone`; both halves reference the same socket).
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        let write = self
+            .inner
+            .try_clone()
+            .map(|s| OwnedWriteHalf { inner: s })
+            .unwrap_or_else(|_| OwnedWriteHalf {
+                // Cloning an open socket fd only fails under fd
+                // exhaustion; degrade to a shut-down duplicate so the
+                // caller sees I/O errors rather than a panic.
+                inner: {
+                    let _ = self.inner.shutdown(std::net::Shutdown::Both);
+                    self.inner.try_clone().unwrap_or_else(|e| {
+                        // PANIC-OK: unreachable without fd exhaustion;
+                        // the process is already failing.
+                        panic!("socket clone failed twice: {e}")
+                    })
+                },
+            });
+        (OwnedReadHalf { inner: self.inner }, write)
+    }
+
+    pub(crate) fn read_ref(&self) -> &std::net::TcpStream {
+        &self.inner
+    }
+
+    pub(crate) fn write_ref(&self) -> &std::net::TcpStream {
+        &self.inner
+    }
+}
+
+/// Read half of a split [`TcpStream`].
+#[derive(Debug)]
+pub struct OwnedReadHalf {
+    inner: std::net::TcpStream,
+}
+
+/// Write half of a split [`TcpStream`].
+#[derive(Debug)]
+pub struct OwnedWriteHalf {
+    inner: std::net::TcpStream,
+}
+
+impl OwnedReadHalf {
+    pub(crate) fn read_ref(&self) -> &std::net::TcpStream {
+        &self.inner
+    }
+}
+
+impl OwnedWriteHalf {
+    pub(crate) fn write_ref(&self) -> &std::net::TcpStream {
+        &self.inner
+    }
+
+    /// Shuts down the write direction, signalling EOF to the peer.
+    pub fn shutdown_write(&self) -> Result<()> {
+        self.inner.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn listener_stream_echo() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::task::spawn(async move {
+                let (mut s, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                s.read_exact(&mut buf).await.unwrap();
+                s.write_all(&buf).await.unwrap();
+            });
+            let mut c = TcpStream::connect(addr).await.unwrap();
+            c.write_all(b"hello").await.unwrap();
+            let mut back = [0u8; 5];
+            c.read_exact(&mut back).await.unwrap();
+            assert_eq!(&back, b"hello");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn split_halves_work() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::task::spawn(async move {
+                let (s, _) = listener.accept().await.unwrap();
+                let (mut r, mut w) = s.into_split();
+                let mut buf = [0u8; 3];
+                r.read_exact(&mut buf).await.unwrap();
+                w.write_all(&buf).await.unwrap();
+            });
+            let c = TcpStream::connect(addr).await.unwrap();
+            let (mut cr, mut cw) = c.into_split();
+            cw.write_all(b"abc").await.unwrap();
+            let mut back = [0u8; 3];
+            cr.read_exact(&mut back).await.unwrap();
+            assert_eq!(&back, b"abc");
+            server.await.unwrap();
+        });
+    }
+}

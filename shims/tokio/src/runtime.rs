@@ -1,0 +1,120 @@
+//! Minimal runtime: `Builder` + `Runtime::block_on`.
+//!
+//! `block_on` drives a future on the calling thread with a thread-parker
+//! waker. Spawned tasks ([`crate::task::spawn`]) run on their own OS
+//! threads and do not need the runtime to make progress, so `Runtime`
+//! carries no worker pool — it exists for API compatibility with
+//! `tokio::runtime::Builder::new_multi_thread()...build()`.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Mirror of `tokio::runtime::Builder` (the subset the workspace uses).
+#[derive(Debug, Default)]
+pub struct Builder {
+    _private: (),
+}
+
+impl Builder {
+    /// Multi-thread flavour — the only flavour this shim models (every
+    /// spawned task gets its own thread regardless).
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Accepted for compatibility; the shim always enables net + io.
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored (tasks are thread-per-task).
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime. Infallible here; returns `io::Result` to
+    /// match tokio's signature.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Ok(Runtime { _private: () })
+    }
+}
+
+/// Handle used to run futures to completion.
+#[derive(Debug)]
+pub struct Runtime {
+    _private: (),
+}
+
+impl Runtime {
+    /// Creates a runtime with default settings.
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Runs `future` to completion on the current thread, parking
+    /// between polls until woken.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+}
+
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Free-function executor used by both [`Runtime::block_on`] and
+/// spawned task threads.
+pub(crate) fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            // Park until a waker fires. Spurious unparks are fine: we
+            // simply poll again and the future returns Pending.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        let rt = Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_pending_then_ready() {
+        // A future that returns Pending once (waking itself) then Ready.
+        struct YieldOnce(bool);
+        impl Future for YieldOnce {
+            type Output = u32;
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                if self.0 {
+                    Poll::Ready(7)
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        assert_eq!(block_on(YieldOnce(false)), 7);
+    }
+}

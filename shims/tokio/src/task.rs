@@ -1,0 +1,159 @@
+//! `task::spawn` + `JoinHandle`, backed by one OS thread per task.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    result: Option<std::thread::Result<T>>,
+    waker: Option<Waker>,
+}
+
+/// Awaitable handle to a spawned task (mirror of `tokio::task::JoinHandle`).
+///
+/// Dropping the handle detaches the task: the thread keeps running to
+/// completion (same as tokio).
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+/// Error returned when a joined task panicked.
+pub struct JoinError {
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl JoinError {
+    /// True when the task ended by panicking (always true in this shim:
+    /// cancellation does not exist here).
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+
+    /// The panic payload, for re-raising with `std::panic::resume_unwind`.
+    pub fn into_panic(self) -> Box<dyn std::any::Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JoinError::Panic")
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(result) = st.result.take() {
+            Poll::Ready(result.map_err(|payload| JoinError { payload }))
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Spawns `future` on a fresh OS thread, driving it with the shim's
+/// thread-parker executor. Returns a handle that can be `.await`ed for
+/// the output (or the task's panic, as `JoinError`).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState {
+        result: None,
+        waker: None,
+    }));
+    let thread_state = Arc::clone(&state);
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runtime::block_on(future)
+        }));
+        let waker = {
+            let mut st = match thread_state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            st.result = Some(result);
+            st.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    });
+    JoinHandle { state }
+}
+
+/// Runs a blocking closure on its own thread (mirror of
+/// `tokio::task::spawn_blocking`). In this shim every task already has
+/// its own thread, so this is `spawn` around an `async` wrapper.
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn(async move { f() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let h = spawn(async { 2 + 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 4);
+    }
+
+    #[test]
+    fn join_surfaces_panic() {
+        let rt = Runtime::new().unwrap();
+        let err = rt.block_on(async {
+            let h = spawn(async { panic!("boom") });
+            h.await.unwrap_err()
+        });
+        assert!(err.is_panic());
+    }
+
+    #[test]
+    fn spawn_blocking_runs() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async { spawn_blocking(|| 9u32).await.unwrap() });
+        assert_eq!(out, 9);
+    }
+
+    #[test]
+    fn detached_task_completes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static DONE: AtomicBool = AtomicBool::new(false);
+        drop(spawn(async { DONE.store(true, Ordering::SeqCst) }));
+        for _ in 0..500 {
+            if DONE.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("detached task never ran");
+    }
+}
