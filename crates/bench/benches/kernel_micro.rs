@@ -41,7 +41,7 @@ fn bench_memtable(c: &mut Criterion) {
     g.bench_function("insert_10k", |b| {
         b.iter_batched(
             || MemTable::new(InternalKeyComparator::default()),
-            |mut m| {
+            |m| {
                 for i in 0..10_000u64 {
                     let key = format!("{:016}", i.wrapping_mul(2_654_435_761) % 10_000);
                     m.add(i + 1, ValueType::Value, key.as_bytes(), b"value-bytes-128");

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::inputs::kernel_request;
-use bench::{build_kernel_inputs, KernelInputSpec, MemFactory};
+use bench::{append_snapshot, build_kernel_inputs, KernelInputSpec, MemFactory};
 use fcae::{FcaeConfig, FcaeEngine};
 use lsm::compaction::{CompactionEngine, CompactionInput, CpuCompactionEngine};
 use lsm::{Db, Options};
@@ -282,30 +282,6 @@ fn db_fillrandom(num: u64) -> String {
         quiesce * 1e3,
         stats.engine_compactions
     )
-}
-
-/// Appends `snapshot` to the JSON array in `path` (creating it if absent).
-fn append_snapshot(path: &str, snapshot: &str) -> std::io::Result<()> {
-    let body = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            let without_close = trimmed
-                .strip_suffix(']')
-                .ok_or_else(|| std::io::Error::other(format!("{path} is not a JSON array")))?
-                .trim_end();
-            let sep = if without_close.ends_with('[') {
-                ""
-            } else {
-                ","
-            };
-            format!("{without_close}{sep}\n{snapshot}\n]\n")
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            format!("[\n{snapshot}\n]\n")
-        }
-        Err(e) => return Err(e),
-    };
-    std::fs::write(path, body)
 }
 
 fn main() {

@@ -6,6 +6,13 @@
 //!          --num 100000 --value-size 128 --engine fcae --n-inputs 9
 //! ```
 //!
+//! `--threads N` runs each benchmark with N concurrent client threads
+//! sharing the store (the op count is split across threads), exercising
+//! the parallel write path: sequence reservation, the sharded memtable,
+//! and leader-elected WAL group commit. `--sync` turns on per-write WAL
+//! syncs, where group commit amortizes the fsync across writers. The
+//! `ycsb-a` benchmark runs the 50/50 read/update zipfian mix.
+//!
 //! `--fault-every N` injects a transient device fault every Nth
 //! compaction dispatch (plus a mid-job timeout every 3Nth) through the
 //! offload scheduler; combine with `--stats` to see the
@@ -17,6 +24,7 @@
 //! engines' host-side costs.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,7 +33,7 @@ use lsm::compaction::{CompactionEngine, CpuCompactionEngine};
 use lsm::{Db, Options};
 use offload::{DeviceFaultKind, OffloadConfig, OffloadService};
 use simkit::SplitMix64;
-use workloads::{DbBenchWorkload, KeyFormat, ValueGenerator};
+use workloads::{DbBenchWorkload, KeyFormat, OpKind, ValueGenerator, YcsbRunner, YcsbWorkload};
 
 struct Config {
     benchmarks: Vec<String>,
@@ -35,6 +43,11 @@ struct Config {
     engine: String,
     n_inputs: usize,
     db_path: PathBuf,
+    /// Concurrent client threads per benchmark (ops are split evenly).
+    threads: usize,
+    /// Sync the WAL on every write (per-commit fsync, amortized by
+    /// group commit when `threads > 1`).
+    sync: bool,
     /// Dump the store's stats/metrics/trace exports after the run.
     stats: bool,
     /// Inject a transient device fault every Nth compaction dispatch (and
@@ -52,6 +65,8 @@ fn parse_args() -> Result<Config, String> {
         engine: "cpu".into(),
         n_inputs: 9,
         db_path: std::env::temp_dir().join("fcae-db-bench"),
+        threads: 1,
+        sync: false,
         stats: false,
         fault_every: 0,
     };
@@ -60,6 +75,11 @@ fn parse_args() -> Result<Config, String> {
     while i < args.len() {
         if args[i] == "--stats" {
             cfg.stats = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--sync" {
+            cfg.sync = true;
             i += 1;
             continue;
         }
@@ -82,6 +102,12 @@ fn parse_args() -> Result<Config, String> {
                 cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
             }
             "--key-size" => cfg.key_size = value.parse().map_err(|e| format!("--key-size: {e}"))?,
+            "--threads" => {
+                cfg.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
             "--engine" => cfg.engine = value,
             "--n-inputs" => cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?,
             "--db" => cfg.db_path = PathBuf::from(value),
@@ -108,6 +134,7 @@ fn open_db(cfg: &Config) -> (Db, Option<Arc<OffloadService>>) {
     let bundle = obs::Obs::wall();
     let options = Options {
         slowdown_sleep: true,
+        sync_writes: cfg.sync,
         obs: Some(Arc::clone(&bundle)),
         ..Default::default()
     };
@@ -141,19 +168,27 @@ fn open_db(cfg: &Config) -> (Db, Option<Arc<OffloadService>>) {
     )
 }
 
+enum Bench {
+    Standard(DbBenchWorkload),
+    /// 50% read / 50% update, zipfian (paper Table IX workload A).
+    YcsbA,
+}
+
 fn run_benchmark(name: &str, cfg: &Config, db: &Db) {
     let kf = KeyFormat {
         key_len: cfg.key_size,
     };
-    let mut values = ValueGenerator::new(301, 0.5);
-    let mut rng = SplitMix64::new(1234);
     let pair_bytes = (cfg.key_size + cfg.value_size) as u64;
+    let threads = cfg.threads as u64;
+    let per_thread = (cfg.num / threads).max(1);
+    let total = per_thread * threads;
 
-    let workload = match name {
-        "fillseq" => DbBenchWorkload::FillSeq,
-        "fillrandom" => DbBenchWorkload::FillRandom,
-        "overwrite" => DbBenchWorkload::Overwrite,
-        "readrandom" => DbBenchWorkload::ReadRandom,
+    let bench = match name {
+        "fillseq" => Bench::Standard(DbBenchWorkload::FillSeq),
+        "fillrandom" => Bench::Standard(DbBenchWorkload::FillRandom),
+        "overwrite" => Bench::Standard(DbBenchWorkload::Overwrite),
+        "readrandom" => Bench::Standard(DbBenchWorkload::ReadRandom),
+        "ycsb-a" => Bench::YcsbA,
         other => {
             eprintln!("skipping unknown benchmark {other}");
             return;
@@ -161,31 +196,72 @@ fn run_benchmark(name: &str, cfg: &Config, db: &Db) {
     };
 
     let start = Instant::now();
-    let mut found = 0u64;
-    for op in 0..cfg.num {
-        let k = workload.key_number(op, cfg.num, &mut rng);
-        let key = kf.format(k);
-        match workload {
-            DbBenchWorkload::ReadRandom => {
-                if db.get(&key).expect("get").is_some() {
-                    found += 1;
+    let found = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let bench = &bench;
+            let found = &found;
+            s.spawn(move || {
+                let mut values = ValueGenerator::new(301 + t, 0.5);
+                let mut rng = SplitMix64::new(1234 + t.wrapping_mul(0x9e37_79b9));
+                match bench {
+                    Bench::Standard(w) => {
+                        for i in 0..per_thread {
+                            // Thread t owns op numbers [t*per_thread,
+                            // (t+1)*per_thread): fillseq stripes stay
+                            // sequential and disjoint; random workloads
+                            // share the whole key space.
+                            let op = t * per_thread + i;
+                            let k = w.key_number(op, total, &mut rng);
+                            let key = kf.format(k);
+                            match w {
+                                DbBenchWorkload::ReadRandom => {
+                                    if db.get(&key).expect("get").is_some() {
+                                        found.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                _ => db.put(&key, values.generate(cfg.value_size)).expect("put"),
+                            }
+                        }
+                    }
+                    Bench::YcsbA => {
+                        let mut runner = YcsbRunner::new(YcsbWorkload::A, total, 42 + t);
+                        for _ in 0..per_thread {
+                            let op = runner.next_op();
+                            let key = kf.format(op.record);
+                            match op.kind {
+                                OpKind::Read => {
+                                    if db.get(&key).expect("get").is_some() {
+                                        found.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                _ => db.put(&key, values.generate(cfg.value_size)).expect("put"),
+                            }
+                        }
+                    }
                 }
-            }
-            _ => db.put(&key, values.generate(cfg.value_size)).expect("put"),
+            });
         }
-    }
-    if workload != DbBenchWorkload::ReadRandom {
+    });
+    let read_only = matches!(bench, Bench::Standard(DbBenchWorkload::ReadRandom));
+    if !read_only {
         db.flush().expect("flush");
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let micros_per_op = elapsed * 1e6 / cfg.num as f64;
-    let mb_s = cfg.num as f64 * pair_bytes as f64 / elapsed / 1e6;
-    match workload {
-        DbBenchWorkload::ReadRandom => println!(
-            "{name:<12} : {micros_per_op:>9.3} micros/op; ({found} of {} found)",
-            cfg.num
+    let micros_per_op = elapsed * 1e6 / total as f64;
+    let ops_s = total as f64 / elapsed;
+    let mb_s = total as f64 * pair_bytes as f64 / elapsed / 1e6;
+    let found = found.load(Ordering::Relaxed);
+    match bench {
+        Bench::Standard(DbBenchWorkload::ReadRandom) => println!(
+            "{name:<12} : {micros_per_op:>9.3} micros/op; {ops_s:>9.0} ops/s; ({found} of {total} found)"
         ),
-        _ => println!("{name:<12} : {micros_per_op:>9.3} micros/op; {mb_s:>7.1} MB/s"),
+        Bench::YcsbA => println!(
+            "{name:<12} : {micros_per_op:>9.3} micros/op; {ops_s:>9.0} ops/s; ({found} reads hit)"
+        ),
+        _ => println!(
+            "{name:<12} : {micros_per_op:>9.3} micros/op; {ops_s:>9.0} ops/s; {mb_s:>7.1} MB/s"
+        ),
     }
 }
 
@@ -198,8 +274,9 @@ fn main() {
         }
     };
     println!(
-        "Keys: {} bytes each; Values: {} bytes each; Entries: {}; engine: {}",
-        cfg.key_size, cfg.value_size, cfg.num, cfg.engine
+        "Keys: {} bytes each; Values: {} bytes each; Entries: {}; engine: {}; \
+         threads: {}; sync: {}",
+        cfg.key_size, cfg.value_size, cfg.num, cfg.engine, cfg.threads, cfg.sync
     );
     println!("------------------------------------------------");
     let (db, offload_svc) = open_db(&cfg);

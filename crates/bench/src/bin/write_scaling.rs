@@ -1,0 +1,241 @@
+//! `write_scaling` — multi-writer throughput curve for the parallel
+//! write path.
+//!
+//! Runs a sync-write fillrandom pass (every commit fsyncs the WAL) at
+//! 1/2/4/8 client threads against the real filesystem and appends one
+//! labelled JSON row to the trajectory file (default `BENCH_PR7.json`):
+//!
+//! ```sh
+//! cargo run --release -p bench --bin write_scaling -- \
+//!     --label pr7 --out BENCH_PR7.json
+//! ```
+//!
+//! The interesting number on a small machine is not CPU parallelism —
+//! with one core there is none — but *commit amortization*: N writers
+//! that each need a durable ack ride one leader's fsync instead of
+//! paying for N, so ops/s should rise with the thread count roughly
+//! until the group spans every concurrent writer. Each point also
+//! records the observed group-commit shape (leaders, followers, groups)
+//! so a scaling regression can be attributed: flat ops/s with
+//! `followers ≈ 0` means grouping broke, flat ops/s with healthy groups
+//! means the fsync itself got slower.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bench::append_snapshot;
+use lsm::{Db, Options};
+use simkit::SplitMix64;
+use workloads::{DbBenchWorkload, KeyFormat, ValueGenerator};
+
+struct Config {
+    label: String,
+    out: String,
+    /// Ops per thread (every point writes `threads * per_thread` keys).
+    per_thread: u64,
+    value_size: usize,
+    threads: Vec<u64>,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        label: "snapshot".into(),
+        out: "BENCH_PR7.json".into(),
+        per_thread: 2_000,
+        value_size: 128,
+        threads: vec![1, 2, 4, 8],
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--label" => cfg.label = value,
+            "--out" => cfg.out = value,
+            "--per-thread" => {
+                cfg.per_thread = value.parse().map_err(|e| format!("--per-thread: {e}"))?
+            }
+            "--value-size" => {
+                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
+            }
+            "--threads" => {
+                cfg.threads = value
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if cfg.threads.is_empty() || cfg.threads.contains(&0) {
+                    return Err("--threads needs a comma list of counts >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+struct Point {
+    threads: u64,
+    ops_per_s: f64,
+    micros_per_op: f64,
+    group_commits: u64,
+    grouped_writes: u64,
+    leaders: u64,
+    followers: u64,
+}
+
+impl Point {
+    fn avg_group(&self) -> f64 {
+        if self.group_commits == 0 {
+            0.0
+        } else {
+            self.grouped_writes as f64 / self.group_commits as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"ops_per_s\": {:.0}, \"micros_per_op\": {:.1}, \
+             \"group_commits\": {}, \"grouped_writes\": {}, \"avg_group\": {:.2}, \
+             \"leaders\": {}, \"followers\": {}}}",
+            self.threads,
+            self.ops_per_s,
+            self.micros_per_op,
+            self.group_commits,
+            self.grouped_writes,
+            self.avg_group(),
+            self.leaders,
+            self.followers
+        )
+    }
+}
+
+/// One curve point: sync-write fillrandom with `threads` writers over a
+/// fresh store on the local filesystem.
+fn run_point(threads: u64, per_thread: u64, value_size: usize) -> Point {
+    let dir = std::env::temp_dir().join(format!("write-scaling-{}-t{threads}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = Options {
+        // Per-commit durability: this is the regime group commit exists
+        // for. Buffered writes would measure memtable insertion instead.
+        sync_writes: true,
+        slowdown_sleep: false,
+        ..Default::default()
+    };
+    let db = Db::open(&dir, options).expect("open db");
+
+    let kf = KeyFormat { key_len: 16 };
+    let total = threads * per_thread;
+    let done = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            let done = &done;
+            s.spawn(move || {
+                let mut values = ValueGenerator::new(301 + t, 0.5);
+                let mut rng = SplitMix64::new(1234 + t.wrapping_mul(0x9e37_79b9));
+                let workload = DbBenchWorkload::FillRandom;
+                for i in 0..per_thread {
+                    let k = workload.key_number(t * per_thread + i, total, &mut rng);
+                    db.put(&kf.format(k), values.generate(value_size))
+                        .expect("put");
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(done.load(Ordering::Relaxed), total);
+
+    let stats = db.stats();
+    let registry = &db.obs().registry;
+    let point = Point {
+        threads,
+        ops_per_s: total as f64 / elapsed,
+        micros_per_op: elapsed * 1e6 / total as f64,
+        group_commits: stats.group_commits,
+        grouped_writes: stats.grouped_writes,
+        leaders: registry.counter_value("lsm.write.leader").unwrap_or(0),
+        followers: registry.counter_value("lsm.write.follower").unwrap_or(0),
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "write scaling: sync fillrandom, {} ops/thread, {} B values, threads {:?}",
+        cfg.per_thread, cfg.value_size, cfg.threads
+    );
+    let mut points = Vec::new();
+    for &t in &cfg.threads {
+        // Warm-up pass at each thread count settles the page cache and
+        // the filesystem's journal before the measured run.
+        let _ = run_point(t, cfg.per_thread / 4, cfg.value_size);
+        let p = run_point(t, cfg.per_thread, cfg.value_size);
+        eprintln!(
+            "  {:>2} threads: {:>9.0} ops/s  {:>8.1} us/op  avg group {:>5.2}  \
+             ({} leaders / {} followers)",
+            p.threads,
+            p.ops_per_s,
+            p.micros_per_op,
+            p.avg_group(),
+            p.leaders,
+            p.followers
+        );
+        points.push(p);
+    }
+
+    let base = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .map(|p| p.ops_per_s)
+        .unwrap_or_else(|| points[0].ops_per_s);
+    for p in &points {
+        eprintln!(
+            "  speedup at {} threads: {:.2}x",
+            p.threads,
+            p.ops_per_s / base
+        );
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rows: Vec<String> = points.iter().map(Point::json).collect();
+    let snapshot = format!(
+        "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"workload\": \"sync_fillrandom\", \
+         \"value_size\": {}, \"ops_per_thread\": {}, \"points\": [{}]}}",
+        cfg.label,
+        cfg.value_size,
+        cfg.per_thread,
+        rows.join(", ")
+    );
+    if let Err(e) = append_snapshot(&cfg.out, &snapshot) {
+        eprintln!("error writing {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    println!("appended snapshot '{}' to {}", cfg.label, cfg.out);
+}

@@ -36,6 +36,7 @@ pub mod table_cache;
 pub mod version;
 pub mod wal;
 pub mod write_batch;
+pub mod write_path;
 
 pub use compaction::{
     CompactionEngine, CompactionInput, CompactionOutcome, CompactionRequest, CpuCompactionEngine,
@@ -48,6 +49,7 @@ pub use options::{Options, ReadOptions, WriteOptions};
 pub use pipeline::PipelinedCompactionEngine;
 pub use repair::{repair_db, RepairReport};
 pub use write_batch::WriteBatch;
+pub use write_path::{ApplyLedger, SeqReserver};
 
 /// Store-level errors.
 #[derive(Debug)]

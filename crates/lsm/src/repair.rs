@@ -11,7 +11,6 @@
 //!    point CURRENT at it. The next open compacts them back into shape.
 
 use std::path::Path;
-use std::sync::Arc;
 
 use sstable::comparator::InternalKeyComparator;
 use sstable::ikey::{parse_internal_key, InternalKey, ValueType};
@@ -92,7 +91,7 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
         let Ok(mut reader) = LogReader::new(file.as_ref()) else {
             continue;
         };
-        let mut mem = MemTable::new(icmp.clone());
+        let mem = MemTable::new(icmp.clone());
         while let Some(record) = reader.read_record() {
             let Ok(batch) = WriteBatch::from_data(&record) else {
                 continue;
@@ -111,7 +110,6 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
         report.log_entries_salvaged += mem.len() as u64;
         let number = next_number;
         next_number += 1;
-        let mem = Arc::new(mem);
         let mut it = mem.iter();
         it.seek_to_first();
         let out = env.create_writable(&table_file_name(dir, number))?;
@@ -273,6 +271,7 @@ mod tests {
     use super::*;
     use crate::Db;
     use sstable::env::MemEnv;
+    use std::sync::Arc;
 
     fn mem_options(env: &Arc<MemEnv>) -> Options {
         Options {
@@ -504,6 +503,7 @@ mod age_ordering_tests {
     use super::*;
     use crate::Db;
     use sstable::env::MemEnv;
+    use std::sync::Arc;
 
     /// Overwrites spread across compacted levels: after repair, the newest
     /// version of every key must still win even though compaction outputs

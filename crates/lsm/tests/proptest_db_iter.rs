@@ -68,6 +68,9 @@ proptest! {
     fn db_iter_matches_btreemap_model(
         ops in ops(),
         probes in proptest::collection::vec(0u8..26, 1..6),
+        // Exercise the sharded memtable's merged-snapshot iteration at
+        // degenerate (1), odd (3), and default-ish (8) shard counts.
+        shards in prop_oneof![Just(1usize), Just(3usize), Just(8usize)],
     ) {
         let env = Arc::new(MemEnv::new());
         let options = Options {
@@ -78,6 +81,7 @@ proptest! {
             max_file_size: 4 << 10,
             level1_max_bytes: 16 << 10,
             slowdown_sleep: false,
+            memtable_shards: shards,
             ..Default::default()
         };
         let db = Db::open("/db", options).unwrap();

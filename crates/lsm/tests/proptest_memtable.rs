@@ -48,7 +48,7 @@ proptest! {
     /// Point lookups at every snapshot agree with the reference history.
     #[test]
     fn get_matches_reference(ops in inserts(), probe_seqs in proptest::collection::vec(0u64..260, 1..12)) {
-        let mut mem = MemTable::new(InternalKeyComparator::default());
+        let mem = MemTable::new(InternalKeyComparator::default());
         let mut history: History = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
             let seq = i as u64 + 1;
@@ -87,7 +87,7 @@ proptest! {
     /// every inserted entry.
     #[test]
     fn iteration_is_sorted_and_complete(ops in inserts()) {
-        let mut mem = MemTable::new(InternalKeyComparator::default());
+        let mem = MemTable::new(InternalKeyComparator::default());
         for (i, op) in ops.iter().enumerate() {
             let ty = if op.delete { ValueType::Deletion } else { ValueType::Value };
             mem.add(i as u64 + 1, ty, &user_key(op.key_id), &op.value);
@@ -121,7 +121,7 @@ proptest! {
         lo in 0u8..20,
         span in 1u8..10,
     ) {
-        let mut mem = MemTable::new(InternalKeyComparator::default());
+        let mem = MemTable::new(InternalKeyComparator::default());
         for (i, op) in ops.iter().enumerate() {
             mem.add(i as u64 + 1, ValueType::Value, &user_key(op.key_id), &op.value);
         }

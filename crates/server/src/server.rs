@@ -10,9 +10,12 @@
 //!
 //! Each connection is handled by its own task: read a frame, decode,
 //! dispatch, write the response — strictly in request order, which is
-//! what allows clients to pipeline. Writes ride the per-shard group
-//! commit inside `lsm::Db`: concurrent connections hitting one shard
-//! batch into one WAL sync.
+//! what allows clients to pipeline. Writes are moved onto tokio's
+//! blocking pool, because `lsm::Db::write` parks the calling thread
+//! while its group commits: run inline it would stall the runtime
+//! worker (and with it every other connection), run on the blocking
+//! pool many connections' writes overlap and ride one shard's
+//! leader-elected group commit — one WAL sync acknowledges them all.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -163,6 +166,10 @@ struct Shared {
     obs: Arc<obs::Obs>,
     offload: Option<Arc<offload::OffloadService>>,
     metrics: ServerMetrics,
+    /// Mirror of [`ServerConfig::sync_writes`]: when set, every write
+    /// fsyncs regardless of its per-request flag, so dispatch must treat
+    /// all writes as blocking-pool work.
+    force_sync: bool,
     shutdown: AtomicBool,
 }
 
@@ -237,6 +244,7 @@ impl KvServer {
                 obs,
                 offload,
                 metrics,
+                force_sync: config.sync_writes,
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -320,7 +328,7 @@ async fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 
 /// Serves one connection until EOF, I/O error, shutdown, or a protocol
 /// violation (which is answered with `ProtoErr` before closing).
-async fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+async fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> std::io::Result<()> {
     let mut body = Vec::new();
     let mut out = Vec::new();
     loop {
@@ -347,7 +355,7 @@ async fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::R
         body.resize(len, 0);
         stream.read_exact(&mut body).await?;
         let resp = match proto::decode_request(&body) {
-            Ok(req) => dispatch(shared, req),
+            Ok(req) => dispatch(shared, req).await,
             Err(e) => {
                 shared.metrics.proto_errors.inc();
                 out.clear();
@@ -362,23 +370,56 @@ async fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::R
     }
 }
 
-/// Executes one decoded request against the shards.
-fn dispatch(shared: &Shared, req: Request) -> Response {
+/// Executes one decoded request against the shards. Reads and buffered
+/// writes run inline on the runtime worker (microsecond work). A *sync*
+/// write parks its thread for a whole fsync while its group commits, so
+/// it runs on the blocking pool, where concurrent connections' sync
+/// writes overlap and ride one shard's group commit instead of
+/// serializing the runtime worker — the fsync dwarfs the thread hop.
+async fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
     let m = &shared.metrics;
     let t0 = shared.obs.now_micros();
     let (hist, resp) = match req {
         Request::Get { key } => (&m.get_micros, do_get(shared, &key)),
-        Request::Put { key, value, sync } => (&m.put_micros, do_put(shared, &key, &value, sync)),
-        Request::Delete { key, sync } => (&m.del_micros, do_delete(shared, &key, sync)),
+        Request::Put { key, value, sync } => (
+            &m.put_micros,
+            run_write(shared, sync, move |s| do_put(s, &key, &value, sync)).await,
+        ),
+        Request::Delete { key, sync } => (
+            &m.del_micros,
+            run_write(shared, sync, move |s| do_delete(s, &key, sync)).await,
+        ),
         Request::Scan { start, end, limit } => (
             &m.scan_micros,
             do_scan(shared, &start, end.as_deref(), limit),
         ),
-        Request::WriteBatch { ops, sync } => (&m.batch_micros, do_batch(shared, ops, sync)),
+        Request::WriteBatch { ops, sync } => (
+            &m.batch_micros,
+            run_write(shared, sync, move |s| do_batch(s, ops, sync)).await,
+        ),
         Request::Stats { json } => (&m.stats_micros, do_stats(shared, json)),
     };
     hist.record(shared.obs.now_micros().saturating_sub(t0));
     resp
+}
+
+/// Runs a write inline when it is buffered (cheap), or on tokio's
+/// blocking pool when it will fsync (either the request asked or the
+/// server forces sync on every write). A cancelled/panicked pool task
+/// maps to a protocol-level error instead of tearing the server down.
+async fn run_write(
+    shared: &Arc<Shared>,
+    sync: bool,
+    f: impl FnOnce(&Shared) -> Response + Send + 'static,
+) -> Response {
+    if !(sync || shared.force_sync) {
+        return f(shared);
+    }
+    let s = Arc::clone(shared);
+    match tokio::task::spawn_blocking(move || f(&s)).await {
+        Ok(resp) => resp,
+        Err(e) => Response::Err(format!("write task failed: {e}")),
+    }
 }
 
 fn storage_err(e: &lsm::Error) -> Response {

@@ -3,6 +3,7 @@
 #
 # Usage: scripts/bench_snapshot.sh [label] [out-file]
 #        scripts/bench_snapshot.sh --server [label] [out-file]
+#        scripts/bench_snapshot.sh --write-scaling [label] [out-file]
 #
 # Default mode runs the merge microbenchmark (4-input, 1 KiB values,
 # both engines, with allocation counting) and a db_bench-style
@@ -13,6 +14,10 @@
 # connection count at K=1 and K=4 engine slots, appended to
 # BENCH_PR6.json.
 #
+# --write-scaling runs the parallel-write-path curve: sync-write
+# fillrandom ops/s vs. writer threads (1/2/4/8) with group-commit
+# shape per point, appended to BENCH_PR7.json.
+#
 # Run it before and after a perf change (e.g. labels "pr3-before" /
 # "pr3-after") so the repo carries its own performance history.
 set -euo pipefail
@@ -22,6 +27,9 @@ MODE=bench
 if [ "${1:-}" = "--server" ]; then
     MODE=server
     shift
+elif [ "${1:-}" = "--write-scaling" ]; then
+    MODE=write_scaling
+    shift
 fi
 
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
@@ -29,6 +37,9 @@ LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
 if [ "$MODE" = "server" ]; then
     OUT="${2:-BENCH_PR6.json}"
     cargo run --release -p server --bin server_saturation -- --label "$LABEL" --out "$OUT"
+elif [ "$MODE" = "write_scaling" ]; then
+    OUT="${2:-BENCH_PR7.json}"
+    cargo run --release -p bench --bin write_scaling -- --label "$LABEL" --out "$OUT"
 else
     OUT="${2:-BENCH_PR2.json}"
     cargo run --release -p bench --bin bench_snapshot -- --label "$LABEL" --out "$OUT"

@@ -22,6 +22,12 @@ cargo run --release -p bench --bin db_bench -- \
     --num 20000 --benchmarks fillrandom --engine fcae --stats \
     | grep -q "hist lsm.put_micros" \
     || { echo "obs smoke failed: no lsm.put_micros in --stats export"; exit 1; }
+# Multi-writer smoke: 4 client threads must exercise (and export) the
+# parallel write path's group-commit metrics.
+cargo run --release -p bench --bin db_bench -- \
+    --num 20000 --benchmarks fillrandom,ycsb-a --threads 4 --stats \
+    | grep -q "counter lsm.write.leader" \
+    || { echo "obs smoke failed: no lsm.write.leader in --threads export"; exit 1; }
 cargo test -q -p systemsim identical_runs_export_identical_observability
 
 # Fault matrix: the randomized power-cut harness already ran on its
@@ -30,6 +36,7 @@ cargo test -q -p systemsim identical_runs_export_identical_observability
 # degradation smoke (write fault -> read-only, read corruption ->
 # checksum error, transient compaction fault -> retry).
 POWER_CUT_SEED_BASE=100 cargo test -q -p fcae-repro --test power_cut power_cut_recovers
+POWER_CUT_SEED_BASE=100 cargo test -q -p fcae-repro --test power_cut multi_writer_synced_acks_survive_power_cut
 cargo test -q -p lsm --test proptest_repair
 cargo run --release -p bench --bin db_bench -- \
     --num 20000 --benchmarks fillrandom --fault-every 2 --stats \

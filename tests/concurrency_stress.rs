@@ -105,6 +105,19 @@ fn stress(engine_is_fcae: bool) {
     db.flush().unwrap();
     db.wait_for_background_quiescence();
 
+    // Every write was committed by exactly one group: either it led the
+    // group or rode as a follower. The split is scheduling-dependent but
+    // the sum is exact.
+    let registry = &db.obs().registry;
+    let leaders = registry.counter_value("lsm.write.leader").unwrap_or(0);
+    let followers = registry.counter_value("lsm.write.follower").unwrap_or(0);
+    assert!(leaders >= 1, "no group commit ever led");
+    assert_eq!(
+        leaders + followers,
+        WRITERS as u64 * OPS_PER_WRITER,
+        "leader/follower counters must account for every write"
+    );
+
     // Deterministic final state per stripe: replay a single writer's ops.
     for w in 0..WRITERS as u64 {
         let mut last: std::collections::HashMap<u64, Option<String>> =
