@@ -92,7 +92,7 @@ fn main() {
         },
     );
     let spread =
-        c.iter().cloned().fold(f64::MIN, f64::max) / c.iter().cloned().fold(f64::MAX, f64::min);
+        c.iter().copied().fold(f64::MIN, f64::max) / c.iter().copied().fold(f64::MAX, f64::min);
     println!(
         "expected: insensitive to block size (paper holds ~2.4x) — spread {spread:.2} ({})",
         if spread < 1.25 {

@@ -50,8 +50,7 @@ fn main() {
         speedups
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(w, _)| w.name())
-            .unwrap_or("?"),
+            .map_or("?", |(w, _)| w.name()),
         paper::FIG16_MAX_SPEEDUP
     );
     println!("expected shape: speedup grows with write ratio; read-only C stays ~1x");

@@ -23,7 +23,7 @@ fn bench_snappy(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress_64k", |b| b.iter(|| snap_codec::compress(&data)));
     g.bench_function("decompress_64k", |b| {
-        b.iter(|| snap_codec::decompress(&compressed).unwrap())
+        b.iter(|| snap_codec::decompress(&compressed).unwrap());
     });
     g.finish();
 }
@@ -49,7 +49,7 @@ fn bench_memtable(c: &mut Criterion) {
                 m
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -83,7 +83,7 @@ fn bench_engines(c: &mut Criterion) {
                     .unwrap()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     let engine = Arc::new(FcaeEngine::new(FcaeConfig::two_input()));
     g.bench_function("fcae_engine_4MB", |b| {
@@ -97,7 +97,7 @@ fn bench_engines(c: &mut Criterion) {
             },
             move |(inputs, factory)| engine.compact(&kernel_request(inputs), &factory).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

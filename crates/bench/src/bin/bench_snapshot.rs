@@ -52,7 +52,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: `ptr`/`layout` come from a matching `alloc`/`realloc` on
     // this same wrapper, which always returns `System` memory.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 
     // SAFETY: same pass-through argument as `dealloc` — `ptr` was
@@ -107,7 +107,7 @@ fn parse_args() -> Result<Config, String> {
             "--label" => cfg.label = value,
             "--out" => cfg.out = value,
             "--entries" => {
-                cfg.entries_per_input = value.parse().map_err(|e| format!("--entries: {e}"))?
+                cfg.entries_per_input = value.parse().map_err(|e| format!("--entries: {e}"))?;
             }
             "--db-num" => cfg.db_num = value.parse().map_err(|e| format!("--db-num: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
@@ -343,8 +343,7 @@ fn main() {
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let snapshot = format!(
         "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"merge_micro\": {{\"spec\": \
          {{\"n_inputs\": {}, \"value_len\": {}, \"entries_per_input\": {}}}, \"fcae_kernel\": {}, \

@@ -99,7 +99,7 @@ fn parse_args() -> Result<Config, String> {
             "--benchmarks" => cfg.benchmarks = value.split(',').map(|s| s.to_string()).collect(),
             "--num" => cfg.num = value.parse().map_err(|e| format!("--num: {e}"))?,
             "--value-size" => {
-                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
+                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?;
             }
             "--key-size" => cfg.key_size = value.parse().map_err(|e| format!("--key-size: {e}"))?,
             "--threads" => {
@@ -112,7 +112,7 @@ fn parse_args() -> Result<Config, String> {
             "--n-inputs" => cfg.n_inputs = value.parse().map_err(|e| format!("--n-inputs: {e}"))?,
             "--db" => cfg.db_path = PathBuf::from(value),
             "--fault-every" => {
-                cfg.fault_every = value.parse().map_err(|e| format!("--fault-every: {e}"))?
+                cfg.fault_every = value.parse().map_err(|e| format!("--fault-every: {e}"))?;
             }
             other => return Err(format!("unknown flag {other}")),
         }

@@ -64,10 +64,10 @@ fn parse_args() -> Result<Config, String> {
             "--label" => cfg.label = value,
             "--out" => cfg.out = value,
             "--per-thread" => {
-                cfg.per_thread = value.parse().map_err(|e| format!("--per-thread: {e}"))?
+                cfg.per_thread = value.parse().map_err(|e| format!("--per-thread: {e}"))?;
             }
             "--value-size" => {
-                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?
+                cfg.value_size = value.parse().map_err(|e| format!("--value-size: {e}"))?;
             }
             "--threads" => {
                 cfg.threads = value
@@ -210,8 +210,7 @@ fn main() {
     let base = points
         .iter()
         .find(|p| p.threads == 1)
-        .map(|p| p.ops_per_s)
-        .unwrap_or_else(|| points[0].ops_per_s);
+        .map_or_else(|| points[0].ops_per_s, |p| p.ops_per_s);
     for p in &points {
         eprintln!(
             "  speedup at {} threads: {:.2}x",
@@ -222,8 +221,7 @@ fn main() {
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let rows: Vec<String> = points.iter().map(Point::json).collect();
     let snapshot = format!(
         "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"workload\": \"sync_fillrandom\", \

@@ -49,7 +49,7 @@ unsafe impl GlobalAlloc for &'static CountingAllocator {
     // SAFETY: `ptr`/`layout` come from a matching `alloc`/`realloc` on
     // this same wrapper, which always returns `System` memory.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
 
     // SAFETY: same pass-through argument as `dealloc` — `ptr` was

@@ -278,24 +278,25 @@ impl WriteWaiter {
         }
     }
 
+    // LOCK-HELD: db.commit_queue -- the leader sizes queued waiters mid-scan.
     fn batch_size(&self) -> usize {
-        shim_lock(&self.slot)
+        shim_lock(&self.slot) // LOCK-ORDER: db.waiter.slot 40
             .batch
             .as_ref()
-            .map(WriteBatch::approximate_size)
-            .unwrap_or(0)
+            .map_or(0, WriteBatch::approximate_size)
     }
 
     /// Marks this waiter as the next leader (queue lock held by caller).
+    // LOCK-HELD: db.commit_queue
     fn promote_lead(&self) {
-        let mut slot = shim_lock(&self.slot);
+        let mut slot = shim_lock(&self.slot); // LOCK-ORDER: db.waiter.slot 40
         slot.phase = WaiterPhase::Lead;
         self.cv.notify_all();
     }
 
     /// Returns the member its sequence-stamped batch for parallel apply.
     fn hand_apply(&self, batch: WriteBatch, mem: Arc<MemTable>, group: u64, last_seq: u64) {
-        let mut slot = shim_lock(&self.slot);
+        let mut slot = shim_lock(&self.slot); // LOCK-ORDER: db.waiter.slot 40
         slot.batch = Some(batch);
         slot.phase = WaiterPhase::Apply {
             mem,
@@ -307,7 +308,7 @@ impl WriteWaiter {
 
     /// Completes the member with `result` (leader-side error fan-out).
     fn complete(&self, result: Result<()>) {
-        let mut slot = shim_lock(&self.slot);
+        let mut slot = shim_lock(&self.slot); // LOCK-ORDER: db.waiter.slot 40
         slot.result = Some(result);
         slot.phase = WaiterPhase::Done;
         self.cv.notify_all();
@@ -315,7 +316,7 @@ impl WriteWaiter {
 
     /// Blocks until a leader assigns this waiter a role.
     fn wait_assignment(&self) -> WaiterPhase {
-        let mut slot = shim_lock(&self.slot);
+        let mut slot = shim_lock(&self.slot); // LOCK-ORDER: db.waiter.slot 40
         loop {
             match slot.phase {
                 WaiterPhase::Queued => {
@@ -359,7 +360,7 @@ pub struct Snapshot {
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        let mut state = self.inner.state.lock();
+        let mut state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
         if let Some(count) = state.snapshots.get_mut(&self.sequence) {
             *count -= 1;
             if *count == 0 {
@@ -574,7 +575,7 @@ impl Db {
         let sync = opts.sync || inner.options.sync_writes;
         let waiter = Arc::new(WriteWaiter::new(batch, sync, inner.obs.now_micros()));
         {
-            let mut queue = shim_lock(&inner.commit_queue);
+            let mut queue = shim_lock(&inner.commit_queue); // LOCK-ORDER: db.commit_queue 30
             queue.push_back(Arc::clone(&waiter));
             if queue.len() == 1 {
                 // Empty queue: self-promote. A previous leader may still
@@ -590,7 +591,7 @@ impl Db {
                 group,
                 last_seq,
             } => {
-                let batch = shim_lock(&waiter.slot).batch.take();
+                let batch = shim_lock(&waiter.slot).batch.take(); // LOCK-ORDER: db.waiter.slot 40
                 if let Some(b) = &batch {
                     apply_batch(&mem, b);
                 }
@@ -600,7 +601,7 @@ impl Db {
                 inner.ledger.wait_visible(last_seq);
                 Ok(())
             }
-            WaiterPhase::Done => shim_lock(&waiter.slot).result.take().unwrap_or(Ok(())),
+            WaiterPhase::Done => shim_lock(&waiter.slot).result.take().unwrap_or(Ok(())), // LOCK-ORDER: db.waiter.slot 40
             // wait_assignment never returns Queued.
             WaiterPhase::Queued => Ok(()),
         }
@@ -625,7 +626,7 @@ impl Db {
         let seq = opts.snapshot.unwrap_or_else(|| inner.ledger.visible());
         let lookup = LookupKey::new(key, seq);
         let (mem, imm, version) = {
-            let state = inner.state.lock();
+            let state = inner.state.lock(); // LOCK-ORDER: db.state 10
             (
                 Arc::clone(&state.mem),
                 state.imm.clone(),
@@ -669,6 +670,7 @@ impl Db {
 
     /// Takes a consistent snapshot for reads.
     pub fn snapshot(&self) -> Snapshot {
+        // LOCK-ORDER: db.state 10
         let mut state = self.inner.state.lock();
         // Sampled under the state lock so a concurrent compaction cannot
         // capture a smallest-snapshot above this sequence before the
@@ -688,7 +690,7 @@ impl Db {
     pub fn iter_with(&self, opts: ReadOptions) -> Result<crate::db_iter::DbIter> {
         let seq = opts.snapshot.unwrap_or_else(|| self.inner.ledger.visible());
         let (mem, imm, version) = {
-            let state = self.inner.state.lock();
+            let state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
             (
                 Arc::clone(&state.mem),
                 state.imm.clone(),
@@ -756,7 +758,7 @@ impl Db {
     /// Forces the current memtable out and waits until it is flushed.
     pub fn flush(&self) -> Result<()> {
         {
-            let mut state = self.inner.state.lock();
+            let mut state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
             if state.mem.is_empty() && state.imm.is_none() {
                 return Ok(());
             }
@@ -775,6 +777,7 @@ impl Db {
             }
         }
         self.wait_for_background_quiescence();
+        // LOCK-ORDER: db.state 10
         if let Some(e) = self.inner.state.lock().bg_error.clone() {
             return Err(Error::ReadOnly(e));
         }
@@ -790,7 +793,7 @@ impl Db {
         for level in 0..NUM_LEVELS - 1 {
             loop {
                 {
-                    let mut state = self.inner.state.lock();
+                    let mut state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
                     if let Some(e) = &state.bg_error {
                         return Err(Error::ReadOnly(e.clone()));
                     }
@@ -809,7 +812,7 @@ impl Db {
 
     /// Blocks until no flush or compaction work is pending or in flight.
     pub fn wait_for_background_quiescence(&self) {
-        let mut state = self.inner.state.lock();
+        let mut state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
         self.inner.wake_workers(&state);
         loop {
             let needs_work = state.imm.is_some()
@@ -828,7 +831,7 @@ impl Db {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> DbStats {
-        let mut stats = self.inner.state.lock().stats.clone();
+        let mut stats = self.inner.state.lock().stats.clone(); // LOCK-ORDER: db.state 10
         let (hits, misses) = self.inner.table_cache.block_cache_stats();
         stats.block_cache_hits = hits;
         stats.block_cache_misses = misses;
@@ -837,7 +840,7 @@ impl Db {
 
     /// Number of files at each level (diagnostic).
     pub fn level_file_counts(&self) -> Vec<usize> {
-        let state = self.inner.state.lock();
+        let state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
         let v = state.versions.current();
         (0..NUM_LEVELS).map(|l| v.num_files(l)).collect()
     }
@@ -863,7 +866,7 @@ impl Db {
             if level >= NUM_LEVELS {
                 return None;
             }
-            let state = self.inner.state.lock();
+            let state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
             return Some(state.versions.current().num_files(level).to_string());
         }
         match name {
@@ -903,7 +906,7 @@ impl Db {
     pub fn stats_report(&self) -> String {
         use std::fmt::Write as _;
         let (stats, rows) = {
-            let state = self.inner.state.lock();
+            let state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
             let v = state.versions.current();
             let rows: Vec<(usize, u64)> = (0..NUM_LEVELS)
                 .map(|l| {
@@ -986,7 +989,7 @@ impl DbInner {
         {
             return Ok(());
         }
-        let state = self.state.lock();
+        let state = self.state.lock(); // LOCK-ORDER: db.state 10
         let state = self.make_room_for_write(state)?;
         drop(state);
         Ok(())
@@ -1016,7 +1019,7 @@ impl DbInner {
             let mut prev = 1;
             for _ in 0..8 {
                 std::thread::yield_now();
-                let len = shim_lock(&self.commit_queue).len();
+                let len = shim_lock(&self.commit_queue).len(); // LOCK-ORDER: db.commit_queue 30
                 if len <= prev {
                     break; // nobody new arrived during the last yield
                 }
@@ -1033,9 +1036,9 @@ impl DbInner {
         // previous leader's commit (and fsync) held the lock, followers
         // piled up in the queue, so group size tracks commit latency.
         let epoch_result = {
-            let mut epoch = shim_lock(&self.epoch);
+            let mut epoch = shim_lock(&self.epoch); // LOCK-ORDER: db.epoch 20
             {
-                let mut queue = shim_lock(&self.commit_queue);
+                let mut queue = shim_lock(&self.commit_queue); // LOCK-ORDER: db.commit_queue 30
                 debug_assert!(queue.front().is_some_and(|w| Arc::ptr_eq(w, me)));
                 let mut bytes = 0usize;
                 while let Some(front) = queue.front() {
@@ -1061,7 +1064,7 @@ impl DbInner {
             } else {
                 for w in &members {
                     sync |= w.sync;
-                    let b = shim_lock(&w.slot).batch.take();
+                    let b = shim_lock(&w.slot).batch.take(); // LOCK-ORDER: db.waiter.slot 40
                     batches.push(b.unwrap_or_else(WriteBatch::new));
                 }
                 let total: u64 = batches.iter().map(|b| u64::from(b.count())).sum();
@@ -1089,7 +1092,7 @@ impl DbInner {
         let Some((mem, group_id, last_seq, commit)) = epoch_result else {
             let msg = self
                 .state
-                .lock()
+                .lock() // LOCK-ORDER: db.state 10
                 .bg_error
                 .clone()
                 .unwrap_or_else(|| "background error".to_string());
@@ -1120,7 +1123,7 @@ impl DbInner {
             // marked fully applied so the visibility watermark skips its
             // (never-persisted, never-acknowledged) sequence range.
             {
-                let mut state = self.state.lock();
+                let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
                 self.set_bg_error(&mut state, format!("wal commit failed: {e}"));
             }
             self.ledger.finish_members(group_id, members.len());
@@ -1145,7 +1148,7 @@ impl DbInner {
             .store(occupancy, AtomicOrdering::Relaxed);
         self.metrics.mem_occupancy.set(occupancy as u64);
         {
-            let mut state = self.state.lock();
+            let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
             state.stats.group_commits += 1;
             state.stats.grouped_writes += members.len() as u64;
         }
@@ -1157,6 +1160,7 @@ impl DbInner {
     /// sticky: the store is read-only from here on (writes return
     /// [`Error::ReadOnly`]), reads keep working, and everything blocked
     /// on background progress is woken so it can observe the state.
+    // LOCK-HELD: db.state -- takes the guarded DbState by &mut.
     fn set_bg_error(&self, state: &mut DbState, msg: String) {
         if state.bg_error.is_none() {
             state.bg_error = Some(msg.clone());
@@ -1198,6 +1202,7 @@ impl DbInner {
     /// LevelDB `MakeRoomForWrite`: apply slowdown/stop triggers (the DB's
     /// own L0 triggers plus the engine's [`WritePressure`] signal) and
     /// rotate the memtable when full.
+    // LOCK-HELD: db.state via state
     fn make_room_for_write<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
         let mut allow_delay = true;
         let mut allow_pressure_delay = true;
@@ -1262,12 +1267,13 @@ impl DbInner {
     }
 
     /// One 1 ms write delay (simulated when `slowdown_sleep` is off).
+    // LOCK-HELD: db.state via state
     fn slowdown_write<'a>(&'a self, mut state: StateGuard<'a>) -> StateGuard<'a> {
         if self.options.slowdown_sleep {
             let t0 = Instant::now();
             drop(state);
             std::thread::sleep(Duration::from_millis(1));
-            state = self.state.lock();
+            state = self.state.lock(); // LOCK-ORDER: db.state 10
             self.note_stall(&mut state, t0.elapsed());
         } else {
             self.note_stall(&mut state, Duration::from_millis(1));
@@ -1281,6 +1287,7 @@ impl DbInner {
     /// the recorded boundary sequence tells the flush how long to wait
     /// for them. Readers are never blocked — they keep reading whichever
     /// `Arc`s they captured.
+    // LOCK-HELD: db.state via state
     fn rotate_memtable<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
         debug_assert!(state.imm.is_none());
         let new_log_number = state.versions.new_file_number();
@@ -1296,6 +1303,7 @@ impl DbInner {
             self.options.memtable_shards,
         ));
         {
+            // LOCK-ORDER: db.epoch 20
             let mut epoch = shim_lock(&self.epoch);
             // Sync the retiring WAL before installing its successor.
             // Without this, a later `sync: true` write only reaches the
@@ -1320,6 +1328,7 @@ impl DbInner {
 
     /// Wakes every idle background worker to re-scan for work. Cheap:
     /// workers that find nothing go back to sleep.
+    // LOCK-HELD: db.state -- takes the guarded DbState by ref.
     fn wake_workers(&self, _state: &DbState) {
         if !self.shutting_down.load(AtomicOrdering::Acquire) {
             self.bg_work.notify_all();
@@ -1330,6 +1339,7 @@ impl DbInner {
     /// level 0 (the paper's first compaction type). Callable from the
     /// background thread or — during an offloaded compaction — from a
     /// writer thread.
+    // LOCK-HELD: db.state via state
     fn flush_immutable<'a>(&'a self, mut state: StateGuard<'a>) -> Result<StateGuard<'a>> {
         let Some(imm) = state.imm.clone() else {
             return Ok(state);
@@ -1351,7 +1361,7 @@ impl DbInner {
         let t0 = self.obs.now_micros();
         let result = self.build_memtable_table(&imm, file_number);
         let flush_micros = self.obs.now_micros().saturating_sub(t0);
-        let mut state = self.state.lock();
+        let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
         state.flush_in_progress = false;
 
         let mut flushed_bytes = 0u64;
@@ -1544,7 +1554,7 @@ impl DbInner {
             match tables {
                 Ok(tables) => inputs.push(CompactionInput { tables }),
                 Err(e) => {
-                    let mut state = self.state.lock();
+                    let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
                     state.conflicts.release(ticket);
                     self.set_bg_error(&mut state, format!("compaction open failed: {e}"));
                     return;
@@ -1574,7 +1584,7 @@ impl DbInner {
         let use_engine = req.inputs.len() <= self.engine.max_inputs();
         let is_offload = use_engine && self.engine.name() != "cpu";
         if is_offload {
-            self.state.lock().offloads_in_flight += 1;
+            self.state.lock().offloads_in_flight += 1; // LOCK-ORDER: db.state 10
         }
         let factory = DbOutputFactory {
             inner: self,
@@ -1616,7 +1626,7 @@ impl DbInner {
             }
         };
 
-        let mut state = self.state.lock();
+        let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
         if is_offload {
             state.offloads_in_flight -= 1;
         }
@@ -1624,7 +1634,7 @@ impl DbInner {
         // Un-protect exactly this job's outputs: on success they enter
         // the version below (same lock hold, so GC cannot run between);
         // on failure the orphaned files become collectable.
-        let allocated = factory.allocated.lock().unwrap_or_else(|e| e.into_inner());
+        let allocated = factory.allocated.lock().unwrap_or_else(|e| e.into_inner()); // LOCK-ORDER: db.factory.outputs 60
         for number in allocated.iter() {
             state.pending_outputs.remove(number);
         }
@@ -1716,10 +1726,11 @@ impl DbInner {
 
     /// Removes files no longer referenced by the current version.
     fn delete_obsolete_files(&self) {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
         self.delete_obsolete_files_locked(&mut state);
     }
 
+    // LOCK-HELD: db.state -- takes the guarded DbState by &mut.
     fn delete_obsolete_files_locked(&self, state: &mut DbState) {
         let mut live: HashSet<u64> = state.versions.live_files().into_iter().collect();
         live.extend(state.pending_outputs.iter().copied());
@@ -1820,16 +1831,18 @@ struct DbOutputFactory<'a> {
 impl OutputFileFactory for DbOutputFactory<'_> {
     fn new_output(&self) -> Result<(u64, Box<dyn WritableFile>)> {
         let number = {
-            let mut state = self.inner.state.lock();
+            let mut state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
             let n = state.versions.new_file_number();
             state.pending_outputs.insert(n);
             n
         };
         self.allocated
-            .lock()
+            .lock() // LOCK-ORDER: db.factory.outputs 60
             .unwrap_or_else(|e| e.into_inner())
             .push(number);
         let path = table_file_name(&self.inner.dir, number);
+        // DURABILITY-OK: the compaction executor syncs every output
+        // (TableBuilder::sync) before the version install references it.
         let file = self.inner.options.env.create_writable(&path)?;
         Ok((number, file))
     }
@@ -1840,7 +1853,7 @@ impl OutputFileFactory for DbOutputFactory<'_> {
 fn background_thread(inner: Arc<DbInner>) {
     loop {
         let job = {
-            let mut state = inner.state.lock();
+            let mut state = inner.state.lock(); // LOCK-ORDER: db.state 10
             loop {
                 if inner.shutting_down.load(AtomicOrdering::Acquire) {
                     return;
@@ -1852,7 +1865,7 @@ fn background_thread(inner: Arc<DbInner>) {
                             // set before the lock drops for table I/O.
                             match inner.flush_immutable(state) {
                                 Ok(s) => state = s,
-                                Err(_) => state = inner.state.lock(),
+                                Err(_) => state = inner.state.lock(), // LOCK-ORDER: db.state 10
                             }
                             // L0 grew (or an error idled us): re-scan.
                             inner.wake_workers(&state);

@@ -269,7 +269,7 @@ impl MemTable {
     /// concurrent writers are legal and serialize only per shard.
     pub fn add(&self, seq: SequenceNumber, value_type: ValueType, user_key: &[u8], value: &[u8]) {
         let charged = {
-            let mut core = lock(self.shard_for(user_key));
+            let mut core = lock(self.shard_for(user_key)); // LOCK-ORDER: mem.shard 80
             core.add(&self.cmp, seq, value_type, user_key, value)
         };
         self.entries.fetch_add(1, AtomicOrdering::AcqRel);
@@ -279,7 +279,7 @@ impl MemTable {
     /// Point lookup at the snapshot encoded in `lookup`. Locks exactly
     /// the shard owning the user key.
     pub fn get(&self, lookup: &LookupKey) -> MemGet {
-        let core = lock(self.shard_for(lookup.user_key()));
+        let core = lock(self.shard_for(lookup.user_key())); // LOCK-ORDER: mem.shard 80
         let idx = core.find_greater_or_equal(&self.cmp, lookup.internal_key());
         if idx == 0 {
             return MemGet::NotFound;
@@ -319,7 +319,7 @@ impl MemTable {
         let runs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = self
             .shards
             .iter()
-            .map(|s| lock(s).collect_from(&self.cmp, lk.internal_key(), end))
+            .map(|s| lock(s).collect_from(&self.cmp, lk.internal_key(), end)) // LOCK-ORDER: mem.shard 80
             .collect();
         merge_sorted_runs(&self.cmp, runs)
     }

@@ -328,7 +328,7 @@ impl CompactionEngine for PipelinedCompactionEngine {
             let mut smallest: Option<InternalKey> = None;
             let mut largest_buf: Vec<u8> = Vec::new();
             let mut encode = || -> Result<()> {
-                for batch in mrx.iter() {
+                for batch in &mrx {
                     let batch = batch?;
                     let mut pos = 0;
                     while pos < batch.len() {

@@ -259,10 +259,18 @@ fn scan_table(
 fn quarantine(env: &dyn sstable::env::StorageEnv, dir: &Path, path: &Path) -> Result<()> {
     let lost = dir.join("lost");
     env.create_dir_all(&lost)?;
+    // The lost/ directory entry must be durable before the file moves
+    // into it — a crash between the two could otherwise drop the moved
+    // file with its destination directory.
+    env.sync_dir(dir)?;
     let name = path
         .file_name()
         .ok_or_else(|| Error::Corruption(format!("no file name in {}", path.display())))?;
     env.rename(path, &lost.join(name))?;
+    // Publish the move itself: reopen-after-crash must not find the
+    // quarantined table back in the live directory.
+    env.sync_dir(dir)?;
+    env.sync_dir(&lost)?;
     Ok(())
 }
 

@@ -79,7 +79,7 @@ impl TableCache {
     /// Returns the open table for `file_number`, opening it on miss.
     pub fn get(&self, file_number: u64, file_size: u64) -> Result<Arc<Table>> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock(); // LOCK-ORDER: cache.tables 70
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(e) = inner.map.get_mut(&file_number) {
@@ -91,7 +91,7 @@ impl TableCache {
         let path = table_file_name(&self.dir, file_number);
         let file = self.options.env.open_random_access(&path)?;
         let table = Table::open(file, file_size, self.read_options.clone())?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // LOCK-ORDER: cache.tables 70
         inner.tick += 1;
         let tick = inner.tick;
         // Re-check under the reacquired lock: a racing open may have
@@ -139,9 +139,10 @@ impl TableCache {
     /// Drops the cached handle for a deleted file, along with its blocks
     /// in the shared block cache — even when the handle itself was
     /// already LRU-evicted.
+    // LOCK-HELD: db.state -- GC calls this from delete_obsolete_files_locked.
     pub fn evict(&self, file_number: u64) {
         let cache_id = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock(); // LOCK-ORDER: cache.tables 70
             let from_map = inner.map.remove(&file_number).map(|e| e.table.cache_id());
             inner.cache_ids.remove(&file_number).or(from_map)
         };
@@ -175,7 +176,7 @@ impl TableCache {
 
     /// Number of currently open tables.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().map.len() // LOCK-ORDER: cache.tables 70
     }
 
     /// True if no tables are open.

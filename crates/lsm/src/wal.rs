@@ -249,7 +249,6 @@ impl LogReader {
                 None => {
                     self.corruption_detected = true;
                     self.corruptions_skipped += 1;
-                    continue;
                 }
             }
         }

@@ -166,7 +166,7 @@ mod tests {
                     seq,
                 )),
                 BatchOp::Delete { key } => {
-                    out.push((String::from_utf8_lossy(key).into_owned(), None, seq))
+                    out.push((String::from_utf8_lossy(key).into_owned(), None, seq));
                 }
             })
             .unwrap();

@@ -119,8 +119,9 @@ impl ApplyLedger {
     /// and that `members` writers will apply. Must be called in sequence
     /// order (the DB calls it under the epoch lock). Returns the group
     /// id used by [`Self::finish_members`].
+    // LOCK-HELD: db.epoch -- registration order is the epoch lock's order.
     pub fn register(&self, end_seq: u64, members: usize) -> u64 {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock(&self.inner); // LOCK-ORDER: write.ledger 50
         debug_assert!(inner.groups.back().is_none_or(|g| g.end_seq <= end_seq));
         let id = inner.next_id;
         inner.next_id += 1;
@@ -137,7 +138,7 @@ impl ApplyLedger {
     /// visible sequence advances over the whole completed prefix and
     /// waiters are woken.
     pub fn finish_members(&self, id: u64, count: usize) {
-        let mut inner = lock(&self.inner);
+        let mut inner = lock(&self.inner); // LOCK-ORDER: write.ledger 50
         if let Some(g) = inner.groups.iter_mut().find(|g| g.id == id) {
             g.remaining = g.remaining.saturating_sub(count);
         }
@@ -162,7 +163,7 @@ impl ApplyLedger {
         if self.visible() >= seq {
             return;
         }
-        let mut inner = lock(&self.inner);
+        let mut inner = lock(&self.inner); // LOCK-ORDER: write.ledger 50
         while self.visible() < seq {
             // A group may still be unregistered (leader between reserve
             // and register is impossible — both happen under the epoch

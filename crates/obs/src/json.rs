@@ -203,7 +203,7 @@ impl<'a> Parser<'a> {
             map.insert(key, val);
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b'}') => return Ok(Value::Object(map)),
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
@@ -223,7 +223,7 @@ impl<'a> Parser<'a> {
             items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b']') => return Ok(Value::Array(items)),
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }

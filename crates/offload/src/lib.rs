@@ -269,7 +269,7 @@ impl OffloadService {
 
     /// Snapshot of the scheduler metrics.
     pub fn metrics(&self) -> OffloadMetrics {
-        self.state.lock().metrics.clone()
+        self.state.lock().metrics.clone() // LOCK-ORDER: offload.state 110
     }
 
     /// Rough device time for `req`: kernel at `V` bytes/cycle plus two
@@ -288,7 +288,7 @@ impl OffloadService {
     fn acquire_slot(&self, class: JobClass) -> Option<usize> {
         let enqueued = Instant::now();
         let deadline = enqueued + self.config.wait_budget;
-        let mut state = self.state.lock();
+        let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
         let id = state.next_waiter_id;
         state.next_waiter_id += 1;
         state.waiting.push(Waiter {
@@ -328,7 +328,7 @@ impl OffloadService {
     }
 
     fn release_slot(&self, slot: usize) {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
         state.fpga_in_flight -= 1;
         state.free_slots.push(slot);
         self.slot_free.notify_all();
@@ -350,7 +350,7 @@ impl OffloadService {
         let result = if input_bytes >= self.config.pipelined_cpu_threshold_bytes {
             // Large fallback job: overlap read/merge/encode across
             // threads. Byte-identical output to the plain CPU engine.
-            self.state.lock().metrics.cpu_pipelined_jobs += 1;
+            self.state.lock().metrics.cpu_pipelined_jobs += 1; // LOCK-ORDER: offload.state 110
             if let Some(o) = &self.obs {
                 o.cpu_pipelined_jobs.inc();
             }
@@ -359,7 +359,7 @@ impl OffloadService {
             CpuCompactionEngine.compact(req, out)
         };
         let busy = t0.elapsed();
-        self.state.lock().metrics.cpu_busy_time += busy;
+        self.state.lock().metrics.cpu_busy_time += busy; // LOCK-ORDER: offload.state 110
         if let Some(o) = &self.obs {
             o.cpu_busy_micros.record(busy.as_micros() as u64);
         }
@@ -375,7 +375,7 @@ impl OffloadService {
         // Software paths first (Fig. 6): too many inputs for the device,
         // or a job too large for the per-job device-time budget.
         if req.inputs.len() > self.device.n_inputs {
-            self.state.lock().metrics.cpu_fallback_oversized += 1;
+            self.state.lock().metrics.cpu_fallback_oversized += 1; // LOCK-ORDER: offload.state 110
             if let Some(o) = &self.obs {
                 o.cpu_fallback_oversized.inc();
             }
@@ -386,7 +386,7 @@ impl OffloadService {
             return self.run_cpu(req, out, job);
         }
         if self.estimated_device_time(req) > self.config.job_timeout {
-            self.state.lock().metrics.cpu_fallback_timeout += 1;
+            self.state.lock().metrics.cpu_fallback_timeout += 1; // LOCK-ORDER: offload.state 110
             if let Some(o) = &self.obs {
                 o.cpu_fallback_timeout.inc();
             }
@@ -399,7 +399,7 @@ impl OffloadService {
 
         let Some(slot) = self.acquire_slot(JobClass::from_level(req.level)) else {
             // Hybrid dispatch: the device is saturated, the host is idle.
-            self.state.lock().metrics.cpu_fallback_budget += 1;
+            self.state.lock().metrics.cpu_fallback_budget += 1; // LOCK-ORDER: offload.state 110
             if let Some(o) = &self.obs {
                 o.cpu_fallback_budget.inc();
             }
@@ -411,7 +411,7 @@ impl OffloadService {
         };
 
         {
-            let mut state = self.state.lock();
+            let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
             state.fpga_in_flight += 1;
             state.metrics.max_fpga_in_flight = state
                 .metrics
@@ -437,7 +437,7 @@ impl OffloadService {
             let t0 = Instant::now();
             let r = self.engines[slot].compact(req, out);
             let busy = t0.elapsed();
-            self.state.lock().metrics.fpga_busy_time += busy;
+            self.state.lock().metrics.fpga_busy_time += busy; // LOCK-ORDER: offload.state 110
             if let Some(o) = &self.obs {
                 o.engine_busy_micros.record(busy.as_micros() as u64);
                 if r.is_ok() {
@@ -453,7 +453,7 @@ impl OffloadService {
                     // error so the CPU retry installs a fresh set of
                     // outputs exactly once.
                     let discarded = outcome.outputs.len() as u64;
-                    self.state.lock().metrics.midjob_outputs_discarded += discarded;
+                    self.state.lock().metrics.midjob_outputs_discarded += discarded; // LOCK-ORDER: offload.state 110
                     if let Some(o) = &self.obs {
                         o.fault_outputs_discarded.add(discarded);
                     }
@@ -469,7 +469,7 @@ impl OffloadService {
 
         match result {
             Ok(outcome) => {
-                self.state.lock().metrics.fpga_jobs += 1;
+                self.state.lock().metrics.fpga_jobs += 1; // LOCK-ORDER: offload.state 110
                 if let Some(o) = &self.obs {
                     o.fpga_jobs.inc();
                 }
@@ -482,7 +482,7 @@ impl OffloadService {
                 // discarded above. Either way the whole job retries on
                 // the CPU without losing or duplicating keys.
                 let kind = injected.unwrap_or(DeviceFaultKind::Transient);
-                let mut state = self.state.lock();
+                let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
                 state.metrics.record_fault(kind);
                 state.metrics.cpu_retries_after_fault += 1;
                 drop(state);
@@ -519,7 +519,7 @@ impl CompactionEngine for OffloadService {
         out: &dyn OutputFileFactory,
     ) -> lsm::Result<CompactionOutcome> {
         let job = {
-            let mut state = self.state.lock();
+            let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
             state.metrics.jobs_submitted += 1;
             state.jobs_in_flight += 1;
             state.metrics.max_jobs_in_flight = state
@@ -533,12 +533,12 @@ impl CompactionEngine for OffloadService {
             state.metrics.jobs_submitted
         };
         let result = self.run_job(req, out, job);
-        self.state.lock().jobs_in_flight -= 1;
+        self.state.lock().jobs_in_flight -= 1; // LOCK-ORDER: offload.state 110
         result
     }
 
     fn write_pressure(&self) -> WritePressure {
-        let state = self.state.lock();
+        let state = self.state.lock(); // LOCK-ORDER: offload.state 110
         let queued = state.waiting.len();
         if queued >= self.config.stop_queue_depth {
             WritePressure::Stop

@@ -58,7 +58,7 @@ mod loom_facade {
     impl<T: ?Sized> Mutex<T> {
         /// Acquires the mutex, blocking until available.
         pub fn lock(&self) -> MutexGuard<'_, T> {
-            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner); // LOCK-ORDER-OK: generic shim method; callers annotate their own sites.
             MutexGuard { guard: Some(guard) }
         }
     }

@@ -49,26 +49,26 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => out.listen = value,
             "--root" => out.config.root = value.into(),
             "--shards" => {
-                out.config.shards = value.parse().map_err(|e| format!("--shards: {e}"))?
+                out.config.shards = value.parse().map_err(|e| format!("--shards: {e}"))?;
             }
             "--engines" => {
-                out.config.engine_slots = value.parse().map_err(|e| format!("--engines: {e}"))?
+                out.config.engine_slots = value.parse().map_err(|e| format!("--engines: {e}"))?;
             }
             "--write-buffer" => {
                 out.config.write_buffer_size =
-                    value.parse().map_err(|e| format!("--write-buffer: {e}"))?
+                    value.parse().map_err(|e| format!("--write-buffer: {e}"))?;
             }
             "--max-file" => {
-                out.config.max_file_size = value.parse().map_err(|e| format!("--max-file: {e}"))?
+                out.config.max_file_size = value.parse().map_err(|e| format!("--max-file: {e}"))?;
             }
             "--key-len" => {
-                out.config.key_len = value.parse().map_err(|e| format!("--key-len: {e}"))?
+                out.config.key_len = value.parse().map_err(|e| format!("--key-len: {e}"))?;
             }
             // Pre-split for a dense record-id workload: shard boundaries
             // split [0, N) instead of the full keyspace. Pass the same N
             // as load_gen's --records.
             "--records" => {
-                out.config.key_space = Some(value.parse().map_err(|e| format!("--records: {e}"))?)
+                out.config.key_space = Some(value.parse().map_err(|e| format!("--records: {e}"))?);
             }
             other => return Err(format!("unknown flag {other}")),
         }

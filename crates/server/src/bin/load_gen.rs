@@ -47,21 +47,21 @@ fn parse_args() -> Result<LoadConfig, String> {
             "--addr" => cfg.addr = value,
             "--workload" => {
                 cfg.workload = load::parse_workload(&value)
-                    .ok_or(format!("unknown workload {value} (load, a-f)"))?
+                    .ok_or(format!("unknown workload {value} (load, a-f)"))?;
             }
             "--connections" => {
-                cfg.connections = value.parse().map_err(|e| format!("--connections: {e}"))?
+                cfg.connections = value.parse().map_err(|e| format!("--connections: {e}"))?;
             }
             "--records" => cfg.records = value.parse().map_err(|e| format!("--records: {e}"))?,
             "--seconds" => {
-                cfg.seconds = Some(value.parse().map_err(|e| format!("--seconds: {e}"))?)
+                cfg.seconds = Some(value.parse().map_err(|e| format!("--seconds: {e}"))?);
             }
             "--ops" => {
                 cfg.ops_per_connection = Some(value.parse().map_err(|e| format!("--ops: {e}"))?);
                 cfg.seconds = None;
             }
             "--value-len" => {
-                cfg.value_len = value.parse().map_err(|e| format!("--value-len: {e}"))?
+                cfg.value_len = value.parse().map_err(|e| format!("--value-len: {e}"))?;
             }
             "--key-len" => cfg.key_len = value.parse().map_err(|e| format!("--key-len: {e}"))?,
             "--seed" => cfg.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,

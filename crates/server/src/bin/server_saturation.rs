@@ -57,13 +57,13 @@ fn parse_args() -> Result<Args, String> {
                 out.connections = value
                     .split(',')
                     .map(|s| s.trim().parse().map_err(|e| format!("--connections: {e}")))
-                    .collect::<Result<_, _>>()?
+                    .collect::<Result<_, _>>()?;
             }
             "--engines" => {
                 out.engines = value
                     .split(',')
                     .map(|s| s.trim().parse().map_err(|e| format!("--engines: {e}")))
-                    .collect::<Result<_, _>>()?
+                    .collect::<Result<_, _>>()?;
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -196,8 +196,7 @@ fn main() {
     }
     let unix_time = SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let rows: Vec<String> = points.iter().map(Point::json).collect();
     let snapshot = format!(
         "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"workload\": \"ycsb_a\", \

@@ -206,12 +206,9 @@ fn connection_worker(
     protocol_errors: &AtomicU64,
     stop: &AtomicBool,
 ) {
-    let mut client = match KvClient::connect(&cfg.addr) {
-        Ok(c) => c,
-        Err(_) => {
-            protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
+    let Ok(mut client) = KvClient::connect(&cfg.addr) else {
+        protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return;
     };
     let format = KeyFormat {
         key_len: cfg.key_len,

@@ -531,6 +531,8 @@ impl StorageEnv for FaultEnv {
         } else {
             None
         };
+        // DURABILITY-OK: fault-injection wrapper — tracking (and, on a
+        // simulated cut, losing) unsynced creates is exactly its job.
         let inner = self.shared.inner.create_writable(path)?;
         {
             let mut state = self.shared.state.lock();
@@ -605,6 +607,8 @@ impl StorageEnv for FaultEnv {
             .open_random_access(from)
             .and_then(|f| f.len())
             .unwrap_or(0);
+        // DURABILITY-OK: pass-through primitive — losing an unsynced
+        // rename at a simulated cut is the behavior under test.
         self.shared.inner.rename(from, to)?;
         let mut state = self.shared.state.lock();
         let from_synced = state.synced_len.remove(from).unwrap_or(from_len);

@@ -179,6 +179,9 @@ impl StorageEnv for StdEnv {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        // DURABILITY-OK: backend primitive — syncing the payload before
+        // the install point is the caller's contract; the dir sync below
+        // publishes the entry itself.
         fs::rename(from, to)?;
         // A rename is only durable once the containing directory is
         // synced; do it eagerly so CURRENT swaps survive power cuts even

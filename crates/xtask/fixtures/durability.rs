@@ -1,0 +1,39 @@
+// Lint fixture (not compiled): `durability-ordering` positive and
+// negative cases. tests/analyze_fire.rs asserts violations by line
+// number — keep the layout stable.
+
+fn bad_unsynced_rename(env: &E, a: &P, b: &P) {
+    env.rename(a, b); // expected violation (line 6)
+}
+
+fn good_sync_then_rename(env: &E, a: &P, b: &P) {
+    env.sync_dir(a);
+    env.rename(a, b); // fine: the payload sync precedes the install
+}
+
+fn bad_unsynced_create(env: &E, p: &P) {
+    let w = env.create_writable(p); // expected violation (line 15)
+    w.append(DATA);
+}
+
+fn good_synced_create(env: &E, p: &P) {
+    let w = env.create_writable(p); // fine: synced before the fn returns
+    w.append(DATA);
+    w.sync();
+}
+
+fn waived_rename(env: &E, a: &P, b: &P) {
+    // DURABILITY-OK: pass-through primitive; callers own the ordering.
+    env.rename(a, b);
+}
+
+fn waived_create(env: &E, p: &P) -> W {
+    env.create_writable(p) // DURABILITY-OK: the builder syncs at finish().
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(env: &super::E, a: &P, b: &P) {
+        env.rename(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+// Lint fixture (not compiled): `hold-across-await` positive and
+// negative cases. tests/analyze_fire.rs asserts violations by line
+// number — keep the layout stable.
+
+async fn bad_held_across(s: &S) {
+    let g = s.m.lock();
+    refresh(&g).await; // expected violation (line 7)
+    use_one(&g);
+}
+
+async fn bad_inline_temporary(s: &S) {
+    push(s.m.lock().val()).await; // expected violation (line 12)
+}
+
+async fn fine_dropped_before(s: &S) {
+    let g = s.m.lock();
+    drop(g);
+    refresh_nothing().await; // fine: guard dropped first
+}
+
+async fn fine_scoped_out(s: &S) {
+    {
+        let g = s.m.lock();
+        use_one(&g);
+    }
+    refresh_nothing().await; // fine: guard left scope
+}
+
+async fn waived_hold(s: &S) {
+    let g = s.m.lock();
+    // HOLD-OK: startup path, single task, the lock is uncontended.
+    refresh(&g).await;
+    use_one(&g);
+}
+
+#[cfg(test)]
+mod tests {
+    async fn tests_are_exempt(s: &super::S) {
+        let g = s.m.lock();
+        probe().await;
+        use_one(&g);
+    }
+}

@@ -1,0 +1,84 @@
+// Lint fixture (not compiled): `lock-order` positive and negative cases.
+// tests/analyze_fire.rs asserts violations by line number — keep the
+// layout stable.
+
+fn good_nesting(s: &S) {
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10
+    let b = s.b.lock(); // LOCK-ORDER: fix.b 20
+    use_both(&a, &b);
+}
+
+fn missing_annotation(s: &S) {
+    let g = s.a.lock(); // expected violation (line 12): unannotated
+    use_one(&g);
+}
+
+fn malformed_annotation(s: &S) {
+    let g = s.c.lock(); // LOCK-ORDER: fix.c ten -- expected violation (line 17)
+    use_one(&g);
+}
+
+fn inversion(s: &S) {
+    let d = s.d.lock(); // LOCK-ORDER: fix.d 40
+    let c = s.c2.lock(); // LOCK-ORDER: fix.c2 30 -- expected inversion (line 23)
+    use_both(&d, &c);
+}
+
+fn recursive(s: &S) {
+    let a1 = s.a.lock(); // LOCK-ORDER: fix.a 10
+    let a2 = s.a.lock(); // LOCK-ORDER: fix.a 10 -- expected recursion (line 29)
+    use_both(&a1, &a2);
+}
+
+fn conflicting_rank(s: &S) {
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 15 -- expected rank conflict (line 34)
+    use_one(&a);
+}
+
+fn waived(s: &S) {
+    let g = s.a.lock(); // LOCK-ORDER-OK: generic helper; the caller names the lock.
+    use_one(&g);
+}
+
+fn temporary_dies(s: &S) {
+    let n = s.b.lock().len(); // LOCK-ORDER: fix.b 20
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10 -- fine: the temporary died
+    use_one(&a, n);
+}
+
+fn drop_releases(s: &S) {
+    let b = s.b.lock(); // LOCK-ORDER: fix.b 20
+    drop(b);
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10 -- fine: b was dropped
+    use_one(&a);
+}
+
+fn scope_releases(s: &S) {
+    {
+        let b = s.b.lock(); // LOCK-ORDER: fix.b 20
+        use_one(&b);
+    }
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10 -- fine: b left scope
+    use_one(&a);
+}
+
+// LOCK-HELD: fix.d via d_guard -- the caller passes its d guard down.
+fn held_inversion(s: &S, d_guard: Guard) {
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10 -- expected inversion (line 67)
+    use_both(&a, &d_guard);
+}
+
+// LOCK-HELD: fix.d via d2 -- dropped before the lower-ranked lock.
+fn held_drop_releases(s: &S, d2: Guard) {
+    drop(d2);
+    let a = s.a.lock(); // LOCK-ORDER: fix.a 10 -- fine: the held guard was dropped
+    use_one(&a);
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(s: &super::S) {
+        let g = s.a.lock(); // unannotated, but tests are exempt
+        use_one(&g);
+    }
+}

@@ -1,0 +1,16 @@
+// Lint fixture (not compiled): `lock-order` cycle detection. Two
+// functions acquire the same pair in opposite orders — the classic
+// AB/BA deadlock — so the graph check reports both the rank inversion
+// and the acquisition cycle. tests/analyze_fire.rs asserts both.
+
+fn ab(s: &S) {
+    let a = s.a.lock(); // LOCK-ORDER: cyc.a 10
+    let b = s.b.lock(); // LOCK-ORDER: cyc.b 20
+    use_both(&a, &b);
+}
+
+fn ba(s: &S) {
+    let b = s.b.lock(); // LOCK-ORDER: cyc.b 20
+    let a = s.a.lock(); // LOCK-ORDER: cyc.a 10 -- expected inversion + cycle (line 14)
+    use_both(&b, &a);
+}

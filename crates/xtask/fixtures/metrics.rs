@@ -1,0 +1,19 @@
+// Lint fixture (not compiled): `metrics-drift` registration cases.
+// tests/analyze_fire.rs diffs these against fixtures/METRICS.md.
+
+fn register(reg: &Registry, shard: usize) {
+    let a = reg.counter("lsm.fixture.documented"); // fine: inventoried
+    let b = reg.gauge("lsm.fixture.undocumented"); // expected violation (line 6)
+    let c = reg.histogram(&format!("offload.shard{shard}.fixture")); // fine: normalized
+    let d = reg.counter("lsm.fixture.wrong-kind"); // expected violation (inventory line 9)
+    let e = reg.counter("sim.fixture.untracked"); // fine: prefix not inventoried
+    use_all(a, b, c, d, e);
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(reg: &super::Registry) {
+        let t = reg.counter("lsm.fixture.test-only"); // exempt
+        use_one(t);
+    }
+}

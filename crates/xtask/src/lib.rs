@@ -24,9 +24,17 @@
 //! code). That trade keeps xtask dependency-free; the fixture tests in
 //! `tests/` pin the behavior that matters, and `rustfmt`-normalized
 //! source stays well inside what the scanner handles.
+//!
+//! The scope-aware pass (`cargo xtask analyze`: lock-order,
+//! hold-across-await, durability-ordering, metrics-drift) builds on the
+//! same line scanner — see `src/analyze.rs`'s module docs for the
+//! tracker model and annotation grammar.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+mod analyze;
+pub use analyze::*;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

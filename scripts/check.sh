@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Repo invariant lints: SAFETY comments, paper-table constants,
 # wall-clock bans in model code, no-panics in libraries.
 cargo xtask lint
+# Scope-aware concurrency/durability lints: lock-order ranks,
+# hold-across-await, sync-before-rename, metrics-drift.
+cargo xtask analyze
 cargo build --release
 cargo test -q
 
@@ -86,6 +89,21 @@ if cargo +nightly miri --version >/dev/null 2>&1; then
     MIRIFLAGS=-Zmiri-disable-isolation cargo +nightly miri test -p fcae --lib
 else
     echo "skip: miri not installed"
+fi
+# ASan/LSan over the unsafe-adjacent data-plane crates (mirrors CI's
+# asan job). Needs nightly with rust-src on a linux-gnu host.
+HOST_TRIPLE=$(rustc -vV | sed -n 's/^host: //p')
+if [[ "$HOST_TRIPLE" == *-linux-gnu ]] \
+    && cargo +nightly --version >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q "^rust-src.*(installed)"; then
+    for asan_crate in sstable snap-codec fcae; do
+        RUSTFLAGS=-Zsanitizer=address ASAN_OPTIONS=detect_leaks=1 \
+            cargo +nightly test -q -p "$asan_crate" --lib \
+            -Zbuild-std --target "$HOST_TRIPLE"
+    done
+else
+    echo "skip: ASan needs nightly + rust-src on a linux-gnu host"
 fi
 
 # Extended checks.

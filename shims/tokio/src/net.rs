@@ -66,11 +66,8 @@ impl TcpStream {
     /// Splits into independently-owned read and write halves (via
     /// `try_clone`; both halves reference the same socket).
     pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
-        let write = self
-            .inner
-            .try_clone()
-            .map(|s| OwnedWriteHalf { inner: s })
-            .unwrap_or_else(|_| OwnedWriteHalf {
+        let write = self.inner.try_clone().map_or_else(
+            |_| OwnedWriteHalf {
                 // Cloning an open socket fd only fails under fd
                 // exhaustion; degrade to a shut-down duplicate so the
                 // caller sees I/O errors rather than a panic.
@@ -82,7 +79,9 @@ impl TcpStream {
                         panic!("socket clone failed twice: {e}")
                     })
                 },
-            });
+            },
+            |s| OwnedWriteHalf { inner: s },
+        );
         (OwnedReadHalf { inner: self.inner }, write)
     }
 
