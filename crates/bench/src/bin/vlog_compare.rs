@@ -1,0 +1,177 @@
+//! `vlog_compare` — the key-value-separation acceptance benchmark.
+//!
+//! Runs the same db_bench-style fillrandom workload (1 KiB values, the
+//! regime separation targets) twice against the real store on the local
+//! filesystem: once inline, once with values routed to the value log.
+//! Reports fill throughput, compaction bytes moved, and point-read cost
+//! (the pointer-dereference penalty), and appends one labelled JSON
+//! snapshot to a trajectory file (default `BENCH_PR9.json`):
+//!
+//! ```sh
+//! cargo run --release -p bench --bin vlog_compare -- \
+//!     --label pr9-after --out BENCH_PR9.json
+//! ```
+//!
+//! The separation claim, as numbers: `compaction_bytes_moved` shrinks by
+//! roughly `value_len / pointer_len` while `fill_mb_per_s` rises, because
+//! flushes and compactions move 21-byte pointers instead of 1 KiB values.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::append_snapshot;
+use lsm::compaction::CpuCompactionEngine;
+use lsm::{Db, Options};
+use workloads::{KeyFormat, ValueGenerator};
+
+struct Config {
+    label: String,
+    out: String,
+    num: u64,
+    value_len: usize,
+    reads: u64,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        label: "snapshot".into(),
+        out: "BENCH_PR9.json".into(),
+        num: 30_000,
+        value_len: 1024,
+        reads: 2_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, value) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), v.to_string()),
+            None => {
+                let f = args[i].clone();
+                i += 1;
+                let v = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("missing value for {f}"))?;
+                (f, v)
+            }
+        };
+        match flag.as_str() {
+            "--label" => cfg.label = value,
+            "--out" => cfg.out = value,
+            "--num" => cfg.num = value.parse().map_err(|e| format!("--num: {e}"))?,
+            "--value-len" => {
+                cfg.value_len = value.parse().map_err(|e| format!("--value-len: {e}"))?;
+            }
+            "--reads" => cfg.reads = value.parse().map_err(|e| format!("--reads: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+/// One arm (inline or separated) of the comparison.
+fn run_arm(cfg: &Config, separation: Option<usize>) -> String {
+    let tag = if separation.is_some() { "vlog" } else { "inline" };
+    let dir = std::env::temp_dir().join(format!("vlog-compare-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Small write buffer / files so the fill actually flushes and
+    // compacts — the comparison is about compaction volume.
+    let options = Options {
+        slowdown_sleep: false,
+        write_buffer_size: 512 << 10,
+        max_file_size: 256 << 10,
+        value_log_threshold_bytes: separation,
+        ..Default::default()
+    };
+    let db = Db::open_with_engine(&dir, options, Arc::new(CpuCompactionEngine)).expect("open db");
+
+    let kf = KeyFormat { key_len: 16 };
+    let mut values = ValueGenerator::new(301, 0.5);
+    let mut rng = simkit::SplitMix64::new(1234);
+    let workload = workloads::DbBenchWorkload::FillRandom;
+
+    let t0 = Instant::now();
+    for op in 0..cfg.num {
+        let k = workload.key_number(op, cfg.num, &mut rng);
+        db.put(&kf.format(k), values.generate(cfg.value_len))
+            .expect("put");
+    }
+    db.flush().expect("flush");
+    let fill = t0.elapsed().as_secs_f64();
+    let tq = Instant::now();
+    db.wait_for_background_quiescence();
+    let quiesce = tq.elapsed().as_secs_f64();
+
+    // Point reads over the settled tree: the separated arm pays one
+    // extra log read per get, which this measures instead of hiding.
+    let mut read_rng = simkit::SplitMix64::new(5678);
+    let tr = Instant::now();
+    let mut found = 0u64;
+    for op in 0..cfg.reads {
+        let k = workload.key_number(op.wrapping_mul(7919) % cfg.num, cfg.num, &mut read_rng);
+        if db.get(&kf.format(k)).expect("get").is_some() {
+            found += 1;
+        }
+    }
+    let read = tr.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    drop(db);
+    // VLOG_COMPARE_KEEP=1 leaves the stores behind so `lsm-dbtool
+    // stats|verify` can be pointed at a real separated database.
+    if std::env::var_os("VLOG_COMPARE_KEEP").is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        eprintln!("  kept db dir: {}", dir.display());
+    }
+
+    let fill_micros_per_op = fill * 1e6 / cfg.num as f64;
+    let fill_mb_s = cfg.num as f64 * (16.0 + cfg.value_len as f64) / fill / 1e6;
+    let read_micros_per_op = read * 1e6 / cfg.reads.max(1) as f64;
+    let moved = stats.compaction_bytes_read + stats.compaction_bytes_written;
+    format!(
+        "{{\"num\": {}, \"fill_micros_per_op\": {fill_micros_per_op:.3}, \
+         \"fill_mb_per_s\": {fill_mb_s:.2}, \"quiesce_ms\": {:.1}, \
+         \"read_micros_per_op\": {read_micros_per_op:.3}, \"reads_found\": {found}, \
+         \"compaction_bytes_moved\": {moved}, \"flushes\": {}, \"compactions\": {}}}",
+        cfg.num,
+        quiesce * 1e3,
+        stats.flushes,
+        stats.engine_compactions + stats.sw_fallback_compactions,
+    )
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "vlog compare: fillrandom {} ops x {} B values, {} reads",
+        cfg.num, cfg.value_len, cfg.reads
+    );
+    let inline = run_arm(&cfg, None);
+    eprintln!("  inline:    {inline}");
+    let separated = run_arm(&cfg, Some(512));
+    eprintln!("  separated: {separated}");
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let snapshot = format!(
+        "  {{\"label\": \"{}\", \"unix_time\": {unix_time}, \"spec\": {{\"num\": {}, \
+         \"value_len\": {}, \"threshold\": 512, \"reads\": {}}}, \"inline\": {inline}, \
+         \"separated\": {separated}}}",
+        cfg.label, cfg.num, cfg.value_len, cfg.reads
+    );
+    if let Err(e) = append_snapshot(&cfg.out, &snapshot) {
+        eprintln!("error writing {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    println!("appended snapshot '{}' to {}", cfg.label, cfg.out);
+}

@@ -133,6 +133,13 @@ pub trait CompactionEngine: Send + Sync {
     fn write_pressure(&self) -> WritePressure {
         WritePressure::None
     }
+    /// Runs a maintenance job (value-log GC) through the engine's
+    /// scheduler so it contends with compactions for engine slots.
+    /// Plain engines run it inline; scheduling services override this to
+    /// queue it at maintenance priority.
+    fn run_maintenance(&self, job: &mut dyn FnMut()) {
+        job()
+    }
 }
 
 /// Iterates a run of internally-sorted, disjoint tables back to back.

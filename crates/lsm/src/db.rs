@@ -42,7 +42,8 @@ use crate::options::{
 };
 use crate::sync_shim::{self, lock as shim_lock};
 use crate::table_cache::TableCache;
-use crate::version::{FileMetaData, VersionEdit, VersionSet};
+use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
+use crate::vlog::{self, VlogRuntime};
 use crate::wal::{LogReader, LogWriter};
 use crate::write_batch::{BatchOp, WriteBatch};
 use crate::write_path::{ApplyLedger, SeqReserver};
@@ -103,6 +104,51 @@ pub struct DbStats {
     pub backpressure_stalls: u64,
     /// Per-level compaction traffic, indexed by the input level.
     pub per_level: [LevelCompactionStats; NUM_LEVELS],
+}
+
+/// Per-pair accounting overhead used by [`Db::scan_with`]'s byte budget
+/// (covers the length prefixes and framing a serving layer adds around
+/// each key/value).
+pub const SCAN_PAIR_OVERHEAD: usize = 16;
+
+/// Result of a budgeted range scan.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Collected pairs, in key order.
+    pub pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    /// `true` when the requested range was exhausted; `false` when the
+    /// scan stopped early at the pair limit or the byte budget.
+    pub complete: bool,
+}
+
+/// What one [`Db::collect_value_log`] pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VlogGcReport {
+    /// Sealed segments examined.
+    pub segments_scanned: u64,
+    /// Segments whose live values were rewritten and whose file was
+    /// removed.
+    pub segments_retired: u64,
+    /// Segments kept because a snapshot could still reach them.
+    pub segments_deferred: u64,
+    /// Live values copied to the active segment.
+    pub values_rewritten: u64,
+    /// Value bytes copied.
+    pub bytes_rewritten: u64,
+    /// Dead bytes still on disk in deferred segments (the
+    /// `lsm.vlog.dead-bytes` gauge).
+    pub dead_bytes_remaining: u64,
+}
+
+/// Outcome of collecting one sealed segment.
+enum SegmentGc {
+    Retired {
+        live_rewritten: u64,
+        bytes_rewritten: u64,
+    },
+    Deferred {
+        dead_bytes: u64,
+    },
 }
 
 struct DbState {
@@ -218,6 +264,10 @@ struct DbInner {
     /// Signaled to wake the background thread.
     bg_work: Condvar,
     table_cache: TableCache,
+    /// Key-value separation runtime; `None` when
+    /// [`Options::value_log_threshold_bytes`] is unset (values stay in
+    /// the tree, legacy encoding).
+    vlog: Option<Arc<VlogRuntime>>,
     shutting_down: AtomicBool,
 }
 
@@ -388,6 +438,41 @@ impl Db {
         let mut versions = VersionSet::new(dir.clone(), options.clone());
         let existed = versions.recover()?;
 
+        let obs = options.obs.clone().unwrap_or_else(obs::Obs::wall);
+
+        // Key-value separation: recover the value-log segments before WAL
+        // replay so pointer validation below runs against truncated (i.e.
+        // durable-prefix-only) segments. The MANIFEST does not track
+        // segment numbers, so bump the file-number counter past every
+        // segment on disk before allocating the new active one — a reused
+        // number would let `create_writable` truncate a live segment.
+        // A store that *has* segments must recover them even when the
+        // option is off — otherwise gets would hand back tagged stored
+        // bytes (raw pointers!) instead of values. `usize::MAX` makes
+        // the runtime resolve-only: no new value ever clears the
+        // threshold, so writes go inline while old pointers still read.
+        let segments_on_disk = vlog::list_segments(options.env.as_ref(), &dir)?;
+        let effective_threshold = match options.value_log_threshold_bytes {
+            Some(t) => Some(t),
+            None if !segments_on_disk.is_empty() => Some(usize::MAX),
+            None => None,
+        };
+        let vlog_rt = if let Some(threshold) = effective_threshold {
+            let max_seg = segments_on_disk.into_iter().max().unwrap_or(0);
+            versions.bump_file_number(max_seg + 1);
+            let active = versions.new_file_number();
+            Some(Arc::new(VlogRuntime::recover(
+                Arc::clone(&options.env),
+                &dir,
+                threshold,
+                options.value_log_segment_bytes.max(1),
+                active,
+                &obs.registry,
+            )?))
+        } else {
+            None
+        };
+
         // Replay WALs newer than the recovered log number.
         let mut max_sequence = versions.last_sequence;
         let mut mem =
@@ -403,12 +488,69 @@ impl Db {
                 })
                 .collect();
             log_numbers.sort_unstable();
+            // Pointers into missing/corrupt vlog records, judged only
+            // after the full replay: GC removes a segment strictly after
+            // WAL-syncing rewrites of its live values, so the WAL is
+            // *expected* to hold stale pointers into removed segments —
+            // each shadowed by a newer record later in the log. Only a
+            // dangling pointer that survives as the visible version of
+            // its key means acknowledged data is gone.
+            let mut dangling: Vec<(Vec<u8>, Vec<u8>, String)> = Vec::new();
             for number in log_numbers {
                 let path = log_file_name(&dir, number);
                 let file = options.env.open_random_access(&path)?;
                 let mut reader = LogReader::new(file.as_ref())?;
                 while let Some(record) = reader.read_record() {
                     let batch = WriteBatch::from_data(&record)?;
+                    if let Some(v) = &vlog_rt {
+                        // A pointer past the durable end of a segment can
+                        // only belong to an unacknowledged write (an acked
+                        // sync persists the vlog *before* the WAL), so the
+                        // batch is dropped — like a torn WAL tail. Replay
+                        // continues: anything after it in the same WAL is
+                        // equally unsynced (a later sync would have made
+                        // this batch durable too) and keeping those acked
+                        // survivors is legal, while *later* WALs may hold
+                        // synced acknowledgements that must not be lost.
+                        // Missing/corrupt records are queued for the
+                        // post-replay visibility check.
+                        let mut torn = false;
+                        let mut bad: Option<Error> = None;
+                        batch.iterate(|op, _| {
+                            if torn || bad.is_some() {
+                                return;
+                            }
+                            if let BatchOp::Put { key, value } = op {
+                                match vlog::decode_stored(value) {
+                                    Ok(vlog::Stored::Pointer(ptr)) => match v.check_pointer(ptr) {
+                                        vlog::PointerCheck::Ok => {}
+                                        vlog::PointerCheck::TornTail => torn = true,
+                                        vlog::PointerCheck::MissingSegment
+                                        | vlog::PointerCheck::Corrupt => {
+                                            dangling.push((
+                                                key.to_vec(),
+                                                value.to_vec(),
+                                                format!(
+                                                    "WAL {number:06} references lost vlog \
+                                                     record {}:{} (key {:?})",
+                                                    ptr.segment, ptr.offset,
+                                                    String::from_utf8_lossy(key)
+                                                ),
+                                            ));
+                                        }
+                                    },
+                                    Ok(vlog::Stored::Inline(_)) => {}
+                                    Err(e) => bad = Some(e),
+                                }
+                            }
+                        })?;
+                        if let Some(e) = bad {
+                            return Err(e);
+                        }
+                        if torn {
+                            continue;
+                        }
+                    }
                     let base = batch.sequence();
                     batch.iterate(|op, seq| match op {
                         BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
@@ -426,6 +568,17 @@ impl Db {
                     return Err(Error::Corruption(format!(
                         "WAL {number:06} contains corrupt records"
                     )));
+                }
+            }
+            // Judge the dangling pointers now that every shadowing record
+            // has been replayed: fatal only if still the visible version.
+            for (key, stored, why) in dangling {
+                let visible = match mem.get(&LookupKey::new(&key, max_sequence)) {
+                    MemGet::Value(newest) => newest == stored,
+                    MemGet::Deleted | MemGet::NotFound => false,
+                };
+                if visible {
+                    return Err(Error::Corruption(why));
                 }
             }
         }
@@ -476,9 +629,13 @@ impl Db {
                 },
             ));
         }
+        // Stage the first rotation's segment number while the version set
+        // is still exclusively ours; writers replenish it afterwards.
+        if let Some(v) = &vlog_rt {
+            v.stage_segment(versions.new_file_number());
+        }
         versions.log_and_apply(edit)?;
 
-        let obs = options.obs.clone().unwrap_or_else(obs::Obs::wall);
         let metrics = DbMetrics::new(&obs.registry);
         let table_cache =
             TableCache::new(dir.clone(), options.clone(), 1000).with_trace(Arc::clone(&obs.trace));
@@ -516,6 +673,7 @@ impl Db {
             work_done: Condvar::new(),
             bg_work: Condvar::new(),
             table_cache,
+            vlog: vlog_rt,
             shutting_down: AtomicBool::new(false),
         });
 
@@ -572,6 +730,29 @@ impl Db {
     fn write_inner(&self, batch: WriteBatch, opts: WriteOptions) -> Result<()> {
         let inner = &self.inner;
         inner.ensure_room()?;
+        // Key-value separation happens before the commit queue: large
+        // values go to the value log now (so one vlog sync by the group
+        // leader covers every member) and the batch that is WAL-appended
+        // and applied carries pointers/tagged inline values only.
+        // `_append_pin` guards the appended values' segments against GC
+        // until this write's commit is visible (it drops when this
+        // function returns, which is after the visibility wait): an
+        // uncommitted append is invisible to GC's liveness check, so an
+        // unpinned segment could be retired out from under the write.
+        let (batch, _append_pin) = match &inner.vlog {
+            Some(v) => {
+                let (rewritten, pin) = v.separate_batch(&batch)?;
+                if v.needs_stage() {
+                    // A rotation consumed the staged segment number;
+                    // allocate the next one outside the vlog writer lock
+                    // (the state lock ranks below it).
+                    let n = inner.state.lock().versions.new_file_number(); // LOCK-ORDER: db.state 10
+                    v.stage_segment(n);
+                }
+                (rewritten, pin)
+            }
+            None => (batch, None),
+        };
         let sync = opts.sync || inner.options.sync_writes;
         let waiter = Arc::new(WriteWaiter::new(batch, sync, inner.obs.now_micros()));
         {
@@ -624,43 +805,28 @@ impl Db {
         // every reserved write has been applied — so a concurrent group
         // commit can never expose a batch prefix or a sequence gap.
         let seq = opts.snapshot.unwrap_or_else(|| inner.ledger.visible());
-        let lookup = LookupKey::new(key, seq);
-        let (mem, imm, version) = {
-            let state = inner.state.lock(); // LOCK-ORDER: db.state 10
-            (
-                Arc::clone(&state.mem),
-                state.imm.clone(),
-                state.versions.current(),
-            )
+        let Some(stored) = inner.get_stored(key, seq)? else {
+            return Ok(None);
         };
-        match mem.get(&lookup) {
-            MemGet::Value(v) => return Ok(Some(v)),
-            MemGet::Deleted => return Ok(None),
-            MemGet::NotFound => {}
-        }
-        if let Some(imm_ref) = &imm {
-            match imm_ref.get(&lookup) {
-                MemGet::Value(v) => return Ok(Some(v)),
-                MemGet::Deleted => return Ok(None),
-                MemGet::NotFound => {}
-            }
-        }
-
-        let icmp = InternalKeyComparator::default();
-        for (_, meta) in version.files_for_get(&icmp, key) {
-            let table = inner.table_cache.get(meta.number, meta.file_size)?;
-            if let Some((found_key, value)) = table.get(lookup.internal_key())? {
-                if let Some(parsed) = parse_internal_key(&found_key) {
-                    if parsed.user_key == key {
-                        return match parsed.value_type {
-                            ValueType::Value => Ok(Some(value)),
-                            ValueType::Deletion => Ok(None),
-                        };
-                    }
+        let Some(v) = &inner.vlog else {
+            return Ok(Some(stored));
+        };
+        match v.resolve(&stored) {
+            Ok(value) => Ok(Some(value)),
+            // A GC pass may retire a segment between the lookup above and
+            // this dereference. The rewrite that replaced the pointer is
+            // already visible (GC installs it before the segment goes
+            // away), so one retry at a fresh sequence reads through the
+            // new copy. Snapshot reads never race this way: GC defers
+            // segment removal while any snapshot is registered.
+            Err(Error::Corruption(_)) if opts.snapshot.is_none() => {
+                match inner.get_stored(key, inner.ledger.visible())? {
+                    Some(stored) => v.resolve(&stored).map(Some),
+                    None => Ok(None),
                 }
             }
+            Err(e) => Err(e),
         }
-        Ok(None)
     }
 
     /// Point lookup at the latest sequence.
@@ -722,7 +888,11 @@ impl Db {
                 .collect();
             children.push(Box::new(crate::compaction::ChainIterator::new(tables?)));
         }
-        Ok(crate::db_iter::DbIter::new(children, seq))
+        Ok(crate::db_iter::DbIter::new(
+            children,
+            seq,
+            self.inner.vlog.clone(),
+        ))
     }
 
     /// Streaming iterator at the latest sequence.
@@ -739,20 +909,95 @@ impl Db {
         end: Option<&[u8]>,
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut it = self.iter()?;
+        Ok(self
+            .scan_with(ReadOptions::default(), start, end, limit, usize::MAX)?
+            .pairs)
+    }
+
+    /// Range scan with an additional byte budget: collection stops before
+    /// a pair would push the accumulated cost (key + value +
+    /// [`SCAN_PAIR_OVERHEAD`] each) past `byte_budget`, and
+    /// [`ScanOutcome::complete`] reports whether the range was exhausted.
+    /// Serving layers use the budget to keep one scan reply under their
+    /// frame cap. A first pair larger than the whole budget yields an
+    /// empty, incomplete outcome — the caller must fall back to a point
+    /// read for that key.
+    pub fn scan_with(
+        &self,
+        opts: ReadOptions,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        byte_budget: usize,
+    ) -> Result<ScanOutcome> {
+        let mut it = self.iter_with(opts)?;
         it.seek(start);
-        let mut out = Vec::new();
-        while it.valid() && out.len() < limit {
+        let mut pairs = Vec::new();
+        let mut used = 0usize;
+        let mut complete = true;
+        while it.valid() {
             if let Some(end) = end {
                 if it.key() >= end {
                     break;
                 }
             }
-            out.push((it.key().to_vec(), it.value().to_vec()));
+            if pairs.len() >= limit {
+                complete = false;
+                break;
+            }
+            let cost = it.key().len() + it.value().len() + SCAN_PAIR_OVERHEAD;
+            if used.saturating_add(cost) > byte_budget {
+                complete = false;
+                break;
+            }
+            used += cost;
+            pairs.push((it.key().to_vec(), it.value().to_vec()));
             it.next();
         }
         it.status()?;
-        Ok(out)
+        Ok(ScanOutcome { pairs, complete })
+    }
+
+    /// Garbage-collects sealed value-log segments: live values are
+    /// rewritten to the active segment (through the configured engine's
+    /// maintenance slot, so GC contends with compactions for engine
+    /// time), dead segments are removed. No-op when separation is off.
+    ///
+    /// Removal is deferred while any snapshot is registered — a snapshot
+    /// reader may still hold pointers into the old segment. Open
+    /// [`crate::db_iter::DbIter`]s do *not* pin segments; do not run GC
+    /// while holding an iterator across it.
+    pub fn collect_value_log(&self) -> Result<VlogGcReport> {
+        let inner = &self.inner;
+        let Some(v) = &inner.vlog else {
+            return Ok(VlogGcReport::default());
+        };
+        let mut report = VlogGcReport::default();
+        let mut remaining_dead = 0u64;
+        for segment in v.sealed_segments()? {
+            let mut outcome: Result<SegmentGc> = Ok(SegmentGc::Deferred { dead_bytes: 0 });
+            inner
+                .engine
+                .run_maintenance(&mut || outcome = inner.gc_segment(v, segment));
+            report.segments_scanned += 1;
+            match outcome? {
+                SegmentGc::Retired {
+                    live_rewritten,
+                    bytes_rewritten,
+                } => {
+                    report.segments_retired += 1;
+                    report.values_rewritten += live_rewritten;
+                    report.bytes_rewritten += bytes_rewritten;
+                }
+                SegmentGc::Deferred { dead_bytes } => {
+                    report.segments_deferred += 1;
+                    remaining_dead += dead_bytes;
+                }
+            }
+        }
+        v.publish_gc_gauges(remaining_dead);
+        report.dead_bytes_remaining = remaining_dead;
+        Ok(report)
     }
 
     /// Forces the current memtable out and waits until it is flushed.
@@ -995,6 +1240,210 @@ impl DbInner {
         Ok(())
     }
 
+    /// Raw stored bytes for `key` at `seq` — the tagged encoding when
+    /// separation is on, the plain value otherwise. `None` covers both
+    /// absent and deleted.
+    fn get_stored(&self, key: &[u8], seq: u64) -> Result<Option<Vec<u8>>> {
+        let (mem, imm, version) = {
+            let state = self.state.lock(); // LOCK-ORDER: db.state 10
+            (
+                Arc::clone(&state.mem),
+                state.imm.clone(),
+                state.versions.current(),
+            )
+        };
+        self.get_stored_in(key, seq, &mem, imm.as_ref(), &version)
+    }
+
+    /// Lookup against an explicit memtable/version capture. The value-log
+    /// GC calls this while holding the state and epoch locks; the only
+    /// lock taken inside is the table cache's, which ranks above both.
+    fn get_stored_in(
+        &self,
+        key: &[u8],
+        seq: u64,
+        mem: &MemTable,
+        imm: Option<&Arc<MemTable>>,
+        version: &Version,
+    ) -> Result<Option<Vec<u8>>> {
+        let lookup = LookupKey::new(key, seq);
+        match mem.get(&lookup) {
+            MemGet::Value(v) => return Ok(Some(v)),
+            MemGet::Deleted => return Ok(None),
+            MemGet::NotFound => {}
+        }
+        if let Some(imm_ref) = imm {
+            match imm_ref.get(&lookup) {
+                MemGet::Value(v) => return Ok(Some(v)),
+                MemGet::Deleted => return Ok(None),
+                MemGet::NotFound => {}
+            }
+        }
+
+        let icmp = InternalKeyComparator::default();
+        for (_, meta) in version.files_for_get(&icmp, key) {
+            let table = self.table_cache.get(meta.number, meta.file_size)?;
+            if let Some((found_key, value)) = table.get(lookup.internal_key())? {
+                if let Some(parsed) = parse_internal_key(&found_key) {
+                    if parsed.user_key == key {
+                        return match parsed.value_type {
+                            ValueType::Value => Ok(Some(value)),
+                            ValueType::Deletion => Ok(None),
+                        };
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Collects one sealed value-log segment: rewrites the live records
+    /// into the active segment, then removes the file once the copies are
+    /// durable. Runs outside all DB locks except for the per-record
+    /// install and the final retirement.
+    fn gc_segment(&self, v: &Arc<VlogRuntime>, segment: u64) -> Result<SegmentGc> {
+        // Cheap early defer: a registered snapshot may read old pointers
+        // into this segment, so it cannot be removed yet. (Rewriting live
+        // values would be safe but wasted if the next pass defers again.)
+        // LOCK-ORDER: db.state 10
+        if !self.state.lock().snapshots.is_empty() {
+            return Ok(SegmentGc::Deferred { dead_bytes: 0 });
+        }
+        // A pinned segment holds records appended by a write whose WAL
+        // commit is not yet visible. The liveness check below cannot see
+        // such a record (its batch is not applied yet), so it would be
+        // judged dead and the segment removed — and the write would then
+        // commit an acknowledged pointer to a deleted file. Sealed
+        // segments take no new appends, so the pin is guaranteed to
+        // drain; defer until it does.
+        if v.is_pinned(segment) {
+            return Ok(SegmentGc::Deferred { dead_bytes: 0 });
+        }
+        // Pin-drained means every record's installing sequence has been
+        // *reserved*; waiting for the reservation watermark makes them
+        // *visible*, so the liveness pre-filter below cannot misjudge a
+        // just-installed record whose group is still finishing.
+        self.ledger.wait_visible(self.reserver.last_reserved());
+
+        let (records, _seg_len) = v.read_segment(segment)?;
+        let mut live_rewritten = 0u64;
+        let mut bytes_rewritten = 0u64;
+        let mut dead_bytes = 0u64;
+        for rec in records {
+            let old_stored = rec.ptr.encode();
+            // Lock-free pre-filter: most records in an old segment are
+            // dead (overwritten, deleted, or already rewritten); skip
+            // them without touching the write path.
+            if self.get_stored(&rec.key, self.ledger.visible())?.as_deref()
+                != Some(old_stored.as_slice())
+            {
+                dead_bytes += rec.encoded_len();
+                continue;
+            }
+            // Copy first, install second: if the install loses a race
+            // with a concurrent writer the new copy is orphaned garbage
+            // in the active segment — collected when *that* segment gets
+            // GC'd — and nothing ever pointed at it.
+            // The pin covers the rewrite from its append until the
+            // install below is decided and visible (a losing install
+            // leaves the copy as unreferenced garbage — unpinning it is
+            // then harmless).
+            let (new_ptr, _rewrite_pin) = v.append_for_gc(&rec.key, &rec.value)?;
+            if v.needs_stage() {
+                let n = self.state.lock().versions.new_file_number(); // LOCK-ORDER: db.state 10
+                v.stage_segment(n);
+            }
+            if self.gc_install_if_current(&rec.key, &old_stored, new_ptr.encode())? {
+                live_rewritten += 1;
+                bytes_rewritten += rec.value.len() as u64;
+            } else {
+                dead_bytes += rec.encoded_len();
+            }
+        }
+
+        // Every record judged dead (and every rewrite discarded by a
+        // losing install race) was shadowed by some newer record — which
+        // may still sit *unsynced* in the WAL. Removing the segment
+        // before that shadow is durable would let a power cut drop the
+        // shadow and leave a synced, acknowledged pointer dangling. So
+        // sync unconditionally before retirement: the rewritten copies
+        // (vlog first, then the WAL records that point at them) and every
+        // shadowing record already in the WAL buffer become durable
+        // before the only other copy of those values disappears.
+        v.sync_if_dirty()?;
+        {
+            let mut epoch = shim_lock(&self.epoch); // LOCK-ORDER: db.epoch 20
+            epoch.wal.sync()?;
+        }
+
+        // Retire under the state lock: `Db::snapshot` registers under the
+        // same lock, so no snapshot can slip in between this check and
+        // the removal and then observe a dangling pointer.
+        let state = self.state.lock(); // LOCK-ORDER: db.state 10
+        if !state.snapshots.is_empty() {
+            return Ok(SegmentGc::Deferred { dead_bytes });
+        }
+        v.remove_segment(segment)?;
+        drop(state);
+        Ok(SegmentGc::Retired {
+            live_rewritten,
+            bytes_rewritten,
+        })
+    }
+
+    /// Atomically re-points `key` at its rewritten value if and only if
+    /// its current stored bytes still equal `old_stored`. Holding the
+    /// epoch lock stops new sequence reservations; waiting for the
+    /// in-flight ones to become visible closes the GC-resurrection race
+    /// where a concurrent writer's newer value would be shadowed by the
+    /// GC copy.
+    fn gc_install_if_current(
+        &self,
+        key: &[u8],
+        old_stored: &[u8],
+        new_stored: Vec<u8>,
+    ) -> Result<bool> {
+        let mut state = self.state.lock(); // LOCK-ORDER: db.state 10
+        if let Some(e) = &state.bg_error {
+            return Err(Error::ReadOnly(e.clone()));
+        }
+        let mut epoch = shim_lock(&self.epoch); // LOCK-ORDER: db.epoch 20
+        // In-flight groups finish their ledger bookkeeping without either
+        // lock held here, so this wait cannot deadlock.
+        self.ledger.wait_visible(self.reserver.last_reserved());
+        let seq = self.ledger.visible();
+        let current = {
+            let mem = Arc::clone(&state.mem);
+            let imm = state.imm.clone();
+            let version = state.versions.current();
+            self.get_stored_in(key, seq, &mem, imm.as_ref(), &version)?
+        };
+        if current.as_deref() != Some(old_stored) {
+            return Ok(false);
+        }
+        let mut batch = WriteBatch::new();
+        batch.put(key, &new_stored);
+        batch.set_sequence(self.reserver.reserve(1));
+        let last_seq = batch.sequence();
+        let commit = epoch.wal.add_record(batch.data());
+        let group = self.ledger.register(last_seq, 1);
+        match commit {
+            Ok(()) => {
+                apply_batch(&epoch.mem, &batch);
+                self.ledger.finish_members(group, 1);
+                Ok(true)
+            }
+            Err(e) => {
+                // Same contract as a failed group commit: the WAL tail is
+                // unknown, the store goes read-only, and the reserved
+                // range is marked applied so the watermark moves past it.
+                self.ledger.finish_members(group, 1);
+                self.set_bg_error(&mut state, format!("vlog gc wal append failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
     /// Leads one group commit. The leader drains the queue (up to the
     /// group byte cap), promotes the next queued writer so the pipeline
     /// never idles, then under the epoch lock reserves the group's
@@ -1080,6 +1529,14 @@ impl DbInner {
                         epoch.wal.add_record(b.data())?;
                     }
                     if sync {
+                        // Durability ordering: the value bytes behind any
+                        // pointer in this group must be durable before the
+                        // WAL sync that acknowledges the pointer. Appends
+                        // racing in from later groups may get synced early
+                        // here — harmless, their own leader re-checks.
+                        if let Some(v) = &self.vlog {
+                            v.sync_if_dirty()?;
+                        }
                         epoch.wal.sync()?;
                     }
                     Ok(())
@@ -1309,7 +1766,13 @@ impl DbInner {
             // Without this, a later `sync: true` write only reaches the
             // new WAL, and a power cut could drop acknowledged records
             // stranded in the old WAL's unsynced tail — breaking "a synced
-            // write makes every prior acknowledged write durable".
+            // write makes every prior acknowledged write durable". With
+            // separation on, the vlog syncs first for the same reason the
+            // group leader does it: the retiring WAL's pointers must not
+            // become durable ahead of their value bytes.
+            if let Some(v) = &self.vlog {
+                v.sync_if_dirty()?;
+            }
             epoch.wal.sync()?;
             epoch.wal = LogWriter::new(file);
             let old_mem = std::mem::replace(&mut epoch.mem, Arc::clone(&fresh));
@@ -1746,6 +2209,10 @@ impl DbInner {
                 FileType::Log(n) => (n < log_number, n),
                 FileType::Table(n) => (!live.contains(&n), n),
                 FileType::Temp(n) => (true, n),
+                // Value-log segments are not tracked by the version set;
+                // only the GC pass (`Db::collect_value_log`) may remove
+                // them, after proving every record is dead or rewritten.
+                FileType::ValueLog(_) => continue,
                 _ => continue,
             };
             if remove {
@@ -1894,6 +2361,45 @@ mod tests {
             slowdown_sleep: false,
             ..Options::default()
         }
+    }
+
+    /// A separated store reopened WITHOUT the separation option must
+    /// still resolve pointers (resolve-only recovery) — the alternative
+    /// is handing tagged stored bytes to the caller, i.e. silent
+    /// garbage from tools that open with default options.
+    #[test]
+    fn separated_store_reopens_readable_without_option() {
+        let env = Arc::new(MemEnv::new());
+        let with_vlog = Options {
+            value_log_threshold_bytes: Some(64),
+            value_log_segment_bytes: 4 << 10,
+            ..test_options(Arc::clone(&env))
+        };
+        let big = vec![0xabu8; 512];
+        {
+            let db = Db::open("/sep", with_vlog).unwrap();
+            for i in 0..50u32 {
+                db.put(format!("k{i:04}").as_bytes(), &big).unwrap();
+                db.put(format!("s{i:04}").as_bytes(), b"small").unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Db::open("/sep", test_options(Arc::clone(&env))).unwrap();
+        for i in 0..50u32 {
+            let got = db.get(format!("k{i:04}").as_bytes()).unwrap();
+            assert_eq!(got.as_deref(), Some(big.as_slice()), "pointer k{i:04}");
+            let small = db.get(format!("s{i:04}").as_bytes()).unwrap();
+            assert_eq!(small.as_deref(), Some(b"small".as_ref()));
+        }
+        // New writes stay inline (threshold is effectively infinite)
+        // but coexist with resolved pointers.
+        db.put(b"post", &big).unwrap();
+        assert_eq!(db.get(b"post").unwrap().as_deref(), Some(big.as_slice()));
+        assert_eq!(
+            db.get(b"k0007").unwrap().as_deref(),
+            Some(big.as_slice()),
+            "old pointers readable after new inline writes"
+        );
     }
 
     /// The tentpole invariant: writers on several threads share group

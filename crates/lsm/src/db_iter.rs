@@ -9,21 +9,37 @@ use sstable::comparator::{Comparator, InternalKeyComparator};
 use sstable::ikey::{parse_internal_key, LookupKey, SequenceNumber, ValueType};
 use sstable::iterator::{InternalIterator, MergingIterator, VecIterator};
 
+use crate::vlog::VlogRuntime;
 use crate::Result;
 
 /// Iterator over live `(user key, value)` pairs at a fixed sequence.
+///
+/// With key-value separation enabled the iterator dereferences value-log
+/// pointers as it goes; a failed dereference (e.g. a segment retired by
+/// a concurrent GC pass) stops the iteration and surfaces through
+/// [`DbIter::status`]. Iterators do not pin value-log segments — do not
+/// run [`crate::Db::collect_value_log`] while holding one.
 pub struct DbIter {
     merger: MergingIterator,
     sequence: SequenceNumber,
     key: Vec<u8>,
     value: Vec<u8>,
     valid: bool,
+    /// Dereferences tagged stored values when separation is on.
+    vlog: Option<Arc<VlogRuntime>>,
+    /// First value-log resolution failure (`crate::Error` is not
+    /// `Clone`, so the message is kept and re-wrapped by `status`).
+    resolve_error: Option<String>,
 }
 
 impl DbIter {
     /// Builds an iterator from already-assembled children (the `Db`
     /// assembles memtable snapshots + table iterators).
-    pub(crate) fn new(children: Vec<Box<dyn InternalIterator>>, sequence: SequenceNumber) -> Self {
+    pub(crate) fn new(
+        children: Vec<Box<dyn InternalIterator>>,
+        sequence: SequenceNumber,
+        vlog: Option<Arc<VlogRuntime>>,
+    ) -> Self {
         let icmp: Arc<dyn Comparator> = Arc::new(InternalKeyComparator::default());
         DbIter {
             merger: MergingIterator::new(children, icmp),
@@ -31,6 +47,8 @@ impl DbIter {
             key: Vec::new(),
             value: Vec::new(),
             valid: false,
+            vlog,
+            resolve_error: None,
         }
     }
 
@@ -104,7 +122,19 @@ impl DbIter {
                     self.key.clear();
                     self.key.extend_from_slice(parsed.user_key);
                     self.value.clear();
-                    self.value.extend_from_slice(self.merger.value());
+                    match &self.vlog {
+                        None => self.value.extend_from_slice(self.merger.value()),
+                        Some(v) => match v.resolve(self.merger.value()) {
+                            Ok(resolved) => self.value = resolved,
+                            Err(e) => {
+                                // Stop here; the failure surfaces through
+                                // status() like a child-iterator error.
+                                self.resolve_error = Some(e.to_string());
+                                self.valid = false;
+                                return;
+                            }
+                        },
+                    }
                     self.valid = true;
                     return;
                 }
@@ -112,8 +142,11 @@ impl DbIter {
         }
     }
 
-    /// Propagated error from any child iterator.
+    /// Propagated error from any child iterator or value-log dereference.
     pub fn status(&self) -> Result<()> {
+        if let Some(msg) = &self.resolve_error {
+            return Err(crate::Error::Corruption(msg.clone()));
+        }
         self.merger.status().map_err(crate::Error::from)
     }
 }

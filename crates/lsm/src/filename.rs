@@ -18,6 +18,8 @@ pub enum FileType {
     Lock,
     /// Temporary file used during atomic renames.
     Temp(u64),
+    /// Value-log segment (key-value separation).
+    ValueLog(u64),
 }
 
 /// Path of WAL file `number`.
@@ -45,6 +47,11 @@ pub fn temp_file_name(dir: &Path, number: u64) -> PathBuf {
     dir.join(format!("{number:06}.dbtmp"))
 }
 
+/// Path of value-log segment `number`.
+pub fn vlog_file_name(dir: &Path, number: u64) -> PathBuf {
+    dir.join(format!("{number:06}.vlog"))
+}
+
 /// Parses a directory entry name into its file type.
 pub fn parse_file_name(name: &str) -> Option<FileType> {
     if name == "CURRENT" {
@@ -65,6 +72,9 @@ pub fn parse_file_name(name: &str) -> Option<FileType> {
     if let Some(stem) = name.strip_suffix(".dbtmp") {
         return stem.parse::<u64>().ok().map(FileType::Temp);
     }
+    if let Some(stem) = name.strip_suffix(".vlog") {
+        return stem.parse::<u64>().ok().map(FileType::ValueLog);
+    }
     None
 }
 
@@ -81,6 +91,7 @@ mod tests {
             (manifest_file_name(dir, 1), FileType::Manifest(1)),
             (current_file_name(dir), FileType::Current),
             (temp_file_name(dir, 9), FileType::Temp(9)),
+            (vlog_file_name(dir, 11), FileType::ValueLog(11)),
         ];
         for (path, expect) in cases {
             let name = path.file_name().unwrap().to_str().unwrap();

@@ -34,6 +34,7 @@ pub mod repair;
 pub mod sync_shim;
 pub mod table_cache;
 pub mod version;
+pub mod vlog;
 pub mod wal;
 pub mod write_batch;
 pub mod write_path;
@@ -43,7 +44,7 @@ pub use compaction::{
     OutputTableMeta, WritePressure,
 };
 pub use conflict::{ConflictChecker, JobShape, JobTicket};
-pub use db::{Db, DbStats};
+pub use db::{Db, DbStats, ScanOutcome, Snapshot, VlogGcReport, SCAN_PAIR_OVERHEAD};
 pub use db_iter::DbIter;
 pub use options::{Options, ReadOptions, WriteOptions};
 pub use pipeline::PipelinedCompactionEngine;

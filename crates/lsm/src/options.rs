@@ -84,6 +84,17 @@ pub struct Options {
     /// sleep happens only when `slowdown_sleep` is on, so deterministic
     /// tests never block on wall time.
     pub compaction_retry_backoff_micros: u64,
+    /// Key-value separation threshold: values whose length is `>=` this
+    /// go to the append-only value log and the tree stores a fixed-size
+    /// pointer (WiscKey-style), shrinking compaction volume in the
+    /// large-value regime. `None` (the default) disables separation and
+    /// keeps the legacy raw stored-value encoding; a database must
+    /// always be opened with the same setting's *mode* (separated vs.
+    /// not) it was written with.
+    pub value_log_threshold_bytes: Option<usize>,
+    /// Rotation size for value-log segments. Sealed segments become
+    /// garbage-collection candidates.
+    pub value_log_segment_bytes: u64,
 }
 
 impl Default for Options {
@@ -108,6 +119,8 @@ impl Default for Options {
             obs: None,
             compaction_max_retries: 2,
             compaction_retry_backoff_micros: 1000,
+            value_log_threshold_bytes: None,
+            value_log_segment_bytes: 8 << 20,
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::filename::{
 use crate::memtable::MemTable;
 use crate::options::Options;
 use crate::version::{FileMetaData, VersionEdit};
+use crate::vlog::{self, PointerCheck, Stored};
 use crate::wal::{LogReader, LogWriter};
 use crate::write_batch::{BatchOp, WriteBatch};
 use crate::{Error, Result};
@@ -46,6 +47,15 @@ pub struct RepairReport {
     /// caller must deal with them before reopening, because a later
     /// repair or open may trip over them again.
     pub quarantine_failures: Vec<String>,
+    /// Value-log segments whose torn tail was truncated back to the last
+    /// whole record (key-value separation only).
+    pub vlog_segments_truncated: usize,
+    /// WAL operations dropped because their value-log pointer referenced
+    /// a torn, missing, or corrupt record. These writes were never
+    /// durably acknowledged (the vlog syncs before the WAL) or lost
+    /// their segment; salvaging the dangling pointer would resurrect an
+    /// unreadable value.
+    pub vlog_dangling_dropped: u64,
 }
 
 /// Rebuilds the MANIFEST/CURRENT for the database in `dir`.
@@ -74,12 +84,31 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
             Some(FileType::Manifest(n)) | Some(FileType::Temp(n)) => {
                 max_number = max_number.max(n);
             }
+            Some(FileType::ValueLog(n)) => {
+                max_number = max_number.max(n);
+            }
             _ => {}
         }
     }
     table_numbers.sort_unstable();
     log_numbers.sort_unstable();
     let mut next_number = max_number + 1;
+
+    // 0. With key-value separation on, make the value log honest before
+    // anything dereferences it: cut each segment's torn tail back to the
+    // last whole record, so the pointer checks below see the same durable
+    // prefix a normal recovery would.
+    let separation = options.value_log_threshold_bytes.is_some();
+    if separation {
+        for segment in vlog::list_segments(env.as_ref(), dir)? {
+            let path = crate::filename::vlog_file_name(dir, segment);
+            let before = env.open_random_access(&path)?.len().map_err(Error::from)?;
+            let after = vlog::truncate_torn_tail(env.as_ref(), dir, segment)?;
+            if after < before {
+                report.vlog_segments_truncated += 1;
+            }
+        }
+    }
 
     // 1. Salvage WALs oldest-first into fresh tables.
     let icmp = InternalKeyComparator::default();
@@ -99,7 +128,32 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
             let _ = batch.iterate(|op, seq| {
                 report.max_sequence = report.max_sequence.max(seq);
                 match op {
-                    BatchOp::Put { key, value } => mem.add(seq, ValueType::Value, key, value),
+                    BatchOp::Put { key, value } => {
+                        if separation {
+                            // Stored bytes are tagged; drop any pointer
+                            // that no longer dereferences (its value was
+                            // never durable or its segment is gone).
+                            match vlog::decode_stored(value) {
+                                Ok(Stored::Inline(_)) => {}
+                                Ok(Stored::Pointer(ptr)) => {
+                                    match vlog::check_pointer_in(env.as_ref(), dir, ptr) {
+                                        PointerCheck::Ok => {}
+                                        PointerCheck::TornTail
+                                        | PointerCheck::MissingSegment
+                                        | PointerCheck::Corrupt => {
+                                            report.vlog_dangling_dropped += 1;
+                                            return;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    report.vlog_dangling_dropped += 1;
+                                    return;
+                                }
+                            }
+                        }
+                        mem.add(seq, ValueType::Value, key, value)
+                    }
                     BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                 }
             });
@@ -484,6 +538,76 @@ mod tests {
             ),
             "trace must record the quarantine failure: {events:?}"
         );
+    }
+
+    /// Torn value-log tails are cut back to the last whole record and
+    /// surviving pointers still dereference after repair.
+    #[test]
+    fn repair_truncates_torn_vlog_tail() {
+        use sstable::env::StorageEnv as _;
+        let env = Arc::new(MemEnv::new());
+        let dir = Path::new("/db");
+        let options = Options {
+            value_log_threshold_bytes: Some(128),
+            ..mem_options(&env)
+        };
+        {
+            let db = Db::open(dir, options.clone()).unwrap();
+            db.put(b"small", b"inline").unwrap();
+            db.put(b"big", &[b'a'; 1024]).unwrap();
+        }
+        destroy_metadata(&env, dir);
+        // Tear the active segment: valid records plus a short garbage tail.
+        let seg = env
+            .list_dir(dir)
+            .unwrap()
+            .into_iter()
+            .find(|n| matches!(parse_file_name(n), Some(FileType::ValueLog(_))))
+            .expect("segment exists");
+        let path = dir.join(&seg);
+        let bytes = env.open_random_access(&path).unwrap().read_all().unwrap();
+        let mut w = env.create_writable(&path).unwrap();
+        w.append(&bytes).unwrap();
+        w.append(&[0xEE; 7]).unwrap();
+        drop(w);
+
+        let report = repair_db(dir, &options).unwrap();
+        assert_eq!(report.vlog_segments_truncated, 1, "{report:?}");
+        assert_eq!(report.vlog_dangling_dropped, 0, "{report:?}");
+
+        let db = Db::open(dir, options).unwrap();
+        assert_eq!(db.get(b"small").unwrap(), Some(b"inline".to_vec()));
+        assert_eq!(db.get(b"big").unwrap(), Some(vec![b'a'; 1024]));
+    }
+
+    /// Pointers into a lost segment are dropped during WAL salvage
+    /// instead of resurrecting unreadable values.
+    #[test]
+    fn repair_drops_dangling_vlog_pointers() {
+        use sstable::env::StorageEnv as _;
+        let env = Arc::new(MemEnv::new());
+        let dir = Path::new("/db");
+        let options = Options {
+            value_log_threshold_bytes: Some(128),
+            ..mem_options(&env)
+        };
+        {
+            let db = Db::open(dir, options.clone()).unwrap();
+            db.put(b"small", b"inline").unwrap();
+            db.put(b"big", &[b'a'; 1024]).unwrap();
+        }
+        destroy_metadata(&env, dir);
+        for name in env.list_dir(dir).unwrap() {
+            if matches!(parse_file_name(&name), Some(FileType::ValueLog(_))) {
+                env.remove_file(&dir.join(&name)).unwrap();
+            }
+        }
+        let report = repair_db(dir, &options).unwrap();
+        assert_eq!(report.vlog_dangling_dropped, 1, "{report:?}");
+
+        let db = Db::open(dir, options).unwrap();
+        assert_eq!(db.get(b"small").unwrap(), Some(b"inline".to_vec()));
+        assert_eq!(db.get(b"big").unwrap(), None, "dangling pointer dropped");
     }
 
     #[test]

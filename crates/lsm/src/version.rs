@@ -361,6 +361,16 @@ impl VersionSet {
         self.next_file_number
     }
 
+    /// Ensures future allocations start at `floor` or above. Recovery
+    /// uses this for files the MANIFEST does not track (value-log
+    /// segments), so a reopened store never reissues a live segment's
+    /// number and truncates it with a fresh `create_writable`.
+    pub fn bump_file_number(&mut self, floor: u64) {
+        if self.next_file_number < floor {
+            self.next_file_number = floor;
+        }
+    }
+
     /// Applies `edit` to the current version, writes it to the MANIFEST,
     /// and installs the result as current.
     pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<()> {

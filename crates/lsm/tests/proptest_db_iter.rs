@@ -71,6 +71,10 @@ proptest! {
         // Exercise the sharded memtable's merged-snapshot iteration at
         // degenerate (1), odd (3), and default-ish (8) shard counts.
         shards in prop_oneof![Just(1usize), Just(3usize), Just(8usize)],
+        // With key-value separation on, values over 12 bytes live in the
+        // value log and the iterator dereferences pointers as it walks —
+        // the model must not be able to tell the difference.
+        separation in any::<bool>(),
     ) {
         let env = Arc::new(MemEnv::new());
         let options = Options {
@@ -82,6 +86,8 @@ proptest! {
             level1_max_bytes: 16 << 10,
             slowdown_sleep: false,
             memtable_shards: shards,
+            value_log_threshold_bytes: if separation { Some(12) } else { None },
+            value_log_segment_bytes: 2 << 10,
             ..Default::default()
         };
         let db = Db::open("/db", options).unwrap();

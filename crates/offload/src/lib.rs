@@ -110,6 +110,8 @@ struct OffloadObs {
     fault_outputs_discarded: std::sync::Arc<obs::Counter>,
     cpu_retries_after_fault: std::sync::Arc<obs::Counter>,
     cpu_pipelined_jobs: std::sync::Arc<obs::Counter>,
+    maintenance_jobs: std::sync::Arc<obs::Counter>,
+    maintenance_inline: std::sync::Arc<obs::Counter>,
     max_fpga_in_flight: std::sync::Arc<obs::Gauge>,
     max_jobs_in_flight: std::sync::Arc<obs::Gauge>,
     /// Per-module device cycle attribution (`fcae.cycles.*`), summed
@@ -142,6 +144,8 @@ impl OffloadObs {
             fault_outputs_discarded: r.counter("offload.fault.outputs_discarded"),
             cpu_retries_after_fault: r.counter("offload.cpu_retries_after_fault"),
             cpu_pipelined_jobs: r.counter("offload.cpu_pipelined_jobs"),
+            maintenance_jobs: r.counter("offload.maintenance.jobs"),
+            maintenance_inline: r.counter("offload.maintenance.inline"),
             max_fpga_in_flight: r.gauge("offload.max_fpga_in_flight"),
             max_jobs_in_flight: r.gauge("offload.max_jobs_in_flight"),
             cycles_decoder: r.counter("fcae.cycles.decoder"),
@@ -548,6 +552,43 @@ impl CompactionEngine for OffloadService {
             WritePressure::None
         }
     }
+
+    /// Value-log GC contends with compactions for engine slots: the job
+    /// queues at [`JobClass::Maintenance`] (lowest rank, ages like the
+    /// rest) and occupies the slot it wins while it runs, so a GC pass
+    /// and a compaction never overcommit the engines. On wait-budget
+    /// exhaustion the job runs inline instead — GC loses the contention
+    /// round but is never starved outright.
+    fn run_maintenance(&self, job: &mut dyn FnMut()) {
+        self.state.lock().metrics.maintenance_jobs += 1; // LOCK-ORDER: offload.state 110
+        if let Some(o) = &self.obs {
+            o.maintenance_jobs.inc();
+        }
+        match self.acquire_slot(JobClass::Maintenance) {
+            Some(slot) => {
+                {
+                    let mut state = self.state.lock(); // LOCK-ORDER: offload.state 110
+                    state.fpga_in_flight += 1;
+                    state.metrics.max_fpga_in_flight = state
+                        .metrics
+                        .max_fpga_in_flight
+                        .max(state.fpga_in_flight as u64);
+                    if let Some(o) = &self.obs {
+                        o.max_fpga_in_flight.set_max(state.fpga_in_flight as u64);
+                    }
+                }
+                job();
+                self.release_slot(slot);
+            }
+            None => {
+                self.state.lock().metrics.maintenance_inline += 1; // LOCK-ORDER: offload.state 110
+                if let Some(o) = &self.obs {
+                    o.maintenance_inline.inc();
+                }
+                job();
+            }
+        }
+    }
 }
 
 /// Per-shard view of a shared [`OffloadService`].
@@ -622,6 +663,10 @@ impl CompactionEngine for ShardOffloadHandle {
     fn write_pressure(&self) -> WritePressure {
         self.service.write_pressure()
     }
+
+    fn run_maintenance(&self, job: &mut dyn FnMut()) {
+        self.service.run_maintenance(job)
+    }
 }
 
 #[cfg(test)]
@@ -673,6 +718,47 @@ mod tests {
             });
         }
         assert_eq!(svc.write_pressure(), WritePressure::Stop);
+    }
+
+    #[test]
+    fn maintenance_occupies_and_releases_a_slot() {
+        let svc = OffloadService::with_slots(FcaeConfig::two_input(), 1, OffloadConfig::default());
+        let mut ran = false;
+        svc.run_maintenance(&mut || {
+            ran = true;
+            assert!(
+                svc.state.lock().free_slots.is_empty(),
+                "GC must hold the slot while it runs"
+            );
+        });
+        assert!(ran);
+        let st = svc.state.lock();
+        assert_eq!(st.free_slots.len(), 1, "slot returned");
+        assert_eq!(st.fpga_in_flight, 0);
+        assert_eq!(st.metrics.maintenance_jobs, 1);
+        assert_eq!(st.metrics.maintenance_inline, 0);
+    }
+
+    #[test]
+    fn maintenance_runs_inline_when_slots_stay_busy() {
+        let cfg = OffloadConfig {
+            wait_budget: Duration::ZERO,
+            ..Default::default()
+        };
+        let svc = OffloadService::with_slots(FcaeConfig::two_input(), 1, cfg);
+        // Occupy the only slot, as run_job would.
+        let held = svc.acquire_slot(JobClass::Flush).expect("idle slot");
+        svc.state.lock().fpga_in_flight += 1;
+        let mut ran = false;
+        svc.run_maintenance(&mut || ran = true);
+        assert!(ran, "GC still runs, just not on a slot");
+        {
+            let st = svc.state.lock();
+            assert_eq!(st.metrics.maintenance_jobs, 1);
+            assert_eq!(st.metrics.maintenance_inline, 1);
+        }
+        svc.release_slot(held);
+        assert_eq!(svc.state.lock().free_slots.len(), 1);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct OffloadMetrics {
     /// CPU-path jobs that ran on the staged pipelined engine (input size
     /// reached `pipelined_cpu_threshold_bytes`).
     pub cpu_pipelined_jobs: u64,
+    /// Maintenance jobs (value-log GC) routed through the scheduler.
+    pub maintenance_jobs: u64,
+    /// Maintenance jobs that ran inline because no engine slot freed
+    /// within the wait budget (GC never blocks forever behind
+    /// compactions; it just loses the contention round).
+    pub maintenance_inline: u64,
     /// Peak engine slots busy at once.
     pub max_fpga_in_flight: u64,
     /// Peak jobs inside the service at once (FPGA + CPU fallback).

@@ -21,6 +21,11 @@ pub enum JobClass {
     L0ToL1,
     /// Compaction starting at `level >= 1`.
     Deeper(usize),
+    /// Background maintenance (value-log GC): reclaims space but never
+    /// unblocks writers directly, so it ranks below every compaction —
+    /// yet it ages like the rest, so a busy engine cannot starve GC
+    /// until the value log eats the disk.
+    Maintenance,
 }
 
 impl JobClass {
@@ -39,6 +44,8 @@ impl JobClass {
             JobClass::Flush => 0,
             JobClass::L0ToL1 => 1,
             JobClass::Deeper(level) => 1 + *level as u64,
+            // Below Deeper(8), the deepest level any 7-level tree submits.
+            JobClass::Maintenance => 10,
         }
     }
 }
@@ -140,6 +147,24 @@ mod tests {
             waiter(2, JobClass::L0ToL1, now),
         ];
         assert_eq!(p.pick(now, &waiting).unwrap().id, 2);
+    }
+
+    #[test]
+    fn maintenance_ranks_below_all_compactions() {
+        let now = Instant::now();
+        let waiting = vec![
+            waiter(1, JobClass::Maintenance, now),
+            waiter(2, JobClass::Deeper(6), now),
+        ];
+        assert_eq!(policy().pick(now, &waiting).unwrap().id, 2);
+        // But a starved GC pass ages past fresh compactions like any
+        // other waiter (base rank 10 -> 0 after ten intervals).
+        let old = now - Duration::from_millis(105);
+        let waiting = vec![
+            waiter(1, JobClass::Maintenance, old),
+            waiter(2, JobClass::L0ToL1, now),
+        ];
+        assert_eq!(policy().pick(now, &waiting).unwrap().id, 1);
     }
 
     #[test]

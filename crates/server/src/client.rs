@@ -141,19 +141,39 @@ impl KvClient {
         }
     }
 
-    /// Range scan over `[start, end)`, at most `limit` pairs.
+    /// Range scan over `[start, end)`, at most `limit` pairs. A reply the
+    /// server truncated (pair limit or frame budget) is returned as-is;
+    /// use [`KvClient::scan_partial`] to learn whether truncation
+    /// happened and resume past the last returned key.
     pub fn scan(
         &mut self,
         start: &[u8],
         end: Option<&[u8]>,
         limit: u32,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(self.scan_partial(start, end, limit)?.0)
+    }
+
+    /// Range scan that also reports completeness: `(pairs, complete)`.
+    /// `complete == false` means the server stopped early — at the pair
+    /// `limit` or at its response-frame byte budget (large values can
+    /// fill a frame in a handful of pairs) — and more data may exist.
+    /// Resume with `start` just past the last returned key; an empty,
+    /// incomplete reply means the very next pair alone exceeds the frame
+    /// budget, so fetch that key with [`KvClient::get`] instead.
+    pub fn scan_partial(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: u32,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, bool)> {
         match self.request(&Request::Scan {
             start: start.to_vec(),
             end: end.map(<[u8]>::to_vec),
             limit,
         })? {
-            Response::Pairs(pairs) => Ok(pairs),
+            Response::Pairs(pairs) => Ok((pairs, true)),
+            Response::PairsPartial(pairs) => Ok((pairs, false)),
             other => Err(unexpected(other)),
         }
     }

@@ -56,6 +56,9 @@ pub mod tag {
     pub const PAIRS: u8 = 0x03;
     /// Stats payload follows.
     pub const STATS: u8 = 0x04;
+    /// Key/value pair list follows, truncated server-side (frame budget
+    /// or pair limit): more data may exist past the last returned key.
+    pub const PAIRS_PARTIAL: u8 = 0x05;
     /// Storage-side error (store stays usable; request failed).
     pub const ERR: u8 = 0x10;
     /// Protocol violation (connection closes after this).
@@ -146,6 +149,12 @@ pub enum Response {
     Value(Vec<u8>),
     /// Scan result, in key order.
     Pairs(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Scan result the server cut short — by the pair limit or by the
+    /// response-frame byte budget (large values can hit the frame cap
+    /// long before the pair limit). Same body layout as [`Pairs`]; the
+    /// caller resumes past the last returned key or falls back to point
+    /// reads.
+    PairsPartial(Vec<(Vec<u8>, Vec<u8>)>),
     /// Stats payload (text or JSON, per the request).
     Stats(String),
     /// Storage-side failure; the connection stays open.
@@ -277,6 +286,14 @@ pub fn encode_response_body(resp: &Response) -> Vec<u8> {
         }
         Response::Pairs(pairs) => {
             out.push(tag::PAIRS);
+            put_u32(&mut out, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_bytes(&mut out, k);
+                put_bytes(&mut out, v);
+            }
+        }
+        Response::PairsPartial(pairs) => {
+            out.push(tag::PAIRS_PARTIAL);
             put_u32(&mut out, pairs.len() as u32);
             for (k, v) in pairs {
                 put_bytes(&mut out, k);
@@ -446,7 +463,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
         tag::OK => Response::Ok,
         tag::NOT_FOUND => Response::NotFound,
         tag::VALUE => Response::Value(r.rest()),
-        tag::PAIRS => {
+        t @ (tag::PAIRS | tag::PAIRS_PARTIAL) => {
             let count = r.u32()? as usize;
             if count > body.len() / 8 + 1 {
                 return Err(ProtoError::LengthOverflow);
@@ -457,7 +474,11 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
                 let v = r.bytes()?;
                 pairs.push((k, v));
             }
-            Response::Pairs(pairs)
+            if t == tag::PAIRS {
+                Response::Pairs(pairs)
+            } else {
+                Response::PairsPartial(pairs)
+            }
         }
         tag::STATS => Response::Stats(String::from_utf8_lossy(&r.rest()).into_owned()),
         tag::ERR => Response::Err(String::from_utf8_lossy(&r.rest()).into_owned()),
@@ -536,6 +557,11 @@ mod tests {
             (b"k1".to_vec(), b"v1".to_vec()),
             (vec![], vec![]),
         ]));
+        round_trip_response(Response::PairsPartial(vec![(
+            b"k1".to_vec(),
+            vec![9u8; 64],
+        )]));
+        round_trip_response(Response::PairsPartial(vec![]));
         round_trip_response(Response::Stats("counter x 1\n".into()));
         round_trip_response(Response::Err("read-only".into()));
         round_trip_response(Response::ProtoErr("truncated frame".into()));

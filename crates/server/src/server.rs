@@ -478,25 +478,65 @@ fn do_delete(shared: &Shared, key: &[u8], sync: bool) -> Response {
 
 /// Scans shards in range order, concatenating results — ranges are
 /// contiguous per shard, so the concatenation is globally sorted.
+///
+/// Two caps bound the reply: the caller's pair `limit` and a byte budget
+/// that keeps the encoded frame under [`proto::MAX_FRAME`] even when
+/// every pair carries a large value (each pair costs its key + value +
+/// [`lsm::SCAN_PAIR_OVERHEAD`] bytes of budget, which over-covers the
+/// 8 bytes of wire framing per pair). A scan cut short by either cap
+/// returns [`Response::PairsPartial`]; the client resumes past the last
+/// returned key, or falls back to a point read when even a single pair
+/// exceeded the budget.
+///
+/// Consistency: a snapshot of *every* shard in range is pinned up front,
+/// before the first shard is read, so slow shard N cannot serve data
+/// minutes newer than shard 0's slice. As with [`do_batch`], the
+/// guarantee is still per shard: the pins are taken one after another,
+/// so a write racing the pin loop may appear in a later shard's slice
+/// while missing from an earlier one. A globally consistent multi-shard
+/// scan would need a cross-shard sequence barrier the engine does not
+/// (yet) provide; the protocol deliberately does not promise it.
 fn do_scan(shared: &Shared, start: &[u8], end: Option<&[u8]>, limit: u32) -> Response {
     let limit = limit as usize;
+    // Headroom under MAX_FRAME for the response tag, pair count, and the
+    // slack between SCAN_PAIR_OVERHEAD and the real framing bytes.
+    let byte_budget = proto::MAX_FRAME - 4096;
     let Some((first, last)) = shared.router.shards_for_range(start, end) else {
         return Response::Pairs(Vec::new());
     };
-    let mut pairs = Vec::new();
+    // Pin every shard's snapshot before reading any of them.
+    let mut snaps = Vec::new();
     for shard in first..=last {
-        if pairs.len() >= limit {
-            break;
-        }
         let Some(db) = shared.shards.get(shard) else {
             break;
         };
-        shared.metrics.count_shard(shard);
-        shared.metrics.enter_shard(shard);
-        let result = db.scan(start, end, limit - pairs.len());
-        shared.metrics.leave_shard(shard);
+        snaps.push((shard, db, db.snapshot()));
+    }
+    let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut used = 0usize;
+    for (shard, db, snap) in &snaps {
+        shared.metrics.count_shard(*shard);
+        shared.metrics.enter_shard(*shard);
+        let result = db.scan_with(
+            lsm::ReadOptions {
+                snapshot: Some(snap.sequence),
+            },
+            start,
+            end,
+            limit - pairs.len(),
+            byte_budget - used,
+        );
+        shared.metrics.leave_shard(*shard);
         match result {
-            Ok(mut p) => pairs.append(&mut p),
+            Ok(outcome) => {
+                for (k, v) in &outcome.pairs {
+                    used += k.len() + v.len() + lsm::SCAN_PAIR_OVERHEAD;
+                }
+                pairs.extend(outcome.pairs);
+                if !outcome.complete {
+                    return Response::PairsPartial(pairs);
+                }
+            }
             Err(e) => return storage_err(&e),
         }
     }
@@ -507,6 +547,8 @@ fn do_scan(shared: &Shared, start: &[u8], end: Option<&[u8]>, limit: u32) -> Res
 /// commits one `lsm::WriteBatch` per shard. Atomicity is therefore
 /// *per shard*, not global — a cross-shard batch that fails part-way
 /// reports an error but earlier shards' sub-batches stay committed.
+/// [`do_scan`] mirrors this contract on the read side: per-shard
+/// snapshots, no cross-shard point-in-time guarantee.
 fn do_batch(shared: &Shared, ops: Vec<proto::BatchOp>, sync: bool) -> Response {
     let mut per_shard: Vec<Option<lsm::WriteBatch>> = Vec::new();
     per_shard.resize_with(shared.shards.len(), || None);

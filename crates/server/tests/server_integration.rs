@@ -119,6 +119,58 @@ fn end_to_end_ops() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Regression: a scan over large values used to build one `Pairs`
+/// response of unbounded size — ~1 MiB values with a generous pair limit
+/// encoded past `MAX_FRAME` (16 MiB) and the client's frame check killed
+/// the connection. The server must now cap replies by encoded bytes,
+/// answer `PairsPartial`, and let the client resume past the last key.
+#[test]
+fn scan_with_large_values_stays_under_frame_cap_and_resumes() {
+    let (handle, root) = start("big-scan", ServerConfig::default());
+    let addr = handle.addr().to_string();
+    let mut client = KvClient::connect(&addr).expect("connect");
+
+    let mb = 1 << 20;
+    for i in 0..20u64 {
+        let value = vec![b'a' + (i % 26) as u8; mb];
+        client.put(&key(i), &value, false).expect("put");
+    }
+
+    let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut start_key = Vec::new();
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        assert!(rounds <= 40, "resume loop must terminate");
+        let (pairs, complete) = client.scan_partial(&start_key, None, 1000).expect("scan");
+        if !complete {
+            assert!(
+                !pairs.is_empty(),
+                "a single 1 MiB pair fits the frame budget"
+            );
+        }
+        if let Some((k, _)) = pairs.last() {
+            start_key = k.clone();
+            start_key.push(0); // resume strictly past the last key
+        }
+        all.extend(pairs);
+        if complete {
+            break;
+        }
+    }
+    assert!(rounds >= 2, "20 MiB of pairs cannot fit one 16 MiB frame");
+    assert_eq!(all.len(), 20, "every pair arrives exactly once");
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0, "resumed scan output must stay sorted");
+    }
+    for (k, v) in &all {
+        assert_eq!(v.len(), mb, "key {:?}", String::from_utf8_lossy(k));
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// A protocol violation is answered with `ProtoErr`, counted, and the
 /// connection is closed — without disturbing other connections.
 #[test]

@@ -4,6 +4,10 @@
 use fcae::FcaeConfig;
 use simkit::{DiskModel, PcieLink};
 
+/// Stored size of one value-log pointer (mirrors the `lsm::vlog`
+/// encoding: 1 tag byte + segment u64 + offset u64 + length u32).
+pub const VLOG_POINTER_LEN: usize = 21;
+
 /// Which compaction engine the simulated system uses.
 #[derive(Debug, Clone, Copy)]
 pub enum EngineKind {
@@ -94,6 +98,15 @@ pub struct SystemConfig {
     /// ~0.2 fits fillrandom over a num-ops keyspace; zipfian update
     /// workloads run far higher (see the YCSB simulation).
     pub dedup_fraction: f64,
+    /// Key-value separation (WiscKey-style, the storage-level counterpart
+    /// of the paper's key/value split inside the engine): `Some(t)`
+    /// routes values of at least `t` bytes to an append-only value log.
+    /// The tree then stores fixed-size pointers, so flushes and
+    /// compactions move pointer entries instead of values, and a
+    /// background GC pass rewrites live values out of dead log segments
+    /// — on the same host thread compactions and flushes use, which is
+    /// the scheduling contention this dimension exists to model.
+    pub kv_separation: Option<usize>,
     /// Partitioned-tiering mode at level 1 (paper §VII-C: SifrDB /
     /// PebblesDB): `Some(k)` makes L0 compactions *append* their output
     /// as an overlapping run in L1; when `k` runs accumulate, one merge
@@ -130,6 +143,7 @@ impl Default for SystemConfig {
             slowdown_sleep: 1e-3,
             flush_cpu_bw: 120e6,
             dedup_fraction: 0.20,
+            kv_separation: None,
             l1_tiering_runs: None,
             read: ReadCosts::default(),
         }
@@ -160,6 +174,44 @@ impl SystemConfig {
             b = b.saturating_mul(self.leveling_ratio);
         }
         b
+    }
+
+    /// True when key-value separation is on *and* this workload's values
+    /// clear the threshold (sub-threshold values stay inline, so the run
+    /// degenerates to the baseline).
+    pub fn separated(&self) -> bool {
+        matches!(self.kv_separation, Some(t) if self.value_len >= t)
+    }
+
+    /// Value bytes per entry as the *tree* sees them: the pointer when
+    /// separation applies, the value itself otherwise.
+    pub fn tree_value_len(&self) -> usize {
+        if self.separated() {
+            VLOG_POINTER_LEN
+        } else {
+            self.value_len
+        }
+    }
+
+    /// Raw bytes of one tree entry (user key + tree value).
+    pub fn tree_pair_raw_bytes(&self) -> u64 {
+        (self.key_len + self.tree_value_len()) as u64
+    }
+
+    /// Stored bytes of one tree entry. Pointer entries are random bytes
+    /// to the block compressor, so separation forfeits their compression.
+    pub fn tree_pair_stored_bytes(&self) -> f64 {
+        if self.separated() {
+            self.tree_pair_raw_bytes() as f64
+        } else {
+            self.pair_stored_bytes()
+        }
+    }
+
+    /// Enables key-value separation at `threshold` bytes.
+    pub fn with_kv_separation(mut self, threshold: usize) -> Self {
+        self.kv_separation = Some(threshold);
+        self
     }
 
     /// Baseline/offload variants of this config.

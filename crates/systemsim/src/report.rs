@@ -37,6 +37,14 @@ pub struct SimReport {
     pub max_device_in_flight: u64,
     /// Final per-level stored bytes.
     pub level_bytes: Vec<u64>,
+    /// Value bytes appended to the value log (key-value separation runs).
+    pub vlog_appended_bytes: u64,
+    /// Value-log GC passes executed on the background host thread.
+    pub gc_jobs: u64,
+    /// Live value bytes GC rewrote into fresh segments.
+    pub gc_rewritten_bytes: u64,
+    /// Dead value bytes still awaiting collection at the end of the run.
+    pub vlog_dead_bytes: u64,
 }
 
 impl SimReport {

@@ -66,6 +66,7 @@ pub const DURABILITY_FILES: &[&str] = &[
     "crates/lsm/src/version.rs",
     "crates/lsm/src/repair.rs",
     "crates/lsm/src/db.rs",
+    "crates/lsm/src/vlog.rs",
     "crates/lsm/src/compaction.rs",
     "crates/lsm/src/pipeline.rs",
 ];

@@ -4,6 +4,7 @@
 # Usage: scripts/bench_snapshot.sh [label] [out-file]
 #        scripts/bench_snapshot.sh --server [label] [out-file]
 #        scripts/bench_snapshot.sh --write-scaling [label] [out-file]
+#        scripts/bench_snapshot.sh --vlog [label] [out-file]
 #
 # Default mode runs the merge microbenchmark (4-input, 1 KiB values,
 # both engines, with allocation counting) and a db_bench-style
@@ -18,6 +19,10 @@
 # fillrandom ops/s vs. writer threads (1/2/4/8) with group-commit
 # shape per point, appended to BENCH_PR7.json.
 #
+# --vlog runs the key-value-separation comparison: fillrandom with
+# 1 KiB values inline vs. through the value log (compaction bytes
+# moved, fill throughput, point-read cost), appended to BENCH_PR9.json.
+#
 # Run it before and after a perf change (e.g. labels "pr3-before" /
 # "pr3-after") so the repo carries its own performance history.
 set -euo pipefail
@@ -30,6 +35,9 @@ if [ "${1:-}" = "--server" ]; then
 elif [ "${1:-}" = "--write-scaling" ]; then
     MODE=write_scaling
     shift
+elif [ "${1:-}" = "--vlog" ]; then
+    MODE=vlog
+    shift
 fi
 
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
@@ -40,6 +48,9 @@ if [ "$MODE" = "server" ]; then
 elif [ "$MODE" = "write_scaling" ]; then
     OUT="${2:-BENCH_PR7.json}"
     cargo run --release -p bench --bin write_scaling -- --label "$LABEL" --out "$OUT"
+elif [ "$MODE" = "vlog" ]; then
+    OUT="${2:-BENCH_PR9.json}"
+    cargo run --release -p bench --bin vlog_compare -- --label "$LABEL" --out "$OUT"
 else
     OUT="${2:-BENCH_PR2.json}"
     cargo run --release -p bench --bin bench_snapshot -- --label "$LABEL" --out "$OUT"

@@ -437,6 +437,162 @@ fn transient_compaction_fault_is_retried_not_fatal() {
     }
 }
 
+/// Value-log band: key-value separation on, so every large value rides
+/// the append-only value log and the WAL carries pointers. A GC thread
+/// hammers `collect_value_log` while the writer streams, and power is
+/// cut at a seeded acknowledgement count — so the crash routinely lands
+/// mid-GC (mid-rewrite, mid-retirement, or mid-segment-removal). After
+/// recovery:
+///
+/// * every write acknowledged at-or-before the last synced ack must
+///   survive with its exact bytes (vlog-then-WAL sync ordering);
+/// * no key may carry an overwritten or deleted generation — GC rewrites
+///   must never resurrect stale values past the versions that shadowed
+///   them.
+#[test]
+fn value_log_synced_acks_survive_power_cut_mid_gc() {
+    const OPS: u64 = 120;
+    const VLOG_KEYS: u64 = 24;
+    let base: u64 = std::env::var("POWER_CUT_SEED_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    for seed in base..base + 4 {
+        let env = FaultEnv::new(Arc::new(MemEnv::new()), seed ^ 0x91_06);
+        // Separation on, tiny segments: GC always has sealed segments to
+        // rewrite, and the crash can land between vlog sync, WAL sync,
+        // and segment removal.
+        let options = Options {
+            value_log_threshold_bytes: Some(64),
+            value_log_segment_bytes: 1 << 10,
+            ..small_options(&env)
+        };
+        let db = Db::open(DIR, options.clone()).expect("fresh open");
+        let mut rng = Rng::new(seed.wrapping_mul(0xB1_0C).wrapping_add(3));
+        let cut_after = 30 + (seed % 5) * 18;
+
+        // Acked ops only, in ack order: (key, value-or-tombstone, synced).
+        let mut journal: Vec<(Vec<u8>, Option<Vec<u8>>, bool)> = Vec::new();
+        let gc_attempts = std::thread::scope(|s| {
+            let gc = {
+                let db = &db;
+                let env = env.clone();
+                s.spawn(move || {
+                    let mut attempts = 0u64;
+                    while !env.is_offline() {
+                        attempts += 1;
+                        // Offline mid-pass surfaces as an error; anything
+                        // else GC must absorb without panicking.
+                        if db.collect_value_log().is_err() {
+                            break;
+                        }
+                    }
+                    attempts
+                })
+            };
+            let mut acked = 0u64;
+            for i in 0..OPS {
+                let key = format!("vk{:03}", rng.below(VLOG_KEYS)).into_bytes();
+                let mut batch = WriteBatch::new();
+                // ~180-byte values clear the 64-byte threshold; the
+                // (seed, i) tag makes every generation distinguishable,
+                // so a resurrected old generation cannot hide.
+                let value = (rng.below(6) != 0)
+                    .then(|| format!("s{seed}-i{i:04}-{:a>180}", "").into_bytes());
+                match &value {
+                    Some(v) => batch.put(&key, v),
+                    None => batch.delete(&key),
+                }
+                let sync = rng.below(3) == 0;
+                match db.write(batch, WriteOptions { sync }) {
+                    Ok(()) => {
+                        journal.push((key, value, sync));
+                        acked += 1;
+                    }
+                    // The cut (or a GC-poisoned store after it) reached
+                    // us; nothing past this point is acknowledged.
+                    Err(_) => break,
+                }
+                if acked == cut_after {
+                    env.set_offline(true);
+                }
+            }
+            env.set_offline(true);
+            gc.join().expect("gc thread")
+        });
+        assert!(gc_attempts >= 1, "seed{seed}: GC never ran before the cut");
+
+        drop(db);
+        env.power_cut(seed.wrapping_mul(41).wrapping_add(13))
+            .unwrap_or_else(|e| panic!("seed{seed}: power_cut failed: {e}"));
+        let db = open_or_repair(&options);
+
+        // Global durable floor: the index of the last synced ack (the WAL
+        // prefix up to it is durable, and the vlog is synced before the
+        // WAL sync that acks a pointer).
+        let last_synced = journal
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, (_, _, sync))| *sync)
+            .map(|(i, _)| i);
+        let mut history: HashMap<&[u8], Vec<(usize, Option<&[u8]>)>> = HashMap::new();
+        for (i, (key, value, _)) in journal.iter().enumerate() {
+            history
+                .entry(key.as_slice())
+                .or_default()
+                .push((i, value.as_deref()));
+        }
+        for (key, hist) in &history {
+            let floor = last_synced
+                .and_then(|s| hist.iter().rev().find(|(i, _)| *i <= s))
+                .map(|(i, _)| *i);
+            let mut allowed: Vec<Option<&[u8]>> = hist
+                .iter()
+                .filter(|(i, _)| floor.is_none_or(|f| *i >= f))
+                .map(|(_, v)| *v)
+                .collect();
+            if floor.is_none() {
+                // Nothing on this key was ever durable: absence is legal.
+                allowed.push(None);
+            }
+            let got = db.get(key).unwrap_or_else(|e| {
+                panic!(
+                    "seed{seed}: get {} failed after recovery: {e}",
+                    String::from_utf8_lossy(key)
+                )
+            });
+            assert!(
+                allowed.contains(&got.as_deref()),
+                "seed{seed}: key {} recovered {:?}, not among {} admissible \
+                 versions (floor={floor:?}, last_synced={last_synced:?}); \
+                 history={:?}",
+                String::from_utf8_lossy(key),
+                got.as_ref().map(|v| String::from_utf8_lossy(v)),
+                allowed.len(),
+                hist.iter()
+                    .map(|(i, v)| (*i, v.map(|v| v.len()), journal[*i].2))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        for (key, _) in db.scan(b"", None, usize::MAX).unwrap() {
+            assert!(
+                history.contains_key(key.as_slice()),
+                "seed{seed}: key {} was never written",
+                String::from_utf8_lossy(&key),
+            );
+        }
+
+        // The recovered store must keep working: GC is harmless and the
+        // store stays writable (large values included).
+        db.collect_value_log()
+            .unwrap_or_else(|e| panic!("seed{seed}: post-recovery GC failed: {e}"));
+        let big = vec![b'z'; 200];
+        db.put(b"vk-final", &big).expect("store ends writable");
+        assert_eq!(db.get(b"vk-final").unwrap(), Some(big));
+    }
+}
+
 /// Multi-writer band: four concurrent writers stream into one store
 /// (exercising sequence reservation, leader-elected group commit, and
 /// epoch rotation under load); power is cut mid-flight. Every write a
