@@ -72,7 +72,11 @@ fn parse_args() -> Result<Config, String> {
 
 /// One arm (inline or separated) of the comparison.
 fn run_arm(cfg: &Config, separation: Option<usize>) -> String {
-    let tag = if separation.is_some() { "vlog" } else { "inline" };
+    let tag = if separation.is_some() {
+        "vlog"
+    } else {
+        "inline"
+    };
     let dir = std::env::temp_dir().join(format!("vlog-compare-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     // Small write buffer / files so the fill actually flushes and

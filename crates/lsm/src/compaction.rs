@@ -138,7 +138,7 @@ pub trait CompactionEngine: Send + Sync {
     /// Plain engines run it inline; scheduling services override this to
     /// queue it at maintenance priority.
     fn run_maintenance(&self, job: &mut dyn FnMut()) {
-        job()
+        job();
     }
 }
 

@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,7 @@ use crate::options::{
     Options, ReadOptions, WriteOptions, L0_SLOWDOWN_WRITES_TRIGGER, L0_STOP_WRITES_TRIGGER,
     NUM_LEVELS,
 };
+use crate::repl::{self, ReplChunk, WalCursor};
 use crate::sync_shim::{self, lock as shim_lock};
 use crate::table_cache::TableCache;
 use crate::version::{FileMetaData, Version, VersionEdit, VersionSet};
@@ -268,6 +269,12 @@ struct DbInner {
     /// [`Options::value_log_threshold_bytes`] is unset (values stay in
     /// the tree, legacy encoding).
     vlog: Option<Arc<VlogRuntime>>,
+    /// WAL segments numbered at or above this floor are retained even
+    /// after rotation makes them obsolete for recovery — they may still
+    /// feed a replication cursor. `u64::MAX` (the default) disables
+    /// pinning; a replicating leader lowers it to the slowest registered
+    /// replica's acknowledged segment.
+    wal_retain_floor: AtomicU64,
     shutting_down: AtomicBool,
 }
 
@@ -533,7 +540,8 @@ impl Db {
                                                 format!(
                                                     "WAL {number:06} references lost vlog \
                                                      record {}:{} (key {:?})",
-                                                    ptr.segment, ptr.offset,
+                                                    ptr.segment,
+                                                    ptr.offset,
                                                     String::from_utf8_lossy(key)
                                                 ),
                                             ));
@@ -674,6 +682,7 @@ impl Db {
             bg_work: Condvar::new(),
             table_cache,
             vlog: vlog_rt,
+            wal_retain_floor: AtomicU64::new(u64::MAX),
             shutting_down: AtomicBool::new(false),
         });
 
@@ -707,6 +716,180 @@ impl Db {
         let mut batch = WriteBatch::new();
         batch.delete(key);
         self.write(batch, WriteOptions::default())
+    }
+
+    // ------------------------------------------------------ replication
+
+    /// The visible sequence: every write at or below it is applied and
+    /// readable. Leaders hand it to clients as a read-your-writes token;
+    /// replicas compare it against tokens to decide wait-or-redirect.
+    pub fn visible_sequence(&self) -> u64 {
+        self.inner.ledger.visible()
+    }
+
+    /// The active WAL segment's file number (segments below it are
+    /// sealed).
+    pub fn current_log_number(&self) -> u64 {
+        self.inner.state.lock().log_file_number // LOCK-ORDER: db.state 10
+    }
+
+    /// Pins WAL segments numbered `floor` and above against deletion so
+    /// replication cursors inside them stay serveable. `u64::MAX`
+    /// (the default) disables pinning. The leader keeps this at the
+    /// slowest registered replica's acknowledged segment.
+    pub fn set_wal_retention_floor(&self, floor: u64) {
+        self.inner
+            .wal_retain_floor
+            .store(floor, AtomicOrdering::Release);
+    }
+
+    /// The earliest cursor this store can serve a replica from: the
+    /// oldest WAL segment still on disk that recovery would replay.
+    pub fn repl_start_cursor(&self) -> Result<WalCursor> {
+        let (log_number, active) = {
+            let state = self.inner.state.lock(); // LOCK-ORDER: db.state 10
+            (state.versions.log_number, state.log_file_number)
+        };
+        let names = self.inner.options.env.list_dir(&self.inner.dir)?;
+        let mut earliest = active;
+        for name in names {
+            if let Some(FileType::Log(n)) = parse_file_name(&name) {
+                if n >= log_number && n < earliest {
+                    earliest = n;
+                }
+            }
+        }
+        Ok(WalCursor {
+            segment: earliest,
+            offset: 0,
+        })
+    }
+
+    /// Reads up to `max_bytes` of logical replication records starting
+    /// at `cursor`. Lock-free with respect to the write path: the tailer
+    /// races appends and rotations by design (see [`crate::repl`]).
+    pub fn repl_read_chunk(&self, cursor: WalCursor, max_bytes: usize) -> Result<ReplChunk> {
+        let active = self.current_log_number();
+        let ctx = repl::TailContext {
+            env: self.inner.options.env.as_ref(),
+            dir: &self.inner.dir,
+            vlog: self.inner.vlog.as_ref(),
+            active_segment: active,
+        };
+        repl::read_chunk(&ctx, cursor, max_bytes)
+    }
+
+    /// Pushes buffered WAL (and, when dirty, value-log) bytes out far
+    /// enough for the tailer to read them. The feed loop calls this when
+    /// a chunk comes back `CaughtUp` so buffered commits don't stall the
+    /// stream until the next sync.
+    pub fn repl_flush(&self) -> Result<()> {
+        let mut epoch = shim_lock(&self.inner.epoch); // LOCK-ORDER: db.epoch 20
+        if let Some(v) = &self.inner.vlog {
+            // The tailer re-inlines pointers by reading segment files,
+            // so the value bytes must be readable before the WAL record
+            // that references them becomes so.
+            v.sync_if_dirty()?;
+        }
+        epoch.wal.flush()
+    }
+
+    /// Approximate bytes of WAL the stream position `from` has not yet
+    /// consumed — the `repl.lag.bytes` gauge.
+    pub fn repl_lag_bytes(&self, from: WalCursor) -> u64 {
+        repl::lag_bytes(self.inner.options.env.as_ref(), &self.inner.dir, from)
+    }
+
+    /// Applies one record from a leader's replication stream — the
+    /// replica half of WAL shipping. The record is WAL-appended and
+    /// applied exactly like a local group of one, except the sequence
+    /// range arrives leader-stamped ([`SeqReserver::advance_to`] instead
+    /// of a local reservation), so leader and replica assign identical
+    /// sequences to identical ops and the replica's own recovery path
+    /// replays the shipped history unchanged.
+    ///
+    /// `last_seq` is the stream-declared end of the record's reserved
+    /// range; it may exceed the batch's own op count when the leader
+    /// skipped GC-shadowed pointer ops while re-inlining. Records at or
+    /// below the current visible sequence are duplicates from a cursor
+    /// replay after reconnect and are skipped whole (record boundaries
+    /// are preserved by the stream, so overlap is always all-or-nothing).
+    ///
+    /// Returns the new visible sequence.
+    pub fn apply_replicated(&self, record: &[u8], last_seq: u64, sync: bool) -> Result<u64> {
+        let inner = &self.inner;
+        inner.ensure_room()?;
+        let batch = WriteBatch::from_data(record)?;
+        let base = batch.sequence();
+        let count = u64::from(batch.count());
+        let end_seq = last_seq.max(base + count.saturating_sub(1));
+        if end_seq <= inner.ledger.visible() {
+            return Ok(inner.ledger.visible());
+        }
+        // Re-run this store's own separation policy over the raw values;
+        // the pin guards freshly appended segments against GC until the
+        // apply is visible, mirroring `write_inner`.
+        let (batch, _append_pin) = match &inner.vlog {
+            Some(v) => {
+                let (mut rewritten, pin) = v.separate_batch(&batch)?;
+                if v.needs_stage() {
+                    let n = inner.state.lock().versions.new_file_number(); // LOCK-ORDER: db.state 10
+                    v.stage_segment(n);
+                }
+                rewritten.set_sequence(base);
+                (rewritten, pin)
+            }
+            None => (batch, None),
+        };
+        let epoch_result = {
+            let mut epoch = shim_lock(&inner.epoch); // LOCK-ORDER: db.epoch 20
+            if inner.has_bg_error.load(AtomicOrdering::Acquire) {
+                None
+            } else {
+                inner.reserver.advance_to(end_seq);
+                let commit = (|| -> Result<()> {
+                    epoch.wal.add_record(batch.data())?;
+                    if sync {
+                        if let Some(v) = &inner.vlog {
+                            v.sync_if_dirty()?;
+                        }
+                        epoch.wal.sync()?;
+                    }
+                    Ok(())
+                })();
+                let group_id = inner.ledger.register(end_seq, 1);
+                Some((Arc::clone(&epoch.mem), group_id, commit))
+            }
+        };
+        let Some((mem, group_id, commit)) = epoch_result else {
+            let msg = inner
+                .state
+                .lock() // LOCK-ORDER: db.state 10
+                .bg_error
+                .clone()
+                .unwrap_or_else(|| "background error".to_string());
+            return Err(Error::ReadOnly(msg));
+        };
+        if let Err(e) = commit {
+            // Same sticky-error contract as `lead_group`: a failed append
+            // leaves the WAL tail unknown, so the store goes read-only
+            // and the group is marked applied to unblock the watermark.
+            {
+                let mut state = inner.state.lock(); // LOCK-ORDER: db.state 10
+                inner.set_bg_error(&mut state, format!("wal commit failed: {e}"));
+            }
+            inner.ledger.finish_members(group_id, 1);
+            return Err(e);
+        }
+        apply_batch(&mem, &batch);
+        inner.ledger.finish_members(group_id, 1);
+        let occupancy = mem.approximate_memory_usage();
+        inner
+            .active_mem_bytes
+            .store(occupancy, AtomicOrdering::Relaxed);
+        inner.metrics.mem_occupancy.set(occupancy as u64);
+        inner.ledger.wait_visible(end_seq);
+        Ok(inner.ledger.visible())
     }
 
     /// Applies a batch atomically, with leader-elected group commit:
@@ -1408,8 +1591,8 @@ impl DbInner {
             return Err(Error::ReadOnly(e.clone()));
         }
         let mut epoch = shim_lock(&self.epoch); // LOCK-ORDER: db.epoch 20
-        // In-flight groups finish their ledger bookkeeping without either
-        // lock held here, so this wait cannot deadlock.
+                                                // In-flight groups finish their ledger bookkeeping without either
+                                                // lock held here, so this wait cannot deadlock.
         self.ledger.wait_visible(self.reserver.last_reserved());
         let seq = self.ledger.visible();
         let current = {
@@ -2198,6 +2381,7 @@ impl DbInner {
         let mut live: HashSet<u64> = state.versions.live_files().into_iter().collect();
         live.extend(state.pending_outputs.iter().copied());
         let log_number = state.versions.log_number;
+        let retain_floor = self.wal_retain_floor.load(AtomicOrdering::Acquire);
         let Ok(names) = self.options.env.list_dir(&self.dir) else {
             return;
         };
@@ -2206,7 +2390,11 @@ impl DbInner {
                 continue;
             };
             let (remove, number) = match ft {
-                FileType::Log(n) => (n < log_number, n),
+                // A rotated-away log is obsolete for recovery, but a
+                // replication cursor may still be tailing it: the floor
+                // pins every segment a registered replica has not yet
+                // acknowledged past.
+                FileType::Log(n) => (n < log_number && n < retain_floor, n),
                 FileType::Table(n) => (!live.contains(&n), n),
                 FileType::Temp(n) => (true, n),
                 // Value-log segments are not tracked by the version set;

@@ -31,6 +31,7 @@ pub mod memtable;
 pub mod options;
 pub mod pipeline;
 pub mod repair;
+pub mod repl;
 pub mod sync_shim;
 pub mod table_cache;
 pub mod version;
@@ -49,6 +50,8 @@ pub use db_iter::DbIter;
 pub use options::{Options, ReadOptions, WriteOptions};
 pub use pipeline::PipelinedCompactionEngine;
 pub use repair::{repair_db, RepairReport};
+pub use repl::{ChunkEnd, ReplChunk, ReplRecord, WalCursor};
+pub use wal::TailState;
 pub use write_batch::WriteBatch;
 pub use write_path::{ApplyLedger, SeqReserver};
 

@@ -152,7 +152,7 @@ pub fn repair_db(dir: impl AsRef<Path>, options: &Options) -> Result<RepairRepor
                                 }
                             }
                         }
-                        mem.add(seq, ValueType::Value, key, value)
+                        mem.add(seq, ValueType::Value, key, value);
                     }
                     BatchOp::Delete { key } => mem.add(seq, ValueType::Deletion, key, &[]),
                 }

@@ -452,7 +452,9 @@ impl VlogRuntime {
     /// True when a rotation consumed the staged number and a new one
     /// should be allocated.
     pub(crate) fn needs_stage(&self) -> bool {
-        self.staged_segment.load(sync_shim::atomic::Ordering::Acquire) == 0
+        self.staged_segment
+            .load(sync_shim::atomic::Ordering::Acquire)
+            == 0
     }
 
     /// Rewrites `batch` for storage: values at or above the threshold go
@@ -519,8 +521,7 @@ impl VlogRuntime {
             // so a sealed segment's pins are always visible to GC.
             let pin = self.pin_segments(&pinned);
             iter_result?;
-            self.dirty
-                .store(true, sync_shim::atomic::Ordering::Release);
+            self.dirty.store(true, sync_shim::atomic::Ordering::Release);
             match append_err {
                 // A failed vlog append leaves the active segment's tail
                 // in an unknown state, but nothing references it: the
@@ -549,8 +550,7 @@ impl VlogRuntime {
             .pin_segments(&[ptr.segment])
             // PANIC-OK: None only for an empty slice; one segment given.
             .expect("one segment always pins");
-        self.dirty
-            .store(true, sync_shim::atomic::Ordering::Release);
+        self.dirty.store(true, sync_shim::atomic::Ordering::Release);
         self.metrics.gc_rewrites.inc();
         self.metrics.gc_rewritten_bytes.add(value.len() as u64);
         Ok((ptr, pin))
@@ -711,8 +711,7 @@ impl VlogRuntime {
 
     /// Removes a fully-collected segment and drops its reader handle.
     pub(crate) fn remove_segment(&self, segment: u64) -> Result<()> {
-        self.env
-            .remove_file(&vlog_file_name(&self.dir, segment))?;
+        self.env.remove_file(&vlog_file_name(&self.dir, segment))?;
         self.readers.evict(segment);
         self.metrics.gc_segments_retired.inc();
         use sync_shim::atomic::Ordering;
@@ -744,7 +743,8 @@ fn record_body_upper_bound(value_len: u32) -> u64 {
 pub(crate) fn list_segments(env: &dyn StorageEnv, dir: &Path) -> Result<Vec<u64>> {
     let mut out = Vec::new();
     for name in env.list_dir(dir)? {
-        if let Some(crate::filename::FileType::ValueLog(n)) = crate::filename::parse_file_name(&name)
+        if let Some(crate::filename::FileType::ValueLog(n)) =
+            crate::filename::parse_file_name(&name)
         {
             out.push(n);
         }
@@ -840,15 +840,17 @@ mod tests {
     fn runtime(env: &Arc<MemEnv>) -> Arc<VlogRuntime> {
         let (obs, _clock) = obs::Obs::manual();
         env.create_dir_all(Path::new("/v")).unwrap();
-        Arc::new(VlogRuntime::recover(
-            Arc::clone(env) as Arc<dyn StorageEnv>,
-            Path::new("/v"),
-            64,
-            1 << 20,
-            2,
-            &obs.registry,
+        Arc::new(
+            VlogRuntime::recover(
+                Arc::clone(env) as Arc<dyn StorageEnv>,
+                Path::new("/v"),
+                64,
+                1 << 20,
+                2,
+                &obs.registry,
+            )
+            .unwrap(),
         )
-        .unwrap())
     }
 
     #[test]

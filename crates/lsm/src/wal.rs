@@ -130,13 +130,40 @@ impl LogWriter {
     }
 }
 
+/// Why [`LogReader::read_record`] returned `None`: the shape of the log's
+/// tail. A *live* log (one a writer is still appending to) ends cleanly
+/// between records or mid-record depending on when the reader sampled it;
+/// the replication tailer uses this to tell "end of durable prefix, poll
+/// again at [`LogReader::resume_pos`]" apart from "a record is mid-flight
+/// (or was torn by a crash), re-read it once more bytes land".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TailState {
+    /// The reader consumed every complete record and stopped exactly at
+    /// the end of the written bytes (or at zeroed preallocated space).
+    #[default]
+    CleanEof,
+    /// The log ends mid-record: a partial header, a payload running past
+    /// the end of the file, or an unterminated FIRST/MIDDLE fragment
+    /// chain. On a live log this is an append caught in flight; after a
+    /// crash it is the torn tail recovery silently drops.
+    Torn,
+}
+
 /// Reads records back, skipping corrupt tails (crash recovery semantics:
 /// a torn final record is expected and silently ends the log).
 pub struct LogReader {
     data: Vec<u8>,
     pos: usize,
+    /// End offset of the last *fully returned* logical record (or the
+    /// start offset): the position a tailer can safely resume from.
+    /// Never advances into a padding skip or a partial record, so
+    /// re-reading from here after the writer appends more bytes replays
+    /// nothing and fabricates nothing.
+    consumed: usize,
     /// Fragments of an in-progress logical record.
     scratch: Vec<u8>,
+    /// Why the last `read_record` pass ended (meaningful after `None`).
+    tail: TailState,
     /// Set when corruption (other than a clean EOF) was skipped.
     corruption_detected: bool,
     /// Count of physical records dropped for corruption; lets the logical
@@ -147,14 +174,36 @@ pub struct LogReader {
 impl LogReader {
     /// Reads the entire log file into memory and prepares to iterate.
     pub fn new(file: &dyn RandomAccessFile) -> Result<Self> {
+        Self::new_at(file, 0)
+    }
+
+    /// Reads the log file and prepares to iterate from byte `offset` — a
+    /// resume point previously obtained from [`LogReader::resume_pos`].
+    /// An offset past the end of the file (the file shrank, which no
+    /// append-only writer does) clamps to the end and reads nothing.
+    pub fn new_at(file: &dyn RandomAccessFile, offset: u64) -> Result<Self> {
         let data = file.read_all().map_err(Error::from)?;
+        let pos = (offset as usize).min(data.len());
         Ok(LogReader {
             data,
-            pos: 0,
+            pos,
+            consumed: pos,
             scratch: Vec::new(),
+            tail: TailState::CleanEof,
             corruption_detected: false,
             corruptions_skipped: 0,
         })
+    }
+
+    /// The byte offset just past the last fully returned record: pass it
+    /// to [`LogReader::new_at`] to continue where this pass stopped.
+    pub fn resume_pos(&self) -> u64 {
+        self.consumed as u64
+    }
+
+    /// The tail shape observed when `read_record` last returned `None`.
+    pub fn tail_state(&self) -> TailState {
+        self.tail
     }
 
     /// True if any mid-log corruption was skipped during reading.
@@ -168,7 +217,15 @@ impl LogReader {
         let mut in_fragmented = false;
         loop {
             let corruptions_before = self.corruptions_skipped;
-            let (ty, payload) = self.read_physical()?;
+            let Some((ty, payload)) = self.read_physical() else {
+                if in_fragmented {
+                    // The log ends inside a FIRST/MIDDLE chain: the
+                    // logical record is incomplete no matter how cleanly
+                    // the last fragment's bytes stopped.
+                    self.tail = TailState::Torn;
+                }
+                return None;
+            };
             if self.corruptions_skipped != corruptions_before && in_fragmented {
                 // A fragment of the in-progress record was lost to
                 // corruption; splicing the remainder would fabricate a
@@ -182,6 +239,7 @@ impl LogReader {
                         // Unterminated FIRST: drop it.
                         self.corruption_detected = true;
                     }
+                    self.consumed = self.pos;
                     return Some(payload);
                 }
                 RecordType::First => {
@@ -202,6 +260,7 @@ impl LogReader {
                 RecordType::Last => {
                     if in_fragmented {
                         self.scratch.extend_from_slice(&payload);
+                        self.consumed = self.pos;
                         return Some(std::mem::take(&mut self.scratch));
                     }
                     self.corruption_detected = true;
@@ -221,18 +280,27 @@ impl LogReader {
                 continue;
             }
             if self.pos + HEADER_SIZE > self.data.len() {
-                return None; // clean EOF (possibly torn header)
+                // Exactly at the end: clean EOF. Short of a full header:
+                // a header caught mid-write (or torn by a crash).
+                self.tail = if self.pos == self.data.len() {
+                    TailState::CleanEof
+                } else {
+                    TailState::Torn
+                };
+                return None;
             }
             let header = &self.data[self.pos..self.pos + HEADER_SIZE];
             let length = u16::from_le_bytes([header[4], header[5]]) as usize;
             let ty_byte = header[6];
             if ty_byte == 0 && length == 0 {
                 // Zeroed padding / preallocated region: end of log.
+                self.tail = TailState::CleanEof;
                 return None;
             }
             let start = self.pos + HEADER_SIZE;
             if start + length > self.data.len() {
                 // Torn write at the tail.
+                self.tail = TailState::Torn;
                 return None;
             }
             let stored_crc = crc32c::unmask(decode_fixed32(&header[..4]));
@@ -371,5 +439,157 @@ mod tests {
         let (got, corrupt) = read_records(&env, "/log");
         assert!(got.is_empty());
         assert!(!corrupt);
+    }
+
+    // ---- resume semantics: the replication tailer's contract ----------
+
+    /// Reads from `offset`, returning the records plus the reader's final
+    /// resume position and tail state.
+    fn read_from(env: &dyn StorageEnv, path: &str, offset: u64) -> (Vec<Vec<u8>>, u64, TailState) {
+        let f = env.open_random_access(Path::new(path)).unwrap();
+        let mut r = LogReader::new_at(f.as_ref(), offset).unwrap();
+        let mut out = Vec::new();
+        while let Some(rec) = r.read_record() {
+            out.push(rec);
+        }
+        (out, r.resume_pos(), r.tail_state())
+    }
+
+    #[test]
+    fn clean_eof_resume_sees_later_appends_exactly_once() {
+        // Model a live tail with two snapshots of the same append stream:
+        // the framing is deterministic, so `/later` is `/early` plus one
+        // more record.
+        let env = MemEnv::new();
+        let r1 = b"first".to_vec();
+        let r2 = vec![7u8; 4000];
+        let r3 = b"appended-after-the-first-poll".to_vec();
+        write_records(&env, "/early", &[r1.clone(), r2.clone()]);
+        write_records(&env, "/later", &[r1.clone(), r2.clone(), r3.clone()]);
+
+        let (got, resume, tail) = read_from(&env, "/early", 0);
+        assert_eq!(got, vec![r1, r2]);
+        assert_eq!(tail, TailState::CleanEof);
+
+        // Poll again at the resume offset once more bytes exist: only the
+        // new record appears — nothing replayed, nothing skipped.
+        let (got, _, tail) = read_from(&env, "/later", resume);
+        assert_eq!(got, vec![r3]);
+        assert_eq!(tail, TailState::CleanEof);
+    }
+
+    #[test]
+    fn torn_tail_stops_before_the_partial_record() {
+        let env = MemEnv::new();
+        let r1 = b"complete".to_vec();
+        let r2 = vec![9u8; 5000];
+        write_records(&env, "/full", &[r1.clone(), r2.clone()]);
+        let full = env
+            .open_random_access(Path::new("/full"))
+            .unwrap()
+            .read_all()
+            .unwrap();
+        // Cut mid-way through the second record's payload.
+        let mut w = env.create_writable(Path::new("/torn")).unwrap();
+        w.append(&full[..full.len() - 1000]).unwrap();
+        drop(w);
+
+        let (got, resume, tail) = read_from(&env, "/torn", 0);
+        assert_eq!(got, vec![r1.clone()]);
+        assert_eq!(tail, TailState::Torn);
+        // The resume point sits before the torn record, so once the
+        // append completes (the full file) the record is read whole.
+        let (got, _, tail) = read_from(&env, "/full", resume);
+        assert_eq!(got, vec![r2]);
+        assert_eq!(tail, TailState::CleanEof);
+    }
+
+    #[test]
+    fn truncated_header_is_torn_not_clean() {
+        let env = MemEnv::new();
+        write_records(&env, "/full", &[b"rec".to_vec()]);
+        let full = env
+            .open_random_access(Path::new("/full"))
+            .unwrap()
+            .read_all()
+            .unwrap();
+        // Keep 3 bytes: less than a header — an append caught mid-write.
+        let mut w = env.create_writable(Path::new("/stub")).unwrap();
+        w.append(&full[..3]).unwrap();
+        drop(w);
+        let (got, resume, tail) = read_from(&env, "/stub", 0);
+        assert!(got.is_empty());
+        assert_eq!(resume, 0);
+        assert_eq!(tail, TailState::Torn);
+    }
+
+    #[test]
+    fn fragment_chain_cut_between_fragments_is_torn() {
+        let env = MemEnv::new();
+        // One record spanning three blocks; cut exactly at a block
+        // boundary so the FIRST fragment itself ends cleanly but the
+        // logical record does not.
+        write_records(&env, "/full", &[vec![5u8; 3 * BLOCK_SIZE]]);
+        let full = env
+            .open_random_access(Path::new("/full"))
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let mut w = env.create_writable(Path::new("/cut")).unwrap();
+        w.append(&full[..BLOCK_SIZE]).unwrap();
+        drop(w);
+        let (got, resume, tail) = read_from(&env, "/cut", 0);
+        assert!(got.is_empty());
+        assert_eq!(resume, 0, "resume must stay before the open chain");
+        assert_eq!(tail, TailState::Torn);
+    }
+
+    #[test]
+    fn fault_env_power_cut_tails_resume_consistently() {
+        use sstable::env::FaultEnv;
+        use std::sync::Arc;
+        // A synced record followed by an unsynced one, power-cut under a
+        // band of seeds: every surviving prefix must read back the synced
+        // record, resume exactly at its end unless the unsynced record
+        // survived whole, and report Torn exactly when partial bytes of
+        // the unsynced record were kept.
+        for seed in 0..16u64 {
+            let env = FaultEnv::new(Arc::new(MemEnv::new()), seed);
+            let path = Path::new("/wal");
+            let f = env.create_writable(path).unwrap();
+            env.sync_dir(Path::new("/")).unwrap();
+            let mut w = LogWriter::new(f);
+            let synced_rec = b"durable-record".to_vec();
+            let unsynced_rec = vec![3u8; 2000];
+            w.add_record(&synced_rec).unwrap();
+            w.sync().unwrap();
+            let synced_end = env.synced_len(path).unwrap();
+            w.add_record(&unsynced_rec).unwrap();
+            w.flush().unwrap();
+            drop(w);
+            env.power_cut(seed ^ 0xC0DE).unwrap();
+
+            let survived = env
+                .open_random_access(path)
+                .unwrap()
+                .read_all()
+                .unwrap()
+                .len() as u64;
+            let (got, resume, tail) = read_from(&env, "/wal", 0);
+            if got.len() == 2 {
+                // The whole torn tail survived.
+                assert_eq!(got[1], unsynced_rec, "seed {seed}");
+                assert_eq!(tail, TailState::CleanEof, "seed {seed}");
+            } else {
+                assert_eq!(got, vec![synced_rec.clone()], "seed {seed}");
+                assert_eq!(resume, synced_end, "seed {seed}");
+                let expect = if survived == synced_end {
+                    TailState::CleanEof
+                } else {
+                    TailState::Torn
+                };
+                assert_eq!(tail, expect, "seed {seed}");
+            }
+        }
     }
 }

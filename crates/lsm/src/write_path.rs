@@ -65,6 +65,16 @@ impl SeqReserver {
     pub fn last_reserved(&self) -> u64 {
         self.next.load(Ordering::Acquire) - 1
     }
+
+    /// Marks everything at or below `seq` as reserved, without
+    /// allocating: a replica applying a leader's replication stream uses
+    /// the sequences stamped by the leader instead of reserving its own,
+    /// but rotation boundaries and local writes still need
+    /// [`SeqReserver::last_reserved`] to cover them. `fetch_max` keeps
+    /// this monotone against concurrent local reservations.
+    pub fn advance_to(&self, seq: u64) {
+        self.next.fetch_max(seq + 1, Ordering::AcqRel);
+    }
 }
 
 /// One registered, not-yet-fully-applied commit group.

@@ -28,7 +28,10 @@ struct Op {
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        ((0u8..16, any::<bool>(), any::<bool>()), (any::<u8>(), any::<u8>(), any::<u8>()))
+        (
+            (0u8..16, any::<bool>(), any::<bool>()),
+            (any::<u8>(), any::<u8>(), any::<u8>()),
+        )
             .prop_map(|((key_id, delete, large), (fill, flush, gc))| Op {
                 key_id,
                 delete,

@@ -665,7 +665,7 @@ impl CompactionEngine for ShardOffloadHandle {
     }
 
     fn run_maintenance(&self, job: &mut dyn FnMut()) {
-        self.service.run_maintenance(job)
+        self.service.run_maintenance(job);
     }
 }
 

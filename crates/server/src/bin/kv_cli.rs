@@ -21,7 +21,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: kv-cli --addr HOST:PORT <get KEY | put KEY VALUE [--sync] | \
-                 del KEY [--sync] | scan START [END] [--limit N] | stats [--json]>"
+                 del KEY [--sync] | scan START [END] [--limit N] | stats [--json] | \
+                 seq | promote | shutdown>"
             );
             std::process::exit(1);
         }
@@ -56,7 +57,11 @@ fn run(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
-    let mut client = KvClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Bounded-backoff connect: a server that is restarting (rolling
+    // upgrade, failover promotion) comes back within a few seconds, and
+    // a one-shot tool should ride that out rather than fail its script.
+    let mut client = KvClient::connect_with_backoff(&addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     match rest.as_slice() {
         ["get", key] => match client.get(key.as_bytes()).map_err(|e| e.to_string())? {
             Some(v) => println!("{}", String::from_utf8_lossy(&v)),
@@ -79,6 +84,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?,
         ),
         ["stats"] => println!("{}", client.stats(json).map_err(|e| e.to_string())?),
+        ["promote"] => {
+            client.promote().map_err(|e| e.to_string())?;
+            println!("promoted");
+        }
+        ["shutdown"] => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("shut down");
+        }
+        ["seq"] => {
+            let seqs = client.get_seq().map_err(|e| e.to_string())?;
+            for (shard, seq) in seqs.iter().enumerate() {
+                println!("shard{shard}\t{seq}");
+            }
+        }
         _ => return Err("unrecognized command".into()),
     }
     Ok(())

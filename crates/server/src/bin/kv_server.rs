@@ -70,6 +70,18 @@ fn parse_args() -> Result<Args, String> {
             "--records" => {
                 out.config.key_space = Some(value.parse().map_err(|e| format!("--records: {e}"))?);
             }
+            // Key-value separation threshold (bytes); values at or above
+            // it go to each shard's value log.
+            "--vlog-threshold" => {
+                out.config.value_log_threshold = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--vlog-threshold: {e}"))?,
+                );
+            }
+            // Run as a replica of the leader at ADDR: reject writes,
+            // stream and apply its WAL until promoted.
+            "--replica-of" => out.config.replica_of = Some(value),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -85,7 +97,7 @@ fn main() {
             eprintln!(
                 "usage: kv-server [--listen ADDR] [--root DIR] [--shards N] [--engines K] \
                  [--sync] [--write-buffer BYTES] [--max-file BYTES] [--key-len N] \
-                 [--records N]"
+                 [--records N] [--vlog-threshold BYTES] [--replica-of ADDR]"
             );
             std::process::exit(2);
         }
@@ -93,6 +105,10 @@ fn main() {
     let shards = args.config.shards;
     let engines = args.config.engine_slots;
     let sync = args.config.sync_writes;
+    let role = match &args.config.replica_of {
+        Some(leader) => format!("replica-of={leader}"),
+        None => "leader".to_string(),
+    };
     let kv = match KvServer::open(args.config) {
         Ok(kv) => kv,
         Err(e) => {
@@ -108,12 +124,15 @@ fn main() {
         }
     };
     println!(
-        "listening on {} shards={shards} engines={engines} sync={sync}",
+        "listening on {} shards={shards} engines={engines} sync={sync} role={role}",
         handle.addr()
     );
     let _ = std::io::stdout().flush();
-    // Serve until killed.
-    loop {
-        std::thread::park();
-    }
+    // Serve until killed — or until a graceful `Shutdown` request
+    // finishes its drain and replication flush.
+    handle.wait_shutdown();
+    handle.quiesce();
+    // Give the shutdown request's `Ok` response a moment to flush to the
+    // client before the process (and its sockets) go away.
+    std::thread::sleep(std::time::Duration::from_millis(100));
 }

@@ -70,6 +70,29 @@ impl KvClient {
         })
     }
 
+    /// Connects with bounded exponential backoff (10ms doubling to 1s
+    /// between attempts) for up to `total` wall time — the tool-side
+    /// answer to a server that is restarting or not yet listening.
+    pub fn connect_with_backoff<A: ToSocketAddrs + Clone>(
+        addr: A,
+        total: Duration,
+    ) -> Result<KvClient> {
+        let deadline = std::time::Instant::now() + total;
+        let mut pause = Duration::from_millis(10);
+        loop {
+            match KvClient::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if std::time::Instant::now() + pause >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(pause);
+                    pause = (pause * 2).min(Duration::from_secs(1));
+                }
+            }
+        }
+    }
+
     /// Socket read timeout for every subsequent response wait.
     pub fn set_timeout(&self, dur: Option<Duration>) -> Result<()> {
         self.stream.set_read_timeout(dur)?;
@@ -161,6 +184,7 @@ impl KvClient {
     /// Resume with `start` just past the last returned key; an empty,
     /// incomplete reply means the very next pair alone exceeds the frame
     /// budget, so fetch that key with [`KvClient::get`] instead.
+    #[allow(clippy::type_complexity)]
     pub fn scan_partial(
         &mut self,
         start: &[u8],
@@ -190,6 +214,75 @@ impl KvClient {
     pub fn stats(&mut self, json: bool) -> Result<String> {
         match self.request(&Request::Stats { json })? {
             Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Acknowledges replicated progress to the leader: replica `replica`
+    /// durably applied shard `shard` through `(segment, offset)` /
+    /// sequence `seq`.
+    pub fn repl_ack(
+        &mut self,
+        replica: u64,
+        shard: u32,
+        segment: u64,
+        offset: u64,
+        seq: u64,
+    ) -> Result<()> {
+        match self.request(&Request::ReplAck {
+            replica,
+            shard,
+            segment,
+            offset,
+            seq,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Per-shard visible sequences: the read-your-writes session token a
+    /// client takes from the leader and carries to replica reads.
+    pub fn get_seq(&mut self) -> Result<Vec<u64>> {
+        match self.request(&Request::GetSeq)? {
+            Response::SeqTokens(seqs) => Ok(seqs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Token-gated point lookup on a replica. `Ok(Err(applied))` means
+    /// the replica is lagging behind the token: its applied sequence is
+    /// `applied`; retry here or read from the leader.
+    #[allow(clippy::type_complexity)]
+    pub fn get_ryw(
+        &mut self,
+        key: &[u8],
+        min_seqs: &[u64],
+    ) -> Result<std::result::Result<Option<Vec<u8>>, u64>> {
+        match self.request(&Request::GetRyw {
+            key: key.to_vec(),
+            min_seqs: min_seqs.to_vec(),
+        })? {
+            Response::Value(v) => Ok(Ok(Some(v))),
+            Response::NotFound => Ok(Ok(None)),
+            Response::Lagging { applied } => Ok(Err(applied)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promotes the connected replica to leader (idempotent).
+    pub fn promote(&mut self) -> Result<()> {
+        match self.request(&Request::Promote)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; `Ok` arrives only after
+    /// the drain and replication flush completed.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
             other => Err(unexpected(other)),
         }
     }

@@ -15,6 +15,9 @@
 //!   engine slots every shard's compactions contend for, and `server.*`
 //!   metrics on the shared `obs` registry.
 //! * [`client`] — blocking client used by `kv-cli` and the load driver.
+//! * `repl` — WAL-shipping replication: leader feed serving, replica
+//!   apply loop, semi-sync ack waits, and the `repl.*` metric family
+//!   (see DESIGN.md "Replication").
 //! * [`load`] — YCSB replay at configurable connection counts,
 //!   reporting p50/p95/p99 (used by `load_gen` and the saturation
 //!   bench).
@@ -26,6 +29,7 @@
 pub mod client;
 pub mod load;
 pub mod proto;
+pub(crate) mod repl;
 pub mod router;
 pub mod server;
 

@@ -73,6 +73,9 @@ pub struct LoadReport {
     /// Protocol-level failures (decode errors, `ProtoErr`, transport
     /// failures mid-run). The smoke gate asserts this is zero.
     pub protocol_errors: u64,
+    /// Successful reconnects after a transient transport failure — the
+    /// worker rode out a server restart instead of aborting its stream.
+    pub reconnects: u64,
     /// Timed-phase wall time.
     pub elapsed: Duration,
     /// Client-observed op latency distribution.
@@ -95,7 +98,7 @@ impl LoadReport {
     pub fn summary_line(&self, label: &str) -> String {
         format!(
             "load_gen {label} ops={} throughput_ops_s={} p50_us={} p95_us={} p99_us={} \
-             storage_errors={} protocol_errors={}",
+             storage_errors={} protocol_errors={} reconnects={}",
             self.ops,
             self.throughput_ops_s(),
             self.latency.p50,
@@ -103,6 +106,7 @@ impl LoadReport {
             self.latency.p99,
             self.storage_errors,
             self.protocol_errors,
+            self.reconnects,
         )
     }
 }
@@ -155,6 +159,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, crate::client::ClientError> {
     let ops_done = Arc::new(AtomicU64::new(0));
     let storage_errors = Arc::new(AtomicU64::new(0));
     let protocol_errors = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
 
     let started = Instant::now();
@@ -166,6 +171,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, crate::client::ClientError> {
             let ops_done = Arc::clone(&ops_done);
             let storage_errors = Arc::clone(&storage_errors);
             let protocol_errors = Arc::clone(&protocol_errors);
+            let reconnects = Arc::clone(&reconnects);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 connection_worker(
@@ -176,6 +182,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, crate::client::ClientError> {
                     &ops_done,
                     &storage_errors,
                     &protocol_errors,
+                    &reconnects,
                     &stop,
                 );
             })
@@ -190,9 +197,43 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, crate::client::ClientError> {
         ops: ops_done.load(Ordering::Relaxed),
         storage_errors: storage_errors.load(Ordering::Relaxed),
         protocol_errors: protocol_errors.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
         elapsed,
         latency: latency.snapshot(),
     })
+}
+
+/// Bounded-exponential-backoff connect for a worker thread: 10ms
+/// doubling to 1s between attempts, giving up after ~10s of trying (or
+/// earlier at the run deadline / stop flag). Rides out a server restart
+/// mid-run instead of aborting the stream on the first refused connect.
+fn connect_with_retry(
+    cfg: &LoadConfig,
+    deadline: Option<Instant>,
+    stop: &AtomicBool,
+) -> Option<KvClient> {
+    let give_up = Instant::now() + Duration::from_secs(10);
+    let mut pause = Duration::from_millis(10);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return None;
+            }
+        }
+        match KvClient::connect(&cfg.addr) {
+            Ok(client) => return Some(client),
+            Err(_) => {
+                if Instant::now() >= give_up {
+                    return None;
+                }
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -204,9 +245,10 @@ fn connection_worker(
     ops_done: &AtomicU64,
     storage_errors: &AtomicU64,
     protocol_errors: &AtomicU64,
+    reconnects: &AtomicU64,
     stop: &AtomicBool,
 ) {
-    let Ok(mut client) = KvClient::connect(&cfg.addr) else {
+    let Some(mut client) = connect_with_retry(cfg, deadline, stop) else {
         protocol_errors.fetch_add(1, Ordering::Relaxed);
         return;
     };
@@ -251,6 +293,27 @@ fn connection_worker(
             }
             Err(crate::client::ClientError::Rejected(_)) => {
                 storage_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            // A dropped connection is transient (server restart, failover
+            // promotion): reconnect with backoff and keep replaying. Only
+            // an exhausted retry budget counts as a protocol failure.
+            Err(crate::client::ClientError::Io(_)) => {
+                match connect_with_retry(cfg, deadline, stop) {
+                    Some(c) => {
+                        client = c;
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        // Ran out of retry budget mid-run; a run that
+                        // simply ended (stop flag, deadline) is clean.
+                        let run_over = stop.load(Ordering::Relaxed)
+                            || deadline.is_some_and(|d| Instant::now() >= d);
+                        if !run_over {
+                            protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                }
             }
             Err(_) => {
                 protocol_errors.fetch_add(1, Ordering::Relaxed);

@@ -12,10 +12,14 @@
 //! larger is rejected before allocation, so a hostile peer cannot make
 //! the server reserve gigabytes from four bytes of input.
 //!
-//! Request bodies start with an opcode byte; response bodies with a tag
-//! byte. Variable-length fields are `u32 LE` length + bytes. Requests on
-//! one connection are answered strictly in order, which is what lets
-//! clients pipeline: send N frames back-to-back, then read N responses.
+//! Every body starts with a one-byte protocol version
+//! ([`PROTO_VERSION`]): mixed-version nodes fail loudly with
+//! [`ProtoError::VersionMismatch`] on the first frame instead of
+//! misparsing each other's fields. Request bodies continue with an opcode
+//! byte; response bodies with a tag byte. Variable-length fields are
+//! `u32 LE` length + bytes. Requests on one connection are answered
+//! strictly in order, which is what lets clients pipeline: send N frames
+//! back-to-back, then read N responses.
 //!
 //! The codec is pure and panic-free on arbitrary input (it is inside the
 //! xtask no-panics lint scope): decode failures return [`ProtoError`],
@@ -27,6 +31,11 @@ use std::fmt;
 /// Largest accepted frame body (16 MiB) — comfortably above the largest
 /// legitimate value/batch, far below an allocation attack.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Wire protocol version, the first byte of every frame body. Bumped on
+/// any incompatible layout change; a peer speaking another version is
+/// answered with a [`Response::ProtoErr`] and the connection closes.
+pub const PROTO_VERSION: u8 = 1;
 
 /// Request opcodes (first body byte).
 pub mod opcode {
@@ -42,6 +51,18 @@ pub mod opcode {
     pub const WRITE_BATCH: u8 = 0x05;
     /// Metrics export.
     pub const STATS: u8 = 0x06;
+    /// Replication handshake: replica announces resume cursors.
+    pub const REPL_HELLO: u8 = 0x07;
+    /// Replication progress acknowledgement.
+    pub const REPL_ACK: u8 = 0x08;
+    /// Promote this replica to leader.
+    pub const PROMOTE: u8 = 0x09;
+    /// Read the per-shard visible sequences (read-your-writes tokens).
+    pub const GET_SEQ: u8 = 0x0A;
+    /// Token-gated point lookup on a replica.
+    pub const GET_RYW: u8 = 0x0B;
+    /// Graceful shutdown: drain, flush the replication stream, exit.
+    pub const SHUTDOWN: u8 = 0x0C;
 }
 
 /// Response tags (first body byte).
@@ -59,6 +80,13 @@ pub mod tag {
     /// Key/value pair list follows, truncated server-side (frame budget
     /// or pair limit): more data may exist past the last returned key.
     pub const PAIRS_PARTIAL: u8 = 0x05;
+    /// One replication stream record follows.
+    pub const REPLICATE: u8 = 0x06;
+    /// Per-shard visible sequence list follows.
+    pub const SEQ_TOKENS: u8 = 0x07;
+    /// Replica cannot serve the requested token yet; its applied
+    /// sequence follows.
+    pub const LAGGING: u8 = 0x08;
     /// Storage-side error (store stays usable; request failed).
     pub const ERR: u8 = 0x10;
     /// Protocol violation (connection closes after this).
@@ -136,6 +164,48 @@ pub enum Request {
         /// JSON (`true`) or text (`false`).
         json: bool,
     },
+    /// Replication handshake. The connection becomes a one-way feed: the
+    /// leader answers [`Response::Ok`], then streams
+    /// [`Response::Replicate`] frames resuming from these cursors.
+    ReplHello {
+        /// Resume cursor per shard, in shard order: `(segment, offset)`.
+        cursors: Vec<(u64, u64)>,
+    },
+    /// Replication progress: the replica durably applied shard `shard`
+    /// through WAL position `(segment, offset)` / sequence `seq`. Sent on
+    /// a separate control connection so acks never queue behind the feed;
+    /// `replica` is the id the handshake's [`Response::SeqTokens`] reply
+    /// assigned, tying the two connections together.
+    ReplAck {
+        /// Replica id from the handshake reply.
+        replica: u64,
+        /// Shard index.
+        shard: u32,
+        /// Acknowledged WAL segment.
+        segment: u64,
+        /// Acknowledged byte offset within the segment.
+        offset: u64,
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Promote this replica to leader: stop applying, start accepting
+    /// writes.
+    Promote,
+    /// Read the per-shard visible sequences — the read-your-writes
+    /// session token a client carries to replica reads.
+    GetSeq,
+    /// Token-gated point lookup on a replica: serve `key` only once the
+    /// owning shard's applied sequence reaches its entry in `min_seqs`
+    /// (shard order, as returned by [`Request::GetSeq`]).
+    GetRyw {
+        /// User key.
+        key: Vec<u8>,
+        /// Minimum applied sequence per shard.
+        min_seqs: Vec<u64>,
+    },
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// flush the replication stream, exit.
+    Shutdown,
 }
 
 /// A decoded response frame.
@@ -157,6 +227,29 @@ pub enum Response {
     PairsPartial(Vec<(Vec<u8>, Vec<u8>)>),
     /// Stats payload (text or JSON, per the request).
     Stats(String),
+    /// One replication stream record: a sequence-stamped `WriteBatch`
+    /// encoding lifted off shard `shard`'s WAL.
+    Replicate {
+        /// Shard index the record belongs to.
+        shard: u32,
+        /// WAL segment the record came from.
+        segment: u64,
+        /// Byte offset of the *next* record (the replica's resume
+        /// cursor once this record is applied).
+        offset: u64,
+        /// Last sequence the leader reserved for this record's batch.
+        last_seq: u64,
+        /// `lsm::WriteBatch` wire bytes with every value re-inlined.
+        record: Vec<u8>,
+    },
+    /// Per-shard visible sequences, in shard order.
+    SeqTokens(Vec<u64>),
+    /// The replica's applied sequence is below the requested token; the
+    /// client retries here or redirects to the leader.
+    Lagging {
+        /// The shard's current applied sequence.
+        applied: u64,
+    },
     /// Storage-side failure; the connection stays open.
     Err(String),
     /// Protocol violation; the server closes the connection after
@@ -182,6 +275,9 @@ pub enum ProtoError {
     TrailingBytes,
     /// A length field points past the end of the body.
     LengthOverflow,
+    /// The peer speaks a different protocol version; the payload is the
+    /// version byte it sent. The connection closes after reporting it.
+    VersionMismatch(u8),
 }
 
 impl fmt::Display for ProtoError {
@@ -194,6 +290,10 @@ impl fmt::Display for ProtoError {
             ProtoError::BadBatchOp(k) => write!(f, "unknown batch op kind {k:#04x}"),
             ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
             ProtoError::LengthOverflow => write!(f, "length field overruns frame"),
+            ProtoError::VersionMismatch(v) => write!(
+                f,
+                "protocol version mismatch: peer sent {v}, this node speaks {PROTO_VERSION}"
+            ),
         }
     }
 }
@@ -203,6 +303,10 @@ impl std::error::Error for ProtoError {}
 // ---------------------------------------------------------------- encode
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -219,7 +323,7 @@ pub fn encode_frame(out: &mut Vec<u8>, body: &[u8]) {
 
 /// Encodes `req` (body only, no length prefix) into a fresh buffer.
 pub fn encode_request_body(req: &Request) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = vec![PROTO_VERSION];
     match req {
         Request::Get { key } => {
             out.push(opcode::GET);
@@ -270,13 +374,46 @@ pub fn encode_request_body(req: &Request) -> Vec<u8> {
             out.push(opcode::STATS);
             out.push(u8::from(*json));
         }
+        Request::ReplHello { cursors } => {
+            out.push(opcode::REPL_HELLO);
+            put_u32(&mut out, cursors.len() as u32);
+            for (segment, offset) in cursors {
+                put_u64(&mut out, *segment);
+                put_u64(&mut out, *offset);
+            }
+        }
+        Request::ReplAck {
+            replica,
+            shard,
+            segment,
+            offset,
+            seq,
+        } => {
+            out.push(opcode::REPL_ACK);
+            put_u64(&mut out, *replica);
+            put_u32(&mut out, *shard);
+            put_u64(&mut out, *segment);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *seq);
+        }
+        Request::Promote => out.push(opcode::PROMOTE),
+        Request::GetSeq => out.push(opcode::GET_SEQ),
+        Request::GetRyw { key, min_seqs } => {
+            out.push(opcode::GET_RYW);
+            put_bytes(&mut out, key);
+            put_u32(&mut out, min_seqs.len() as u32);
+            for s in min_seqs {
+                put_u64(&mut out, *s);
+            }
+        }
+        Request::Shutdown => out.push(opcode::SHUTDOWN),
     }
     out
 }
 
 /// Encodes `resp` (body only, no length prefix) into a fresh buffer.
 pub fn encode_response_body(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = vec![PROTO_VERSION];
     match resp {
         Response::Ok => out.push(tag::OK),
         Response::NotFound => out.push(tag::NOT_FOUND),
@@ -303,6 +440,31 @@ pub fn encode_response_body(resp: &Response) -> Vec<u8> {
         Response::Stats(s) => {
             out.push(tag::STATS);
             out.extend_from_slice(s.as_bytes());
+        }
+        Response::Replicate {
+            shard,
+            segment,
+            offset,
+            last_seq,
+            record,
+        } => {
+            out.push(tag::REPLICATE);
+            put_u32(&mut out, *shard);
+            put_u64(&mut out, *segment);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *last_seq);
+            put_bytes(&mut out, record);
+        }
+        Response::SeqTokens(seqs) => {
+            out.push(tag::SEQ_TOKENS);
+            put_u32(&mut out, seqs.len() as u32);
+            for s in seqs {
+                put_u64(&mut out, *s);
+            }
+        }
+        Response::Lagging { applied } => {
+            out.push(tag::LAGGING);
+            put_u64(&mut out, *applied);
         }
         Response::Err(msg) => {
             out.push(tag::ERR);
@@ -355,6 +517,23 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(arr))
     }
 
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let end = self.pos.checked_add(8).ok_or(ProtoError::Truncated)?;
+        let bytes = self.body.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads and checks the version byte every body leads with.
+    fn version(&mut self) -> Result<(), ProtoError> {
+        let v = self.u8()?;
+        if v != PROTO_VERSION {
+            return Err(ProtoError::VersionMismatch(v));
+        }
+        Ok(())
+    }
+
     fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
         let len = self.u32()? as usize;
         if len > MAX_FRAME {
@@ -393,6 +572,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
         return Err(ProtoError::Oversized);
     }
     let mut r = Reader::new(body);
+    r.version()?;
     let req = match r.u8()? {
         opcode::GET => Request::Get { key: r.bytes()? },
         opcode::PUT => {
@@ -447,6 +627,44 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
             }
         }
         opcode::STATS => Request::Stats { json: r.u8()? != 0 },
+        opcode::REPL_HELLO => {
+            let count = r.u32()? as usize;
+            // Each cursor is 16 body bytes; reject impossible counts
+            // before reserving.
+            if count > body.len() / 16 + 1 {
+                return Err(ProtoError::LengthOverflow);
+            }
+            let mut cursors = Vec::with_capacity(count);
+            for _ in 0..count {
+                let segment = r.u64()?;
+                let offset = r.u64()?;
+                cursors.push((segment, offset));
+            }
+            Request::ReplHello { cursors }
+        }
+        opcode::REPL_ACK => Request::ReplAck {
+            replica: r.u64()?,
+            shard: r.u32()?,
+            segment: r.u64()?,
+            offset: r.u64()?,
+            seq: r.u64()?,
+        },
+        opcode::PROMOTE => Request::Promote,
+        opcode::GET_SEQ => Request::GetSeq,
+        opcode::GET_RYW => {
+            let key = r.bytes()?;
+            let count = r.u32()? as usize;
+            // Each token is 8 body bytes.
+            if count > body.len() / 8 + 1 {
+                return Err(ProtoError::LengthOverflow);
+            }
+            let mut min_seqs = Vec::with_capacity(count);
+            for _ in 0..count {
+                min_seqs.push(r.u64()?);
+            }
+            Request::GetRyw { key, min_seqs }
+        }
+        opcode::SHUTDOWN => Request::Shutdown,
         op => return Err(ProtoError::BadOpcode(op)),
     };
     r.finish()?;
@@ -459,6 +677,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
         return Err(ProtoError::Oversized);
     }
     let mut r = Reader::new(body);
+    r.version()?;
     let resp = match r.u8()? {
         tag::OK => Response::Ok,
         tag::NOT_FOUND => Response::NotFound,
@@ -481,6 +700,25 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
             }
         }
         tag::STATS => Response::Stats(String::from_utf8_lossy(&r.rest()).into_owned()),
+        tag::REPLICATE => Response::Replicate {
+            shard: r.u32()?,
+            segment: r.u64()?,
+            offset: r.u64()?,
+            last_seq: r.u64()?,
+            record: r.bytes()?,
+        },
+        tag::SEQ_TOKENS => {
+            let count = r.u32()? as usize;
+            if count > body.len() / 8 + 1 {
+                return Err(ProtoError::LengthOverflow);
+            }
+            let mut seqs = Vec::with_capacity(count);
+            for _ in 0..count {
+                seqs.push(r.u64()?);
+            }
+            Response::SeqTokens(seqs)
+        }
+        tag::LAGGING => Response::Lagging { applied: r.u64()? },
         tag::ERR => Response::Err(String::from_utf8_lossy(&r.rest()).into_owned()),
         tag::PROTO_ERR => Response::ProtoErr(String::from_utf8_lossy(&r.rest()).into_owned()),
         t => return Err(ProtoError::BadTag(t)),
@@ -546,6 +784,24 @@ mod tests {
             sync: true,
         });
         round_trip_request(Request::Stats { json: true });
+        round_trip_request(Request::ReplHello {
+            cursors: vec![(3, 4096), (7, 0)],
+        });
+        round_trip_request(Request::ReplHello { cursors: vec![] });
+        round_trip_request(Request::ReplAck {
+            replica: 1,
+            shard: 2,
+            segment: 9,
+            offset: u64::MAX,
+            seq: 12345,
+        });
+        round_trip_request(Request::Promote);
+        round_trip_request(Request::GetSeq);
+        round_trip_request(Request::GetRyw {
+            key: b"k".to_vec(),
+            min_seqs: vec![0, u64::MAX, 7],
+        });
+        round_trip_request(Request::Shutdown);
     }
 
     #[test]
@@ -563,6 +819,16 @@ mod tests {
         )]));
         round_trip_response(Response::PairsPartial(vec![]));
         round_trip_response(Response::Stats("counter x 1\n".into()));
+        round_trip_response(Response::Replicate {
+            shard: 1,
+            segment: 6,
+            offset: 32768,
+            last_seq: 99,
+            record: vec![0xAB; 200],
+        });
+        round_trip_response(Response::SeqTokens(vec![5, 0, u64::MAX]));
+        round_trip_response(Response::SeqTokens(vec![]));
+        round_trip_response(Response::Lagging { applied: 41 });
         round_trip_response(Response::Err("read-only".into()));
         round_trip_response(Response::ProtoErr("truncated frame".into()));
     }
@@ -584,24 +850,62 @@ mod tests {
     fn hostile_lengths_do_not_allocate() {
         // A batch claiming u32::MAX ops in a tiny body must be rejected
         // before any `Vec::with_capacity(u32::MAX)`.
-        let mut body = vec![opcode::WRITE_BATCH, 0];
+        let mut body = vec![PROTO_VERSION, opcode::WRITE_BATCH, 0];
         body.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
 
         // A field length pointing far past the body end.
-        let mut body = vec![opcode::GET];
+        let mut body = vec![PROTO_VERSION, opcode::GET];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
+
+        // Replication cursor / token counts the body cannot hold.
+        let mut body = vec![PROTO_VERSION, opcode::REPL_HELLO];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
+        let mut body = vec![PROTO_VERSION, tag::SEQ_TOKENS];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_response(&body), Err(ProtoError::LengthOverflow));
+        let mut body = vec![PROTO_VERSION, opcode::GET_RYW];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(b'k');
         body.extend_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_request(&body), Err(ProtoError::LengthOverflow));
     }
 
     #[test]
     fn unknown_opcodes_and_trailing_bytes_rejected() {
-        assert_eq!(decode_request(&[0xEE]), Err(ProtoError::BadOpcode(0xEE)));
-        assert_eq!(decode_response(&[0xEE]), Err(ProtoError::BadTag(0xEE)));
+        assert_eq!(
+            decode_request(&[PROTO_VERSION, 0xEE]),
+            Err(ProtoError::BadOpcode(0xEE))
+        );
+        assert_eq!(
+            decode_response(&[PROTO_VERSION, 0xEE]),
+            Err(ProtoError::BadTag(0xEE))
+        );
         let mut body = encode_request_body(&Request::Stats { json: false });
         body.push(0);
         assert_eq!(decode_request(&body), Err(ProtoError::TrailingBytes));
         assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn version_mismatch_fails_loudly() {
+        // A frame from a different protocol version must be rejected on
+        // the first byte — never parsed as fields.
+        let mut body = encode_request_body(&Request::Get { key: b"k".to_vec() });
+        body[0] = PROTO_VERSION + 1;
+        assert_eq!(
+            decode_request(&body),
+            Err(ProtoError::VersionMismatch(PROTO_VERSION + 1))
+        );
+        let mut body = encode_response_body(&Response::Ok);
+        body[0] = 0;
+        assert_eq!(decode_response(&body), Err(ProtoError::VersionMismatch(0)));
+        // The error's display names both versions so the operator can
+        // tell which node is stale.
+        let msg = ProtoError::VersionMismatch(9).to_string();
+        assert!(msg.contains('9') && msg.contains('1'), "{msg}");
     }
 
     #[test]

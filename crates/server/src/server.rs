@@ -19,12 +19,14 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::proto::{self, Request, Response};
+use crate::repl::{self, ReplState, SEMI_SYNC_WAIT};
 use crate::router::ShardRouter;
 
 /// How the server is built: shard count, store tuning, engine slots.
@@ -59,6 +61,15 @@ pub struct ServerConfig {
     /// Observability bundle shared by shards, scheduler and server
     /// metrics; a fresh wall-clock bundle when `None`.
     pub obs: Option<Arc<obs::Obs>>,
+    /// Storage environment the shards open against; `None` uses the
+    /// default OS filesystem. Tests inject a fault-injecting env here.
+    pub env: Option<Arc<dyn sstable::env::StorageEnv>>,
+    /// Key-value separation threshold passed through to every shard
+    /// (`None` disables the value log).
+    pub value_log_threshold: Option<usize>,
+    /// Run as a replica of the leader at this address: reject writes,
+    /// stream and apply its WAL, serve token-gated reads.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +85,9 @@ impl Default for ServerConfig {
             key_space: None,
             boundaries: None,
             obs: None,
+            env: None,
+            value_log_threshold: None,
+            replica_of: None,
         }
     }
 }
@@ -86,6 +100,9 @@ struct ServerMetrics {
     scan_micros: Arc<obs::Histogram>,
     batch_micros: Arc<obs::Histogram>,
     stats_micros: Arc<obs::Histogram>,
+    /// Control-plane requests: replication acks, promotion, sequence
+    /// tokens, token-gated reads, shutdown.
+    ctl_micros: Arc<obs::Histogram>,
     proto_errors: Arc<obs::Counter>,
     connections: Arc<obs::Gauge>,
     /// Per-shard request counters, index = shard.
@@ -109,6 +126,7 @@ impl ServerMetrics {
             scan_micros: registry.histogram("server.req.scan_micros"),
             batch_micros: registry.histogram("server.req.batch_micros"),
             stats_micros: registry.histogram("server.req.stats_micros"),
+            ctl_micros: registry.histogram("server.req.ctl_micros"),
             proto_errors: registry.counter("server.proto.errors"),
             connections: registry.gauge("server.connections"),
             shard_requests: (0..shards)
@@ -160,23 +178,29 @@ impl ServerMetrics {
 }
 
 /// State shared by the accept loop and every connection task.
-struct Shared {
-    shards: Vec<lsm::Db>,
+pub(crate) struct Shared {
+    pub(crate) shards: Vec<lsm::Db>,
     router: ShardRouter,
-    obs: Arc<obs::Obs>,
+    pub(crate) obs: Arc<obs::Obs>,
     offload: Option<Arc<offload::OffloadService>>,
     metrics: ServerMetrics,
     /// Mirror of [`ServerConfig::sync_writes`]: when set, every write
     /// fsyncs regardless of its per-request flag, so dispatch must treat
     /// all writes as blocking-pool work.
-    force_sync: bool,
+    pub(crate) force_sync: bool,
     shutdown: AtomicBool,
+    /// Replication role, replica progress table and `repl.*` metrics.
+    pub(crate) repl: ReplState,
+    /// Bound listen address, set by `start` (used by the shutdown path
+    /// to unblock its own accept loop).
+    listen_addr: OnceLock<std::net::SocketAddr>,
 }
 
 /// The server: opened stores + router + shared scheduler, ready to
 /// accept connections via [`KvServer::start`].
 pub struct KvServer {
     shared: Arc<Shared>,
+    replica_of: Option<String>,
 }
 
 /// A running server: bound address plus shutdown control. Dropping the
@@ -217,15 +241,19 @@ impl KvServer {
 
         let mut dbs = Vec::with_capacity(shards);
         for i in 0..shards {
-            let options = lsm::Options {
+            let mut options = lsm::Options {
                 write_buffer_size: config.write_buffer_size,
                 max_file_size: config.max_file_size,
                 sync_writes: config.sync_writes,
                 shared_block_cache: shared_cache.clone(),
                 obs: Some(Arc::clone(&obs)),
                 slowdown_sleep: false,
+                value_log_threshold_bytes: config.value_log_threshold,
                 ..Default::default()
             };
+            if let Some(env) = &config.env {
+                options.env = Arc::clone(env);
+            }
             let dir = config.root.join(format!("shard{i}"));
             let db = match &offload {
                 Some(svc) => {
@@ -236,7 +264,19 @@ impl KvServer {
             dbs.push(db);
         }
 
+        let is_replica = config.replica_of.is_some();
+        if !is_replica {
+            // Leaders pin their WAL from the start so a replica joining
+            // later (or reconnecting with zeroed cursors) can replay the
+            // full history. The floor advances as replicas acknowledge.
+            for db in &dbs {
+                if let Ok(cursor) = db.repl_start_cursor() {
+                    db.set_wal_retention_floor(cursor.segment);
+                }
+            }
+        }
         let metrics = ServerMetrics::new(&obs.registry, shards);
+        let repl = ReplState::new(&obs.registry, is_replica);
         Ok(KvServer {
             shared: Arc::new(Shared {
                 shards: dbs,
@@ -246,7 +286,10 @@ impl KvServer {
                 metrics,
                 force_sync: config.sync_writes,
                 shutdown: AtomicBool::new(false),
+                repl,
+                listen_addr: OnceLock::new(),
             }),
+            replica_of: config.replica_of,
         })
     }
 
@@ -256,8 +299,13 @@ impl KvServer {
         let rt = tokio::runtime::Runtime::new()?;
         let listener = rt.block_on(TcpListener::bind(addr))?;
         let local = listener.local_addr()?;
+        let _ = self.shared.listen_addr.set(local);
         let shared = Arc::clone(&self.shared);
         tokio::spawn(accept_loop(shared, listener));
+        if let Some(leader) = self.replica_of {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || repl::run_replica(shared, leader));
+        }
         Ok(ServerHandle {
             shared: self.shared,
             addr: local,
@@ -297,8 +345,21 @@ impl ServerHandle {
     /// stores close when the last task drops the shared state.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.repl.request_stop();
         // Unblock the accept loop with a throwaway connection.
         let _ = std::net::TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until a graceful shutdown ([`proto::Request::Shutdown`] or
+    /// [`ServerHandle::shutdown`] followed by drain) completes — the
+    /// `kv-server` binary's replacement for parking forever.
+    pub fn wait_shutdown(&self) {
+        self.shared.repl.wait_shutdown();
+    }
+
+    /// True while this node applies a leader's replication stream.
+    pub fn is_replica(&self) -> bool {
+        self.shared.repl.is_replica()
     }
 }
 
@@ -354,8 +415,8 @@ async fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> std::
         };
         body.resize(len, 0);
         stream.read_exact(&mut body).await?;
-        let resp = match proto::decode_request(&body) {
-            Ok(req) => dispatch(shared, req).await,
+        let req = match proto::decode_request(&body) {
+            Ok(req) => req,
             Err(e) => {
                 shared.metrics.proto_errors.inc();
                 out.clear();
@@ -364,6 +425,12 @@ async fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> std::
                 return Ok(());
             }
         };
+        // A replication handshake converts this connection into a one-way
+        // feed; it never returns to the request/response loop.
+        if let Request::ReplHello { cursors } = req {
+            return repl::serve_feed(shared, stream, cursors).await;
+        }
+        let resp = dispatch(shared, req).await;
         out.clear();
         proto::encode_response(&mut out, &resp);
         stream.write_all(&out).await?;
@@ -398,6 +465,42 @@ async fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
             run_write(shared, sync, move |s| do_batch(s, ops, sync)).await,
         ),
         Request::Stats { json } => (&m.stats_micros, do_stats(shared, json)),
+        // Intercepted in `handle_connection` before dispatch.
+        Request::ReplHello { .. } => (
+            &m.ctl_micros,
+            Response::Err("replication handshake reached dispatch".into()),
+        ),
+        Request::ReplAck {
+            replica,
+            shard,
+            segment,
+            offset: _,
+            seq,
+        } => (
+            &m.ctl_micros,
+            do_repl_ack(shared, replica, shard as usize, segment, seq),
+        ),
+        Request::Promote => (&m.ctl_micros, do_promote(shared)),
+        Request::GetSeq => (
+            &m.ctl_micros,
+            Response::SeqTokens(
+                shared
+                    .shards
+                    .iter()
+                    .map(lsm::Db::visible_sequence)
+                    .collect(),
+            ),
+        ),
+        // A token-gated read may block until the apply loop catches up,
+        // so it runs on the blocking pool like a sync write does.
+        Request::GetRyw { key, min_seqs } => (&m.ctl_micros, {
+            let s = Arc::clone(shared);
+            match tokio::task::spawn_blocking(move || do_get_ryw(&s, &key, &min_seqs)).await {
+                Ok(resp) => resp,
+                Err(e) => Response::Err(format!("read task failed: {e}")),
+            }
+        }),
+        Request::Shutdown => (&m.ctl_micros, do_shutdown(shared).await),
     };
     hist.record(shared.obs.now_micros().saturating_sub(t0));
     resp
@@ -442,7 +545,37 @@ fn do_get(shared: &Shared, key: &[u8]) -> Response {
     }
 }
 
+/// Replicas apply the leader's stream only; client writes are refused
+/// so the two stores cannot diverge.
+fn reject_replica_write(shared: &Shared) -> Option<Response> {
+    if shared.repl.is_replica() {
+        Some(Response::Err(
+            "replica: writes must go to the leader".into(),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Semi-synchronous replication: a *sync* write on a leader with live
+/// replicas also waits (bounded) for every registered replica to
+/// acknowledge the shard's visible sequence. On timeout the write is
+/// still acknowledged — durability on the leader is already settled by
+/// the fsync — and `repl.ack_wait_timeouts` counts the degradation.
+fn wait_repl(shared: &Shared, shard: usize, db: &lsm::Db, sync: bool) {
+    if !(sync || shared.force_sync) || !shared.repl.has_replicas() {
+        return;
+    }
+    let seq = db.visible_sequence();
+    if !shared.repl.wait_replicated(shard, seq, SEMI_SYNC_WAIT) {
+        shared.repl.metrics.ack_wait_timeouts.inc();
+    }
+}
+
 fn do_put(shared: &Shared, key: &[u8], value: &[u8], sync: bool) -> Response {
+    if let Some(resp) = reject_replica_write(shared) {
+        return resp;
+    }
     let shard = shared.router.shard_for(key);
     let Some(db) = shared.shards.get(shard) else {
         return Response::Err(format!("no shard {shard}"));
@@ -454,12 +587,18 @@ fn do_put(shared: &Shared, key: &[u8], value: &[u8], sync: bool) -> Response {
     let result = db.write(batch, lsm::WriteOptions { sync });
     shared.metrics.leave_shard(shard);
     match result {
-        Ok(()) => Response::Ok,
+        Ok(()) => {
+            wait_repl(shared, shard, db, sync);
+            Response::Ok
+        }
         Err(e) => storage_err(&e),
     }
 }
 
 fn do_delete(shared: &Shared, key: &[u8], sync: bool) -> Response {
+    if let Some(resp) = reject_replica_write(shared) {
+        return resp;
+    }
     let shard = shared.router.shard_for(key);
     let Some(db) = shared.shards.get(shard) else {
         return Response::Err(format!("no shard {shard}"));
@@ -471,7 +610,10 @@ fn do_delete(shared: &Shared, key: &[u8], sync: bool) -> Response {
     let result = db.write(batch, lsm::WriteOptions { sync });
     shared.metrics.leave_shard(shard);
     match result {
-        Ok(()) => Response::Ok,
+        Ok(()) => {
+            wait_repl(shared, shard, db, sync);
+            Response::Ok
+        }
         Err(e) => storage_err(&e),
     }
 }
@@ -550,6 +692,9 @@ fn do_scan(shared: &Shared, start: &[u8], end: Option<&[u8]>, limit: u32) -> Res
 /// [`do_scan`] mirrors this contract on the read side: per-shard
 /// snapshots, no cross-shard point-in-time guarantee.
 fn do_batch(shared: &Shared, ops: Vec<proto::BatchOp>, sync: bool) -> Response {
+    if let Some(resp) = reject_replica_write(shared) {
+        return resp;
+    }
     let mut per_shard: Vec<Option<lsm::WriteBatch>> = Vec::new();
     per_shard.resize_with(shared.shards.len(), || None);
     for op in &ops {
@@ -579,8 +724,133 @@ fn do_batch(shared: &Shared, ops: Vec<proto::BatchOp>, sync: bool) -> Response {
         if let Err(e) = result {
             return storage_err(&e);
         }
+        wait_repl(shared, shard, db, sync);
     }
     Response::Ok
+}
+
+/// Records a replica's durable progress and advances the shard's WAL
+/// retention floor to the minimum acknowledged segment across replicas.
+fn do_repl_ack(shared: &Shared, replica: u64, shard: usize, segment: u64, seq: u64) -> Response {
+    let Some(db) = shared.shards.get(shard) else {
+        return Response::Err(format!("no shard {shard}"));
+    };
+    match shared.repl.record_ack(replica, shard, segment, seq) {
+        Some(floor) => {
+            db.set_wal_retention_floor(floor);
+            Response::Ok
+        }
+        // An id the leader never issued (or already unregistered): the
+        // replica's feed is gone, so its acks mean nothing.
+        None => Response::Err(format!("unknown replica id {replica}")),
+    }
+}
+
+/// Promotes this node to leader. Idempotent: promoting a leader is `Ok`.
+/// On an actual role flip the apply loop stops at its next poll and the
+/// WAL retention floors are pinned so replicas of *this* node (re-pointed
+/// by the operator) can bootstrap from the new leader's history.
+fn do_promote(shared: &Shared) -> Response {
+    if shared.repl.promote() {
+        for db in &shared.shards {
+            if let Ok(cursor) = db.repl_start_cursor() {
+                db.set_wal_retention_floor(cursor.segment);
+            }
+        }
+    }
+    Response::Ok
+}
+
+/// How long a token-gated read waits for the apply loop before answering
+/// [`Response::Lagging`].
+const RYW_WAIT: Duration = Duration::from_secs(2);
+
+/// Read-your-writes on a replica: serve the key only once the owning
+/// shard has applied past the session token taken from the leader.
+fn do_get_ryw(shared: &Shared, key: &[u8], min_seqs: &[u64]) -> Response {
+    let shard = shared.router.shard_for(key);
+    let Some(db) = shared.shards.get(shard) else {
+        return Response::Err(format!("no shard {shard}"));
+    };
+    let want = min_seqs.get(shard).copied().unwrap_or(0);
+    let deadline = Instant::now() + RYW_WAIT;
+    loop {
+        let applied = db.visible_sequence();
+        if applied >= want {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Response::Lagging { applied };
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    shared.metrics.count_shard(shard);
+    shared.metrics.enter_shard(shard);
+    let result = db.get(key);
+    shared.metrics.leave_shard(shard);
+    match result {
+        Ok(Some(v)) => Response::Value(v),
+        Ok(None) => Response::NotFound,
+        Err(e) => storage_err(&e),
+    }
+}
+
+/// Graceful shutdown: stop accepting, drain in-flight data-plane work,
+/// flush the replication stream to every registered replica, then wake
+/// whoever parked in [`ServerHandle::wait_shutdown`]. The `Ok` response
+/// is sent *after* all of that, so a client that waited for it knows the
+/// acknowledged state reached the replicas.
+async fn do_shutdown(shared: &Arc<Shared>) -> Response {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop so no new connections slip in.
+    if let Some(addr) = shared.listen_addr.get() {
+        let _ = std::net::TcpStream::connect(addr);
+    }
+    let s = Arc::clone(shared);
+    match tokio::task::spawn_blocking(move || drain_and_stop(&s)).await {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Err(format!("shutdown task failed: {e}")),
+    }
+}
+
+/// The blocking tail of [`do_shutdown`]: bounded drain, bounded
+/// replication flush, then stop the feeds and signal the binary.
+fn drain_and_stop(shared: &Shared) {
+    // Drain in-flight shard requests (this request itself never enters a
+    // shard gauge, so zero is reachable). Bounded: a stuck write cannot
+    // wedge shutdown forever.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let busy: u64 = shared
+            .metrics
+            .in_flight
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .sum();
+        if busy == 0 || Instant::now() >= drain_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Leader with live replicas: push everything written so far and wait
+    // (bounded) for acks, so a graceful handover loses nothing.
+    if !shared.repl.is_replica() && shared.repl.has_replicas() {
+        for db in &shared.shards {
+            let _ = db.repl_flush();
+        }
+        let ack_deadline = Instant::now() + Duration::from_secs(10);
+        for (shard, db) in shared.shards.iter().enumerate() {
+            let left = ack_deadline.saturating_duration_since(Instant::now());
+            if !shared
+                .repl
+                .wait_replicated(shard, db.visible_sequence(), left)
+            {
+                shared.repl.metrics.ack_wait_timeouts.inc();
+            }
+        }
+    }
+    shared.repl.request_stop();
+    shared.repl.signal_shutdown();
 }
 
 fn do_stats(shared: &Shared, json: bool) -> Response {

@@ -47,6 +47,30 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         )
             .prop_map(|(ops, sync)| Request::WriteBatch { ops, sync }),
         any::<bool>().prop_map(|json| Request::Stats { json }),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..6)
+            .prop_map(|cursors| Request::ReplHello { cursors }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(replica, shard, segment, offset, seq)| Request::ReplAck {
+                replica,
+                shard,
+                segment,
+                offset,
+                seq,
+            }),
+        Just(Request::Promote),
+        Just(Request::GetSeq),
+        (
+            bytes_strategy(60),
+            proptest::collection::vec(any::<u64>(), 0..6)
+        )
+            .prop_map(|(key, min_seqs)| Request::GetRyw { key, min_seqs }),
+        Just(Request::Shutdown),
     ]
 }
 
@@ -64,9 +88,28 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         Just(Response::NotFound),
         bytes_strategy(300).prop_map(Response::Value),
         pairs_strategy().prop_map(Response::Pairs),
+        pairs_strategy().prop_map(Response::PairsPartial),
         text_strategy().prop_map(Response::Stats),
         text_strategy().prop_map(Response::Err),
         text_strategy().prop_map(Response::ProtoErr),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            bytes_strategy(200)
+        )
+            .prop_map(|(shard, segment, offset, last_seq, record)| {
+                Response::Replicate {
+                    shard,
+                    segment,
+                    offset,
+                    last_seq,
+                    record,
+                }
+            }),
+        proptest::collection::vec(any::<u64>(), 0..6).prop_map(Response::SeqTokens),
+        any::<u64>().prop_map(|applied| Response::Lagging { applied }),
     ]
 }
 
@@ -143,6 +186,33 @@ proptest! {
         let i = flip.index(body.len());
         body[i] ^= xor;
         let _ = decode_request(&body);
+    }
+
+    /// A wrong version byte fails loudly as `VersionMismatch` naming the
+    /// peer's version — on any otherwise-valid request or response.
+    #[test]
+    fn version_mismatch_is_always_loud(
+        req in request_strategy(),
+        resp in response_strategy(),
+        version in any::<u8>(),
+    ) {
+        let version = if version == proto::PROTO_VERSION {
+            version.wrapping_add(1)
+        } else {
+            version
+        };
+        let mut body = encode_request_body(&req);
+        body[0] = version;
+        prop_assert_eq!(
+            decode_request(&body),
+            Err(proto::ProtoError::VersionMismatch(version))
+        );
+        let mut body = encode_response_body(&resp);
+        body[0] = version;
+        prop_assert_eq!(
+            decode_response(&body),
+            Err(proto::ProtoError::VersionMismatch(version))
+        );
     }
 
     /// Hostile length prefixes are rejected before any allocation.

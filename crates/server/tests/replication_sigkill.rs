@@ -1,0 +1,200 @@
+//! Real-process failover band: `SIGKILL` an actual `kv-server` leader
+//! mid-replication-stream, promote the replica process, and assert the
+//! acknowledged prefix survives cluster-wide — the process-boundary
+//! companion to the in-process `tests/replication_failover.rs` bands.
+//!
+//! Both processes run `--sync`, so a leader ack means: WAL on disk
+//! *and* (via the semi-sync wait) the replica durably applied the
+//! write. `kill` sends SIGKILL — no handlers, no flush — the sharpest
+//! software approximation of pulling the leader's plug.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use server::KvClient;
+
+const SHARDS: usize = 2;
+
+/// Starts a `kv-server --sync` on an OS-assigned port; `replica_of`
+/// adds `--replica-of LEADER`. Returns the child and its listen addr.
+fn spawn_node(root: &std::path::Path, replica_of: Option<&str>) -> (Child, String) {
+    let mut args = vec![
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--root".to_string(),
+        root.to_str().expect("utf8 root").to_string(),
+        "--shards".to_string(),
+        SHARDS.to_string(),
+        "--sync".to_string(),
+        "--write-buffer".to_string(),
+        (64 << 10).to_string(),
+        "--max-file".to_string(),
+        (32 << 10).to_string(),
+    ];
+    if let Some(leader) = replica_of {
+        args.push("--replica-of".to_string());
+        args.push(leader.to_string());
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kv-server"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn kv-server");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("kv-server exited before binding")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Same keyspace spread as the power-cut harness: both shards take
+/// acknowledged writes.
+fn key_for(i: u64) -> Vec<u8> {
+    let space = 10u64.pow(16);
+    let n = i.wrapping_mul(6_364_136_223_846_793_005) % space;
+    format!("{n:016}").into_bytes()
+}
+
+#[test]
+fn acked_writes_survive_leader_sigkill_and_promotion() {
+    let pid = std::process::id();
+    let leader_root = std::env::temp_dir().join(format!("repl-sigkill-leader-{pid}"));
+    let replica_root = std::env::temp_dir().join(format!("repl-sigkill-replica-{pid}"));
+    let _ = std::fs::remove_dir_all(&leader_root);
+    let _ = std::fs::remove_dir_all(&replica_root);
+
+    let (mut leader, leader_addr) = spawn_node(&leader_root, None);
+    let (mut replica, replica_addr) = spawn_node(&replica_root, Some(&leader_addr));
+
+    // Prove the feed is attached and caught up before the timed load:
+    // a synced warmup write must become readable on the replica.
+    let mut lc = KvClient::connect_with_backoff(&leader_addr, Duration::from_secs(5))
+        .expect("connect leader");
+    lc.put(b"warmup-marker", b"warm", true).expect("warmup");
+    let mut rc = KvClient::connect_with_backoff(&replica_addr, Duration::from_secs(5))
+        .expect("connect replica");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if matches!(rc.get(b"warmup-marker"), Ok(Some(_))) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never caught up with the warmup write"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Synced writes; journal only acked ones. The kill arrives from a
+    // sibling thread at an arbitrary point in the stream.
+    let mut acked: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let kill_at = std::time::Instant::now() + Duration::from_millis(1200);
+    for i in 0u64.. {
+        if std::time::Instant::now() >= kill_at {
+            leader.kill().expect("SIGKILL leader");
+            let _ = leader.wait();
+        }
+        let key = key_for(i);
+        let value = format!("i{i}-{}", "x".repeat(64)).into_bytes();
+        match lc.put(&key, &value, true) {
+            Ok(()) => {
+                acked.insert(key, value);
+            }
+            // Connection torn by the kill: the in-flight write is NOT
+            // recorded, exactly like a real client.
+            Err(_) => break,
+        }
+    }
+    if leader.try_wait().ok().flatten().is_none() {
+        // The loop ended on a client error before the kill fired (should
+        // not happen, but never leave a live child behind).
+        leader.kill().expect("SIGKILL leader");
+        let _ = leader.wait();
+    }
+    assert!(
+        acked.len() >= 20,
+        "load too small to be meaningful: only {} acked writes",
+        acked.len()
+    );
+
+    // Promote the replica and verify the acked prefix on it.
+    rc.promote().expect("promote replica");
+    let mut lost = Vec::new();
+    for (key, expect) in &acked {
+        match rc.get(key) {
+            Ok(Some(v)) if &v == expect => {}
+            Ok(other) => lost.push((key.clone(), other)),
+            Err(e) => panic!("get on promoted node failed: {e}"),
+        }
+    }
+    assert!(
+        lost.is_empty(),
+        "{} of {} leader-acked writes missing on the promoted replica; first: {:?}",
+        lost.len(),
+        acked.len(),
+        lost.first()
+            .map(|(k, v)| (String::from_utf8_lossy(k).into_owned(), v.clone())),
+    );
+
+    // The promoted node is a leader: writes must now be accepted, and a
+    // graceful shutdown must complete (drain + exit 0).
+    rc.put(b"post-promote", b"accepted", true)
+        .expect("promoted node must accept writes");
+    rc.shutdown_server().expect("graceful shutdown");
+    let status = replica.wait().expect("replica exit status");
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0, got {status:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&leader_root);
+    let _ = std::fs::remove_dir_all(&replica_root);
+}
+
+/// Writes to a replica must be refused with a storage-level error (the
+/// connection stays open), and a graceful `Shutdown` of a replica must
+/// exit cleanly too.
+#[test]
+fn replica_rejects_writes_until_promoted() {
+    let pid = std::process::id();
+    let leader_root = std::env::temp_dir().join(format!("repl-reject-leader-{pid}"));
+    let replica_root = std::env::temp_dir().join(format!("repl-reject-replica-{pid}"));
+    let _ = std::fs::remove_dir_all(&leader_root);
+    let _ = std::fs::remove_dir_all(&replica_root);
+
+    let (mut leader, leader_addr) = spawn_node(&leader_root, None);
+    let (mut replica, replica_addr) = spawn_node(&replica_root, Some(&leader_addr));
+
+    let mut rc = KvClient::connect_with_backoff(&replica_addr, Duration::from_secs(5))
+        .expect("connect replica");
+    match rc.put(b"0000000000000001", b"nope", false) {
+        Err(server::ClientError::Rejected(msg)) => {
+            assert!(msg.contains("replica"), "unhelpful rejection: {msg}");
+        }
+        other => panic!("replica write must be Rejected, got {other:?}"),
+    }
+    // The same connection keeps serving reads.
+    assert_eq!(
+        rc.get(b"0000000000000001").expect("read-after-reject"),
+        None
+    );
+
+    rc.shutdown_server().expect("graceful replica shutdown");
+    let status = replica.wait().expect("replica exit status");
+    assert!(status.success(), "replica shutdown must exit 0: {status:?}");
+
+    leader.kill().expect("stop leader");
+    let _ = leader.wait();
+    let _ = std::fs::remove_dir_all(&leader_root);
+    let _ = std::fs::remove_dir_all(&replica_root);
+}

@@ -183,14 +183,16 @@ fn protocol_violation_closes_only_that_connection() {
     let mut good = KvClient::connect(&addr).expect("connect");
     good.put(b"0000000000000001", b"v", false).expect("put");
 
-    // Hand-rolled bad frame: unknown opcode 0xEE.
+    // Hand-rolled bad frame: correct version byte, unknown opcode 0xEE.
     let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
-    raw.write_all(&1u32.to_le_bytes()).expect("len");
-    raw.write_all(&[0xEE]).expect("body");
+    raw.write_all(&2u32.to_le_bytes()).expect("len");
+    raw.write_all(&[server::proto::PROTO_VERSION, 0xEE])
+        .expect("body");
     let mut buf = Vec::new();
     raw.read_to_end(&mut buf).expect("server reply then close");
-    assert!(buf.len() > 4, "expected a ProtoErr frame before close");
-    assert_eq!(buf[4], server::proto::tag::PROTO_ERR);
+    assert!(buf.len() > 5, "expected a ProtoErr frame before close");
+    assert_eq!(buf[4], server::proto::PROTO_VERSION);
+    assert_eq!(buf[5], server::proto::tag::PROTO_ERR);
 
     // The well-behaved connection keeps working.
     assert_eq!(

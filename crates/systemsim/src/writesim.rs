@@ -233,7 +233,8 @@ impl WriteSim {
     /// Degenerates to `compression_ratio` when separation is off;
     /// pointer-only tables store uncompressed.
     fn flush_stored(&self, raw: u64) -> u64 {
-        let ratio = self.cfg.tree_pair_stored_bytes() / self.cfg.tree_pair_raw_bytes().max(1) as f64;
+        let ratio =
+            self.cfg.tree_pair_stored_bytes() / self.cfg.tree_pair_raw_bytes().max(1) as f64;
         (raw as f64 * ratio) as u64
     }
 
@@ -569,8 +570,7 @@ impl WriteSim {
                 // in the log: that value is now garbage awaiting GC.
                 let dropped = job.bytes_in.saturating_sub(job.bytes_out);
                 let pairs = dropped as f64 / self.pair_stored();
-                let dead =
-                    ((pairs * self.cfg.value_len as f64) as u64).min(self.vlog_live_bytes);
+                let dead = ((pairs * self.cfg.value_len as f64) as u64).min(self.vlog_live_bytes);
                 self.vlog_live_bytes -= dead;
                 self.vlog_dead_bytes += dead;
             }

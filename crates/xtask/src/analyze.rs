@@ -73,7 +73,7 @@ pub const DURABILITY_FILES: &[&str] = &[
 
 /// Metric name prefixes METRICS.md inventories. Names outside these
 /// (e.g. the simulator's `sim.*`) are not part of the public surface.
-pub const METRIC_PREFIXES: &[&str] = &["lsm.", "offload.", "server.", "fcae."];
+pub const METRIC_PREFIXES: &[&str] = &["lsm.", "offload.", "server.", "fcae.", "repl."];
 
 // ---------------------------------------------------------------------
 // Token/scope tracker

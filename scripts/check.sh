@@ -46,6 +46,14 @@ cargo run --release -p bench --bin db_bench -- \
     | grep -q "offload.fault.transient" \
     || { echo "fault smoke failed: no offload.fault.* counters in --stats export"; exit 1; }
 
+# Replication matrix: the failover bands (leader power-cut -> promote ->
+# acked prefix survives, with and without the value log, plus the
+# clean-catchup digest-equality band and the real-process SIGKILL band)
+# already ran on the default seed band in `cargo test -q`; sweep the
+# second band like CI's replication-matrix job.
+POWER_CUT_SEED_BASE=100 cargo test -q -p fcae-repro --test replication_failover
+POWER_CUT_SEED_BASE=100 cargo test -q -p server --test replication_sigkill
+
 # Server smoke (mirrors CI's server-smoke job): 4-shard kv-server on an
 # OS-assigned port, YCSB-A at 64 connections, zero protocol errors and
 # nonzero throughput required; then the SIGKILL power-cut harness.

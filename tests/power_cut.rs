@@ -536,6 +536,7 @@ fn value_log_synced_acks_survive_power_cut_mid_gc() {
             .rev()
             .find(|(_, (_, _, sync))| *sync)
             .map(|(i, _)| i);
+        #[allow(clippy::type_complexity)]
         let mut history: HashMap<&[u8], Vec<(usize, Option<&[u8]>)>> = HashMap::new();
         for (i, (key, value, _)) in journal.iter().enumerate() {
             history

@@ -1,0 +1,358 @@
+//! Replication failover harness (ISSUE 10 tentpole): kill a leader
+//! mid-stream with a seeded [`FaultEnv`] power cut, promote the
+//! replica, and assert the **acknowledged prefix survives
+//! cluster-wide** — every write the leader acked (with `--sync`
+//! semantics) must be readable on the promoted node with its exact
+//! bytes, and the promoted node must never serve a value that was
+//! never written.
+//!
+//! Three bands, each swept over `POWER_CUT_SEED_BASE`-shifted seeds so
+//! CI's replication matrix covers disjoint crash points without
+//! touching the source:
+//!
+//! * plain failover (no value log);
+//! * failover with key-value separation on the **leader** — the stream
+//!   re-inlines value-log pointers, so the replica (running without
+//!   separation) must still end byte-identical;
+//! * clean catch-up equality: no kill, leader and replica must converge
+//!   to identical sequence tokens and an identical full-range scan
+//!   digest, read-your-writes tokens must gate replica reads, and the
+//!   `repl.*` metric family must be visible in the stats export.
+//!
+//! The companion real-process band (`SIGKILL` of an actual `kv-server`
+//! leader) lives in `crates/server/tests/replication_sigkill.rs`, where
+//! the binary path is available.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fcae_repro::sstable::env::{FaultEnv, MemEnv, StorageEnv};
+use server::{KvClient, KvServer, ServerConfig};
+
+const SHARDS: usize = 2;
+const KEY_LEN: usize = 16;
+
+fn seed_base() -> u64 {
+    std::env::var("POWER_CUT_SEED_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Spread key `i` over the whole 16-digit keyspace so both shards take
+/// acknowledged writes (same multiplier trick as the power-cut harness).
+fn key_for(i: u64) -> Vec<u8> {
+    let space = 10u64.pow(KEY_LEN as u32);
+    let n = i.wrapping_mul(6_364_136_223_846_793_005) % space;
+    format!("{n:016}").into_bytes()
+}
+
+fn value_for(seed: u64, i: u64, pad: usize) -> Vec<u8> {
+    format!("s{seed}-i{i}-{}", "v".repeat(pad)).into_bytes()
+}
+
+/// Small-buffer config over a caller-supplied env; `sync_writes` on so
+/// every ack is a durability (and semi-sync) statement.
+fn config(env: &FaultEnv, root: &str, vlog: Option<usize>) -> ServerConfig {
+    ServerConfig {
+        shards: SHARDS,
+        root: root.into(),
+        engine_slots: 0,
+        sync_writes: true,
+        write_buffer_size: 16 << 10,
+        max_file_size: 16 << 10,
+        key_len: KEY_LEN,
+        env: Some(Arc::new(env.clone()) as Arc<dyn StorageEnv>),
+        value_log_threshold: vlog,
+        ..ServerConfig::default()
+    }
+}
+
+/// Polls `f` until it returns `Some` or the deadline passes.
+fn poll_until<T>(timeout: Duration, mut f: impl FnMut() -> Option<T>) -> Option<T> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Writes one synced marker through the leader and waits until the
+/// replica serves it — proof the feed is registered and caught up, so
+/// every *later* synced write rides the semi-sync ack wait.
+fn await_replica_attached(leader: &str, replica: &str) {
+    let mut lc = KvClient::connect(leader).expect("connect leader");
+    lc.put(b"warmup-marker", b"warm", true).expect("warmup put");
+    let mut rc = KvClient::connect(replica).expect("connect replica");
+    poll_until(Duration::from_secs(10), || {
+        matches!(rc.get(b"warmup-marker"), Ok(Some(_))).then_some(())
+    })
+    .expect("replica never caught up with the warmup write");
+}
+
+/// One seeded failover round: build a leader+replica pair, write synced
+/// keys until the seeded cut, cut the leader's power, promote the
+/// replica, and verify the acked prefix (exact bytes) plus the
+/// no-invented-data rule on the promoted node.
+fn failover_round(seed: u64, vlog: Option<usize>, pad: usize) {
+    let leader_env = FaultEnv::new(Arc::new(MemEnv::new()), seed);
+    let replica_env = FaultEnv::new(Arc::new(MemEnv::new()), seed ^ 0x5eed_0bee);
+    let label = format!("seed{seed}/vlog={vlog:?}");
+
+    let leader = KvServer::open(config(&leader_env, "/leader", vlog))
+        .expect("open leader")
+        .start("127.0.0.1:0")
+        .expect("start leader");
+    let leader_addr = leader.addr().to_string();
+    let replica_cfg = ServerConfig {
+        replica_of: Some(leader_addr.clone()),
+        // The replica runs WITHOUT separation: the stream must carry
+        // raw values (re-inlined on the leader side) for this to work.
+        value_log_threshold: None,
+        ..config(&replica_env, "/replica", None)
+    };
+    let replica = KvServer::open(replica_cfg)
+        .expect("open replica")
+        .start("127.0.0.1:0")
+        .expect("start replica");
+    let replica_addr = replica.addr().to_string();
+
+    await_replica_attached(&leader_addr, &replica_addr);
+
+    // Synced writes until the seeded cut point; journal only acked ones.
+    let cut_after = 40 + (seed % 5) * 20;
+    let mut client = KvClient::connect(&leader_addr).expect("connect leader");
+    let mut acked: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let mut attempted: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for i in 0.. {
+        let (key, value) = (key_for(i), value_for(seed, i, pad));
+        attempted.insert(key.clone(), value.clone());
+        match client.put(&key, &value, true) {
+            Ok(()) => {
+                acked.insert(key, value);
+            }
+            // The cut reached us: nothing past this point is acked.
+            Err(_) => break,
+        }
+        if acked.len() as u64 == cut_after {
+            // Kill the leader mid-stream: storage goes dark first (the
+            // in-flight write above the cut fails), then the process.
+            leader_env.set_offline(true);
+        }
+    }
+    assert!(
+        acked.len() as u64 >= cut_after,
+        "{label}: cut fired before the target ({} acked)",
+        acked.len()
+    );
+    leader.shutdown();
+    leader_env
+        .power_cut(seed.wrapping_mul(37).wrapping_add(11))
+        .unwrap_or_else(|e| panic!("{label}: power_cut failed: {e}"));
+
+    // No semi-sync wait may have been silently skipped: the guarantee
+    // below leans on every ack implying replica durability.
+    assert_eq!(
+        leader
+            .obs()
+            .registry
+            .counter_value("repl.ack_wait_timeouts"),
+        Some(0),
+        "{label}: a semi-sync wait timed out; the acked-prefix guarantee is void"
+    );
+
+    // Promote the most-caught-up (only) replica and verify.
+    let mut rc = KvClient::connect(&replica_addr).expect("connect replica");
+    rc.promote()
+        .unwrap_or_else(|e| panic!("{label}: promote failed: {e}"));
+    assert_eq!(
+        replica.obs().registry.counter_value("repl.promotions"),
+        Some(1),
+        "{label}: promotion counter did not move"
+    );
+
+    // Every leader-acked write must be readable on the promoted node.
+    for (key, expect) in &acked {
+        let got = rc
+            .get(key)
+            .unwrap_or_else(|e| panic!("{label}: get on promoted node failed: {e}"));
+        assert_eq!(
+            got.as_deref(),
+            Some(expect.as_slice()),
+            "{label}: acked key {} lost or corrupted across failover",
+            String::from_utf8_lossy(key)
+        );
+    }
+    // ...and the promoted node may hold nothing that was never written.
+    let mut start = Vec::new();
+    loop {
+        let (pairs, complete) = rc.scan_partial(&start, None, 10_000).expect("scan");
+        for (key, value) in &pairs {
+            if key.as_slice() == b"warmup-marker" {
+                continue;
+            }
+            let wrote = attempted.get(key);
+            assert!(
+                wrote.is_some_and(|v| v == value),
+                "{label}: promoted node serves never-written data for key {}",
+                String::from_utf8_lossy(key)
+            );
+        }
+        match (complete, pairs.last()) {
+            (false, Some((last, _))) => {
+                start = last.clone();
+                start.push(0);
+            }
+            _ => break,
+        }
+    }
+
+    // The promoted node is a leader now: it must accept writes.
+    rc.put(b"post-promote", b"accepted", true)
+        .expect("promoted node must accept writes");
+    replica.shutdown();
+}
+
+/// Band 1: plain failover, both `POWER_CUT_SEED_BASE` bands.
+#[test]
+fn failover_preserves_acked_prefix() {
+    let base = seed_base();
+    for seed in base..base + 2 {
+        failover_round(seed, None, 40);
+    }
+}
+
+/// Band 2: the leader runs key-value separation, so most values live in
+/// its value log and the WAL carries pointers — the stream must
+/// re-inline them (PR 9 pointers survive failover by value).
+#[test]
+fn failover_with_value_log_reinlines_pointers() {
+    let base = seed_base();
+    for seed in base..base + 2 {
+        // 200-byte pad clears the 64-byte separation threshold.
+        failover_round(seed, Some(64), 200);
+    }
+}
+
+/// Band 3: clean catch-up — leader and replica must converge to
+/// identical per-shard sequence tokens and an identical full-range scan
+/// digest; read-your-writes tokens gate replica reads; the `repl.*`
+/// family shows up in the stats export.
+#[test]
+fn clean_catchup_converges_to_identical_state() {
+    let seed = seed_base() ^ 0x0c_a7;
+    let leader_env = FaultEnv::new(Arc::new(MemEnv::new()), seed);
+    let replica_env = FaultEnv::new(Arc::new(MemEnv::new()), seed ^ 1);
+
+    let leader = KvServer::open(config(&leader_env, "/leader", Some(64)))
+        .expect("open leader")
+        .start("127.0.0.1:0")
+        .expect("start leader");
+    let leader_addr = leader.addr().to_string();
+    let replica = KvServer::open(ServerConfig {
+        replica_of: Some(leader_addr.clone()),
+        ..config(&replica_env, "/replica", None)
+    })
+    .expect("open replica")
+    .start("127.0.0.1:0")
+    .expect("start replica");
+    let replica_addr = replica.addr().to_string();
+
+    await_replica_attached(&leader_addr, &replica_addr);
+
+    // A mixed load: small inline values, large separated values, and
+    // deletes, all through the leader.
+    let mut lc = KvClient::connect(&leader_addr).expect("connect leader");
+    for i in 0..300u64 {
+        let key = key_for(i);
+        if i % 7 == 3 {
+            lc.delete(&key, false).expect("delete");
+        } else {
+            let pad = if i % 3 == 0 { 200 } else { 16 };
+            lc.put(&key, &value_for(seed, i, pad), false).expect("put");
+        }
+    }
+    // One synced write seals the tail (and rides the semi-sync wait).
+    lc.put(b"final-marker", b"done", true).expect("final sync");
+
+    // Convergence: replica sequence tokens reach the leader's.
+    let want = lc.get_seq().expect("leader seq");
+    let mut rc = KvClient::connect(&replica_addr).expect("connect replica");
+    poll_until(Duration::from_secs(10), || {
+        let got = rc.get_seq().ok()?;
+        (got.len() == want.len() && got.iter().zip(&want).all(|(g, w)| g >= w)).then_some(())
+    })
+    .expect("replica sequence tokens never reached the leader's");
+
+    // Read-your-writes: the leader token must gate a replica read.
+    match rc.get_ryw(b"final-marker", &want).expect("get_ryw") {
+        Ok(Some(v)) => assert_eq!(v, b"done"),
+        other => panic!("token-gated read failed: {other:?}"),
+    }
+    // An unreachable token must answer Lagging, not hang or lie.
+    let absurd: Vec<u64> = want.iter().map(|s| s + 1_000_000).collect();
+    match rc
+        .get_ryw(b"final-marker", &absurd)
+        .expect("get_ryw absurd")
+    {
+        Err(applied) => assert!(applied >= *want.iter().min().unwrap_or(&0)),
+        Ok(v) => panic!("absurd token served a read: {v:?}"),
+    }
+
+    // Full-range scan digest must be identical on both nodes.
+    let scan_all = |c: &mut KvClient| -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = Vec::new();
+        let mut start = Vec::new();
+        loop {
+            let (pairs, complete) = c.scan_partial(&start, None, 10_000).expect("scan");
+            let last = pairs.last().map(|(k, _)| k.clone());
+            all.extend(pairs);
+            match (complete, last) {
+                (false, Some(mut k)) => {
+                    k.push(0);
+                    start = k;
+                }
+                _ => break,
+            }
+        }
+        all
+    };
+    let (l, r) = (scan_all(&mut lc), scan_all(&mut rc));
+    assert_eq!(l.len(), r.len(), "key counts diverge after clean catch-up");
+    let digest = |pairs: &[(Vec<u8>, Vec<u8>)]| -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (k, v) in pairs {
+            for b in k.iter().chain(v) {
+                h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h = (h ^ 0xff).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    };
+    assert_eq!(
+        digest(&l),
+        digest(&r),
+        "scan digests diverge after clean catch-up"
+    );
+    assert_eq!(l, r, "scan contents diverge after clean catch-up");
+
+    // The repl.* family is part of the public stats surface.
+    let stats = lc.stats(false).expect("leader stats");
+    for name in ["repl.lag.bytes", "repl.acks", "repl.records.sent"] {
+        assert!(stats.contains(name), "leader stats missing {name}: {stats}");
+    }
+    let rstats = rc.stats(false).expect("replica stats");
+    assert!(
+        rstats.contains("repl.records.applied"),
+        "replica stats missing repl.records.applied"
+    );
+
+    leader.shutdown();
+    replica.shutdown();
+}
